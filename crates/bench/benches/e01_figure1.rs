@@ -1,0 +1,60 @@
+//! E01 — Fig. 1: the art-gallery graph.
+//!
+//! Computes the RDFS closure of the Fig. 1 graph and answers the three
+//! queries of §4 over it, reporting the closure growth alongside the
+//! timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_query::answer_union;
+use swdb_workloads::art;
+
+fn bench(c: &mut Criterion) {
+    let figure1 = art::figure1();
+    let closure = swdb_entailment::rdfs_closure(&figure1);
+    report_row(
+        "E01",
+        "figure1",
+        &[
+            ("asserted_triples", figure1.len().to_string()),
+            ("closure_triples", closure.len().to_string()),
+            (
+                "flemish_answers",
+                answer_union(&art::flemish_query(), &figure1).len().to_string(),
+            ),
+            (
+                "inferred_creators",
+                answer_union(&art::creators_query(), &figure1).len().to_string(),
+            ),
+            (
+                "inferred_artists",
+                answer_union(&art::artists_query(), &figure1).len().to_string(),
+            ),
+        ],
+    );
+
+    let mut group = c.benchmark_group("e01_figure1");
+    group.bench_function("closure", |b| {
+        b.iter(|| swdb_entailment::rdfs_closure(&figure1))
+    });
+    group.bench_function("normal_form", |b| {
+        b.iter(|| swdb_normal::normal_form(&figure1))
+    });
+    group.bench_function("query_creators", |b| {
+        b.iter(|| answer_union(&art::creators_query(), &figure1))
+    });
+    group.bench_function("query_artists", |b| {
+        b.iter(|| answer_union(&art::artists_query(), &figure1))
+    });
+    group.bench_function("query_flemish", |b| {
+        b.iter(|| answer_union(&art::flemish_query(), &figure1))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E02 — Theorem 2.8: entailment as map search.
+//!
+//! Measures simple entailment (map into the graph) and RDFS entailment (map
+//! into the closure) between a random graph and an entailed blank-node
+//! variant of a slice of it, across database sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_model::{Graph, Term, Triple};
+use swdb_workloads::{simple_graph, SimpleGraphConfig};
+
+/// Takes `k` triples of the graph and replaces their subjects by fresh
+/// blanks: the result is always entailed by the original graph.
+fn entailed_slice(g: &Graph, k: usize) -> Graph {
+    g.iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, t)| {
+            Triple::new(
+                Term::blank(format!("w{i}")),
+                t.predicate().clone(),
+                t.object().clone(),
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02_entailment_maps");
+    for &size in &[50usize, 200, 800] {
+        let config = SimpleGraphConfig {
+            triples: size,
+            uri_nodes: size / 2,
+            blank_nodes: size / 10,
+            predicates: 5,
+            blank_probability: 0.15,
+        };
+        let g = simple_graph(&config, 42);
+        let conclusion = entailed_slice(&g, 8);
+        assert!(swdb_entailment::simple_entails(&g, &conclusion));
+        report_row(
+            "E02",
+            &format!("size={size}"),
+            &[
+                ("triples", g.len().to_string()),
+                ("conclusion_triples", conclusion.len().to_string()),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("simple_entails", size), &size, |b, _| {
+            b.iter(|| swdb_entailment::simple_entails(&g, &conclusion))
+        });
+        group.bench_with_input(BenchmarkId::new("rdfs_entails", size), &size, |b, _| {
+            b.iter(|| swdb_entailment::entails(&g, &conclusion))
+        });
+        group.bench_with_input(BenchmarkId::new("witness_map", size), &size, |b, _| {
+            b.iter(|| swdb_hom::find_map(&conclusion, &g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E03 — Theorem 2.9: simple entailment is NP-complete.
+//!
+//! The cost of deciding `enc(K_3) ⊨ enc(H)` (3-colourability of `H`) grows
+//! sharply with the size of the hidden-partition instances, while entailment
+//! of blank *chains* (acyclic, §2.4) of much larger size stays cheap. The
+//! contrast between the two series is the experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_workloads::blank_chain;
+use swdb_workloads::hard::hidden_coloring_instance;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_simple_entailment_np");
+
+    // Hard series: hidden 3-colouring instances (always YES, hard to certify).
+    for &nodes in &[6usize, 9, 12] {
+        let (premise, conclusion) = hidden_coloring_instance(nodes, 0.55, 7);
+        report_row(
+            "E03",
+            &format!("coloring nodes={nodes}"),
+            &[("conclusion_triples", conclusion.len().to_string())],
+        );
+        group.bench_with_input(BenchmarkId::new("coloring", nodes), &nodes, |b, _| {
+            b.iter(|| swdb_entailment::simple_entails(&premise, &conclusion))
+        });
+    }
+
+    // Easy series: acyclic blank chains, an order of magnitude larger.
+    for &len in &[64usize, 256, 1024] {
+        let chain = blank_chain(len);
+        let data = swdb_model::skolemize(&chain);
+        report_row("E03", &format!("chain len={len}"), &[("triples", len.to_string())]);
+        group.bench_with_input(BenchmarkId::new("acyclic_chain", len), &len, |b, _| {
+            b.iter(|| swdb_entailment::simple_entails(&data, &chain))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E04 — §2.4: the polynomial special cases of entailment.
+//!
+//! Two series: (a) a *fixed* conclusion graph against growing data (data
+//! complexity of conjunctive-query evaluation, Vardi); (b) growing *acyclic*
+//! conclusions against fixed data (Yannakakis). Both should scale
+//! polynomially — visibly tamer than the E03 hard series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_model::graph;
+use swdb_workloads::{blank_chain, simple_graph, SimpleGraphConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_poly_entailment");
+
+    // (a) fixed conclusion, growing data.
+    let fixed_conclusion = graph([
+        ("_:X", "ex:p0", "_:Y"),
+        ("_:Y", "ex:p1", "_:Z"),
+        ("_:Z", "ex:p2", "ex:n1"),
+    ]);
+    for &size in &[200usize, 800, 3200] {
+        let data = simple_graph(
+            &SimpleGraphConfig {
+                triples: size,
+                uri_nodes: size / 4,
+                blank_nodes: 0,
+                predicates: 3,
+                blank_probability: 0.0,
+            },
+            13,
+        );
+        report_row("E04", &format!("fixed-pattern data={size}"), &[("triples", size.to_string())]);
+        group.bench_with_input(BenchmarkId::new("fixed_pattern", size), &size, |b, _| {
+            b.iter(|| swdb_entailment::simple_entails(&data, &fixed_conclusion))
+        });
+    }
+
+    // (b) growing acyclic conclusion, fixed data.
+    let data = swdb_model::skolemize(&blank_chain(2048));
+    for &len in &[64usize, 256, 1024] {
+        let conclusion = blank_chain(len);
+        report_row("E04", &format!("acyclic pattern={len}"), &[("pattern_triples", len.to_string())]);
+        group.bench_with_input(BenchmarkId::new("acyclic_pattern", len), &len, |b, _| {
+            b.iter(|| swdb_entailment::simple_entails(&data, &conclusion))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E05 — Theorem 2.10: RDFS entailment via closure + map.
+//!
+//! Closure computation and entailment checks over random RDFS schema graphs
+//! of growing size (classes, properties, instances and data triples scale
+//! together).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_entailment::EntailmentChecker;
+use swdb_model::{graph, rdfs};
+use swdb_workloads::{schema_graph, SchemaGraphConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_rdfs_entailment");
+    for &scale in &[1usize, 2, 4] {
+        let config = SchemaGraphConfig {
+            classes: 10 * scale,
+            properties: 4 * scale,
+            instances: 25 * scale,
+            data_triples: 50 * scale,
+            edge_probability: 0.25,
+        };
+        let g = schema_graph(&config, 31);
+        let closure = swdb_entailment::rdfs_closure(&g);
+        let conclusion = graph([("ex:inst0", rdfs::TYPE, "_:SomeClass")]);
+        report_row(
+            "E05",
+            &format!("scale={scale}"),
+            &[
+                ("triples", g.len().to_string()),
+                ("closure_triples", closure.len().to_string()),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("closure", scale), &scale, |b, _| {
+            b.iter(|| swdb_entailment::rdfs_closure(&g))
+        });
+        group.bench_with_input(BenchmarkId::new("entails", scale), &scale, |b, _| {
+            b.iter(|| swdb_entailment::entails(&g, &conclusion))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("entails_with_reused_closure", scale),
+            &scale,
+            |b, _| {
+                let checker = EntailmentChecker::new(&g);
+                b.iter(|| checker.entails(&conclusion))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E06 — Theorem 3.6(3)/(4): closure size and membership.
+//!
+//! Reports `|cl(G)| / |G|²` for the worst-case `sp`-chain family (the ratio
+//! should stay between constants, exhibiting the Θ(|G|²) growth) and
+//! benchmarks closure materialisation against the membership test that
+//! avoids it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_entailment::ClosureStats;
+use swdb_model::{rdfs, triple};
+use swdb_workloads::{sc_chain_with_instance, sp_chain};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_closure_size");
+    for &n in &[16usize, 64, 256] {
+        let chain = sp_chain(n);
+        let stats = ClosureStats::for_graph(&chain);
+        report_row(
+            "E06",
+            &format!("sp_chain n={n}"),
+            &[
+                ("input", stats.input_triples.to_string()),
+                ("closure", stats.closure_triples.to_string()),
+                ("ratio_to_n2", format!("{:.3}", stats.quadratic_ratio())),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("materialise_closure", n), &n, |b, _| {
+            b.iter(|| swdb_entailment::rdfs_closure(&chain))
+        });
+        // Membership of the "long-range" derived triple, without
+        // materialising.
+        let needle = triple("ex:p0", rdfs::SP, &format!("ex:p{n}"));
+        group.bench_with_input(BenchmarkId::new("membership_test", n), &n, |b, _| {
+            b.iter(|| swdb_entailment::closure_contains(&chain, &needle))
+        });
+    }
+    for &n in &[16usize, 64, 256] {
+        let chain = sc_chain_with_instance(n);
+        group.bench_with_input(BenchmarkId::new("sc_chain_closure", n), &n, |b, _| {
+            b.iter(|| swdb_entailment::rdfs_closure(&chain))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E07 — Definition 3.5 / Theorem 3.6(2): the semantic closure `cl` (via
+//! Skolemization) coincides with the rule-based `RDFS-cl`.
+//!
+//! Benchmarks both routes on the same graphs and asserts their agreement as
+//! part of the run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_workloads::{schema_graph, SchemaGraphConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_closure_equiv");
+    for &scale in &[1usize, 2, 4] {
+        let g = schema_graph(
+            &SchemaGraphConfig {
+                classes: 8 * scale,
+                properties: 3 * scale,
+                instances: 20 * scale,
+                data_triples: 30 * scale,
+                edge_probability: 0.3,
+            },
+            17,
+        );
+        let via_skolem = swdb_normal::closure(&g);
+        let via_rules = swdb_entailment::rdfs_closure(&g);
+        assert_eq!(via_skolem, via_rules, "Theorem 3.6(2) must hold");
+        report_row(
+            "E07",
+            &format!("scale={scale}"),
+            &[
+                ("triples", g.len().to_string()),
+                ("closure_triples", via_rules.len().to_string()),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("cl_via_skolemization", scale), &scale, |b, _| {
+            b.iter(|| swdb_normal::closure(&g))
+        });
+        group.bench_with_input(BenchmarkId::new("rdfs_cl_rules", scale), &scale, |b, _| {
+            b.iter(|| swdb_entailment::rdfs_closure(&g))
+        });
+    }
+    // The naive "apply every rule until fixpoint" specification, on the
+    // smallest instance only (it is the slow executable specification).
+    let small = schema_graph(
+        &SchemaGraphConfig {
+            classes: 6,
+            properties: 2,
+            instances: 10,
+            data_triples: 15,
+            edge_probability: 0.3,
+        },
+        17,
+    );
+    group.bench_function("naive_closure_small", |b| {
+        b.iter(|| swdb_entailment::naive_closure(&small))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

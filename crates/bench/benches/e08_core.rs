@@ -1,0 +1,62 @@
+//! E08 — Theorems 3.10–3.12: cores and leanness.
+//!
+//! Core computation on graphs with injected blank redundancy (the common
+//! case: fast, large reductions) versus leanness checking on the
+//! graph-encoded cycles behind the coNP-hardness proof (the adversarial
+//! case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_workloads::hard::{lean_cycle, redundant_cycle};
+use swdb_workloads::{inject_blank_redundancy, simple_graph, SimpleGraphConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08_core");
+    for &size in &[30usize, 60, 120] {
+        let base = simple_graph(
+            &SimpleGraphConfig {
+                triples: size,
+                blank_probability: 0.0,
+                uri_nodes: size / 2,
+                ..SimpleGraphConfig::default()
+            },
+            23,
+        );
+        let redundant = inject_blank_redundancy(&base, size / 2, 24);
+        let core = swdb_normal::core(&redundant);
+        report_row(
+            "E08",
+            &format!("redundant size={size}"),
+            &[
+                ("with_redundancy", redundant.len().to_string()),
+                ("core", core.len().to_string()),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("core_computation", size), &size, |b, _| {
+            b.iter(|| swdb_normal::core(&redundant))
+        });
+        group.bench_with_input(BenchmarkId::new("is_lean_after_coreing", size), &size, |b, _| {
+            b.iter(|| swdb_normal::is_lean(&core))
+        });
+    }
+    // Adversarial leanness checks: even (retractable) vs odd (rigid) blank
+    // cycles of growing size.
+    for &n in &[2usize, 3, 4] {
+        let non_lean = redundant_cycle(n);
+        let lean = lean_cycle(n);
+        group.bench_with_input(BenchmarkId::new("non_lean_even_cycle", n), &n, |b, _| {
+            b.iter(|| swdb_normal::is_lean(&non_lean))
+        });
+        group.bench_with_input(BenchmarkId::new("lean_odd_cycle", n), &n, |b, _| {
+            b.iter(|| swdb_normal::is_lean(&lean))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

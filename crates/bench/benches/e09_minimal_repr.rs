@@ -1,0 +1,83 @@
+//! E09 — Example 3.14/3.15, Theorem 3.16: minimal representations.
+//!
+//! Computes minimal representations of schema graphs in the well-behaved
+//! class of Theorem 3.16 (acyclic, no reserved vocabulary in node position),
+//! reporting how much of the graph is redundant, and verifies on the small
+//! examples that the pathological cases produce several representations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_model::{graph, rdfs};
+use swdb_workloads::{schema_graph, SchemaGraphConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_minimal_repr");
+    for &scale in &[1usize, 2, 3] {
+        let g = schema_graph(
+            &SchemaGraphConfig {
+                classes: 6 * scale,
+                properties: 3 * scale,
+                instances: 10 * scale,
+                data_triples: 15 * scale,
+                edge_probability: 0.45,
+            },
+            5,
+        );
+        assert!(swdb_normal::has_unique_minimal_representation(&g));
+        let minimal = swdb_normal::minimal_representation(&g);
+        report_row(
+            "E09",
+            &format!("scale={scale}"),
+            &[
+                ("triples", g.len().to_string()),
+                ("minimal", minimal.len().to_string()),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("minimal_representation", scale), &scale, |b, _| {
+            b.iter(|| swdb_normal::minimal_representation(&g))
+        });
+    }
+
+    // The non-unique cases (Examples 3.14 and 3.15) as micro-benchmarks.
+    let example_3_14 = graph([
+        ("ex:b", rdfs::SP, "ex:a"),
+        ("ex:c", rdfs::SP, "ex:a"),
+        ("ex:b", rdfs::SP, "ex:c"),
+        ("ex:c", rdfs::SP, "ex:b"),
+    ]);
+    let example_3_15 = graph([
+        ("ex:a", rdfs::SC, "ex:b"),
+        (rdfs::TYPE, rdfs::DOM, "ex:a"),
+        ("ex:x", rdfs::TYPE, "ex:a"),
+        ("ex:x", rdfs::TYPE, "ex:b"),
+    ]);
+    report_row(
+        "E09",
+        "examples",
+        &[
+            (
+                "distinct_reprs_3_14",
+                swdb_normal::distinct_minimal_representations(&example_3_14, 8)
+                    .len()
+                    .to_string(),
+            ),
+            (
+                "distinct_reprs_3_15",
+                swdb_normal::distinct_minimal_representations(&example_3_15, 8)
+                    .len()
+                    .to_string(),
+            ),
+        ],
+    );
+    group.bench_function("example_3_14_all_representations", |b| {
+        b.iter(|| swdb_normal::distinct_minimal_representations(&example_3_14, 8))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

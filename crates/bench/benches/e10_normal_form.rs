@@ -1,0 +1,68 @@
+//! E10 — Example 3.17, Theorems 3.19/3.20: normal forms.
+//!
+//! Computes `nf(G) = core(cl(G))` on schema graphs with injected blank
+//! redundancy, checks syntax independence (the redundant and clean versions
+//! have isomorphic normal forms), and benchmarks the normal-form decision
+//! problem `nf(G) ≟ G'`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_workloads::{inject_blank_redundancy, schema_graph, SchemaGraphConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_normal_form");
+    for &scale in &[1usize, 2] {
+        let clean = schema_graph(
+            &SchemaGraphConfig {
+                classes: 6 * scale,
+                properties: 3 * scale,
+                instances: 12 * scale,
+                data_triples: 20 * scale,
+                edge_probability: 0.3,
+            },
+            77,
+        );
+        let redundant = inject_blank_redundancy(&clean, 8 * scale, 78);
+        let nf_clean = swdb_normal::normal_form(&clean);
+        let nf_redundant = swdb_normal::normal_form(&redundant);
+        assert!(
+            swdb_model::isomorphic(&nf_clean, &nf_redundant),
+            "Theorem 3.19: equivalent graphs have isomorphic normal forms"
+        );
+        report_row(
+            "E10",
+            &format!("scale={scale}"),
+            &[
+                ("clean_triples", clean.len().to_string()),
+                ("redundant_triples", redundant.len().to_string()),
+                ("nf_triples", nf_clean.len().to_string()),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("normal_form_clean", scale), &scale, |b, _| {
+            b.iter(|| swdb_normal::normal_form(&clean))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("normal_form_redundant", scale),
+            &scale,
+            |b, _| b.iter(|| swdb_normal::normal_form(&redundant)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("is_normal_form_of", scale),
+            &scale,
+            |b, _| b.iter(|| swdb_normal::is_normal_form_of(&nf_clean, &redundant)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("equivalence_via_nf", scale),
+            &scale,
+            |b, _| b.iter(|| swdb_normal::equivalent_by_normal_form(&clean, &redundant)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

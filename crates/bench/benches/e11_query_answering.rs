@@ -1,0 +1,80 @@
+//! E11 — §4.1: query answering over the university workload.
+//!
+//! Answers the three schema-aware queries over growing university instances,
+//! under union and merge semantics, both with cold normalization and with
+//! the facade's cached normal form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_core::{SemanticWebDatabase, Semantics};
+use swdb_workloads::university::{persons_query, student_professor_query, workers_query};
+use swdb_workloads::{university, UniversityConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_query_answering");
+    for &departments in &[1usize, 2, 3] {
+        let data = university(
+            &UniversityConfig {
+                departments,
+                ..UniversityConfig::default()
+            },
+            2024,
+        );
+        let queries = [
+            ("workers", workers_query()),
+            ("persons", persons_query()),
+            ("learns_from", student_professor_query()),
+        ];
+        let mut db = SemanticWebDatabase::from_graph(data.clone());
+        for (name, q) in &queries {
+            report_row(
+                "E11",
+                &format!("departments={departments} query={name}"),
+                &[
+                    ("data_triples", data.len().to_string()),
+                    ("answers", db.answer_union(q).len().to_string()),
+                ],
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("cold_union_workers", departments),
+            &departments,
+            |b, _| b.iter(|| swdb_query::answer_union(&workers_query(), &data)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cached_union_workers", departments),
+            &departments,
+            |b, _| {
+                let mut db = SemanticWebDatabase::from_graph(data.clone());
+                let _ = db.answer_union(&workers_query()); // warm the cache
+                b.iter(|| db.answer_union(&workers_query()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cached_union_join", departments),
+            &departments,
+            |b, _| {
+                let mut db = SemanticWebDatabase::from_graph(data.clone());
+                let _ = db.answer_union(&student_professor_query());
+                b.iter(|| db.answer_union(&student_professor_query()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cached_merge_join", departments),
+            &departments,
+            |b, _| {
+                let mut db = SemanticWebDatabase::from_graph(data.clone());
+                let _ = db.answer(&student_professor_query(), Semantics::Merge);
+                b.iter(|| db.answer(&student_professor_query(), Semantics::Merge))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E12 — §4.2, Proposition 5.9, Example 5.10: queries with premises.
+//!
+//! Measures direct evaluation of a premised query, the premise-free
+//! expansion `Ω_q` (size and construction time), and evaluation through the
+//! expansion, as the premise grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_hom::pattern_graph;
+use swdb_model::{Graph, Term, Triple};
+use swdb_query::{answer_union, answer_union_of_queries, premise_free_expansion, Query, Semantics};
+use swdb_workloads::{simple_graph, SimpleGraphConfig};
+
+fn premise_of_size(n: usize) -> Graph {
+    (0..n)
+        .map(|i| {
+            Triple::new(
+                Term::iri(format!("ex:t{i}")),
+                swdb_model::Iri::new("ex:t"),
+                Term::iri("ex:s"),
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let data = simple_graph(
+        &SimpleGraphConfig {
+            triples: 150,
+            predicates: 2,
+            blank_probability: 0.1,
+            ..SimpleGraphConfig::default()
+        },
+        3,
+    );
+    let mut group = c.benchmark_group("e12_premises");
+    for &premise_size in &[2usize, 4, 8] {
+        let q = Query::with_premise(
+            pattern_graph([("?X", "ex:result", "?Y")]),
+            pattern_graph([("?X", "ex:p0", "?Y"), ("?Y", "ex:t", "ex:s")]),
+            premise_of_size(premise_size),
+        )
+        .unwrap();
+        let expansion = premise_free_expansion(&q);
+        report_row(
+            "E12",
+            &format!("premise={premise_size}"),
+            &[
+                ("expansion_members", expansion.len().to_string()),
+                ("direct_answers", answer_union(&q, &data).len().to_string()),
+            ],
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct_evaluation", premise_size),
+            &premise_size,
+            |b, _| b.iter(|| answer_union(&q, &data)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("build_expansion", premise_size),
+            &premise_size,
+            |b, _| b.iter(|| premise_free_expansion(&q)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_expansion", premise_size),
+            &premise_size,
+            |b, _| b.iter(|| answer_union_of_queries(&expansion, &data, Semantics::Union)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E13 — Theorems 5.5–5.7: containment of premise-free queries.
+//!
+//! Decides standard and entailment-based containment between chain queries
+//! of growing length (both the positive direction — longer chain contained
+//! in shorter prefix — and the negative direction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_containment::{contained_in, Notion};
+use swdb_hom::{pattern_graph, PatternGraph};
+use swdb_query::Query;
+
+/// A chain query of length `n`: `(?X0, result, ?Xn) ← (?X0, p, ?X1), …`.
+fn chain_query(n: usize) -> Query {
+    let atoms: Vec<(String, String, String)> = (0..n)
+        .map(|i| (format!("?X{i}"), "ex:p".to_owned(), format!("?X{}", i + 1)))
+        .collect();
+    let body: PatternGraph = pattern_graph(
+        atoms
+            .iter()
+            .map(|(s, p, o)| (s.as_str(), p.as_str(), o.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    let head = pattern_graph([("?X0", "ex:result", format!("?X{n}").as_str())]);
+    Query::new(head, body).expect("well formed")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_containment");
+    for &n in &[2usize, 4, 6] {
+        let long = chain_query(n);
+        let longer = chain_query(n + 2);
+        // The longer chain is *not* contained in the shorter one or vice
+        // versa (their heads project different endpoints), but the decision
+        // procedure still has to search the substitution space — that search
+        // is what we measure, in both a positive and a negative instance.
+        let positive = (long.clone(), long.clone());
+        let negative = (longer.clone(), long.clone());
+        report_row(
+            "E13",
+            &format!("chain={n}"),
+            &[
+                (
+                    "self_containment",
+                    contained_in(&positive.0, &positive.1, Notion::Standard).to_string(),
+                ),
+                (
+                    "longer_in_shorter",
+                    contained_in(&negative.0, &negative.1, Notion::Standard).to_string(),
+                ),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("standard_positive", n), &n, |b, _| {
+            b.iter(|| contained_in(&positive.0, &positive.1, Notion::Standard))
+        });
+        group.bench_with_input(BenchmarkId::new("standard_negative", n), &n, |b, _| {
+            b.iter(|| contained_in(&negative.0, &negative.1, Notion::Standard))
+        });
+        group.bench_with_input(BenchmarkId::new("entailment_based_positive", n), &n, |b, _| {
+            b.iter(|| contained_in(&positive.0, &positive.1, Notion::EntailmentBased))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

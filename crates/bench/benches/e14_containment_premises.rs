@@ -1,0 +1,82 @@
+//! E14 — Theorem 5.12: containment with premises.
+//!
+//! Without premises containment is NP-complete; with premises on the
+//! contained side the decision procedure goes through the premise-free
+//! expansion `Ω_q`, pushing the problem towards Π₂ᵖ. The bench scales the
+//! premise size and measures the expansion-based decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_containment::{contained_in, Notion};
+use swdb_hom::pattern_graph;
+use swdb_model::{Graph, Term, Triple};
+use swdb_query::{premise_free_expansion, Query};
+
+fn premise_of_size(n: usize) -> Graph {
+    (0..n)
+        .map(|i| {
+            Triple::new(
+                Term::iri(format!("ex:t{i}")),
+                swdb_model::Iri::new("ex:t"),
+                Term::iri("ex:s"),
+            )
+        })
+        .collect()
+}
+
+fn premised_query(premise: Graph) -> Query {
+    Query::with_all(
+        pattern_graph([("?X", "ex:result", "?Y")]),
+        pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s"), ("?X", "ex:q", "?Z")]),
+        premise,
+        Default::default(),
+    )
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_containment_premises");
+    let relaxed = Query::new(
+        pattern_graph([("?X", "ex:result", "?Y")]),
+        pattern_graph([("?X", "ex:q", "?Y")]),
+    )
+    .unwrap();
+    for &n in &[1usize, 3, 6] {
+        let q = premised_query(premise_of_size(n));
+        let expansion_size = premise_free_expansion(&q).len();
+        report_row(
+            "E14",
+            &format!("premise={n}"),
+            &[
+                ("expansion_members", expansion_size.to_string()),
+                (
+                    "contained_in_relaxed",
+                    contained_in(&q, &relaxed, Notion::Standard).to_string(),
+                ),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("standard_with_premise", n), &n, |b, _| {
+            b.iter(|| contained_in(&q, &relaxed, Notion::Standard))
+        });
+        group.bench_with_input(BenchmarkId::new("entailment_with_premise", n), &n, |b, _| {
+            b.iter(|| contained_in(&q, &relaxed, Notion::EntailmentBased))
+        });
+        // Baseline: the same body without any premise (plain Theorem 5.5).
+        let premise_free = Query::new(
+            pattern_graph([("?X", "ex:result", "?Y")]),
+            pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s"), ("?X", "ex:q", "?Z")]),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("standard_premise_free", n), &n, |b, _| {
+            b.iter(|| contained_in(&premise_free, &relaxed, Notion::Standard))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

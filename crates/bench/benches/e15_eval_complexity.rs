@@ -1,0 +1,62 @@
+//! E15 — Theorem 6.1: query complexity vs data complexity of evaluation.
+//!
+//! Two sweeps of the emptiness problem: a fixed query over growing data
+//! (polynomial data complexity) and a growing star query over fixed data
+//! (NP query complexity — the cost climbs with the number of body atoms and
+//! variables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_query::answer_is_empty;
+use swdb_workloads::university::{star_query, student_professor_query};
+use swdb_workloads::{university, UniversityConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_eval_complexity");
+
+    // Data complexity: fixed join query, growing data.
+    let fixed_query = student_professor_query();
+    for &departments in &[1usize, 2, 4] {
+        let data = university(
+            &UniversityConfig {
+                departments,
+                ..UniversityConfig::default()
+            },
+            9,
+        );
+        report_row(
+            "E15",
+            &format!("data-complexity departments={departments}"),
+            &[("data_triples", data.len().to_string())],
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fixed_query_growing_data", departments),
+            &departments,
+            |b, _| b.iter(|| answer_is_empty(&fixed_query, &data)),
+        );
+    }
+
+    // Query complexity: growing star query, fixed data.
+    let data = university(&UniversityConfig::default(), 9);
+    for &width in &[2usize, 4, 6, 8] {
+        let q = star_query(width);
+        report_row(
+            "E15",
+            &format!("query-complexity width={width}"),
+            &[("body_atoms", q.body().len().to_string())],
+        );
+        group.bench_with_input(
+            BenchmarkId::new("growing_query_fixed_data", width),
+            &width,
+            |b, _| b.iter(|| answer_is_empty(&q, &data)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

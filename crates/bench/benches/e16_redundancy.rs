@@ -1,0 +1,69 @@
+//! E16 — Theorems 6.2/6.3: redundancy elimination in answers.
+//!
+//! Answers a blank-generating query over databases with a growing number of
+//! "blank bridge" groups and compares the generic leanness check on the
+//! union-semantics answer (coNP-shaped) with the structure-aware polynomial
+//! check for the merge-semantics answer, plus the cost of eliminating the
+//! redundancy outright.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_model::{Graph, Term, Triple};
+use swdb_query::{answer_is_lean, answer_union, eliminate_redundancy, merge_answer_is_lean, query, Semantics};
+
+/// A database with `groups` copies of the Example 3.8 lean pattern: each
+/// group has two distinguishable blanks hanging off a shared subject.
+fn bridge_database(groups: usize) -> Graph {
+    let mut g = Graph::new();
+    for i in 0..groups {
+        let a = Term::iri(format!("ex:a{i}"));
+        let x = Term::blank(format!("x{i}"));
+        let y = Term::blank(format!("y{i}"));
+        g.insert(Triple::new(a.clone(), swdb_model::Iri::new("ex:p"), x.clone()));
+        g.insert(Triple::new(a, swdb_model::Iri::new("ex:p"), y.clone()));
+        g.insert(Triple::new(x, swdb_model::Iri::new("ex:q"), Term::iri(format!("ex:b{i}"))));
+        g.insert(Triple::new(y, swdb_model::Iri::new("ex:r"), Term::iri(format!("ex:b{i}"))));
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let q = query([("?Z", "ex:p", "?U")], [("?Z", "ex:p", "?U")]);
+    let mut group = c.benchmark_group("e16_redundancy");
+    for &groups in &[2usize, 4, 8] {
+        let db = bridge_database(groups);
+        let union_answer = answer_union(&q, &db);
+        report_row(
+            "E16",
+            &format!("groups={groups}"),
+            &[
+                ("database_triples", db.len().to_string()),
+                ("union_answer_triples", union_answer.len().to_string()),
+                (
+                    "union_answer_lean",
+                    swdb_normal::is_lean(&union_answer).to_string(),
+                ),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("union_leanness_generic", groups), &groups, |b, _| {
+            b.iter(|| answer_is_lean(&q, &db, Semantics::Union))
+        });
+        group.bench_with_input(BenchmarkId::new("merge_leanness_poly", groups), &groups, |b, _| {
+            b.iter(|| merge_answer_is_lean(&q, &db))
+        });
+        group.bench_with_input(BenchmarkId::new("merge_leanness_generic", groups), &groups, |b, _| {
+            b.iter(|| answer_is_lean(&q, &db, Semantics::Merge))
+        });
+        group.bench_with_input(BenchmarkId::new("eliminate_redundancy", groups), &groups, |b, _| {
+            b.iter(|| eliminate_redundancy(&union_answer))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Freezing queries: treating variables as fresh constants.
+//!
+//! §5.2 extends entailment to graphs containing variables by sending the
+//! variables to fresh constants ("`G1 ⊨ G2` for graphs containing variables
+//! is defined as `v(G1) ⊨ v(G2)` where `v` is a valuation sending the
+//! variables to fresh constants"). The containment characterizations of
+//! Theorems 5.5/5.7/5.8 are all phrased in terms of the frozen body of the
+//! containing query: the candidate substitution `θ` maps the other query's
+//! variables into the frozen universe.
+
+use swdb_hom::{Binding, PatternGraph, PatternTerm, Variable};
+use swdb_model::{Graph, Term};
+
+/// The reserved URI prefix used for frozen variables. Workload generators
+/// and parsers in this workspace never produce URIs in this namespace.
+pub const FROZEN_PREFIX: &str = "var:";
+
+/// Freezes a pattern graph: every variable `?X` becomes the URI `var:X`,
+/// constants (including blank nodes) are kept.
+pub fn freeze(pattern: &PatternGraph) -> Graph {
+    pattern
+        .patterns()
+        .iter()
+        .filter_map(|p| {
+            let s = freeze_position(&p.subject);
+            let pred = match freeze_position(&p.predicate) {
+                Term::Iri(iri) => iri,
+                Term::Blank(_) => return None,
+            };
+            let o = freeze_position(&p.object);
+            Some(swdb_model::Triple::new(s, pred, o))
+        })
+        .collect()
+}
+
+fn freeze_position(position: &PatternTerm) -> Term {
+    match position {
+        PatternTerm::Const(t) => t.clone(),
+        PatternTerm::Var(v) => freeze_variable(v),
+    }
+}
+
+/// The frozen constant standing for a variable.
+pub fn freeze_variable(var: &Variable) -> Term {
+    Term::iri(format!("{FROZEN_PREFIX}{}", var.name()))
+}
+
+/// Recovers the variable from a frozen constant, if the term is one.
+pub fn thaw_term(term: &Term) -> Option<Variable> {
+    match term {
+        Term::Iri(iri) => iri
+            .as_str()
+            .strip_prefix(FROZEN_PREFIX)
+            .map(Variable::new),
+        Term::Blank(_) => None,
+    }
+}
+
+/// Applies a substitution (a binding of the *contained* query's variables to
+/// terms of the frozen universe) to a pattern graph, producing a graph.
+/// Returns `None` if some triple would be ill-formed (blank or unbound
+/// predicate) — such substitutions simply fail the containment test.
+pub fn apply_substitution(pattern: &PatternGraph, theta: &Binding) -> Option<Graph> {
+    pattern.instantiate(theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_hom::pattern_graph;
+    use swdb_model::triple;
+
+    #[test]
+    fn freezing_replaces_variables_with_var_uris() {
+        let pg = pattern_graph([("?X", "ex:p", "?Y"), ("?X", "ex:q", "ex:a")]);
+        let frozen = freeze(&pg);
+        assert!(frozen.contains(&triple("var:X", "ex:p", "var:Y")));
+        assert!(frozen.contains(&triple("var:X", "ex:q", "ex:a")));
+        assert_eq!(frozen.len(), 2);
+    }
+
+    #[test]
+    fn freezing_preserves_blanks_in_heads() {
+        let pg = pattern_graph([("?X", "ex:p", "_:N")]);
+        let frozen = freeze(&pg);
+        assert!(frozen.contains(&triple("var:X", "ex:p", "_:N")));
+    }
+
+    #[test]
+    fn thaw_recovers_variables() {
+        let v = Variable::new("Course");
+        assert_eq!(thaw_term(&freeze_variable(&v)), Some(v));
+        assert_eq!(thaw_term(&Term::iri("ex:a")), None);
+        assert_eq!(thaw_term(&Term::blank("X")), None);
+    }
+
+    #[test]
+    fn variable_predicates_freeze_to_uris() {
+        let pg = pattern_graph([("?X", "?P", "?Y")]);
+        let frozen = freeze(&pg);
+        assert!(frozen.contains(&triple("var:X", "var:P", "var:Y")));
+    }
+}

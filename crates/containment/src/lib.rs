@@ -1,0 +1,110 @@
+//! # swdb-containment — query containment
+//!
+//! Implements §5 of *Foundations of Semantic Web Databases*: the two notions
+//! of containment for tableau queries (standard `⊑p` and entailment-based
+//! `⊑m`, Definition 5.1), their substitution characterizations without
+//! premises (Theorems 5.5/5.7), with premises on the containing side
+//! (Theorem 5.8), and in full generality through premise elimination
+//! (Proposition 5.9, Proposition 5.11, Theorem 5.12).
+//!
+//! The top-level entry points are [`standard_contained_in`],
+//! [`entailment_contained_in`] and [`contained_in`], which dispatch on the
+//! presence of premises.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod freeze;
+pub mod no_premise;
+pub mod with_premise;
+
+pub use freeze::{apply_substitution, freeze, freeze_variable, thaw_term, FROZEN_PREFIX};
+pub use no_premise::{candidate_substitutions, constraints_respected, contained_in_no_premise, Notion};
+pub use with_premise::{
+    contained_in, contained_in_with_right_premise, entailment_contained_in, equivalent,
+    standard_contained_in,
+};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+    use swdb_hom::{pattern_graph, PatternGraph};
+    use swdb_query::Query;
+
+    use crate::no_premise::{contained_in_no_premise, Notion};
+
+    /// Small random premise-free queries over two predicates and three
+    /// variables, with head = a prefix of the body (always well formed).
+    fn arb_query() -> impl Strategy<Value = Query> {
+        let atom = ((0u8..3), (0u8..2), (0u8..3)).prop_map(|(s, p, o)| {
+            (
+                format!("?V{s}"),
+                format!("ex:p{p}"),
+                format!("?V{o}"),
+            )
+        });
+        proptest::collection::vec(atom, 1..4).prop_map(|atoms| {
+            let body: PatternGraph = pattern_graph(
+                atoms
+                    .iter()
+                    .map(|(s, p, o)| (s.as_str(), p.as_str(), o.as_str()))
+                    .collect::<Vec<_>>(),
+            );
+            let head: PatternGraph = pattern_graph(
+                atoms
+                    .iter()
+                    .take(1)
+                    .map(|(s, p, o)| (s.as_str(), p.as_str(), o.as_str()))
+                    .collect::<Vec<_>>(),
+            );
+            Query::new(head, body).expect("head variables occur in body")
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn containment_is_reflexive(q in arb_query()) {
+            prop_assert!(contained_in_no_premise(&q, &q, Notion::Standard));
+            prop_assert!(contained_in_no_premise(&q, &q, Notion::EntailmentBased));
+        }
+
+        #[test]
+        fn proposition_5_2_standard_implies_entailment_based(q1 in arb_query(), q2 in arb_query()) {
+            if contained_in_no_premise(&q1, &q2, Notion::Standard) {
+                prop_assert!(contained_in_no_premise(&q1, &q2, Notion::EntailmentBased));
+            }
+        }
+
+        #[test]
+        fn dropping_body_atoms_enlarges_the_query(q in arb_query()) {
+            // The query with only the first body atom (which is also the
+            // head) contains the full query.
+            let head: Vec<_> = q.head().patterns().to_vec();
+            let relaxed = Query::new(
+                PatternGraph::from_patterns(head.clone()),
+                PatternGraph::from_patterns(head),
+            ).unwrap();
+            prop_assert!(contained_in_no_premise(&q, &relaxed, Notion::Standard));
+            prop_assert!(contained_in_no_premise(&q, &relaxed, Notion::EntailmentBased));
+        }
+
+        #[test]
+        fn claimed_containment_holds_on_a_sample_database(q1 in arb_query(), q2 in arb_query()) {
+            // Build a canonical database from q1's frozen body and check the
+            // pre-answer inclusion that ⊑p promises, on that database.
+            if contained_in_no_premise(&q1, &q2, Notion::Standard) {
+                let d = crate::freeze::freeze(q1.body());
+                let pre1 = swdb_query::pre_answers(&q1, &d);
+                let pre2 = swdb_query::pre_answers(&q2, &d);
+                for ans in &pre1 {
+                    prop_assert!(
+                        pre2.iter().any(|other| swdb_model::isomorphic(other, ans)),
+                        "pre-answer {ans} of q1 missing from q2's pre-answers"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Containment of queries without premises (Theorems 5.5 and 5.7).
+//!
+//! Two notions of containment are studied (Definition 5.1):
+//!
+//! * **standard containment** `q ⊑p q'` — every pre-answer of `q` appears
+//!   (up to isomorphism) among the pre-answers of `q'`, over every database;
+//! * **entailment-based containment** `q ⊑m q'` — the answer of `q'` always
+//!   entails the answer of `q`.
+//!
+//! Standard containment implies entailment-based containment
+//! (Proposition 5.2) but not conversely (Example 5.3). Both are NP-complete
+//! for premise-free queries (Theorem 5.6) and are decided here by the
+//! substitution characterizations of Theorem 5.5, extended to constraints as
+//! in Theorem 5.7:
+//!
+//! * `q ⊑p q'` iff there is a substitution `θ` of the variables of `q'` with
+//!   `θ(B') ⊆ nf(B)`, `θ(H') ≅ H` and `θ(C') ⊆ C`;
+//! * `q ⊑m q'` iff there are substitutions `θ1, …, θn` with
+//!   `θj(B') ⊆ nf(B)`, `⋃j θj(H') ⊨ H` and `θj(C') ⊆ C`.
+
+use swdb_hom::{Binding, GraphIndex, Solver};
+use swdb_model::{isomorphic, Graph};
+use swdb_query::Query;
+
+use crate::freeze::{freeze, freeze_variable, thaw_term};
+
+/// Which notion of containment to decide (Definition 5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Notion {
+    /// Standard containment `⊑p` (per-pre-answer, up to isomorphism).
+    Standard,
+    /// Entailment-based containment `⊑m`.
+    EntailmentBased,
+}
+
+/// Upper bound on the number of candidate substitutions enumerated. The
+/// containment problem is NP-complete, so the enumeration is exponential in
+/// the worst case; the cap guards against runaway instances in benchmarks.
+const SUBSTITUTION_LIMIT: usize = 100_000;
+
+/// Decides `q ⊑ q'` for premise-free queries under the requested notion
+/// (Theorems 5.5 and 5.7). Premises, if present, are ignored by this
+/// function — use [`crate::with_premise::contained_in`] for the general
+/// case.
+pub fn contained_in_no_premise(q: &Query, q_prime: &Query, notion: Notion) -> bool {
+    // Freeze q: its variables become constants, its body is normalized.
+    let frozen_body = freeze(q.body());
+    let frozen_head = freeze(q.head());
+    let nf_body = swdb_normal::normal_form(&frozen_body);
+
+    let substitutions = candidate_substitutions(q_prime, &nf_body);
+    match notion {
+        Notion::Standard => substitutions.iter().any(|theta| {
+            constraints_respected(q, q_prime, theta)
+                && q_prime
+                    .head()
+                    .instantiate(theta)
+                    .is_some_and(|image| isomorphic(&image, &frozen_head))
+        }),
+        Notion::EntailmentBased => {
+            let mut union = Graph::new();
+            let mut any = false;
+            for theta in &substitutions {
+                if !constraints_respected(q, q_prime, theta) {
+                    continue;
+                }
+                if let Some(image) = q_prime.head().instantiate(theta) {
+                    union = union.union(&image);
+                    any = true;
+                }
+            }
+            if !any {
+                // With no candidate substitution at all, containment can only
+                // hold if the frozen head of q is entailed by nothing, i.e.
+                // it is empty.
+                return frozen_head.is_empty();
+            }
+            swdb_entailment::entails(&union, &frozen_head)
+        }
+    }
+}
+
+/// `q ⊑p q'` for premise-free queries.
+pub fn standard_contained_in(q: &Query, q_prime: &Query) -> bool {
+    contained_in_no_premise(q, q_prime, Notion::Standard)
+}
+
+/// `q ⊑m q'` for premise-free queries.
+pub fn entailment_contained_in(q: &Query, q_prime: &Query) -> bool {
+    contained_in_no_premise(q, q_prime, Notion::EntailmentBased)
+}
+
+/// Enumerates the substitutions `θ` of the variables of `q'` such that
+/// `θ(B') ⊆ target` (condition (a) of Theorems 5.5/5.7/5.8).
+pub fn candidate_substitutions(q_prime: &Query, target: &Graph) -> Vec<Binding> {
+    let index = GraphIndex::new(target);
+    let solver = Solver::new(q_prime.body(), &index);
+    solver.solutions_up_to(SUBSTITUTION_LIMIT)
+}
+
+/// Condition (c) of Theorem 5.7: `θ(C') ⊆ C` — every constrained variable of
+/// `q'` is mapped onto (the frozen image of) a constrained variable of `q`.
+pub fn constraints_respected(q: &Query, q_prime: &Query, theta: &Binding) -> bool {
+    q_prime.constraints().iter().all(|c_prime| {
+        let Some(image) = theta.get(c_prime) else {
+            return false;
+        };
+        q.constraints()
+            .iter()
+            .any(|c| image == &freeze_variable(c))
+            || thaw_term(image).is_some_and(|v| q.constraints().contains(&v))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_hom::{pattern_graph, Variable};
+    use swdb_model::graph;
+    use swdb_query::query;
+
+    #[test]
+    fn syntactically_identical_queries_contain_each_other() {
+        let q1 = query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]);
+        let q2 = query([("?A", "ex:p", "?B")], [("?A", "ex:p", "?B")]);
+        assert!(standard_contained_in(&q1, &q2));
+        assert!(standard_contained_in(&q2, &q1));
+        assert!(entailment_contained_in(&q1, &q2));
+    }
+
+    #[test]
+    fn more_restrictive_bodies_are_contained_in_looser_ones() {
+        // q asks for painters of exhibited works; q' asks merely for
+        // painters. Every pre-answer of q is a pre-answer of q'.
+        let q = query(
+            [("?A", "ex:paints", "?Y")],
+            [("?A", "ex:paints", "?Y"), ("?Y", "ex:exhibited", "ex:Uffizi")],
+        );
+        let q_prime = query([("?A", "ex:paints", "?Y")], [("?A", "ex:paints", "?Y")]);
+        assert!(standard_contained_in(&q, &q_prime));
+        assert!(!standard_contained_in(&q_prime, &q));
+        assert!(entailment_contained_in(&q, &q_prime));
+        assert!(!entailment_contained_in(&q_prime, &q));
+    }
+
+    #[test]
+    fn proposition_5_2_standard_implies_entailment_based() {
+        let pairs = [
+            (
+                query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y"), ("?Y", "ex:q", "?Z")]),
+                query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]),
+            ),
+            (
+                query([("ex:a", "ex:r", "?Y")], [("ex:a", "ex:p", "?Y")]),
+                query([("ex:a", "ex:r", "?B")], [("?A", "ex:p", "?B")]),
+            ),
+        ];
+        for (q, q_prime) in pairs {
+            if standard_contained_in(&q, &q_prime) {
+                assert!(entailment_contained_in(&q, &q_prime));
+            }
+        }
+    }
+
+    #[test]
+    fn example_5_3_blank_head_separates_the_two_notions() {
+        // Heads: H = (c, q, ?X) vs H' = (_:Y, q, ?X), same bodies.
+        // q' ⊑m q but q' ⋢p q.
+        let body = pattern_graph([("?X", "ex:p", "ex:c")]);
+        let q = swdb_query::Query::new(pattern_graph([("ex:c", "ex:q", "?X")]), body.clone()).unwrap();
+        let q_prime = swdb_query::Query::new(pattern_graph([("_:Y", "ex:q", "?X")]), body).unwrap();
+        assert!(
+            entailment_contained_in(&q_prime, &q),
+            "the ground head entails the blank head, so q' ⊑m q"
+        );
+        assert!(
+            !standard_contained_in(&q_prime, &q),
+            "but the single answers are not isomorphic, so q' ⋢p q"
+        );
+    }
+
+    #[test]
+    fn union_of_substitutions_separates_the_two_notions() {
+        // A single substitution cannot make the one-triple head of q'
+        // isomorphic to the two-triple head of q, but the union of two
+        // substitutions entails it — the phenomenon behind the third part of
+        // Example 5.3 (no vocabulary, no blanks).
+        let q = swdb_query::Query::new(
+            pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:q", "?X")]),
+            pattern_graph([("?X", "ex:p", "?Y"), ("?Y", "ex:p", "?X")]),
+        )
+        .unwrap();
+        let q_prime = swdb_query::Query::new(
+            pattern_graph([("?U", "ex:q", "?V")]),
+            pattern_graph([("?U", "ex:p", "?V")]),
+        )
+        .unwrap();
+        assert!(entailment_contained_in(&q, &q_prime), "q ⊑m q' via two substitutions");
+        assert!(!standard_contained_in(&q, &q_prime), "but q ⋢p q'");
+    }
+
+    #[test]
+    fn example_5_3_rdfs_bodies_are_m_equivalent_but_not_p_comparable() {
+        // Example 5.3, first part: heads equal bodies; B = {(?X, sc, ?Y),
+        // (?Y, sc, ?Z)}, B' adds the transitive shortcut (?X, sc, ?Z). Under
+        // RDFS semantics q ⊑m q' and q' ⊑m q, but neither ⊑p direction
+        // holds (the heads have different sizes, so no substitution makes
+        // them isomorphic).
+        let b = pattern_graph([
+            ("?X", "rdfs:subClassOf", "?Y"),
+            ("?Y", "rdfs:subClassOf", "?Z"),
+        ]);
+        let b_prime = pattern_graph([
+            ("?X", "rdfs:subClassOf", "?Y"),
+            ("?Y", "rdfs:subClassOf", "?Z"),
+            ("?X", "rdfs:subClassOf", "?Z"),
+        ]);
+        let q = swdb_query::Query::new(b.clone(), b).unwrap();
+        let q_prime = swdb_query::Query::new(b_prime.clone(), b_prime).unwrap();
+        assert!(entailment_contained_in(&q, &q_prime));
+        assert!(entailment_contained_in(&q_prime, &q));
+        assert!(!standard_contained_in(&q, &q_prime));
+        assert!(!standard_contained_in(&q_prime, &q));
+    }
+
+    #[test]
+    fn theorem_5_7_constraints_restrict_containment() {
+        let head = pattern_graph([("?X", "ex:p", "?Y")]);
+        let body = pattern_graph([("?X", "ex:p", "?Y")]);
+        let unconstrained = swdb_query::Query::new(head.clone(), body.clone()).unwrap();
+        let constrained = swdb_query::Query::with_constraints(
+            head.clone(),
+            body.clone(),
+            [Variable::new("X")],
+        )
+        .unwrap();
+        // The constrained query only returns ground-X answers: it is
+        // contained in the unconstrained one, not vice versa.
+        assert!(standard_contained_in(&constrained, &unconstrained));
+        assert!(!standard_contained_in(&unconstrained, &constrained));
+        // Two identically constrained queries contain each other.
+        let constrained2 = swdb_query::Query::with_constraints(head, body, [Variable::new("X")]).unwrap();
+        assert!(standard_contained_in(&constrained, &constrained2));
+    }
+
+    #[test]
+    fn unrelated_queries_are_incomparable() {
+        let q1 = query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]);
+        let q2 = query([("?X", "ex:q", "?Y")], [("?X", "ex:q", "?Y")]);
+        assert!(!standard_contained_in(&q1, &q2));
+        assert!(!standard_contained_in(&q2, &q1));
+        assert!(!entailment_contained_in(&q1, &q2));
+        assert!(!entailment_contained_in(&q2, &q1));
+    }
+
+    #[test]
+    fn constant_specialisation_is_contained_in_variable_generalisation() {
+        // q: painters of Guernica; q': painters of anything.
+        let q = query(
+            [("?A", "ex:paints", "ex:Guernica")],
+            [("?A", "ex:paints", "ex:Guernica")],
+        );
+        let q_prime = query([("?A", "ex:paints", "?W")], [("?A", "ex:paints", "?W")]);
+        assert!(standard_contained_in(&q, &q_prime));
+        assert!(!standard_contained_in(&q_prime, &q));
+    }
+
+    #[test]
+    fn empirical_cross_check_on_sample_databases() {
+        // Sanity: when the decision procedure claims q ⊑p q', the per-database
+        // inclusion of pre-answers holds on sample data; when it claims
+        // non-containment, some sample database separates the queries.
+        let q = query(
+            [("?A", "ex:paints", "?Y")],
+            [("?A", "ex:paints", "?Y"), ("?Y", "ex:exhibited", "ex:Uffizi")],
+        );
+        let q_prime = query([("?A", "ex:paints", "?Y")], [("?A", "ex:paints", "?Y")]);
+        let d = graph([
+            ("ex:Botticelli", "ex:paints", "ex:Primavera"),
+            ("ex:Primavera", "ex:exhibited", "ex:Uffizi"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+        ]);
+        let pre_q = swdb_query::pre_answers(&q, &d);
+        let pre_qp = swdb_query::pre_answers(&q_prime, &d);
+        for ans in &pre_q {
+            assert!(
+                pre_qp.iter().any(|other| isomorphic(other, ans)),
+                "q ⊑p q' must hold on the sample database"
+            );
+        }
+        // And the separating answer for the converse.
+        assert!(pre_qp
+            .iter()
+            .any(|ans| !pre_q.iter().any(|other| isomorphic(other, ans))));
+    }
+}

@@ -1,0 +1,260 @@
+//! Containment of queries with premises (§5.4, Theorems 5.8 and 5.12).
+//!
+//! The study is restricted to *simple* queries — RDFS vocabulary is treated
+//! as uninterpreted wherever it appears — because Proposition 5.9 (premise
+//! elimination) fails once the vocabulary semantics is switched on.
+//!
+//! * **Theorem 5.8**: when only the containing query `q'` has a premise,
+//!   the substitution characterization of Theorem 5.5 applies with the
+//!   target `P' + B` instead of `nf(B)`.
+//! * **Proposition 5.9 + 5.11 + Theorem 5.12**: when the contained query `q`
+//!   also has a premise, expand it into the premise-free union `Ω_q`;
+//!   `q ⊑ q'` iff `q_μ ⊑ q'` for every member. The resulting decision
+//!   procedure is NP-hard and in Π₂ᵖ.
+
+use swdb_model::{isomorphic, Graph};
+use swdb_query::{premise_free_expansion, Query};
+
+use crate::freeze::freeze;
+use crate::no_premise::{candidate_substitutions, constraints_respected, Notion};
+
+/// Decides `q ⊑ q'` by Theorem 5.8, assuming `q` is premise-free (the
+/// premise of `q`, if any, is ignored here). `q'` may carry a premise.
+pub fn contained_in_with_right_premise(q: &Query, q_prime: &Query, notion: Notion) -> bool {
+    // Target: P' + B (the premise of q' merged with the frozen body of q).
+    // For simple queries no normal form is taken (the vocabulary is
+    // uninterpreted in this section).
+    let frozen_body = freeze(q.body());
+    let frozen_head = freeze(q.head());
+    let target = q_prime.premise().merge(&frozen_body);
+
+    let substitutions = candidate_substitutions(q_prime, &target);
+    match notion {
+        Notion::Standard => substitutions.iter().any(|theta| {
+            constraints_respected(q, q_prime, theta)
+                && q_prime
+                    .head()
+                    .instantiate(theta)
+                    .is_some_and(|image| isomorphic(&image, &frozen_head))
+        }),
+        Notion::EntailmentBased => {
+            let mut union = Graph::new();
+            let mut any = false;
+            for theta in &substitutions {
+                if !constraints_respected(q, q_prime, theta) {
+                    continue;
+                }
+                if let Some(image) = q_prime.head().instantiate(theta) {
+                    union = union.union(&image);
+                    any = true;
+                }
+            }
+            if !any {
+                return frozen_head.is_empty();
+            }
+            swdb_entailment::simple_entails(&union, &frozen_head)
+        }
+    }
+}
+
+/// Decides `q ⊑ q'` in full generality (premises allowed on both sides) via
+/// premise elimination: `q ⊑ q'` iff every member of `Ω_q` is contained in
+/// `q'` (Propositions 5.9/5.11, Theorem 5.12).
+pub fn contained_in(q: &Query, q_prime: &Query, notion: Notion) -> bool {
+    if q.is_premise_free() {
+        return dispatch(q, q_prime, notion);
+    }
+    premise_free_expansion(q)
+        .iter()
+        .all(|q_mu| dispatch(q_mu, q_prime, notion))
+}
+
+fn dispatch(q: &Query, q_prime: &Query, notion: Notion) -> bool {
+    if q_prime.is_premise_free() && q_prime.is_simple() && q.is_simple() {
+        // No premise anywhere and simple: Theorem 5.5/5.7 applies — but the
+        // simple case coincides with Theorem 5.8 with an empty premise, so
+        // either route gives the same answer. Use the nf-based route, which
+        // also covers non-simple queries.
+        crate::no_premise::contained_in_no_premise(q, q_prime, notion)
+    } else if q_prime.is_premise_free() {
+        crate::no_premise::contained_in_no_premise(q, q_prime, notion)
+    } else {
+        contained_in_with_right_premise(q, q_prime, notion)
+    }
+}
+
+/// `q ⊑p q'` in full generality.
+pub fn standard_contained_in(q: &Query, q_prime: &Query) -> bool {
+    contained_in(q, q_prime, Notion::Standard)
+}
+
+/// `q ⊑m q'` in full generality.
+pub fn entailment_contained_in(q: &Query, q_prime: &Query) -> bool {
+    contained_in(q, q_prime, Notion::EntailmentBased)
+}
+
+/// Two queries are equivalent under a notion if they contain each other.
+pub fn equivalent(q: &Query, q_prime: &Query, notion: Notion) -> bool {
+    contained_in(q, q_prime, notion) && contained_in(q_prime, q, notion)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_hom::pattern_graph;
+    use swdb_model::{graph, rdfs, Graph};
+    use swdb_query::{query, Query};
+
+    fn relatives_query(premise: Graph) -> Query {
+        Query::with_premise(
+            pattern_graph([("?X", "ex:relative", "ex:Peter")]),
+            pattern_graph([("?X", "ex:relative", "ex:Peter")]),
+            premise,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn theorem_5_8_premise_on_the_containing_side() {
+        // q: bodies must match the data alone; q' may additionally use its
+        // premise facts. Every answer of q is an answer of q', so q ⊑ q'.
+        let q = query(
+            [("?X", "ex:p", "ex:a")],
+            [("?X", "ex:q", "ex:a"), ("ex:a", "ex:t", "ex:s")],
+        );
+        let q_prime = Query::with_premise(
+            pattern_graph([("?X", "ex:p", "ex:a")]),
+            pattern_graph([("?X", "ex:q", "ex:a"), ("ex:a", "ex:t", "ex:s")]),
+            graph([("ex:a", "ex:t", "ex:s")]),
+        )
+        .unwrap();
+        assert!(standard_contained_in(&q, &q_prime));
+        assert!(entailment_contained_in(&q, &q_prime));
+        // The converse fails: q' can answer over databases lacking
+        // (a, t, s) because its premise supplies it, q cannot.
+        assert!(!standard_contained_in(&q_prime, &q));
+    }
+
+    #[test]
+    fn premise_makes_a_query_strictly_larger() {
+        // Same head and body; one query carries a premise that can satisfy
+        // part of the body. The premise-free query is contained in the
+        // premised one, not conversely.
+        let without = query(
+            [("?X", "ex:p", "?Y")],
+            [("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")],
+        );
+        let with = Query::with_premise(
+            pattern_graph([("?X", "ex:p", "?Y")]),
+            pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")]),
+            graph([("ex:a", "ex:t", "ex:s")]),
+        )
+        .unwrap();
+        assert!(standard_contained_in(&without, &with));
+        assert!(entailment_contained_in(&without, &with));
+        assert!(!standard_contained_in(&with, &without));
+        assert!(!entailment_contained_in(&with, &without));
+    }
+
+    #[test]
+    fn identical_premises_give_mutual_containment() {
+        let p = graph([("ex:son", "ex:sub", "ex:relative")]);
+        let q1 = relatives_query(p.clone());
+        let q2 = relatives_query(p);
+        assert!(equivalent(&q1, &q2, Notion::Standard));
+        assert!(equivalent(&q1, &q2, Notion::EntailmentBased));
+    }
+
+    #[test]
+    fn larger_premises_contain_smaller_ones() {
+        // q has premise P1 ⊆ P2 of q': anything q can conclude with P1 in
+        // the (uninterpreted) simple setting, q' can conclude with P2.
+        let q = Query::with_premise(
+            pattern_graph([("?X", "ex:p", "?Y")]),
+            pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")]),
+            graph([("ex:a", "ex:t", "ex:s")]),
+        )
+        .unwrap();
+        let q_prime = Query::with_premise(
+            pattern_graph([("?X", "ex:p", "?Y")]),
+            pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")]),
+            graph([("ex:a", "ex:t", "ex:s"), ("ex:b", "ex:t", "ex:s")]),
+        )
+        .unwrap();
+        assert!(standard_contained_in(&q, &q_prime));
+        assert!(entailment_contained_in(&q, &q_prime));
+        assert!(!standard_contained_in(&q_prime, &q));
+    }
+
+    #[test]
+    fn premises_are_not_interpreted_with_rdfs_semantics_in_this_fragment() {
+        // §5.4 treats rdfs graphs as simple graphs. A premise (son, sp,
+        // relative) therefore does *not* make the son-query contained in the
+        // relative-query: the vocabulary is uninterpreted here.
+        let q_son = query(
+            [("?X", "ex:son", "ex:Peter")],
+            [("?X", "ex:son", "ex:Peter")],
+        );
+        let q_relative = Query::with_premise(
+            pattern_graph([("?X", "ex:relative", "ex:Peter")]),
+            pattern_graph([("?X", "ex:relative", "ex:Peter")]),
+            graph([("ex:son", rdfs::SP, "ex:relative")]),
+        )
+        .unwrap();
+        assert!(!standard_contained_in(&q_son, &q_relative));
+        assert!(!entailment_contained_in(&q_son, &q_relative));
+    }
+
+    #[test]
+    fn expansion_based_containment_agrees_with_direct_answer_comparison() {
+        // Empirical cross-check of Theorem 5.12's procedure on sample
+        // databases.
+        let q = Query::with_premise(
+            pattern_graph([("?X", "ex:p", "?Y")]),
+            pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")]),
+            graph([("ex:a", "ex:t", "ex:s")]),
+        )
+        .unwrap();
+        let q_prime = Query::with_premise(
+            pattern_graph([("?X", "ex:p", "?Y")]),
+            pattern_graph([("?X", "ex:q", "?Y")]),
+            swdb_model::Graph::new(),
+        )
+        .unwrap();
+        // q' has a weaker body, so q ⊑ q'.
+        assert!(standard_contained_in(&q, &q_prime));
+        let databases = [
+            graph([("ex:u", "ex:q", "ex:a")]),
+            graph([("ex:u", "ex:q", "ex:w"), ("ex:w", "ex:t", "ex:s")]),
+            graph([("ex:u", "ex:q", "ex:w")]),
+        ];
+        for d in &databases {
+            let pre_q = swdb_query::pre_answers(&q, d);
+            let pre_qp = swdb_query::pre_answers(&q_prime, d);
+            for ans in &pre_q {
+                assert!(
+                    pre_qp.iter().any(|other| isomorphic(other, ans)),
+                    "claimed containment must hold on {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blank_nodes_in_premises_participate_in_containment() {
+        // The premise of q' contains a blank node; the substitution may send
+        // body variables of q' to it.
+        let q = query(
+            [("ex:marker", "ex:found", "ex:yes")],
+            [("?Y", "ex:t", "ex:s")],
+        );
+        let q_prime = Query::with_premise(
+            pattern_graph([("ex:marker", "ex:found", "ex:yes")]),
+            pattern_graph([("?Z", "ex:t", "ex:s")]),
+            graph([("_:B", "ex:t", "ex:s")]),
+        )
+        .unwrap();
+        assert!(standard_contained_in(&q, &q_prime));
+        assert!(entailment_contained_in(&q, &q_prime));
+    }
+}

@@ -1,0 +1,382 @@
+//! The `SemanticWebDatabase` facade.
+//!
+//! A downstream application interacts with one value of this type: it holds
+//! the data, knows which entailment regime is in force (simple or RDFS),
+//! caches the normal form used for query answering, and exposes the
+//! operations studied in the paper — entailment, equivalence, closure, core,
+//! normal form, query answering under both semantics, and redundancy
+//! elimination.
+
+use swdb_model::{Graph, Triple};
+use swdb_query::{NormalizedDatabase, Query, Semantics};
+use swdb_store::GraphStats;
+
+/// The entailment regime a database operates under.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EntailmentRegime {
+    /// Simple entailment: blank nodes are existential, the RDFS vocabulary
+    /// carries no special semantics (Definition 2.2, Theorem 2.8(2)).
+    Simple,
+    /// Full RDFS entailment over the `{sp, sc, type, dom, range}` fragment
+    /// (the default; Theorem 2.8(1)).
+    #[default]
+    Rdfs,
+}
+
+/// A semantic-web database: an RDF graph with an entailment regime and the
+/// derived structures needed to answer queries.
+#[derive(Clone, Debug, Default)]
+pub struct SemanticWebDatabase {
+    graph: Graph,
+    regime: EntailmentRegime,
+    /// Cached `nf(D)`, used for premise-free query answering; rebuilt lazily
+    /// after mutations.
+    normalized: Option<NormalizedDatabase>,
+}
+
+impl SemanticWebDatabase {
+    /// Creates an empty database under the RDFS regime.
+    pub fn new() -> Self {
+        SemanticWebDatabase::default()
+    }
+
+    /// Creates an empty database under the given regime.
+    pub fn with_regime(regime: EntailmentRegime) -> Self {
+        SemanticWebDatabase {
+            regime,
+            ..SemanticWebDatabase::default()
+        }
+    }
+
+    /// Wraps an existing graph.
+    pub fn from_graph(graph: Graph) -> Self {
+        SemanticWebDatabase {
+            graph,
+            ..SemanticWebDatabase::default()
+        }
+    }
+
+    /// Loads a database from the N-Triples-style syntax of
+    /// [`swdb_store::ntriples`].
+    pub fn from_ntriples(text: &str) -> Result<Self, swdb_store::ParseError> {
+        Ok(SemanticWebDatabase::from_graph(swdb_store::parse(text)?))
+    }
+
+    /// Serializes the stored graph.
+    pub fn to_ntriples(&self) -> String {
+        swdb_store::serialize(&self.graph)
+    }
+
+    /// The entailment regime in force.
+    pub fn regime(&self) -> EntailmentRegime {
+        self.regime
+    }
+
+    /// Switches the entailment regime (invalidates the normalization cache).
+    pub fn set_regime(&mut self, regime: EntailmentRegime) {
+        if self.regime != regime {
+            self.regime = regime;
+            self.normalized = None;
+        }
+    }
+
+    /// The stored graph (the raw assertions, not their closure).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of asserted triples.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Returns `true` if no triple is asserted.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Inserts a triple. Returns `true` if it was new.
+    pub fn insert(&mut self, triple: impl Into<Triple>) -> bool {
+        let added = self.graph.insert(triple.into());
+        if added {
+            self.normalized = None;
+        }
+        added
+    }
+
+    /// Removes a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let removed = self.graph.remove(triple);
+        if removed {
+            self.normalized = None;
+        }
+        removed
+    }
+
+    /// Inserts every triple of a graph.
+    pub fn insert_graph(&mut self, graph: &Graph) {
+        for t in graph.iter() {
+            self.graph.insert(t.clone());
+        }
+        self.normalized = None;
+    }
+
+    /// Descriptive statistics of the stored graph.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::of(&self.graph)
+    }
+
+    // ----- semantics -----
+
+    /// Does the database entail the given graph under the current regime?
+    pub fn entails(&self, conclusion: &Graph) -> bool {
+        match self.regime {
+            EntailmentRegime::Simple => swdb_entailment::simple_entails(&self.graph, conclusion),
+            EntailmentRegime::Rdfs => swdb_entailment::entails(&self.graph, conclusion),
+        }
+    }
+
+    /// Is the database equivalent to the given graph under the current
+    /// regime?
+    pub fn equivalent_to(&self, other: &Graph) -> bool {
+        match self.regime {
+            EntailmentRegime::Simple => swdb_entailment::simple_equivalent(&self.graph, other),
+            EntailmentRegime::Rdfs => swdb_entailment::equivalent(&self.graph, other),
+        }
+    }
+
+    /// The RDFS closure `cl(D)` of the stored graph.
+    pub fn closure(&self) -> Graph {
+        swdb_normal::closure(&self.graph)
+    }
+
+    /// The core of the stored graph.
+    pub fn core(&self) -> Graph {
+        swdb_normal::core(&self.graph)
+    }
+
+    /// The normal form `nf(D)` under the current regime: `core(cl(D))` for
+    /// RDFS, `core(D)` for simple entailment.
+    pub fn normal_form(&self) -> Graph {
+        match self.regime {
+            EntailmentRegime::Simple => swdb_normal::core(&self.graph),
+            EntailmentRegime::Rdfs => swdb_normal::normal_form(&self.graph),
+        }
+    }
+
+    /// Is the stored graph lean?
+    pub fn is_lean(&self) -> bool {
+        swdb_normal::is_lean(&self.graph)
+    }
+
+    /// Replaces the stored graph by its core, removing redundancy while
+    /// preserving equivalence. Returns the number of triples removed.
+    pub fn minimize(&mut self) -> usize {
+        let before = self.graph.len();
+        self.graph = swdb_normal::core(&self.graph);
+        self.normalized = None;
+        before - self.graph.len()
+    }
+
+    // ----- query answering -----
+
+    fn normalized(&mut self) -> &NormalizedDatabase {
+        if self.normalized.is_none() {
+            let normalized = match self.regime {
+                EntailmentRegime::Rdfs => NormalizedDatabase::without_premise(&self.graph),
+                EntailmentRegime::Simple => {
+                    // Under simple entailment, matching against the core of D
+                    // gives equivalence-invariant answers without applying
+                    // the vocabulary rules.
+                    NormalizedDatabase::assume_normalized(swdb_normal::core(&self.graph))
+                }
+            };
+            self.normalized = Some(normalized);
+        }
+        self.normalized.as_ref().expect("just initialised")
+    }
+
+    /// Answers a query under the given semantics. Premise-free queries reuse
+    /// the cached normal form; queries with premises normalize `D + P` on the
+    /// fly (the premise changes the graph being queried).
+    pub fn answer(&mut self, query: &Query, semantics: Semantics) -> Graph {
+        if query.is_premise_free() {
+            let normalized = self.normalized().clone();
+            swdb_query::answer_against(query, &normalized, semantics)
+        } else {
+            swdb_query::answer(query, &self.graph, semantics)
+        }
+    }
+
+    /// Answers a query under union semantics (the paper's default).
+    pub fn answer_union(&mut self, query: &Query) -> Graph {
+        self.answer(query, Semantics::Union)
+    }
+
+    /// Answers a query under merge semantics.
+    pub fn answer_merge(&mut self, query: &Query) -> Graph {
+        self.answer(query, Semantics::Merge)
+    }
+
+    /// The pre-answer (list of single answers) of a query.
+    pub fn pre_answers(&mut self, query: &Query) -> Vec<Graph> {
+        if query.is_premise_free() {
+            let normalized = self.normalized().clone();
+            swdb_query::pre_answers_against(query, &normalized)
+        } else {
+            swdb_query::pre_answers(query, &self.graph)
+        }
+    }
+
+    /// Returns `true` if the query has no answer over this database.
+    pub fn answer_is_empty(&mut self, query: &Query) -> bool {
+        self.pre_answers(query).is_empty()
+    }
+
+    /// Answers a query and removes redundancy from the result (returns the
+    /// core of the answer graph; §6.2).
+    pub fn answer_without_redundancy(&mut self, query: &Query, semantics: Semantics) -> Graph {
+        swdb_query::eliminate_redundancy(&self.answer(query, semantics))
+    }
+
+    // ----- containment -----
+
+    /// Decides `q ⊑ q'` under the requested notion, delegating to
+    /// `swdb-containment`.
+    pub fn query_contained_in(
+        q: &Query,
+        q_prime: &Query,
+        notion: swdb_containment::Notion,
+    ) -> bool {
+        swdb_containment::contained_in(q, q_prime, notion)
+    }
+}
+
+impl From<Graph> for SemanticWebDatabase {
+    fn from(graph: Graph) -> Self {
+        SemanticWebDatabase::from_graph(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::{graph, rdfs, triple};
+    use swdb_query::query;
+
+    fn sample() -> SemanticWebDatabase {
+        SemanticWebDatabase::from_graph(graph([
+            ("ex:paints", rdfs::SP, "ex:creates"),
+            ("ex:creates", rdfs::DOM, "ex:Artist"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+        ]))
+    }
+
+    #[test]
+    fn insert_remove_and_cache_invalidation() {
+        let mut db = sample();
+        assert_eq!(db.len(), 3);
+        let q = query([("?X", "ex:creates", "?Y")], [("?X", "ex:creates", "?Y")]);
+        assert_eq!(db.answer_union(&q).len(), 1);
+        db.insert(triple("ex:Rodin", "ex:paints", "ex:TheThinker"));
+        assert_eq!(db.answer_union(&q).len(), 2, "cache must be refreshed after insert");
+        db.remove(&triple("ex:Rodin", "ex:paints", "ex:TheThinker"));
+        assert_eq!(db.answer_union(&q).len(), 1);
+    }
+
+    #[test]
+    fn regimes_change_entailment_and_answers() {
+        let mut db = sample();
+        let inferred = graph([("ex:Picasso", rdfs::TYPE, "ex:Artist")]);
+        assert!(db.entails(&inferred), "RDFS regime sees domain typing");
+        db.set_regime(EntailmentRegime::Simple);
+        assert!(!db.entails(&inferred), "simple regime does not");
+        let q = query([("?X", rdfs::TYPE, "ex:Artist")], [("?X", rdfs::TYPE, "ex:Artist")]);
+        assert!(db.answer_union(&q).is_empty());
+        db.set_regime(EntailmentRegime::Rdfs);
+        assert!(!db.answer_union(&q).is_empty());
+    }
+
+    #[test]
+    fn ntriples_round_trip() {
+        let db = sample();
+        let text = db.to_ntriples();
+        let restored = SemanticWebDatabase::from_ntriples(&text).unwrap();
+        assert_eq!(restored.graph(), db.graph());
+    }
+
+    #[test]
+    fn minimize_removes_redundant_blanks() {
+        let mut db = SemanticWebDatabase::from_graph(graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:a", "ex:p", "_:X"),
+        ]));
+        assert!(!db.is_lean());
+        let removed = db.minimize();
+        assert_eq!(removed, 1);
+        assert!(db.is_lean());
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn closure_core_and_normal_form_are_consistent() {
+        let db = sample();
+        let cl = db.closure();
+        assert!(db.graph().is_subgraph_of(&cl));
+        assert!(db.equivalent_to(&cl));
+        let nf = db.normal_form();
+        assert!(db.equivalent_to(&nf));
+        assert!(swdb_normal::is_lean(&nf));
+    }
+
+    #[test]
+    fn queries_with_premises_bypass_the_cache() {
+        let mut db = SemanticWebDatabase::from_graph(graph([("ex:John", "ex:son", "ex:Peter")]));
+        let q = swdb_query::Query::with_premise(
+            swdb_hom::pattern_graph([("?X", "ex:relative", "ex:Peter")]),
+            swdb_hom::pattern_graph([("?X", "ex:relative", "ex:Peter")]),
+            graph([("ex:son", rdfs::SP, "ex:relative")]),
+        )
+        .unwrap();
+        let answers = db.answer_union(&q);
+        assert!(answers.contains(&triple("ex:John", "ex:relative", "ex:Peter")));
+    }
+
+    #[test]
+    fn answer_without_redundancy_is_lean() {
+        let mut db = SemanticWebDatabase::from_graph(graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:a", "ex:p", "_:Y"),
+            ("_:X", "ex:q", "ex:b"),
+            ("_:Y", "ex:r", "ex:b"),
+        ]));
+        let q = query([("?Z", "ex:p", "?U")], [("?Z", "ex:p", "?U")]);
+        let raw = db.answer(&q, Semantics::Union);
+        assert!(!swdb_normal::is_lean(&raw));
+        let clean = db.answer_without_redundancy(&q, Semantics::Union);
+        assert!(swdb_normal::is_lean(&clean));
+        assert!(swdb_entailment::equivalent(&raw, &clean));
+    }
+
+    #[test]
+    fn stats_reflect_the_stored_graph() {
+        let db = sample();
+        let stats = db.stats();
+        assert_eq!(stats.triples, 3);
+        assert_eq!(stats.schema_triples, 2);
+    }
+
+    #[test]
+    fn containment_is_reachable_through_the_facade() {
+        let q = query(
+            [("?A", "ex:paints", "?Y")],
+            [("?A", "ex:paints", "?Y"), ("?Y", "ex:exhibited", "ex:Uffizi")],
+        );
+        let q_prime = query([("?A", "ex:paints", "?Y")], [("?A", "ex:paints", "?Y")]);
+        assert!(SemanticWebDatabase::query_contained_in(
+            &q,
+            &q_prime,
+            swdb_containment::Notion::Standard
+        ));
+    }
+}

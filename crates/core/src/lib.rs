@@ -1,0 +1,106 @@
+//! # swdb-core — the public facade of the `swdb` stack
+//!
+//! This crate is what a downstream user depends on. It provides the
+//! [`SemanticWebDatabase`] type — data plus entailment regime plus query
+//! answering — and re-exports the full stack underneath so that every
+//! concept of *Foundations of Semantic Web Databases* (PODS 2004 /
+//! JCSS 2011) is reachable from one place:
+//!
+//! | Paper concept | Where |
+//! |---|---|
+//! | RDF graphs, maps, merge, isomorphism (§2.1) | [`model`] |
+//! | Model theory, deductive system, closure, entailment (§2.3–2.4) | [`entailment`] |
+//! | Lean graphs, cores, minimal representations, normal forms (§3) | [`normal`] |
+//! | Tableau queries, premises, constraints, answers (§4, §6) | [`query`] |
+//! | Query containment (§5) | [`containment`] |
+//! | Homomorphism / pattern matching engine | [`hom`] |
+//! | Triple store, N-Triples syntax, statistics | [`store`] |
+//! | Classical graph substrate for the hardness reductions | [`graphs`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use swdb_core::{SemanticWebDatabase, Semantics};
+//! use swdb_core::model::{graph, rdfs};
+//! use swdb_core::query::query;
+//!
+//! let mut db = SemanticWebDatabase::from_graph(graph([
+//!     ("ex:paints", rdfs::SP, "ex:creates"),
+//!     ("ex:creates", rdfs::DOM, "ex:Artist"),
+//!     ("ex:Picasso", "ex:paints", "ex:Guernica"),
+//! ]));
+//!
+//! // Querying sees the RDFS consequences, not just the asserted triples.
+//! let creators = db.answer_union(&query(
+//!     [("?X", "ex:creates", "?Y")],
+//!     [("?X", "ex:creates", "?Y")],
+//! ));
+//! assert_eq!(creators.len(), 1);
+//!
+//! // Entailment, closure, core and normal form are one call away.
+//! assert!(db.entails(&graph([("ex:Picasso", rdfs::TYPE, "ex:Artist")])));
+//! assert!(db.is_lean());
+//! let _nf = db.normal_form();
+//! # let _ = Semantics::Union;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+
+pub use database::{EntailmentRegime, SemanticWebDatabase};
+pub use swdb_query::Semantics;
+
+/// Re-export of the abstract RDF data model (`swdb-model`).
+pub use swdb_model as model;
+
+/// Re-export of the classical graph substrate (`swdb-graphs`).
+pub use swdb_graphs as graphs;
+
+/// Re-export of the homomorphism / pattern-matching engine (`swdb-hom`).
+pub use swdb_hom as hom;
+
+/// Re-export of the entailment machinery (`swdb-entailment`).
+pub use swdb_entailment as entailment;
+
+/// Re-export of lean/core/closure/normal-form algorithms (`swdb-normal`).
+pub use swdb_normal as normal;
+
+/// Re-export of the storage substrate (`swdb-store`).
+pub use swdb_store as store;
+
+/// Re-export of the tableau query language (`swdb-query`).
+pub use swdb_query as query;
+
+/// Re-export of query containment (`swdb-containment`).
+pub use swdb_containment as containment;
+
+#[cfg(test)]
+mod integration_smoke {
+    use super::*;
+    use swdb_model::{graph, rdfs};
+
+    #[test]
+    fn the_whole_stack_is_reachable_from_the_facade() {
+        let g = graph([
+            ("ex:A", rdfs::SC, "ex:B"),
+            ("_:x", rdfs::TYPE, "ex:A"),
+        ]);
+        // model
+        assert_eq!(g.len(), 2);
+        // entailment
+        assert!(entailment::entails(&g, &graph([("_:x", rdfs::TYPE, "ex:B")])));
+        // normal
+        assert!(normal::is_lean(&g));
+        // store
+        let text = store::serialize(&g);
+        assert_eq!(store::parse(&text).unwrap(), g);
+        // hom
+        assert!(hom::exists_map(&graph([("_:y", rdfs::TYPE, "ex:A")]), &g));
+        // query + facade
+        let mut db = SemanticWebDatabase::from_graph(g);
+        let q = query::query([("?X", rdfs::TYPE, "ex:B")], [("?X", rdfs::TYPE, "ex:B")]);
+        assert_eq!(db.answer_union(&q).len(), 1);
+    }
+}

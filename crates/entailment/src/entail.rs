@@ -1,0 +1,217 @@
+//! Entailment and equivalence of RDF graphs.
+//!
+//! The decision procedures follow the characterization of Theorem 2.8:
+//!
+//! 1. `G1 ⊨ G2` iff there is a map `μ : G2 → RDFS-cl(G1)`;
+//! 2. for *simple* graphs (no RDFS vocabulary), `G1 ⊨ G2` iff there is a map
+//!    `μ : G2 → G1`.
+//!
+//! Both problems are NP-complete in general (Theorems 2.9 and 2.10); the
+//! polynomial special cases of §2.4 (fixed `G2`, or `G2` without
+//! blank-induced cycles) are inherited from the `swdb-hom` engine, which
+//! routes acyclic sources through a semijoin evaluation.
+
+use swdb_model::Graph;
+
+use crate::closure::rdfs_closure;
+
+/// Decides simple entailment `G1 ⊨ G2` for simple graphs: existence of a map
+/// `G2 → G1` (Theorem 2.8(2)).
+///
+/// The function does not insist that its arguments are simple; when they are
+/// not, it still decides the "map into the graph itself" relation, which is a
+/// sound but incomplete approximation of RDFS entailment (the closure is not
+/// taken). Use [`entails`] for full RDFS entailment.
+pub fn simple_entails(g1: &Graph, g2: &Graph) -> bool {
+    swdb_hom::exists_map(g2, g1)
+}
+
+/// Decides RDFS entailment `G1 ⊨ G2` via Theorem 2.8(1): a map from `G2`
+/// into the closure of `G1`.
+pub fn entails(g1: &Graph, g2: &Graph) -> bool {
+    if simple_entails(g1, g2) {
+        // Shortcut: a map into G1 itself is a fortiori a map into cl(G1).
+        return true;
+    }
+    if g1.is_simple() && g2.is_simple() {
+        // For simple graphs the closure adds only reflexive rdfsV triples
+        // ((p, sp, p) for the vocabulary and predicates in use), none of
+        // which can be the target of a simple G2 triple, so the shortcut
+        // above is already complete... except that G2 might itself mention
+        // nothing at all (empty graph), which the shortcut handles too.
+        return false;
+    }
+    let closure = rdfs_closure(g1);
+    swdb_hom::exists_map(g2, &closure)
+}
+
+/// Decides RDFS entailment and returns the witnessing map into the closure,
+/// if any.
+pub fn entailment_witness(g1: &Graph, g2: &Graph) -> Option<swdb_model::TermMap> {
+    let closure = rdfs_closure(g1);
+    swdb_hom::find_map(g2, &closure)
+}
+
+/// Decides equivalence `G1 ≡ G2` (mutual entailment).
+pub fn equivalent(g1: &Graph, g2: &Graph) -> bool {
+    entails(g1, g2) && entails(g2, g1)
+}
+
+/// Decides equivalence of *simple* graphs by mutual maps (the specialisation
+/// of Theorem 2.8 used in Theorem 2.9(2)).
+pub fn simple_equivalent(g1: &Graph, g2: &Graph) -> bool {
+    simple_entails(g1, g2) && simple_entails(g2, g1)
+}
+
+/// The "entailment with vocabulary" pipeline made explicit, for callers that
+/// want to reuse the closure (e.g. when testing entailment of many candidate
+/// graphs against the same premises): build once with [`EntailmentChecker::new`],
+/// then query repeatedly.
+pub struct EntailmentChecker {
+    closure: Graph,
+    index: swdb_hom::GraphIndex,
+}
+
+impl EntailmentChecker {
+    /// Computes and indexes the closure of the premise graph.
+    pub fn new(premises: &Graph) -> Self {
+        let closure = rdfs_closure(premises);
+        let index = swdb_hom::GraphIndex::new(&closure);
+        EntailmentChecker { closure, index }
+    }
+
+    /// The materialised closure.
+    pub fn closure(&self) -> &Graph {
+        &self.closure
+    }
+
+    /// Decides whether the premises entail `conclusion`.
+    pub fn entails(&self, conclusion: &Graph) -> bool {
+        swdb_hom::exists_map_indexed(conclusion, &self.index)
+    }
+
+    /// Returns a witnessing map for the entailment, if it holds.
+    pub fn witness(&self, conclusion: &Graph) -> Option<swdb_model::TermMap> {
+        swdb_hom::find_map_indexed(conclusion, &self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::{graph, rdfs};
+
+    #[test]
+    fn ground_subset_is_entailed() {
+        let g1 = graph([("ex:a", "ex:p", "ex:b"), ("ex:c", "ex:q", "ex:d")]);
+        let g2 = graph([("ex:a", "ex:p", "ex:b")]);
+        assert!(simple_entails(&g1, &g2));
+        assert!(entails(&g1, &g2));
+        assert!(!simple_entails(&g2, &g1));
+    }
+
+    #[test]
+    fn blanks_are_existential_witnesses() {
+        // (a, p, b) entails (a, p, _:X): "a is p-related to something".
+        let g1 = graph([("ex:a", "ex:p", "ex:b")]);
+        let g2 = graph([("ex:a", "ex:p", "_:X")]);
+        assert!(simple_entails(&g1, &g2));
+        assert!(!simple_entails(&g2, &g1), "the existential does not entail the ground fact");
+    }
+
+    #[test]
+    fn simple_entailment_is_not_symmetric_with_shared_blanks() {
+        // G1: X connects both triples; G2: two independent blanks.
+        let g1 = graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:b")]);
+        let g2 = graph([("ex:a", "ex:p", "_:Y"), ("_:Z", "ex:q", "ex:b")]);
+        assert!(simple_entails(&g1, &g2));
+        assert!(!simple_entails(&g2, &g1));
+    }
+
+    #[test]
+    fn rdfs_entailment_uses_the_closure() {
+        let g1 = graph([
+            ("ex:Painter", rdfs::SC, "ex:Artist"),
+            ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+        ]);
+        let g2 = graph([("ex:Picasso", rdfs::TYPE, "ex:Artist")]);
+        assert!(!simple_entails(&g1, &g2), "not entailed without the vocabulary semantics");
+        assert!(entails(&g1, &g2), "entailed under RDFS semantics");
+        let witness = entailment_witness(&g1, &g2).unwrap();
+        assert!(witness.is_identity(), "ground conclusion maps identically");
+    }
+
+    #[test]
+    fn subproperty_entailment_through_blank_conclusion() {
+        let g1 = graph([
+            ("ex:paints", rdfs::SP, "ex:creates"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+        ]);
+        let g2 = graph([("ex:Picasso", "ex:creates", "_:W")]);
+        assert!(entails(&g1, &g2));
+        assert!(!entails(&g2, &g1));
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_detects_blank_renaming() {
+        let g1 = graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:b")]);
+        let g2 = graph([("ex:a", "ex:p", "_:Y"), ("_:Y", "ex:q", "ex:b")]);
+        assert!(equivalent(&g1, &g1));
+        assert!(equivalent(&g1, &g2));
+        assert!(simple_equivalent(&g1, &g2));
+    }
+
+    #[test]
+    fn example_3_8_redundant_graph_is_equivalent_to_its_lean_part() {
+        // G1 = {(a, p, X), (a, p, Y)} ≡ {(a, p, X)}.
+        let g1 = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]);
+        let lean = graph([("ex:a", "ex:p", "_:X")]);
+        assert!(equivalent(&g1, &lean));
+    }
+
+    #[test]
+    fn entailment_checker_reuses_the_closure() {
+        let schema = graph([
+            ("ex:Painter", rdfs::SC, "ex:Artist"),
+            ("ex:Artist", rdfs::SC, "ex:Person"),
+            ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+            ("ex:Rembrandt", rdfs::TYPE, "ex:Painter"),
+        ]);
+        let checker = EntailmentChecker::new(&schema);
+        assert!(checker.entails(&graph([("ex:Picasso", rdfs::TYPE, "ex:Person")])));
+        assert!(checker.entails(&graph([("ex:Rembrandt", rdfs::TYPE, "ex:Artist")])));
+        assert!(!checker.entails(&graph([("ex:Person", rdfs::SC, "ex:Painter")])));
+        assert!(checker.closure().contains(&swdb_model::triple(
+            "ex:Painter",
+            rdfs::SC,
+            "ex:Person"
+        )));
+    }
+
+    #[test]
+    fn empty_graph_is_entailed_by_everything_and_entails_only_axioms() {
+        let g = graph([("ex:a", "ex:p", "ex:b")]);
+        let empty = Graph::new();
+        assert!(entails(&g, &empty));
+        assert!(!entails(&empty, &g));
+        // The empty graph still entails the axiomatic reflexivity triples.
+        let axiom = graph([(rdfs::SP, rdfs::SP, rdfs::SP)]);
+        assert!(entails(&empty, &axiom));
+    }
+
+    #[test]
+    fn type_lifting_respects_direction() {
+        let g1 = graph([
+            ("ex:Dog", rdfs::SC, "ex:Animal"),
+            ("ex:rex", rdfs::TYPE, "ex:Dog"),
+        ]);
+        assert!(entails(&g1, &graph([("ex:rex", rdfs::TYPE, "ex:Animal")])));
+        assert!(!entails(&g1, &graph([("ex:rex", rdfs::TYPE, "ex:Cat")])));
+        // Downward lifting is unsound and must not be entailed.
+        let g2 = graph([
+            ("ex:Dog", rdfs::SC, "ex:Animal"),
+            ("ex:rex", rdfs::TYPE, "ex:Animal"),
+        ]);
+        assert!(!entails(&g2, &graph([("ex:rex", rdfs::TYPE, "ex:Dog")])));
+    }
+}

@@ -1,0 +1,436 @@
+//! RDF model theory (§2.3.1).
+//!
+//! An RDF interpretation is a tuple `I = (Res, Prop, Class, PExt, CExt, Int)`
+//! and `I ⊨ G` holds when a blank-node assignment `A : B → Res` makes every
+//! triple true and the RDFS vocabulary conditions (properties & classes,
+//! subproperty, subclass, typing) are satisfied.
+//!
+//! This module provides finite interpretations as explicit data, a model
+//! checker `I ⊨ G`, and the Herbrand-style construction of a canonical model
+//! from the RDFS closure of a graph. The canonical model is what makes the
+//! deductive system's soundness tangible in tests: everything derivable from
+//! `G` is true in every model of `G`, in particular in the canonical one.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use swdb_model::{rdfs, Graph, Iri, Term};
+
+use crate::closure::rdfs_closure;
+
+/// A resource of an interpretation's domain. Resources are abstract; we name
+/// them with strings for readability.
+pub type Resource = String;
+
+/// A finite RDF interpretation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Interpretation {
+    /// `Res`: the non-empty domain.
+    pub resources: BTreeSet<Resource>,
+    /// `Prop`: the property names (not necessarily disjoint from `Res`).
+    pub properties: BTreeSet<Resource>,
+    /// `Class ⊆ Res`: the resources denoting classes.
+    pub classes: BTreeSet<Resource>,
+    /// `PExt : Prop → 2^{Res×Res}`.
+    pub pext: BTreeMap<Resource, BTreeSet<(Resource, Resource)>>,
+    /// `CExt : Class → 2^{Res}`.
+    pub cext: BTreeMap<Resource, BTreeSet<Resource>>,
+    /// `Int : U → Res ∪ Prop`.
+    pub int: BTreeMap<Iri, Resource>,
+}
+
+impl Interpretation {
+    /// Interprets a URI; URIs not covered by `Int` are mapped to a resource
+    /// named after themselves (and implicitly added to the domain when the
+    /// interpretation is constructed through [`Interpretation::canonical`]).
+    pub fn interpret(&self, iri: &Iri) -> Resource {
+        self.int
+            .get(iri)
+            .cloned()
+            .unwrap_or_else(|| iri.as_str().to_owned())
+    }
+
+    /// The property extension of a resource (empty if it is not a property).
+    fn property_extension(&self, r: &Resource) -> BTreeSet<(Resource, Resource)> {
+        self.pext.get(r).cloned().unwrap_or_default()
+    }
+
+    /// The class extension of a resource (empty if it is not a class).
+    fn class_extension(&self, r: &Resource) -> BTreeSet<Resource> {
+        self.cext.get(r).cloned().unwrap_or_default()
+    }
+
+    /// Checks the *simple interpretation* condition for a graph: existence of
+    /// an assignment `A : B → Res` such that every triple's predicate is a
+    /// property and the pair of interpreted subject/object lies in its
+    /// extension.
+    pub fn satisfies_simple(&self, g: &Graph) -> bool {
+        let blanks: Vec<_> = g.blank_nodes().into_iter().collect();
+        let resources: Vec<Resource> = self.resources.iter().cloned().collect();
+        if resources.is_empty() && !blanks.is_empty() {
+            return false;
+        }
+        let mut assignment: BTreeMap<String, Resource> = BTreeMap::new();
+        self.assign_blanks(g, &blanks, 0, &resources, &mut assignment)
+    }
+
+    fn assign_blanks(
+        &self,
+        g: &Graph,
+        blanks: &[swdb_model::BlankNode],
+        index: usize,
+        resources: &[Resource],
+        assignment: &mut BTreeMap<String, Resource>,
+    ) -> bool {
+        if index == blanks.len() {
+            return g.iter().all(|t| {
+                let p = self.interpret(t.predicate());
+                if !self.properties.contains(&p) {
+                    return false;
+                }
+                let s = self.denote(t.subject(), assignment);
+                let o = self.denote(t.object(), assignment);
+                self.property_extension(&p).contains(&(s, o))
+            });
+        }
+        for r in resources {
+            assignment.insert(blanks[index].as_str().to_owned(), r.clone());
+            if self.assign_blanks(g, blanks, index + 1, resources, assignment) {
+                return true;
+            }
+            assignment.remove(blanks[index].as_str());
+        }
+        false
+    }
+
+    fn denote(&self, term: &Term, assignment: &BTreeMap<String, Resource>) -> Resource {
+        match term {
+            Term::Iri(iri) => self.interpret(iri),
+            Term::Blank(b) => assignment
+                .get(b.as_str())
+                .cloned()
+                .unwrap_or_else(|| format!("_:{}", b.as_str())),
+        }
+    }
+
+    /// Checks the RDFS vocabulary conditions of §2.3.1 (independent of any
+    /// particular graph).
+    pub fn rdfs_conditions_hold(&self) -> bool {
+        let sp = self.interpret(&rdfs::sp());
+        let sc = self.interpret(&rdfs::sc());
+        let type_ = self.interpret(&rdfs::type_());
+        let dom = self.interpret(&rdfs::dom());
+        let range = self.interpret(&rdfs::range());
+
+        // Properties and classes: the vocabulary is interpreted as
+        // properties; dom/range pairs relate properties to classes.
+        for v in [&sp, &sc, &type_, &dom, &range] {
+            if !self.properties.contains(v) {
+                return false;
+            }
+        }
+        for (x, y) in self
+            .property_extension(&dom)
+            .union(&self.property_extension(&range))
+        {
+            if !self.properties.contains(x) || !self.classes.contains(y) {
+                return false;
+            }
+        }
+
+        // Subproperty: transitive and reflexive over Prop; monotone
+        // extensions.
+        let sp_ext = self.property_extension(&sp);
+        if !is_transitive(&sp_ext) {
+            return false;
+        }
+        for p in &self.properties {
+            if !sp_ext.contains(&(p.clone(), p.clone())) {
+                return false;
+            }
+        }
+        for (x, y) in &sp_ext {
+            if !self.properties.contains(x) || !self.properties.contains(y) {
+                return false;
+            }
+            if !self
+                .property_extension(x)
+                .is_subset(&self.property_extension(y))
+            {
+                return false;
+            }
+        }
+
+        // Subclass: transitive and reflexive over Class; monotone extensions.
+        let sc_ext = self.property_extension(&sc);
+        if !is_transitive(&sc_ext) {
+            return false;
+        }
+        for c in &self.classes {
+            if !sc_ext.contains(&(c.clone(), c.clone())) {
+                return false;
+            }
+        }
+        for (x, y) in &sc_ext {
+            if !self.classes.contains(x) || !self.classes.contains(y) {
+                return false;
+            }
+            if !self.class_extension(x).is_subset(&self.class_extension(y)) {
+                return false;
+            }
+        }
+
+        // Typing.
+        let type_ext = self.property_extension(&type_);
+        for (x, y) in &type_ext {
+            if !self.classes.contains(y) || !self.class_extension(y).contains(x) {
+                return false;
+            }
+        }
+        for y in &self.classes {
+            for x in self.class_extension(y) {
+                if !type_ext.contains(&(x.clone(), y.clone())) {
+                    return false;
+                }
+            }
+        }
+        for (x, y) in &self.property_extension(&dom) {
+            for (u, _v) in &self.property_extension(x) {
+                if !self.class_extension(y).contains(u) {
+                    return false;
+                }
+            }
+        }
+        for (x, y) in &self.property_extension(&range) {
+            for (_u, v) in &self.property_extension(x) {
+                if !self.class_extension(y).contains(v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Full model check: `I ⊨ G`.
+    pub fn is_model_of(&self, g: &Graph) -> bool {
+        self.rdfs_conditions_hold() && self.satisfies_simple(g)
+    }
+
+    /// Builds the canonical (Herbrand-style) model of a graph from its RDFS
+    /// closure: the domain is the universe of the closure, `Int` is the
+    /// identity on URIs, and the extensions are read off the closure's
+    /// triples. The reflexivity/transitivity rules of the deductive system
+    /// ensure the RDFS conditions hold.
+    pub fn canonical(g: &Graph) -> Interpretation {
+        let closure = rdfs_closure(g);
+        let name = |t: &Term| -> Resource {
+            match t {
+                Term::Iri(iri) => iri.as_str().to_owned(),
+                Term::Blank(b) => format!("_:{}", b.as_str()),
+            }
+        };
+        let mut interp = Interpretation::default();
+        let sp = rdfs::sp();
+        let sc = rdfs::sc();
+        let type_ = rdfs::type_();
+        for t in closure.iter() {
+            let s = name(t.subject());
+            let p = t.predicate().as_str().to_owned();
+            let o = name(t.object());
+            interp.resources.insert(s.clone());
+            interp.resources.insert(o.clone());
+            interp.resources.insert(p.clone());
+            interp.properties.insert(p.clone());
+            interp.pext.entry(p.clone()).or_default().insert((s.clone(), o.clone()));
+            if t.predicate() == &sp {
+                interp.properties.insert(s.clone());
+                interp.properties.insert(o.clone());
+            }
+            if t.predicate() == &sc {
+                interp.classes.insert(s.clone());
+                interp.classes.insert(o.clone());
+            }
+            if t.predicate() == &type_ {
+                interp.classes.insert(o.clone());
+                interp.cext.entry(o.clone()).or_default().insert(s.clone());
+            }
+        }
+        // Objects of dom/range declarations denote classes.
+        let dom = rdfs::dom();
+        let range = rdfs::range();
+        for t in closure.iter() {
+            if t.predicate() == &dom || t.predicate() == &range {
+                interp.classes.insert(name(t.object()));
+            }
+        }
+        // Monotonicity repair for blank nodes standing for properties or
+        // classes (the situation of Note 2.4): the closure's rule (3)
+        // guarantees PExt(C) ⊆ PExt(D) whenever (C, sp, D) holds and D is a
+        // URI, but a blank D never occurs in predicate position, so its
+        // extension must be completed by hand. Likewise for CExt along sc,
+        // keeping the typing "iff" condition intact by mirroring the pairs
+        // into PExt(type). The closure's sp/sc relations are already
+        // transitively closed, so a single pass suffices.
+        let sp_edges: Vec<(Resource, Resource)> = closure
+            .triples_with_predicate(&sp)
+            .map(|t| (name(t.subject()), name(t.object())))
+            .collect();
+        let original_pext = interp.pext.clone();
+        for (c, d) in &sp_edges {
+            if let Some(pairs) = original_pext.get(c) {
+                interp
+                    .pext
+                    .entry(d.clone())
+                    .or_default()
+                    .extend(pairs.iter().cloned());
+            }
+        }
+        let sc_edges: Vec<(Resource, Resource)> = closure
+            .triples_with_predicate(&sc)
+            .map(|t| (name(t.subject()), name(t.object())))
+            .collect();
+        let original_cext = interp.cext.clone();
+        let type_name = type_.as_str().to_owned();
+        for (c, d) in &sc_edges {
+            if let Some(members) = original_cext.get(c) {
+                interp
+                    .cext
+                    .entry(d.clone())
+                    .or_default()
+                    .extend(members.iter().cloned());
+                interp
+                    .pext
+                    .entry(type_name.clone())
+                    .or_default()
+                    .extend(members.iter().map(|m| (m.clone(), d.clone())));
+            }
+        }
+        // Interpretation mapping: identity on every URI in sight (including
+        // the vocabulary, even if unused).
+        for iri in closure.vocabulary() {
+            interp.int.insert(iri.clone(), iri.as_str().to_owned());
+            interp.resources.insert(iri.as_str().to_owned());
+        }
+        for v in rdfs::vocabulary() {
+            interp.int.insert(v.clone(), v.as_str().to_owned());
+            interp.resources.insert(v.as_str().to_owned());
+            interp.properties.insert(v.as_str().to_owned());
+        }
+        if interp.resources.is_empty() {
+            // Res must be non-empty.
+            interp.resources.insert("∗".to_owned());
+        }
+        interp
+    }
+}
+
+fn is_transitive(pairs: &BTreeSet<(Resource, Resource)>) -> bool {
+    for (a, b) in pairs {
+        for (c, d) in pairs {
+            if b == c && !pairs.contains(&(a.clone(), d.clone())) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::graph;
+
+    fn art_schema() -> Graph {
+        graph([
+            ("ex:paints", rdfs::SP, "ex:creates"),
+            ("ex:creates", rdfs::DOM, "ex:Artist"),
+            ("ex:creates", rdfs::RANGE, "ex:Artifact"),
+            ("ex:Painter", rdfs::SC, "ex:Artist"),
+            ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+        ])
+    }
+
+    #[test]
+    fn canonical_model_is_a_model_of_its_graph() {
+        let g = art_schema();
+        let model = Interpretation::canonical(&g);
+        assert!(model.rdfs_conditions_hold(), "canonical model must satisfy the RDFS conditions");
+        assert!(model.is_model_of(&g));
+    }
+
+    #[test]
+    fn canonical_model_satisfies_entailed_graphs_soundness() {
+        // Soundness (half of Theorem 2.6): everything derivable is true in
+        // the canonical model.
+        let g = art_schema();
+        let model = Interpretation::canonical(&g);
+        let consequences = [
+            graph([("ex:Picasso", "ex:creates", "ex:Guernica")]),
+            graph([("ex:Picasso", rdfs::TYPE, "ex:Artist")]),
+            graph([("ex:Guernica", rdfs::TYPE, "ex:Artifact")]),
+            graph([("ex:Picasso", "ex:creates", "_:Something")]),
+        ];
+        for h in consequences {
+            assert!(crate::entail::entails(&g, &h), "precondition: G ⊨ {h}");
+            assert!(model.is_model_of(&h), "canonical model must satisfy {h}");
+        }
+    }
+
+    #[test]
+    fn canonical_model_refutes_non_entailed_graphs() {
+        let g = art_schema();
+        let model = Interpretation::canonical(&g);
+        let non_consequences = [
+            graph([("ex:Guernica", "ex:paints", "ex:Picasso")]),
+            graph([("ex:Artist", rdfs::SC, "ex:Painter")]),
+        ];
+        for h in non_consequences {
+            assert!(!crate::entail::entails(&g, &h));
+            assert!(
+                !model.is_model_of(&h),
+                "the canonical model is a counter-model for {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn blank_nodes_are_existentially_satisfied() {
+        let g = graph([("ex:a", "ex:p", "ex:b")]);
+        let model = Interpretation::canonical(&g);
+        assert!(model.is_model_of(&graph([("ex:a", "ex:p", "_:X")])));
+        assert!(!model.is_model_of(&graph([("_:X", "ex:q", "_:Y")])));
+    }
+
+    #[test]
+    fn hand_built_interpretation_can_violate_conditions() {
+        // A deliberately broken interpretation: sp not reflexive over Prop.
+        let mut i = Interpretation::default();
+        i.resources.insert("r".to_owned());
+        i.properties.insert("p".to_owned());
+        for v in rdfs::vocabulary() {
+            i.properties.insert(v.as_str().to_owned());
+            i.resources.insert(v.as_str().to_owned());
+            i.int.insert(v.clone(), v.as_str().to_owned());
+        }
+        assert!(
+            !i.rdfs_conditions_hold(),
+            "sp is not reflexive over Prop, conditions must fail"
+        );
+    }
+
+    #[test]
+    fn double_role_of_vocabulary_is_supported() {
+        // Note 2.3: (a, type, type) is a legal triple; the canonical model
+        // must cope with vocabulary appearing as data.
+        let g = graph([("ex:a", rdfs::TYPE, rdfs::TYPE)]);
+        let model = Interpretation::canonical(&g);
+        assert!(model.is_model_of(&g));
+    }
+
+    #[test]
+    fn empty_graph_has_a_model() {
+        let model = Interpretation::canonical(&Graph::new());
+        assert!(model.rdfs_conditions_hold());
+        assert!(model.is_model_of(&Graph::new()));
+    }
+}

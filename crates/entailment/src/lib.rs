@@ -1,0 +1,141 @@
+//! # swdb-entailment — RDF semantics, deduction, closure and entailment
+//!
+//! Implements §2.3–§2.4 of *Foundations of Semantic Web Databases*:
+//!
+//! * [`interpretation`] — the model theory: interpretations, model checking
+//!   `I ⊨ G`, and a canonical (Herbrand-style) model built from the closure;
+//! * [`rules`] — the thirteen deduction rules (groups A–F) with checkable
+//!   rule applications;
+//! * [`proof`] — proofs in the sense of Definition 2.5, constructible and
+//!   independently verifiable (the polynomial witnesses of Theorem 2.10);
+//! * [`closure`] — the RDFS closure `RDFS-cl(G)` of Definition 2.7, its
+//!   membership test and its size statistics (Theorem 3.6);
+//! * [`entail`] — entailment `G1 ⊨ G2` and equivalence `G1 ≡ G2` decided via
+//!   the map characterization of Theorem 2.8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closure;
+pub mod entail;
+pub mod interpretation;
+pub mod proof;
+pub mod rules;
+
+pub use closure::{applicable_rules, closure_contains, naive_closure, rdfs_closure, ClosureStats};
+pub use entail::{
+    entailment_witness, entails, equivalent, simple_entails, simple_equivalent, EntailmentChecker,
+};
+pub use interpretation::Interpretation;
+pub use proof::{prove, Proof, ProofStep};
+pub use rules::{applications, one_step, verify_application, RuleApplication, RuleId};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+    use swdb_model::{rdfs, Graph, Term, Triple};
+
+    use crate::closure::rdfs_closure;
+    use crate::entail::{entails, equivalent, simple_entails};
+
+    /// Random graphs mixing plain data with RDFS schema triples.
+    fn arb_rdfs_graph(max_triples: usize) -> impl Strategy<Value = Graph> {
+        let node = prop_oneof![
+            (0u8..5).prop_map(|i| Term::iri(format!("ex:n{i}"))),
+            (0u8..3).prop_map(|i| Term::blank(format!("B{i}"))),
+        ];
+        let class = (0u8..4).prop_map(|i| Term::iri(format!("ex:C{i}")));
+        let prop = (0u8..3).prop_map(|i| Term::iri(format!("ex:p{i}")));
+        let triple = prop_oneof![
+            // plain data
+            (node.clone(), (0u8..3), node.clone()).prop_map(|(s, p, o)| Triple::new(
+                s,
+                swdb_model::Iri::new(format!("ex:p{p}")),
+                o
+            )),
+            // schema: subclass / subproperty / typing / domain / range
+            (class.clone(), class.clone())
+                .prop_map(|(a, b)| Triple::new(a, swdb_model::Iri::new(rdfs::SC), b)),
+            (prop.clone(), prop.clone())
+                .prop_map(|(a, b)| Triple::new(a, swdb_model::Iri::new(rdfs::SP), b)),
+            (node.clone(), class.clone())
+                .prop_map(|(x, c)| Triple::new(x, swdb_model::Iri::new(rdfs::TYPE), c)),
+            (prop.clone(), class.clone())
+                .prop_map(|(p, c)| Triple::new(p, swdb_model::Iri::new(rdfs::DOM), c)),
+            (prop, class).prop_map(|(p, c)| Triple::new(p, swdb_model::Iri::new(rdfs::RANGE), c)),
+        ];
+        proptest::collection::vec(triple, 0..=max_triples).prop_map(Graph::from_triples)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn closure_is_monotone_and_contains_input(g in arb_rdfs_graph(8)) {
+            let cl = rdfs_closure(&g);
+            prop_assert!(g.is_subgraph_of(&cl));
+        }
+
+        #[test]
+        fn closure_is_idempotent(g in arb_rdfs_graph(8)) {
+            let cl = rdfs_closure(&g);
+            prop_assert_eq!(rdfs_closure(&cl), cl);
+        }
+
+        #[test]
+        fn graph_is_equivalent_to_its_closure(g in arb_rdfs_graph(6)) {
+            let cl = rdfs_closure(&g);
+            prop_assert!(equivalent(&g, &cl));
+        }
+
+        #[test]
+        fn entailment_is_reflexive(g in arb_rdfs_graph(8)) {
+            prop_assert!(entails(&g, &g));
+        }
+
+        #[test]
+        fn entailment_contains_subgraphs(g in arb_rdfs_graph(8)) {
+            let half: Graph = g.iter().take(g.len() / 2).cloned().collect();
+            prop_assert!(entails(&g, &half));
+        }
+
+        #[test]
+        fn simple_entailment_implies_rdfs_entailment(g1 in arb_rdfs_graph(6), g2 in arb_rdfs_graph(4)) {
+            if simple_entails(&g1, &g2) {
+                prop_assert!(entails(&g1, &g2));
+            }
+        }
+
+        #[test]
+        fn optimised_and_naive_closures_agree(g in arb_rdfs_graph(6)) {
+            prop_assert_eq!(rdfs_closure(&g), crate::closure::naive_closure(&g));
+        }
+
+        #[test]
+        fn closure_membership_test_is_sound_and_complete(g in arb_rdfs_graph(5)) {
+            let cl = rdfs_closure(&g);
+            for t in cl.iter() {
+                prop_assert!(crate::closure::closure_contains(&g, t));
+            }
+            // A triple with a predicate never mentioned cannot be in the
+            // closure.
+            let absent = Triple::new(Term::iri("ex:n0"), swdb_model::Iri::new("ex:never"), Term::iri("ex:n0"));
+            prop_assert!(!crate::closure::closure_contains(&g, &absent));
+        }
+
+        #[test]
+        fn canonical_model_models_the_graph(g in arb_rdfs_graph(5)) {
+            let model = crate::interpretation::Interpretation::canonical(&g);
+            prop_assert!(model.is_model_of(&g));
+        }
+
+        #[test]
+        fn proofs_exist_exactly_for_entailed_graphs(g in arb_rdfs_graph(5)) {
+            // Take an entailed graph: a subgraph with a blank introduced.
+            let half: Graph = g.iter().take(g.len() / 2).cloned().collect();
+            let proof = crate::proof::prove(&g, &half);
+            prop_assert!(proof.is_some());
+            prop_assert!(proof.unwrap().verify(&g, &half));
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Proofs in the deductive system (Definition 2.5).
+//!
+//! `G ⊢ H` holds iff there is a sequence of graphs `P1, …, Pk` with
+//! `P1 = G`, `Pk = H`, and each `P_j` obtained from `P_{j-1}` either by an
+//! existential step (rule (1): there is a map `μ : P_j → P_{j-1}`) or by
+//! adding the conclusions of an instantiation of one of rules (2)–(13).
+//!
+//! Proofs are first-class values here: they can be constructed by
+//! [`prove`], independently re-checked by [`Proof::verify`], and inspected
+//! for explanation. This realises the polynomial-size witness used in the
+//! NP-membership argument of Theorem 2.10.
+
+use std::fmt;
+
+use swdb_model::{Graph, TermMap};
+
+use crate::closure::rdfs_closure;
+use crate::rules::{applications, verify_application, RuleApplication};
+
+/// One step of a proof.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProofStep {
+    /// Rule (1): `P_j` is any graph with a map `μ : P_j → P_{j-1}`.
+    /// The step records the resulting graph and the witnessing map.
+    Existential {
+        /// The graph `P_j` produced by this step.
+        result: Graph,
+        /// The witnessing map `μ : P_j → P_{j-1}`.
+        map: TermMap,
+    },
+    /// Rules (2)–(13): `P_j = P_{j-1} ∪ R'` for an instantiation `R / R'`.
+    Deductive(RuleApplication),
+}
+
+/// A proof of `H` from `G` (Definition 2.5).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Proof {
+    steps: Vec<ProofStep>,
+}
+
+impl Proof {
+    /// Creates an empty proof (valid exactly when `H = G`).
+    pub fn new() -> Self {
+        Proof::default()
+    }
+
+    /// The proof steps in order.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if the proof has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: ProofStep) {
+        self.steps.push(step);
+    }
+
+    /// Replays the proof from `G` and checks that it is legal and ends in
+    /// (a graph equal to) `H`.
+    pub fn verify(&self, g: &Graph, h: &Graph) -> bool {
+        let mut current = g.clone();
+        for step in &self.steps {
+            match step {
+                ProofStep::Deductive(app) => {
+                    if !verify_application(app, &current) {
+                        return false;
+                    }
+                    current.extend(app.conclusions.iter().cloned());
+                }
+                ProofStep::Existential { result, map } => {
+                    if !map.is_map_between(result, &current) {
+                        return false;
+                    }
+                    current = result.clone();
+                }
+            }
+        }
+        &current == h
+    }
+
+    /// Total number of triples added by deductive steps (a rough cost
+    /// measure; bounded by `|G|³` per the witness argument of Theorem 2.10).
+    pub fn derived_triples(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                ProofStep::Deductive(app) => app.conclusions.len(),
+                ProofStep::Existential { .. } => 0,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Proof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Proof with {} step(s):", self.steps.len())?;
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                ProofStep::Deductive(app) => {
+                    writeln!(
+                        f,
+                        "  {}. apply {} to {} premise(s), deriving {} triple(s)",
+                        i + 1,
+                        app.rule,
+                        app.premises.len(),
+                        app.conclusions.len()
+                    )?;
+                }
+                ProofStep::Existential { result, map } => {
+                    writeln!(
+                        f,
+                        "  {}. existential step (rule 1): map {} blank(s) onto the derived graph, yielding {} triple(s)",
+                        i + 1,
+                        map.len(),
+                        result.len()
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Attempts to construct a proof of `H` from `G`. Returns `None` when
+/// `G ⊬ H` (equivalently `G ⊭ H`, by soundness and completeness,
+/// Theorem 2.6).
+///
+/// The construction follows the witness of Theorem 2.10: saturate `G` with
+/// rule applications (recording each application) until the closure
+/// `RDFS-cl(G)` is reached, then perform a single existential step with a map
+/// `μ : H → RDFS-cl(G)`.
+pub fn prove(g: &Graph, h: &Graph) -> Option<Proof> {
+    let mut proof = Proof::new();
+    let mut current = g.clone();
+    // Saturate with recorded rule applications. Loop until no rule adds a
+    // new triple; each pass records the applications actually used.
+    loop {
+        let mut progressed = false;
+        for rule in crate::rules::RuleId::ALL {
+            let apps = applications(rule, &current);
+            for app in apps {
+                let fresh: Vec<_> = app
+                    .conclusions
+                    .iter()
+                    .filter(|t| !current.contains(t))
+                    .cloned()
+                    .collect();
+                if fresh.is_empty() {
+                    continue;
+                }
+                current.extend(fresh.iter().cloned());
+                proof.push(ProofStep::Deductive(RuleApplication {
+                    rule: app.rule,
+                    premises: app.premises.clone(),
+                    conclusions: fresh,
+                }));
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    debug_assert_eq!(current, rdfs_closure(g), "saturation must reach the closure");
+    // Final existential step: H must map into the closure.
+    if &current == h {
+        return Some(proof);
+    }
+    let map = swdb_hom::find_map(h, &current)?;
+    proof.push(ProofStep::Existential {
+        result: h.clone(),
+        map,
+    });
+    Some(proof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::{graph, rdfs};
+
+    #[test]
+    fn empty_proof_verifies_only_reflexivity() {
+        let g = graph([("ex:a", "ex:p", "ex:b")]);
+        let proof = Proof::new();
+        assert!(proof.verify(&g, &g));
+        let h = graph([("ex:a", "ex:p", "ex:c")]);
+        assert!(!proof.verify(&g, &h));
+    }
+
+    #[test]
+    fn prove_derives_subclass_consequences() {
+        let g = graph([
+            ("ex:Painter", rdfs::SC, "ex:Artist"),
+            ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+        ]);
+        let h = graph([("ex:Picasso", rdfs::TYPE, "ex:Artist")]);
+        let proof = prove(&g, &h).expect("G ⊢ H");
+        assert!(proof.verify(&g, &h), "constructed proof must verify");
+        assert!(!proof.is_empty());
+    }
+
+    #[test]
+    fn prove_uses_existential_step_for_blanks() {
+        let g = graph([("ex:Picasso", "ex:paints", "ex:Guernica")]);
+        let h = graph([("ex:Picasso", "ex:paints", "_:Something")]);
+        let proof = prove(&g, &h).expect("existentially weaker graph is provable");
+        assert!(proof.verify(&g, &h));
+        assert!(proof
+            .steps()
+            .iter()
+            .any(|s| matches!(s, ProofStep::Existential { .. })));
+    }
+
+    #[test]
+    fn unprovable_goals_return_none() {
+        let g = graph([("ex:a", "ex:p", "ex:b")]);
+        let h = graph([("ex:a", "ex:q", "ex:b")]);
+        assert!(prove(&g, &h).is_none());
+    }
+
+    #[test]
+    fn tampered_proofs_fail_verification() {
+        let g = graph([
+            ("ex:Painter", rdfs::SC, "ex:Artist"),
+            ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+        ]);
+        let h = graph([("ex:Picasso", rdfs::TYPE, "ex:Artist")]);
+        let mut proof = prove(&g, &h).unwrap();
+        // Tamper: claim an unrelated conclusion for the first deductive step.
+        if let Some(ProofStep::Deductive(app)) = proof.steps.first_mut() {
+            app.conclusions = vec![swdb_model::triple("ex:Picasso", rdfs::TYPE, "ex:God")];
+        }
+        assert!(!proof.verify(&g, &h));
+    }
+
+    #[test]
+    fn proof_display_is_human_readable() {
+        let g = graph([
+            ("ex:Painter", rdfs::SC, "ex:Artist"),
+            ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+        ]);
+        let h = graph([("ex:Picasso", rdfs::TYPE, "ex:Artist")]);
+        let proof = prove(&g, &h).unwrap();
+        let text = proof.to_string();
+        assert!(text.contains("Proof with"));
+        assert!(text.contains("rule"));
+    }
+
+    #[test]
+    fn derived_triple_count_is_consistent() {
+        let g = graph([
+            ("ex:A", rdfs::SC, "ex:B"),
+            ("ex:B", rdfs::SC, "ex:C"),
+            ("ex:x", rdfs::TYPE, "ex:A"),
+        ]);
+        let closure = rdfs_closure(&g);
+        let proof = prove(&g, &closure).unwrap();
+        assert_eq!(proof.derived_triples(), closure.len() - g.len());
+    }
+}

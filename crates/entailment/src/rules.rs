@@ -1,0 +1,538 @@
+//! The deductive system of §2.3.2.
+//!
+//! The system has six groups of rules. Group A (rule 1) is the existential
+//! rule — from `G` deduce any graph `G'` that maps into `G` — and is the only
+//! rule that manipulates blank nodes. Groups B–F (rules 2–13) manipulate the
+//! RDFS vocabulary:
+//!
+//! * **Group B (Subproperty)** — rules (2) transitivity and (3) inheritance;
+//! * **Group C (Subclass)** — rule (4) transitivity;
+//! * **Group D (Typing)** — rules (5) type lifting along `sc`, (6) domain and
+//!   (7) range typing (the Marin completion, see Note 2.4);
+//! * **Group E (Subproperty reflexivity)** — rules (8)–(11);
+//! * **Group F (Subclass reflexivity)** — rules (12)–(13).
+//!
+//! Each rule is implemented as a function producing, from a graph, the set of
+//! triples it can add in one step; an *instantiation* of a rule is only
+//! accepted when the produced triples are well-formed (no blank nodes in
+//! predicate position), mirroring the paper's definition of instantiation.
+
+use std::fmt;
+
+use swdb_model::{rdfs, Graph, Iri, Term, Triple};
+
+/// Identifiers of the deduction rules (2)–(13); rule (1), the existential
+/// map rule, is represented separately by proof steps since it is not used
+/// when computing closures (Definition 2.7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Rule (2): `(A,sp,B), (B,sp,C) ⟹ (A,sp,C)`.
+    SubPropertyTransitivity,
+    /// Rule (3): `(A,sp,B), (X,A,Y) ⟹ (X,B,Y)`.
+    SubPropertyInheritance,
+    /// Rule (4): `(A,sc,B), (B,sc,C) ⟹ (A,sc,C)`.
+    SubClassTransitivity,
+    /// Rule (5): `(A,sc,B), (X,type,A) ⟹ (X,type,B)`.
+    TypeLifting,
+    /// Rule (6): `(A,dom,B), (C,sp,A), (X,C,Y) ⟹ (X,type,B)`.
+    DomainTyping,
+    /// Rule (7): `(A,range,B), (C,sp,A), (X,C,Y) ⟹ (Y,type,B)`.
+    RangeTyping,
+    /// Rule (8): `(X,A,Y) ⟹ (A,sp,A)`.
+    PredicateReflexivity,
+    /// Rule (9): `(p,sp,p)` for `p ∈ rdfsV` (axiomatic, no premises).
+    VocabularyReflexivity,
+    /// Rule (10): `(A,p,X) ⟹ (A,sp,A)` for `p ∈ {dom, range}`.
+    DomainRangeSubjectReflexivity,
+    /// Rule (11): `(A,sp,B) ⟹ (A,sp,A), (B,sp,B)`.
+    SubPropertyReflexivity,
+    /// Rule (12): `(X,p,A) ⟹ (A,sc,A)` for `p ∈ {dom, range, type}`.
+    ClassReflexivity,
+    /// Rule (13): `(A,sc,B) ⟹ (A,sc,A), (B,sc,B)`.
+    SubClassReflexivity,
+}
+
+impl RuleId {
+    /// All rules in paper order (2)–(13).
+    pub const ALL: [RuleId; 12] = [
+        RuleId::SubPropertyTransitivity,
+        RuleId::SubPropertyInheritance,
+        RuleId::SubClassTransitivity,
+        RuleId::TypeLifting,
+        RuleId::DomainTyping,
+        RuleId::RangeTyping,
+        RuleId::PredicateReflexivity,
+        RuleId::VocabularyReflexivity,
+        RuleId::DomainRangeSubjectReflexivity,
+        RuleId::SubPropertyReflexivity,
+        RuleId::ClassReflexivity,
+        RuleId::SubClassReflexivity,
+    ];
+
+    /// The rule number used by the paper (2–13).
+    pub fn paper_number(self) -> u8 {
+        match self {
+            RuleId::SubPropertyTransitivity => 2,
+            RuleId::SubPropertyInheritance => 3,
+            RuleId::SubClassTransitivity => 4,
+            RuleId::TypeLifting => 5,
+            RuleId::DomainTyping => 6,
+            RuleId::RangeTyping => 7,
+            RuleId::PredicateReflexivity => 8,
+            RuleId::VocabularyReflexivity => 9,
+            RuleId::DomainRangeSubjectReflexivity => 10,
+            RuleId::SubPropertyReflexivity => 11,
+            RuleId::ClassReflexivity => 12,
+            RuleId::SubClassReflexivity => 13,
+        }
+    }
+
+    /// The rule group (B–F) used by the paper.
+    pub fn group(self) -> char {
+        match self {
+            RuleId::SubPropertyTransitivity | RuleId::SubPropertyInheritance => 'B',
+            RuleId::SubClassTransitivity => 'C',
+            RuleId::TypeLifting | RuleId::DomainTyping | RuleId::RangeTyping => 'D',
+            RuleId::PredicateReflexivity
+            | RuleId::VocabularyReflexivity
+            | RuleId::DomainRangeSubjectReflexivity
+            | RuleId::SubPropertyReflexivity => 'E',
+            RuleId::ClassReflexivity | RuleId::SubClassReflexivity => 'F',
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule ({}) [group {}]", self.paper_number(), self.group())
+    }
+}
+
+/// One concrete application of a rule: the premises drawn from the graph and
+/// the conclusions added. Used to build checkable [`crate::proof::Proof`]s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleApplication {
+    /// Which rule was applied.
+    pub rule: RuleId,
+    /// The premise triples (a subset of the graph the rule was applied to;
+    /// empty for the axiomatic rule (9)).
+    pub premises: Vec<Triple>,
+    /// The conclusion triples added by the application.
+    pub conclusions: Vec<Triple>,
+}
+
+fn iri_term(i: &Iri) -> Term {
+    Term::Iri(i.clone())
+}
+
+/// Applies one rule to the graph, returning every application whose
+/// conclusions are not already in the graph.
+pub fn applications(rule: RuleId, g: &Graph) -> Vec<RuleApplication> {
+    let sp = rdfs::sp();
+    let sc = rdfs::sc();
+    let type_ = rdfs::type_();
+    let dom = rdfs::dom();
+    let range = rdfs::range();
+    let mut out = Vec::new();
+    let mut push = |rule: RuleId, premises: Vec<Triple>, conclusions: Vec<Triple>| {
+        let fresh: Vec<Triple> = conclusions
+            .into_iter()
+            .filter(|t| !g.contains(t))
+            .collect();
+        if !fresh.is_empty() {
+            out.push(RuleApplication {
+                rule,
+                premises,
+                conclusions: fresh,
+            });
+        }
+    };
+
+    match rule {
+        RuleId::SubPropertyTransitivity => {
+            let sp_triples: Vec<&Triple> = g.triples_with_predicate(&sp).collect();
+            for t1 in &sp_triples {
+                for t2 in &sp_triples {
+                    if t1.object() == t2.subject() {
+                        push(
+                            rule,
+                            vec![(*t1).clone(), (*t2).clone()],
+                            vec![Triple::new(t1.subject().clone(), sp.clone(), t2.object().clone())],
+                        );
+                    }
+                }
+            }
+        }
+        RuleId::SubPropertyInheritance => {
+            let sp_triples: Vec<&Triple> = g.triples_with_predicate(&sp).collect();
+            for spt in &sp_triples {
+                // A must be usable as a predicate: it must be a URI.
+                let (Term::Iri(a), b) = (spt.subject(), spt.object()) else {
+                    continue;
+                };
+                // The conclusion predicate B must also be a URI to form a
+                // well-formed triple (the paper's instantiation condition).
+                let Term::Iri(b) = b else { continue };
+                for t in g.triples_with_predicate(a) {
+                    push(
+                        rule,
+                        vec![(*spt).clone(), t.clone()],
+                        vec![Triple::new(t.subject().clone(), b.clone(), t.object().clone())],
+                    );
+                }
+            }
+        }
+        RuleId::SubClassTransitivity => {
+            let sc_triples: Vec<&Triple> = g.triples_with_predicate(&sc).collect();
+            for t1 in &sc_triples {
+                for t2 in &sc_triples {
+                    if t1.object() == t2.subject() {
+                        push(
+                            rule,
+                            vec![(*t1).clone(), (*t2).clone()],
+                            vec![Triple::new(t1.subject().clone(), sc.clone(), t2.object().clone())],
+                        );
+                    }
+                }
+            }
+        }
+        RuleId::TypeLifting => {
+            let sc_triples: Vec<&Triple> = g.triples_with_predicate(&sc).collect();
+            let type_triples: Vec<&Triple> = g.triples_with_predicate(&type_).collect();
+            for sct in &sc_triples {
+                for tt in &type_triples {
+                    if tt.object() == sct.subject() {
+                        push(
+                            rule,
+                            vec![(*sct).clone(), (*tt).clone()],
+                            vec![Triple::new(tt.subject().clone(), type_.clone(), sct.object().clone())],
+                        );
+                    }
+                }
+            }
+        }
+        RuleId::DomainTyping | RuleId::RangeTyping => {
+            let property = if rule == RuleId::DomainTyping { &dom } else { &range };
+            let decls: Vec<&Triple> = g.triples_with_predicate(property).collect();
+            let sp_triples: Vec<&Triple> = g.triples_with_predicate(&sp).collect();
+            for decl in &decls {
+                let a = decl.subject();
+                let b = decl.object();
+                for spt in &sp_triples {
+                    if spt.object() != a {
+                        continue;
+                    }
+                    let Term::Iri(c) = spt.subject() else { continue };
+                    for t in g.triples_with_predicate(c) {
+                        let typed = if rule == RuleId::DomainTyping {
+                            t.subject().clone()
+                        } else {
+                            t.object().clone()
+                        };
+                        push(
+                            rule,
+                            vec![(*decl).clone(), (*spt).clone(), t.clone()],
+                            vec![Triple::new(typed, type_.clone(), b.clone())],
+                        );
+                    }
+                }
+            }
+        }
+        RuleId::PredicateReflexivity => {
+            for t in g.iter() {
+                let a = iri_term(t.predicate());
+                push(
+                    rule,
+                    vec![t.clone()],
+                    vec![Triple::new(a.clone(), sp.clone(), a)],
+                );
+            }
+        }
+        RuleId::VocabularyReflexivity => {
+            for p in rdfs::vocabulary() {
+                push(
+                    rule,
+                    vec![],
+                    vec![Triple::new(iri_term(&p), sp.clone(), iri_term(&p))],
+                );
+            }
+        }
+        RuleId::DomainRangeSubjectReflexivity => {
+            for p in [&dom, &range] {
+                for t in g.triples_with_predicate(p) {
+                    let a = t.subject().clone();
+                    push(
+                        rule,
+                        vec![t.clone()],
+                        vec![Triple::new(a.clone(), sp.clone(), a)],
+                    );
+                }
+            }
+        }
+        RuleId::SubPropertyReflexivity => {
+            for t in g.triples_with_predicate(&sp) {
+                let a = t.subject().clone();
+                let b = t.object().clone();
+                push(
+                    rule,
+                    vec![t.clone()],
+                    vec![
+                        Triple::new(a.clone(), sp.clone(), a),
+                        Triple::new(b.clone(), sp.clone(), b),
+                    ],
+                );
+            }
+        }
+        RuleId::ClassReflexivity => {
+            for p in [&dom, &range, &type_] {
+                for t in g.triples_with_predicate(p) {
+                    let a = t.object().clone();
+                    push(
+                        rule,
+                        vec![t.clone()],
+                        vec![Triple::new(a.clone(), sc.clone(), a)],
+                    );
+                }
+            }
+        }
+        RuleId::SubClassReflexivity => {
+            for t in g.triples_with_predicate(&sc) {
+                let a = t.subject().clone();
+                let b = t.object().clone();
+                push(
+                    rule,
+                    vec![t.clone()],
+                    vec![
+                        Triple::new(a.clone(), sc.clone(), a),
+                        Triple::new(b.clone(), sc.clone(), b),
+                    ],
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Applies every rule once, returning the set of new triples (the one-step
+/// immediate-consequence operator of the rule system).
+pub fn one_step(g: &Graph) -> Graph {
+    let mut out = Graph::new();
+    for rule in RuleId::ALL {
+        for app in applications(rule, g) {
+            out.extend(app.conclusions.iter().cloned());
+        }
+    }
+    out
+}
+
+/// Checks that a claimed rule application is legitimate with respect to a
+/// graph: the premises are in the graph, the rule really derives the
+/// conclusions from those premises, and the conclusions are well formed.
+pub fn verify_application(app: &RuleApplication, g: &Graph) -> bool {
+    if !app.premises.iter().all(|t| g.contains(t)) {
+        return false;
+    }
+    let premise_graph: Graph = app.premises.iter().cloned().collect();
+    let derivable = applications(app.rule, &premise_graph);
+    app.conclusions.iter().all(|c| {
+        derivable
+            .iter()
+            .any(|d| d.conclusions.contains(c))
+            // Conclusions already present in the premises are also fine
+            // (vacuous applications).
+            || premise_graph.contains(c)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::{graph, triple};
+
+    #[test]
+    fn rule_numbers_and_groups_match_the_paper() {
+        assert_eq!(RuleId::SubPropertyTransitivity.paper_number(), 2);
+        assert_eq!(RuleId::SubClassReflexivity.paper_number(), 13);
+        assert_eq!(RuleId::SubPropertyInheritance.group(), 'B');
+        assert_eq!(RuleId::DomainTyping.group(), 'D');
+        assert_eq!(RuleId::VocabularyReflexivity.group(), 'E');
+        assert_eq!(RuleId::ALL.len(), 12);
+    }
+
+    #[test]
+    fn rule_2_subproperty_transitivity() {
+        let g = graph([
+            ("ex:son", rdfs::SP, "ex:child"),
+            ("ex:child", rdfs::SP, "ex:descendant"),
+        ]);
+        let apps = applications(RuleId::SubPropertyTransitivity, &g);
+        assert!(apps
+            .iter()
+            .any(|a| a.conclusions.contains(&triple("ex:son", rdfs::SP, "ex:descendant"))));
+    }
+
+    #[test]
+    fn rule_3_subproperty_inheritance() {
+        let g = graph([
+            ("ex:paints", rdfs::SP, "ex:creates"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+        ]);
+        let apps = applications(RuleId::SubPropertyInheritance, &g);
+        assert!(apps
+            .iter()
+            .any(|a| a.conclusions.contains(&triple("ex:Picasso", "ex:creates", "ex:Guernica"))));
+    }
+
+    #[test]
+    fn rule_3_rejects_blank_super_properties() {
+        // (a, sp, X) with X blank: the conclusion (s, X, o) would have a
+        // blank in predicate position and must not be produced.
+        let g = graph([
+            ("ex:paints", rdfs::SP, "_:X"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+        ]);
+        let apps = applications(RuleId::SubPropertyInheritance, &g);
+        assert!(apps.is_empty());
+    }
+
+    #[test]
+    fn rule_4_and_5_subclass_and_typing() {
+        let g = graph([
+            ("ex:Painter", rdfs::SC, "ex:Artist"),
+            ("ex:Artist", rdfs::SC, "ex:Person"),
+            ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+        ]);
+        let trans = applications(RuleId::SubClassTransitivity, &g);
+        assert!(trans
+            .iter()
+            .any(|a| a.conclusions.contains(&triple("ex:Painter", rdfs::SC, "ex:Person"))));
+        let lift = applications(RuleId::TypeLifting, &g);
+        assert!(lift
+            .iter()
+            .any(|a| a.conclusions.contains(&triple("ex:Picasso", rdfs::TYPE, "ex:Artist"))));
+    }
+
+    #[test]
+    fn rules_6_and_7_domain_and_range_typing() {
+        // With (paints, sp, paints) present (reflexivity), domain/range
+        // typing applies directly to paints triples.
+        let g = graph([
+            ("ex:paints", rdfs::DOM, "ex:Painter"),
+            ("ex:paints", rdfs::RANGE, "ex:Painting"),
+            ("ex:paints", rdfs::SP, "ex:paints"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+        ]);
+        let dom_apps = applications(RuleId::DomainTyping, &g);
+        assert!(dom_apps
+            .iter()
+            .any(|a| a.conclusions.contains(&triple("ex:Picasso", rdfs::TYPE, "ex:Painter"))));
+        let range_apps = applications(RuleId::RangeTyping, &g);
+        assert!(range_apps
+            .iter()
+            .any(|a| a.conclusions.contains(&triple("ex:Guernica", rdfs::TYPE, "ex:Painting"))));
+    }
+
+    #[test]
+    fn rule_8_predicate_reflexivity() {
+        let g = graph([("ex:a", "ex:p", "ex:b")]);
+        let apps = applications(RuleId::PredicateReflexivity, &g);
+        assert!(apps
+            .iter()
+            .any(|a| a.conclusions.contains(&triple("ex:p", rdfs::SP, "ex:p"))));
+    }
+
+    #[test]
+    fn rule_9_is_axiomatic() {
+        let empty = Graph::new();
+        let apps = applications(RuleId::VocabularyReflexivity, &empty);
+        let conclusions: Vec<&Triple> = apps.iter().flat_map(|a| a.conclusions.iter()).collect();
+        assert_eq!(conclusions.len(), 5);
+        assert!(apps.iter().all(|a| a.premises.is_empty()));
+        assert!(conclusions.contains(&&triple(rdfs::TYPE, rdfs::SP, rdfs::TYPE)));
+    }
+
+    #[test]
+    fn rules_10_to_13_reflexivity() {
+        let g = graph([
+            ("ex:paints", rdfs::DOM, "ex:Painter"),
+            ("ex:son", rdfs::SP, "ex:child"),
+            ("ex:x", rdfs::TYPE, "ex:C"),
+            ("ex:C", rdfs::SC, "ex:D"),
+        ]);
+        let r10 = applications(RuleId::DomainRangeSubjectReflexivity, &g);
+        assert!(r10
+            .iter()
+            .any(|a| a.conclusions.contains(&triple("ex:paints", rdfs::SP, "ex:paints"))));
+        let r11 = applications(RuleId::SubPropertyReflexivity, &g);
+        assert!(r11.iter().any(|a| {
+            a.conclusions.contains(&triple("ex:son", rdfs::SP, "ex:son"))
+                && a.conclusions.contains(&triple("ex:child", rdfs::SP, "ex:child"))
+        }));
+        let r12 = applications(RuleId::ClassReflexivity, &g);
+        assert!(r12
+            .iter()
+            .any(|a| a.conclusions.contains(&triple("ex:C", rdfs::SC, "ex:C"))));
+        assert!(r12
+            .iter()
+            .any(|a| a.conclusions.contains(&triple("ex:Painter", rdfs::SC, "ex:Painter"))));
+        let r13 = applications(RuleId::SubClassReflexivity, &g);
+        assert!(r13
+            .iter()
+            .any(|a| a.conclusions.contains(&triple("ex:D", rdfs::SC, "ex:D"))));
+    }
+
+    #[test]
+    fn applications_skip_already_present_conclusions() {
+        let g = graph([
+            ("ex:son", rdfs::SP, "ex:child"),
+            ("ex:child", rdfs::SP, "ex:descendant"),
+            ("ex:son", rdfs::SP, "ex:descendant"),
+        ]);
+        let apps = applications(RuleId::SubPropertyTransitivity, &g);
+        // The only candidate conclusion is already present, so no
+        // applications are reported for it...
+        assert!(apps
+            .iter()
+            .all(|a| !a.conclusions.contains(&triple("ex:son", rdfs::SP, "ex:descendant"))
+                || a.conclusions.len() > 1));
+    }
+
+    #[test]
+    fn verify_application_checks_premises_and_derivability() {
+        let g = graph([
+            ("ex:paints", rdfs::SP, "ex:creates"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+        ]);
+        let good = RuleApplication {
+            rule: RuleId::SubPropertyInheritance,
+            premises: vec![
+                triple("ex:paints", rdfs::SP, "ex:creates"),
+                triple("ex:Picasso", "ex:paints", "ex:Guernica"),
+            ],
+            conclusions: vec![triple("ex:Picasso", "ex:creates", "ex:Guernica")],
+        };
+        assert!(verify_application(&good, &g));
+        let bad_premise = RuleApplication {
+            premises: vec![triple("ex:zzz", rdfs::SP, "ex:creates")],
+            ..good.clone()
+        };
+        assert!(!verify_application(&bad_premise, &g));
+        let bad_conclusion = RuleApplication {
+            conclusions: vec![triple("ex:Picasso", "ex:destroys", "ex:Guernica")],
+            ..good
+        };
+        assert!(!verify_application(&bad_conclusion, &g));
+    }
+
+    #[test]
+    fn one_step_collects_conclusions_across_rules() {
+        let g = graph([
+            ("ex:Painter", rdfs::SC, "ex:Artist"),
+            ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+        ]);
+        let step = one_step(&g);
+        assert!(step.contains(&triple("ex:Picasso", rdfs::TYPE, "ex:Artist")));
+        assert!(step.contains(&triple("ex:Painter", rdfs::SC, "ex:Painter")));
+        assert!(step.contains(&triple(rdfs::SP, rdfs::SP, rdfs::SP)));
+    }
+}

@@ -1,0 +1,268 @@
+//! A small directed-graph type over `usize` vertex identifiers.
+//!
+//! This is the "standard graph" `H = (V, E)` with `E ⊆ V × V` that §2.4 of
+//! the paper encodes into RDF via `enc(H)`. The type is deliberately simple:
+//! vertices are added implicitly by the edges that mention them, plus an
+//! explicit vertex set for isolated nodes.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A finite directed graph with `usize` vertices.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct DiGraph {
+    vertices: BTreeSet<usize>,
+    /// Forward adjacency: `succ[u]` is the set of `v` with `(u, v) ∈ E`.
+    succ: BTreeMap<usize, BTreeSet<usize>>,
+    /// Backward adjacency.
+    pred: BTreeMap<usize, BTreeSet<usize>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph::default()
+    }
+
+    /// Creates a graph from an edge list.
+    pub fn from_edges(edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = DiGraph::new();
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds a vertex (no-op if already present).
+    pub fn add_vertex(&mut self, v: usize) {
+        self.vertices.insert(v);
+    }
+
+    /// Adds an edge, inserting the endpoints if necessary. Returns `true` if
+    /// the edge was new.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        self.vertices.insert(u);
+        self.vertices.insert(v);
+        let added = self.succ.entry(u).or_default().insert(v);
+        if added {
+            self.pred.entry(v).or_default().insert(u);
+            self.edge_count += 1;
+        }
+        added
+    }
+
+    /// Removes an edge. Returns `true` if it was present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        let removed = self.succ.get_mut(&u).is_some_and(|s| s.remove(&v));
+        if removed {
+            if let Some(p) = self.pred.get_mut(&v) {
+                p.remove(&u);
+            }
+            self.edge_count -= 1;
+        }
+        removed
+    }
+
+    /// Returns `true` if the edge `(u, v)` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.succ.get(&u).is_some_and(|s| s.contains(&v))
+    }
+
+    /// The vertex set.
+    pub fn vertices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.vertices.iter().copied()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates over all edges in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.succ
+            .iter()
+            .flat_map(|(&u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// The edges as a `Vec`, handy for passing to `swdb_model::encode_edges`.
+    pub fn edge_list(&self) -> Vec<(usize, usize)> {
+        self.edges().collect()
+    }
+
+    /// Out-neighbours of a vertex.
+    pub fn successors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.succ.get(&u).into_iter().flatten().copied()
+    }
+
+    /// In-neighbours of a vertex.
+    pub fn predecessors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.pred.get(&v).into_iter().flatten().copied()
+    }
+
+    /// Out-degree of a vertex.
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.succ.get(&u).map_or(0, BTreeSet::len)
+    }
+
+    /// In-degree of a vertex.
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.pred.get(&v).map_or(0, BTreeSet::len)
+    }
+
+    /// Returns the subgraph induced by the given vertex set.
+    pub fn induced_subgraph(&self, keep: &BTreeSet<usize>) -> DiGraph {
+        let mut g = DiGraph::new();
+        for &v in keep {
+            if self.vertices.contains(&v) {
+                g.add_vertex(v);
+            }
+        }
+        for (u, v) in self.edges() {
+            if keep.contains(&u) && keep.contains(&v) {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Returns `true` if `self` is a subgraph of `other` (vertices and edges).
+    pub fn is_subgraph_of(&self, other: &DiGraph) -> bool {
+        self.vertices.is_subset(&other.vertices)
+            && self.edges().all(|(u, v)| other.has_edge(u, v))
+    }
+
+    // ----- standard constructions used by the reductions -----
+
+    /// The directed path `0 → 1 → … → n-1`.
+    pub fn path(n: usize) -> DiGraph {
+        let mut g = DiGraph::new();
+        if n > 0 {
+            g.add_vertex(0);
+        }
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    /// The directed cycle on `n ≥ 1` vertices.
+    pub fn cycle(n: usize) -> DiGraph {
+        let mut g = DiGraph::new();
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    /// The complete symmetric digraph `K_n` without self-loops: both `(u, v)`
+    /// and `(v, u)` for every pair of distinct vertices. This is the digraph
+    /// rendering of the undirected clique used by the paper's reductions
+    /// (colourability = homomorphism into `K_k`).
+    pub fn complete(n: usize) -> DiGraph {
+        let mut g = DiGraph::new();
+        for u in 0..n {
+            g.add_vertex(u);
+            for v in 0..n {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Interprets an undirected edge list by inserting both orientations.
+    pub fn from_undirected_edges(edges: impl IntoIterator<Item = (usize, usize)>) -> DiGraph {
+        let mut g = DiGraph::new();
+        for (u, v) in edges {
+            g.add_edge(u, v);
+            g.add_edge(v, u);
+        }
+        g
+    }
+}
+
+impl fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DiGraph(|V|={}, |E|={}, edges={:?})",
+            self.vertex_count(),
+            self.edge_count(),
+            self.edge_list()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = DiGraph::new();
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 1), "duplicate edge must not be re-added");
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.vertex_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.vertex_count(), 2, "vertices survive edge removal");
+    }
+
+    #[test]
+    fn degrees_and_neighbours() {
+        let g = DiGraph::from_edges([(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(2), 2);
+        assert_eq!(g.successors(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(g.predecessors(2).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn path_cycle_and_complete_have_expected_sizes() {
+        assert_eq!(DiGraph::path(5).edge_count(), 4);
+        assert_eq!(DiGraph::path(5).vertex_count(), 5);
+        assert_eq!(DiGraph::cycle(5).edge_count(), 5);
+        let k4 = DiGraph::complete(4);
+        assert_eq!(k4.vertex_count(), 4);
+        assert_eq!(k4.edge_count(), 12);
+        assert!(!k4.has_edge(2, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_only_internal_edges() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2), (2, 3)]);
+        let keep: BTreeSet<usize> = [1, 2].into_iter().collect();
+        let sub = g.induced_subgraph(&keep);
+        assert_eq!(sub.vertex_count(), 2);
+        assert_eq!(sub.edge_list(), vec![(1, 2)]);
+        assert!(sub.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn undirected_edges_insert_both_orientations() {
+        let g = DiGraph::from_undirected_edges([(0, 1)]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn path_of_zero_and_one_vertices() {
+        assert_eq!(DiGraph::path(0).vertex_count(), 0);
+        let p1 = DiGraph::path(1);
+        assert_eq!(p1.vertex_count(), 1);
+        assert_eq!(p1.edge_count(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Transitive closure and transitive reduction.
+//!
+//! Example 3.14 of the paper shows that minimal representations of RDF
+//! graphs are not unique in general because of the transitivity of `sc` and
+//! `sp`, citing the classical result of Aho, Garey and Ullman: the transitive
+//! reduction of a directed graph is unique exactly for acyclic graphs. The
+//! `swdb-normal` crate uses this module to compute the unique minimal
+//! representation of Theorem 3.16 for acyclic schema graphs.
+
+use std::collections::BTreeSet;
+
+use crate::digraph::DiGraph;
+
+/// Computes the transitive closure of the graph (reachability by paths of
+/// length ≥ 1).
+pub fn transitive_closure(g: &DiGraph) -> DiGraph {
+    let mut closure = DiGraph::new();
+    for v in g.vertices() {
+        closure.add_vertex(v);
+    }
+    for start in g.vertices() {
+        // BFS from each vertex.
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut frontier: Vec<usize> = g.successors(start).collect();
+        while let Some(v) = frontier.pop() {
+            if seen.insert(v) {
+                closure.add_edge(start, v);
+                frontier.extend(g.successors(v));
+            }
+        }
+    }
+    closure
+}
+
+/// Returns `true` if `v` is reachable from `u` by a path of length ≥ 1.
+pub fn reachable(g: &DiGraph, u: usize, v: usize) -> bool {
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    let mut frontier: Vec<usize> = g.successors(u).collect();
+    while let Some(x) = frontier.pop() {
+        if x == v {
+            return true;
+        }
+        if seen.insert(x) {
+            frontier.extend(g.successors(x));
+        }
+    }
+    false
+}
+
+/// Returns `true` if the graph is acyclic (no directed cycle; self-loops
+/// count as cycles).
+pub fn is_acyclic(g: &DiGraph) -> bool {
+    topological_sort(g).is_some()
+}
+
+/// Topologically sorts the graph; returns `None` if it contains a cycle.
+pub fn topological_sort(g: &DiGraph) -> Option<Vec<usize>> {
+    let mut in_deg: std::collections::BTreeMap<usize, usize> =
+        g.vertices().map(|v| (v, g.in_degree(v))).collect();
+    let mut queue: Vec<usize> = in_deg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&v, _)| v)
+        .collect();
+    let mut order = Vec::with_capacity(g.vertex_count());
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for s in g.successors(v) {
+            let d = in_deg.get_mut(&s).expect("successor in degree map");
+            *d -= 1;
+            if *d == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if order.len() == g.vertex_count() {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Computes the transitive reduction of an **acyclic** graph: the unique
+/// minimal subgraph with the same transitive closure (Aho–Garey–Ullman).
+///
+/// # Panics
+///
+/// Panics if the graph has a cycle; callers must check [`is_acyclic`] first
+/// (cyclic graphs do not have a unique reduction, which is exactly the point
+/// of Example 3.14).
+pub fn transitive_reduction(g: &DiGraph) -> DiGraph {
+    assert!(is_acyclic(g), "transitive reduction requires an acyclic graph");
+    let mut reduced = DiGraph::new();
+    for v in g.vertices() {
+        reduced.add_vertex(v);
+    }
+    for (u, v) in g.edges() {
+        // Keep (u, v) unless v is reachable from u through some other
+        // successor of u.
+        let redundant = g
+            .successors(u)
+            .filter(|&w| w != v)
+            .any(|w| w == v || reachable(g, w, v));
+        if !redundant {
+            reduced.add_edge(u, v);
+        }
+    }
+    reduced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_of_a_path_is_the_full_order() {
+        let p = DiGraph::path(4); // 0→1→2→3
+        let c = transitive_closure(&p);
+        assert!(c.has_edge(0, 3));
+        assert!(c.has_edge(1, 3));
+        assert!(!c.has_edge(3, 0));
+        assert_eq!(c.edge_count(), 6);
+    }
+
+    #[test]
+    fn closure_of_a_cycle_is_complete_with_loops() {
+        let c3 = DiGraph::cycle(3);
+        let c = transitive_closure(&c3);
+        assert_eq!(c.edge_count(), 9, "every vertex reaches every vertex incl. itself");
+        assert!(c.has_edge(0, 0));
+    }
+
+    #[test]
+    fn acyclicity_detection() {
+        assert!(is_acyclic(&DiGraph::path(5)));
+        assert!(!is_acyclic(&DiGraph::cycle(3)));
+        let mut g = DiGraph::path(3);
+        g.add_edge(2, 2);
+        assert!(!is_acyclic(&g), "self-loops are cycles");
+    }
+
+    #[test]
+    fn topological_sort_respects_edges() {
+        let g = DiGraph::from_edges([(0, 2), (1, 2), (2, 3)]);
+        let order = topological_sort(&g).unwrap();
+        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        for (u, v) in g.edges() {
+            assert!(pos(u) < pos(v), "{u} must precede {v}");
+        }
+    }
+
+    #[test]
+    fn reduction_of_transitive_triangle_drops_the_shortcut() {
+        // Example 3.14 shape: a → b, b → c, a → c; the shortcut a → c is
+        // redundant.
+        let g = DiGraph::from_edges([(0, 1), (1, 2), (0, 2)]);
+        let r = transitive_reduction(&g);
+        assert!(r.has_edge(0, 1));
+        assert!(r.has_edge(1, 2));
+        assert!(!r.has_edge(0, 2));
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    fn reduction_preserves_reachability() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (0, 3)]);
+        let r = transitive_reduction(&g);
+        assert_eq!(transitive_closure(&r), transitive_closure(&g));
+        assert!(r.edge_count() < g.edge_count());
+    }
+
+    #[test]
+    fn reduction_of_diamond_keeps_both_branches() {
+        // 0→1→3, 0→2→3: nothing is redundant.
+        let g = DiGraph::from_edges([(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let r = transitive_reduction(&g);
+        assert_eq!(r.edge_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn reduction_panics_on_cycles() {
+        let _ = transitive_reduction(&DiGraph::cycle(3));
+    }
+
+    #[test]
+    fn reachability_queries() {
+        let p = DiGraph::path(4);
+        assert!(reachable(&p, 0, 3));
+        assert!(!reachable(&p, 3, 0));
+        assert!(!reachable(&p, 0, 0), "no path of length ≥ 1 from 0 to itself");
+        let c = DiGraph::cycle(3);
+        assert!(reachable(&c, 0, 0));
+    }
+}

@@ -1,0 +1,372 @@
+//! Acyclicity: blank-induced cycles and polynomial-time evaluation.
+//!
+//! §2.4 of the paper singles out a polynomial special case of simple-graph
+//! entailment: if `G2` has *no cycles induced by blank nodes*, the associated
+//! conjunctive query `Q_{G2}` is acyclic and can be evaluated in polynomial
+//! time (Yannakakis). This module provides
+//!
+//! * the syntactic check for blank-induced cycles on RDF graphs,
+//! * a GYO-style acyclicity test on pattern graphs (hypergraph of variables),
+//! * a polynomial-time *Boolean* evaluation for acyclic pattern graphs based
+//!   on semijoin reduction to pairwise consistency (the full-reducer
+//!   property of acyclic joins).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use swdb_model::{Graph, Term};
+
+use crate::index::GraphIndex;
+use crate::pattern::{Binding, PatternGraph, Variable};
+
+/// Returns `true` if the graph has a *cycle induced by blank nodes*
+/// (§2.4): a self-loop between blank nodes, two blank nodes connected by two
+/// or more distinct triples, or a simple cycle of length ≥ 3 in the
+/// undirected adjacency graph of blank nodes.
+///
+/// The paper's definition is the syntactic condition guaranteeing that
+/// `Q_{G}` is an acyclic conjunctive query; the reading implemented here is
+/// conservative: graphs it declares acyclic really do translate to acyclic
+/// (indeed, Berge-acyclic) queries.
+pub fn has_blank_induced_cycle(g: &Graph) -> bool {
+    // Multigraph on blank nodes: count triples connecting each unordered
+    // pair.
+    let mut edge_multiplicity: BTreeMap<(Term, Term), usize> = BTreeMap::new();
+    let mut adjacency: BTreeMap<Term, BTreeSet<Term>> = BTreeMap::new();
+    for t in g.iter() {
+        let (s, o) = (t.subject(), t.object());
+        if s.is_blank() && o.is_blank() {
+            if s == o {
+                return true; // blank self-loop
+            }
+            let key = if s < o {
+                (s.clone(), o.clone())
+            } else {
+                (o.clone(), s.clone())
+            };
+            let count = edge_multiplicity.entry(key).or_insert(0);
+            *count += 1;
+            if *count >= 2 {
+                return true; // parallel triples between the same pair
+            }
+            adjacency.entry(s.clone()).or_default().insert(o.clone());
+            adjacency.entry(o.clone()).or_default().insert(s.clone());
+        }
+    }
+    // Cycle detection in the simple undirected graph: a connected component
+    // with as many edges as vertices (or more) has a cycle. Equivalently,
+    // DFS finding a back edge.
+    let mut visited: BTreeSet<Term> = BTreeSet::new();
+    for start in adjacency.keys() {
+        if visited.contains(start) {
+            continue;
+        }
+        // Iterative DFS tracking parents.
+        let mut stack: Vec<(Term, Option<Term>)> = vec![(start.clone(), None)];
+        while let Some((node, parent)) = stack.pop() {
+            if !visited.insert(node.clone()) {
+                continue;
+            }
+            for neighbour in adjacency.get(&node).into_iter().flatten() {
+                if Some(neighbour) == parent.as_ref() {
+                    continue;
+                }
+                if visited.contains(neighbour) {
+                    return true;
+                }
+                stack.push((neighbour.clone(), Some(node.clone())));
+            }
+        }
+    }
+    false
+}
+
+/// Returns `true` if the pattern graph is α-acyclic, tested with the GYO
+/// (Graham / Yu–Özsoyoğlu) ear-removal procedure on the hypergraph whose
+/// vertices are the pattern variables and whose hyperedges are the variable
+/// sets of the individual patterns.
+pub fn is_acyclic_pattern(pattern: &PatternGraph) -> bool {
+    let mut edges: Vec<BTreeSet<Variable>> = pattern
+        .patterns()
+        .iter()
+        .map(|p| p.variables().cloned().collect())
+        .filter(|vars: &BTreeSet<Variable>| !vars.is_empty())
+        .collect();
+
+    loop {
+        let before = edges.len();
+        // Remove vertices that occur in exactly one edge.
+        let mut occurrence: BTreeMap<&Variable, usize> = BTreeMap::new();
+        for edge in &edges {
+            for v in edge {
+                *occurrence.entry(v).or_insert(0) += 1;
+            }
+        }
+        let isolated: BTreeSet<Variable> = occurrence
+            .iter()
+            .filter(|(_, &count)| count == 1)
+            .map(|(v, _)| (*v).clone())
+            .collect();
+        for edge in &mut edges {
+            edge.retain(|v| !isolated.contains(v));
+        }
+        // Remove empty edges and edges contained in another edge (ears).
+        let snapshot = edges.clone();
+        edges.retain(|edge| {
+            if edge.is_empty() {
+                return false;
+            }
+            // An ear: contained in some *other* edge of the snapshot.
+            let mut seen_self = false;
+            !snapshot.iter().any(|other| {
+                if other == edge && !seen_self {
+                    seen_self = true;
+                    return false;
+                }
+                edge.is_subset(other)
+            })
+        });
+        if edges.is_empty() {
+            return true;
+        }
+        if edges.len() == before && isolated.is_empty() {
+            return false;
+        }
+    }
+}
+
+/// Polynomial-time Boolean evaluation for **acyclic** pattern graphs.
+///
+/// Computes, for each pattern, the set of its satisfying partial bindings
+/// (projected onto its own variables), then semijoins every pair of patterns
+/// sharing variables until a fixpoint is reached. For acyclic patterns,
+/// pairwise consistency implies global consistency (Beeri–Fagin–Maier–
+/// Yannakakis), so the pattern is satisfiable iff no relation became empty.
+///
+/// Returns `None` if the pattern is *not* acyclic (callers should fall back
+/// to the general solver), `Some(answer)` otherwise.
+pub fn acyclic_exists(pattern: &PatternGraph, index: &GraphIndex) -> Option<bool> {
+    if !is_acyclic_pattern(pattern) {
+        return None;
+    }
+    if pattern.is_empty() {
+        return Some(true);
+    }
+    // Per-pattern relations: vectors of bindings over that pattern's
+    // variables.
+    let mut relations: Vec<(BTreeSet<Variable>, Vec<Binding>)> = Vec::new();
+    for p in pattern.patterns() {
+        let vars: BTreeSet<Variable> = p.variables().cloned().collect();
+        let mut rows = Vec::new();
+        for t in index.candidates(p, &Binding::new()) {
+            if !GraphIndex::matches(p, &Binding::new(), t) {
+                continue;
+            }
+            // Build the binding for this pattern's variables from the triple.
+            let mut b = Binding::new();
+            let mut ok = true;
+            let positions = [
+                (&p.subject, t.subject().clone()),
+                (&p.predicate, Term::Iri(t.predicate().clone())),
+                (&p.object, t.object().clone()),
+            ];
+            for (position, actual) in positions {
+                if let crate::pattern::PatternTerm::Var(v) = position {
+                    match b.get(v) {
+                        Some(existing) if existing != &actual => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => b.bind(v.clone(), actual),
+                    }
+                }
+            }
+            if ok {
+                rows.push(b);
+            }
+        }
+        if rows.is_empty() {
+            return Some(false);
+        }
+        rows.sort();
+        rows.dedup();
+        relations.push((vars, rows));
+    }
+
+    // Semijoin to fixpoint.
+    loop {
+        let mut changed = false;
+        for i in 0..relations.len() {
+            for j in 0..relations.len() {
+                if i == j {
+                    continue;
+                }
+                let shared: BTreeSet<Variable> = relations[i]
+                    .0
+                    .intersection(&relations[j].0)
+                    .cloned()
+                    .collect();
+                if shared.is_empty() {
+                    continue;
+                }
+                let keys: BTreeSet<Binding> = relations[j]
+                    .1
+                    .iter()
+                    .map(|b| b.project(&shared))
+                    .collect();
+                let before = relations[i].1.len();
+                relations[i].1.retain(|b| keys.contains(&b.project(&shared)));
+                if relations[i].1.is_empty() {
+                    return Some(false);
+                }
+                if relations[i].1.len() != before {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Some(true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::pattern_graph;
+    use swdb_model::graph;
+
+    #[test]
+    fn blank_cycles_are_detected() {
+        let acyclic = graph([("_:X", "ex:p", "_:Y"), ("_:Y", "ex:p", "_:Z")]);
+        assert!(!has_blank_induced_cycle(&acyclic));
+        let triangle = graph([
+            ("_:X", "ex:p", "_:Y"),
+            ("_:Y", "ex:p", "_:Z"),
+            ("_:Z", "ex:p", "_:X"),
+        ]);
+        assert!(has_blank_induced_cycle(&triangle));
+        let selfloop = graph([("_:X", "ex:p", "_:X")]);
+        assert!(has_blank_induced_cycle(&selfloop));
+        let parallel = graph([("_:X", "ex:p", "_:Y"), ("_:X", "ex:q", "_:Y")]);
+        assert!(has_blank_induced_cycle(&parallel));
+    }
+
+    #[test]
+    fn uri_cycles_do_not_count() {
+        // Cycles through URIs are harmless: only blank-blank adjacency
+        // matters.
+        let g = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:b", "ex:p", "ex:a"),
+            ("_:X", "ex:p", "ex:a"),
+            ("ex:b", "ex:p", "_:X"),
+        ]);
+        assert!(!has_blank_induced_cycle(&g));
+    }
+
+    #[test]
+    fn path_patterns_are_acyclic() {
+        let pg = pattern_graph([("?X", "ex:p", "?Y"), ("?Y", "ex:p", "?Z")]);
+        assert!(is_acyclic_pattern(&pg));
+    }
+
+    #[test]
+    fn triangle_pattern_is_cyclic() {
+        let pg = pattern_graph([
+            ("?X", "ex:p", "?Y"),
+            ("?Y", "ex:p", "?Z"),
+            ("?Z", "ex:p", "?X"),
+        ]);
+        assert!(!is_acyclic_pattern(&pg));
+    }
+
+    #[test]
+    fn star_patterns_are_acyclic() {
+        let pg = pattern_graph([
+            ("?X", "ex:p1", "?A"),
+            ("?X", "ex:p2", "?B"),
+            ("?X", "ex:p3", "?C"),
+        ]);
+        assert!(is_acyclic_pattern(&pg));
+    }
+
+    #[test]
+    fn shared_pair_patterns_are_acyclic_alpha() {
+        // R(x, y) ∧ S(x, y) is α-acyclic even though the blank-cycle
+        // criterion would reject the corresponding RDF graph.
+        let pg = pattern_graph([("?X", "ex:p", "?Y"), ("?X", "ex:q", "?Y")]);
+        assert!(is_acyclic_pattern(&pg));
+    }
+
+    #[test]
+    fn acyclic_evaluation_agrees_with_backtracking_on_paths() {
+        let data = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:b", "ex:p", "ex:c"),
+            ("ex:c", "ex:q", "ex:d"),
+        ]);
+        let index = GraphIndex::new(&data);
+        let yes = pattern_graph([("?X", "ex:p", "?Y"), ("?Y", "ex:q", "?Z")]);
+        assert_eq!(acyclic_exists(&yes, &index), Some(true));
+        let no = pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:p", "?Z")]);
+        assert_eq!(acyclic_exists(&no, &index), Some(false));
+    }
+
+    #[test]
+    fn acyclic_evaluation_declines_cyclic_patterns() {
+        let data = graph([("ex:a", "ex:p", "ex:b")]);
+        let index = GraphIndex::new(&data);
+        let triangle = pattern_graph([
+            ("?X", "ex:p", "?Y"),
+            ("?Y", "ex:p", "?Z"),
+            ("?Z", "ex:p", "?X"),
+        ]);
+        assert_eq!(acyclic_exists(&triangle, &index), None);
+    }
+
+    #[test]
+    fn acyclic_evaluation_on_long_chains() {
+        // A chain pattern over a chain of data: satisfiable exactly when the
+        // data chain is long enough.
+        let data = graph([
+            ("ex:1", "ex:next", "ex:2"),
+            ("ex:2", "ex:next", "ex:3"),
+            ("ex:3", "ex:next", "ex:4"),
+        ]);
+        let index = GraphIndex::new(&data);
+        let chain3 = pattern_graph([
+            ("?A", "ex:next", "?B"),
+            ("?B", "ex:next", "?C"),
+            ("?C", "ex:next", "?D"),
+        ]);
+        assert_eq!(acyclic_exists(&chain3, &index), Some(true));
+        let chain4 = pattern_graph([
+            ("?A", "ex:next", "?B"),
+            ("?B", "ex:next", "?C"),
+            ("?C", "ex:next", "?D"),
+            ("?D", "ex:next", "?E"),
+        ]);
+        assert_eq!(acyclic_exists(&chain4, &index), Some(false));
+    }
+
+    #[test]
+    fn empty_pattern_is_trivially_satisfiable() {
+        let data = graph([("ex:a", "ex:p", "ex:b")]);
+        let index = GraphIndex::new(&data);
+        assert_eq!(acyclic_exists(&pattern_graph([]), &index), Some(true));
+    }
+
+    #[test]
+    fn semijoin_prunes_dangling_tuples() {
+        // ?X p ?Y ∧ ?Y q ?Z: only b has both an incoming p and outgoing q.
+        let data = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:a", "ex:p", "ex:x"),
+            ("ex:b", "ex:q", "ex:c"),
+        ]);
+        let index = GraphIndex::new(&data);
+        let pg = pattern_graph([("?X", "ex:p", "?Y"), ("?Y", "ex:q", "?Z")]);
+        assert_eq!(acyclic_exists(&pg, &index), Some(true));
+    }
+}

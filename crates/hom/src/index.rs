@@ -1,0 +1,203 @@
+//! Indexes over a target RDF graph used to drive the pattern matcher.
+
+use std::collections::BTreeMap;
+
+use swdb_model::{Graph, Iri, Term, Triple};
+
+use crate::pattern::{Binding, PatternTerm, TriplePattern};
+
+/// An index of an RDF graph by predicate, by (predicate, subject) and by
+/// (predicate, object), supporting candidate generation for partially bound
+/// triple patterns.
+#[derive(Clone, Debug, Default)]
+pub struct GraphIndex {
+    all: Vec<Triple>,
+    by_predicate: BTreeMap<Iri, Vec<Triple>>,
+    by_predicate_subject: BTreeMap<(Iri, Term), Vec<Triple>>,
+    by_predicate_object: BTreeMap<(Iri, Term), Vec<Triple>>,
+    by_subject: BTreeMap<Term, Vec<Triple>>,
+    by_object: BTreeMap<Term, Vec<Triple>>,
+}
+
+impl GraphIndex {
+    /// Builds the index for a graph.
+    pub fn new(graph: &Graph) -> Self {
+        let mut index = GraphIndex::default();
+        for t in graph.iter() {
+            index.all.push(t.clone());
+            index
+                .by_predicate
+                .entry(t.predicate().clone())
+                .or_default()
+                .push(t.clone());
+            index
+                .by_predicate_subject
+                .entry((t.predicate().clone(), t.subject().clone()))
+                .or_default()
+                .push(t.clone());
+            index
+                .by_predicate_object
+                .entry((t.predicate().clone(), t.object().clone()))
+                .or_default()
+                .push(t.clone());
+            index
+                .by_subject
+                .entry(t.subject().clone())
+                .or_default()
+                .push(t.clone());
+            index
+                .by_object
+                .entry(t.object().clone())
+                .or_default()
+                .push(t.clone());
+        }
+        index
+    }
+
+    /// Total number of triples indexed.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Returns `true` if the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// All indexed triples.
+    pub fn triples(&self) -> &[Triple] {
+        &self.all
+    }
+
+    /// Resolves a pattern position under the current binding: `Some(term)`
+    /// if the position is a constant or a bound variable, `None` if it is an
+    /// unbound variable.
+    fn resolve(position: &PatternTerm, binding: &Binding) -> Option<Term> {
+        match position {
+            PatternTerm::Const(t) => Some(t.clone()),
+            PatternTerm::Var(v) => binding.get(v).cloned(),
+        }
+    }
+
+    /// Returns the candidate triples that could match `pattern` given the
+    /// already-bound variables in `binding`. The narrowest applicable index
+    /// is used; the returned slice may still contain non-matching triples
+    /// for the unresolved positions (the solver re-checks every position).
+    pub fn candidates<'a>(&'a self, pattern: &TriplePattern, binding: &Binding) -> &'a [Triple] {
+        let s = Self::resolve(&pattern.subject, binding);
+        let p = Self::resolve(&pattern.predicate, binding);
+        let o = Self::resolve(&pattern.object, binding);
+        match (s, p, o) {
+            (Some(s), Some(p), _) => {
+                if let Some(p) = p.as_iri() {
+                    self.by_predicate_subject
+                        .get(&(p.clone(), s))
+                        .map_or(&[][..], Vec::as_slice)
+                } else {
+                    &[]
+                }
+            }
+            (_, Some(p), Some(o)) => {
+                if let Some(p) = p.as_iri() {
+                    self.by_predicate_object
+                        .get(&(p.clone(), o))
+                        .map_or(&[][..], Vec::as_slice)
+                } else {
+                    &[]
+                }
+            }
+            (_, Some(p), _) => {
+                if let Some(p) = p.as_iri() {
+                    self.by_predicate.get(p).map_or(&[][..], Vec::as_slice)
+                } else {
+                    &[]
+                }
+            }
+            (Some(s), None, _) => self.by_subject.get(&s).map_or(&[][..], Vec::as_slice),
+            (None, None, Some(o)) => self.by_object.get(&o).map_or(&[][..], Vec::as_slice),
+            (None, None, None) => &self.all,
+        }
+    }
+
+    /// Estimated number of candidates for a pattern under a binding, used for
+    /// most-constrained-first ordering in the solver.
+    pub fn selectivity(&self, pattern: &TriplePattern, binding: &Binding) -> usize {
+        self.candidates(pattern, binding).len()
+    }
+
+    /// Checks whether a fully resolved pattern matches a concrete triple.
+    pub fn matches(pattern: &TriplePattern, binding: &Binding, triple: &Triple) -> bool {
+        let check = |position: &PatternTerm, actual: &Term| -> bool {
+            match Self::resolve(position, binding) {
+                Some(expected) => &expected == actual,
+                None => true,
+            }
+        };
+        check(&pattern.subject, triple.subject())
+            && check(&pattern.predicate, &Term::Iri(triple.predicate().clone()))
+            && check(&pattern.object, triple.object())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::pattern;
+    use swdb_model::graph;
+
+    fn data() -> Graph {
+        graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:a", "ex:p", "ex:c"),
+            ("ex:b", "ex:q", "ex:c"),
+            ("_:X", "ex:p", "ex:b"),
+        ])
+    }
+
+    #[test]
+    fn candidates_by_predicate() {
+        let idx = GraphIndex::new(&data());
+        let p = pattern("?S", "ex:p", "?O");
+        assert_eq!(idx.candidates(&p, &Binding::new()).len(), 3);
+        let q = pattern("?S", "ex:q", "?O");
+        assert_eq!(idx.candidates(&q, &Binding::new()).len(), 1);
+        let none = pattern("?S", "ex:zzz", "?O");
+        assert!(idx.candidates(&none, &Binding::new()).is_empty());
+    }
+
+    #[test]
+    fn candidates_narrow_with_bound_subject() {
+        let idx = GraphIndex::new(&data());
+        let p = pattern("?S", "ex:p", "?O");
+        let binding = Binding::from_pairs([("S", Term::iri("ex:a"))]);
+        assert_eq!(idx.candidates(&p, &binding).len(), 2);
+    }
+
+    #[test]
+    fn candidates_with_variable_predicate_fall_back_to_position_indexes() {
+        let idx = GraphIndex::new(&data());
+        let p = pattern("ex:a", "?P", "?O");
+        assert_eq!(idx.candidates(&p, &Binding::new()).len(), 2);
+        let all = pattern("?S", "?P", "?O");
+        assert_eq!(idx.candidates(&all, &Binding::new()).len(), 4);
+    }
+
+    #[test]
+    fn matches_checks_every_resolved_position() {
+        let t = swdb_model::triple("ex:a", "ex:p", "ex:b");
+        let p = pattern("?S", "ex:p", "ex:b");
+        assert!(GraphIndex::matches(&p, &Binding::new(), &t));
+        let p2 = pattern("?S", "ex:p", "ex:c");
+        assert!(!GraphIndex::matches(&p2, &Binding::new(), &t));
+        let bound = Binding::from_pairs([("S", Term::iri("ex:z"))]);
+        assert!(!GraphIndex::matches(&p, &bound, &t));
+    }
+
+    #[test]
+    fn blank_predicate_binding_yields_no_candidates() {
+        let idx = GraphIndex::new(&data());
+        let p = pattern("?S", "?P", "?O");
+        let binding = Binding::from_pairs([("P", Term::blank("N"))]);
+        assert!(idx.candidates(&p, &binding).is_empty());
+    }
+}

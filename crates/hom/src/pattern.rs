@@ -1,0 +1,520 @@
+//! Triple patterns and pattern graphs.
+//!
+//! A *pattern graph* is an RDF graph in which some elements of `UB` have
+//! been replaced by variables (§4 of the paper uses exactly this shape for
+//! the head and body of tableau queries). The same structure also represents
+//! the left-hand side of a map search: the blank nodes of the source graph
+//! play the role of variables (§2.4, the correspondence between maps and
+//! conjunctive queries `Q_G`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use swdb_model::{BlankNode, Graph, Iri, Term, Triple};
+
+/// A variable name (the paper writes `?X`, `?Person`, …).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Variable(String);
+
+impl Variable {
+    /// Creates a variable, stripping a leading `?` if present.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
+        Variable(name.strip_prefix('?').unwrap_or(name).to_owned())
+    }
+
+    /// The variable name without the `?` sigil.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+impl From<&str> for Variable {
+    fn from(value: &str) -> Self {
+        Variable::new(value)
+    }
+}
+
+/// One position of a triple pattern: either a concrete term or a variable.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PatternTerm {
+    /// A concrete RDF term.
+    Const(Term),
+    /// A variable to be bound by the matcher.
+    Var(Variable),
+}
+
+impl PatternTerm {
+    /// Convenience constructor for a constant URI.
+    pub fn iri(value: &str) -> Self {
+        PatternTerm::Const(Term::iri(value))
+    }
+
+    /// Convenience constructor for a constant blank node.
+    pub fn blank(label: &str) -> Self {
+        PatternTerm::Const(Term::blank(label))
+    }
+
+    /// Convenience constructor for a variable.
+    pub fn var(name: &str) -> Self {
+        PatternTerm::Var(Variable::new(name))
+    }
+
+    /// Returns the variable, if this position is one.
+    pub fn as_var(&self) -> Option<&Variable> {
+        match self {
+            PatternTerm::Var(v) => Some(v),
+            PatternTerm::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant term, if this position is one.
+    pub fn as_const(&self) -> Option<&Term> {
+        match self {
+            PatternTerm::Const(t) => Some(t),
+            PatternTerm::Var(_) => None,
+        }
+    }
+
+    /// Returns `true` if this position is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, PatternTerm::Var(_))
+    }
+}
+
+impl fmt::Display for PatternTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternTerm::Const(t) => fmt::Display::fmt(t, f),
+            PatternTerm::Var(v) => fmt::Display::fmt(v, f),
+        }
+    }
+}
+
+impl fmt::Debug for PatternTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Term> for PatternTerm {
+    fn from(value: Term) -> Self {
+        PatternTerm::Const(value)
+    }
+}
+
+impl From<Variable> for PatternTerm {
+    fn from(value: Variable) -> Self {
+        PatternTerm::Var(value)
+    }
+}
+
+/// A triple pattern: a triple whose positions may contain variables.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub subject: PatternTerm,
+    /// Predicate position.
+    pub predicate: PatternTerm,
+    /// Object position.
+    pub object: PatternTerm,
+}
+
+impl TriplePattern {
+    /// Creates a triple pattern.
+    pub fn new(
+        subject: impl Into<PatternTerm>,
+        predicate: impl Into<PatternTerm>,
+        object: impl Into<PatternTerm>,
+    ) -> Self {
+        TriplePattern {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+
+    /// The variables occurring in the pattern, in position order.
+    pub fn variables(&self) -> impl Iterator<Item = &Variable> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(PatternTerm::as_var)
+    }
+
+    /// Returns `true` if the pattern has no variables.
+    pub fn is_ground_pattern(&self) -> bool {
+        self.variables().next().is_none()
+    }
+
+    /// Instantiates the pattern with a binding, producing a triple if every
+    /// variable is bound and the result is well formed (predicate must be a
+    /// URI, subject/object must not be unbound).
+    pub fn instantiate(&self, binding: &Binding) -> Option<Triple> {
+        let resolve = |pt: &PatternTerm| -> Option<Term> {
+            match pt {
+                PatternTerm::Const(t) => Some(t.clone()),
+                PatternTerm::Var(v) => binding.get(v).cloned(),
+            }
+        };
+        let s = resolve(&self.subject)?;
+        let p = match resolve(&self.predicate)? {
+            Term::Iri(iri) => iri,
+            Term::Blank(_) => return None, // blank predicates are not well formed
+        };
+        let o = resolve(&self.object)?;
+        Some(Triple::new(s, p, o))
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.subject, self.predicate, self.object)
+    }
+}
+
+impl fmt::Debug for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A binding of variables to terms — the paper's *valuation* `v : V → UB`
+/// restricted to the variables it mentions.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Binding {
+    map: BTreeMap<Variable, Term>,
+}
+
+impl Binding {
+    /// The empty binding.
+    pub fn new() -> Self {
+        Binding::default()
+    }
+
+    /// Builds a binding from pairs.
+    pub fn from_pairs<I, V, T>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (V, T)>,
+        V: Into<Variable>,
+        T: Into<Term>,
+    {
+        Binding {
+            map: pairs
+                .into_iter()
+                .map(|(v, t)| (v.into(), t.into()))
+                .collect(),
+        }
+    }
+
+    /// Binds a variable.
+    pub fn bind(&mut self, var: Variable, term: Term) {
+        self.map.insert(var, term);
+    }
+
+    /// Removes a binding.
+    pub fn unbind(&mut self, var: &Variable) {
+        self.map.remove(var);
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, var: &Variable) -> Option<&Term> {
+        self.map.get(var)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over the bound pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Variable, &Term)> {
+        self.map.iter()
+    }
+
+    /// Restricts the binding to the given variable set.
+    pub fn project(&self, vars: &BTreeSet<Variable>) -> Binding {
+        Binding {
+            map: self
+                .map
+                .iter()
+                .filter(|(v, _)| vars.contains(*v))
+                .map(|(v, t)| (v.clone(), t.clone()))
+                .collect(),
+        }
+    }
+
+    /// Returns `true` if the two bindings agree on every variable bound by
+    /// both.
+    pub fn compatible_with(&self, other: &Binding) -> bool {
+        self.map
+            .iter()
+            .all(|(v, t)| other.get(v).map_or(true, |t2| t2 == t))
+    }
+}
+
+impl fmt::Debug for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (v, t) in &self.map {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{v} ↦ {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A conjunction of triple patterns — the body of a tableau query, or the
+/// conjunctive query `Q_G` associated to an RDF graph `G` (§2.4).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct PatternGraph {
+    patterns: Vec<TriplePattern>,
+}
+
+impl PatternGraph {
+    /// Creates an empty pattern graph.
+    pub fn new() -> Self {
+        PatternGraph::default()
+    }
+
+    /// Creates a pattern graph from patterns.
+    pub fn from_patterns(patterns: impl IntoIterator<Item = TriplePattern>) -> Self {
+        PatternGraph {
+            patterns: patterns.into_iter().collect(),
+        }
+    }
+
+    /// Adds a pattern.
+    pub fn push(&mut self, pattern: TriplePattern) {
+        self.patterns.push(pattern);
+    }
+
+    /// The patterns, in insertion order.
+    pub fn patterns(&self) -> &[TriplePattern] {
+        &self.patterns
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Returns `true` if there are no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// All distinct variables occurring in the patterns.
+    pub fn variables(&self) -> BTreeSet<Variable> {
+        self.patterns
+            .iter()
+            .flat_map(|p| p.variables().cloned().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Instantiates every pattern with a binding; returns `None` if any
+    /// pattern fails to produce a well-formed triple.
+    pub fn instantiate(&self, binding: &Binding) -> Option<Graph> {
+        self.patterns
+            .iter()
+            .map(|p| p.instantiate(binding))
+            .collect::<Option<Vec<_>>>()
+            .map(Graph::from_triples)
+    }
+
+    /// Builds the conjunctive query `Q_G` associated to an RDF graph `G`
+    /// (§2.4): each triple becomes a pattern, each blank node becomes a
+    /// variable named after it, URIs stay constants.
+    pub fn from_graph_blanks_as_vars(g: &Graph) -> PatternGraph {
+        let to_pattern = |t: &Term| -> PatternTerm {
+            match t {
+                Term::Blank(b) => PatternTerm::Var(Variable::new(b.as_str())),
+                Term::Iri(_) => PatternTerm::Const(t.clone()),
+            }
+        };
+        PatternGraph {
+            patterns: g
+                .iter()
+                .map(|t| {
+                    TriplePattern::new(
+                        to_pattern(t.subject()),
+                        PatternTerm::Const(Term::Iri(t.predicate().clone())),
+                        to_pattern(t.object()),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Converts a binding of "blank variables" produced by
+    /// [`PatternGraph::from_graph_blanks_as_vars`] back into an RDF
+    /// [`swdb_model::TermMap`] on the original blank nodes.
+    pub fn binding_to_term_map(binding: &Binding) -> swdb_model::TermMap {
+        swdb_model::TermMap::from_pairs(
+            binding
+                .iter()
+                .map(|(v, t)| (BlankNode::new(v.name()), t.clone())),
+        )
+    }
+
+    /// The predicates that occur as constants, useful for statistics.
+    pub fn constant_predicates(&self) -> BTreeSet<Iri> {
+        self.patterns
+            .iter()
+            .filter_map(|p| p.predicate.as_const())
+            .filter_map(|t| t.as_iri().cloned())
+            .collect()
+    }
+}
+
+impl fmt::Debug for PatternGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PatternGraph[")?;
+        for (i, p) in self.patterns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<TriplePattern> for PatternGraph {
+    fn from_iter<I: IntoIterator<Item = TriplePattern>>(iter: I) -> Self {
+        PatternGraph::from_patterns(iter)
+    }
+}
+
+/// Shorthand for building a triple pattern from string labels: labels
+/// starting with `?` are variables, labels starting with `_:` are blank
+/// nodes, everything else is a URI.
+pub fn pattern(s: &str, p: &str, o: &str) -> TriplePattern {
+    TriplePattern::new(parse_pattern_term(s), parse_pattern_term(p), parse_pattern_term(o))
+}
+
+/// Parses a single pattern term label (see [`pattern`]).
+pub fn parse_pattern_term(label: &str) -> PatternTerm {
+    if let Some(var) = label.strip_prefix('?') {
+        PatternTerm::Var(Variable::new(var))
+    } else {
+        PatternTerm::Const(swdb_model::parse_term(label))
+    }
+}
+
+/// Builds a pattern graph from `(s, p, o)` string shorthand.
+pub fn pattern_graph<'a>(
+    patterns: impl IntoIterator<Item = (&'a str, &'a str, &'a str)>,
+) -> PatternGraph {
+    patterns
+        .into_iter()
+        .map(|(s, p, o)| pattern(s, p, o))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::graph;
+
+    #[test]
+    fn variable_strips_question_mark() {
+        assert_eq!(Variable::new("?X"), Variable::new("X"));
+        assert_eq!(Variable::new("X").name(), "X");
+        assert_eq!(Variable::new("?X").to_string(), "?X");
+    }
+
+    #[test]
+    fn pattern_shorthand_distinguishes_vars_blanks_and_iris() {
+        let p = pattern("?X", "ex:p", "_:B");
+        assert!(p.subject.is_var());
+        assert!(!p.predicate.is_var());
+        assert_eq!(p.object.as_const().unwrap(), &Term::blank("B"));
+    }
+
+    #[test]
+    fn instantiation_requires_all_variables_bound() {
+        let p = pattern("?X", "ex:p", "?Y");
+        let partial = Binding::from_pairs([("X", Term::iri("ex:a"))]);
+        assert!(p.instantiate(&partial).is_none());
+        let full = Binding::from_pairs([("X", Term::iri("ex:a")), ("Y", Term::blank("N"))]);
+        assert_eq!(
+            p.instantiate(&full).unwrap(),
+            swdb_model::triple("ex:a", "ex:p", "_:N")
+        );
+    }
+
+    #[test]
+    fn instantiation_rejects_blank_predicates() {
+        let p = pattern("ex:a", "?P", "ex:b");
+        let bad = Binding::from_pairs([("P", Term::blank("N"))]);
+        assert!(p.instantiate(&bad).is_none(), "blank in predicate position is not well formed");
+        let good = Binding::from_pairs([("P", Term::iri("ex:p"))]);
+        assert!(p.instantiate(&good).is_some());
+    }
+
+    #[test]
+    fn pattern_graph_variables_are_deduplicated() {
+        let pg = pattern_graph([("?X", "ex:p", "?Y"), ("?Y", "ex:q", "?X")]);
+        assert_eq!(pg.variables().len(), 2);
+    }
+
+    #[test]
+    fn q_g_translation_turns_blanks_into_variables() {
+        let g = graph([("_:X", "ex:p", "ex:a"), ("ex:a", "ex:q", "_:X")]);
+        let q = PatternGraph::from_graph_blanks_as_vars(&g);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.variables().len(), 1);
+        // Instantiating with the blank itself reproduces the original graph.
+        let binding = Binding::from_pairs([("X", Term::blank("X"))]);
+        assert_eq!(q.instantiate(&binding).unwrap(), g);
+    }
+
+    #[test]
+    fn binding_projection_and_compatibility() {
+        let b1 = Binding::from_pairs([("X", Term::iri("ex:a")), ("Y", Term::iri("ex:b"))]);
+        let b2 = Binding::from_pairs([("X", Term::iri("ex:a")), ("Z", Term::iri("ex:c"))]);
+        assert!(b1.compatible_with(&b2));
+        let b3 = Binding::from_pairs([("X", Term::iri("ex:z"))]);
+        assert!(!b1.compatible_with(&b3));
+        let projected = b1.project(&[Variable::new("X")].into_iter().collect());
+        assert_eq!(projected.len(), 1);
+    }
+
+    #[test]
+    fn pattern_graph_instantiation_builds_a_graph() {
+        let pg = pattern_graph([("?X", "ex:p", "ex:a"), ("?X", "ex:q", "?Y")]);
+        let binding = Binding::from_pairs([("X", Term::iri("ex:s")), ("Y", Term::iri("ex:o"))]);
+        let g = pg.instantiate(&binding).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(&swdb_model::triple("ex:s", "ex:p", "ex:a")));
+    }
+
+    #[test]
+    fn constant_predicates_are_collected() {
+        let pg = pattern_graph([("?X", "ex:p", "ex:a"), ("?X", "?P", "?Y")]);
+        let preds = pg.constant_predicates();
+        assert_eq!(preds.len(), 1);
+        assert!(preds.iter().any(|p| p.as_str() == "ex:p"));
+    }
+}

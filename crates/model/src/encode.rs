@@ -1,0 +1,112 @@
+//! Encoding of classical directed graphs as simple RDF graphs.
+//!
+//! §2.4 of the paper encodes a standard graph `H = (V, E)` by the RDF graph
+//! `enc(H) = {(X_u, e, X_v) | (u, v) ∈ E}`, where every node `v` becomes a
+//! blank node `X_v` and `e` is a distinguished URI. This encoding carries
+//! graph homomorphism to RDF maps and graph isomorphism to RDF isomorphism,
+//! and is the engine behind all of the paper's hardness results
+//! (Theorems 2.9, 3.12, 3.20, 5.6, 5.12).
+
+use crate::graph::Graph;
+use crate::term::{Iri, Term};
+use crate::triple::Triple;
+
+/// The distinguished edge predicate `e` used by [`encode_edges`].
+pub const EDGE_PREDICATE: &str = "enc:e";
+
+/// Encodes a classical directed graph, given as an edge list over `usize`
+/// node identifiers, as the simple RDF graph `enc(H)`.
+///
+/// Isolated vertices carry no information for homomorphism problems over
+/// edge-preserving maps and are therefore not represented (the paper's
+/// encoding likewise only has one blank per vertex *occurring in an edge*).
+pub fn encode_edges(edges: &[(usize, usize)]) -> Graph {
+    encode_edges_with(edges, &Iri::new(EDGE_PREDICATE), "v")
+}
+
+/// Like [`encode_edges`] but with a custom edge predicate and blank-node
+/// prefix, so that several encoded graphs can coexist in one RDF graph
+/// without their blank nodes clashing.
+pub fn encode_edges_with(edges: &[(usize, usize)], predicate: &Iri, prefix: &str) -> Graph {
+    edges
+        .iter()
+        .map(|&(u, v)| {
+            Triple::new(
+                Term::blank(format!("{prefix}{u}")),
+                predicate.clone(),
+                Term::blank(format!("{prefix}{v}")),
+            )
+        })
+        .collect()
+}
+
+/// Decodes an RDF graph produced by [`encode_edges_with`] back into an edge
+/// list. Blank labels that do not carry the expected prefix are ignored.
+pub fn decode_edges(graph: &Graph, prefix: &str) -> Vec<(usize, usize)> {
+    let mut edges = Vec::with_capacity(graph.len());
+    for t in graph.iter() {
+        let (Some(s), Some(o)) = (t.subject().as_blank(), t.object().as_blank()) else {
+            continue;
+        };
+        let (Some(u), Some(v)) = (
+            s.as_str().strip_prefix(prefix).and_then(|x| x.parse().ok()),
+            o.as_str().strip_prefix(prefix).and_then(|x| x.parse().ok()),
+        ) else {
+            continue;
+        };
+        edges.push((u, v));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::triple;
+
+    #[test]
+    fn encoding_uses_one_blank_per_vertex() {
+        let g = encode_edges(&[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.blank_nodes().len(), 3);
+        assert!(g.is_simple());
+        assert!(g.contains(&triple("_:v0", "enc:e", "_:v1")));
+    }
+
+    #[test]
+    fn shared_vertices_share_blanks() {
+        let g = encode_edges(&[(0, 1), (0, 2)]);
+        assert_eq!(g.blank_nodes().len(), 3);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn round_trip_preserves_edges() {
+        let edges = vec![(0, 1), (1, 2), (2, 0), (2, 3)];
+        let g = encode_edges(&edges);
+        let mut back = decode_edges(&g, "v");
+        back.sort_unstable();
+        let mut expected = edges.clone();
+        expected.sort_unstable();
+        assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn custom_prefixes_keep_encodings_disjoint() {
+        let g1 = encode_edges_with(&[(0, 1)], &Iri::new("enc:e"), "a");
+        let g2 = encode_edges_with(&[(0, 1)], &Iri::new("enc:e"), "b");
+        let both = g1.union(&g2);
+        assert_eq!(both.blank_nodes().len(), 4);
+        assert_eq!(both.len(), 2);
+    }
+
+    #[test]
+    fn self_loops_are_supported() {
+        let g = encode_edges(&[(5, 5)]);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.blank_nodes().len(), 1);
+        assert_eq!(decode_edges(&g, "v"), vec![(5, 5)]);
+    }
+}

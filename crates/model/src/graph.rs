@@ -1,0 +1,414 @@
+//! RDF graphs: sets of RDF triples (Definition 2.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::map::TermMap;
+use crate::term::{rdfs, BlankNode, Iri, Term};
+use crate::triple::Triple;
+
+/// An RDF graph — a finite set of RDF triples (Definition 2.1 of the paper).
+///
+/// The triple set is kept in a [`BTreeSet`] so that iteration order is
+/// deterministic, which makes test output, serialization and benchmark
+/// workloads reproducible.
+#[derive(Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Graph {
+    triples: BTreeSet<Triple>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates a graph from anything that yields triples.
+    pub fn from_triples<I, T>(triples: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Triple>,
+    {
+        Graph {
+            triples: triples.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of triples in the graph, written `|G|` in the paper.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Returns `true` if the graph has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Inserts a triple; returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: impl Into<Triple>) -> bool {
+        self.triples.insert(triple.into())
+    }
+
+    /// Removes a triple; returns `true` if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        self.triples.remove(triple)
+    }
+
+    /// Returns `true` if the triple belongs to the graph.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        self.triples.contains(triple)
+    }
+
+    /// Iterates over the triples in deterministic (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> + '_ {
+        self.triples.iter()
+    }
+
+    /// Consumes the graph and returns its triple set.
+    pub fn into_triples(self) -> BTreeSet<Triple> {
+        self.triples
+    }
+
+    /// Returns `true` if `self ⊆ other` as sets of triples (i.e. `self` is a
+    /// *subgraph* of `other` in the sense of Definition 2.1).
+    pub fn is_subgraph_of(&self, other: &Graph) -> bool {
+        self.triples.is_subset(&other.triples)
+    }
+
+    /// Returns `true` if `self ⊊ other` (a proper subgraph).
+    pub fn is_proper_subgraph_of(&self, other: &Graph) -> bool {
+        self.len() < other.len() && self.is_subgraph_of(other)
+    }
+
+    /// The *universe* of the graph: the set of elements of `UB` occurring in
+    /// subject or object position, together with the predicates viewed as
+    /// terms (Definition 2.1: "the set of elements of UB that occur in the
+    /// triples of G").
+    pub fn universe(&self) -> BTreeSet<Term> {
+        let mut out = BTreeSet::new();
+        for t in &self.triples {
+            out.insert(t.subject().clone());
+            out.insert(Term::Iri(t.predicate().clone()));
+            out.insert(t.object().clone());
+        }
+        out
+    }
+
+    /// The *vocabulary* of the graph: `universe(G) ∩ U` (Definition 2.1).
+    pub fn vocabulary(&self) -> BTreeSet<Iri> {
+        self.universe()
+            .into_iter()
+            .filter_map(|t| match t {
+                Term::Iri(iri) => Some(iri),
+                Term::Blank(_) => None,
+            })
+            .collect()
+    }
+
+    /// The set of blank nodes occurring in the graph.
+    pub fn blank_nodes(&self) -> BTreeSet<BlankNode> {
+        let mut out = BTreeSet::new();
+        for t in &self.triples {
+            for term in t.node_terms() {
+                if let Term::Blank(b) = term {
+                    out.insert(b.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the graph has no blank nodes (a *ground* graph).
+    pub fn is_ground(&self) -> bool {
+        self.triples.iter().all(Triple::is_ground)
+    }
+
+    /// Returns `true` if the graph does not mention the RDFS vocabulary
+    /// (`rdfsV ∩ voc(G) = ∅`), i.e. it is a *simple* graph
+    /// (Definition 2.2).
+    pub fn is_simple(&self) -> bool {
+        self.vocabulary().iter().all(|iri| !rdfs::is_reserved(iri))
+    }
+
+    /// The set-theoretical union `G1 ∪ G2` (§2.1). Blank nodes with the same
+    /// label are identified, exactly as in the paper's union operation.
+    pub fn union(&self, other: &Graph) -> Graph {
+        let mut triples = self.triples.clone();
+        triples.extend(other.triples.iter().cloned());
+        Graph { triples }
+    }
+
+    /// The *merge* `G1 + G2` (§2.1): the union of `G1` with an isomorphic
+    /// copy of `G2` whose blank nodes are disjoint from those of `G1`.
+    ///
+    /// The merge is unique up to isomorphism; this implementation renames the
+    /// clashing blank nodes of `G2` with fresh labels derived from a counter
+    /// that avoids every label in either graph.
+    pub fn merge(&self, other: &Graph) -> Graph {
+        let mine = self.blank_nodes();
+        let theirs = other.blank_nodes();
+        let clashes: Vec<&BlankNode> = theirs.iter().filter(|b| mine.contains(*b)).collect();
+        if clashes.is_empty() {
+            return self.union(other);
+        }
+        let mut used: BTreeSet<String> = mine
+            .iter()
+            .chain(theirs.iter())
+            .map(|b| b.as_str().to_owned())
+            .collect();
+        let mut renaming: BTreeMap<BlankNode, Term> = BTreeMap::new();
+        let mut counter = 0usize;
+        for blank in clashes {
+            let fresh = loop {
+                let candidate = format!("{}~m{}", blank.as_str(), counter);
+                counter += 1;
+                if !used.contains(&candidate) {
+                    break candidate;
+                }
+            };
+            used.insert(fresh.clone());
+            renaming.insert(blank.clone(), Term::blank(fresh));
+        }
+        let map = TermMap::from_bindings(renaming);
+        self.union(&map.apply_graph(other))
+    }
+
+    /// Applies a map `μ` to the graph, returning `μ(G)` (§2.1).
+    pub fn apply(&self, map: &TermMap) -> Graph {
+        map.apply_graph(self)
+    }
+
+    /// Returns the subgraph of triples whose predicate equals `p`.
+    pub fn triples_with_predicate(&self, p: &Iri) -> impl Iterator<Item = &Triple> + '_ {
+        let p = p.clone();
+        self.triples.iter().filter(move |t| t.predicate() == &p)
+    }
+
+    /// Returns the triples whose subject equals the given term.
+    pub fn triples_with_subject<'a>(&'a self, s: &'a Term) -> impl Iterator<Item = &'a Triple> + 'a {
+        self.triples.iter().filter(move |t| t.subject() == s)
+    }
+
+    /// Returns the triples whose object equals the given term.
+    pub fn triples_with_object<'a>(&'a self, o: &'a Term) -> impl Iterator<Item = &'a Triple> + 'a {
+        self.triples.iter().filter(move |t| t.object() == o)
+    }
+
+    /// Returns the triples that mention the given term in subject or object
+    /// position.
+    pub fn triples_mentioning<'a>(&'a self, term: &'a Term) -> impl Iterator<Item = &'a Triple> + 'a {
+        self.triples
+            .iter()
+            .filter(move |t| t.subject() == term || t.object() == term)
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &Graph) -> Graph {
+        Graph {
+            triples: self.triples.difference(&other.triples).cloned().collect(),
+        }
+    }
+
+    /// Set intersection `self ∩ other`.
+    pub fn intersection(&self, other: &Graph) -> Graph {
+        Graph {
+            triples: self.triples.intersection(&other.triples).cloned().collect(),
+        }
+    }
+
+    /// Retains only the triples satisfying the predicate.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Triple) -> bool) {
+        self.triples.retain(|t| keep(t));
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Graph {{")?;
+        for t in &self.triples {
+            writeln!(f, "  {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "{{")?;
+        for t in &self.triples {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        Graph {
+            triples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Triple> for Graph {
+    fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
+        self.triples.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Graph {
+    type Item = &'a Triple;
+    type IntoIter = std::collections::btree_set::Iter<'a, Triple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.triples.iter()
+    }
+}
+
+impl IntoIterator for Graph {
+    type Item = Triple;
+    type IntoIter = std::collections::btree_set::IntoIter<Triple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.triples.into_iter()
+    }
+}
+
+/// Builds a graph from `(s, p, o)` string shorthand, interpreting labels that
+/// start with `"_:"` as blank nodes (see [`crate::triple::triple`]).
+pub fn graph<'a>(triples: impl IntoIterator<Item = (&'a str, &'a str, &'a str)>) -> Graph {
+    triples
+        .into_iter()
+        .map(|(s, p, o)| crate::triple::triple(s, p, o))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::triple;
+
+    fn sample() -> Graph {
+        graph([
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+            ("ex:paints", "rdfs:subPropertyOf", "ex:creates"),
+            ("_:X", "rdf:type", "ex:Painter"),
+        ])
+    }
+
+    #[test]
+    fn len_contains_insert_remove() {
+        let mut g = sample();
+        assert_eq!(g.len(), 3);
+        let t = triple("ex:a", "ex:p", "ex:b");
+        assert!(!g.contains(&t));
+        assert!(g.insert(t.clone()));
+        assert!(!g.insert(t.clone()), "re-inserting must report false");
+        assert_eq!(g.len(), 4);
+        assert!(g.remove(&t));
+        assert!(!g.remove(&t));
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn universe_and_vocabulary() {
+        let g = sample();
+        let universe = g.universe();
+        assert!(universe.contains(&Term::iri("ex:Picasso")));
+        assert!(universe.contains(&Term::iri("ex:paints")));
+        assert!(universe.contains(&Term::blank("X")));
+        // vocabulary = universe ∩ U: the blank is excluded.
+        let voc = g.vocabulary();
+        assert!(voc.iter().any(|i| i.as_str() == "ex:paints"));
+        assert!(voc.iter().all(|i| i.as_str() != "X"));
+    }
+
+    #[test]
+    fn groundness_and_simplicity() {
+        let g = sample();
+        assert!(!g.is_ground(), "sample has a blank node");
+        assert!(!g.is_simple(), "sample mentions rdfs vocabulary");
+        let simple = graph([("ex:a", "ex:p", "_:X")]);
+        assert!(simple.is_simple());
+        assert!(!simple.is_ground());
+        let ground = graph([("ex:a", "ex:p", "ex:b")]);
+        assert!(ground.is_ground());
+    }
+
+    #[test]
+    fn union_identifies_equal_blank_labels() {
+        let g1 = graph([("_:X", "ex:p", "ex:a")]);
+        let g2 = graph([("_:X", "ex:q", "ex:b")]);
+        let u = g1.union(&g2);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.blank_nodes().len(), 1, "union shares the blank node X");
+    }
+
+    #[test]
+    fn merge_renames_clashing_blanks_apart() {
+        let g1 = graph([("_:X", "ex:p", "ex:a")]);
+        let g2 = graph([("_:X", "ex:q", "ex:b")]);
+        let m = g1.merge(&g2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(
+            m.blank_nodes().len(),
+            2,
+            "merge must keep the two X blanks distinct"
+        );
+        // The copy of g1 inside the merge is untouched.
+        assert!(m.contains(&triple("_:X", "ex:p", "ex:a")));
+    }
+
+    #[test]
+    fn merge_without_clashes_is_union() {
+        let g1 = graph([("_:X", "ex:p", "ex:a")]);
+        let g2 = graph([("_:Y", "ex:q", "ex:b")]);
+        assert_eq!(g1.merge(&g2), g1.union(&g2));
+    }
+
+    #[test]
+    fn subgraph_relations() {
+        let g = sample();
+        let sub = graph([("ex:Picasso", "ex:paints", "ex:Guernica")]);
+        assert!(sub.is_subgraph_of(&g));
+        assert!(sub.is_proper_subgraph_of(&g));
+        assert!(g.is_subgraph_of(&g));
+        assert!(!g.is_proper_subgraph_of(&g));
+        assert!(!g.is_subgraph_of(&sub));
+    }
+
+    #[test]
+    fn difference_and_intersection() {
+        let g = sample();
+        let sub = graph([("ex:Picasso", "ex:paints", "ex:Guernica")]);
+        assert_eq!(g.difference(&sub).len(), 2);
+        assert_eq!(g.intersection(&sub), sub);
+    }
+
+    #[test]
+    fn pattern_scans() {
+        let g = sample();
+        assert_eq!(g.triples_with_predicate(&Iri::new("ex:paints")).count(), 1);
+        assert_eq!(
+            g.triples_with_subject(&Term::iri("ex:Picasso")).count(),
+            1
+        );
+        assert_eq!(
+            g.triples_with_object(&Term::iri("ex:Guernica")).count(),
+            1
+        );
+        assert_eq!(g.triples_mentioning(&Term::blank("X")).count(), 1);
+    }
+
+    #[test]
+    fn display_lists_triples() {
+        let g = graph([("ex:a", "ex:p", "ex:b")]);
+        assert_eq!(g.to_string(), "{(ex:a, ex:p, ex:b)}");
+    }
+}

@@ -1,0 +1,292 @@
+//! Isomorphism of RDF graphs.
+//!
+//! Two RDF graphs are isomorphic, `G1 ≅ G2`, if there are maps `μ1, μ2` such
+//! that `μ1(G1) = G2` and `μ2(G2) = G1` (§2.1). For finite graphs this holds
+//! exactly when there is a bijective renaming of blank nodes turning `G1`
+//! into `G2`: the ground parts must agree literally, and the blank parts must
+//! correspond one-to-one.
+//!
+//! The search below is a straightforward backtracking over candidate blank
+//! pairings guided by per-blank structural signatures. RDF graph isomorphism
+//! is GI-hard in general, but the instances arising in this codebase (cores,
+//! normal forms, merges) are small or highly constrained, and the signature
+//! pruning makes those cases fast.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::Graph;
+use crate::map::TermMap;
+use crate::term::{BlankNode, Iri, Term};
+
+/// Returns `true` if `g1 ≅ g2`.
+pub fn isomorphic(g1: &Graph, g2: &Graph) -> bool {
+    isomorphism(g1, g2).is_some()
+}
+
+/// Searches for a blank-node bijection `μ` with `μ(g1) = g2`. Returns the
+/// witnessing map if the graphs are isomorphic.
+pub fn isomorphism(g1: &Graph, g2: &Graph) -> Option<TermMap> {
+    if g1.len() != g2.len() {
+        return None;
+    }
+    let blanks1: Vec<BlankNode> = g1.blank_nodes().into_iter().collect();
+    let blanks2: Vec<BlankNode> = g2.blank_nodes().into_iter().collect();
+    if blanks1.len() != blanks2.len() {
+        return None;
+    }
+    // Ground triples must coincide exactly.
+    let ground1: BTreeSet<_> = g1.iter().filter(|t| t.is_ground()).collect();
+    let ground2: BTreeSet<_> = g2.iter().filter(|t| t.is_ground()).collect();
+    if ground1 != ground2 {
+        return None;
+    }
+    if blanks1.is_empty() {
+        return Some(TermMap::identity());
+    }
+
+    let sig1 = signatures(g1, &blanks1);
+    let sig2 = signatures(g2, &blanks2);
+
+    // Candidate sets: a blank of g1 can only map to a blank of g2 with the
+    // identical signature (signatures are preserved by any blank bijection
+    // realising an isomorphism).
+    let mut candidates: Vec<(BlankNode, Vec<BlankNode>)> = Vec::with_capacity(blanks1.len());
+    for b1 in &blanks1 {
+        let s1 = &sig1[b1];
+        let cands: Vec<BlankNode> = blanks2
+            .iter()
+            .filter(|b2| &sig2[*b2] == s1)
+            .cloned()
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        candidates.push((b1.clone(), cands));
+    }
+    // Most-constrained-first ordering dramatically shrinks the search tree.
+    candidates.sort_by_key(|(_, c)| c.len());
+
+    let mut assignment: BTreeMap<BlankNode, BlankNode> = BTreeMap::new();
+    let mut used: BTreeSet<BlankNode> = BTreeSet::new();
+    if search(g1, g2, &candidates, 0, &mut assignment, &mut used) {
+        Some(TermMap::from_pairs(
+            assignment.into_iter().map(|(b, t)| (b, Term::Blank(t))),
+        ))
+    } else {
+        None
+    }
+}
+
+/// The structural signature of a blank node: the sorted multiset of its
+/// incident triple shapes, where the "other side" of each triple is recorded
+/// as either the concrete URI or a placeholder for "some blank".
+type Signature = Vec<(String, u8, Option<(Iri, Option<Iri>)>)>;
+
+fn signatures(g: &Graph, blanks: &[BlankNode]) -> BTreeMap<BlankNode, Signature> {
+    let mut out: BTreeMap<BlankNode, Signature> = blanks.iter().map(|b| (b.clone(), Vec::new())).collect();
+    for t in g.iter() {
+        let s_blank = t.subject().as_blank();
+        let o_blank = t.object().as_blank();
+        if let Some(b) = s_blank {
+            let other = match t.object() {
+                Term::Iri(i) => Some((t.predicate().clone(), Some(i.clone()))),
+                Term::Blank(_) => Some((t.predicate().clone(), None)),
+            };
+            out.get_mut(b).expect("blank in index").push((t.predicate().as_str().to_owned(), 0, other));
+        }
+        if let Some(b) = o_blank {
+            let other = match t.subject() {
+                Term::Iri(i) => Some((t.predicate().clone(), Some(i.clone()))),
+                Term::Blank(_) => Some((t.predicate().clone(), None)),
+            };
+            out.get_mut(b).expect("blank in index").push((t.predicate().as_str().to_owned(), 1, other));
+        }
+    }
+    for sig in out.values_mut() {
+        sig.sort();
+    }
+    out
+}
+
+fn search(
+    g1: &Graph,
+    g2: &Graph,
+    candidates: &[(BlankNode, Vec<BlankNode>)],
+    index: usize,
+    assignment: &mut BTreeMap<BlankNode, BlankNode>,
+    used: &mut BTreeSet<BlankNode>,
+) -> bool {
+    if index == candidates.len() {
+        let map = TermMap::from_pairs(
+            assignment
+                .iter()
+                .map(|(b, t)| (b.clone(), Term::Blank(t.clone()))),
+        );
+        return &map.apply_graph(g1) == g2;
+    }
+    let (blank, cands) = &candidates[index];
+    for cand in cands {
+        if used.contains(cand) {
+            continue;
+        }
+        assignment.insert(blank.clone(), cand.clone());
+        used.insert(cand.clone());
+        if partial_consistent(g1, g2, assignment) && search(g1, g2, candidates, index + 1, assignment, used) {
+            return true;
+        }
+        assignment.remove(blank);
+        used.remove(cand);
+    }
+    false
+}
+
+/// Checks that every triple of `g1` all of whose blanks are already assigned
+/// maps onto a triple of `g2`.
+fn partial_consistent(g1: &Graph, g2: &Graph, assignment: &BTreeMap<BlankNode, BlankNode>) -> bool {
+    for t in g1.iter() {
+        let s = match t.subject() {
+            Term::Blank(b) => match assignment.get(b) {
+                Some(mapped) => Term::Blank(mapped.clone()),
+                None => continue,
+            },
+            other => other.clone(),
+        };
+        let o = match t.object() {
+            Term::Blank(b) => match assignment.get(b) {
+                Some(mapped) => Term::Blank(mapped.clone()),
+                None => continue,
+            },
+            other => other.clone(),
+        };
+        let image = crate::triple::Triple::new(s, t.predicate().clone(), o);
+        if !g2.contains(&image) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Produces the pair of witnessing maps `(μ1, μ2)` of the paper's definition
+/// (`μ1(G1) = G2` and `μ2(G2) = G1`), if the graphs are isomorphic.
+pub fn isomorphism_witnesses(g1: &Graph, g2: &Graph) -> Option<(TermMap, TermMap)> {
+    let forward = isomorphism(g1, g2)?;
+    let backward = isomorphism(g2, g1)?;
+    Some((forward, backward))
+}
+
+/// Renames the blank nodes of a graph to a canonical sequence `b0, b1, …`
+/// following the deterministic iteration order of the graph. Two *equal*
+/// graphs always canonicalise identically; isomorphic graphs may not (full
+/// canonical labelling is not required anywhere in the paper), but this is a
+/// convenient way to produce stable fixtures and to strip meaning from blank
+/// labels in tests.
+pub fn rename_blanks_sequentially(g: &Graph, prefix: &str) -> Graph {
+    let mut mapping: BTreeMap<BlankNode, Term> = BTreeMap::new();
+    let mut counter = 0usize;
+    for t in g.iter() {
+        for term in t.node_terms() {
+            if let Term::Blank(b) = term {
+                mapping.entry(b.clone()).or_insert_with(|| {
+                    let fresh = Term::blank(format!("{prefix}{counter}"));
+                    counter += 1;
+                    fresh
+                });
+            }
+        }
+    }
+    TermMap::from_bindings(mapping).apply_graph(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph;
+
+    #[test]
+    fn equal_graphs_are_isomorphic() {
+        let g = graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:b")]);
+        assert!(isomorphic(&g, &g));
+    }
+
+    #[test]
+    fn blank_renaming_preserves_isomorphism() {
+        let g1 = graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:b")]);
+        let g2 = graph([("ex:a", "ex:p", "_:Y"), ("_:Y", "ex:q", "ex:b")]);
+        assert!(isomorphic(&g1, &g2));
+        let mu = isomorphism(&g1, &g2).unwrap();
+        assert_eq!(mu.apply_graph(&g1), g2);
+    }
+
+    #[test]
+    fn different_ground_parts_are_not_isomorphic() {
+        let g1 = graph([("ex:a", "ex:p", "ex:b")]);
+        let g2 = graph([("ex:a", "ex:p", "ex:c")]);
+        assert!(!isomorphic(&g1, &g2));
+    }
+
+    #[test]
+    fn blank_structure_matters() {
+        // X connects the two triples in g1; in g2 two distinct blanks are
+        // used, so the graphs are not isomorphic (they are not even
+        // equivalent in one direction by a bijection).
+        let g1 = graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:b")]);
+        let g2 = graph([("ex:a", "ex:p", "_:X"), ("_:Y", "ex:q", "ex:b")]);
+        assert!(!isomorphic(&g1, &g2));
+    }
+
+    #[test]
+    fn differing_sizes_are_rejected_quickly() {
+        let g1 = graph([("ex:a", "ex:p", "_:X")]);
+        let g2 = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "ex:b")]);
+        assert!(!isomorphic(&g1, &g2));
+    }
+
+    #[test]
+    fn isomorphism_witnesses_are_mutually_inverse_on_triples() {
+        let g1 = graph([("_:X", "ex:p", "_:Y"), ("_:Y", "ex:p", "_:X")]);
+        let g2 = graph([("_:A", "ex:p", "_:B"), ("_:B", "ex:p", "_:A")]);
+        let (mu1, mu2) = isomorphism_witnesses(&g1, &g2).unwrap();
+        assert_eq!(mu1.apply_graph(&g1), g2);
+        assert_eq!(mu2.apply_graph(&g2), g1);
+    }
+
+    #[test]
+    fn cycle_lengths_distinguish_graphs() {
+        // A 2-cycle of blanks vs. a blank 2-path: same triple count, same
+        // blank count, not isomorphic.
+        let cycle = graph([("_:X", "ex:p", "_:Y"), ("_:Y", "ex:p", "_:X")]);
+        let path = graph([("_:X", "ex:p", "_:Y"), ("_:Y", "ex:p", "_:Z"), ("_:Z", "ex:p", "_:X")]);
+        assert!(!isomorphic(&cycle, &path));
+        let path2 = graph([("_:A", "ex:p", "_:B"), ("_:B", "ex:p", "_:C")]);
+        let cycle_is_not_path = isomorphic(&cycle, &path2);
+        assert!(!cycle_is_not_path);
+    }
+
+    #[test]
+    fn sequential_renaming_is_isomorphic_to_input() {
+        let g = graph([("_:Foo", "ex:p", "_:Bar"), ("_:Bar", "ex:q", "ex:c")]);
+        let renamed = rename_blanks_sequentially(&g, "b");
+        assert!(isomorphic(&g, &renamed));
+        let labels: Vec<String> = renamed
+            .blank_nodes()
+            .into_iter()
+            .map(|b| b.as_str().to_owned())
+            .collect();
+        assert!(labels.iter().all(|l| l.starts_with('b')));
+    }
+
+    #[test]
+    fn permuted_blank_cycles_are_isomorphic() {
+        let g1 = graph([
+            ("_:X", "ex:p", "_:Y"),
+            ("_:Y", "ex:p", "_:Z"),
+            ("_:Z", "ex:p", "_:X"),
+        ]);
+        let g2 = graph([
+            ("_:C", "ex:p", "_:A"),
+            ("_:A", "ex:p", "_:B"),
+            ("_:B", "ex:p", "_:C"),
+        ]);
+        assert!(isomorphic(&g1, &g2));
+    }
+}

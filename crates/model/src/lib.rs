@@ -1,0 +1,129 @@
+//! # swdb-model — the abstract RDF data model
+//!
+//! This crate implements §2.1–§2.2 of *Foundations of Semantic Web
+//! Databases* (Gutierrez, Hurtado, Mendelzon, Pérez; PODS 2004 / JCSS 2011):
+//! the abstract RDF fragment over URIs and blank nodes, graphs as finite sets
+//! of triples, maps (URI-preserving homomorphisms on terms), instances,
+//! isomorphism, union and merge, Skolemization, and the encoding of classical
+//! directed graphs into simple RDF graphs used throughout the paper's
+//! complexity proofs.
+//!
+//! Higher layers build on this crate:
+//!
+//! * `swdb-hom` — searching for maps `μ : G1 → G2`,
+//! * `swdb-entailment` — the model theory, the deductive system and closure,
+//! * `swdb-normal` — lean graphs, cores, minimal representations, normal forms,
+//! * `swdb-query` / `swdb-containment` — the tableau query language,
+//! * `swdb-store` — a dictionary-encoded indexed triple store.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use swdb_model::{graph, Term, rdfs};
+//!
+//! let g = graph([
+//!     ("ex:Picasso", "ex:paints", "ex:Guernica"),
+//!     ("ex:paints", rdfs::SP, "ex:creates"),
+//!     ("_:X", rdfs::TYPE, "ex:Painter"),
+//! ]);
+//! assert_eq!(g.len(), 3);
+//! assert!(!g.is_simple());           // it mentions RDFS vocabulary
+//! assert!(!g.is_ground());           // it has a blank node
+//! assert!(g.universe().contains(&Term::blank("X")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod graph;
+pub mod iso;
+pub mod map;
+pub mod skolem;
+pub mod term;
+pub mod triple;
+
+pub use encode::{decode_edges, encode_edges, encode_edges_with, EDGE_PREDICATE};
+pub use graph::{graph, Graph};
+pub use iso::{isomorphic, isomorphism, isomorphism_witnesses, rename_blanks_sequentially};
+pub use map::TermMap;
+pub use skolem::{is_skolem_term, skolem_table, skolemize, unskolemize, SKOLEM_PREFIX};
+pub use term::{rdfs, BlankNode, Iri, Term};
+pub use triple::{parse_term, triple, Triple};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::graph::Graph;
+    use crate::iso::isomorphic;
+    use crate::term::Term;
+    use crate::triple::Triple;
+
+    /// Strategy producing small random graphs mixing URIs and blank nodes.
+    pub fn arb_graph(max_triples: usize) -> impl Strategy<Value = Graph> {
+        let term = prop_oneof![
+            (0u8..6).prop_map(|i| Term::iri(format!("ex:n{i}"))),
+            (0u8..4).prop_map(|i| Term::blank(format!("B{i}"))),
+        ];
+        let pred = (0u8..3).prop_map(|i| crate::term::Iri::new(format!("ex:p{i}")));
+        proptest::collection::vec((term.clone(), pred, term), 0..=max_triples)
+            .prop_map(|ts| ts.into_iter().map(|(s, p, o)| Triple::new(s, p, o)).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_commutative_and_idempotent(g1 in arb_graph(8), g2 in arb_graph(8)) {
+            prop_assert_eq!(g1.union(&g2), g2.union(&g1));
+            prop_assert_eq!(g1.union(&g1), g1);
+        }
+
+        #[test]
+        fn merge_is_isomorphic_to_union_when_blanks_disjoint(g in arb_graph(8)) {
+            // Renaming one side apart first makes the blanks disjoint, in
+            // which case merge and union coincide (§2.1).
+            let renamed = crate::iso::rename_blanks_sequentially(&g, "fresh");
+            prop_assert_eq!(g.merge(&renamed), g.union(&renamed));
+        }
+
+        #[test]
+        fn merge_contains_left_operand_verbatim(g1 in arb_graph(6), g2 in arb_graph(6)) {
+            let m = g1.merge(&g2);
+            prop_assert!(g1.is_subgraph_of(&m));
+            prop_assert_eq!(m.len() <= g1.len() + g2.len(), true);
+        }
+
+        #[test]
+        fn isomorphism_is_reflexive(g in arb_graph(8)) {
+            prop_assert!(isomorphic(&g, &g));
+        }
+
+        #[test]
+        fn blank_renaming_yields_isomorphic_graph(g in arb_graph(8)) {
+            let renamed = crate::iso::rename_blanks_sequentially(&g, "r");
+            prop_assert!(isomorphic(&g, &renamed));
+            prop_assert!(isomorphic(&renamed, &g));
+        }
+
+        #[test]
+        fn skolemize_unskolemize_round_trip(g in arb_graph(10)) {
+            prop_assert_eq!(crate::skolem::unskolemize(&crate::skolem::skolemize(&g)), g);
+        }
+
+        #[test]
+        fn skolemization_is_ground_and_size_preserving(g in arb_graph(10)) {
+            let s = crate::skolem::skolemize(&g);
+            prop_assert!(s.is_ground());
+            prop_assert_eq!(s.len(), g.len());
+        }
+
+        #[test]
+        fn applying_a_map_never_grows_a_graph(g in arb_graph(10)) {
+            let blanks: Vec<_> = g.blank_nodes().into_iter().collect();
+            if let Some(first) = blanks.first() {
+                let mu = crate::map::TermMap::from_pairs([(first.clone(), Term::iri("ex:n0"))]);
+                prop_assert!(mu.apply_graph(&g).len() <= g.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Maps between RDF graphs.
+//!
+//! A *map* (§2.1) is a function `μ : UB → UB` preserving URIs, i.e.
+//! `μ(u) = u` for all `u ∈ U`. Applied to a graph, `μ(G)` is the set of all
+//! `(μ(s), μ(p), μ(o))` for `(s, p, o) ∈ G`; since predicates are URIs, maps
+//! never alter the predicate position. `μ(G)` is called an *instance* of `G`,
+//! and a *proper* instance if it has fewer blank nodes than `G`.
+//!
+//! The paper overloads "map" to also mean `μ : G1 → G2` whenever
+//! `μ(G1) ⊆ G2`; the search for such maps is the central algorithmic task of
+//! the whole system and lives in the `swdb-hom` crate. This module only
+//! provides the data type and its algebra.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::graph::Graph;
+use crate::term::{BlankNode, Term};
+use crate::triple::Triple;
+
+/// A URI-preserving function `μ : UB → UB`, represented by its action on the
+/// (finitely many) blank nodes it does not fix.
+#[derive(Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TermMap {
+    bindings: BTreeMap<BlankNode, Term>,
+}
+
+impl TermMap {
+    /// The identity map.
+    pub fn identity() -> Self {
+        TermMap::default()
+    }
+
+    /// Builds a map from explicit blank-node bindings.
+    pub fn from_bindings(bindings: BTreeMap<BlankNode, Term>) -> Self {
+        // Normalise away identity bindings so that maps compare structurally.
+        let bindings = bindings
+            .into_iter()
+            .filter(|(b, t)| !matches!(t, Term::Blank(t) if t == b))
+            .collect();
+        TermMap { bindings }
+    }
+
+    /// Builds a map from an iterator of `(blank, target)` pairs.
+    pub fn from_pairs<I, B, T>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (B, T)>,
+        B: Into<BlankNode>,
+        T: Into<Term>,
+    {
+        TermMap::from_bindings(
+            pairs
+                .into_iter()
+                .map(|(b, t)| (b.into(), t.into()))
+                .collect(),
+        )
+    }
+
+    /// Adds (or overwrites) a binding for a blank node.
+    pub fn bind(&mut self, blank: impl Into<BlankNode>, target: impl Into<Term>) {
+        let blank = blank.into();
+        let target = target.into();
+        if matches!(&target, Term::Blank(t) if *t == blank) {
+            self.bindings.remove(&blank);
+        } else {
+            self.bindings.insert(blank, target);
+        }
+    }
+
+    /// Returns the binding for a blank node, if it is not fixed.
+    pub fn get(&self, blank: &BlankNode) -> Option<&Term> {
+        self.bindings.get(blank)
+    }
+
+    /// The set of blank nodes the map moves.
+    pub fn moved_blanks(&self) -> impl Iterator<Item = &BlankNode> + '_ {
+        self.bindings.keys()
+    }
+
+    /// Number of non-identity bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Returns `true` if the map is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Applies the map to a term.
+    pub fn apply_term(&self, term: &Term) -> Term {
+        match term {
+            Term::Iri(_) => term.clone(),
+            Term::Blank(b) => self.bindings.get(b).cloned().unwrap_or_else(|| term.clone()),
+        }
+    }
+
+    /// Applies the map to a triple. The predicate, being a URI, is fixed.
+    pub fn apply_triple(&self, triple: &Triple) -> Triple {
+        Triple::new(
+            self.apply_term(triple.subject()),
+            triple.predicate().clone(),
+            self.apply_term(triple.object()),
+        )
+    }
+
+    /// Applies the map to a graph, returning `μ(G)`.
+    pub fn apply_graph(&self, graph: &Graph) -> Graph {
+        graph.iter().map(|t| self.apply_triple(t)).collect()
+    }
+
+    /// Functional composition: `(self ∘ first)(x) = self(first(x))`.
+    ///
+    /// The result maps every blank node moved by either map; blanks fixed by
+    /// `first` but moved by `self` are moved accordingly.
+    pub fn compose_after(&self, first: &TermMap) -> TermMap {
+        let mut bindings: BTreeMap<BlankNode, Term> = BTreeMap::new();
+        for (b, t) in &first.bindings {
+            bindings.insert(b.clone(), self.apply_term(t));
+        }
+        for (b, t) in &self.bindings {
+            bindings.entry(b.clone()).or_insert_with(|| t.clone());
+        }
+        TermMap::from_bindings(bindings)
+    }
+
+    /// Restricts the map to the blank nodes occurring in the given graph.
+    pub fn restrict_to(&self, graph: &Graph) -> TermMap {
+        let blanks = graph.blank_nodes();
+        TermMap {
+            bindings: self
+                .bindings
+                .iter()
+                .filter(|(b, _)| blanks.contains(*b))
+                .map(|(b, t)| (b.clone(), t.clone()))
+                .collect(),
+        }
+    }
+
+    /// Returns `true` if `μ(from) ⊆ into`, i.e. the map is a map
+    /// `μ : from → into` in the paper's overloaded sense.
+    pub fn is_map_between(&self, from: &Graph, into: &Graph) -> bool {
+        from.iter().all(|t| into.contains(&self.apply_triple(t)))
+    }
+
+    /// Returns `true` if applying the map to `graph` yields a *proper*
+    /// instance: `μ(G)` has fewer blank nodes than `G` (§2.1). This means the
+    /// map either sends a blank node of `G` to a URI, or identifies two blank
+    /// nodes of `G`.
+    pub fn is_proper_for(&self, graph: &Graph) -> bool {
+        let blanks = graph.blank_nodes();
+        let mut images: BTreeSet<Term> = BTreeSet::new();
+        let mut shrank = false;
+        for b in &blanks {
+            let image = self.apply_term(&Term::Blank(b.clone()));
+            if image.is_iri() {
+                shrank = true;
+            }
+            if !images.insert(image) {
+                // Two blanks collapsed onto the same image.
+                shrank = true;
+            }
+        }
+        shrank
+    }
+}
+
+impl fmt::Debug for TermMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TermMap {{")?;
+        let mut first = true;
+        for (b, t) in &self.bindings {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "_:{} ↦ {}", b.as_str(), t)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(BlankNode, Term)> for TermMap {
+    fn from_iter<I: IntoIterator<Item = (BlankNode, Term)>>(iter: I) -> Self {
+        TermMap::from_bindings(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph;
+    use crate::triple::triple;
+
+    #[test]
+    fn identity_fixes_everything() {
+        let id = TermMap::identity();
+        assert!(id.is_identity());
+        assert_eq!(id.apply_term(&Term::iri("ex:a")), Term::iri("ex:a"));
+        assert_eq!(id.apply_term(&Term::blank("X")), Term::blank("X"));
+    }
+
+    #[test]
+    fn maps_preserve_uris() {
+        let mu = TermMap::from_pairs([("X", Term::iri("ex:a"))]);
+        assert_eq!(mu.apply_term(&Term::iri("ex:b")), Term::iri("ex:b"));
+        assert_eq!(mu.apply_term(&Term::blank("X")), Term::iri("ex:a"));
+        assert_eq!(mu.apply_term(&Term::blank("Y")), Term::blank("Y"));
+    }
+
+    #[test]
+    fn identity_bindings_are_normalised_away() {
+        let mu = TermMap::from_pairs([("X", Term::blank("X"))]);
+        assert!(mu.is_identity());
+        let mut mu = TermMap::from_pairs([("X", Term::iri("ex:a"))]);
+        mu.bind("X", Term::blank("X"));
+        assert!(mu.is_identity());
+    }
+
+    #[test]
+    fn apply_graph_replaces_blanks() {
+        let g = graph([("_:X", "ex:p", "_:Y"), ("_:Y", "ex:q", "ex:c")]);
+        let mu = TermMap::from_pairs([("X", Term::iri("ex:a")), ("Y", Term::blank("Z"))]);
+        let image = mu.apply_graph(&g);
+        assert!(image.contains(&triple("ex:a", "ex:p", "_:Z")));
+        assert!(image.contains(&triple("_:Z", "ex:q", "ex:c")));
+        assert_eq!(image.len(), 2);
+    }
+
+    #[test]
+    fn instance_can_collapse_triples() {
+        // Identifying two blanks can shrink the graph: μ(G) is an instance of
+        // G with fewer triples.
+        let g = graph([("_:X", "ex:p", "ex:a"), ("_:Y", "ex:p", "ex:a")]);
+        let mu = TermMap::from_pairs([("Y", Term::blank("X"))]);
+        let image = mu.apply_graph(&g);
+        assert_eq!(image.len(), 1);
+    }
+
+    #[test]
+    fn proper_instance_detection() {
+        let g = graph([("_:X", "ex:p", "_:Y")]);
+        // Sends a blank to a URI: proper.
+        assert!(TermMap::from_pairs([("X", Term::iri("ex:a"))]).is_proper_for(&g));
+        // Identifies two blanks: proper.
+        assert!(TermMap::from_pairs([("Y", Term::blank("X"))]).is_proper_for(&g));
+        // Renames a blank to a fresh blank: not proper.
+        assert!(!TermMap::from_pairs([("X", Term::blank("Z"))]).is_proper_for(&g));
+        // Identity: not proper.
+        assert!(!TermMap::identity().is_proper_for(&g));
+    }
+
+    #[test]
+    fn is_map_between_checks_subgraph_of_image() {
+        let g1 = graph([("_:X", "ex:p", "ex:a")]);
+        let g2 = graph([("ex:b", "ex:p", "ex:a"), ("ex:c", "ex:q", "ex:d")]);
+        let mu = TermMap::from_pairs([("X", Term::iri("ex:b"))]);
+        assert!(mu.is_map_between(&g1, &g2));
+        let bad = TermMap::from_pairs([("X", Term::iri("ex:z"))]);
+        assert!(!bad.is_map_between(&g1, &g2));
+    }
+
+    #[test]
+    fn composition_applies_right_then_left() {
+        let first = TermMap::from_pairs([("X", Term::blank("Y"))]);
+        let second = TermMap::from_pairs([("Y", Term::iri("ex:a"))]);
+        let composed = second.compose_after(&first);
+        assert_eq!(composed.apply_term(&Term::blank("X")), Term::iri("ex:a"));
+        assert_eq!(composed.apply_term(&Term::blank("Y")), Term::iri("ex:a"));
+    }
+
+    #[test]
+    fn restriction_drops_irrelevant_bindings() {
+        let g = graph([("_:X", "ex:p", "ex:a")]);
+        let mu = TermMap::from_pairs([("X", Term::iri("ex:a")), ("Z", Term::iri("ex:b"))]);
+        let restricted = mu.restrict_to(&g);
+        assert_eq!(restricted.len(), 1);
+        assert!(restricted.get(&BlankNode::new("Z")).is_none());
+    }
+
+    #[test]
+    fn debug_output_is_readable() {
+        let mu = TermMap::from_pairs([("X", Term::iri("ex:a"))]);
+        assert_eq!(format!("{mu:?}"), "TermMap {_:X ↦ ex:a}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Skolemization of RDF graphs.
+//!
+//! §3.1 of the paper uses the classical idea of Skolemization to give a
+//! robust semantic definition of closure: given an RDF graph `G`, the graph
+//! `G*` is obtained by replacing each blank node `X` of `G` by a *fresh*
+//! constant `c_X`; conversely `H_*` replaces each such constant `c_X` back by
+//! the blank `X` and deletes triples having blanks in predicate position
+//! (which would not be well-formed RDF triples).
+
+use std::collections::BTreeMap;
+
+use crate::graph::Graph;
+use crate::term::{BlankNode, Iri, Term};
+use crate::triple::Triple;
+
+/// Prefix used for Skolem constants. It is chosen so that it cannot clash
+/// with ordinary vocabulary produced by the workload generators and parsers
+/// in this workspace (they never emit the `skolem:` scheme).
+pub const SKOLEM_PREFIX: &str = "skolem:";
+
+/// Computes `G*`: every blank node `X` is replaced by the fresh constant
+/// `c_X` (here, the URI `skolem:X`).
+pub fn skolemize(g: &Graph) -> Graph {
+    g.iter()
+        .map(|t| {
+            Triple::new(
+                skolemize_term(t.subject()),
+                t.predicate().clone(),
+                skolemize_term(t.object()),
+            )
+        })
+        .collect()
+}
+
+/// Computes `H_*`: every Skolem constant `c_X` is replaced back by the blank
+/// node `X`, and triples whose predicate is a Skolem constant are deleted
+/// (they would have a blank in predicate position, which is not a
+/// well-formed RDF triple).
+pub fn unskolemize(h: &Graph) -> Graph {
+    h.iter()
+        .filter(|t| !is_skolem_iri(t.predicate()))
+        .map(|t| {
+            Triple::new(
+                unskolemize_term(t.subject()),
+                t.predicate().clone(),
+                unskolemize_term(t.object()),
+            )
+        })
+        .collect()
+}
+
+/// Returns `true` if the term is a Skolem constant produced by
+/// [`skolemize`].
+pub fn is_skolem_term(term: &Term) -> bool {
+    match term {
+        Term::Iri(iri) => is_skolem_iri(iri),
+        Term::Blank(_) => false,
+    }
+}
+
+fn is_skolem_iri(iri: &Iri) -> bool {
+    iri.as_str().starts_with(SKOLEM_PREFIX)
+}
+
+fn skolemize_term(term: &Term) -> Term {
+    match term {
+        Term::Blank(b) => Term::iri(format!("{SKOLEM_PREFIX}{}", b.as_str())),
+        other => other.clone(),
+    }
+}
+
+fn unskolemize_term(term: &Term) -> Term {
+    match term {
+        Term::Iri(iri) => match iri.as_str().strip_prefix(SKOLEM_PREFIX) {
+            Some(label) => Term::Blank(BlankNode::new(label)),
+            None => term.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Returns the correspondence between blank nodes of `g` and the Skolem
+/// constants they are sent to. Useful for tests and for explaining proofs.
+pub fn skolem_table(g: &Graph) -> BTreeMap<BlankNode, Iri> {
+    g.blank_nodes()
+        .into_iter()
+        .map(|b| {
+            let iri = Iri::new(format!("{SKOLEM_PREFIX}{}", b.as_str()));
+            (b, iri)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph;
+    use crate::triple::triple;
+
+    #[test]
+    fn skolemization_grounds_the_graph() {
+        let g = graph([("_:X", "ex:p", "_:Y"), ("ex:a", "ex:q", "_:X")]);
+        let s = skolemize(&g);
+        assert!(s.is_ground());
+        assert_eq!(s.len(), g.len());
+        assert!(s.contains(&triple("skolem:X", "ex:p", "skolem:Y")));
+        assert!(s.contains(&triple("ex:a", "ex:q", "skolem:X")));
+    }
+
+    #[test]
+    fn round_trip_is_identity_on_well_formed_graphs() {
+        let g = graph([
+            ("_:X", "ex:p", "_:Y"),
+            ("ex:a", "ex:q", "_:X"),
+            ("ex:a", "ex:q", "ex:b"),
+        ]);
+        assert_eq!(unskolemize(&skolemize(&g)), g);
+    }
+
+    #[test]
+    fn unskolemize_drops_blank_predicates() {
+        // If a closure step produced a triple whose predicate is a Skolem
+        // constant, the (·)_* operation must delete it.
+        let h = graph([
+            ("ex:a", "skolem:X", "ex:b"),
+            ("skolem:X", "ex:p", "ex:c"),
+        ]);
+        let g = unskolemize(&h);
+        assert_eq!(g.len(), 1);
+        assert!(g.contains(&triple("_:X", "ex:p", "ex:c")));
+    }
+
+    #[test]
+    fn skolem_terms_are_detected() {
+        assert!(is_skolem_term(&Term::iri("skolem:X")));
+        assert!(!is_skolem_term(&Term::iri("ex:a")));
+        assert!(!is_skolem_term(&Term::blank("X")));
+    }
+
+    #[test]
+    fn skolem_table_lists_all_blanks() {
+        let g = graph([("_:X", "ex:p", "_:Y")]);
+        let table = skolem_table(&g);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[&BlankNode::new("X")].as_str(), "skolem:X");
+        assert_eq!(table[&BlankNode::new("Y")].as_str(), "skolem:Y");
+    }
+
+    #[test]
+    fn ground_graphs_are_fixed_points() {
+        let g = graph([("ex:a", "ex:p", "ex:b")]);
+        assert_eq!(skolemize(&g), g);
+        assert_eq!(unskolemize(&g), g);
+    }
+}

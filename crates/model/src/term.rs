@@ -1,0 +1,311 @@
+//! RDF terms: URI references and blank nodes.
+//!
+//! The paper (§2.1) assumes an infinite set `U` of RDF URI references and an
+//! infinite set `B = {N_j : j ∈ ℕ}` of blank nodes, and works over `UB = U ∪ B`.
+//! Literals are deliberately left out of the abstract fragment (footnote 1 of
+//! the paper), and we follow that choice here.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An RDF URI reference (an element of the set `U`).
+///
+/// URIs are immutable, cheaply clonable (reference counted) strings. Any
+/// non-empty string is accepted as a URI label; the abstract model does not
+/// constrain URI syntax.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Iri(Arc<str>);
+
+impl Iri {
+    /// Creates a new URI reference from any string-like value.
+    pub fn new(value: impl Into<Arc<str>>) -> Self {
+        Iri(value.into())
+    }
+
+    /// Returns the URI label as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Iri({})", self.0)
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Iri {
+    fn from(value: &str) -> Self {
+        Iri::new(value)
+    }
+}
+
+impl From<String> for Iri {
+    fn from(value: String) -> Self {
+        Iri::new(value)
+    }
+}
+
+impl Borrow<str> for Iri {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// A blank node (an element of the set `B`).
+///
+/// Blank nodes are identified by a local label; two blank nodes are the same
+/// node exactly when their labels are equal. The paper's results treat blank
+/// nodes as existential variables whose identity is only meaningful within a
+/// single graph; [`crate::Graph::merge`] renames blank labels apart exactly as
+/// the paper's *merge* operation prescribes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BlankNode(Arc<str>);
+
+impl BlankNode {
+    /// Creates a blank node with the given label.
+    pub fn new(label: impl Into<Arc<str>>) -> Self {
+        BlankNode(label.into())
+    }
+
+    /// Returns the blank node label.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Blank(_:{})", self.0)
+    }
+}
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+impl From<&str> for BlankNode {
+    fn from(value: &str) -> Self {
+        BlankNode::new(value)
+    }
+}
+
+/// An element of `UB = U ∪ B`: either a URI reference or a blank node.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Term {
+    /// A URI reference (element of `U`).
+    Iri(Iri),
+    /// A blank node (element of `B`).
+    Blank(BlankNode),
+}
+
+impl Term {
+    /// Convenience constructor for a URI term.
+    pub fn iri(value: impl Into<Arc<str>>) -> Self {
+        Term::Iri(Iri::new(value))
+    }
+
+    /// Convenience constructor for a blank-node term.
+    pub fn blank(label: impl Into<Arc<str>>) -> Self {
+        Term::Blank(BlankNode::new(label))
+    }
+
+    /// Returns `true` if the term is a URI reference.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// Returns `true` if the term is a blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// Returns the URI if this term is one.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            Term::Blank(_) => None,
+        }
+    }
+
+    /// Returns the blank node if this term is one.
+    pub fn as_blank(&self) -> Option<&BlankNode> {
+        match self {
+            Term::Blank(b) => Some(b),
+            Term::Iri(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "{iri:?}"),
+            Term::Blank(b) => write!(f, "{b:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => fmt::Display::fmt(iri, f),
+            Term::Blank(b) => fmt::Display::fmt(b, f),
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(value: Iri) -> Self {
+        Term::Iri(value)
+    }
+}
+
+impl From<BlankNode> for Term {
+    fn from(value: BlankNode) -> Self {
+        Term::Blank(value)
+    }
+}
+
+/// The RDFS vocabulary fragment with non-trivial semantics studied by the
+/// paper (§2.2): `rdfsV = {sp, sc, type, dom, range}`.
+pub mod rdfs {
+    use super::Iri;
+
+    /// `rdfs:subPropertyOf`, written `sp` in the paper.
+    pub const SP: &str = "rdfs:subPropertyOf";
+    /// `rdfs:subClassOf`, written `sc` in the paper.
+    pub const SC: &str = "rdfs:subClassOf";
+    /// `rdf:type`, written `type` in the paper.
+    pub const TYPE: &str = "rdf:type";
+    /// `rdfs:domain`, written `dom` in the paper.
+    pub const DOM: &str = "rdfs:domain";
+    /// `rdfs:range`, written `range` in the paper.
+    pub const RANGE: &str = "rdfs:range";
+
+    /// Returns `rdfs:subPropertyOf` as an [`Iri`].
+    pub fn sp() -> Iri {
+        Iri::new(SP)
+    }
+
+    /// Returns `rdfs:subClassOf` as an [`Iri`].
+    pub fn sc() -> Iri {
+        Iri::new(SC)
+    }
+
+    /// Returns `rdf:type` as an [`Iri`].
+    pub fn type_() -> Iri {
+        Iri::new(TYPE)
+    }
+
+    /// Returns `rdfs:domain` as an [`Iri`].
+    pub fn dom() -> Iri {
+        Iri::new(DOM)
+    }
+
+    /// Returns `rdfs:range` as an [`Iri`].
+    pub fn range() -> Iri {
+        Iri::new(RANGE)
+    }
+
+    /// The whole reserved vocabulary `rdfsV` in a fixed order.
+    pub fn vocabulary() -> [Iri; 5] {
+        [sp(), sc(), type_(), dom(), range()]
+    }
+
+    /// Returns `true` if `iri` is one of the five reserved RDFS vocabulary
+    /// terms.
+    pub fn is_reserved(iri: &Iri) -> bool {
+        matches!(iri.as_str(), SP | SC | TYPE | DOM | RANGE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_equality_is_by_label() {
+        assert_eq!(Iri::new("ex:a"), Iri::new("ex:a"));
+        assert_ne!(Iri::new("ex:a"), Iri::new("ex:b"));
+    }
+
+    #[test]
+    fn blank_equality_is_by_label() {
+        assert_eq!(BlankNode::new("X"), BlankNode::new("X"));
+        assert_ne!(BlankNode::new("X"), BlankNode::new("Y"));
+    }
+
+    #[test]
+    fn term_constructors_and_accessors() {
+        let a = Term::iri("ex:a");
+        let x = Term::blank("X");
+        assert!(a.is_iri());
+        assert!(!a.is_blank());
+        assert!(x.is_blank());
+        assert_eq!(a.as_iri().unwrap().as_str(), "ex:a");
+        assert_eq!(x.as_blank().unwrap().as_str(), "X");
+        assert!(a.as_blank().is_none());
+        assert!(x.as_iri().is_none());
+    }
+
+    #[test]
+    fn term_display_marks_blanks() {
+        assert_eq!(Term::iri("ex:a").to_string(), "ex:a");
+        assert_eq!(Term::blank("X").to_string(), "_:X");
+    }
+
+    #[test]
+    fn rdfs_vocabulary_is_reserved() {
+        for iri in rdfs::vocabulary() {
+            assert!(rdfs::is_reserved(&iri), "{iri} should be reserved");
+        }
+        assert!(!rdfs::is_reserved(&Iri::new("ex:paints")));
+    }
+
+    #[test]
+    fn rdfs_vocabulary_has_five_distinct_members() {
+        let v = rdfs::vocabulary();
+        for i in 0..v.len() {
+            for j in (i + 1)..v.len() {
+                assert_ne!(v[i], v[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn term_ordering_is_total_and_consistent() {
+        let mut terms = vec![
+            Term::blank("Z"),
+            Term::iri("ex:b"),
+            Term::blank("A"),
+            Term::iri("ex:a"),
+        ];
+        terms.sort();
+        let sorted: Vec<String> = terms.iter().map(ToString::to_string).collect();
+        // All that matters is a stable total order; IRIs sort before blanks by
+        // enum variant order.
+        assert_eq!(sorted, vec!["ex:a", "ex:b", "_:A", "_:Z"]);
+    }
+
+    #[test]
+    fn iri_borrow_str_allows_set_lookup() {
+        use std::collections::BTreeSet;
+        let mut set: BTreeSet<Iri> = BTreeSet::new();
+        set.insert(Iri::new("ex:a"));
+        assert!(set.contains("ex:a"));
+        assert!(!set.contains("ex:b"));
+    }
+}

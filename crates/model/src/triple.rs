@@ -1,0 +1,178 @@
+//! RDF triples.
+//!
+//! An RDF triple is an element `(s, p, o) ∈ (U ∪ B) × U × (U ∪ B)` (§2.1):
+//! subjects and objects range over URIs and blank nodes, predicates are URIs.
+
+use std::fmt;
+
+use crate::term::{Iri, Term};
+
+/// An RDF triple `(subject, predicate, object)`.
+///
+/// The predicate position is restricted to URIs, as in the paper's definition
+/// of well-formed triples; attempts to instantiate rules or maps with a blank
+/// node in predicate position are rejected at the point where they arise (see
+/// `swdb-entailment`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Triple {
+    subject: Term,
+    predicate: Iri,
+    object: Term,
+}
+
+impl Triple {
+    /// Creates a triple from its three components.
+    pub fn new(subject: impl Into<Term>, predicate: impl Into<Iri>, object: impl Into<Term>) -> Self {
+        Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+
+    /// The subject `s` of the triple.
+    pub fn subject(&self) -> &Term {
+        &self.subject
+    }
+
+    /// The predicate `p` of the triple.
+    pub fn predicate(&self) -> &Iri {
+        &self.predicate
+    }
+
+    /// The object `o` of the triple.
+    pub fn object(&self) -> &Term {
+        &self.object
+    }
+
+    /// Decomposes the triple into its components.
+    pub fn into_parts(self) -> (Term, Iri, Term) {
+        (self.subject, self.predicate, self.object)
+    }
+
+    /// Returns `true` if neither the subject nor the object is a blank node.
+    pub fn is_ground(&self) -> bool {
+        !self.subject.is_blank() && !self.object.is_blank()
+    }
+
+    /// Returns an iterator over the subject and object terms (the positions a
+    /// map can act on).
+    pub fn node_terms(&self) -> impl Iterator<Item = &Term> {
+        [&self.subject, &self.object].into_iter()
+    }
+
+    /// Returns an iterator over all three positions viewed as terms (the
+    /// predicate is wrapped into a [`Term::Iri`]).
+    pub fn all_terms(&self) -> [Term; 3] {
+        [
+            self.subject.clone(),
+            Term::Iri(self.predicate.clone()),
+            self.object.clone(),
+        ]
+    }
+}
+
+impl fmt::Debug for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.subject, self.predicate, self.object)
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.subject, self.predicate, self.object)
+    }
+}
+
+impl<S, P, O> From<(S, P, O)> for Triple
+where
+    S: Into<Term>,
+    P: Into<Iri>,
+    O: Into<Term>,
+{
+    fn from((s, p, o): (S, P, O)) -> Self {
+        Triple::new(s, p, o)
+    }
+}
+
+/// Shorthand for building a triple from `&str` components, interpreting
+/// labels starting with `"_:"` as blank nodes and everything else as URIs.
+///
+/// This is the notation used throughout the test suite to transcribe the
+/// paper's examples compactly.
+pub fn triple(s: &str, p: &str, o: &str) -> Triple {
+    Triple::new(parse_term(s), Iri::new(p), parse_term(o))
+}
+
+/// Parses a term label: `"_:X"` becomes the blank node `X`, anything else a
+/// URI.
+pub fn parse_term(label: &str) -> Term {
+    match label.strip_prefix("_:") {
+        Some(blank) => Term::blank(blank),
+        None => Term::iri(label),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Triple::new(Term::iri("ex:Picasso"), Iri::new("ex:paints"), Term::iri("ex:Guernica"));
+        assert_eq!(t.subject(), &Term::iri("ex:Picasso"));
+        assert_eq!(t.predicate().as_str(), "ex:paints");
+        assert_eq!(t.object(), &Term::iri("ex:Guernica"));
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(triple("ex:a", "ex:p", "ex:b").is_ground());
+        assert!(!triple("_:X", "ex:p", "ex:b").is_ground());
+        assert!(!triple("ex:a", "ex:p", "_:Y").is_ground());
+    }
+
+    #[test]
+    fn shorthand_parses_blanks() {
+        let t = triple("_:X", "ex:p", "ex:b");
+        assert!(t.subject().is_blank());
+        assert!(t.object().is_iri());
+        assert_eq!(t.subject().as_blank().unwrap().as_str(), "X");
+    }
+
+    #[test]
+    fn display_round_trips_components() {
+        let t = triple("_:X", "ex:p", "ex:b");
+        assert_eq!(t.to_string(), "(_:X, ex:p, ex:b)");
+    }
+
+    #[test]
+    fn from_tuple() {
+        let t: Triple = (Term::iri("ex:a"), Iri::new("ex:p"), Term::blank("Y")).into();
+        assert_eq!(t, triple("ex:a", "ex:p", "_:Y"));
+    }
+
+    #[test]
+    fn node_terms_excludes_predicate() {
+        let t = triple("ex:a", "ex:p", "_:Y");
+        let nodes: Vec<&Term> = t.node_terms().collect();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0], &Term::iri("ex:a"));
+        assert_eq!(nodes[1], &Term::blank("Y"));
+    }
+
+    #[test]
+    fn all_terms_includes_predicate_as_iri_term() {
+        let t = triple("ex:a", "ex:p", "_:Y");
+        let all = t.all_terms();
+        assert_eq!(all[1], Term::iri("ex:p"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_positions() {
+        let t1 = triple("ex:a", "ex:p", "ex:b");
+        let t2 = triple("ex:a", "ex:q", "ex:a");
+        assert!(t1 < t2);
+    }
+}

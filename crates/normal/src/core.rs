@@ -1,0 +1,185 @@
+//! Cores of RDF graphs (Theorem 3.10).
+//!
+//! Every RDF graph `G` contains a unique (up to isomorphism) lean subgraph
+//! that is an instance of `G`; it is called the *core* of `G` and written
+//! `core(G)`. `G ≡ core(G)`, and for simple graphs the core is the unique
+//! minimal graph equivalent to `G` (Theorem 3.11). Deciding whether a given
+//! graph is (isomorphic to) the core of another is DP-complete
+//! (Theorem 3.12(2)).
+//!
+//! The computation iterates proper retractions: while the current graph is
+//! not lean, apply a redundancy-witnessing map and keep the image. The
+//! composition of the applied maps witnesses that the result is an instance
+//! of the input, and termination is guaranteed because every step strictly
+//! decreases the number of triples (or blank nodes).
+
+use swdb_model::{isomorphic, Graph, TermMap};
+
+use crate::lean::{find_non_lean_witness, is_lean};
+
+/// The result of a core computation: the core itself and the retraction map
+/// from the original graph onto it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreComputation {
+    /// The core graph (lean, an instance of the input, a subgraph of it).
+    pub core: Graph,
+    /// The composed retraction `ρ` with `ρ(G) = core`.
+    pub retraction: TermMap,
+    /// Number of retraction rounds performed.
+    pub rounds: usize,
+}
+
+/// Computes `core(G)` together with the witnessing retraction.
+pub fn core_with_witness(g: &Graph) -> CoreComputation {
+    let mut current = g.clone();
+    let mut retraction = TermMap::identity();
+    let mut rounds = 0usize;
+    while let Some(witness) = find_non_lean_witness(&current) {
+        current = witness.map.apply_graph(&current);
+        retraction = witness.map.compose_after(&retraction);
+        rounds += 1;
+    }
+    CoreComputation {
+        core: current,
+        retraction,
+        rounds,
+    }
+}
+
+/// Computes the core of a graph.
+pub fn core(g: &Graph) -> Graph {
+    core_with_witness(g).core
+}
+
+/// Decides whether `candidate` is (isomorphic to) `core(g)` — the RDF
+/// version of the Core Identification problem (Theorem 3.12(2)).
+pub fn is_core_of(candidate: &Graph, g: &Graph) -> bool {
+    is_lean(candidate) && isomorphic(candidate, &core(g))
+}
+
+/// Returns `true` if the graph equals its own core (i.e. it is lean).
+pub fn is_own_core(g: &Graph) -> bool {
+    is_lean(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::{graph, rdfs, triple};
+
+    #[test]
+    fn core_of_example_3_8_g1_is_a_single_triple() {
+        let g1 = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]);
+        let result = core_with_witness(&g1);
+        assert_eq!(result.core.len(), 1);
+        assert!(is_lean(&result.core));
+        // The retraction really maps G1 onto the core.
+        assert_eq!(result.retraction.apply_graph(&g1), result.core);
+        assert!(result.rounds >= 1);
+    }
+
+    #[test]
+    fn core_is_a_subgraph_and_an_instance() {
+        let g = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:a", "ex:p", "_:X"),
+            ("_:X", "ex:q", "_:Y"),
+            ("ex:b", "ex:q", "ex:c"),
+        ]);
+        let result = core_with_witness(&g);
+        assert!(result.core.is_subgraph_of(&g), "the core is a subgraph of G");
+        assert!(is_lean(&result.core));
+        // Ground triples always survive.
+        assert!(result.core.contains(&triple("ex:a", "ex:p", "ex:b")));
+        assert!(result.core.contains(&triple("ex:b", "ex:q", "ex:c")));
+    }
+
+    #[test]
+    fn core_of_lean_graph_is_itself() {
+        let g = graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("_:X", "ex:q", "ex:b"),
+        ]);
+        assert_eq!(core(&g), g);
+        assert!(is_own_core(&g));
+    }
+
+    #[test]
+    fn core_preserves_equivalence() {
+        let g = graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:a", "ex:p", "_:Y"),
+            ("_:Y", "ex:q", "ex:b"),
+            ("_:Z", "ex:q", "ex:b"),
+        ]);
+        let c = core(&g);
+        assert!(swdb_entailment::simple_equivalent(&g, &c));
+        assert!(c.len() < g.len());
+    }
+
+    #[test]
+    fn theorem_3_11_core_identification_for_simple_graphs() {
+        // G1 ≡ G2 iff core(G1) ≅ core(G2).
+        let g1 = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]);
+        let g2 = graph([("ex:a", "ex:p", "_:Z")]);
+        assert!(swdb_entailment::simple_equivalent(&g1, &g2));
+        assert!(isomorphic(&core(&g1), &core(&g2)));
+        let g3 = graph([("ex:a", "ex:p", "ex:b")]);
+        assert!(!swdb_entailment::simple_equivalent(&g1, &g3));
+        assert!(!isomorphic(&core(&g1), &core(&g3)));
+    }
+
+    #[test]
+    fn is_core_of_checks_both_leanness_and_isomorphism() {
+        let g = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]);
+        let single = graph([("ex:a", "ex:p", "_:W")]);
+        assert!(is_core_of(&single, &g));
+        assert!(!is_core_of(&g, &g), "a non-lean graph is not its own core");
+        let wrong = graph([("ex:a", "ex:q", "_:W")]);
+        assert!(!is_core_of(&wrong, &g));
+    }
+
+    #[test]
+    fn blank_chain_collapses_onto_ground_anchor() {
+        // (a, p, X), (X, p, Y), (Y, p, b) with also (a, p, b) ... the chain
+        // cannot fully collapse (p-paths of length 3 vs 1), so only check the
+        // simpler anchored redundancy:
+        let g = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:a", "ex:p", "_:X"),
+            ("_:X", "ex:q", "ex:c"),
+            ("ex:b", "ex:q", "ex:c"),
+        ]);
+        let c = core(&g);
+        assert_eq!(c.len(), 2, "X collapses onto b, got {c}");
+        assert!(c.is_ground());
+    }
+
+    #[test]
+    fn core_with_rdfs_vocabulary_is_still_syntactic() {
+        // The core operation ignores vocabulary semantics: Example 3.17 notes
+        // that even cores of equivalent RDFS graphs can differ.
+        let g = graph([
+            ("ex:a", rdfs::SC, "ex:b"),
+            ("ex:b", rdfs::SC, "_:N"),
+            ("_:N", rdfs::SC, "ex:c"),
+            ("ex:b", rdfs::SC, "ex:c"),
+        ]);
+        let c = core(&g);
+        assert!(is_lean(&c));
+        assert!(c.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn rounds_are_bounded_by_blank_count() {
+        let g = graph([
+            ("ex:a", "ex:p", "_:B0"),
+            ("ex:a", "ex:p", "_:B1"),
+            ("ex:a", "ex:p", "_:B2"),
+            ("ex:a", "ex:p", "_:B3"),
+        ]);
+        let result = core_with_witness(&g);
+        assert_eq!(result.core.len(), 1);
+        assert!(result.rounds <= 4);
+    }
+}

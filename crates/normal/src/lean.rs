@@ -1,0 +1,145 @@
+//! Lean graphs (Definition 3.7).
+//!
+//! A graph `G` is *lean* if there is no map `μ` such that `μ(G)` is a proper
+//! subgraph of `G`. Leanness is the RDF incarnation of being a graph core;
+//! deciding it is coNP-complete (Theorem 3.12(1), by reduction from the
+//! graph-theoretic Core problem of Hell & Nešetřil).
+//!
+//! The search strategy: `G` is **not** lean iff there is a triple `t ∈ G` and
+//! a map `μ : G → G − {t}` (the image then misses `t`, hence is a proper
+//! subgraph). We therefore run one map search per triple, which keeps the
+//! certificate structure of the NP-membership argument explicit.
+
+use swdb_model::{Graph, TermMap, Triple};
+
+/// The witness that a graph is not lean: a map whose image is a proper
+/// subgraph, together with a triple the image avoids.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NonLeanWitness {
+    /// The redundancy-witnessing map `μ` with `μ(G) ⊊ G`.
+    pub map: TermMap,
+    /// A triple of `G` not present in `μ(G)`.
+    pub avoided: Triple,
+}
+
+/// Searches for a witness that the graph is not lean.
+pub fn find_non_lean_witness(g: &Graph) -> Option<NonLeanWitness> {
+    // Only triples mentioning blank nodes can be avoided: a ground triple is
+    // fixed by every map, so it always stays in the image.
+    for t in g.iter() {
+        if t.is_ground() {
+            continue;
+        }
+        if let Some(map) = swdb_hom::find_map_avoiding(g, t) {
+            debug_assert!(map.apply_graph(g).is_proper_subgraph_of(g));
+            return Some(NonLeanWitness {
+                map,
+                avoided: t.clone(),
+            });
+        }
+    }
+    None
+}
+
+/// Returns `true` if the graph is lean.
+pub fn is_lean(g: &Graph) -> bool {
+    find_non_lean_witness(g).is_none()
+}
+
+/// Checks a claimed non-leanness witness.
+pub fn verify_non_lean_witness(g: &Graph, witness: &NonLeanWitness) -> bool {
+    g.contains(&witness.avoided) && {
+        let image = witness.map.apply_graph(g);
+        image.is_proper_subgraph_of(g) && !image.contains(&witness.avoided)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::graph;
+
+    #[test]
+    fn example_3_8_g1_is_not_lean() {
+        let g1 = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]);
+        assert!(!is_lean(&g1));
+        let witness = find_non_lean_witness(&g1).unwrap();
+        assert!(verify_non_lean_witness(&g1, &witness));
+    }
+
+    #[test]
+    fn example_3_8_g2_is_lean() {
+        // Two blanks with distinguishable continuations cannot be collapsed.
+        let g2 = graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:a", "ex:p", "_:Y"),
+            ("_:X", "ex:q", "ex:b"),
+            ("_:Y", "ex:r", "ex:b"),
+        ]);
+        assert!(is_lean(&g2));
+    }
+
+    #[test]
+    fn ground_graphs_are_always_lean() {
+        let g = graph([("ex:a", "ex:p", "ex:b"), ("ex:b", "ex:p", "ex:c")]);
+        assert!(is_lean(&g));
+    }
+
+    #[test]
+    fn blank_specialisation_of_ground_triple_is_redundant() {
+        // (a, p, b) makes (a, p, _:X) redundant.
+        let g = graph([("ex:a", "ex:p", "ex:b"), ("ex:a", "ex:p", "_:X")]);
+        assert!(!is_lean(&g));
+        let witness = find_non_lean_witness(&g).unwrap();
+        assert_eq!(witness.avoided, swdb_model::triple("ex:a", "ex:p", "_:X"));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs_are_lean() {
+        assert!(is_lean(&Graph::new()));
+        assert!(is_lean(&graph([("ex:a", "ex:p", "_:X")])));
+        assert!(is_lean(&graph([("_:X", "ex:p", "_:Y")])));
+    }
+
+    #[test]
+    fn blank_cycle_longer_than_necessary_is_not_lean() {
+        // A blank 4-cycle retracts onto a blank 2-cycle contained in it? It
+        // does not (the 2-cycle is not a subgraph), but a 2-cycle plus a
+        // pendant blank path is not lean.
+        let g = graph([
+            ("_:A", "ex:e", "_:B"),
+            ("_:B", "ex:e", "_:A"),
+            ("_:C", "ex:e", "_:A"),
+        ]);
+        // C can be mapped to B (B has an edge to A), avoiding (C, e, A)... the
+        // triple (B, e, A) already exists, so the image is proper.
+        assert!(!is_lean(&g));
+    }
+
+    #[test]
+    fn verify_rejects_bogus_witnesses() {
+        let g = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]);
+        let bogus = NonLeanWitness {
+            map: TermMap::identity(),
+            avoided: swdb_model::triple("ex:a", "ex:p", "_:X"),
+        };
+        assert!(!verify_non_lean_witness(&g, &bogus));
+        let wrong_triple = NonLeanWitness {
+            map: TermMap::from_pairs([("Y", swdb_model::Term::blank("X"))]),
+            avoided: swdb_model::triple("ex:nonexistent", "ex:p", "ex:q"),
+        };
+        assert!(!verify_non_lean_witness(&g, &wrong_triple));
+    }
+
+    #[test]
+    fn rdfs_vocabulary_does_not_affect_leanness_definition() {
+        // Leanness is purely about maps, irrespective of vocabulary
+        // semantics.
+        let g = graph([
+            ("ex:A", swdb_model::rdfs::SC, "ex:B"),
+            ("_:X", swdb_model::rdfs::TYPE, "ex:A"),
+            ("_:Y", swdb_model::rdfs::TYPE, "ex:A"),
+        ]);
+        assert!(!is_lean(&g), "the two typed blanks collapse");
+    }
+}

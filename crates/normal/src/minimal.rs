@@ -1,0 +1,278 @@
+//! Minimal representations (Definition 3.13, Examples 3.14/3.15,
+//! Theorem 3.16).
+//!
+//! A *minimal representation* of `G` is a minimal (with respect to number of
+//! triples) graph equivalent to `G` and contained in `G`. For simple graphs
+//! the core plays this role uniquely; with RDFS vocabulary the transitivity
+//! of `sc`/`sp` makes minimal representations non-unique in general
+//! (Example 3.14), and even acyclicity is not enough when reserved vocabulary
+//! occurs in subject/object positions (Example 3.15). Theorem 3.16
+//! identifies the well-behaved class: acyclic `sc`/`sp` and no reserved
+//! vocabulary in subject or object position.
+
+use std::collections::BTreeMap;
+
+use swdb_model::{isomorphic, rdfs, Graph, Term, Triple};
+
+/// Returns `true` if removing `t` from `g` preserves equivalence, i.e. `t` is
+/// derivable from the remaining triples.
+pub fn is_redundant_in(g: &Graph, t: &Triple) -> bool {
+    let mut without = g.clone();
+    without.remove(t);
+    // g ⊨ without holds trivially (subset); equivalence needs without ⊨ g,
+    // and since only t is missing it suffices that without ⊨ {t} — but note
+    // t may share blank nodes with `without`, in which case treating it in
+    // isolation would be too weak. Checking entailment of the whole graph is
+    // always correct.
+    swdb_entailment::entails(&without, g)
+}
+
+/// Greedy minimal representation: repeatedly drop redundant triples, scanning
+/// in the graph's deterministic order, until no triple is redundant. The
+/// result is contained in `g`, equivalent to `g`, and minimal *among the
+/// subsets reachable by single-triple removals*; for the class of
+/// Theorem 3.16 it is **the** unique minimal representation.
+pub fn minimal_representation(g: &Graph) -> Graph {
+    minimal_representation_with_preference(g, |_| 0)
+}
+
+/// Greedy minimal representation with a caller-supplied priority: triples
+/// with smaller priority values are tried for removal first. Used to exhibit
+/// the non-uniqueness of Examples 3.14/3.15 by steering which of two mutually
+/// redundant triples is dropped.
+pub fn minimal_representation_with_preference(
+    g: &Graph,
+    priority: impl Fn(&Triple) -> usize,
+) -> Graph {
+    let mut current = g.clone();
+    loop {
+        let mut candidates: Vec<Triple> = current.iter().cloned().collect();
+        candidates.sort_by_key(|t| priority(t));
+        let mut removed = false;
+        for t in candidates {
+            if is_redundant_in(&current, &t) {
+                current.remove(&t);
+                removed = true;
+                break;
+            }
+        }
+        if !removed {
+            return current;
+        }
+    }
+}
+
+/// Collects the distinct (up to isomorphism) minimal representations that are
+/// reachable by choosing each triple of `g` as the first removal preference.
+/// For graphs in the class of Theorem 3.16 this always returns exactly one
+/// graph; Examples 3.14 and 3.15 produce two.
+pub fn distinct_minimal_representations(g: &Graph, limit: usize) -> Vec<Graph> {
+    let mut found: Vec<Graph> = Vec::new();
+    let triples: Vec<Triple> = g.iter().cloned().collect();
+    let preferences: Vec<Option<Triple>> = std::iter::once(None)
+        .chain(triples.into_iter().map(Some))
+        .collect();
+    for preferred in preferences {
+        let result = match &preferred {
+            None => minimal_representation(g),
+            Some(first) => minimal_representation_with_preference(g, |t| {
+                if t == first {
+                    0
+                } else {
+                    1
+                }
+            }),
+        };
+        if !found.iter().any(|existing| isomorphic(existing, &result)) {
+            found.push(result);
+            if found.len() >= limit {
+                break;
+            }
+        }
+    }
+    found
+}
+
+/// Checks the precondition of Theorem 3.16: the graph has no reserved
+/// vocabulary in subject or object position and its `sc` and `sp` relations
+/// are acyclic.
+pub fn has_unique_minimal_representation(g: &Graph) -> bool {
+    !reserved_vocabulary_in_node_position(g)
+        && relation_is_acyclic(g, &rdfs::sc())
+        && relation_is_acyclic(g, &rdfs::sp())
+}
+
+/// Returns `true` if some triple uses `sp`, `sc`, `type`, `dom` or `range`
+/// in subject or object position.
+pub fn reserved_vocabulary_in_node_position(g: &Graph) -> bool {
+    g.iter().any(|t| {
+        t.node_terms()
+            .any(|term| matches!(term, Term::Iri(iri) if rdfs::is_reserved(iri)))
+    })
+}
+
+/// Returns `true` if the binary relation encoded by `predicate` has no
+/// directed cycle (ignoring reflexive triples `(a, p, a)`, which the proof of
+/// Theorem 3.16 handles separately).
+pub fn relation_is_acyclic(g: &Graph, predicate: &swdb_model::Iri) -> bool {
+    let mut nodes: BTreeMap<Term, usize> = BTreeMap::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for t in g.triples_with_predicate(predicate) {
+        if t.subject() == t.object() {
+            continue;
+        }
+        let n = nodes.len();
+        let u = *nodes.entry(t.subject().clone()).or_insert(n);
+        let n = nodes.len();
+        let v = *nodes.entry(t.object().clone()).or_insert(n);
+        edges.push((u, v));
+    }
+    // Kahn's algorithm.
+    let node_count = nodes.len();
+    let mut in_deg = vec![0usize; node_count];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); node_count];
+    for &(u, v) in &edges {
+        in_deg[v] += 1;
+        succ[u].push(v);
+    }
+    let mut queue: Vec<usize> = (0..node_count).filter(|&v| in_deg[v] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(v) = queue.pop() {
+        seen += 1;
+        for &w in &succ[v] {
+            in_deg[w] -= 1;
+            if in_deg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    seen == node_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::{graph, triple};
+
+    #[test]
+    fn example_3_14_two_minimal_representations() {
+        // a has two sp-parents b and c which are mutually sp-related, so the
+        // transitive reduction is not unique.
+        let g = graph([
+            ("ex:b", rdfs::SP, "ex:a"),
+            ("ex:c", rdfs::SP, "ex:a"),
+            ("ex:b", rdfs::SP, "ex:c"),
+            ("ex:c", rdfs::SP, "ex:b"),
+        ]);
+        assert!(!has_unique_minimal_representation(&g), "the sp relation is cyclic");
+        let reprs = distinct_minimal_representations(&g, 8);
+        assert!(
+            reprs.len() >= 2,
+            "Example 3.14 must exhibit at least two non-isomorphic minimal representations, got {}",
+            reprs.len()
+        );
+        for r in &reprs {
+            assert!(swdb_entailment::equivalent(r, &g));
+            assert!(r.is_subgraph_of(&g));
+        }
+    }
+
+    #[test]
+    fn example_3_15_acyclic_but_reserved_vocabulary_in_node_position() {
+        let g = graph([
+            ("ex:a", rdfs::SC, "ex:b"),
+            (rdfs::TYPE, rdfs::DOM, "ex:a"),
+            ("ex:x", rdfs::TYPE, "ex:a"),
+            ("ex:x", rdfs::TYPE, "ex:b"),
+        ]);
+        assert!(reserved_vocabulary_in_node_position(&g));
+        assert!(!has_unique_minimal_representation(&g));
+        let reprs = distinct_minimal_representations(&g, 8);
+        assert!(
+            reprs.len() >= 2,
+            "Example 3.15 has two non-isomorphic minimal representations, got {}",
+            reprs.len()
+        );
+        // They are exactly G1 and G2 of the example (one keeps (x, type, a),
+        // the other keeps (x, type, b)).
+        for r in &reprs {
+            assert_eq!(r.len(), 3);
+            assert!(swdb_entailment::equivalent(r, &g));
+        }
+    }
+
+    #[test]
+    fn theorem_3_16_unique_minimal_representation_for_acyclic_schema() {
+        // A transitive "diamond with shortcut": the shortcut is the only
+        // redundant triple, whichever order we try.
+        let g = graph([
+            ("ex:A", rdfs::SC, "ex:B"),
+            ("ex:B", rdfs::SC, "ex:C"),
+            ("ex:A", rdfs::SC, "ex:C"),
+            ("ex:x", rdfs::TYPE, "ex:A"),
+        ]);
+        assert!(has_unique_minimal_representation(&g));
+        let reprs = distinct_minimal_representations(&g, 8);
+        assert_eq!(reprs.len(), 1, "Theorem 3.16 guarantees uniqueness");
+        let minimal = &reprs[0];
+        assert_eq!(minimal.len(), 3);
+        assert!(!minimal.contains(&triple("ex:A", rdfs::SC, "ex:C")));
+    }
+
+    #[test]
+    fn minimal_representation_keeps_underivable_triples() {
+        let g = graph([
+            ("ex:p", rdfs::DOM, "ex:C"),
+            ("ex:p", rdfs::RANGE, "ex:D"),
+            ("ex:s", "ex:p", "ex:o"),
+        ]);
+        // dom/range triples are never derivable; nothing can be dropped
+        // except the type triples they would generate (not present here).
+        let m = minimal_representation(&g);
+        assert_eq!(m, g);
+    }
+
+    #[test]
+    fn derived_type_triples_are_dropped() {
+        let g = graph([
+            ("ex:p", rdfs::DOM, "ex:C"),
+            ("ex:s", "ex:p", "ex:o"),
+            ("ex:s", rdfs::TYPE, "ex:C"), // derivable via rule (6)
+        ]);
+        let m = minimal_representation(&g);
+        assert_eq!(m.len(), 2);
+        assert!(!m.contains(&triple("ex:s", rdfs::TYPE, "ex:C")));
+        assert!(swdb_entailment::equivalent(&m, &g));
+    }
+
+    #[test]
+    fn redundancy_detection_matches_entailment() {
+        let g = graph([
+            ("ex:A", rdfs::SC, "ex:B"),
+            ("ex:B", rdfs::SC, "ex:C"),
+            ("ex:A", rdfs::SC, "ex:C"),
+        ]);
+        assert!(is_redundant_in(&g, &triple("ex:A", rdfs::SC, "ex:C")));
+        assert!(!is_redundant_in(&g, &triple("ex:A", rdfs::SC, "ex:B")));
+        assert!(!is_redundant_in(&g, &triple("ex:B", rdfs::SC, "ex:C")));
+    }
+
+    #[test]
+    fn acyclicity_checks() {
+        let acyclic = graph([("ex:A", rdfs::SC, "ex:B"), ("ex:B", rdfs::SC, "ex:C")]);
+        assert!(relation_is_acyclic(&acyclic, &rdfs::sc()));
+        let cyclic = graph([("ex:A", rdfs::SC, "ex:B"), ("ex:B", rdfs::SC, "ex:A")]);
+        assert!(!relation_is_acyclic(&cyclic, &rdfs::sc()));
+        // Reflexive triples do not count as cycles for this check.
+        let reflexive = graph([("ex:A", rdfs::SC, "ex:A")]);
+        assert!(relation_is_acyclic(&reflexive, &rdfs::sc()));
+    }
+
+    #[test]
+    fn simple_graphs_reduce_to_their_core() {
+        let g = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]);
+        let m = minimal_representation(&g);
+        assert_eq!(m.len(), 1);
+        assert!(swdb_model::isomorphic(&m, &crate::core::core(&g)));
+    }
+}

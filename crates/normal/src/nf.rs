@@ -1,0 +1,172 @@
+//! The normal form `nf(G) = core(cl(G))` (Definition 3.18, Theorem 3.19).
+//!
+//! Neither the closure (maximal representation) nor the core (minimal
+//! representation) alone is a normal form: Example 3.17 exhibits equivalent
+//! graphs with non-isomorphic closures *and* non-isomorphic cores. The
+//! composition fixes both problems: `nf(G)` is unique up to isomorphism and
+//! syntax independent — `G ≡ H` iff `nf(G) ≅ nf(H)`. Computing it is
+//! DP-complete (Theorem 3.20).
+
+use swdb_model::{isomorphic, Graph};
+
+use crate::closure::closure;
+use crate::core::core;
+
+/// Computes the normal form `nf(G) = core(cl(G))`.
+pub fn normal_form(g: &Graph) -> Graph {
+    core(&closure(g))
+}
+
+/// Decides whether `candidate` is (isomorphic to) the normal form of `g`
+/// — the decision problem of Theorem 3.20.
+pub fn is_normal_form_of(candidate: &Graph, g: &Graph) -> bool {
+    isomorphic(candidate, &normal_form(g))
+}
+
+/// Decides graph equivalence through normal forms (Theorem 3.19(2)):
+/// `G ≡ H` iff `nf(G) ≅ nf(H)`. This is an alternative to the two
+/// entailment checks of [`swdb_entailment::equivalent`] and is used in tests
+/// to cross-validate both procedures.
+pub fn equivalent_by_normal_form(g: &Graph, h: &Graph) -> bool {
+    isomorphic(&normal_form(g), &normal_form(h))
+}
+
+/// Returns `true` if the graph is already in normal form (equal to its own
+/// normal form; since `nf` is computed canonically on the same blank labels,
+/// literal equality is the right check here).
+pub fn is_in_normal_form(g: &Graph) -> bool {
+    normal_form(g) == *g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::{graph, rdfs, triple};
+
+    /// Example 3.17: `G` routes `b ⊑ c` through a blank node, `H` states it
+    /// directly (plus the derived shortcut). The two graphs are equivalent.
+    fn example_3_17() -> (Graph, Graph) {
+        let g = graph([
+            ("ex:a", rdfs::SC, "ex:b"),
+            ("ex:b", rdfs::SC, "_:N"),
+            ("_:N", rdfs::SC, "ex:c"),
+        ]);
+        let h = graph([
+            ("ex:a", rdfs::SC, "ex:b"),
+            ("ex:b", rdfs::SC, "ex:c"),
+            ("ex:a", rdfs::SC, "ex:c"),
+        ]);
+        (g, h)
+    }
+
+    #[test]
+    fn example_3_17_graphs_are_equivalent() {
+        let (g, h) = example_3_17();
+        assert!(swdb_entailment::equivalent(&g, &h));
+    }
+
+    #[test]
+    fn example_3_17_closures_and_cores_are_not_syntax_independent() {
+        let (g, h) = example_3_17();
+        let cl_g = closure(&g);
+        let cl_h = closure(&h);
+        assert!(
+            !isomorphic(&cl_g, &cl_h),
+            "closures of equivalent graphs need not be isomorphic"
+        );
+        let core_g = core(&g);
+        let core_h = core(&h);
+        assert!(
+            !isomorphic(&core_g, &core_h),
+            "cores of equivalent graphs need not be isomorphic either"
+        );
+    }
+
+    #[test]
+    fn example_3_17_normal_forms_agree() {
+        let (g, h) = example_3_17();
+        assert!(isomorphic(&normal_form(&g), &normal_form(&h)));
+        assert!(equivalent_by_normal_form(&g, &h));
+        // The normal form is ground: the blank detour is retracted away.
+        assert!(normal_form(&g).is_ground());
+        assert!(normal_form(&g).contains(&triple("ex:a", rdfs::SC, "ex:c")));
+    }
+
+    #[test]
+    fn theorem_3_19_uniqueness_under_blank_renaming() {
+        let g = graph([
+            ("ex:a", rdfs::SC, "ex:b"),
+            ("_:X", rdfs::TYPE, "ex:a"),
+        ]);
+        let renamed = swdb_model::rename_blanks_sequentially(&g, "fresh");
+        assert!(isomorphic(&normal_form(&g), &normal_form(&renamed)));
+    }
+
+    #[test]
+    fn normal_form_is_equivalent_to_input_and_idempotent() {
+        let g = graph([
+            ("ex:Painter", rdfs::SC, "ex:Artist"),
+            ("ex:Artist", rdfs::SC, "ex:Person"),
+            ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+            ("ex:Picasso", rdfs::TYPE, "_:SomeClassMember"),
+        ]);
+        let nf = normal_form(&g);
+        assert!(swdb_entailment::equivalent(&g, &nf));
+        assert!(is_in_normal_form(&nf), "nf must be a fixpoint");
+        assert!(isomorphic(&normal_form(&nf), &nf));
+    }
+
+    #[test]
+    fn equivalence_by_normal_form_agrees_with_entailment_equivalence() {
+        let pairs = [
+            (
+                graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]),
+                graph([("ex:a", "ex:p", "_:Z")]),
+                true,
+            ),
+            (
+                graph([("ex:a", "ex:p", "ex:b")]),
+                graph([("ex:a", "ex:p", "_:X")]),
+                false,
+            ),
+            (
+                graph([("ex:A", rdfs::SC, "ex:B"), ("ex:B", rdfs::SC, "ex:C")]),
+                graph([
+                    ("ex:A", rdfs::SC, "ex:B"),
+                    ("ex:B", rdfs::SC, "ex:C"),
+                    ("ex:A", rdfs::SC, "ex:C"),
+                ]),
+                true,
+            ),
+        ];
+        for (g, h, expected) in pairs {
+            assert_eq!(swdb_entailment::equivalent(&g, &h), expected);
+            assert_eq!(equivalent_by_normal_form(&g, &h), expected, "for {g} vs {h}");
+        }
+    }
+
+    #[test]
+    fn is_normal_form_of_detects_mismatches() {
+        let g = graph([("ex:A", rdfs::SC, "ex:B"), ("_:X", rdfs::TYPE, "ex:A")]);
+        let nf = normal_form(&g);
+        assert!(is_normal_form_of(&nf, &g));
+        assert!(!is_normal_form_of(&g, &g), "g itself is not closed, so it is not its nf");
+    }
+
+    #[test]
+    fn simple_graph_normal_form_is_core_plus_axioms() {
+        // For a simple graph the closure only adds reflexive sp triples for
+        // the predicates in use plus the vocabulary axioms, and the core
+        // cannot remove ground triples, so nf(G) ⊇ core(G).
+        let g = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]);
+        let nf = normal_form(&g);
+        assert!(nf.contains(&triple("ex:p", rdfs::SP, "ex:p")));
+        assert!(nf.contains(&triple(rdfs::TYPE, rdfs::SP, rdfs::TYPE)));
+        // Exactly one of the two redundant blank triples survives.
+        let blank_triples = nf
+            .iter()
+            .filter(|t| t.predicate().as_str() == "ex:p" && t.object().is_blank())
+            .count();
+        assert_eq!(blank_triples, 1);
+    }
+}

@@ -1,0 +1,486 @@
+//! Answers to queries (§4.1, Definition 4.3).
+//!
+//! Given a query `q = (H, B, P, C)` and a database `D`:
+//!
+//! * a *matching* is a valuation `v` with `v(B) ⊆ nf(D + P)`;
+//! * a matching *satisfies the constraints* if every constrained variable is
+//!   bound to a non-blank term;
+//! * the *pre-answer* is the set of single answers `v(H)`, where blank nodes
+//!   of `H` are replaced by Skolem values `f_N(v(?X1), …, v(?Xk))` computed
+//!   from the bindings of all body variables;
+//! * the answer is either the **union** of the single answers
+//!   (`ans∪`, the default in the paper) or their **merge** (`ans+`, which
+//!   renames blank nodes apart).
+//!
+//! Matching against `nf(D + P)` — rather than `D` itself — is what makes
+//! answers invariant under database equivalence (Theorem 4.6) and finite
+//! (Note 4.4).
+
+use swdb_hom::{Binding, GraphIndex, PatternTerm, Solver, Variable};
+use swdb_model::{Graph, Term};
+
+use crate::query::Query;
+
+/// Which composition of single answers to use (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Semantics {
+    /// `ans∪(q, D)`: union of the single answers (blank nodes shared between
+    /// single answers are preserved). The paper's default.
+    Union,
+    /// `ans+(q, D)`: merge of the single answers (blank nodes renamed apart).
+    Merge,
+}
+
+/// The normalized database a query is evaluated against: `nf(D + P)`.
+///
+/// Building it is the expensive part of evaluation (DP-hard in general,
+/// Theorem 3.20), so it is exposed as a reusable value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NormalizedDatabase {
+    normal_form: Graph,
+}
+
+impl NormalizedDatabase {
+    /// Normalizes `D + P` for the given query.
+    pub fn new(database: &Graph, query: &Query) -> Self {
+        let combined = database.merge(query.premise());
+        NormalizedDatabase {
+            normal_form: swdb_normal::normal_form(&combined),
+        }
+    }
+
+    /// Normalizes a premise-free database.
+    pub fn without_premise(database: &Graph) -> Self {
+        NormalizedDatabase {
+            normal_form: swdb_normal::normal_form(database),
+        }
+    }
+
+    /// Wraps a graph the caller asserts is already in the desired evaluation
+    /// form (e.g. the core of a simple-regime database). No normalization is
+    /// applied; queries will match against the graph as given.
+    pub fn assume_normalized(graph: Graph) -> Self {
+        NormalizedDatabase { normal_form: graph }
+    }
+
+    /// The normal form `nf(D + P)`.
+    pub fn graph(&self) -> &Graph {
+        &self.normal_form
+    }
+}
+
+/// Computes the matchings of the query body in `nf(D + P)` that satisfy the
+/// constraints.
+pub fn matchings(query: &Query, database: &Graph) -> Vec<Binding> {
+    let normalized = NormalizedDatabase::new(database, query);
+    matchings_against(query, &normalized)
+}
+
+/// Like [`matchings`], but against a pre-normalized database.
+pub fn matchings_against(query: &Query, normalized: &NormalizedDatabase) -> Vec<Binding> {
+    let index = GraphIndex::new(normalized.graph());
+    let solver = Solver::new(query.body(), &index);
+    solver
+        .all_solutions()
+        .into_iter()
+        .filter(|binding| satisfies_constraints(query, binding))
+        .collect()
+}
+
+/// Checks the constraint condition `v ⊨ C`: every constrained variable is
+/// bound to a non-blank term.
+pub fn satisfies_constraints(query: &Query, binding: &Binding) -> bool {
+    query.constraints().iter().all(|var| {
+        binding
+            .get(var)
+            .map(|term| !term.is_blank())
+            .unwrap_or(false)
+    })
+}
+
+/// Computes the pre-answer `preans(q, D)`: the list of single answers
+/// `v(H)`, one per matching (duplicates collapse because single answers are
+/// graphs).
+pub fn pre_answers(query: &Query, database: &Graph) -> Vec<Graph> {
+    let normalized = NormalizedDatabase::new(database, query);
+    pre_answers_against(query, &normalized)
+}
+
+/// Like [`pre_answers`], but against a pre-normalized database.
+pub fn pre_answers_against(query: &Query, normalized: &NormalizedDatabase) -> Vec<Graph> {
+    let mut singles = Vec::new();
+    for binding in matchings_against(query, normalized) {
+        if let Some(answer) = single_answer(query, &binding) {
+            if !singles.contains(&answer) {
+                singles.push(answer);
+            }
+        }
+    }
+    singles
+}
+
+/// Builds the single answer `v(H)` for one matching: head variables are
+/// substituted, head blank nodes are Skolemized from the body-variable
+/// bindings, and the result is kept only if it is a well-formed RDF graph.
+pub fn single_answer(query: &Query, binding: &Binding) -> Option<Graph> {
+    // Skolemize each head blank: the same blank N always receives the same
+    // value for the same body bindings, and the value is independent of the
+    // database (Proposition 4.5's requirement).
+    let head_blanks: Vec<String> = query
+        .head()
+        .patterns()
+        .iter()
+        .flat_map(|p| [&p.subject, &p.predicate, &p.object])
+        .filter_map(|pos| match pos {
+            PatternTerm::Const(Term::Blank(b)) => Some(b.as_str().to_owned()),
+            _ => None,
+        })
+        .collect();
+    let skolem_bindings: Vec<(String, Term)> = head_blanks
+        .into_iter()
+        .map(|label| {
+            let value = skolem_value(&label, query, binding);
+            (label, value)
+        })
+        .collect();
+    // Head blanks are constants in the pattern, so we substitute them by
+    // rewriting the head pattern rather than through the binding.
+    let rewritten_head: swdb_hom::PatternGraph = query
+        .head()
+        .patterns()
+        .iter()
+        .map(|p| {
+            swdb_hom::TriplePattern::new(
+                rewrite_blank(&p.subject, &skolem_bindings),
+                rewrite_blank(&p.predicate, &skolem_bindings),
+                rewrite_blank(&p.object, &skolem_bindings),
+            )
+        })
+        .collect();
+    // Only the variables of the head need to be bound; `instantiate` checks
+    // well-formedness (no blank predicate, no unbound variable).
+    rewritten_head.instantiate(binding)
+}
+
+fn rewrite_blank(position: &PatternTerm, skolem: &[(String, Term)]) -> PatternTerm {
+    match position {
+        PatternTerm::Const(Term::Blank(b)) => {
+            match skolem.iter().find(|(label, _)| label == b.as_str()) {
+                Some((_, value)) => PatternTerm::Const(value.clone()),
+                None => position.clone(),
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// The Skolem function `f_N(v(?X1), …, v(?Xk))`, realised as a blank node
+/// whose label is a stable hash of the blank's name and the bindings of all
+/// body variables (in sorted variable order). Different argument tuples give
+/// different blanks with overwhelming probability, identical tuples always
+/// give the same blank, and the label lives in a reserved `sk-` namespace
+/// disjoint from query and database blanks produced elsewhere in this
+/// workspace.
+fn skolem_value(blank_label: &str, query: &Query, binding: &Binding) -> Term {
+    let mut payload = String::new();
+    payload.push_str(blank_label);
+    for var in query.body_variables() {
+        payload.push('\u{1}');
+        payload.push_str(var.name());
+        payload.push('=');
+        if let Some(term) = binding.get(&var) {
+            payload.push_str(&term.to_string());
+        }
+    }
+    Term::blank(format!("sk-{}-{:016x}", blank_label, fnv1a(payload.as_bytes())))
+}
+
+/// A tiny stable 64-bit FNV-1a hash (no dependency on the randomized
+/// standard-library hasher, so Skolem labels are reproducible across runs).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Computes the answer under the requested semantics.
+pub fn answer(query: &Query, database: &Graph, semantics: Semantics) -> Graph {
+    let normalized = NormalizedDatabase::new(database, query);
+    answer_against(query, &normalized, semantics)
+}
+
+/// Like [`answer`], but against a pre-normalized database.
+pub fn answer_against(
+    query: &Query,
+    normalized: &NormalizedDatabase,
+    semantics: Semantics,
+) -> Graph {
+    let singles = pre_answers_against(query, normalized);
+    combine(singles, semantics)
+}
+
+/// Combines single answers under the requested semantics.
+pub fn combine(singles: Vec<Graph>, semantics: Semantics) -> Graph {
+    match semantics {
+        Semantics::Union => singles
+            .into_iter()
+            .fold(Graph::new(), |acc, g| acc.union(&g)),
+        Semantics::Merge => singles
+            .into_iter()
+            .fold(Graph::new(), |acc, g| acc.merge(&g)),
+    }
+}
+
+/// `ans∪(q, D)`.
+pub fn answer_union(query: &Query, database: &Graph) -> Graph {
+    answer(query, database, Semantics::Union)
+}
+
+/// `ans+(q, D)`.
+pub fn answer_merge(query: &Query, database: &Graph) -> Graph {
+    answer(query, database, Semantics::Merge)
+}
+
+/// Returns `true` if the query has no answers over the database — the
+/// evaluation (emptiness) problem of §6.1 / Theorem 6.1.
+pub fn answer_is_empty(query: &Query, database: &Graph) -> bool {
+    let normalized = NormalizedDatabase::new(database, query);
+    let index = GraphIndex::new(normalized.graph());
+    let solver = Solver::new(query.body(), &index);
+    if query.constraints().is_empty() {
+        return !solver.exists();
+    }
+    !solver
+        .all_solutions()
+        .iter()
+        .any(|b| satisfies_constraints(query, b))
+}
+
+/// Projects the matchings onto a set of variables — a convenience for
+/// result-table style consumers (not part of the paper's semantics, which
+/// always returns graphs, but handy in the examples).
+pub fn select(query: &Query, database: &Graph, vars: &[Variable]) -> Vec<Vec<Term>> {
+    matchings(query, database)
+        .into_iter()
+        .map(|binding| {
+            vars.iter()
+                .map(|v| binding.get(v).cloned().unwrap_or_else(|| Term::blank("unbound")))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{query, Query};
+    use swdb_hom::pattern_graph;
+    use swdb_model::{graph, rdfs, triple};
+
+    fn art_database() -> Graph {
+        graph([
+            ("ex:paints", rdfs::SP, "ex:creates"),
+            ("ex:creates", rdfs::DOM, "ex:Artist"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+            ("ex:Rembrandt", "ex:paints", "ex:NightWatch"),
+            ("ex:Guernica", "ex:exhibited", "ex:Reina"),
+        ])
+    }
+
+    #[test]
+    fn simple_matching_without_vocabulary() {
+        let q = query([("?X", "ex:paints", "?Y")], [("?X", "ex:paints", "?Y")]);
+        let answers = answer_union(&q, &art_database());
+        assert!(answers.contains(&triple("ex:Picasso", "ex:paints", "ex:Guernica")));
+        assert!(answers.contains(&triple("ex:Rembrandt", "ex:paints", "ex:NightWatch")));
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn rdfs_semantics_is_visible_through_the_normal_form() {
+        // The database never asserts ex:creates triples directly; they follow
+        // from the subproperty declaration.
+        let q = query([("?X", "ex:creates", "?Y")], [("?X", "ex:creates", "?Y")]);
+        let answers = answer_union(&q, &art_database());
+        assert!(answers.contains(&triple("ex:Picasso", "ex:creates", "ex:Guernica")));
+        assert!(answers.contains(&triple("ex:Rembrandt", "ex:creates", "ex:NightWatch")));
+    }
+
+    #[test]
+    fn typing_through_domain_is_queryable() {
+        let q = query([("?X", rdfs::TYPE, "ex:Artist")], [("?X", rdfs::TYPE, "ex:Artist")]);
+        let answers = answer_union(&q, &art_database());
+        assert!(answers.contains(&triple("ex:Picasso", rdfs::TYPE, "ex:Artist")));
+        assert!(answers.contains(&triple("ex:Rembrandt", rdfs::TYPE, "ex:Artist")));
+    }
+
+    #[test]
+    fn premises_supply_extra_schema() {
+        // "all relatives of Peter, knowing son ⊑ relative".
+        let data = graph([("ex:John", "ex:son", "ex:Peter")]);
+        let without_premise = query(
+            [("?X", "ex:relative", "ex:Peter")],
+            [("?X", "ex:relative", "ex:Peter")],
+        );
+        assert!(answer_union(&without_premise, &data).is_empty());
+        let with_premise = Query::with_premise(
+            pattern_graph([("?X", "ex:relative", "ex:Peter")]),
+            pattern_graph([("?X", "ex:relative", "ex:Peter")]),
+            graph([("ex:son", rdfs::SP, "ex:relative")]),
+        )
+        .unwrap();
+        let answers = answer_union(&with_premise, &data);
+        assert!(answers.contains(&triple("ex:John", "ex:relative", "ex:Peter")));
+    }
+
+    #[test]
+    fn constraints_filter_blank_bindings() {
+        // The extra (_:N, ex:q, ex:c) triple keeps _:N non-redundant, so the
+        // normal form preserves it and the unconstrained query sees both
+        // bindings.
+        let data = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("_:N", "ex:p", "ex:b"),
+            ("_:N", "ex:q", "ex:c"),
+        ]);
+        let unconstrained = query([("?X", "ex:p", "ex:b")], [("?X", "ex:p", "ex:b")]);
+        assert_eq!(pre_answers(&unconstrained, &data).len(), 2);
+        let constrained = Query::with_constraints(
+            pattern_graph([("?X", "ex:p", "ex:b")]),
+            pattern_graph([("?X", "ex:p", "ex:b")]),
+            [swdb_hom::Variable::new("X")],
+        )
+        .unwrap();
+        let answers = pre_answers(&constrained, &data);
+        assert_eq!(answers.len(), 1, "the blank binding is filtered by the constraint");
+        assert!(answers[0].contains(&triple("ex:a", "ex:p", "ex:b")));
+    }
+
+    #[test]
+    fn union_semantics_preserves_blank_bridges_merge_does_not() {
+        // §4.1: a blank node N with several properties. With union semantics
+        // the data-independent query (?X, feature, ?Y) ← (?X, ?Y, ?Z)
+        // retrieves all properties of N attached to *the same* blank; with
+        // merge semantics the bridge is severed.
+        let data = graph([("_:N", "ex:p1", "ex:a"), ("_:N", "ex:p2", "ex:b")]);
+        let q = query([("?X", "ex:feature", "?Y")], [("?X", "?Y", "?Z")]);
+        let union = answer_union(&q, &data);
+        let bridged = union.blank_nodes().iter().any(|b| {
+            let node = swdb_model::Term::Blank(b.clone());
+            union.contains(&swdb_model::Triple::new(node.clone(), "ex:feature", swdb_model::Term::iri("ex:p1")))
+                && union.contains(&swdb_model::Triple::new(node, "ex:feature", swdb_model::Term::iri("ex:p2")))
+        });
+        assert!(bridged, "union semantics keeps both features on the same blank: {union}");
+        let merge = answer_merge(&q, &data);
+        let merge_bridged = merge.blank_nodes().iter().any(|b| {
+            let node = swdb_model::Term::Blank(b.clone());
+            merge.contains(&swdb_model::Triple::new(node.clone(), "ex:feature", swdb_model::Term::iri("ex:p1")))
+                && merge.contains(&swdb_model::Triple::new(node, "ex:feature", swdb_model::Term::iri("ex:p2")))
+        });
+        assert!(
+            !merge_bridged,
+            "merge semantics cannot recover the properties of the blank with a data-independent query"
+        );
+    }
+
+    #[test]
+    fn note_4_7_identity_query_under_both_semantics() {
+        let d = graph([("_:X", "ex:b", "ex:c"), ("_:X", "ex:b", "ex:d")]);
+        let q = Query::identity();
+        let union = answer_union(&q, &d);
+        assert!(swdb_entailment::equivalent(&union, &d), "ans∪(id, D) ≡ D");
+        let merge = answer_merge(&q, &d);
+        assert!(
+            !swdb_entailment::equivalent(&merge, &d),
+            "ans+(id, D) splits the blank and is strictly weaker"
+        );
+        assert!(swdb_entailment::entails(&d, &merge));
+    }
+
+    #[test]
+    fn head_blanks_are_skolemized_per_binding() {
+        let data = graph([
+            ("ex:dept", "ex:offers", "ex:DB"),
+            ("ex:dept", "ex:offers", "ex:AI"),
+        ]);
+        let q = Query::new(
+            pattern_graph([("?C", "ex:taughtBy", "_:Teacher")]),
+            pattern_graph([("ex:dept", "ex:offers", "?C")]),
+        )
+        .unwrap();
+        let answers = answer_union(&q, &data);
+        assert_eq!(answers.len(), 2);
+        assert_eq!(
+            answers.blank_nodes().len(),
+            2,
+            "each course gets its own Skolem teacher"
+        );
+        // Re-running yields the same Skolem labels (stability).
+        assert_eq!(answer_union(&q, &data), answers);
+    }
+
+    #[test]
+    fn proposition_4_5_answers_are_monotone_under_entailment() {
+        let d_strong = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:c", "ex:p", "ex:d"),
+        ]);
+        let d_weak = graph([("ex:a", "ex:p", "_:N")]);
+        assert!(swdb_entailment::entails(&d_strong, &d_weak));
+        let q = query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]);
+        for semantics in [Semantics::Union, Semantics::Merge] {
+            let strong = answer(&q, &d_strong, semantics);
+            let weak = answer(&q, &d_weak, semantics);
+            assert!(
+                swdb_entailment::entails(&strong, &weak),
+                "D' ⊨ D must give ans(q, D') ⊨ ans(q, D) ({semantics:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_4_6_answers_invariant_under_database_equivalence() {
+        let d1 = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]);
+        let d2 = graph([("ex:a", "ex:p", "_:Z")]);
+        assert!(swdb_entailment::equivalent(&d1, &d2));
+        let q = query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]);
+        let a1 = answer_union(&q, &d1);
+        let a2 = answer_union(&q, &d2);
+        assert!(swdb_model::isomorphic(&a1, &a2), "{a1} vs {a2}");
+    }
+
+    #[test]
+    fn union_answer_entails_merge_answer() {
+        // Proposition 4.5(2).
+        let data = graph([("_:N", "ex:p", "ex:a"), ("_:N", "ex:q", "ex:b")]);
+        let q = query([("?X", "?P", "?Y")], [("?X", "?P", "?Y")]);
+        let union = answer_union(&q, &data);
+        let merge = answer_merge(&q, &data);
+        assert!(swdb_entailment::entails(&union, &merge));
+    }
+
+    #[test]
+    fn emptiness_test_and_select_projection() {
+        let data = art_database();
+        let q = query([("?X", "ex:paints", "?Y")], [("?X", "ex:paints", "?Y")]);
+        assert!(!answer_is_empty(&q, &data));
+        let none = query([("?X", "ex:sculpts", "?Y")], [("?X", "ex:sculpts", "?Y")]);
+        assert!(answer_is_empty(&none, &data));
+        let rows = select(&q, &data, &[swdb_hom::Variable::new("X")]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn ill_formed_instantiations_are_dropped() {
+        // A head with a variable in predicate position bound to a blank node
+        // cannot produce a well-formed triple and is silently skipped.
+        let data = graph([("ex:s", "ex:p", "_:B")]);
+        let q = query([("ex:s", "?O", "ex:marker")], [("ex:s", "ex:p", "?O")]);
+        let answers = answer_union(&q, &data);
+        assert!(answers.is_empty());
+    }
+}

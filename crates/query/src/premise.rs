@@ -1,0 +1,259 @@
+//! Premise elimination (Proposition 5.9, Example 5.10).
+//!
+//! For *simple* queries (no RDFS vocabulary interpreted), a query with a
+//! premise can be rewritten into a union of premise-free queries: for every
+//! subset `R ⊆ B` and every map `μ : R → P` such that `μ(B − R)` has no
+//! blank nodes, the query `q_μ = (μ(H), μ(B − R), ∅)` is added to the set
+//! `Ω_q`. The answer to `q` over any database is the union of the answers of
+//! the members of `Ω_q`.
+//!
+//! The rewriting is worst-case exponential in `|B|` (it enumerates subsets),
+//! which is exactly why containment with premises jumps from NP to Π₂ᵖ in
+//! Theorem 5.12; experiment E12 measures the blow-up.
+
+use std::collections::BTreeSet;
+
+use swdb_hom::{Binding, GraphIndex, PatternGraph, PatternTerm, Solver, TriplePattern, Variable};
+use swdb_model::{Graph, Term};
+
+use crate::answer::{combine, pre_answers, Semantics};
+use crate::query::Query;
+
+/// Computes the premise-free expansion `Ω_q` of a query.
+///
+/// The query should be *simple* (see [`Query::is_simple`]); the expansion is
+/// still computed for non-simple queries, but Proposition 5.9 only guarantees
+/// answer preservation in the simple case (the paper notes the result fails
+/// once RDFS vocabulary is interpreted).
+pub fn premise_free_expansion(query: &Query) -> Vec<Query> {
+    if query.is_premise_free() {
+        return vec![query.clone()];
+    }
+    let premise = query.premise().clone();
+    let premise_index = GraphIndex::new(&premise);
+    let body: Vec<TriplePattern> = query.body().patterns().to_vec();
+    let n = body.len();
+    let mut expansion: Vec<Query> = Vec::new();
+
+    // Enumerate subsets R ⊆ B by bitmask. The empty subset yields the
+    // original query with the premise dropped (μ is the empty map).
+    for mask in 0u64..(1u64 << n.min(63)) {
+        let (r_patterns, rest_patterns): (Vec<_>, Vec<_>) = body
+            .iter()
+            .enumerate()
+            .partition(|(i, _)| mask & (1 << i) != 0);
+        let r_graph: PatternGraph = r_patterns.iter().map(|(_, p)| (*p).clone()).collect();
+        let rest: Vec<TriplePattern> = rest_patterns.into_iter().map(|(_, p)| p.clone()).collect();
+
+        // All maps μ : R → P.
+        let solver = Solver::new(&r_graph, &premise_index);
+        for mu in solver.all_solutions() {
+            // μ(B − R) must have no blanks: no variable of B − R may be sent
+            // to a blank node of P.
+            let rest_vars: BTreeSet<Variable> = rest
+                .iter()
+                .flat_map(|p| p.variables().cloned().collect::<Vec<_>>())
+                .collect();
+            let maps_rest_var_to_blank = rest_vars
+                .iter()
+                .any(|v| matches!(mu.get(v), Some(Term::Blank(_))));
+            if maps_rest_var_to_blank {
+                continue;
+            }
+            // Head variables sent to blanks of P would also reintroduce
+            // blanks, but into the head, which stays legal (heads may contain
+            // blanks); we keep those.
+            let new_head = apply_binding_to_pattern(query.head(), &mu);
+            let new_body: PatternGraph = rest
+                .iter()
+                .map(|p| apply_binding_to_triple_pattern(p, &mu))
+                .collect();
+            let candidate = Query::with_all(
+                new_head,
+                new_body,
+                Graph::new(),
+                query.constraints().clone(),
+            );
+            let Ok(candidate) = candidate else {
+                // Substituting can orphan a constrained or head variable that
+                // only occurred in R; such candidates are not well-formed
+                // queries and are skipped (their answers are covered by the
+                // variants that keep the variable in the body).
+                continue;
+            };
+            if !expansion.contains(&candidate) {
+                expansion.push(candidate);
+            }
+        }
+    }
+    expansion
+}
+
+fn apply_binding_to_pattern(pattern: &PatternGraph, binding: &Binding) -> PatternGraph {
+    pattern
+        .patterns()
+        .iter()
+        .map(|p| apply_binding_to_triple_pattern(p, binding))
+        .collect()
+}
+
+fn apply_binding_to_triple_pattern(pattern: &TriplePattern, binding: &Binding) -> TriplePattern {
+    let apply = |pos: &PatternTerm| -> PatternTerm {
+        match pos {
+            PatternTerm::Var(v) => match binding.get(v) {
+                Some(term) => PatternTerm::Const(term.clone()),
+                None => pos.clone(),
+            },
+            PatternTerm::Const(_) => pos.clone(),
+        }
+    };
+    TriplePattern::new(apply(&pattern.subject), apply(&pattern.predicate), apply(&pattern.object))
+}
+
+/// Evaluates a union of queries: the union (or merge) of the individual
+/// answers (Proposition 5.11 treats such unions as first-class queries).
+pub fn answer_union_of_queries(queries: &[Query], database: &Graph, semantics: Semantics) -> Graph {
+    let mut singles: Vec<Graph> = Vec::new();
+    for q in queries {
+        for single in pre_answers(q, database) {
+            if !singles.contains(&single) {
+                singles.push(single);
+            }
+        }
+    }
+    combine(singles, semantics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::answer_union;
+    use crate::query::Query;
+    use swdb_hom::pattern_graph;
+    use swdb_model::{graph, triple};
+
+    /// Example 5.10: q: (?X, p, ?Y) ← (?X, q, ?Y), (?Y, t, s) with premise
+    /// P = {(a, t, s), (b, t, s)}.
+    fn example_5_10() -> Query {
+        Query::with_premise(
+            pattern_graph([("?X", "ex:p", "?Y")]),
+            pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")]),
+            graph([("ex:a", "ex:t", "ex:s"), ("ex:b", "ex:t", "ex:s")]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_5_10_expansion_contains_the_three_expected_queries() {
+        let q = example_5_10();
+        let expansion = premise_free_expansion(&q);
+        // q1: (?X, p, a) ← (?X, q, a);  q2: (?X, p, b) ← (?X, q, b);
+        // q3: the original query with empty premise.
+        let q1 = Query::new(
+            pattern_graph([("?X", "ex:p", "ex:a")]),
+            pattern_graph([("?X", "ex:q", "ex:a")]),
+        )
+        .unwrap();
+        let q2 = Query::new(
+            pattern_graph([("?X", "ex:p", "ex:b")]),
+            pattern_graph([("?X", "ex:q", "ex:b")]),
+        )
+        .unwrap();
+        let q3 = Query::new(
+            pattern_graph([("?X", "ex:p", "?Y")]),
+            pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")]),
+        )
+        .unwrap();
+        for expected in [&q1, &q2, &q3] {
+            assert!(
+                expansion.contains(expected),
+                "expansion must contain {expected}, got {} queries",
+                expansion.len()
+            );
+        }
+        assert!(expansion.iter().all(Query::is_premise_free));
+    }
+
+    #[test]
+    fn proposition_5_9_expansion_preserves_answers() {
+        let q = example_5_10();
+        let databases = [
+            graph([("ex:u", "ex:q", "ex:a")]),
+            graph([("ex:u", "ex:q", "ex:a"), ("ex:v", "ex:q", "ex:b")]),
+            graph([("ex:u", "ex:q", "ex:c"), ("ex:c", "ex:t", "ex:s")]),
+            graph([("ex:u", "ex:q", "ex:c")]),
+            Graph::new(),
+        ];
+        let expansion = premise_free_expansion(&q);
+        for d in &databases {
+            let direct = answer_union(&q, d);
+            let via_expansion = answer_union_of_queries(&expansion, d, Semantics::Union);
+            assert_eq!(
+                direct, via_expansion,
+                "answers must agree on database {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_of_premise_free_query_is_itself() {
+        let q = crate::query::query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]);
+        let expansion = premise_free_expansion(&q);
+        assert_eq!(expansion.len(), 1);
+        assert_eq!(expansion[0], q);
+    }
+
+    #[test]
+    fn blank_premise_values_do_not_leak_into_bodies() {
+        // The premise has a blank node; μ may send body variables of R to it,
+        // but only if those variables do not occur in B − R.
+        let q = Query::with_premise(
+            pattern_graph([("?X", "ex:p", "?Y")]),
+            pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")]),
+            graph([("_:B", "ex:t", "ex:s")]),
+        )
+        .unwrap();
+        let expansion = premise_free_expansion(&q);
+        for variant in &expansion {
+            let body_has_blank = variant.body().patterns().iter().any(|p| {
+                [&p.subject, &p.predicate, &p.object]
+                    .into_iter()
+                    .any(|pos| matches!(pos, PatternTerm::Const(t) if t.is_blank()))
+            });
+            assert!(!body_has_blank, "no expanded body may contain blanks: {variant}");
+        }
+        // Answers still agree.
+        let d = graph([("ex:u", "ex:q", "ex:w"), ("ex:w", "ex:t", "ex:s")]);
+        assert_eq!(
+            answer_union(&q, &d),
+            answer_union_of_queries(&expansion, &d, Semantics::Union)
+        );
+    }
+
+    #[test]
+    fn premise_answers_combine_data_and_premise_matches() {
+        // A body triple can match partly in the premise and partly in the
+        // data.
+        let q = example_5_10();
+        let d = graph([("ex:u", "ex:q", "ex:a")]);
+        let answers = answer_union(&q, &d);
+        assert!(answers.contains(&triple("ex:u", "ex:p", "ex:a")));
+        // (u, q, a) is in the data, (a, t, s) in the premise.
+        assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn expansion_size_grows_with_premise_matches() {
+        // Ω_q grows with the number of maps from subsets of B into P.
+        let base = example_5_10();
+        let small = premise_free_expansion(&base).len();
+        let bigger_premise = base.replacing_premise(graph([
+            ("ex:a", "ex:t", "ex:s"),
+            ("ex:b", "ex:t", "ex:s"),
+            ("ex:c", "ex:t", "ex:s"),
+            ("ex:d", "ex:t", "ex:s"),
+        ]));
+        let large = premise_free_expansion(&bigger_premise).len();
+        assert!(large > small, "more premise facts, more expansion members");
+    }
+}

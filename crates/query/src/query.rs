@@ -1,0 +1,313 @@
+//! Tableau queries (Definition 4.1).
+//!
+//! A query is a tuple `(H, B, P, C)`:
+//!
+//! * `H` (head) and `B` (body) are RDF graphs with some elements of `UB`
+//!   replaced by variables, written `H ← B`;
+//! * every variable of `H` occurs in `B` (no free head variables, Note 4.2);
+//! * `B` contains no blank nodes (a variable plays the same role);
+//! * `P` (premise) is an RDF graph without variables — information the user
+//!   supplies along with the query (§4.2);
+//! * `C` (constraints) is a set of variables of `H` that must be bound to
+//!   non-blank terms — the paper's analogue of SQL's `IS NOT NULL`
+//!   (a *must-bind* variable).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use swdb_hom::{PatternGraph, PatternTerm, Variable};
+use swdb_model::Graph;
+
+/// A validation error raised when assembling a query that violates the
+/// well-formedness conditions of Definition 4.1 / Note 4.2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A head variable does not occur in the body.
+    FreeHeadVariable(Variable),
+    /// The body contains a blank node.
+    BlankNodeInBody,
+    /// A constraint mentions a variable that does not occur in the head.
+    UnknownConstraintVariable(Variable),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::FreeHeadVariable(v) => {
+                write!(f, "head variable {v} does not occur in the body")
+            }
+            QueryError::BlankNodeInBody => write!(f, "the body must not contain blank nodes"),
+            QueryError::UnknownConstraintVariable(v) => {
+                write!(f, "constraint variable {v} does not occur in the head")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A tableau query `(H, B, P, C)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    head: PatternGraph,
+    body: PatternGraph,
+    premise: Graph,
+    constraints: BTreeSet<Variable>,
+}
+
+impl Query {
+    /// Creates a query `H ← B` with no premise and no constraints,
+    /// validating the well-formedness conditions.
+    pub fn new(head: PatternGraph, body: PatternGraph) -> Result<Self, QueryError> {
+        Query::with_all(head, body, Graph::new(), BTreeSet::new())
+    }
+
+    /// Creates a query with a premise.
+    pub fn with_premise(
+        head: PatternGraph,
+        body: PatternGraph,
+        premise: Graph,
+    ) -> Result<Self, QueryError> {
+        Query::with_all(head, body, premise, BTreeSet::new())
+    }
+
+    /// Creates a query with constraints.
+    pub fn with_constraints(
+        head: PatternGraph,
+        body: PatternGraph,
+        constraints: impl IntoIterator<Item = Variable>,
+    ) -> Result<Self, QueryError> {
+        Query::with_all(head, body, Graph::new(), constraints.into_iter().collect())
+    }
+
+    /// Creates a query with every component.
+    pub fn with_all(
+        head: PatternGraph,
+        body: PatternGraph,
+        premise: Graph,
+        constraints: BTreeSet<Variable>,
+    ) -> Result<Self, QueryError> {
+        let body_vars = body.variables();
+        for v in head.variables() {
+            if !body_vars.contains(&v) {
+                return Err(QueryError::FreeHeadVariable(v));
+            }
+        }
+        let body_has_blank = body.patterns().iter().any(|p| {
+            [&p.subject, &p.predicate, &p.object]
+                .into_iter()
+                .any(|pos| matches!(pos, PatternTerm::Const(t) if t.is_blank()))
+        });
+        if body_has_blank {
+            return Err(QueryError::BlankNodeInBody);
+        }
+        let head_vars = head.variables();
+        for c in &constraints {
+            if !head_vars.contains(c) {
+                return Err(QueryError::UnknownConstraintVariable(c.clone()));
+            }
+        }
+        Ok(Query {
+            head,
+            body,
+            premise,
+            constraints,
+        })
+    }
+
+    /// The head `H`.
+    pub fn head(&self) -> &PatternGraph {
+        &self.head
+    }
+
+    /// The body `B`.
+    pub fn body(&self) -> &PatternGraph {
+        &self.body
+    }
+
+    /// The premise `P`.
+    pub fn premise(&self) -> &Graph {
+        &self.premise
+    }
+
+    /// The constraint set `C`.
+    pub fn constraints(&self) -> &BTreeSet<Variable> {
+        &self.constraints
+    }
+
+    /// Returns `true` if the query has no premise.
+    pub fn is_premise_free(&self) -> bool {
+        self.premise.is_empty()
+    }
+
+    /// The variables of the body (the `k` arguments of the Skolem functions
+    /// for head blanks, §4.1).
+    pub fn body_variables(&self) -> BTreeSet<Variable> {
+        self.body.variables()
+    }
+
+    /// Returns `true` if the query is *simple* in the sense of §5.4: no RDFS
+    /// vocabulary occurs as a constant in the head, body or premise.
+    pub fn is_simple(&self) -> bool {
+        let pattern_simple = |pg: &PatternGraph| {
+            pg.patterns().iter().all(|p| {
+                [&p.subject, &p.predicate, &p.object].into_iter().all(|pos| match pos {
+                    PatternTerm::Const(swdb_model::Term::Iri(iri)) => {
+                        !swdb_model::rdfs::is_reserved(iri)
+                    }
+                    _ => true,
+                })
+            })
+        };
+        pattern_simple(&self.head) && pattern_simple(&self.body) && self.premise.is_simple()
+    }
+
+    /// The *identity query* of Note 4.7: `(?X, ?Y, ?Z) ← (?X, ?Y, ?Z)`.
+    pub fn identity() -> Query {
+        let pattern = swdb_hom::pattern_graph([("?X", "?Y", "?Z")]);
+        Query::new(pattern.clone(), pattern).expect("the identity query is well formed")
+    }
+
+    /// Replaces the premise, keeping everything else.
+    pub fn replacing_premise(&self, premise: Graph) -> Query {
+        Query {
+            premise,
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} ← {:?}", self.head, self.body)?;
+        if !self.premise.is_empty() {
+            write!(f, " with premise {}", self.premise)?;
+        }
+        if !self.constraints.is_empty() {
+            let names: Vec<String> = self.constraints.iter().map(ToString::to_string).collect();
+            write!(f, " where {} must be ground", names.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a query from string shorthand for head and body (see
+/// [`swdb_hom::pattern_graph`]): labels starting with `?` are variables,
+/// `_:` blank nodes, everything else URIs.
+pub fn query<'a>(
+    head: impl IntoIterator<Item = (&'a str, &'a str, &'a str)>,
+    body: impl IntoIterator<Item = (&'a str, &'a str, &'a str)>,
+) -> Query {
+    Query::new(swdb_hom::pattern_graph(head), swdb_hom::pattern_graph(body))
+        .expect("shorthand query must be well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_hom::pattern_graph;
+    use swdb_model::graph;
+
+    #[test]
+    fn flemish_artists_example_query_is_well_formed() {
+        // The running example of §4: artifacts created by Flemish artists
+        // exhibited at the Uffizi gallery.
+        let q = query(
+            [("?A", "ex:creates", "?Y")],
+            [
+                ("?A", "rdf:type", "ex:Flemish"),
+                ("?A", "ex:paints", "?Y"),
+                ("?Y", "ex:exhibited", "ex:Uffizi"),
+            ],
+        );
+        assert_eq!(q.head().len(), 1);
+        assert_eq!(q.body().len(), 3);
+        assert!(q.is_premise_free());
+        assert!(q.constraints().is_empty());
+    }
+
+    #[test]
+    fn free_head_variables_are_rejected() {
+        let err = Query::new(
+            pattern_graph([("?X", "ex:p", "?Free")]),
+            pattern_graph([("?X", "ex:p", "?Y")]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::FreeHeadVariable(v) if v == Variable::new("Free")));
+    }
+
+    #[test]
+    fn blank_nodes_in_body_are_rejected() {
+        let err = Query::new(
+            pattern_graph([("?X", "ex:p", "ex:a")]),
+            pattern_graph([("?X", "ex:p", "_:B")]),
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::BlankNodeInBody);
+    }
+
+    #[test]
+    fn blank_nodes_in_head_are_allowed() {
+        let q = Query::new(
+            pattern_graph([("?X", "ex:related", "_:N")]),
+            pattern_graph([("?X", "ex:p", "?Y")]),
+        );
+        assert!(q.is_ok());
+    }
+
+    #[test]
+    fn constraints_must_mention_head_variables() {
+        let head = pattern_graph([("?X", "ex:p", "?Y")]);
+        let body = pattern_graph([("?X", "ex:p", "?Y"), ("?Y", "ex:q", "?Z")]);
+        let ok = Query::with_constraints(head.clone(), body.clone(), [Variable::new("X")]);
+        assert!(ok.is_ok());
+        let err = Query::with_constraints(head, body, [Variable::new("Z")]).unwrap_err();
+        assert!(matches!(err, QueryError::UnknownConstraintVariable(_)));
+    }
+
+    #[test]
+    fn premise_example_relatives_of_peter() {
+        // §4: all relatives of Peter, knowing that son ⊑ relative.
+        let q = Query::with_premise(
+            pattern_graph([("?X", "ex:relative", "ex:Peter")]),
+            pattern_graph([("?X", "ex:relative", "ex:Peter")]),
+            graph([("ex:son", swdb_model::rdfs::SP, "ex:relative")]),
+        )
+        .unwrap();
+        assert!(!q.is_premise_free());
+        assert!(!q.is_simple(), "the premise mentions rdfs vocabulary");
+    }
+
+    #[test]
+    fn identity_query_shape() {
+        let q = Query::identity();
+        assert_eq!(q.head(), q.body());
+        assert_eq!(q.body_variables().len(), 3);
+        assert!(q.is_simple());
+    }
+
+    #[test]
+    fn display_mentions_premise_and_constraints() {
+        let q = Query::with_all(
+            pattern_graph([("?X", "ex:p", "?Y")]),
+            pattern_graph([("?X", "ex:p", "?Y")]),
+            graph([("ex:a", "ex:p", "ex:b")]),
+            [Variable::new("X")].into_iter().collect(),
+        )
+        .unwrap();
+        let text = q.to_string();
+        assert!(text.contains("premise"));
+        assert!(text.contains("?X must be ground"));
+    }
+
+    #[test]
+    fn simplicity_detection() {
+        let simple = query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]);
+        assert!(simple.is_simple());
+        let schema = query(
+            [("?X", "rdf:type", "ex:C")],
+            [("?X", "rdf:type", "ex:C")],
+        );
+        assert!(!schema.is_simple());
+    }
+}

@@ -1,0 +1,192 @@
+//! Redundancy elimination in answers (§6.2, Theorems 6.2 and 6.3).
+//!
+//! Answers to RDF queries usually contain redundancies (non-lean graphs),
+//! even when the database is lean and the query heads/bodies are lean.
+//! Deciding whether `ans∪(q, D)` is lean is coNP-complete in the size of the
+//! database (Theorem 6.2), whereas for merge semantics the special structure
+//! of the answer — single answers never share blank nodes — makes the check
+//! polynomial (Theorem 6.3).
+
+use swdb_model::{Graph, TermMap};
+
+use crate::answer::{pre_answers, Semantics};
+use crate::query::Query;
+
+/// Checks whether the answer of the query under the given semantics is lean,
+/// using the generic (worst-case exponential) leanness test.
+pub fn answer_is_lean(query: &Query, database: &Graph, semantics: Semantics) -> bool {
+    let answer = crate::answer::answer(query, database, semantics);
+    swdb_normal::is_lean(&answer)
+}
+
+/// Removes redundancy from an answer graph: returns its core, which is the
+/// lean graph equivalent to it (the "naive approach" the paper describes
+/// before Theorem 6.2: compute the answer, then compute a lean equivalent).
+pub fn eliminate_redundancy(answer: &Graph) -> Graph {
+    swdb_normal::core(answer)
+}
+
+/// A non-leanness witness for a merge-semantics answer, found by the
+/// polynomial procedure of Theorem 6.3.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergeRedundancy {
+    /// Index (into the pre-answer list) of the single answer that can be
+    /// folded into the rest of the answer.
+    pub single_answer_index: usize,
+    /// The map realising the folding.
+    pub map: TermMap,
+}
+
+/// Decides leanness of `ans+(q, D)` in polynomial time (in the size of the
+/// database, for a fixed query), following the proof of Theorem 6.3: because
+/// single answers do not share blank nodes under merge semantics, any map
+/// `μ : A → A` is a union of independent single maps `μ_j : G_j → A`, so `A`
+/// fails to be lean exactly when some single answer `G_j` has a map into
+/// `A − {t}` for one of its own non-ground triples `t` (all other single
+/// answers can stay where they are via the identity).
+pub fn merge_answer_redundancy(query: &Query, database: &Graph) -> Option<MergeRedundancy> {
+    let singles = pre_answers(query, database);
+    // Reconstruct the merge with stable per-single renaming so we know which
+    // triples belong to which single answer.
+    let mut merged = Graph::new();
+    let mut renamed_singles: Vec<Graph> = Vec::with_capacity(singles.len());
+    for (j, single) in singles.iter().enumerate() {
+        let renamed = rename_blanks(single, j);
+        merged = merged.union(&renamed);
+        renamed_singles.push(renamed);
+    }
+    for (j, single) in renamed_singles.iter().enumerate() {
+        for t in single.iter() {
+            if t.is_ground() {
+                continue;
+            }
+            // Does this triple also appear in another single answer? Then
+            // avoiding it here does not make the image proper. (It cannot,
+            // since blanks are namespaced per single answer, but ground
+            // triples were skipped above already.)
+            let mut target = merged.clone();
+            target.remove(t);
+            if let Some(map) = swdb_hom::find_map(single, &target) {
+                return Some(MergeRedundancy {
+                    single_answer_index: j,
+                    map,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Decides leanness of the merge-semantics answer via
+/// [`merge_answer_redundancy`].
+pub fn merge_answer_is_lean(query: &Query, database: &Graph) -> bool {
+    merge_answer_redundancy(query, database).is_none()
+}
+
+fn rename_blanks(g: &Graph, namespace: usize) -> Graph {
+    let mapping: std::collections::BTreeMap<swdb_model::BlankNode, swdb_model::Term> = g
+        .blank_nodes()
+        .into_iter()
+        .map(|b| {
+            let fresh = swdb_model::Term::blank(format!("m{namespace}~{}", b.as_str()));
+            (b, fresh)
+        })
+        .collect();
+    TermMap::from_bindings(mapping).apply_graph(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::query;
+    use swdb_model::graph;
+
+    #[test]
+    fn lean_database_can_still_yield_non_lean_union_answers() {
+        // §6.2: take the lean graph G2 of Example 3.8 and the query
+        // (?Z, p, ?U) ← (?Z, p, ?U): the answer is G1, which is not lean.
+        let g2 = graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:a", "ex:p", "_:Y"),
+            ("_:X", "ex:q", "ex:b"),
+            ("_:Y", "ex:r", "ex:b"),
+        ]);
+        assert!(swdb_normal::is_lean(&g2), "the database is lean");
+        let q = query([("?Z", "ex:p", "?U")], [("?Z", "ex:p", "?U")]);
+        assert!(
+            !answer_is_lean(&q, &g2, Semantics::Union),
+            "the union answer {{(a,p,X),(a,p,Y)}} is not lean"
+        );
+        let answer = crate::answer::answer_union(&q, &g2);
+        let reduced = eliminate_redundancy(&answer);
+        assert_eq!(reduced.len(), 1);
+    }
+
+    #[test]
+    fn merge_answer_leanness_agrees_with_generic_check() {
+        let cases = [
+            graph([
+                ("ex:a", "ex:p", "_:X"),
+                ("ex:a", "ex:p", "_:Y"),
+                ("_:X", "ex:q", "ex:b"),
+                ("_:Y", "ex:r", "ex:b"),
+            ]),
+            graph([("ex:a", "ex:p", "ex:b"), ("ex:c", "ex:p", "ex:d")]),
+            graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:b")]),
+        ];
+        let queries = [
+            query([("?Z", "ex:p", "?U")], [("?Z", "ex:p", "?U")]),
+            query([("?Z", "ex:related", "_:W")], [("?Z", "ex:p", "?U")]),
+            query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y"), ("?Y", "ex:q", "?Z")]),
+        ];
+        for d in &cases {
+            for q in &queries {
+                let fast = merge_answer_is_lean(q, d);
+                let slow = answer_is_lean(q, d, Semantics::Merge);
+                assert_eq!(fast, slow, "disagreement for query {q} on {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_redundancy_witness_is_reported() {
+        // Two single answers, one strictly more specific than the other: the
+        // blank one can fold onto the ground one.
+        let d = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:a", "ex:p", "_:N"),
+            ("_:N", "ex:q", "ex:c"),
+        ]);
+        let q = query([("ex:a", "ex:p", "?U")], [("ex:a", "ex:p", "?U")]);
+        // Under merge semantics the answers are (a, p, b) and (a, p, _:N'):
+        // the latter maps onto the former.
+        let redundancy = merge_answer_redundancy(&q, &d);
+        assert!(redundancy.is_some());
+        assert!(!merge_answer_is_lean(&q, &d));
+    }
+
+    #[test]
+    fn ground_answers_are_always_lean() {
+        let d = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:c", "ex:p", "ex:d"),
+        ]);
+        let q = query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]);
+        assert!(answer_is_lean(&q, &d, Semantics::Union));
+        assert!(answer_is_lean(&q, &d, Semantics::Merge));
+        assert!(merge_answer_is_lean(&q, &d));
+    }
+
+    #[test]
+    fn redundancy_elimination_preserves_equivalence() {
+        let d = graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:a", "ex:p", "_:Y"),
+        ]);
+        let q = query([("?Z", "ex:p", "?U")], [("?Z", "ex:p", "?U")]);
+        let answer = crate::answer::answer_union(&q, &d);
+        let reduced = eliminate_redundancy(&answer);
+        assert!(swdb_entailment::equivalent(&answer, &reduced));
+        assert!(swdb_normal::is_lean(&reduced));
+    }
+}

@@ -1,0 +1,111 @@
+//! Term dictionary: interning of RDF terms into dense integer identifiers.
+//!
+//! Triple stores conventionally replace terms by small integers so that
+//! triples become fixed-size tuples and indexes become cheap ordered sets.
+//! The dictionary is append-only: identifiers are never recycled, so an id
+//! remains valid for the lifetime of the dictionary even if every triple
+//! mentioning it is deleted.
+
+use std::collections::BTreeMap;
+
+use swdb_model::Term;
+
+/// A dense integer identifier for an interned term.
+pub type TermId = u32;
+
+/// An append-only bidirectional mapping between [`Term`]s and [`TermId`]s.
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary {
+    forward: BTreeMap<Term, TermId>,
+    backward: Vec<Term>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Interns a term, returning its identifier (allocating one if needed).
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.forward.get(term) {
+            return id;
+        }
+        let id = TermId::try_from(self.backward.len()).expect("dictionary overflow");
+        self.forward.insert(term.clone(), id);
+        self.backward.push(term.clone());
+        id
+    }
+
+    /// Looks up an already-interned term.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.forward.get(term).copied()
+    }
+
+    /// Resolves an identifier back to its term.
+    pub fn term_of(&self, id: TermId) -> Option<&Term> {
+        self.backward.get(id as usize)
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.backward.len()
+    }
+
+    /// Returns `true` if no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.backward.is_empty()
+    }
+
+    /// Iterates over all interned terms with their identifiers.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.backward
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TermId, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("ex:a"));
+        let b = d.intern(&Term::iri("ex:b"));
+        assert_ne!(a, b);
+        assert_eq!(d.intern(&Term::iri("ex:a")), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let mut d = Dictionary::new();
+        let x = Term::blank("X");
+        let id = d.intern(&x);
+        assert_eq!(d.id_of(&x), Some(id));
+        assert_eq!(d.term_of(id), Some(&x));
+        assert_eq!(d.id_of(&Term::iri("ex:missing")), None);
+        assert_eq!(d.term_of(999), None);
+    }
+
+    #[test]
+    fn iris_and_blanks_with_same_label_are_distinct() {
+        let mut d = Dictionary::new();
+        let iri = d.intern(&Term::iri("X"));
+        let blank = d.intern(&Term::blank("X"));
+        assert_ne!(iri, blank);
+    }
+
+    #[test]
+    fn iteration_covers_all_terms() {
+        let mut d = Dictionary::new();
+        for i in 0..5 {
+            d.intern(&Term::iri(format!("ex:n{i}")));
+        }
+        assert_eq!(d.iter().count(), 5);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! A small N-Triples-style concrete syntax.
+//!
+//! The paper deliberately works with an abstract syntax and leaves
+//! serialization out of scope; a concrete syntax is still needed to ship
+//! example data and to make the workload generators inspectable. The format
+//! here is a pragmatic subset of N-Triples:
+//!
+//! ```text
+//! # comment
+//! <ex:Picasso> <ex:paints> <ex:Guernica> .
+//! _:X <rdf:type> <ex:Painter> .
+//! ```
+//!
+//! URIs are written in angle brackets (any non-`>` characters are allowed,
+//! so compact forms like `ex:paints` are fine), blank nodes with the usual
+//! `_:` prefix. One triple per line, terminated by a period.
+
+use std::fmt::Write as _;
+
+use swdb_model::{Graph, Iri, Term, Triple};
+
+/// An error produced while parsing the N-Triples-style syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a graph, one triple per line, in deterministic order.
+pub fn serialize(graph: &Graph) -> String {
+    let mut out = String::new();
+    for t in graph.iter() {
+        let _ = writeln!(
+            out,
+            "{} {} {} .",
+            serialize_term(t.subject()),
+            serialize_iri(t.predicate()),
+            serialize_term(t.object()),
+        );
+    }
+    out
+}
+
+fn serialize_term(term: &Term) -> String {
+    match term {
+        Term::Iri(iri) => serialize_iri(iri),
+        Term::Blank(b) => format!("_:{}", b.as_str()),
+    }
+}
+
+fn serialize_iri(iri: &Iri) -> String {
+    format!("<{}>", iri.as_str())
+}
+
+/// Parses a graph from the N-Triples-style syntax.
+pub fn parse(input: &str) -> Result<Graph, ParseError> {
+    let mut graph = Graph::new();
+    for (index, raw_line) in input.lines().enumerate() {
+        let line_no = index + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(body) = line.strip_suffix('.').map(str::trim) else {
+            return Err(ParseError {
+                line: line_no,
+                message: "missing terminating '.'".to_owned(),
+            });
+        };
+        let mut tokens = Tokenizer::new(body, line_no);
+        let subject = tokens.next_term()?;
+        let predicate = tokens.next_term()?;
+        let object = tokens.next_term()?;
+        tokens.expect_end()?;
+        let Term::Iri(predicate) = predicate else {
+            return Err(ParseError {
+                line: line_no,
+                message: "predicate must be a URI, found a blank node".to_owned(),
+            });
+        };
+        graph.insert(Triple::new(subject, predicate, object));
+    }
+    Ok(graph)
+}
+
+struct Tokenizer<'a> {
+    rest: &'a str,
+    line: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(body: &'a str, line: usize) -> Self {
+        Tokenizer { rest: body.trim_start(), line }
+    }
+
+    fn next_term(&mut self) -> Result<Term, ParseError> {
+        if let Some(rest) = self.rest.strip_prefix('<') {
+            let Some(end) = rest.find('>') else {
+                return Err(self.error("unterminated URI (missing '>')"));
+            };
+            let iri = &rest[..end];
+            if iri.is_empty() {
+                return Err(self.error("empty URI"));
+            }
+            self.rest = rest[end + 1..].trim_start();
+            return Ok(Term::iri(iri));
+        }
+        if let Some(rest) = self.rest.strip_prefix("_:") {
+            let end = rest
+                .find(|c: char| c.is_whitespace())
+                .unwrap_or(rest.len());
+            let label = &rest[..end];
+            if label.is_empty() {
+                return Err(self.error("empty blank node label"));
+            }
+            self.rest = rest[end..].trim_start();
+            return Ok(Term::blank(label));
+        }
+        if self.rest.is_empty() {
+            return Err(self.error("expected a term, found end of line"));
+        }
+        Err(self.error(&format!("unrecognised token starting at '{}'", truncated(self.rest))))
+    }
+
+    fn expect_end(&mut self) -> Result<(), ParseError> {
+        if self.rest.trim().is_empty() {
+            Ok(())
+        } else {
+            Err(self.error(&format!("trailing content: '{}'", truncated(self.rest))))
+        }
+    }
+
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.to_owned(),
+        }
+    }
+}
+
+fn truncated(s: &str) -> String {
+    s.chars().take(20).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::{graph, triple};
+
+    #[test]
+    fn serialize_then_parse_round_trips() {
+        let g = graph([
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+            ("_:X", "rdf:type", "ex:Painter"),
+            ("ex:paints", "rdfs:subPropertyOf", "ex:creates"),
+        ]);
+        let text = serialize(&g);
+        let parsed = parse(&text).expect("round trip parses");
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a comment\n\n<ex:a> <ex:p> <ex:b> .\n   \n# another\n_:X <ex:p> <ex:b> .\n";
+        let parsed = parse(text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed.contains(&triple("ex:a", "ex:p", "ex:b")));
+        assert!(parsed.contains(&triple("_:X", "ex:p", "ex:b")));
+    }
+
+    #[test]
+    fn missing_period_is_an_error() {
+        let err = parse("<ex:a> <ex:p> <ex:b>").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("terminating"));
+    }
+
+    #[test]
+    fn blank_predicate_is_rejected() {
+        let err = parse("<ex:a> _:P <ex:b> .").unwrap_err();
+        assert!(err.message.contains("predicate"));
+    }
+
+    #[test]
+    fn malformed_terms_are_reported_with_line_numbers() {
+        let err = parse("<ex:a> <ex:p> <ex:b> .\n<ex:a> <ex:p junk .").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unterminated URI") || err.message.contains("unrecognised"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let err = parse("<ex:a> <ex:p> <ex:b> <ex:c> .").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn whitespace_is_flexible() {
+        let parsed = parse("   <ex:a>    <ex:p>      _:B   .   ").unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(parsed.contains(&triple("ex:a", "ex:p", "_:B")));
+    }
+
+    #[test]
+    fn empty_uri_and_empty_blank_are_rejected() {
+        assert!(parse("<> <ex:p> <ex:b> .").is_err());
+        assert!(parse("_: <ex:p> <ex:b> .").is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let err = parse("bogus line .").unwrap_err();
+        assert!(err.to_string().starts_with("line 1:"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Descriptive statistics of RDF graphs.
+//!
+//! The experiment harness reports these statistics alongside timings so that
+//! the shape of each workload (blank density, schema fraction, fan-out) is
+//! visible next to the measured behaviour.
+
+use std::collections::BTreeMap;
+
+use swdb_model::{rdfs, Graph, Iri};
+
+/// Summary statistics of an RDF graph.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GraphStats {
+    /// Number of triples.
+    pub triples: usize,
+    /// Number of distinct terms in the universe.
+    pub universe: usize,
+    /// Number of distinct blank nodes.
+    pub blank_nodes: usize,
+    /// Number of distinct predicates.
+    pub predicates: usize,
+    /// Number of triples whose predicate belongs to the RDFS vocabulary.
+    pub schema_triples: usize,
+    /// Number of ground triples.
+    pub ground_triples: usize,
+    /// Histogram of predicate usage.
+    pub predicate_histogram: BTreeMap<Iri, usize>,
+}
+
+impl GraphStats {
+    /// Computes the statistics for a graph.
+    pub fn of(graph: &Graph) -> GraphStats {
+        let mut histogram: BTreeMap<Iri, usize> = BTreeMap::new();
+        let mut schema_triples = 0usize;
+        let mut ground_triples = 0usize;
+        for t in graph.iter() {
+            *histogram.entry(t.predicate().clone()).or_insert(0) += 1;
+            if rdfs::is_reserved(t.predicate()) {
+                schema_triples += 1;
+            }
+            if t.is_ground() {
+                ground_triples += 1;
+            }
+        }
+        GraphStats {
+            triples: graph.len(),
+            universe: graph.universe().len(),
+            blank_nodes: graph.blank_nodes().len(),
+            predicates: histogram.len(),
+            schema_triples,
+            ground_triples,
+            predicate_histogram: histogram,
+        }
+    }
+
+    /// Fraction of triples mentioning at least one blank node.
+    pub fn blank_density(&self) -> f64 {
+        if self.triples == 0 {
+            return 0.0;
+        }
+        (self.triples - self.ground_triples) as f64 / self.triples as f64
+    }
+
+    /// Fraction of triples using the RDFS vocabulary as predicate.
+    pub fn schema_fraction(&self) -> f64 {
+        if self.triples == 0 {
+            return 0.0;
+        }
+        self.schema_triples as f64 / self.triples as f64
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} triples, {} terms, {} blanks ({:.0}% blank density), {} predicates, {:.0}% schema",
+            self.triples,
+            self.universe,
+            self.blank_nodes,
+            self.blank_density() * 100.0,
+            self.predicates,
+            self.schema_fraction() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::graph;
+
+    #[test]
+    fn statistics_of_a_mixed_graph() {
+        let g = graph([
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+            ("ex:paints", rdfs::SP, "ex:creates"),
+            ("_:X", rdfs::TYPE, "ex:Painter"),
+            ("_:X", "ex:paints", "_:Y"),
+        ]);
+        let stats = GraphStats::of(&g);
+        assert_eq!(stats.triples, 4);
+        assert_eq!(stats.blank_nodes, 2);
+        assert_eq!(stats.schema_triples, 2);
+        assert_eq!(stats.ground_triples, 2);
+        assert_eq!(stats.predicates, 3);
+        assert_eq!(stats.predicate_histogram[&Iri::new("ex:paints")], 2);
+        assert!((stats.blank_density() - 0.5).abs() < 1e-9);
+        assert!((stats.schema_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let stats = GraphStats::of(&Graph::new());
+        assert_eq!(stats.triples, 0);
+        assert_eq!(stats.blank_density(), 0.0);
+        assert_eq!(stats.schema_fraction(), 0.0);
+    }
+
+    #[test]
+    fn summary_is_human_readable() {
+        let g = graph([("ex:a", "ex:p", "_:X")]);
+        let s = GraphStats::of(&g).summary();
+        assert!(s.contains("1 triples"));
+        assert!(s.contains("100% blank density"));
+    }
+}

@@ -1,0 +1,336 @@
+//! A dictionary-encoded triple store with SPO, POS and OSP indexes.
+//!
+//! The store keeps three orderings of the same id-triples so that any triple
+//! pattern with bound prefix positions can be answered with a range scan:
+//!
+//! * `SPO` — bound subject (and optionally predicate),
+//! * `POS` — bound predicate (and optionally object),
+//! * `OSP` — bound object (and optionally subject).
+//!
+//! This is the classical layout used by practical RDF stores; it is the
+//! "database" substrate on which the query layer (`swdb-query`) operates when
+//! data outgrows the plain [`swdb_model::Graph`] representation.
+
+use std::collections::BTreeSet;
+
+use parking_lot::RwLock;
+use swdb_model::{Graph, Iri, Term, Triple};
+
+use crate::dictionary::{Dictionary, TermId};
+
+/// A triple of interned identifiers.
+pub type IdTriple = (TermId, TermId, TermId);
+
+/// A pattern over interned identifiers: `None` is a wildcard.
+pub type IdPattern = (Option<TermId>, Option<TermId>, Option<TermId>);
+
+/// An indexed, dictionary-encoded triple store.
+#[derive(Debug, Default)]
+pub struct TripleStore {
+    dictionary: RwLock<Dictionary>,
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TripleStore::default()
+    }
+
+    /// Builds a store from a graph.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut store = TripleStore::new();
+        for t in graph.iter() {
+            store.insert(t);
+        }
+        store
+    }
+
+    /// Number of triples stored.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Returns `true` if the store has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Number of distinct terms interned.
+    pub fn term_count(&self) -> usize {
+        self.dictionary.read().len()
+    }
+
+    /// Interns the three positions of a triple.
+    fn intern_triple(&self, triple: &Triple) -> IdTriple {
+        let mut dict = self.dictionary.write();
+        let s = dict.intern(triple.subject());
+        let p = dict.intern(&Term::Iri(triple.predicate().clone()));
+        let o = dict.intern(triple.object());
+        (s, p, o)
+    }
+
+    /// Inserts a triple; returns `true` if it was new.
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        let (s, p, o) = self.intern_triple(triple);
+        let added = self.spo.insert((s, p, o));
+        if added {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    /// Removes a triple; returns `true` if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let dict = self.dictionary.read();
+        let (Some(s), Some(p), Some(o)) = (
+            dict.id_of(triple.subject()),
+            dict.id_of(&Term::Iri(triple.predicate().clone())),
+            dict.id_of(triple.object()),
+        ) else {
+            return false;
+        };
+        drop(dict);
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// Returns `true` if the triple is present.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        let dict = self.dictionary.read();
+        match (
+            dict.id_of(triple.subject()),
+            dict.id_of(&Term::Iri(triple.predicate().clone())),
+            dict.id_of(triple.object()),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Resolves the id of a term if it has been interned.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.dictionary.read().id_of(term)
+    }
+
+    /// Resolves a term from its id.
+    pub fn term_of(&self, id: TermId) -> Option<Term> {
+        self.dictionary.read().term_of(id).cloned()
+    }
+
+    /// Answers an id-pattern with the most selective index, returning the
+    /// matching id-triples in `(s, p, o)` order.
+    pub fn scan_ids(&self, pattern: IdPattern) -> Vec<IdTriple> {
+        match pattern {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    vec![(s, p, o)]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), p, o) => self
+                .spo
+                .range((s, 0, 0)..=(s, TermId::MAX, TermId::MAX))
+                .filter(|&&(_, tp, to)| p.map_or(true, |p| p == tp) && o.map_or(true, |o| o == to))
+                .copied()
+                .collect(),
+            (None, Some(p), o) => self
+                .pos
+                .range((p, 0, 0)..=(p, TermId::MAX, TermId::MAX))
+                .filter(|&&(_, to, _)| o.map_or(true, |o| o == to))
+                .map(|&(p, o, s)| (s, p, o))
+                .collect(),
+            (None, None, Some(o)) => self
+                .osp
+                .range((o, 0, 0)..=(o, TermId::MAX, TermId::MAX))
+                .map(|&(o, s, p)| (s, p, o))
+                .collect(),
+            (None, None, None) => self.spo.iter().copied().collect(),
+        }
+    }
+
+    /// Answers a term-level pattern (each position optionally bound).
+    pub fn scan(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Iri>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        let dict = self.dictionary.read();
+        let to_id = |t: Option<&Term>| -> Result<Option<TermId>, ()> {
+            match t {
+                None => Ok(None),
+                Some(term) => dict.id_of(term).map(Some).ok_or(()),
+            }
+        };
+        let pattern = (
+            to_id(subject),
+            to_id(predicate.map(|p| Term::Iri(p.clone())).as_ref()),
+            to_id(object),
+        );
+        let (Ok(s), Ok(p), Ok(o)) = pattern else {
+            // A bound term that was never interned matches nothing.
+            return Vec::new();
+        };
+        drop(dict);
+        self.scan_ids((s, p, o))
+            .into_iter()
+            .map(|ids| self.materialize(ids))
+            .collect()
+    }
+
+    fn materialize(&self, (s, p, o): IdTriple) -> Triple {
+        let dict = self.dictionary.read();
+        let subject = dict.term_of(s).expect("dangling subject id").clone();
+        let predicate = dict
+            .term_of(p)
+            .and_then(|t| t.as_iri().cloned())
+            .expect("dangling predicate id");
+        let object = dict.term_of(o).expect("dangling object id").clone();
+        Triple::new(subject, predicate, object)
+    }
+
+    /// Exports the stored triples as a [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        self.spo.iter().map(|&ids| self.materialize(ids)).collect()
+    }
+
+    /// The distinct predicates in use.
+    pub fn predicates(&self) -> BTreeSet<Iri> {
+        let mut out = BTreeSet::new();
+        let mut last = None;
+        for &(p, _, _) in &self.pos {
+            if last == Some(p) {
+                continue;
+            }
+            last = Some(p);
+            if let Some(Term::Iri(iri)) = self.dictionary.read().term_of(p) {
+                out.insert(iri.clone());
+            }
+        }
+        out
+    }
+}
+
+impl Clone for TripleStore {
+    fn clone(&self) -> Self {
+        TripleStore {
+            dictionary: RwLock::new(self.dictionary.read().clone()),
+            spo: self.spo.clone(),
+            pos: self.pos.clone(),
+            osp: self.osp.clone(),
+        }
+    }
+}
+
+impl PartialEq for TripleStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_graph() == other.to_graph()
+    }
+}
+
+impl Eq for TripleStore {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::{graph, triple};
+
+    fn sample() -> TripleStore {
+        TripleStore::from_graph(&graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:a", "ex:p", "ex:c"),
+            ("ex:b", "ex:q", "ex:c"),
+            ("_:X", "ex:p", "ex:b"),
+        ]))
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut store = sample();
+        assert_eq!(store.len(), 4);
+        let t = triple("ex:new", "ex:p", "ex:b");
+        assert!(!store.contains(&t));
+        assert!(store.insert(&t));
+        assert!(!store.insert(&t));
+        assert!(store.contains(&t));
+        assert!(store.remove(&t));
+        assert!(!store.remove(&t));
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn round_trip_through_graph() {
+        let g = graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:b")]);
+        let store = TripleStore::from_graph(&g);
+        assert_eq!(store.to_graph(), g);
+    }
+
+    #[test]
+    fn scans_by_each_position() {
+        let store = sample();
+        assert_eq!(store.scan(Some(&Term::iri("ex:a")), None, None).len(), 2);
+        assert_eq!(store.scan(None, Some(&Iri::new("ex:p")), None).len(), 3);
+        assert_eq!(store.scan(None, None, Some(&Term::iri("ex:b"))).len(), 2);
+        assert_eq!(
+            store
+                .scan(Some(&Term::iri("ex:a")), Some(&Iri::new("ex:p")), Some(&Term::iri("ex:b")))
+                .len(),
+            1
+        );
+        assert_eq!(store.scan(None, None, None).len(), 4);
+    }
+
+    #[test]
+    fn scans_for_unknown_terms_return_nothing() {
+        let store = sample();
+        assert!(store.scan(Some(&Term::iri("ex:unknown")), None, None).is_empty());
+        assert!(store
+            .scan(None, Some(&Iri::new("ex:unknownpred")), None)
+            .is_empty());
+    }
+
+    #[test]
+    fn predicates_are_listed_once() {
+        let store = sample();
+        let preds = store.predicates();
+        assert_eq!(preds.len(), 2);
+        assert!(preds.contains("ex:p"));
+        assert!(preds.contains("ex:q"));
+    }
+
+    #[test]
+    fn removing_triples_keeps_dictionary_intact() {
+        let mut store = sample();
+        let t = triple("ex:a", "ex:p", "ex:b");
+        let id = store.id_of(&Term::iri("ex:a")).unwrap();
+        store.remove(&t);
+        assert_eq!(store.id_of(&Term::iri("ex:a")), Some(id));
+        assert_eq!(store.term_of(id), Some(Term::iri("ex:a")));
+    }
+
+    #[test]
+    fn blank_nodes_are_stored_distinct_from_iris() {
+        let store = sample();
+        assert_eq!(store.scan(Some(&Term::blank("X")), None, None).len(), 1);
+        assert!(store.scan(Some(&Term::iri("X")), None, None).is_empty());
+    }
+
+    #[test]
+    fn clone_and_eq_compare_contents() {
+        let store = sample();
+        let cloned = store.clone();
+        assert_eq!(store, cloned);
+        let mut modified = store.clone();
+        modified.insert(&triple("ex:z", "ex:p", "ex:z"));
+        assert_ne!(store, modified);
+    }
+}

@@ -1,0 +1,125 @@
+//! The art-gallery example of Fig. 1.
+//!
+//! The figure describes a small schema for art resources: painters and
+//! sculptors are artists, paintings and sculptures are artifacts, `paints`
+//! and `sculpts` are sub-properties of `creates` with domain Artist and
+//! range Artifact, artifacts are exhibited in museums, and the data level
+//! records that Picasso paints Guernica — illustrating that schema and data
+//! live in the same graph.
+
+use swdb_model::{graph, rdfs, Graph};
+use swdb_query::{query, Query};
+
+/// The schema part of Fig. 1.
+pub fn schema() -> Graph {
+    graph([
+        // class hierarchy
+        ("art:Painter", rdfs::SC, "art:Artist"),
+        ("art:Sculptor", rdfs::SC, "art:Artist"),
+        ("art:Painting", rdfs::SC, "art:Artifact"),
+        ("art:Sculpture", rdfs::SC, "art:Artifact"),
+        ("art:Artist", rdfs::SC, "art:Person"),
+        // property hierarchy
+        ("art:paints", rdfs::SP, "art:creates"),
+        ("art:sculpts", rdfs::SP, "art:creates"),
+        // domains and ranges
+        ("art:creates", rdfs::DOM, "art:Artist"),
+        ("art:creates", rdfs::RANGE, "art:Artifact"),
+        ("art:exhibited", rdfs::DOM, "art:Artifact"),
+        ("art:exhibited", rdfs::RANGE, "art:Museum"),
+    ])
+}
+
+/// The data part of Fig. 1 (plus a couple of unnamed artifacts to exercise
+/// blank nodes).
+pub fn data() -> Graph {
+    graph([
+        ("art:Picasso", "art:paints", "art:Guernica"),
+        ("art:Picasso", rdfs::TYPE, "art:Painter"),
+        ("art:Rodin", "art:sculpts", "art:TheThinker"),
+        ("art:Guernica", "art:exhibited", "art:ReinaSofia"),
+        ("art:TheThinker", "art:exhibited", "art:Rodin_Museum"),
+        ("art:Botticelli", "art:paints", "art:Primavera"),
+        ("art:Primavera", "art:exhibited", "art:Uffizi"),
+        // An anonymous Flemish painter with an anonymous painting.
+        ("_:flemish1", rdfs::TYPE, "art:Flemish"),
+        ("art:Flemish", rdfs::SC, "art:Painter"),
+        ("_:flemish1", "art:paints", "_:work1"),
+        ("_:work1", "art:exhibited", "art:Uffizi"),
+    ])
+}
+
+/// The whole Fig. 1 graph: schema and data together.
+pub fn figure1() -> Graph {
+    schema().union(&data())
+}
+
+/// The query of §4: artifacts created by Flemish artists exhibited at the
+/// Uffizi, `(?A, creates, ?Y) ← (?A, type, Flemish), (?A, paints, ?Y),
+/// (?Y, exhibited, Uffizi)`.
+pub fn flemish_query() -> Query {
+    query(
+        [("?A", "art:creates", "?Y")],
+        [
+            ("?A", rdfs::TYPE, "art:Flemish"),
+            ("?A", "art:paints", "?Y"),
+            ("?Y", "art:exhibited", "art:Uffizi"),
+        ],
+    )
+}
+
+/// "Who creates what" — only answerable through the subproperty semantics.
+pub fn creators_query() -> Query {
+    query([("?X", "art:creates", "?Y")], [("?X", "art:creates", "?Y")])
+}
+
+/// "Which resources are artists" — only answerable through domain typing and
+/// subclass lifting.
+pub fn artists_query() -> Query {
+    query(
+        [("?X", rdfs::TYPE, "art:Artist")],
+        [("?X", rdfs::TYPE, "art:Artist")],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::triple;
+    use swdb_query::answer_union;
+
+    #[test]
+    fn figure1_has_schema_and_data_in_one_graph() {
+        let g = figure1();
+        assert!(g.len() >= 20);
+        assert!(!g.is_simple());
+        assert!(!g.is_ground());
+        // paints is both an arc label and a node label, as the caption notes.
+        assert!(g.contains(&triple("art:paints", rdfs::SP, "art:creates")));
+        assert!(g.iter().any(|t| t.predicate().as_str() == "art:paints"));
+    }
+
+    #[test]
+    fn creators_are_inferred_through_subproperties() {
+        let answers = answer_union(&creators_query(), &figure1());
+        assert!(answers.contains(&triple("art:Picasso", "art:creates", "art:Guernica")));
+        assert!(answers.contains(&triple("art:Rodin", "art:creates", "art:TheThinker")));
+    }
+
+    #[test]
+    fn artists_are_inferred_through_domains_and_subclasses() {
+        let answers = answer_union(&artists_query(), &figure1());
+        assert!(answers.contains(&triple("art:Picasso", rdfs::TYPE, "art:Artist")));
+        assert!(answers.contains(&triple("art:Rodin", rdfs::TYPE, "art:Artist")));
+    }
+
+    #[test]
+    fn flemish_query_returns_the_anonymous_work() {
+        let answers = answer_union(&flemish_query(), &figure1());
+        assert_eq!(answers.len(), 1);
+        let t = answers.iter().next().unwrap();
+        assert_eq!(t.predicate().as_str(), "art:creates");
+        assert!(t.subject().is_blank());
+        assert!(t.object().is_blank());
+    }
+}

@@ -1,0 +1,97 @@
+//! Query containment and queries with premises (§4.2 and §5).
+//!
+//! Demonstrates the two notions of containment (standard `⊑p` and
+//! entailment-based `⊑m`), the separating examples of Example 5.3, premise
+//! elimination (Proposition 5.9 / Example 5.10), and containment with
+//! premises (Theorems 5.8 / 5.12).
+//!
+//! Run with `cargo run --example containment_and_premises`.
+
+use semweb_foundations::containment::{self, Notion};
+use semweb_foundations::hom::pattern_graph;
+use semweb_foundations::model::{graph, rdfs};
+use semweb_foundations::query::{premise_free_expansion, query, Query, Semantics};
+
+fn check(label: &str, q: &Query, q_prime: &Query) {
+    println!(
+        "  {label}: ⊑p = {},  ⊑m = {}",
+        containment::contained_in(q, q_prime, Notion::Standard),
+        containment::contained_in(q, q_prime, Notion::EntailmentBased),
+    );
+}
+
+fn main() {
+    // --- Basic containment ------------------------------------------------
+    println!("Basic containment (restricting the body shrinks the query):");
+    let exhibited_painters = query(
+        [("?A", "art:paints", "?Y")],
+        [("?A", "art:paints", "?Y"), ("?Y", "art:exhibited", "art:Uffizi")],
+    );
+    let painters = query([("?A", "art:paints", "?Y")], [("?A", "art:paints", "?Y")]);
+    check("exhibited-painters ⊑ painters", &exhibited_painters, &painters);
+    check("painters ⊑ exhibited-painters", &painters, &exhibited_painters);
+
+    // --- Example 5.3: the two notions differ ------------------------------
+    println!("\nExample 5.3 (heads = bodies, one body has the redundant sc shortcut):");
+    let b = pattern_graph([
+        ("?X", rdfs::SC, "?Y"),
+        ("?Y", rdfs::SC, "?Z"),
+    ]);
+    let b_shortcut = pattern_graph([
+        ("?X", rdfs::SC, "?Y"),
+        ("?Y", rdfs::SC, "?Z"),
+        ("?X", rdfs::SC, "?Z"),
+    ]);
+    let q = Query::new(b.clone(), b).unwrap();
+    let q_prime = Query::new(b_shortcut.clone(), b_shortcut).unwrap();
+    check("q ⊑ q'", &q, &q_prime);
+    check("q' ⊑ q", &q_prime, &q);
+
+    // --- Premises: Example 5.10 -------------------------------------------
+    println!("\nPremise elimination (Example 5.10):");
+    let with_premise = Query::with_premise(
+        pattern_graph([("?X", "ex:p", "?Y")]),
+        pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")]),
+        graph([("ex:a", "ex:t", "ex:s"), ("ex:b", "ex:t", "ex:s")]),
+    )
+    .unwrap();
+    println!("  query: {with_premise}");
+    let expansion = premise_free_expansion(&with_premise);
+    println!("  Ω_q has {} premise-free members:", expansion.len());
+    for member in &expansion {
+        println!("    {member}");
+    }
+    // Answers agree on a sample database.
+    let d = graph([("ex:u", "ex:q", "ex:a"), ("ex:v", "ex:q", "ex:w"), ("ex:w", "ex:t", "ex:s")]);
+    let direct = semweb_foundations::query::answer_union(&with_premise, &d);
+    let expanded = semweb_foundations::query::answer_union_of_queries(&expansion, &d, Semantics::Union);
+    println!("  direct answer:    {direct}");
+    println!("  via expansion:    {expanded}");
+    println!("  answers agree?    {}", direct == expanded);
+
+    // --- Containment with premises (Theorem 5.8) ---------------------------
+    println!("\nContainment with premises (Theorem 5.8):");
+    let premise_free = query(
+        [("?X", "ex:p", "?Y")],
+        [("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")],
+    );
+    check(
+        "premise-free ⊑ premised (the premise only adds answers)",
+        &premise_free,
+        &with_premise,
+    );
+    check("premised ⊑ premise-free", &with_premise, &premise_free);
+
+    // --- Hypothetical reasoning: premises cannot be simulated by Datalog ---
+    println!("\nHypothetical (if-then) querying with premises:");
+    let data = graph([("ex:John", "ex:son", "ex:Mary")]);
+    let hypothetical = Query::with_premise(
+        pattern_graph([("?X", "ex:descendant", "ex:Mary")]),
+        pattern_graph([("?X", "ex:descendant", "ex:Mary")]),
+        graph([("ex:son", rdfs::SP, "ex:descendant")]),
+    )
+    .unwrap();
+    let answers = semweb_foundations::query::answer_union(&hypothetical, &data);
+    println!("  data: {data}");
+    println!("  \"descendants of Mary, if son ⊑ descendant\": {answers}");
+}

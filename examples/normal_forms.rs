@@ -1,0 +1,89 @@
+//! Representations of RDF graphs: lean graphs, cores, closures and normal
+//! forms (§3 of the paper), demonstrated on the paper's own examples and on
+//! a synthetic redundant graph.
+//!
+//! Run with `cargo run --example normal_forms`.
+
+use semweb_foundations::model::{graph, isomorphic, rdfs};
+use semweb_foundations::normal;
+use semweb_foundations::workloads::{inject_blank_redundancy, simple_graph, SimpleGraphConfig};
+
+fn main() {
+    // --- Example 3.8: leanness -------------------------------------------
+    let g1 = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]);
+    let g2 = graph([
+        ("ex:a", "ex:p", "_:X"),
+        ("ex:a", "ex:p", "_:Y"),
+        ("_:X", "ex:q", "ex:b"),
+        ("_:Y", "ex:r", "ex:b"),
+    ]);
+    println!("Example 3.8:");
+    println!("  G1 = {g1}");
+    println!("  G1 lean? {}   core(G1) = {}", normal::is_lean(&g1), normal::core(&g1));
+    println!("  G2 lean? {} (the two blanks are distinguishable)", normal::is_lean(&g2));
+
+    // --- Example 3.17: closure and core are not syntax independent --------
+    let g = graph([
+        ("ex:a", rdfs::SC, "ex:b"),
+        ("ex:b", rdfs::SC, "_:N"),
+        ("_:N", rdfs::SC, "ex:c"),
+    ]);
+    let h = graph([
+        ("ex:a", rdfs::SC, "ex:b"),
+        ("ex:b", rdfs::SC, "ex:c"),
+        ("ex:a", rdfs::SC, "ex:c"),
+    ]);
+    println!("\nExample 3.17 (G routes b ⊑ c through a blank, H states it directly):");
+    println!(
+        "  G ≡ H?                       {}",
+        swdb_entailment::equivalent(&g, &h)
+    );
+    println!(
+        "  cl(G) ≅ cl(H)?               {}",
+        isomorphic(&normal::closure(&g), &normal::closure(&h))
+    );
+    println!(
+        "  core(G) ≅ core(H)?           {}",
+        isomorphic(&normal::core(&g), &normal::core(&h))
+    );
+    println!(
+        "  nf(G) ≅ nf(H)?               {}  (Theorem 3.19: the normal form is syntax independent)",
+        isomorphic(&normal::normal_form(&g), &normal::normal_form(&h))
+    );
+
+    // --- Example 3.14: minimal representations need not be unique ---------
+    let cyclic = graph([
+        ("ex:b", rdfs::SP, "ex:a"),
+        ("ex:c", rdfs::SP, "ex:a"),
+        ("ex:b", rdfs::SP, "ex:c"),
+        ("ex:c", rdfs::SP, "ex:b"),
+    ]);
+    let representations = normal::distinct_minimal_representations(&cyclic, 8);
+    println!(
+        "\nExample 3.14: the cyclic sp-graph has {} distinct minimal representations:",
+        representations.len()
+    );
+    for r in &representations {
+        println!("  {r}");
+    }
+
+    // --- Redundancy elimination on a synthetic graph ----------------------
+    let base = simple_graph(
+        &SimpleGraphConfig {
+            triples: 30,
+            blank_probability: 0.0,
+            ..SimpleGraphConfig::default()
+        },
+        42,
+    );
+    let redundant = inject_blank_redundancy(&base, 20, 43);
+    let core = normal::core(&redundant);
+    println!("\nSynthetic redundancy elimination:");
+    println!("  base graph:      {} triples", base.len());
+    println!("  with redundancy: {} triples", redundant.len());
+    println!("  core:            {} triples", core.len());
+    println!(
+        "  core ≡ redundant? {}",
+        swdb_entailment::equivalent(&core, &redundant)
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a small RDFS database, query it, inspect entailment,
+//! closure, core and normal form.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use semweb_foundations::core::{SemanticWebDatabase, Semantics};
+use semweb_foundations::model::{graph, rdfs, triple};
+use semweb_foundations::query::query;
+
+fn main() {
+    // 1. Schema and data live in the same graph (that is the point of RDF).
+    let mut db = SemanticWebDatabase::from_graph(graph([
+        // schema
+        ("ex:paints", rdfs::SP, "ex:creates"),
+        ("ex:creates", rdfs::DOM, "ex:Artist"),
+        ("ex:creates", rdfs::RANGE, "ex:Artifact"),
+        ("ex:Painter", rdfs::SC, "ex:Artist"),
+        // data
+        ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+        ("ex:Picasso", "ex:paints", "ex:Guernica"),
+        ("ex:Rodin", "ex:creates", "_:someWork"),
+    ]));
+    println!("database: {}", db.stats().summary());
+
+    // 2. Query answering sees the RDFS consequences (Definition 4.3 matches
+    //    the body against nf(D)).
+    let creators = db.answer_union(&query(
+        [("?X", "ex:creates", "?Y")],
+        [("?X", "ex:creates", "?Y")],
+    ));
+    println!("\nWho creates what (via subproperty reasoning)?");
+    for t in creators.iter() {
+        println!("  {t}");
+    }
+
+    let artists = db.answer(
+        &query(
+            [("?X", rdfs::TYPE, "ex:Artist")],
+            [("?X", rdfs::TYPE, "ex:Artist")],
+        ),
+        Semantics::Union,
+    );
+    println!("\nWho is an artist (via domain typing and subclass lifting)?");
+    for t in artists.iter() {
+        println!("  {t}");
+    }
+
+    // 3. Entailment checks (Theorem 2.8: a map into the closure).
+    let claim = graph([("ex:Guernica", rdfs::TYPE, "ex:Artifact")]);
+    println!(
+        "\nDoes the database entail that Guernica is an Artifact? {}",
+        db.entails(&claim)
+    );
+
+    // 4. Representations: closure (maximal), core (minimal), normal form.
+    println!("\nasserted triples:      {}", db.len());
+    println!("closure triples:       {}", db.closure().len());
+    println!("core triples:          {}", db.core().len());
+    println!("normal form triples:   {}", db.normal_form().len());
+    println!("is the database lean?  {}", db.is_lean());
+
+    // 5. Adding a redundant fact and minimizing removes it again: Rodin
+    //    already creates *something*, so a second anonymous work adds no
+    //    information (the graph stops being lean).
+    db.insert(triple("ex:Rodin", "ex:creates", "_:anotherWork"));
+    println!("\nafter inserting a second anonymous work: lean = {}", db.is_lean());
+    let removed = db.minimize();
+    println!("minimize() removed {removed} triple(s); lean = {}", db.is_lean());
+}

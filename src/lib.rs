@@ -1,0 +1,17 @@
+//! # semweb-foundations
+//!
+//! Workspace facade crate. It re-exports the full `swdb` stack so that the
+//! runnable examples under `examples/` and the cross-crate integration tests
+//! under `tests/` have a single dependency, mirroring how a downstream user
+//! would consume the library through `swdb-core`.
+
+pub use swdb_containment as containment;
+pub use swdb_core as core;
+pub use swdb_entailment as entailment;
+pub use swdb_graphs as graphs;
+pub use swdb_hom as hom;
+pub use swdb_model as model;
+pub use swdb_normal as normal;
+pub use swdb_query as query;
+pub use swdb_store as store;
+pub use swdb_workloads as workloads;
