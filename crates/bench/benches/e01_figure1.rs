@@ -20,15 +20,21 @@ fn bench(c: &mut Criterion) {
             ("closure_triples", closure.len().to_string()),
             (
                 "flemish_answers",
-                answer_union(&art::flemish_query(), &figure1).len().to_string(),
+                answer_union(&art::flemish_query(), &figure1)
+                    .len()
+                    .to_string(),
             ),
             (
                 "inferred_creators",
-                answer_union(&art::creators_query(), &figure1).len().to_string(),
+                answer_union(&art::creators_query(), &figure1)
+                    .len()
+                    .to_string(),
             ),
             (
                 "inferred_artists",
-                answer_union(&art::artists_query(), &figure1).len().to_string(),
+                answer_union(&art::artists_query(), &figure1)
+                    .len()
+                    .to_string(),
             ),
         ],
     );

@@ -30,7 +30,11 @@ fn bench(c: &mut Criterion) {
     for &len in &[64usize, 256, 1024] {
         let chain = blank_chain(len);
         let data = swdb_model::skolemize(&chain);
-        report_row("E03", &format!("chain len={len}"), &[("triples", len.to_string())]);
+        report_row(
+            "E03",
+            &format!("chain len={len}"),
+            &[("triples", len.to_string())],
+        );
         group.bench_with_input(BenchmarkId::new("acyclic_chain", len), &len, |b, _| {
             b.iter(|| swdb_entailment::simple_entails(&data, &chain))
         });

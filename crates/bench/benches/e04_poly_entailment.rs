@@ -30,7 +30,11 @@ fn bench(c: &mut Criterion) {
             },
             13,
         );
-        report_row("E04", &format!("fixed-pattern data={size}"), &[("triples", size.to_string())]);
+        report_row(
+            "E04",
+            &format!("fixed-pattern data={size}"),
+            &[("triples", size.to_string())],
+        );
         group.bench_with_input(BenchmarkId::new("fixed_pattern", size), &size, |b, _| {
             b.iter(|| swdb_entailment::simple_entails(&data, &fixed_conclusion))
         });
@@ -40,7 +44,11 @@ fn bench(c: &mut Criterion) {
     let data = swdb_model::skolemize(&blank_chain(2048));
     for &len in &[64usize, 256, 1024] {
         let conclusion = blank_chain(len);
-        report_row("E04", &format!("acyclic pattern={len}"), &[("pattern_triples", len.to_string())]);
+        report_row(
+            "E04",
+            &format!("acyclic pattern={len}"),
+            &[("pattern_triples", len.to_string())],
+        );
         group.bench_with_input(BenchmarkId::new("acyclic_pattern", len), &len, |b, _| {
             b.iter(|| swdb_entailment::simple_entails(&data, &conclusion))
         });

@@ -32,9 +32,11 @@ fn bench(c: &mut Criterion) {
                 ("closure_triples", via_rules.len().to_string()),
             ],
         );
-        group.bench_with_input(BenchmarkId::new("cl_via_skolemization", scale), &scale, |b, _| {
-            b.iter(|| swdb_normal::closure(&g))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cl_via_skolemization", scale),
+            &scale,
+            |b, _| b.iter(|| swdb_normal::closure(&g)),
+        );
         group.bench_with_input(BenchmarkId::new("rdfs_cl_rules", scale), &scale, |b, _| {
             b.iter(|| swdb_entailment::rdfs_closure(&g))
         });

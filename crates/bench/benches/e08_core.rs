@@ -35,9 +35,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("core_computation", size), &size, |b, _| {
             b.iter(|| swdb_normal::core(&redundant))
         });
-        group.bench_with_input(BenchmarkId::new("is_lean_after_coreing", size), &size, |b, _| {
-            b.iter(|| swdb_normal::is_lean(&core))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("is_lean_after_coreing", size),
+            &size,
+            |b, _| b.iter(|| swdb_normal::is_lean(&core)),
+        );
     }
     // Adversarial leanness checks: even (retractable) vs odd (rigid) blank
     // cycles of growing size.

@@ -33,9 +33,11 @@ fn bench(c: &mut Criterion) {
                 ("minimal", minimal.len().to_string()),
             ],
         );
-        group.bench_with_input(BenchmarkId::new("minimal_representation", scale), &scale, |b, _| {
-            b.iter(|| swdb_normal::minimal_representation(&g))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("minimal_representation", scale),
+            &scale,
+            |b, _| b.iter(|| swdb_normal::minimal_representation(&g)),
+        );
     }
 
     // The non-unique cases (Examples 3.14 and 3.15) as micro-benchmarks.

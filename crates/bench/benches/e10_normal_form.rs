@@ -38,9 +38,11 @@ fn bench(c: &mut Criterion) {
                 ("nf_triples", nf_clean.len().to_string()),
             ],
         );
-        group.bench_with_input(BenchmarkId::new("normal_form_clean", scale), &scale, |b, _| {
-            b.iter(|| swdb_normal::normal_form(&clean))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("normal_form_clean", scale),
+            &scale,
+            |b, _| b.iter(|| swdb_normal::normal_form(&clean)),
+        );
         group.bench_with_input(
             BenchmarkId::new("normal_form_redundant", scale),
             &scale,

@@ -56,9 +56,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("standard_negative", n), &n, |b, _| {
             b.iter(|| contained_in(&negative.0, &negative.1, Notion::Standard))
         });
-        group.bench_with_input(BenchmarkId::new("entailment_based_positive", n), &n, |b, _| {
-            b.iter(|| contained_in(&positive.0, &positive.1, Notion::EntailmentBased))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("entailment_based_positive", n),
+            &n,
+            |b, _| b.iter(|| contained_in(&positive.0, &positive.1, Notion::EntailmentBased)),
+        );
     }
     group.finish();
 }

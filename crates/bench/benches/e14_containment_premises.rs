@@ -27,7 +27,11 @@ fn premise_of_size(n: usize) -> Graph {
 fn premised_query(premise: Graph) -> Query {
     Query::with_all(
         pattern_graph([("?X", "ex:result", "?Y")]),
-        pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s"), ("?X", "ex:q", "?Z")]),
+        pattern_graph([
+            ("?X", "ex:q", "?Y"),
+            ("?Y", "ex:t", "ex:s"),
+            ("?X", "ex:q", "?Z"),
+        ]),
         premise,
         Default::default(),
     )
@@ -58,13 +62,19 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("standard_with_premise", n), &n, |b, _| {
             b.iter(|| contained_in(&q, &relaxed, Notion::Standard))
         });
-        group.bench_with_input(BenchmarkId::new("entailment_with_premise", n), &n, |b, _| {
-            b.iter(|| contained_in(&q, &relaxed, Notion::EntailmentBased))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("entailment_with_premise", n),
+            &n,
+            |b, _| b.iter(|| contained_in(&q, &relaxed, Notion::EntailmentBased)),
+        );
         // Baseline: the same body without any premise (plain Theorem 5.5).
         let premise_free = Query::new(
             pattern_graph([("?X", "ex:result", "?Y")]),
-            pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s"), ("?X", "ex:q", "?Z")]),
+            pattern_graph([
+                ("?X", "ex:q", "?Y"),
+                ("?Y", "ex:t", "ex:s"),
+                ("?X", "ex:q", "?Z"),
+            ]),
         )
         .unwrap();
         group.bench_with_input(BenchmarkId::new("standard_premise_free", n), &n, |b, _| {

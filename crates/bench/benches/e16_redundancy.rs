@@ -9,7 +9,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use swdb_bench::{quick, report_row};
 use swdb_model::{Graph, Term, Triple};
-use swdb_query::{answer_is_lean, answer_union, eliminate_redundancy, merge_answer_is_lean, query, Semantics};
+use swdb_query::{
+    answer_is_lean, answer_union, eliminate_redundancy, merge_answer_is_lean, query, Semantics,
+};
 
 /// A database with `groups` copies of the Example 3.8 lean pattern: each
 /// group has two distinguishable blanks hanging off a shared subject.
@@ -19,10 +21,22 @@ fn bridge_database(groups: usize) -> Graph {
         let a = Term::iri(format!("ex:a{i}"));
         let x = Term::blank(format!("x{i}"));
         let y = Term::blank(format!("y{i}"));
-        g.insert(Triple::new(a.clone(), swdb_model::Iri::new("ex:p"), x.clone()));
+        g.insert(Triple::new(
+            a.clone(),
+            swdb_model::Iri::new("ex:p"),
+            x.clone(),
+        ));
         g.insert(Triple::new(a, swdb_model::Iri::new("ex:p"), y.clone()));
-        g.insert(Triple::new(x, swdb_model::Iri::new("ex:q"), Term::iri(format!("ex:b{i}"))));
-        g.insert(Triple::new(y, swdb_model::Iri::new("ex:r"), Term::iri(format!("ex:b{i}"))));
+        g.insert(Triple::new(
+            x,
+            swdb_model::Iri::new("ex:q"),
+            Term::iri(format!("ex:b{i}")),
+        ));
+        g.insert(Triple::new(
+            y,
+            swdb_model::Iri::new("ex:r"),
+            Term::iri(format!("ex:b{i}")),
+        ));
     }
     g
 }
@@ -45,18 +59,26 @@ fn bench(c: &mut Criterion) {
                 ),
             ],
         );
-        group.bench_with_input(BenchmarkId::new("union_leanness_generic", groups), &groups, |b, _| {
-            b.iter(|| answer_is_lean(&q, &db, Semantics::Union))
-        });
-        group.bench_with_input(BenchmarkId::new("merge_leanness_poly", groups), &groups, |b, _| {
-            b.iter(|| merge_answer_is_lean(&q, &db))
-        });
-        group.bench_with_input(BenchmarkId::new("merge_leanness_generic", groups), &groups, |b, _| {
-            b.iter(|| answer_is_lean(&q, &db, Semantics::Merge))
-        });
-        group.bench_with_input(BenchmarkId::new("eliminate_redundancy", groups), &groups, |b, _| {
-            b.iter(|| eliminate_redundancy(&union_answer))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("union_leanness_generic", groups),
+            &groups,
+            |b, _| b.iter(|| answer_is_lean(&q, &db, Semantics::Union)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("merge_leanness_poly", groups),
+            &groups,
+            |b, _| b.iter(|| merge_answer_is_lean(&q, &db)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("merge_leanness_generic", groups),
+            &groups,
+            |b, _| b.iter(|| answer_is_lean(&q, &db, Semantics::Merge)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("eliminate_redundancy", groups),
+            &groups,
+            |b, _| b.iter(|| eliminate_redundancy(&union_answer)),
+        );
     }
     group.finish();
 }

@@ -48,10 +48,7 @@ pub fn freeze_variable(var: &Variable) -> Term {
 /// Recovers the variable from a frozen constant, if the term is one.
 pub fn thaw_term(term: &Term) -> Option<Variable> {
     match term {
-        Term::Iri(iri) => iri
-            .as_str()
-            .strip_prefix(FROZEN_PREFIX)
-            .map(Variable::new),
+        Term::Iri(iri) => iri.as_str().strip_prefix(FROZEN_PREFIX).map(Variable::new),
         Term::Blank(_) => None,
     }
 }

@@ -19,7 +19,9 @@ pub mod no_premise;
 pub mod with_premise;
 
 pub use freeze::{apply_substitution, freeze, freeze_variable, thaw_term, FROZEN_PREFIX};
-pub use no_premise::{candidate_substitutions, constraints_respected, contained_in_no_premise, Notion};
+pub use no_premise::{
+    candidate_substitutions, constraints_respected, contained_in_no_premise, Notion,
+};
 pub use with_premise::{
     contained_in, contained_in_with_right_premise, entailment_contained_in, equivalent,
     standard_contained_in,
@@ -36,13 +38,8 @@ mod proptests {
     /// Small random premise-free queries over two predicates and three
     /// variables, with head = a prefix of the body (always well formed).
     fn arb_query() -> impl Strategy<Value = Query> {
-        let atom = ((0u8..3), (0u8..2), (0u8..3)).prop_map(|(s, p, o)| {
-            (
-                format!("?V{s}"),
-                format!("ex:p{p}"),
-                format!("?V{o}"),
-            )
-        });
+        let atom = ((0u8..3), (0u8..2), (0u8..3))
+            .prop_map(|(s, p, o)| (format!("?V{s}"), format!("ex:p{p}"), format!("?V{o}")));
         proptest::collection::vec(atom, 1..4).prop_map(|atoms| {
             let body: PatternGraph = pattern_graph(
                 atoms

@@ -105,9 +105,7 @@ pub fn constraints_respected(q: &Query, q_prime: &Query, theta: &Binding) -> boo
         let Some(image) = theta.get(c_prime) else {
             return false;
         };
-        q.constraints()
-            .iter()
-            .any(|c| image == &freeze_variable(c))
+        q.constraints().iter().any(|c| image == &freeze_variable(c))
             || thaw_term(image).is_some_and(|v| q.constraints().contains(&v))
     })
 }
@@ -134,7 +132,10 @@ mod tests {
         // painters. Every pre-answer of q is a pre-answer of q'.
         let q = query(
             [("?A", "ex:paints", "?Y")],
-            [("?A", "ex:paints", "?Y"), ("?Y", "ex:exhibited", "ex:Uffizi")],
+            [
+                ("?A", "ex:paints", "?Y"),
+                ("?Y", "ex:exhibited", "ex:Uffizi"),
+            ],
         );
         let q_prime = query([("?A", "ex:paints", "?Y")], [("?A", "ex:paints", "?Y")]);
         assert!(standard_contained_in(&q, &q_prime));
@@ -147,7 +148,10 @@ mod tests {
     fn proposition_5_2_standard_implies_entailment_based() {
         let pairs = [
             (
-                query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y"), ("?Y", "ex:q", "?Z")]),
+                query(
+                    [("?X", "ex:p", "?Y")],
+                    [("?X", "ex:p", "?Y"), ("?Y", "ex:q", "?Z")],
+                ),
                 query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]),
             ),
             (
@@ -167,7 +171,8 @@ mod tests {
         // Heads: H = (c, q, ?X) vs H' = (_:Y, q, ?X), same bodies.
         // q' ⊑m q but q' ⋢p q.
         let body = pattern_graph([("?X", "ex:p", "ex:c")]);
-        let q = swdb_query::Query::new(pattern_graph([("ex:c", "ex:q", "?X")]), body.clone()).unwrap();
+        let q =
+            swdb_query::Query::new(pattern_graph([("ex:c", "ex:q", "?X")]), body.clone()).unwrap();
         let q_prime = swdb_query::Query::new(pattern_graph([("_:Y", "ex:q", "?X")]), body).unwrap();
         assert!(
             entailment_contained_in(&q_prime, &q),
@@ -195,7 +200,10 @@ mod tests {
             pattern_graph([("?U", "ex:p", "?V")]),
         )
         .unwrap();
-        assert!(entailment_contained_in(&q, &q_prime), "q ⊑m q' via two substitutions");
+        assert!(
+            entailment_contained_in(&q, &q_prime),
+            "q ⊑m q' via two substitutions"
+        );
         assert!(!standard_contained_in(&q, &q_prime), "but q ⋢p q'");
     }
 
@@ -228,18 +236,16 @@ mod tests {
         let head = pattern_graph([("?X", "ex:p", "?Y")]);
         let body = pattern_graph([("?X", "ex:p", "?Y")]);
         let unconstrained = swdb_query::Query::new(head.clone(), body.clone()).unwrap();
-        let constrained = swdb_query::Query::with_constraints(
-            head.clone(),
-            body.clone(),
-            [Variable::new("X")],
-        )
-        .unwrap();
+        let constrained =
+            swdb_query::Query::with_constraints(head.clone(), body.clone(), [Variable::new("X")])
+                .unwrap();
         // The constrained query only returns ground-X answers: it is
         // contained in the unconstrained one, not vice versa.
         assert!(standard_contained_in(&constrained, &unconstrained));
         assert!(!standard_contained_in(&unconstrained, &constrained));
         // Two identically constrained queries contain each other.
-        let constrained2 = swdb_query::Query::with_constraints(head, body, [Variable::new("X")]).unwrap();
+        let constrained2 =
+            swdb_query::Query::with_constraints(head, body, [Variable::new("X")]).unwrap();
         assert!(standard_contained_in(&constrained, &constrained2));
     }
 
@@ -272,7 +278,10 @@ mod tests {
         // non-containment, some sample database separates the queries.
         let q = query(
             [("?A", "ex:paints", "?Y")],
-            [("?A", "ex:paints", "?Y"), ("?Y", "ex:exhibited", "ex:Uffizi")],
+            [
+                ("?A", "ex:paints", "?Y"),
+                ("?Y", "ex:exhibited", "ex:Uffizi"),
+            ],
         );
         let q_prime = query([("?A", "ex:paints", "?Y")], [("?A", "ex:paints", "?Y")]);
         let d = graph([

@@ -9,6 +9,7 @@
 
 use swdb_model::{Graph, Triple};
 use swdb_query::{NormalizedDatabase, Query, Semantics};
+use swdb_reason::MaterializedStore;
 use swdb_store::GraphStats;
 
 /// The entailment regime a database operates under.
@@ -29,6 +30,11 @@ pub enum EntailmentRegime {
 pub struct SemanticWebDatabase {
     graph: Graph,
     regime: EntailmentRegime,
+    /// The dictionary-encoded store plus its incrementally maintained
+    /// `RDFS-cl(G)` (`swdb-reason`). Every mutation updates it in place —
+    /// semi-naive propagation on insert, DRed on remove — so closure reads
+    /// never recompute a fixpoint.
+    reasoner: MaterializedStore,
     /// Cached `nf(D)`, used for premise-free query answering; rebuilt lazily
     /// after mutations.
     normalized: Option<NormalizedDatabase>,
@@ -51,6 +57,7 @@ impl SemanticWebDatabase {
     /// Wraps an existing graph.
     pub fn from_graph(graph: Graph) -> Self {
         SemanticWebDatabase {
+            reasoner: MaterializedStore::from_graph(&graph),
             graph,
             ..SemanticWebDatabase::default()
         }
@@ -95,19 +102,24 @@ impl SemanticWebDatabase {
         self.graph.is_empty()
     }
 
-    /// Inserts a triple. Returns `true` if it was new.
+    /// Inserts a triple. Returns `true` if it was new. The maintained
+    /// closure is extended by delta propagation, not recomputed.
     pub fn insert(&mut self, triple: impl Into<Triple>) -> bool {
-        let added = self.graph.insert(triple.into());
+        let triple = triple.into();
+        let added = self.graph.insert(triple.clone());
         if added {
+            self.reasoner.insert(&triple);
             self.normalized = None;
         }
         added
     }
 
-    /// Removes a triple. Returns `true` if it was present.
+    /// Removes a triple. Returns `true` if it was present. The maintained
+    /// closure retracts exactly the consequences that lost support (DRed).
     pub fn remove(&mut self, triple: &Triple) -> bool {
         let removed = self.graph.remove(triple);
         if removed {
+            self.reasoner.remove(triple);
             self.normalized = None;
         }
         removed
@@ -116,7 +128,9 @@ impl SemanticWebDatabase {
     /// Inserts every triple of a graph.
     pub fn insert_graph(&mut self, graph: &Graph) {
         for t in graph.iter() {
-            self.graph.insert(t.clone());
+            if self.graph.insert(t.clone()) {
+                self.reasoner.insert(t);
+            }
         }
         self.normalized = None;
     }
@@ -145,9 +159,33 @@ impl SemanticWebDatabase {
         }
     }
 
-    /// The RDFS closure `cl(D)` of the stored graph.
+    /// The RDFS closure `cl(D)` of the stored graph, served from the
+    /// incrementally maintained materialization (Theorem 3.6(2): `cl`
+    /// coincides with `RDFS-cl`, which `swdb-reason` maintains). The
+    /// recomputing spec path remains available as
+    /// [`SemanticWebDatabase::closure_recomputed`].
     pub fn closure(&self) -> Graph {
+        self.reasoner.closure_graph()
+    }
+
+    /// The closure recomputed from scratch through
+    /// `swdb_normal::closure` / `swdb_entailment::rdfs_closure` — the
+    /// executable specification the incremental path is property-tested
+    /// against.
+    pub fn closure_recomputed(&self) -> Graph {
         swdb_normal::closure(&self.graph)
+    }
+
+    /// Membership in `cl(D)` as one indexed probe against the maintained
+    /// closure — no fixpoint, no graph traversal.
+    pub fn closure_contains(&self, triple: &Triple) -> bool {
+        self.reasoner.closure_contains(triple)
+    }
+
+    /// The maintained store + closure (the `swdb-reason` subsystem), for
+    /// callers that want id-level scans over asserted or inferred triples.
+    pub fn reasoner(&self) -> &MaterializedStore {
+        &self.reasoner
     }
 
     /// The core of the stored graph.
@@ -173,7 +211,13 @@ impl SemanticWebDatabase {
     /// preserving equivalence. Returns the number of triples removed.
     pub fn minimize(&mut self) -> usize {
         let before = self.graph.len();
-        self.graph = swdb_normal::core(&self.graph);
+        let core = swdb_normal::core(&self.graph);
+        // The core is a subgraph: retract the dropped triples one by one so
+        // the maintained closure shrinks incrementally too.
+        for dropped in self.graph.difference(&core).iter() {
+            self.reasoner.remove(dropped);
+        }
+        self.graph = core;
         self.normalized = None;
         before - self.graph.len()
     }
@@ -279,7 +323,11 @@ mod tests {
         let q = query([("?X", "ex:creates", "?Y")], [("?X", "ex:creates", "?Y")]);
         assert_eq!(db.answer_union(&q).len(), 1);
         db.insert(triple("ex:Rodin", "ex:paints", "ex:TheThinker"));
-        assert_eq!(db.answer_union(&q).len(), 2, "cache must be refreshed after insert");
+        assert_eq!(
+            db.answer_union(&q).len(),
+            2,
+            "cache must be refreshed after insert"
+        );
         db.remove(&triple("ex:Rodin", "ex:paints", "ex:TheThinker"));
         assert_eq!(db.answer_union(&q).len(), 1);
     }
@@ -291,10 +339,42 @@ mod tests {
         assert!(db.entails(&inferred), "RDFS regime sees domain typing");
         db.set_regime(EntailmentRegime::Simple);
         assert!(!db.entails(&inferred), "simple regime does not");
-        let q = query([("?X", rdfs::TYPE, "ex:Artist")], [("?X", rdfs::TYPE, "ex:Artist")]);
+        let q = query(
+            [("?X", rdfs::TYPE, "ex:Artist")],
+            [("?X", rdfs::TYPE, "ex:Artist")],
+        );
         assert!(db.answer_union(&q).is_empty());
         db.set_regime(EntailmentRegime::Rdfs);
         assert!(!db.answer_union(&q).is_empty());
+    }
+
+    #[test]
+    fn incremental_closure_matches_recomputation_under_mutation() {
+        let mut db = sample();
+        assert_eq!(db.closure(), db.closure_recomputed());
+        db.insert(triple("ex:creates", rdfs::RANGE, "ex:Artifact"));
+        assert_eq!(db.closure(), db.closure_recomputed());
+        assert!(db.closure_contains(&triple("ex:Guernica", rdfs::TYPE, "ex:Artifact")));
+        db.remove(&triple("ex:paints", rdfs::SP, "ex:creates"));
+        assert_eq!(db.closure(), db.closure_recomputed());
+        assert!(!db.closure_contains(&triple("ex:Picasso", "ex:creates", "ex:Guernica")));
+        db.insert_graph(&graph([
+            ("ex:Artist", rdfs::SC, "ex:Person"),
+            ("ex:Picasso", rdfs::TYPE, "ex:Artist"),
+        ]));
+        assert_eq!(db.closure(), db.closure_recomputed());
+        assert!(db.closure_contains(&triple("ex:Picasso", rdfs::TYPE, "ex:Person")));
+    }
+
+    #[test]
+    fn minimize_keeps_the_maintained_closure_in_step() {
+        let mut db = SemanticWebDatabase::from_graph(graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:b", rdfs::TYPE, "ex:C"),
+        ]));
+        assert!(db.minimize() > 0);
+        assert_eq!(db.closure(), db.closure_recomputed());
     }
 
     #[test]
@@ -370,7 +450,10 @@ mod tests {
     fn containment_is_reachable_through_the_facade() {
         let q = query(
             [("?A", "ex:paints", "?Y")],
-            [("?A", "ex:paints", "?Y"), ("?Y", "ex:exhibited", "ex:Uffizi")],
+            [
+                ("?A", "ex:paints", "?Y"),
+                ("?Y", "ex:exhibited", "ex:Uffizi"),
+            ],
         );
         let q_prime = query([("?A", "ex:paints", "?Y")], [("?A", "ex:paints", "?Y")]);
         assert!(SemanticWebDatabase::query_contained_in(

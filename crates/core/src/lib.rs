@@ -15,6 +15,7 @@
 //! | Query containment (§5) | [`containment`] |
 //! | Homomorphism / pattern matching engine | [`hom`] |
 //! | Triple store, N-Triples syntax, statistics | [`store`] |
+//! | Incremental closure maintenance over id-triples | [`reason`] |
 //! | Classical graph substrate for the hardness reductions | [`graphs`] |
 //!
 //! ## Quickstart
@@ -70,6 +71,9 @@ pub use swdb_normal as normal;
 /// Re-export of the storage substrate (`swdb-store`).
 pub use swdb_store as store;
 
+/// Re-export of the incremental RDFS inference engine (`swdb-reason`).
+pub use swdb_reason as reason;
+
 /// Re-export of the tableau query language (`swdb-query`).
 pub use swdb_query as query;
 
@@ -83,14 +87,14 @@ mod integration_smoke {
 
     #[test]
     fn the_whole_stack_is_reachable_from_the_facade() {
-        let g = graph([
-            ("ex:A", rdfs::SC, "ex:B"),
-            ("_:x", rdfs::TYPE, "ex:A"),
-        ]);
+        let g = graph([("ex:A", rdfs::SC, "ex:B"), ("_:x", rdfs::TYPE, "ex:A")]);
         // model
         assert_eq!(g.len(), 2);
         // entailment
-        assert!(entailment::entails(&g, &graph([("_:x", rdfs::TYPE, "ex:B")])));
+        assert!(entailment::entails(
+            &g,
+            &graph([("_:x", rdfs::TYPE, "ex:B")])
+        ));
         // normal
         assert!(normal::is_lean(&g));
         // store

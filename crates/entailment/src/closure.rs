@@ -89,7 +89,11 @@ pub fn rdfs_closure(g: &Graph) -> Graph {
                 continue;
             }
             for t in closure.triples_with_predicate(a) {
-                inherited.push(Triple::new(t.subject().clone(), b.clone(), t.object().clone()));
+                inherited.push(Triple::new(
+                    t.subject().clone(),
+                    b.clone(),
+                    t.object().clone(),
+                ));
             }
         }
         closure.extend(inherited);
@@ -113,7 +117,9 @@ pub fn rdfs_closure(g: &Graph) -> Graph {
                     if spt.object() != a {
                         continue;
                     }
-                    let Term::Iri(c) = spt.subject() else { continue };
+                    let Term::Iri(c) = spt.subject() else {
+                        continue;
+                    };
                     for t in closure.triples_with_predicate(c) {
                         let typed = if is_domain {
                             t.subject().clone()
@@ -200,9 +206,8 @@ pub fn closure_contains(g: &Graph, t: &Triple) -> bool {
     // for those (rare, pathological) graphs we fall back to the materialised
     // closure. This mirrors the restriction of Theorem 3.16.
     let feedback = g.iter().any(|e| {
-        e.node_terms().any(|term| {
-            matches!(term, Term::Iri(iri) if rdfs::is_reserved(iri))
-        })
+        e.node_terms()
+            .any(|term| matches!(term, Term::Iri(iri) if rdfs::is_reserved(iri)))
     });
     if feedback {
         return rdfs_closure(g).contains(t);
@@ -245,7 +250,8 @@ pub fn closure_contains(g: &Graph, t: &Triple) -> bool {
         g.iter().any(|e| {
             Term::Iri(e.predicate().clone()) == *x // rule (8)
                 || ((e.predicate() == &dom || e.predicate() == &range) && e.subject() == x) // rule (10)
-                || (e.predicate() == &sp && (e.subject() == x || e.object() == x)) // rule (11)
+                || (e.predicate() == &sp && (e.subject() == x || e.object() == x))
+            // rule (11)
         })
     };
     // Terms with a reflexive (x, sc, x) in the closure.
@@ -288,7 +294,12 @@ pub fn closure_contains(g: &Graph, t: &Triple) -> bool {
     g.iter().any(|e| {
         e.subject() == t.subject()
             && e.object() == t.object()
-            && (e.predicate() == p || reach(&sp, &Term::Iri(e.predicate().clone()), &Term::Iri(p.clone())))
+            && (e.predicate() == p
+                || reach(
+                    &sp,
+                    &Term::Iri(e.predicate().clone()),
+                    &Term::Iri(p.clone()),
+                ))
     })
 }
 
@@ -461,7 +472,11 @@ mod tests {
             ]),
         ];
         for g in cases {
-            assert_eq!(rdfs_closure(&g), naive_closure(&g), "closures differ for {g}");
+            assert_eq!(
+                rdfs_closure(&g),
+                naive_closure(&g),
+                "closures differ for {g}"
+            );
         }
     }
 
@@ -510,10 +525,22 @@ mod tests {
             assert!(closure_contains(&g, t), "membership test missed {t}");
         }
         // ...and some triples clearly outside the closure are rejected.
-        assert!(!closure_contains(&g, &triple("ex:Picasso", "ex:hates", "ex:Guernica")));
-        assert!(!closure_contains(&g, &triple("ex:Guernica", rdfs::TYPE, "ex:Person")));
-        assert!(!closure_contains(&g, &triple("ex:does", rdfs::SP, "ex:paints")));
-        assert!(!closure_contains(&g, &triple("ex:paints", rdfs::DOM, "ex:Artist")));
+        assert!(!closure_contains(
+            &g,
+            &triple("ex:Picasso", "ex:hates", "ex:Guernica")
+        ));
+        assert!(!closure_contains(
+            &g,
+            &triple("ex:Guernica", rdfs::TYPE, "ex:Person")
+        ));
+        assert!(!closure_contains(
+            &g,
+            &triple("ex:does", rdfs::SP, "ex:paints")
+        ));
+        assert!(!closure_contains(
+            &g,
+            &triple("ex:paints", rdfs::DOM, "ex:Artist")
+        ));
     }
 
     #[test]
@@ -522,7 +549,11 @@ mod tests {
         let n = 20usize;
         let mut g = Graph::new();
         for i in 0..n {
-            g.insert(triple(&format!("ex:p{i}"), rdfs::SP, &format!("ex:p{}", i + 1)));
+            g.insert(triple(
+                &format!("ex:p{i}"),
+                rdfs::SP,
+                &format!("ex:p{}", i + 1),
+            ));
         }
         let stats = ClosureStats::for_graph(&g);
         let expected_pairs = n * (n + 1) / 2; // all i < j pairs
@@ -532,7 +563,10 @@ mod tests {
 
     #[test]
     fn applicable_rules_reports_firing_rules() {
-        let g = graph([("ex:Painter", rdfs::SC, "ex:Artist"), ("ex:x", rdfs::TYPE, "ex:Painter")]);
+        let g = graph([
+            ("ex:Painter", rdfs::SC, "ex:Artist"),
+            ("ex:x", rdfs::TYPE, "ex:Painter"),
+        ]);
         let rules = applicable_rules(&g);
         assert!(rules.contains(&RuleId::TypeLifting));
         assert!(rules.contains(&RuleId::SubClassReflexivity));

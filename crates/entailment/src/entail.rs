@@ -116,7 +116,10 @@ mod tests {
         let g1 = graph([("ex:a", "ex:p", "ex:b")]);
         let g2 = graph([("ex:a", "ex:p", "_:X")]);
         assert!(simple_entails(&g1, &g2));
-        assert!(!simple_entails(&g2, &g1), "the existential does not entail the ground fact");
+        assert!(
+            !simple_entails(&g2, &g1),
+            "the existential does not entail the ground fact"
+        );
     }
 
     #[test]
@@ -135,7 +138,10 @@ mod tests {
             ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
         ]);
         let g2 = graph([("ex:Picasso", rdfs::TYPE, "ex:Artist")]);
-        assert!(!simple_entails(&g1, &g2), "not entailed without the vocabulary semantics");
+        assert!(
+            !simple_entails(&g1, &g2),
+            "not entailed without the vocabulary semantics"
+        );
         assert!(entails(&g1, &g2), "entailed under RDFS semantics");
         let witness = entailment_witness(&g1, &g2).unwrap();
         assert!(witness.is_identity(), "ground conclusion maps identically");

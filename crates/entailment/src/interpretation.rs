@@ -240,7 +240,11 @@ impl Interpretation {
             interp.resources.insert(o.clone());
             interp.resources.insert(p.clone());
             interp.properties.insert(p.clone());
-            interp.pext.entry(p.clone()).or_default().insert((s.clone(), o.clone()));
+            interp
+                .pext
+                .entry(p.clone())
+                .or_default()
+                .insert((s.clone(), o.clone()));
             if t.predicate() == &sp {
                 interp.properties.insert(s.clone());
                 interp.properties.insert(o.clone());
@@ -354,7 +358,10 @@ mod tests {
     fn canonical_model_is_a_model_of_its_graph() {
         let g = art_schema();
         let model = Interpretation::canonical(&g);
-        assert!(model.rdfs_conditions_hold(), "canonical model must satisfy the RDFS conditions");
+        assert!(
+            model.rdfs_conditions_hold(),
+            "canonical model must satisfy the RDFS conditions"
+        );
         assert!(model.is_model_of(&g));
     }
 

@@ -54,14 +54,26 @@ mod proptests {
                 o
             )),
             // schema: subclass / subproperty / typing / domain / range
-            (class.clone(), class.clone())
-                .prop_map(|(a, b)| Triple::new(a, swdb_model::Iri::new(rdfs::SC), b)),
-            (prop.clone(), prop.clone())
-                .prop_map(|(a, b)| Triple::new(a, swdb_model::Iri::new(rdfs::SP), b)),
-            (node.clone(), class.clone())
-                .prop_map(|(x, c)| Triple::new(x, swdb_model::Iri::new(rdfs::TYPE), c)),
-            (prop.clone(), class.clone())
-                .prop_map(|(p, c)| Triple::new(p, swdb_model::Iri::new(rdfs::DOM), c)),
+            (class.clone(), class.clone()).prop_map(|(a, b)| Triple::new(
+                a,
+                swdb_model::Iri::new(rdfs::SC),
+                b
+            )),
+            (prop.clone(), prop.clone()).prop_map(|(a, b)| Triple::new(
+                a,
+                swdb_model::Iri::new(rdfs::SP),
+                b
+            )),
+            (node.clone(), class.clone()).prop_map(|(x, c)| Triple::new(
+                x,
+                swdb_model::Iri::new(rdfs::TYPE),
+                c
+            )),
+            (prop.clone(), class.clone()).prop_map(|(p, c)| Triple::new(
+                p,
+                swdb_model::Iri::new(rdfs::DOM),
+                c
+            )),
             (prop, class).prop_map(|(p, c)| Triple::new(p, swdb_model::Iri::new(rdfs::RANGE), c)),
         ];
         proptest::collection::vec(triple, 0..=max_triples).prop_map(Graph::from_triples)

@@ -170,7 +170,11 @@ pub fn prove(g: &Graph, h: &Graph) -> Option<Proof> {
             break;
         }
     }
-    debug_assert_eq!(current, rdfs_closure(g), "saturation must reach the closure");
+    debug_assert_eq!(
+        current,
+        rdfs_closure(g),
+        "saturation must reach the closure"
+    );
     // Final existential step: H must map into the closure.
     if &current == h {
         return Some(proof);

@@ -135,10 +135,7 @@ pub fn applications(rule: RuleId, g: &Graph) -> Vec<RuleApplication> {
     let range = rdfs::range();
     let mut out = Vec::new();
     let mut push = |rule: RuleId, premises: Vec<Triple>, conclusions: Vec<Triple>| {
-        let fresh: Vec<Triple> = conclusions
-            .into_iter()
-            .filter(|t| !g.contains(t))
-            .collect();
+        let fresh: Vec<Triple> = conclusions.into_iter().filter(|t| !g.contains(t)).collect();
         if !fresh.is_empty() {
             out.push(RuleApplication {
                 rule,
@@ -157,7 +154,11 @@ pub fn applications(rule: RuleId, g: &Graph) -> Vec<RuleApplication> {
                         push(
                             rule,
                             vec![(*t1).clone(), (*t2).clone()],
-                            vec![Triple::new(t1.subject().clone(), sp.clone(), t2.object().clone())],
+                            vec![Triple::new(
+                                t1.subject().clone(),
+                                sp.clone(),
+                                t2.object().clone(),
+                            )],
                         );
                     }
                 }
@@ -177,7 +178,11 @@ pub fn applications(rule: RuleId, g: &Graph) -> Vec<RuleApplication> {
                     push(
                         rule,
                         vec![(*spt).clone(), t.clone()],
-                        vec![Triple::new(t.subject().clone(), b.clone(), t.object().clone())],
+                        vec![Triple::new(
+                            t.subject().clone(),
+                            b.clone(),
+                            t.object().clone(),
+                        )],
                     );
                 }
             }
@@ -190,7 +195,11 @@ pub fn applications(rule: RuleId, g: &Graph) -> Vec<RuleApplication> {
                         push(
                             rule,
                             vec![(*t1).clone(), (*t2).clone()],
-                            vec![Triple::new(t1.subject().clone(), sc.clone(), t2.object().clone())],
+                            vec![Triple::new(
+                                t1.subject().clone(),
+                                sc.clone(),
+                                t2.object().clone(),
+                            )],
                         );
                     }
                 }
@@ -205,14 +214,22 @@ pub fn applications(rule: RuleId, g: &Graph) -> Vec<RuleApplication> {
                         push(
                             rule,
                             vec![(*sct).clone(), (*tt).clone()],
-                            vec![Triple::new(tt.subject().clone(), type_.clone(), sct.object().clone())],
+                            vec![Triple::new(
+                                tt.subject().clone(),
+                                type_.clone(),
+                                sct.object().clone(),
+                            )],
                         );
                     }
                 }
             }
         }
         RuleId::DomainTyping | RuleId::RangeTyping => {
-            let property = if rule == RuleId::DomainTyping { &dom } else { &range };
+            let property = if rule == RuleId::DomainTyping {
+                &dom
+            } else {
+                &range
+            };
             let decls: Vec<&Triple> = g.triples_with_predicate(property).collect();
             let sp_triples: Vec<&Triple> = g.triples_with_predicate(&sp).collect();
             for decl in &decls {
@@ -222,7 +239,9 @@ pub fn applications(rule: RuleId, g: &Graph) -> Vec<RuleApplication> {
                     if spt.object() != a {
                         continue;
                     }
-                    let Term::Iri(c) = spt.subject() else { continue };
+                    let Term::Iri(c) = spt.subject() else {
+                        continue;
+                    };
                     for t in g.triples_with_predicate(c) {
                         let typed = if rule == RuleId::DomainTyping {
                             t.subject().clone()
@@ -366,9 +385,11 @@ mod tests {
             ("ex:child", rdfs::SP, "ex:descendant"),
         ]);
         let apps = applications(RuleId::SubPropertyTransitivity, &g);
-        assert!(apps
-            .iter()
-            .any(|a| a.conclusions.contains(&triple("ex:son", rdfs::SP, "ex:descendant"))));
+        assert!(apps.iter().any(|a| a.conclusions.contains(&triple(
+            "ex:son",
+            rdfs::SP,
+            "ex:descendant"
+        ))));
     }
 
     #[test]
@@ -378,9 +399,11 @@ mod tests {
             ("ex:Picasso", "ex:paints", "ex:Guernica"),
         ]);
         let apps = applications(RuleId::SubPropertyInheritance, &g);
-        assert!(apps
-            .iter()
-            .any(|a| a.conclusions.contains(&triple("ex:Picasso", "ex:creates", "ex:Guernica"))));
+        assert!(apps.iter().any(|a| a.conclusions.contains(&triple(
+            "ex:Picasso",
+            "ex:creates",
+            "ex:Guernica"
+        ))));
     }
 
     #[test]
@@ -403,13 +426,17 @@ mod tests {
             ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
         ]);
         let trans = applications(RuleId::SubClassTransitivity, &g);
-        assert!(trans
-            .iter()
-            .any(|a| a.conclusions.contains(&triple("ex:Painter", rdfs::SC, "ex:Person"))));
+        assert!(trans.iter().any(|a| a.conclusions.contains(&triple(
+            "ex:Painter",
+            rdfs::SC,
+            "ex:Person"
+        ))));
         let lift = applications(RuleId::TypeLifting, &g);
-        assert!(lift
-            .iter()
-            .any(|a| a.conclusions.contains(&triple("ex:Picasso", rdfs::TYPE, "ex:Artist"))));
+        assert!(lift.iter().any(|a| a.conclusions.contains(&triple(
+            "ex:Picasso",
+            rdfs::TYPE,
+            "ex:Artist"
+        ))));
     }
 
     #[test]
@@ -423,13 +450,17 @@ mod tests {
             ("ex:Picasso", "ex:paints", "ex:Guernica"),
         ]);
         let dom_apps = applications(RuleId::DomainTyping, &g);
-        assert!(dom_apps
-            .iter()
-            .any(|a| a.conclusions.contains(&triple("ex:Picasso", rdfs::TYPE, "ex:Painter"))));
+        assert!(dom_apps.iter().any(|a| a.conclusions.contains(&triple(
+            "ex:Picasso",
+            rdfs::TYPE,
+            "ex:Painter"
+        ))));
         let range_apps = applications(RuleId::RangeTyping, &g);
-        assert!(range_apps
-            .iter()
-            .any(|a| a.conclusions.contains(&triple("ex:Guernica", rdfs::TYPE, "ex:Painting"))));
+        assert!(range_apps.iter().any(|a| a.conclusions.contains(&triple(
+            "ex:Guernica",
+            rdfs::TYPE,
+            "ex:Painting"
+        ))));
     }
 
     #[test]
@@ -460,21 +491,27 @@ mod tests {
             ("ex:C", rdfs::SC, "ex:D"),
         ]);
         let r10 = applications(RuleId::DomainRangeSubjectReflexivity, &g);
-        assert!(r10
-            .iter()
-            .any(|a| a.conclusions.contains(&triple("ex:paints", rdfs::SP, "ex:paints"))));
+        assert!(r10.iter().any(|a| a.conclusions.contains(&triple(
+            "ex:paints",
+            rdfs::SP,
+            "ex:paints"
+        ))));
         let r11 = applications(RuleId::SubPropertyReflexivity, &g);
         assert!(r11.iter().any(|a| {
-            a.conclusions.contains(&triple("ex:son", rdfs::SP, "ex:son"))
-                && a.conclusions.contains(&triple("ex:child", rdfs::SP, "ex:child"))
+            a.conclusions
+                .contains(&triple("ex:son", rdfs::SP, "ex:son"))
+                && a.conclusions
+                    .contains(&triple("ex:child", rdfs::SP, "ex:child"))
         }));
         let r12 = applications(RuleId::ClassReflexivity, &g);
         assert!(r12
             .iter()
             .any(|a| a.conclusions.contains(&triple("ex:C", rdfs::SC, "ex:C"))));
-        assert!(r12
-            .iter()
-            .any(|a| a.conclusions.contains(&triple("ex:Painter", rdfs::SC, "ex:Painter"))));
+        assert!(r12.iter().any(|a| a.conclusions.contains(&triple(
+            "ex:Painter",
+            rdfs::SC,
+            "ex:Painter"
+        ))));
         let r13 = applications(RuleId::SubClassReflexivity, &g);
         assert!(r13
             .iter()
@@ -491,10 +528,11 @@ mod tests {
         let apps = applications(RuleId::SubPropertyTransitivity, &g);
         // The only candidate conclusion is already present, so no
         // applications are reported for it...
-        assert!(apps
-            .iter()
-            .all(|a| !a.conclusions.contains(&triple("ex:son", rdfs::SP, "ex:descendant"))
-                || a.conclusions.len() > 1));
+        assert!(apps.iter().all(|a| !a.conclusions.contains(&triple(
+            "ex:son",
+            rdfs::SP,
+            "ex:descendant"
+        )) || a.conclusions.len() > 1));
     }
 
     #[test]

@@ -90,7 +90,10 @@ mod tests {
         let c6 = DiGraph::from_undirected_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         assert!(!is_core(&c6));
         let k = core(&c6);
-        assert!(isomorphic(&k, &DiGraph::complete(2)), "core(C6) ≅ K2, got {k:?}");
+        assert!(
+            isomorphic(&k, &DiGraph::complete(2)),
+            "core(C6) ≅ K2, got {k:?}"
+        );
     }
 
     #[test]
@@ -130,7 +133,10 @@ mod tests {
         let c6 = DiGraph::from_undirected_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         assert!(is_core_of(&DiGraph::complete(2), &c6));
         assert!(!is_core_of(&DiGraph::complete(3), &c6));
-        assert!(!is_core_of(&c6, &c6), "C6 itself is not a core, so it is not *the* core");
+        assert!(
+            !is_core_of(&c6, &c6),
+            "C6 itself is not a core, so it is not *the* core"
+        );
     }
 
     #[test]

@@ -134,8 +134,7 @@ impl DiGraph {
 
     /// Returns `true` if `self` is a subgraph of `other` (vertices and edges).
     pub fn is_subgraph_of(&self, other: &DiGraph) -> bool {
-        self.vertices.is_subset(&other.vertices)
-            && self.edges().all(|(u, v)| other.has_edge(u, v))
+        self.vertices.is_subset(&other.vertices) && self.edges().all(|(u, v)| other.has_edge(u, v))
     }
 
     // ----- standard constructions used by the reductions -----

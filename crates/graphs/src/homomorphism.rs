@@ -111,9 +111,9 @@ pub fn has_triangle(g: &DiGraph) -> bool {
 
 /// Checks whether `h` really is a homomorphism `from → into`.
 pub fn verify_homomorphism(from: &DiGraph, into: &DiGraph, h: &BTreeMap<usize, usize>) -> bool {
-    from.edges().all(|(u, v)| {
-        matches!((h.get(&u), h.get(&v)), (Some(&hu), Some(&hv)) if into.has_edge(hu, hv))
-    })
+    from.edges().all(
+        |(u, v)| matches!((h.get(&u), h.get(&v)), (Some(&hu), Some(&hv)) if into.has_edge(hu, hv)),
+    )
 }
 
 /// Searches for an isomorphism between the two graphs: a bijection on

@@ -120,7 +120,10 @@ mod tests {
     fn planted_graphs_are_3_colorable() {
         for seed in 0..3 {
             let g = planted_3_colorable(12, 0.6, seed);
-            assert!(is_k_colorable(&g, 3), "planted 3-partition must be 3-colourable");
+            assert!(
+                is_k_colorable(&g, 3),
+                "planted 3-partition must be 3-colourable"
+            );
         }
     }
 }

@@ -89,7 +89,10 @@ pub fn topological_sort(g: &DiGraph) -> Option<Vec<usize>> {
 /// (cyclic graphs do not have a unique reduction, which is exactly the point
 /// of Example 3.14).
 pub fn transitive_reduction(g: &DiGraph) -> DiGraph {
-    assert!(is_acyclic(g), "transitive reduction requires an acyclic graph");
+    assert!(
+        is_acyclic(g),
+        "transitive reduction requires an acyclic graph"
+    );
     let mut reduced = DiGraph::new();
     for v in g.vertices() {
         reduced.add_vertex(v);
@@ -126,7 +129,11 @@ mod tests {
     fn closure_of_a_cycle_is_complete_with_loops() {
         let c3 = DiGraph::cycle(3);
         let c = transitive_closure(&c3);
-        assert_eq!(c.edge_count(), 9, "every vertex reaches every vertex incl. itself");
+        assert_eq!(
+            c.edge_count(),
+            9,
+            "every vertex reaches every vertex incl. itself"
+        );
         assert!(c.has_edge(0, 0));
     }
 
@@ -188,7 +195,10 @@ mod tests {
         let p = DiGraph::path(4);
         assert!(reachable(&p, 0, 3));
         assert!(!reachable(&p, 3, 0));
-        assert!(!reachable(&p, 0, 0), "no path of length ≥ 1 from 0 to itself");
+        assert!(
+            !reachable(&p, 0, 0),
+            "no path of length ≥ 1 from 0 to itself"
+        );
         let c = DiGraph::cycle(3);
         assert!(reachable(&c, 0, 0));
     }

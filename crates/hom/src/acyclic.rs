@@ -209,13 +209,12 @@ pub fn acyclic_exists(pattern: &PatternGraph, index: &GraphIndex) -> Option<bool
                 if shared.is_empty() {
                     continue;
                 }
-                let keys: BTreeSet<Binding> = relations[j]
-                    .1
-                    .iter()
-                    .map(|b| b.project(&shared))
-                    .collect();
+                let keys: BTreeSet<Binding> =
+                    relations[j].1.iter().map(|b| b.project(&shared)).collect();
                 let before = relations[i].1.len();
-                relations[i].1.retain(|b| keys.contains(&b.project(&shared)));
+                relations[i]
+                    .1
+                    .retain(|b| keys.contains(&b.project(&shared)));
                 if relations[i].1.is_empty() {
                     return Some(false);
                 }

@@ -28,7 +28,10 @@ pub mod solve;
 
 pub use acyclic::{acyclic_exists, has_blank_induced_cycle, is_acyclic_pattern};
 pub use index::GraphIndex;
-pub use maps::{all_maps, exists_map, exists_map_indexed, find_map, find_map_avoiding, find_map_indexed, for_each_map};
+pub use maps::{
+    all_maps, exists_map, exists_map_indexed, find_map, find_map_avoiding, find_map_indexed,
+    for_each_map,
+};
 pub use pattern::{
     parse_pattern_term, pattern, pattern_graph, Binding, PatternGraph, PatternTerm, TriplePattern,
     Variable,
@@ -48,8 +51,11 @@ mod proptests {
             (0u8..3).prop_map(|i| Term::blank(format!("B{i}"))),
         ];
         let pred = (0u8..2).prop_map(|i| swdb_model::Iri::new(format!("ex:p{i}")));
-        proptest::collection::vec((term.clone(), pred, term), 0..=max_triples)
-            .prop_map(|ts| ts.into_iter().map(|(s, p, o)| Triple::new(s, p, o)).collect())
+        proptest::collection::vec((term.clone(), pred, term), 0..=max_triples).prop_map(|ts| {
+            ts.into_iter()
+                .map(|(s, p, o)| Triple::new(s, p, o))
+                .collect()
+        })
     }
 
     proptest! {

@@ -192,7 +192,7 @@ mod tests {
             ("ex:3", "ex:r", "ex:elsewhere"),
         ]);
         assert!(exists_map(&chain, &data_yes));
-        assert_eq!(find_map(&chain, &data_yes).is_some(), true);
+        assert!(find_map(&chain, &data_yes).is_some());
         assert!(!exists_map(&chain, &data_no));
         assert!(find_map(&chain, &data_no).is_none());
     }

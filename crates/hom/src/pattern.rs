@@ -265,7 +265,7 @@ impl Binding {
     pub fn compatible_with(&self, other: &Binding) -> bool {
         self.map
             .iter()
-            .all(|(v, t)| other.get(v).map_or(true, |t2| t2 == t))
+            .all(|(v, t)| other.get(v).is_none_or(|t2| t2 == t))
     }
 }
 
@@ -410,7 +410,11 @@ impl FromIterator<TriplePattern> for PatternGraph {
 /// starting with `?` are variables, labels starting with `_:` are blank
 /// nodes, everything else is a URI.
 pub fn pattern(s: &str, p: &str, o: &str) -> TriplePattern {
-    TriplePattern::new(parse_pattern_term(s), parse_pattern_term(p), parse_pattern_term(o))
+    TriplePattern::new(
+        parse_pattern_term(s),
+        parse_pattern_term(p),
+        parse_pattern_term(o),
+    )
 }
 
 /// Parses a single pattern term label (see [`pattern`]).
@@ -468,7 +472,10 @@ mod tests {
     fn instantiation_rejects_blank_predicates() {
         let p = pattern("ex:a", "?P", "ex:b");
         let bad = Binding::from_pairs([("P", Term::blank("N"))]);
-        assert!(p.instantiate(&bad).is_none(), "blank in predicate position is not well formed");
+        assert!(
+            p.instantiate(&bad).is_none(),
+            "blank in predicate position is not well formed"
+        );
         let good = Binding::from_pairs([("P", Term::iri("ex:p"))]);
         assert!(p.instantiate(&good).is_some());
     }

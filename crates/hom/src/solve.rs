@@ -81,10 +81,7 @@ impl<'a> Solver<'a> {
             let mut newly_bound = Vec::with_capacity(3);
             let positions: [(&PatternTerm, Term); 3] = [
                 (&chosen.subject, candidate.subject().clone()),
-                (
-                    &chosen.predicate,
-                    Term::Iri(candidate.predicate().clone()),
-                ),
+                (&chosen.predicate, Term::Iri(candidate.predicate().clone())),
                 (&chosen.object, candidate.object().clone()),
             ];
             let mut consistent = true;
@@ -272,7 +269,11 @@ mod tests {
 
     #[test]
     fn triangle_pattern_requires_triangle_in_data() {
-        let pg = pattern_graph([("?A", "ex:e", "?B"), ("?B", "ex:e", "?C"), ("?C", "ex:e", "?A")]);
+        let pg = pattern_graph([
+            ("?A", "ex:e", "?B"),
+            ("?B", "ex:e", "?C"),
+            ("?C", "ex:e", "?A"),
+        ]);
         let path = graph([("ex:1", "ex:e", "ex:2"), ("ex:2", "ex:e", "ex:3")]);
         assert!(!pattern_matches(&pg, &path));
         let triangle = graph([

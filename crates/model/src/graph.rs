@@ -186,7 +186,10 @@ impl Graph {
     }
 
     /// Returns the triples whose subject equals the given term.
-    pub fn triples_with_subject<'a>(&'a self, s: &'a Term) -> impl Iterator<Item = &'a Triple> + 'a {
+    pub fn triples_with_subject<'a>(
+        &'a self,
+        s: &'a Term,
+    ) -> impl Iterator<Item = &'a Triple> + 'a {
         self.triples.iter().filter(move |t| t.subject() == s)
     }
 
@@ -197,7 +200,10 @@ impl Graph {
 
     /// Returns the triples that mention the given term in subject or object
     /// position.
-    pub fn triples_mentioning<'a>(&'a self, term: &'a Term) -> impl Iterator<Item = &'a Triple> + 'a {
+    pub fn triples_mentioning<'a>(
+        &'a self,
+        term: &'a Term,
+    ) -> impl Iterator<Item = &'a Triple> + 'a {
         self.triples
             .iter()
             .filter(move |t| t.subject() == term || t.object() == term)
@@ -395,14 +401,8 @@ mod tests {
     fn pattern_scans() {
         let g = sample();
         assert_eq!(g.triples_with_predicate(&Iri::new("ex:paints")).count(), 1);
-        assert_eq!(
-            g.triples_with_subject(&Term::iri("ex:Picasso")).count(),
-            1
-        );
-        assert_eq!(
-            g.triples_with_object(&Term::iri("ex:Guernica")).count(),
-            1
-        );
+        assert_eq!(g.triples_with_subject(&Term::iri("ex:Picasso")).count(), 1);
+        assert_eq!(g.triples_with_object(&Term::iri("ex:Guernica")).count(), 1);
         assert_eq!(g.triples_mentioning(&Term::blank("X")).count(), 1);
     }
 

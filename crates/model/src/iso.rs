@@ -83,7 +83,8 @@ pub fn isomorphism(g1: &Graph, g2: &Graph) -> Option<TermMap> {
 type Signature = Vec<(String, u8, Option<(Iri, Option<Iri>)>)>;
 
 fn signatures(g: &Graph, blanks: &[BlankNode]) -> BTreeMap<BlankNode, Signature> {
-    let mut out: BTreeMap<BlankNode, Signature> = blanks.iter().map(|b| (b.clone(), Vec::new())).collect();
+    let mut out: BTreeMap<BlankNode, Signature> =
+        blanks.iter().map(|b| (b.clone(), Vec::new())).collect();
     for t in g.iter() {
         let s_blank = t.subject().as_blank();
         let o_blank = t.object().as_blank();
@@ -92,14 +93,22 @@ fn signatures(g: &Graph, blanks: &[BlankNode]) -> BTreeMap<BlankNode, Signature>
                 Term::Iri(i) => Some((t.predicate().clone(), Some(i.clone()))),
                 Term::Blank(_) => Some((t.predicate().clone(), None)),
             };
-            out.get_mut(b).expect("blank in index").push((t.predicate().as_str().to_owned(), 0, other));
+            out.get_mut(b).expect("blank in index").push((
+                t.predicate().as_str().to_owned(),
+                0,
+                other,
+            ));
         }
         if let Some(b) = o_blank {
             let other = match t.subject() {
                 Term::Iri(i) => Some((t.predicate().clone(), Some(i.clone()))),
                 Term::Blank(_) => Some((t.predicate().clone(), None)),
             };
-            out.get_mut(b).expect("blank in index").push((t.predicate().as_str().to_owned(), 1, other));
+            out.get_mut(b).expect("blank in index").push((
+                t.predicate().as_str().to_owned(),
+                1,
+                other,
+            ));
         }
     }
     for sig in out.values_mut() {
@@ -131,7 +140,9 @@ fn search(
         }
         assignment.insert(blank.clone(), cand.clone());
         used.insert(cand.clone());
-        if partial_consistent(g1, g2, assignment) && search(g1, g2, candidates, index + 1, assignment, used) {
+        if partial_consistent(g1, g2, assignment)
+            && search(g1, g2, candidates, index + 1, assignment, used)
+        {
             return true;
         }
         assignment.remove(blank);
@@ -255,7 +266,11 @@ mod tests {
         // A 2-cycle of blanks vs. a blank 2-path: same triple count, same
         // blank count, not isomorphic.
         let cycle = graph([("_:X", "ex:p", "_:Y"), ("_:Y", "ex:p", "_:X")]);
-        let path = graph([("_:X", "ex:p", "_:Y"), ("_:Y", "ex:p", "_:Z"), ("_:Z", "ex:p", "_:X")]);
+        let path = graph([
+            ("_:X", "ex:p", "_:Y"),
+            ("_:Y", "ex:p", "_:Z"),
+            ("_:Z", "ex:p", "_:X"),
+        ]);
         assert!(!isomorphic(&cycle, &path));
         let path2 = graph([("_:A", "ex:p", "_:B"), ("_:B", "ex:p", "_:C")]);
         let cycle_is_not_path = isomorphic(&cycle, &path2);

@@ -67,8 +67,11 @@ mod proptests {
             (0u8..4).prop_map(|i| Term::blank(format!("B{i}"))),
         ];
         let pred = (0u8..3).prop_map(|i| crate::term::Iri::new(format!("ex:p{i}")));
-        proptest::collection::vec((term.clone(), pred, term), 0..=max_triples)
-            .prop_map(|ts| ts.into_iter().map(|(s, p, o)| Triple::new(s, p, o)).collect())
+        proptest::collection::vec((term.clone(), pred, term), 0..=max_triples).prop_map(|ts| {
+            ts.into_iter()
+                .map(|(s, p, o)| Triple::new(s, p, o))
+                .collect()
+        })
     }
 
     proptest! {

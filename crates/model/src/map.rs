@@ -83,6 +83,13 @@ impl TermMap {
         self.bindings.len()
     }
 
+    /// Returns `true` if the map binds no blank node (alias of
+    /// [`TermMap::is_identity`], satisfying the conventional `len` /
+    /// `is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
     /// Returns `true` if the map is the identity.
     pub fn is_identity(&self) -> bool {
         self.bindings.is_empty()
@@ -92,7 +99,11 @@ impl TermMap {
     pub fn apply_term(&self, term: &Term) -> Term {
         match term {
             Term::Iri(_) => term.clone(),
-            Term::Blank(b) => self.bindings.get(b).cloned().unwrap_or_else(|| term.clone()),
+            Term::Blank(b) => self
+                .bindings
+                .get(b)
+                .cloned()
+                .unwrap_or_else(|| term.clone()),
         }
     }
 

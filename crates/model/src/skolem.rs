@@ -121,10 +121,7 @@ mod tests {
     fn unskolemize_drops_blank_predicates() {
         // If a closure step produced a triple whose predicate is a Skolem
         // constant, the (·)_* operation must delete it.
-        let h = graph([
-            ("ex:a", "skolem:X", "ex:b"),
-            ("skolem:X", "ex:p", "ex:c"),
-        ]);
+        let h = graph([("ex:a", "skolem:X", "ex:b"), ("skolem:X", "ex:p", "ex:c")]);
         let g = unskolemize(&h);
         assert_eq!(g.len(), 1);
         assert!(g.contains(&triple("_:X", "ex:p", "ex:c")));

@@ -287,7 +287,7 @@ mod tests {
 
     #[test]
     fn term_ordering_is_total_and_consistent() {
-        let mut terms = vec![
+        let mut terms = [
             Term::blank("Z"),
             Term::iri("ex:b"),
             Term::blank("A"),

@@ -23,7 +23,11 @@ pub struct Triple {
 
 impl Triple {
     /// Creates a triple from its three components.
-    pub fn new(subject: impl Into<Term>, predicate: impl Into<Iri>, object: impl Into<Term>) -> Self {
+    pub fn new(
+        subject: impl Into<Term>,
+        predicate: impl Into<Iri>,
+        object: impl Into<Term>,
+    ) -> Self {
         Triple {
             subject: subject.into(),
             predicate: predicate.into(),
@@ -120,7 +124,11 @@ mod tests {
 
     #[test]
     fn construction_and_accessors() {
-        let t = Triple::new(Term::iri("ex:Picasso"), Iri::new("ex:paints"), Term::iri("ex:Guernica"));
+        let t = Triple::new(
+            Term::iri("ex:Picasso"),
+            Iri::new("ex:paints"),
+            Term::iri("ex:Guernica"),
+        );
         assert_eq!(t.subject(), &Term::iri("ex:Picasso"));
         assert_eq!(t.predicate().as_str(), "ex:paints");
         assert_eq!(t.object(), &Term::iri("ex:Guernica"));

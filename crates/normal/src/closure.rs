@@ -139,10 +139,7 @@ mod tests {
     fn lemma_3_3_rdfs_cl_is_contained_in_every_naive_closure() {
         // Any maximal equivalent extension must contain every rule-derivable
         // triple.
-        let g = graph([
-            ("ex:A", rdfs::SC, "ex:B"),
-            ("_:X", rdfs::TYPE, "ex:A"),
-        ]);
+        let g = graph([("ex:A", rdfs::SC, "ex:B"), ("_:X", rdfs::TYPE, "ex:A")]);
         let cl = closure(&g);
         // Simulate a "naive closure": add an extra equivalent triple and
         // saturate.
@@ -162,7 +159,11 @@ mod tests {
     fn closure_growth_reports_sizes() {
         let mut g = Graph::new();
         for i in 0..10 {
-            g.insert(triple(&format!("ex:c{i}"), rdfs::SC, &format!("ex:c{}", i + 1)));
+            g.insert(triple(
+                &format!("ex:c{i}"),
+                rdfs::SC,
+                &format!("ex:c{}", i + 1),
+            ));
         }
         let (input, output) = closure_growth(&g);
         assert_eq!(input, 10);

@@ -87,7 +87,10 @@ mod tests {
             ("ex:b", "ex:q", "ex:c"),
         ]);
         let result = core_with_witness(&g);
-        assert!(result.core.is_subgraph_of(&g), "the core is a subgraph of G");
+        assert!(
+            result.core.is_subgraph_of(&g),
+            "the core is a subgraph of G"
+        );
         assert!(is_lean(&result.core));
         // Ground triples always survive.
         assert!(result.core.contains(&triple("ex:a", "ex:p", "ex:b")));
@@ -96,10 +99,7 @@ mod tests {
 
     #[test]
     fn core_of_lean_graph_is_itself() {
-        let g = graph([
-            ("ex:a", "ex:p", "_:X"),
-            ("_:X", "ex:q", "ex:b"),
-        ]);
+        let g = graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:b")]);
         assert_eq!(core(&g), g);
         assert!(is_own_core(&g));
     }

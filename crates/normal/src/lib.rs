@@ -27,8 +27,8 @@ pub use closure::{closure, closure_contains, closure_growth, is_closed};
 pub use lean::{find_non_lean_witness, is_lean, verify_non_lean_witness, NonLeanWitness};
 pub use minimal::{
     distinct_minimal_representations, has_unique_minimal_representation, is_redundant_in,
-    minimal_representation, minimal_representation_with_preference,
-    relation_is_acyclic, reserved_vocabulary_in_node_position,
+    minimal_representation, minimal_representation_with_preference, relation_is_acyclic,
+    reserved_vocabulary_in_node_position,
 };
 pub use nf::{equivalent_by_normal_form, is_in_normal_form, is_normal_form_of, normal_form};
 

@@ -75,13 +75,9 @@ pub fn distinct_minimal_representations(g: &Graph, limit: usize) -> Vec<Graph> {
     for preferred in preferences {
         let result = match &preferred {
             None => minimal_representation(g),
-            Some(first) => minimal_representation_with_preference(g, |t| {
-                if t == first {
-                    0
-                } else {
-                    1
-                }
-            }),
+            Some(first) => {
+                minimal_representation_with_preference(g, |t| if t == first { 0 } else { 1 })
+            }
         };
         if !found.iter().any(|existing| isomorphic(existing, &result)) {
             found.push(result);
@@ -164,7 +160,10 @@ mod tests {
             ("ex:b", rdfs::SP, "ex:c"),
             ("ex:c", rdfs::SP, "ex:b"),
         ]);
-        assert!(!has_unique_minimal_representation(&g), "the sp relation is cyclic");
+        assert!(
+            !has_unique_minimal_representation(&g),
+            "the sp relation is cyclic"
+        );
         let reprs = distinct_minimal_representations(&g, 8);
         assert!(
             reprs.len() >= 2,

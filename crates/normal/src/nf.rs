@@ -94,10 +94,7 @@ mod tests {
 
     #[test]
     fn theorem_3_19_uniqueness_under_blank_renaming() {
-        let g = graph([
-            ("ex:a", rdfs::SC, "ex:b"),
-            ("_:X", rdfs::TYPE, "ex:a"),
-        ]);
+        let g = graph([("ex:a", rdfs::SC, "ex:b"), ("_:X", rdfs::TYPE, "ex:a")]);
         let renamed = swdb_model::rename_blanks_sequentially(&g, "fresh");
         assert!(isomorphic(&normal_form(&g), &normal_form(&renamed)));
     }
@@ -141,7 +138,11 @@ mod tests {
         ];
         for (g, h, expected) in pairs {
             assert_eq!(swdb_entailment::equivalent(&g, &h), expected);
-            assert_eq!(equivalent_by_normal_form(&g, &h), expected, "for {g} vs {h}");
+            assert_eq!(
+                equivalent_by_normal_form(&g, &h),
+                expected,
+                "for {g} vs {h}"
+            );
         }
     }
 
@@ -150,7 +151,10 @@ mod tests {
         let g = graph([("ex:A", rdfs::SC, "ex:B"), ("_:X", rdfs::TYPE, "ex:A")]);
         let nf = normal_form(&g);
         assert!(is_normal_form_of(&nf, &g));
-        assert!(!is_normal_form_of(&g, &g), "g itself is not closed, so it is not its nf");
+        assert!(
+            !is_normal_form_of(&g, &g),
+            "g itself is not closed, so it is not its nf"
+        );
     }
 
     #[test]

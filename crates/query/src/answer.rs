@@ -192,7 +192,11 @@ fn skolem_value(blank_label: &str, query: &Query, binding: &Binding) -> Term {
             payload.push_str(&term.to_string());
         }
     }
-    Term::blank(format!("sk-{}-{:016x}", blank_label, fnv1a(payload.as_bytes())))
+    Term::blank(format!(
+        "sk-{}-{:016x}",
+        blank_label,
+        fnv1a(payload.as_bytes())
+    ))
 }
 
 /// A tiny stable 64-bit FNV-1a hash (no dependency on the randomized
@@ -267,7 +271,12 @@ pub fn select(query: &Query, database: &Graph, vars: &[Variable]) -> Vec<Vec<Ter
         .into_iter()
         .map(|binding| {
             vars.iter()
-                .map(|v| binding.get(v).cloned().unwrap_or_else(|| Term::blank("unbound")))
+                .map(|v| {
+                    binding
+                        .get(v)
+                        .cloned()
+                        .unwrap_or_else(|| Term::blank("unbound"))
+                })
                 .collect()
         })
         .collect()
@@ -311,7 +320,10 @@ mod tests {
 
     #[test]
     fn typing_through_domain_is_queryable() {
-        let q = query([("?X", rdfs::TYPE, "ex:Artist")], [("?X", rdfs::TYPE, "ex:Artist")]);
+        let q = query(
+            [("?X", rdfs::TYPE, "ex:Artist")],
+            [("?X", rdfs::TYPE, "ex:Artist")],
+        );
         let answers = answer_union(&q, &art_database());
         assert!(answers.contains(&triple("ex:Picasso", rdfs::TYPE, "ex:Artist")));
         assert!(answers.contains(&triple("ex:Rembrandt", rdfs::TYPE, "ex:Artist")));
@@ -355,7 +367,11 @@ mod tests {
         )
         .unwrap();
         let answers = pre_answers(&constrained, &data);
-        assert_eq!(answers.len(), 1, "the blank binding is filtered by the constraint");
+        assert_eq!(
+            answers.len(),
+            1,
+            "the blank binding is filtered by the constraint"
+        );
         assert!(answers[0].contains(&triple("ex:a", "ex:p", "ex:b")));
     }
 
@@ -370,15 +386,32 @@ mod tests {
         let union = answer_union(&q, &data);
         let bridged = union.blank_nodes().iter().any(|b| {
             let node = swdb_model::Term::Blank(b.clone());
-            union.contains(&swdb_model::Triple::new(node.clone(), "ex:feature", swdb_model::Term::iri("ex:p1")))
-                && union.contains(&swdb_model::Triple::new(node, "ex:feature", swdb_model::Term::iri("ex:p2")))
+            union.contains(&swdb_model::Triple::new(
+                node.clone(),
+                "ex:feature",
+                swdb_model::Term::iri("ex:p1"),
+            )) && union.contains(&swdb_model::Triple::new(
+                node,
+                "ex:feature",
+                swdb_model::Term::iri("ex:p2"),
+            ))
         });
-        assert!(bridged, "union semantics keeps both features on the same blank: {union}");
+        assert!(
+            bridged,
+            "union semantics keeps both features on the same blank: {union}"
+        );
         let merge = answer_merge(&q, &data);
         let merge_bridged = merge.blank_nodes().iter().any(|b| {
             let node = swdb_model::Term::Blank(b.clone());
-            merge.contains(&swdb_model::Triple::new(node.clone(), "ex:feature", swdb_model::Term::iri("ex:p1")))
-                && merge.contains(&swdb_model::Triple::new(node, "ex:feature", swdb_model::Term::iri("ex:p2")))
+            merge.contains(&swdb_model::Triple::new(
+                node.clone(),
+                "ex:feature",
+                swdb_model::Term::iri("ex:p1"),
+            )) && merge.contains(&swdb_model::Triple::new(
+                node,
+                "ex:feature",
+                swdb_model::Term::iri("ex:p2"),
+            ))
         });
         assert!(
             !merge_bridged,
@@ -424,10 +457,7 @@ mod tests {
 
     #[test]
     fn proposition_4_5_answers_are_monotone_under_entailment() {
-        let d_strong = graph([
-            ("ex:a", "ex:p", "ex:b"),
-            ("ex:c", "ex:p", "ex:d"),
-        ]);
+        let d_strong = graph([("ex:a", "ex:p", "ex:b"), ("ex:c", "ex:p", "ex:d")]);
         let d_weak = graph([("ex:a", "ex:p", "_:N")]);
         assert!(swdb_entailment::entails(&d_strong, &d_weak));
         let q = query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]);

@@ -22,7 +22,6 @@ pub mod redundancy;
 pub mod syntax;
 
 pub use crate::query::{query, Query, QueryError};
-pub use syntax::{format_query, parse_query, SyntaxError};
 pub use answer::{
     answer, answer_against, answer_is_empty, answer_merge, answer_union, combine, matchings,
     matchings_against, pre_answers, pre_answers_against, satisfies_constraints, select,
@@ -33,6 +32,7 @@ pub use redundancy::{
     answer_is_lean, eliminate_redundancy, merge_answer_is_lean, merge_answer_redundancy,
     MergeRedundancy,
 };
+pub use syntax::{format_query, parse_query, SyntaxError};
 
 #[cfg(test)]
 mod proptests {
@@ -48,8 +48,11 @@ mod proptests {
             (0u8..3).prop_map(|i| Term::blank(format!("B{i}"))),
         ];
         let pred = (0u8..2).prop_map(|i| swdb_model::Iri::new(format!("ex:p{i}")));
-        proptest::collection::vec((term.clone(), pred, term), 0..=max_triples)
-            .prop_map(|ts| ts.into_iter().map(|(s, p, o)| Triple::new(s, p, o)).collect())
+        proptest::collection::vec((term.clone(), pred, term), 0..=max_triples).prop_map(|ts| {
+            ts.into_iter()
+                .map(|(s, p, o)| Triple::new(s, p, o))
+                .collect()
+        })
     }
 
     proptest! {

@@ -107,7 +107,11 @@ fn apply_binding_to_triple_pattern(pattern: &TriplePattern, binding: &Binding) -
             PatternTerm::Const(_) => pos.clone(),
         }
     };
-    TriplePattern::new(apply(&pattern.subject), apply(&pattern.predicate), apply(&pattern.object))
+    TriplePattern::new(
+        apply(&pattern.subject),
+        apply(&pattern.predicate),
+        apply(&pattern.object),
+    )
 }
 
 /// Evaluates a union of queries: the union (or merge) of the individual
@@ -188,10 +192,7 @@ mod tests {
         for d in &databases {
             let direct = answer_union(&q, d);
             let via_expansion = answer_union_of_queries(&expansion, d, Semantics::Union);
-            assert_eq!(
-                direct, via_expansion,
-                "answers must agree on database {d}"
-            );
+            assert_eq!(direct, via_expansion, "answers must agree on database {d}");
         }
     }
 
@@ -220,7 +221,10 @@ mod tests {
                     .into_iter()
                     .any(|pos| matches!(pos, PatternTerm::Const(t) if t.is_blank()))
             });
-            assert!(!body_has_blank, "no expanded body may contain blanks: {variant}");
+            assert!(
+                !body_has_blank,
+                "no expanded body may contain blanks: {variant}"
+            );
         }
         // Answers still agree.
         let d = graph([("ex:u", "ex:q", "ex:w"), ("ex:w", "ex:t", "ex:s")]);

@@ -151,12 +151,14 @@ impl Query {
     pub fn is_simple(&self) -> bool {
         let pattern_simple = |pg: &PatternGraph| {
             pg.patterns().iter().all(|p| {
-                [&p.subject, &p.predicate, &p.object].into_iter().all(|pos| match pos {
-                    PatternTerm::Const(swdb_model::Term::Iri(iri)) => {
-                        !swdb_model::rdfs::is_reserved(iri)
-                    }
-                    _ => true,
-                })
+                [&p.subject, &p.predicate, &p.object]
+                    .into_iter()
+                    .all(|pos| match pos {
+                        PatternTerm::Const(swdb_model::Term::Iri(iri)) => {
+                            !swdb_model::rdfs::is_reserved(iri)
+                        }
+                        _ => true,
+                    })
             })
         };
         pattern_simple(&self.head) && pattern_simple(&self.body) && self.premise.is_simple()
@@ -304,10 +306,7 @@ mod tests {
     fn simplicity_detection() {
         let simple = query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]);
         assert!(simple.is_simple());
-        let schema = query(
-            [("?X", "rdf:type", "ex:C")],
-            [("?X", "rdf:type", "ex:C")],
-        );
+        let schema = query([("?X", "rdf:type", "ex:C")], [("?X", "rdf:type", "ex:C")]);
         assert!(!schema.is_simple());
     }
 }

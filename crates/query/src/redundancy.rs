@@ -137,7 +137,10 @@ mod tests {
         let queries = [
             query([("?Z", "ex:p", "?U")], [("?Z", "ex:p", "?U")]),
             query([("?Z", "ex:related", "_:W")], [("?Z", "ex:p", "?U")]),
-            query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y"), ("?Y", "ex:q", "?Z")]),
+            query(
+                [("?X", "ex:p", "?Y")],
+                [("?X", "ex:p", "?Y"), ("?Y", "ex:q", "?Z")],
+            ),
         ];
         for d in &cases {
             for q in &queries {
@@ -167,10 +170,7 @@ mod tests {
 
     #[test]
     fn ground_answers_are_always_lean() {
-        let d = graph([
-            ("ex:a", "ex:p", "ex:b"),
-            ("ex:c", "ex:p", "ex:d"),
-        ]);
+        let d = graph([("ex:a", "ex:p", "ex:b"), ("ex:c", "ex:p", "ex:d")]);
         let q = query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]);
         assert!(answer_is_lean(&q, &d, Semantics::Union));
         assert!(answer_is_lean(&q, &d, Semantics::Merge));
@@ -179,10 +179,7 @@ mod tests {
 
     #[test]
     fn redundancy_elimination_preserves_equivalence() {
-        let d = graph([
-            ("ex:a", "ex:p", "_:X"),
-            ("ex:a", "ex:p", "_:Y"),
-        ]);
+        let d = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]);
         let q = query([("?Z", "ex:p", "?U")], [("?Z", "ex:p", "?U")]);
         let answer = crate::answer::answer_union(&q, &d);
         let reduced = eliminate_redundancy(&answer);

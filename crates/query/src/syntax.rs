@@ -122,7 +122,9 @@ fn parse_pattern_list(text: &str) -> Result<PatternGraph, SyntaxError> {
         let inside = &rest[open + 1..open + close];
         let parts: Vec<&str> = inside.split(',').map(str::trim).collect();
         if parts.len() != 3 {
-            return Err(err(format!("a triple pattern needs 3 components, got '{inside}'")));
+            return Err(err(format!(
+                "a triple pattern needs 3 components, got '{inside}'"
+            )));
         }
         patterns.push(TriplePattern::new(
             parse_term(parts[0])?,
@@ -182,7 +184,9 @@ fn parse_premise(text: &str) -> Result<Graph, SyntaxError> {
                 .ok_or_else(|| err(format!("malformed premise triple '{statement}'")))?;
             let parts: Vec<&str> = inside.split(',').map(str::trim).collect();
             if parts.len() != 3 {
-                return Err(err(format!("premise triple needs 3 components: '{inside}'")));
+                return Err(err(format!(
+                    "premise triple needs 3 components: '{inside}'"
+                )));
             }
             if let Some(var) = parts.iter().find(|p| p.starts_with('?')) {
                 return Err(err(format!(
@@ -191,14 +195,17 @@ fn parse_premise(text: &str) -> Result<Graph, SyntaxError> {
             }
             let subject = named_term(parts[0]);
             let Term::Iri(predicate) = named_term(parts[1]) else {
-                return Err(err(format!("premise predicate '{}' must be a URI", parts[1])));
+                return Err(err(format!(
+                    "premise predicate '{}' must be a URI",
+                    parts[1]
+                )));
             };
             let object = named_term(parts[2]);
             graph.insert(Triple::new(subject, predicate, object));
         } else {
             let line = format!("{statement} .");
             let parsed = swdb_store::parse(&line).map_err(|e| err(e.to_string()))?;
-            graph.extend(parsed.into_iter());
+            graph.extend(parsed);
         }
     }
     Ok(graph)
@@ -208,7 +215,12 @@ fn parse_premise(text: &str) -> Result<Graph, SyntaxError> {
 /// is the identity on the query's components.
 pub fn format_query(query: &Query) -> String {
     let mut out = String::new();
-    let _ = write!(out, "{} <- {}", format_patterns(query.head()), format_patterns(query.body()));
+    let _ = write!(
+        out,
+        "{} <- {}",
+        format_patterns(query.head()),
+        format_patterns(query.body())
+    );
     if !query.premise().is_empty() {
         let triples: Vec<String> = query
             .premise()
@@ -218,7 +230,11 @@ pub fn format_query(query: &Query) -> String {
         let _ = write!(out, " WITH PREMISE {{ {} . }}", triples.join(" . "));
     }
     if !query.constraints().is_empty() {
-        let vars: Vec<String> = query.constraints().iter().map(ToString::to_string).collect();
+        let vars: Vec<String> = query
+            .constraints()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         let _ = write!(out, " WHERE BOUND {}", vars.join(", "));
     }
     out
@@ -303,9 +319,18 @@ mod tests {
     #[test]
     fn error_cases_are_reported() {
         assert!(parse_query("(?X, p, ?Y)").is_err(), "missing arrow");
-        assert!(parse_query("(?X, p) <- (?X, p, ?Y)").is_err(), "two components");
-        assert!(parse_query("(?X, p, ?Y) <- (?X, p, ?Y").is_err(), "unterminated");
-        assert!(parse_query("(?X, p, ?Y) <- (?X, p, ?Y) WHERE BOUND X").is_err(), "constraint without ?");
+        assert!(
+            parse_query("(?X, p) <- (?X, p, ?Y)").is_err(),
+            "two components"
+        );
+        assert!(
+            parse_query("(?X, p, ?Y) <- (?X, p, ?Y").is_err(),
+            "unterminated"
+        );
+        assert!(
+            parse_query("(?X, p, ?Y) <- (?X, p, ?Y) WHERE BOUND X").is_err(),
+            "constraint without ?"
+        );
         assert!(
             parse_query("(?X, p, ?Z) <- (?X, p, ?Y)").is_err(),
             "free head variable is a query-level error"

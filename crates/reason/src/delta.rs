@@ -1,0 +1,596 @@
+//! The incremental closure engine.
+//!
+//! [`DeltaClosure`] maintains `RDFS-cl(G)` (Definition 2.7) for a mutating
+//! graph of id-triples, without ever recomputing the fixpoint from scratch:
+//!
+//! * **Insert** is semi-naive: a new triple is unified against exactly the
+//!   `(rule, hypothesis)` paths its predicate wakes (see
+//!   [`RuleSystem::paths_for_predicate`]), the remaining hypotheses are
+//!   joined against the current closure with indexed scans, and only *fresh*
+//!   conclusions are queued. Existing triples are never re-derived.
+//! * **Delete** is DRed (delete-and-rederive): first *overdelete* everything
+//!   transitively derivable from the deleted triple, then *rederive* the
+//!   overdeleted triples that are still asserted or still one-step derivable
+//!   from the surviving closure, and finally propagate the rederived set as
+//!   ordinary inserts. DRed is chosen over per-triple derivation counting
+//!   because the RDFS rules feed into themselves (rule (3) with `B = A`
+//!   derives a triple from itself through `(A, sp, A)`), and cyclic
+//!   self-support makes counting schemes unsound — counts stay positive
+//!   after the last external support disappears. DRed's
+//!   overdelete/rederive pair is insensitive to derivation cycles.
+//!
+//! The five axiomatic triples of rule (9) are seeded at construction and are
+//! never deleted — they hold in every closure, including the closure of the
+//! empty graph.
+
+use std::collections::BTreeSet;
+
+use swdb_model::Term;
+use swdb_store::{Dictionary, IdPattern, IdTriple, TermId, TripleStore};
+
+use crate::pattern::{Binding, TriplePattern, EMPTY_BINDING};
+use crate::rules::{RuleSystem, Vocabulary};
+use swdb_store::IdIndex;
+
+/// Splits off the most selective remaining hypothesis under the current
+/// binding — the one whose scan has the most bound positions. Joining
+/// bound-first matters: after a data-triple delta binds rule (6)'s third
+/// hypothesis, the `(C, sp, A)` probe (predicate + subject bound) must run
+/// before the fully-unbound `(A, dom, B)` enumeration, turning the join
+/// from "all domain declarations" into "this predicate's superproperties".
+fn split_most_bound<'a>(
+    hypotheses: &[&'a TriplePattern],
+    binding: &Binding,
+) -> (&'a TriplePattern, Vec<&'a TriplePattern>) {
+    let bound_count = |hyp: &TriplePattern| {
+        let (s, p, o) = hyp.to_scan(binding);
+        [s, p, o].iter().filter(|pos| pos.is_some()).count()
+    };
+    let best = hypotheses
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, hyp)| bound_count(hyp))
+        .map(|(i, _)| i)
+        .expect("non-empty hypothesis list");
+    let mut rest = hypotheses.to_vec();
+    (rest.swap_remove(best), rest)
+}
+
+/// Joins `hypotheses` (most selective first) against `closure`, starting
+/// from `binding`, appending every complete binding to `out`.
+fn join_all(
+    closure: &IdIndex,
+    hypotheses: &[&TriplePattern],
+    binding: Binding,
+    out: &mut Vec<Binding>,
+) {
+    if hypotheses.is_empty() {
+        out.push(binding);
+        return;
+    }
+    let (hyp, rest) = split_most_bound(hypotheses, &binding);
+    closure.scan_while(hyp.to_scan(&binding), |t| {
+        let mut extended = binding;
+        if hyp.unify(t, &mut extended) {
+            join_all(closure, &rest, extended, out);
+        }
+        true
+    });
+}
+
+/// Like [`join_all`] but only tests for the existence of a complete binding,
+/// stopping at the first one.
+fn join_exists(closure: &IdIndex, hypotheses: &[&TriplePattern], binding: Binding) -> bool {
+    if hypotheses.is_empty() {
+        return true;
+    }
+    let (hyp, rest) = split_most_bound(hypotheses, &binding);
+    let mut found = false;
+    closure.scan_while(hyp.to_scan(&binding), |t| {
+        let mut extended = binding;
+        if hyp.unify(t, &mut extended) && join_exists(closure, &rest, extended) {
+            found = true;
+            return false;
+        }
+        true
+    });
+    found
+}
+
+/// Existence of a complete binding joining against the *asserted* store
+/// only. Used to prune overdeletion: a derivation whose premises are all
+/// still-asserted facts survives any cascade.
+fn join_exists_base(base: &TripleStore, hypotheses: &[&TriplePattern], binding: Binding) -> bool {
+    if hypotheses.is_empty() {
+        return true;
+    }
+    let (hyp, rest) = split_most_bound(hypotheses, &binding);
+    base.scan_ids(hyp.to_scan(&binding)).into_iter().any(|t| {
+        let mut extended = binding;
+        hyp.unify(t, &mut extended) && join_exists_base(base, &rest, extended)
+    })
+}
+
+/// An incrementally maintained RDFS closure over id-triples.
+#[derive(Clone, Debug)]
+pub struct DeltaClosure {
+    rules: RuleSystem,
+    closure: IdIndex,
+    axioms: BTreeSet<IdTriple>,
+    /// `is_iri[id]` — whether the interned term is a URI (blank nodes may
+    /// never instantiate a conclusion's predicate position).
+    is_iri: Vec<bool>,
+}
+
+impl DeltaClosure {
+    /// Creates the closure of the empty graph over the given vocabulary:
+    /// exactly the five axiomatic triples of rule (9).
+    pub fn new(vocab: Vocabulary) -> Self {
+        let rules = RuleSystem::new(vocab);
+        let mut closure = IdIndex::new();
+        let mut axioms = BTreeSet::new();
+        for axiom in rules.axioms() {
+            closure.insert(axiom);
+            axioms.insert(axiom);
+        }
+        DeltaClosure {
+            rules,
+            closure,
+            axioms,
+            is_iri: Vec::new(),
+        }
+    }
+
+    /// Extends the IRI-ness cache to cover every id interned so far. Must be
+    /// called after interning new terms and before propagating deltas that
+    /// mention them.
+    pub fn sync_terms(&mut self, dictionary: &Dictionary) {
+        for id in self.is_iri.len()..dictionary.len() {
+            let iri = matches!(dictionary.term_of(id as TermId), Some(Term::Iri(_)));
+            self.is_iri.push(iri);
+        }
+    }
+
+    fn is_iri(&self, id: TermId) -> bool {
+        self.is_iri.get(id as usize).copied().unwrap_or(false)
+    }
+
+    fn guards_ok(&self, guards: &[crate::pattern::VarId], binding: &Binding) -> bool {
+        guards
+            .iter()
+            .all(|&v| binding[v as usize].is_some_and(|id| self.is_iri(id)))
+    }
+
+    /// Number of triples in the maintained closure.
+    pub fn len(&self) -> usize {
+        self.closure.len()
+    }
+
+    /// The closure is never empty (the axioms are always present).
+    pub fn is_empty(&self) -> bool {
+        self.closure.is_empty()
+    }
+
+    /// Closure membership.
+    pub fn contains(&self, t: IdTriple) -> bool {
+        self.closure.contains(t)
+    }
+
+    /// Iterates the closure in `(s, p, o)` order.
+    pub fn iter(&self) -> impl Iterator<Item = IdTriple> + '_ {
+        self.closure.iter()
+    }
+
+    /// Pattern scan over the closure.
+    pub fn scan(&self, pattern: IdPattern) -> Vec<IdTriple> {
+        self.closure.scan(pattern)
+    }
+
+    /// The vocabulary ids the engine reasons over.
+    pub fn vocabulary(&self) -> Vocabulary {
+        self.rules.vocabulary()
+    }
+
+    /// Applies an inserted base triple; returns `true` if the closure grew.
+    ///
+    /// The triple's ids must already be interned and covered by
+    /// [`DeltaClosure::sync_terms`].
+    pub fn insert(&mut self, t: IdTriple) -> bool {
+        if !self.closure.insert(t) {
+            return false;
+        }
+        self.propagate(vec![t]);
+        true
+    }
+
+    /// Semi-naive frontier propagation: every queued triple is new to the
+    /// closure and is joined only against rules its predicate wakes.
+    fn propagate(&mut self, mut queue: Vec<IdTriple>) {
+        while let Some(delta) = queue.pop() {
+            let paths: Vec<_> = self.rules.paths_for_predicate(delta.1).collect();
+            for (rule_idx, hyp_idx) in paths {
+                let rule = &self.rules.rules()[rule_idx];
+                let mut seed = EMPTY_BINDING;
+                if !rule.hypotheses[hyp_idx].unify(delta, &mut seed) {
+                    continue;
+                }
+                let remaining: Vec<&TriplePattern> = rule
+                    .hypotheses
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != hyp_idx)
+                    .map(|(_, h)| h)
+                    .collect();
+                let mut bindings = Vec::new();
+                join_all(&self.closure, &remaining, seed, &mut bindings);
+                for binding in bindings {
+                    if !self.guards_ok(&rule.iri_guards, &binding) {
+                        continue;
+                    }
+                    for conclusion in &rule.conclusions {
+                        let derived = conclusion.instantiate(&binding);
+                        if self.closure.insert(derived) {
+                            queue.push(derived);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a deleted base triple (already removed from `base`); returns
+    /// `true` if the triple left the closure, `false` when it is still
+    /// derivable (or axiomatic) and therefore survives.
+    pub fn delete(&mut self, t: IdTriple, base: &TripleStore) -> bool {
+        if !self.closure.contains(t) || self.axioms.contains(&t) {
+            return false;
+        }
+
+        // Phase 1 — overdelete: everything with a derivation path from `t`,
+        // computed against the still-intact closure (the standard DRed
+        // overapproximation), with two sound prunes that keep cascades
+        // local. A candidate is *not* overdeleted when
+        //
+        // * it is still asserted in the base store — assertion is support
+        //   that no cascade can take away, or
+        // * it has a one-step derivation from still-asserted premises alone
+        //   — those premises survive by the same argument, so the
+        //   derivation does too.
+        //
+        // Pruned facts stay in the closure, and — because they genuinely
+        // keep their membership — everything derived from them keeps its
+        // support, so not traversing them loses nothing. Without these
+        // prunes every deletion of a data triple drags the reflexive core
+        // (`(p, sp, p)`, `(c, sc, c)`) into the overdeletion set, and those
+        // facts support a large fraction of the closure.
+        //
+        // Both the membership dedup and the (expensive) prune probes run at
+        // *push* time, memoised per candidate: `over` holds the doomed,
+        // `spared` the candidates a probe already saved, so a triple
+        // reachable through many derivation edges pays for its checks once.
+        let mut over: BTreeSet<IdTriple> = BTreeSet::new();
+        let mut spared: BTreeSet<IdTriple> = BTreeSet::new();
+        let mut queue = vec![t];
+        over.insert(t);
+        while let Some(doomed) = queue.pop() {
+            let paths: Vec<_> = self.rules.paths_for_predicate(doomed.1).collect();
+            for (rule_idx, hyp_idx) in paths {
+                let rule = &self.rules.rules()[rule_idx];
+                let mut seed = EMPTY_BINDING;
+                if !rule.hypotheses[hyp_idx].unify(doomed, &mut seed) {
+                    continue;
+                }
+                let remaining: Vec<&TriplePattern> = rule
+                    .hypotheses
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != hyp_idx)
+                    .map(|(_, h)| h)
+                    .collect();
+                let mut bindings = Vec::new();
+                join_all(&self.closure, &remaining, seed, &mut bindings);
+                for binding in bindings {
+                    if !self.guards_ok(&rule.iri_guards, &binding) {
+                        continue;
+                    }
+                    for conclusion in &rule.conclusions {
+                        let derived = conclusion.instantiate(&binding);
+                        if !self.closure.contains(derived)
+                            || self.axioms.contains(&derived)
+                            || over.contains(&derived)
+                            || spared.contains(&derived)
+                        {
+                            continue;
+                        }
+                        if base.contains_id_triple(derived)
+                            || self.one_step_derivable_from_base(derived, base)
+                        {
+                            spared.insert(derived);
+                        } else {
+                            over.insert(derived);
+                            queue.push(derived);
+                        }
+                    }
+                }
+            }
+        }
+
+        for &doomed in &over {
+            self.closure.remove(doomed);
+        }
+
+        // Phase 2 — rederive: an overdeleted triple survives if it is still
+        // asserted or still follows in one step from the surviving closure.
+        let mut rederived = Vec::new();
+        for &candidate in &over {
+            if base.contains_id_triple(candidate) || self.one_step_derivable(candidate) {
+                self.closure.insert(candidate);
+                rederived.push(candidate);
+            }
+        }
+
+        // Phase 3 — propagate the rederived triples; anything they still
+        // support is recovered exactly like an ordinary insert.
+        self.propagate(rederived);
+
+        !self.closure.contains(t)
+    }
+
+    /// Is `t` the conclusion of some rule instance whose hypotheses are all
+    /// *asserted* (present in the base store)? Such support is independent
+    /// of any closure cascade.
+    fn one_step_derivable_from_base(&self, t: IdTriple, base: &TripleStore) -> bool {
+        for rule in self.rules.rules() {
+            for conclusion in &rule.conclusions {
+                let mut binding = EMPTY_BINDING;
+                if !conclusion.unify(t, &mut binding) {
+                    continue;
+                }
+                if !self.guards_ok(&rule.iri_guards, &binding) {
+                    continue;
+                }
+                let hypotheses: Vec<&TriplePattern> = rule.hypotheses.iter().collect();
+                if join_exists_base(base, &hypotheses, binding) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Is `t` the conclusion of some rule instance whose hypotheses all hold
+    /// in the current closure?
+    fn one_step_derivable(&self, t: IdTriple) -> bool {
+        for rule in self.rules.rules() {
+            for conclusion in &rule.conclusions {
+                let mut binding = EMPTY_BINDING;
+                if !conclusion.unify(t, &mut binding) {
+                    continue;
+                }
+                // The only guarded variable (rule (3)'s conclusion
+                // predicate) is bound by the conclusion unification, so
+                // guards can be checked before the join.
+                if !self.guards_ok(&rule.iri_guards, &binding) {
+                    continue;
+                }
+                let hypotheses: Vec<&TriplePattern> = rule.hypotheses.iter().collect();
+                if join_exists(&self.closure, &hypotheses, binding) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::rdfs;
+
+    /// A store plus engine wired by hand (MaterializedStore packages this).
+    fn setup() -> (TripleStore, DeltaClosure) {
+        let mut store = TripleStore::new();
+        let vocab = Vocabulary {
+            sp: store.intern(&Term::iri(rdfs::SP)),
+            sc: store.intern(&Term::iri(rdfs::SC)),
+            ty: store.intern(&Term::iri(rdfs::TYPE)),
+            dom: store.intern(&Term::iri(rdfs::DOM)),
+            range: store.intern(&Term::iri(rdfs::RANGE)),
+        };
+        let mut engine = DeltaClosure::new(vocab);
+        engine.sync_terms(store.dictionary());
+        (store, engine)
+    }
+
+    fn put(store: &mut TripleStore, engine: &mut DeltaClosure, t: &swdb_model::Triple) {
+        let (ids, added) = store.insert_with_ids(t);
+        engine.sync_terms(store.dictionary());
+        if added {
+            engine.insert(ids);
+        }
+    }
+
+    fn del(store: &mut TripleStore, engine: &mut DeltaClosure, t: &swdb_model::Triple) {
+        if let Some(ids) = store.remove_with_ids(t) {
+            engine.delete(ids, store);
+        }
+    }
+
+    fn has(store: &TripleStore, engine: &DeltaClosure, t: &swdb_model::Triple) -> bool {
+        let ids = (
+            store.id_of(t.subject()),
+            store.id_of(&Term::Iri(t.predicate().clone())),
+            store.id_of(t.object()),
+        );
+        match ids {
+            (Some(s), Some(p), Some(o)) => engine.contains((s, p, o)),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn the_empty_closure_is_the_axioms() {
+        let (_, engine) = setup();
+        assert_eq!(engine.len(), 5);
+    }
+
+    #[test]
+    fn subclass_chain_lifts_types_incrementally() {
+        use swdb_model::triple;
+        let (mut store, mut engine) = setup();
+        put(
+            &mut store,
+            &mut engine,
+            &triple("ex:Painter", rdfs::SC, "ex:Artist"),
+        );
+        put(
+            &mut store,
+            &mut engine,
+            &triple("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+        );
+        assert!(has(
+            &store,
+            &engine,
+            &triple("ex:Picasso", rdfs::TYPE, "ex:Artist")
+        ));
+        // Extending the chain after the fact still reaches the new top.
+        put(
+            &mut store,
+            &mut engine,
+            &triple("ex:Artist", rdfs::SC, "ex:Person"),
+        );
+        assert!(has(
+            &store,
+            &engine,
+            &triple("ex:Picasso", rdfs::TYPE, "ex:Person")
+        ));
+        assert!(has(
+            &store,
+            &engine,
+            &triple("ex:Painter", rdfs::SC, "ex:Person")
+        ));
+    }
+
+    #[test]
+    fn deletion_retracts_exactly_the_unsupported_consequences() {
+        use swdb_model::triple;
+        let (mut store, mut engine) = setup();
+        put(
+            &mut store,
+            &mut engine,
+            &triple("ex:Painter", rdfs::SC, "ex:Artist"),
+        );
+        put(
+            &mut store,
+            &mut engine,
+            &triple("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+        );
+        put(
+            &mut store,
+            &mut engine,
+            &triple("ex:Picasso", rdfs::TYPE, "ex:Artist"),
+        );
+        // The lifted type is ALSO asserted, so deleting the subclass edge
+        // must keep it; deleting the assertion afterwards must still keep it
+        // if the subclass edge is back.
+        del(
+            &mut store,
+            &mut engine,
+            &triple("ex:Painter", rdfs::SC, "ex:Artist"),
+        );
+        assert!(has(
+            &store,
+            &engine,
+            &triple("ex:Picasso", rdfs::TYPE, "ex:Artist")
+        ));
+        assert!(!has(
+            &store,
+            &engine,
+            &triple("ex:Painter", rdfs::SC, "ex:Artist")
+        ));
+        put(
+            &mut store,
+            &mut engine,
+            &triple("ex:Painter", rdfs::SC, "ex:Artist"),
+        );
+        del(
+            &mut store,
+            &mut engine,
+            &triple("ex:Picasso", rdfs::TYPE, "ex:Artist"),
+        );
+        assert!(
+            has(
+                &store,
+                &engine,
+                &triple("ex:Picasso", rdfs::TYPE, "ex:Artist")
+            ),
+            "still derivable through the subclass edge"
+        );
+        // Removing the remaining support retracts it.
+        del(
+            &mut store,
+            &mut engine,
+            &triple("ex:Painter", rdfs::SC, "ex:Artist"),
+        );
+        assert!(!has(
+            &store,
+            &engine,
+            &triple("ex:Picasso", rdfs::TYPE, "ex:Artist")
+        ));
+    }
+
+    #[test]
+    fn cyclic_subproperty_support_does_not_survive_deletion() {
+        use swdb_model::triple;
+        // (a, sp, b) and (b, sp, a) support each other's consequences in a
+        // cycle — the case where derivation counting over-retains.
+        let (mut store, mut engine) = setup();
+        put(&mut store, &mut engine, &triple("ex:a", rdfs::SP, "ex:b"));
+        put(&mut store, &mut engine, &triple("ex:b", rdfs::SP, "ex:a"));
+        put(&mut store, &mut engine, &triple("ex:x", "ex:a", "ex:y"));
+        assert!(has(&store, &engine, &triple("ex:x", "ex:b", "ex:y")));
+        del(&mut store, &mut engine, &triple("ex:a", rdfs::SP, "ex:b"));
+        assert!(
+            !has(&store, &engine, &triple("ex:x", "ex:b", "ex:y")),
+            "the only path from a to b is gone"
+        );
+        assert!(has(&store, &engine, &triple("ex:x", "ex:a", "ex:y")));
+    }
+
+    #[test]
+    fn feedback_through_sp_of_sc_is_handled() {
+        use swdb_model::triple;
+        // (p, sp, sc) turns p-triples into sc-triples, which must then be
+        // transitively closed and used for type lifting — the pathological
+        // family of Theorem 3.16.
+        let (mut store, mut engine) = setup();
+        put(&mut store, &mut engine, &triple("ex:p", rdfs::SP, rdfs::SC));
+        put(&mut store, &mut engine, &triple("ex:A", "ex:p", "ex:B"));
+        put(&mut store, &mut engine, &triple("ex:B", rdfs::SC, "ex:C"));
+        put(&mut store, &mut engine, &triple("ex:x", rdfs::TYPE, "ex:A"));
+        assert!(has(&store, &engine, &triple("ex:A", rdfs::SC, "ex:B")));
+        assert!(has(&store, &engine, &triple("ex:A", rdfs::SC, "ex:C")));
+        assert!(has(&store, &engine, &triple("ex:x", rdfs::TYPE, "ex:C")));
+        // Retracting the re-routing edge must unwind the whole cascade.
+        del(&mut store, &mut engine, &triple("ex:p", rdfs::SP, rdfs::SC));
+        assert!(!has(&store, &engine, &triple("ex:A", rdfs::SC, "ex:B")));
+        assert!(!has(&store, &engine, &triple("ex:A", rdfs::SC, "ex:C")));
+        assert!(!has(&store, &engine, &triple("ex:x", rdfs::TYPE, "ex:C")));
+        assert!(has(&store, &engine, &triple("ex:B", rdfs::SC, "ex:C")));
+    }
+
+    #[test]
+    fn axioms_survive_any_deletion() {
+        use swdb_model::triple;
+        let (mut store, mut engine) = setup();
+        let axiom = triple(rdfs::SP, rdfs::SP, rdfs::SP);
+        put(&mut store, &mut engine, &axiom);
+        del(&mut store, &mut engine, &axiom);
+        assert!(
+            has(&store, &engine, &axiom),
+            "rule (9) axioms are permanent"
+        );
+        assert_eq!(engine.len(), 5);
+    }
+}

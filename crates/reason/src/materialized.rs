@@ -1,0 +1,239 @@
+//! A [`TripleStore`] bundled with its incrementally maintained RDFS closure.
+//!
+//! This is the type an application holds when it wants closure-aware reads
+//! under mutation: `insert`/`remove` keep both the asserted store and the
+//! materialized `RDFS-cl(G)` up to date (via [`DeltaClosure`]), and pattern
+//! scans can be answered from either side. The asserted store and the
+//! closure share one dictionary, so a term has the same id in both.
+
+use swdb_model::{Graph, Iri, Term, Triple};
+use swdb_store::{IdPattern, IdTriple, TripleStore};
+
+use crate::delta::DeltaClosure;
+use crate::rules::Vocabulary;
+
+/// A triple store whose RDFS closure is maintained incrementally.
+#[derive(Clone, Debug)]
+pub struct MaterializedStore {
+    store: TripleStore,
+    engine: DeltaClosure,
+}
+
+impl Default for MaterializedStore {
+    fn default() -> Self {
+        MaterializedStore::new()
+    }
+}
+
+impl MaterializedStore {
+    /// Creates an empty store; its closure is the five rule-(9) axioms.
+    pub fn new() -> Self {
+        let mut store = TripleStore::new();
+        let vocab = Vocabulary {
+            sp: store.intern(&Term::iri(swdb_model::rdfs::SP)),
+            sc: store.intern(&Term::iri(swdb_model::rdfs::SC)),
+            ty: store.intern(&Term::iri(swdb_model::rdfs::TYPE)),
+            dom: store.intern(&Term::iri(swdb_model::rdfs::DOM)),
+            range: store.intern(&Term::iri(swdb_model::rdfs::RANGE)),
+        };
+        let mut engine = DeltaClosure::new(vocab);
+        engine.sync_terms(store.dictionary());
+        MaterializedStore { store, engine }
+    }
+
+    /// Builds a store (and closure) from a graph.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut materialized = MaterializedStore::new();
+        for t in graph.iter() {
+            materialized.insert(t);
+        }
+        materialized
+    }
+
+    /// The asserted triples.
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// Number of asserted triples.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Returns `true` if nothing is asserted (the closure still holds the
+    /// axioms).
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Number of triples in the maintained closure.
+    pub fn closure_len(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// Inserts a triple; returns `true` if it was newly asserted. The
+    /// closure is extended by semi-naive delta propagation.
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        let (ids, added) = self.store.insert_with_ids(triple);
+        if added {
+            self.engine.sync_terms(self.store.dictionary());
+            self.engine.insert(ids);
+        }
+        added
+    }
+
+    /// Removes a triple; returns `true` if it was asserted. The closure is
+    /// maintained by DRed overdelete/rederive.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        match self.store.remove_with_ids(triple) {
+            Some(ids) => {
+                self.engine.delete(ids, &self.store);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Is the triple asserted?
+    pub fn contains(&self, triple: &Triple) -> bool {
+        self.store.contains(triple)
+    }
+
+    /// Is the triple in `RDFS-cl(G)`? Constant-time-ish: id resolution plus
+    /// one indexed membership probe, never a closure computation.
+    pub fn closure_contains(&self, triple: &Triple) -> bool {
+        self.resolve(triple)
+            .is_some_and(|ids| self.engine.contains(ids))
+    }
+
+    fn resolve(&self, triple: &Triple) -> Option<IdTriple> {
+        Some((
+            self.store.id_of(triple.subject())?,
+            self.store.id_of(&Term::Iri(triple.predicate().clone()))?,
+            self.store.id_of(triple.object())?,
+        ))
+    }
+
+    /// Scans the closure with an id-pattern.
+    pub fn scan_closure_ids(&self, pattern: IdPattern) -> Vec<IdTriple> {
+        self.engine.scan(pattern)
+    }
+
+    /// Scans the closure with a term-level pattern (each position optionally
+    /// bound), materialising the matches.
+    pub fn scan_closure(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Iri>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        let Some(pattern) = self.store.resolve_pattern(subject, predicate, object) else {
+            // A bound term that was never interned matches nothing.
+            return Vec::new();
+        };
+        self.engine
+            .scan(pattern)
+            .into_iter()
+            .map(|ids| self.store.materialize(ids))
+            .collect()
+    }
+
+    /// The asserted triples as a graph.
+    pub fn to_graph(&self) -> Graph {
+        self.store.to_graph()
+    }
+
+    /// The maintained closure as a graph — equal to
+    /// `swdb_entailment::rdfs_closure` of the asserted graph (the property
+    /// tests pin this down).
+    pub fn closure_graph(&self) -> Graph {
+        self.engine
+            .iter()
+            .map(|ids| self.store.materialize(ids))
+            .collect()
+    }
+}
+
+impl PartialEq for MaterializedStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.store == other.store
+    }
+}
+
+impl Eq for MaterializedStore {}
+
+impl From<&Graph> for MaterializedStore {
+    fn from(graph: &Graph) -> Self {
+        MaterializedStore::from_graph(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::{graph, rdfs, triple};
+
+    fn sample() -> MaterializedStore {
+        MaterializedStore::from_graph(&graph([
+            ("ex:paints", rdfs::SP, "ex:creates"),
+            ("ex:creates", rdfs::DOM, "ex:Artist"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+        ]))
+    }
+
+    #[test]
+    fn closure_sees_inheritance_and_typing() {
+        let m = sample();
+        assert_eq!(m.len(), 3);
+        assert!(m.closure_contains(&triple("ex:Picasso", "ex:creates", "ex:Guernica")));
+        assert!(m.closure_contains(&triple("ex:Picasso", rdfs::TYPE, "ex:Artist")));
+        assert!(!m.contains(&triple("ex:Picasso", "ex:creates", "ex:Guernica")));
+        assert!(m.closure_len() > m.len());
+    }
+
+    #[test]
+    fn closure_scans_answer_patterns_over_inferred_triples() {
+        let m = sample();
+        let creators = m.scan_closure(None, Some(&Iri::new("ex:creates")), None);
+        assert!(creators.contains(&triple("ex:Picasso", "ex:creates", "ex:Guernica")));
+        let typed = m.scan_closure(
+            Some(&Term::iri("ex:Picasso")),
+            Some(&Iri::new(rdfs::TYPE)),
+            None,
+        );
+        assert!(typed.contains(&triple("ex:Picasso", rdfs::TYPE, "ex:Artist")));
+        // A term never interned matches nothing.
+        assert!(m
+            .scan_closure(Some(&Term::iri("ex:nobody")), None, None)
+            .is_empty());
+    }
+
+    #[test]
+    fn mutation_keeps_closure_in_step() {
+        let mut m = sample();
+        assert!(!m.closure_contains(&triple("ex:Guernica", rdfs::TYPE, "ex:Artifact")));
+        m.insert(&triple("ex:creates", rdfs::RANGE, "ex:Artifact"));
+        assert!(m.closure_contains(&triple("ex:Guernica", rdfs::TYPE, "ex:Artifact")));
+        m.remove(&triple("ex:creates", rdfs::RANGE, "ex:Artifact"));
+        assert!(!m.closure_contains(&triple("ex:Guernica", rdfs::TYPE, "ex:Artifact")));
+        // A full round trip leaves the closure equal to a fresh build.
+        assert_eq!(m.closure_graph(), sample().closure_graph());
+    }
+
+    #[test]
+    fn empty_store_closure_is_the_axioms() {
+        let m = MaterializedStore::new();
+        assert!(m.is_empty());
+        assert_eq!(m.closure_len(), 5);
+        assert!(m.closure_contains(&triple(rdfs::SP, rdfs::SP, rdfs::SP)));
+        assert_eq!(m.closure_graph().len(), 5);
+    }
+
+    #[test]
+    fn from_graph_round_trips_assertions() {
+        let g = graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:b")]);
+        let m = MaterializedStore::from_graph(&g);
+        assert_eq!(m.to_graph(), g);
+        assert_eq!(MaterializedStore::from(&g), m);
+    }
+}

@@ -1,0 +1,147 @@
+//! Triple patterns over interned identifiers.
+//!
+//! A rule hypothesis or conclusion is a triple of [`PatternTerm`]s: either a
+//! constant [`TermId`] (always one of the interned RDFS vocabulary terms) or
+//! a small variable index local to the rule. Matching a pattern against an
+//! id-triple extends a [`Binding`]; a fully bound conclusion pattern
+//! instantiates to an id-triple. This mirrors the pattern/path design of
+//! inferdf-style rule systems, specialised to fixed three-position patterns.
+
+use swdb_store::{IdPattern, IdTriple, TermId};
+
+/// A rule-local variable index. Rules (2)–(13) need at most five variables.
+pub type VarId = u8;
+
+/// Upper bound on variables per rule (rules (6)/(7) use five).
+pub const MAX_VARS: usize = 6;
+
+/// A partial assignment of rule variables to term identifiers.
+pub type Binding = [Option<TermId>; MAX_VARS];
+
+/// An empty binding.
+pub const EMPTY_BINDING: Binding = [None; MAX_VARS];
+
+/// One position of a triple pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatternTerm {
+    /// A rule variable.
+    Var(VarId),
+    /// An interned constant (vocabulary term).
+    Const(TermId),
+}
+
+impl PatternTerm {
+    /// Resolves the position under a binding: `Some` if constant or bound.
+    fn resolve(self, binding: &Binding) -> Option<TermId> {
+        match self {
+            PatternTerm::Const(id) => Some(id),
+            PatternTerm::Var(v) => binding[v as usize],
+        }
+    }
+
+    /// Unifies the position with a concrete id, extending `binding`.
+    /// Returns `false` on mismatch (binding may be partially extended; the
+    /// caller discards it in that case).
+    fn unify(self, id: TermId, binding: &mut Binding) -> bool {
+        match self {
+            PatternTerm::Const(c) => c == id,
+            PatternTerm::Var(v) => match binding[v as usize] {
+                Some(bound) => bound == id,
+                None => {
+                    binding[v as usize] = Some(id);
+                    true
+                }
+            },
+        }
+    }
+}
+
+/// A triple of pattern terms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub s: PatternTerm,
+    /// Predicate position.
+    pub p: PatternTerm,
+    /// Object position.
+    pub o: PatternTerm,
+}
+
+impl TriplePattern {
+    /// Shorthand constructor.
+    pub const fn new(s: PatternTerm, p: PatternTerm, o: PatternTerm) -> Self {
+        TriplePattern { s, p, o }
+    }
+
+    /// Unifies the pattern with a concrete triple, extending `binding`.
+    pub fn unify(&self, (s, p, o): IdTriple, binding: &mut Binding) -> bool {
+        self.s.unify(s, binding) && self.p.unify(p, binding) && self.o.unify(o, binding)
+    }
+
+    /// The scan pattern for this hypothesis under a partial binding:
+    /// constants and bound variables become bound positions, unbound
+    /// variables become wildcards.
+    pub fn to_scan(&self, binding: &Binding) -> IdPattern {
+        (
+            self.s.resolve(binding),
+            self.p.resolve(binding),
+            self.o.resolve(binding),
+        )
+    }
+
+    /// Instantiates the pattern under a complete binding.
+    ///
+    /// Panics if a variable is unbound — rule conclusions only use variables
+    /// occurring in hypotheses, so a full hypothesis match always suffices.
+    pub fn instantiate(&self, binding: &Binding) -> IdTriple {
+        (
+            self.s.resolve(binding).expect("unbound subject variable"),
+            self.p.resolve(binding).expect("unbound predicate variable"),
+            self.o.resolve(binding).expect("unbound object variable"),
+        )
+    }
+}
+
+/// Convenience constructors used by the rule table.
+pub const fn v(id: VarId) -> PatternTerm {
+    PatternTerm::Var(id)
+}
+
+/// Constant pattern term.
+pub const fn k(id: TermId) -> PatternTerm {
+    PatternTerm::Const(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_binds_and_checks_consistency() {
+        let pattern = TriplePattern::new(v(0), k(9), v(0));
+        let mut binding = EMPTY_BINDING;
+        assert!(pattern.unify((4, 9, 4), &mut binding));
+        assert_eq!(binding[0], Some(4));
+        let mut bad = EMPTY_BINDING;
+        assert!(!pattern.unify((4, 9, 5), &mut bad), "v0 cannot be 4 and 5");
+        let mut wrong_const = EMPTY_BINDING;
+        assert!(!pattern.unify((4, 8, 4), &mut wrong_const));
+    }
+
+    #[test]
+    fn scan_patterns_reflect_bound_positions() {
+        let pattern = TriplePattern::new(v(1), k(2), v(3));
+        let mut binding = EMPTY_BINDING;
+        binding[1] = Some(7);
+        assert_eq!(pattern.to_scan(&binding), (Some(7), Some(2), None));
+    }
+
+    #[test]
+    fn instantiate_requires_full_binding() {
+        let pattern = TriplePattern::new(v(0), k(1), v(2));
+        let mut binding = EMPTY_BINDING;
+        binding[0] = Some(5);
+        binding[2] = Some(6);
+        assert_eq!(pattern.instantiate(&binding), (5, 1, 6));
+    }
+}

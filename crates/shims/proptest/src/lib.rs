@@ -1,0 +1,253 @@
+//! In-tree shim for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the API surface the workspace's property tests use: the [`Strategy`]
+//! trait with `prop_map`, tuple and integer-range strategies,
+//! [`collection::vec`], the `prop_oneof!` union macro, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` test macros.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` deterministic cases
+//! (seeded per case index, so failures are reproducible), and a failing
+//! `prop_assert*` reports the case number and message. Unlike the real
+//! proptest there is **no shrinking** — a failure reports the first
+//! counterexample as generated. The module layout mirrors `proptest 1.x` so
+//! the shim can be swapped for the real crate without touching any caller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Inclusive bounds on a generated collection's size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        /// Smallest admissible length.
+        pub min: usize,
+        /// Largest admissible length.
+        pub max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange { min: len, max: len }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.min == self.size.max {
+                self.size.min
+            } else {
+                rng.rng.gen_range(self.size.min..self.size.max + 1)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Creates a strategy for `Vec`s with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The customary glob-import module (`proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (not panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+}
+
+/// Builds a strategy choosing among the argument strategies (all must
+/// produce the same value type). Arms may carry integer weights:
+/// `prop_oneof![3 => a, 1 => b]` draws from `a` three times as often.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::empty()$(.or_weighted($weight, $strategy))+
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::empty()$(.or($strategy))+
+    };
+}
+
+/// Declares property tests. Each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case as u64);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )*
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!("case {}/{} failed: {}", case + 1, config.cases, message);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let strategy = ((0u8..6), (10usize..20)).prop_map(|(a, b)| (a, b));
+        let mut rng = TestRng::for_case(3);
+        for _ in 0..200 {
+            let (a, b) = strategy.generate(&mut rng);
+            assert!(a < 6);
+            assert!((10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_draws_from_every_branch() {
+        let strategy = prop_oneof![
+            (0u8..1).prop_map(|_| "left".to_string()),
+            (0u8..1).prop_map(|_| "right".to_string()),
+        ];
+        let mut rng = TestRng::for_case(0);
+        let mut seen_left = false;
+        let mut seen_right = false;
+        for _ in 0..100 {
+            match strategy.generate(&mut rng).as_str() {
+                "left" => seen_left = true,
+                _ => seen_right = true,
+            }
+        }
+        assert!(seen_left && seen_right);
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_bounds() {
+        let strategy = crate::collection::vec(0u8..5, 2..=4);
+        let mut rng = TestRng::for_case(9);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0u32..100, v in crate::collection::vec(0u8..3, 0..5)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len() < 5, true);
+        }
+    }
+}

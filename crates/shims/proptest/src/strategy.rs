@@ -1,0 +1,159 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Mirrors `proptest::strategy::Strategy` minus shrinking: `generate`
+/// corresponds to drawing one value from the strategy's distribution.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// The result of `prop_oneof!`: a weighted choice among strategies with a
+/// common value type. Reference counted so unions stay cheaply clonable.
+pub struct Union<V> {
+    options: Vec<(u32, Rc<dyn Strategy<Value = V>>)>,
+    total_weight: u32,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<V> Union<V> {
+    /// Creates a union with no branches; `generate` panics until `or` adds
+    /// at least one.
+    pub fn empty() -> Self {
+        Union {
+            options: Vec::new(),
+            total_weight: 0,
+        }
+    }
+
+    /// Adds a branch with weight 1.
+    pub fn or(self, strategy: impl Strategy<Value = V> + 'static) -> Self {
+        self.or_weighted(1, strategy)
+    }
+
+    /// Adds a branch drawn proportionally to `weight`.
+    pub fn or_weighted(
+        mut self,
+        weight: u32,
+        strategy: impl Strategy<Value = V> + 'static,
+    ) -> Self {
+        assert!(weight > 0, "prop_oneof! weights must be positive");
+        self.options.push((weight, Rc::new(strategy)));
+        self.total_weight += weight;
+        self
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        let mut roll = rng.rng.gen_range(0..self.total_weight);
+        for (weight, option) in &self.options {
+            if roll < *weight {
+                return option.generate(rng);
+            }
+            roll -= weight;
+        }
+        unreachable!("weights cover the roll");
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);

@@ -1,0 +1,47 @@
+//! Per-case configuration and the deterministic test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 64 keeps the deterministic,
+        // shrink-free shim suite fast while still exercising plenty of
+        // structure.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies. Seeded from the case index, so every run of
+/// a test generates the same case sequence and failures are reproducible by
+/// case number.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    /// The underlying generator (public so strategy impls can sample).
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// The generator for the given case index.
+    pub fn for_case(case: u64) -> Self {
+        // Offset the seed so case 0 does not start at SplitMix64's weak
+        // all-zero state neighbourhood.
+        TestRng {
+            rng: StdRng::seed_from_u64(case.wrapping_mul(0x9E37_79B9) ^ 0xC0FF_EE11),
+        }
+    }
+}

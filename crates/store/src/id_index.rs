@@ -1,0 +1,185 @@
+//! A three-way ordered index over id-triples.
+//!
+//! The core physical structure of the store layer: the same set of triples
+//! held in SPO, POS and OSP order so that any pattern with a bound prefix is
+//! a range scan. [`crate::TripleStore`] wraps one of these together with the
+//! term dictionary; the incremental reasoner (`swdb-reason`) uses a second,
+//! dictionary-less one to hold the maintained closure over the same ids.
+
+use std::collections::BTreeSet;
+
+use crate::dictionary::TermId;
+use crate::triple_store::{IdPattern, IdTriple};
+
+/// An ordered, scannable set of id-triples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IdIndex {
+    spo: BTreeSet<IdTriple>,
+    pos: BTreeSet<IdTriple>,
+    osp: BTreeSet<IdTriple>,
+}
+
+impl IdIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        IdIndex::default()
+    }
+
+    /// Number of triples indexed.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Returns `true` if the index holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Inserts a triple; returns `true` if it was new.
+    pub fn insert(&mut self, (s, p, o): IdTriple) -> bool {
+        let added = self.spo.insert((s, p, o));
+        if added {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    /// Removes a triple; returns `true` if it was present.
+    pub fn remove(&mut self, (s, p, o): IdTriple) -> bool {
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// Membership test.
+    pub fn contains(&self, ids: IdTriple) -> bool {
+        self.spo.contains(&ids)
+    }
+
+    /// Iterates in `(s, p, o)` order.
+    pub fn iter(&self) -> impl Iterator<Item = IdTriple> + '_ {
+        self.spo.iter().copied()
+    }
+
+    /// The distinct predicate ids in use, ascending.
+    pub fn predicate_ids(&self) -> Vec<TermId> {
+        let mut out = Vec::new();
+        for &(p, _, _) in &self.pos {
+            if out.last() != Some(&p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Visits every triple matching the pattern, using the most selective
+    /// index. The visitor returns `true` to keep scanning, `false` to stop
+    /// early (used by existence checks).
+    pub fn scan_while(&self, pattern: IdPattern, mut visit: impl FnMut(IdTriple) -> bool) {
+        match pattern {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    visit((s, p, o));
+                }
+            }
+            (Some(s), p, o) => {
+                for &(ts, tp, to) in self.spo.range((s, 0, 0)..=(s, TermId::MAX, TermId::MAX)) {
+                    if p.is_none_or(|p| p == tp)
+                        && o.is_none_or(|o| o == to)
+                        && !visit((ts, tp, to))
+                    {
+                        return;
+                    }
+                }
+            }
+            (None, Some(p), o) => {
+                for &(tp, to, ts) in self.pos.range((p, 0, 0)..=(p, TermId::MAX, TermId::MAX)) {
+                    if o.is_none_or(|o| o == to) && !visit((ts, tp, to)) {
+                        return;
+                    }
+                }
+            }
+            (None, None, Some(o)) => {
+                for &(to, ts, tp) in self.osp.range((o, 0, 0)..=(o, TermId::MAX, TermId::MAX)) {
+                    if !visit((ts, tp, to)) {
+                        return;
+                    }
+                }
+            }
+            (None, None, None) => {
+                for &t in &self.spo {
+                    if !visit(t) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects every triple matching the pattern, in `(s, p, o)` order.
+    pub fn scan(&self, pattern: IdPattern) -> Vec<IdTriple> {
+        let mut out = Vec::new();
+        self.scan_while(pattern, |t| {
+            out.push(t);
+            true
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IdIndex {
+        let mut index = IdIndex::new();
+        for t in [(1, 10, 2), (1, 10, 3), (2, 11, 3), (4, 10, 2)] {
+            index.insert(t);
+        }
+        index
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut index = sample();
+        assert_eq!(index.len(), 4);
+        assert!(index.contains((1, 10, 2)));
+        assert!(!index.insert((1, 10, 2)));
+        assert!(index.remove((1, 10, 2)));
+        assert!(!index.remove((1, 10, 2)));
+        assert!(!index.contains((1, 10, 2)));
+        assert_eq!(index.len(), 3);
+    }
+
+    #[test]
+    fn scans_match_by_any_bound_prefix() {
+        let index = sample();
+        assert_eq!(index.scan((Some(1), None, None)).len(), 2);
+        assert_eq!(index.scan((None, Some(10), None)).len(), 3);
+        assert_eq!(index.scan((None, None, Some(2))).len(), 2);
+        assert_eq!(index.scan((Some(1), Some(10), Some(3))), vec![(1, 10, 3)]);
+        assert_eq!(index.scan((None, Some(10), Some(2))).len(), 2);
+        assert_eq!(index.scan((None, None, None)).len(), 4);
+    }
+
+    #[test]
+    fn scan_while_supports_early_exit() {
+        let index = sample();
+        let mut seen = 0;
+        index.scan_while((None, Some(10), None), |_| {
+            seen += 1;
+            false
+        });
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn predicate_ids_are_distinct_and_sorted() {
+        let index = sample();
+        assert_eq!(index.predicate_ids(), vec![10, 11]);
+    }
+}

@@ -7,7 +7,8 @@
 //! hold data at rest and to move it in and out of files.
 //!
 //! * [`dictionary`] — term interning,
-//! * [`triple_store`] — SPO/POS/OSP indexed storage with pattern scans,
+//! * [`id_index`] — the raw SPO/POS/OSP ordered index over id-triples,
+//! * [`triple_store`] — dictionary + index with term-level pattern scans,
 //! * [`ntriples`] — an N-Triples-style parser and serializer,
 //! * [`stats`] — graph statistics used by the experiment reports.
 
@@ -15,11 +16,13 @@
 #![warn(missing_docs)]
 
 pub mod dictionary;
+pub mod id_index;
 pub mod ntriples;
 pub mod stats;
 pub mod triple_store;
 
 pub use dictionary::{Dictionary, TermId};
+pub use id_index::IdIndex;
 pub use ntriples::{parse, serialize, ParseError};
 pub use stats::GraphStats;
 pub use triple_store::{IdPattern, IdTriple, TripleStore};
@@ -38,8 +41,11 @@ mod proptests {
             (0u8..4).prop_map(|i| Term::blank(format!("B{i}"))),
         ];
         let pred = (0u8..3).prop_map(|i| swdb_model::Iri::new(format!("ex:p{i}")));
-        proptest::collection::vec((term.clone(), pred, term), 0..=max_triples)
-            .prop_map(|ts| ts.into_iter().map(|(s, p, o)| Triple::new(s, p, o)).collect())
+        proptest::collection::vec((term.clone(), pred, term), 0..=max_triples).prop_map(|ts| {
+            ts.into_iter()
+                .map(|(s, p, o)| Triple::new(s, p, o))
+                .collect()
+        })
     }
 
     proptest! {

@@ -100,7 +100,10 @@ struct Tokenizer<'a> {
 
 impl<'a> Tokenizer<'a> {
     fn new(body: &'a str, line: usize) -> Self {
-        Tokenizer { rest: body.trim_start(), line }
+        Tokenizer {
+            rest: body.trim_start(),
+            line,
+        }
     }
 
     fn next_term(&mut self) -> Result<Term, ParseError> {
@@ -116,9 +119,7 @@ impl<'a> Tokenizer<'a> {
             return Ok(Term::iri(iri));
         }
         if let Some(rest) = self.rest.strip_prefix("_:") {
-            let end = rest
-                .find(|c: char| c.is_whitespace())
-                .unwrap_or(rest.len());
+            let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
             let label = &rest[..end];
             if label.is_empty() {
                 return Err(self.error("empty blank node label"));
@@ -129,7 +130,10 @@ impl<'a> Tokenizer<'a> {
         if self.rest.is_empty() {
             return Err(self.error("expected a term, found end of line"));
         }
-        Err(self.error(&format!("unrecognised token starting at '{}'", truncated(self.rest))))
+        Err(self.error(&format!(
+            "unrecognised token starting at '{}'",
+            truncated(self.rest)
+        )))
     }
 
     fn expect_end(&mut self) -> Result<(), ParseError> {

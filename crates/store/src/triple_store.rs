@@ -9,14 +9,27 @@
 //!
 //! This is the classical layout used by practical RDF stores; it is the
 //! "database" substrate on which the query layer (`swdb-query`) operates when
-//! data outgrows the plain [`swdb_model::Graph`] representation.
+//! data outgrows the plain [`swdb_model::Graph`] representation, and the
+//! id-space that the incremental reasoner (`swdb-reason`) computes closures
+//! over.
+//!
+//! ## Mutability design
+//!
+//! The dictionary and the three indexes move together under one `&mut self`:
+//! every mutating operation (`insert`, `remove`) takes `&mut self`, every
+//! read (`scan`, `contains`, `id_of`) takes `&self`. An earlier revision
+//! kept the dictionary behind an `RwLock` so reads could intern lazily, but
+//! mixing interior mutability with `&mut` indexes made the ownership story
+//! incoherent (and poisoned the `Send`/`Sync` expectations of callers);
+//! reads never need to intern — a term that was never interned matches
+//! nothing — so the lock bought nothing.
 
 use std::collections::BTreeSet;
 
-use parking_lot::RwLock;
 use swdb_model::{Graph, Iri, Term, Triple};
 
 use crate::dictionary::{Dictionary, TermId};
+use crate::id_index::IdIndex;
 
 /// A triple of interned identifiers.
 pub type IdTriple = (TermId, TermId, TermId);
@@ -24,13 +37,12 @@ pub type IdTriple = (TermId, TermId, TermId);
 /// A pattern over interned identifiers: `None` is a wildcard.
 pub type IdPattern = (Option<TermId>, Option<TermId>, Option<TermId>);
 
-/// An indexed, dictionary-encoded triple store.
-#[derive(Debug, Default)]
+/// An indexed, dictionary-encoded triple store: an [`IdIndex`] over the ids
+/// allocated by a [`Dictionary`].
+#[derive(Clone, Debug, Default)]
 pub struct TripleStore {
-    dictionary: RwLock<Dictionary>,
-    spo: BTreeSet<(TermId, TermId, TermId)>,
-    pos: BTreeSet<(TermId, TermId, TermId)>,
-    osp: BTreeSet<(TermId, TermId, TermId)>,
+    dictionary: Dictionary,
+    index: IdIndex,
 }
 
 impl TripleStore {
@@ -50,111 +62,140 @@ impl TripleStore {
 
     /// Number of triples stored.
     pub fn len(&self) -> usize {
-        self.spo.len()
+        self.index.len()
     }
 
     /// Returns `true` if the store has no triples.
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.index.is_empty()
     }
 
     /// Number of distinct terms interned.
     pub fn term_count(&self) -> usize {
-        self.dictionary.read().len()
+        self.dictionary.len()
+    }
+
+    /// Read access to the term dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// Interns a term, allocating an id if needed. Ids are append-only: the
+    /// id stays valid even after every triple mentioning the term is removed.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        self.dictionary.intern(term)
     }
 
     /// Interns the three positions of a triple.
-    fn intern_triple(&self, triple: &Triple) -> IdTriple {
-        let mut dict = self.dictionary.write();
-        let s = dict.intern(triple.subject());
-        let p = dict.intern(&Term::Iri(triple.predicate().clone()));
-        let o = dict.intern(triple.object());
+    fn intern_triple(&mut self, triple: &Triple) -> IdTriple {
+        let s = self.dictionary.intern(triple.subject());
+        let p = self
+            .dictionary
+            .intern(&Term::Iri(triple.predicate().clone()));
+        let o = self.dictionary.intern(triple.object());
         (s, p, o)
     }
 
     /// Inserts a triple; returns `true` if it was new.
     pub fn insert(&mut self, triple: &Triple) -> bool {
+        self.insert_with_ids(triple).1
+    }
+
+    /// Inserts a triple, returning its interned ids and whether it was new.
+    pub fn insert_with_ids(&mut self, triple: &Triple) -> (IdTriple, bool) {
         let (s, p, o) = self.intern_triple(triple);
-        let added = self.spo.insert((s, p, o));
-        if added {
-            self.pos.insert((p, o, s));
-            self.osp.insert((o, s, p));
-        }
-        added
+        ((s, p, o), self.insert_id_triple((s, p, o)))
+    }
+
+    /// Inserts an already-interned triple; returns `true` if it was new.
+    ///
+    /// The caller is responsible for the ids being live in the dictionary
+    /// (ids obtained from [`TripleStore::intern`] or a scan always are).
+    pub fn insert_id_triple(&mut self, ids: IdTriple) -> bool {
+        self.index.insert(ids)
     }
 
     /// Removes a triple; returns `true` if it was present.
     pub fn remove(&mut self, triple: &Triple) -> bool {
-        let dict = self.dictionary.read();
-        let (Some(s), Some(p), Some(o)) = (
-            dict.id_of(triple.subject()),
-            dict.id_of(&Term::Iri(triple.predicate().clone())),
-            dict.id_of(triple.object()),
-        ) else {
-            return false;
-        };
-        drop(dict);
-        let removed = self.spo.remove(&(s, p, o));
-        if removed {
-            self.pos.remove(&(p, o, s));
-            self.osp.remove(&(o, s, p));
-        }
-        removed
+        self.remove_with_ids(triple).is_some()
+    }
+
+    /// Removes a triple, returning its interned ids if it was present.
+    ///
+    /// The dictionary entry survives removal (ids are never recycled), so
+    /// the returned ids remain valid for delta propagation.
+    pub fn remove_with_ids(&mut self, triple: &Triple) -> Option<IdTriple> {
+        let ids = self.resolve_ids(triple)?;
+        self.remove_id_triple(ids).then_some(ids)
+    }
+
+    /// Removes an already-interned triple; returns `true` if it was present.
+    pub fn remove_id_triple(&mut self, ids: IdTriple) -> bool {
+        self.index.remove(ids)
+    }
+
+    /// Resolves a triple to ids without interning; `None` if any position
+    /// was never interned (in which case the triple cannot be present).
+    fn resolve_ids(&self, triple: &Triple) -> Option<IdTriple> {
+        let s = self.dictionary.id_of(triple.subject())?;
+        let p = self
+            .dictionary
+            .id_of(&Term::Iri(triple.predicate().clone()))?;
+        let o = self.dictionary.id_of(triple.object())?;
+        Some((s, p, o))
     }
 
     /// Returns `true` if the triple is present.
     pub fn contains(&self, triple: &Triple) -> bool {
-        let dict = self.dictionary.read();
-        match (
-            dict.id_of(triple.subject()),
-            dict.id_of(&Term::Iri(triple.predicate().clone())),
-            dict.id_of(triple.object()),
-        ) {
-            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
-            _ => false,
-        }
+        self.resolve_ids(triple)
+            .is_some_and(|ids| self.contains_id_triple(ids))
+    }
+
+    /// Returns `true` if the id-triple is present.
+    pub fn contains_id_triple(&self, ids: IdTriple) -> bool {
+        self.index.contains(ids)
     }
 
     /// Resolves the id of a term if it has been interned.
     pub fn id_of(&self, term: &Term) -> Option<TermId> {
-        self.dictionary.read().id_of(term)
+        self.dictionary.id_of(term)
     }
 
     /// Resolves a term from its id.
     pub fn term_of(&self, id: TermId) -> Option<Term> {
-        self.dictionary.read().term_of(id).cloned()
+        self.dictionary.term_of(id).cloned()
+    }
+
+    /// Iterates over the stored id-triples in `(s, p, o)` order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = IdTriple> + '_ {
+        self.index.iter()
     }
 
     /// Answers an id-pattern with the most selective index, returning the
     /// matching id-triples in `(s, p, o)` order.
     pub fn scan_ids(&self, pattern: IdPattern) -> Vec<IdTriple> {
-        match pattern {
-            (Some(s), Some(p), Some(o)) => {
-                if self.spo.contains(&(s, p, o)) {
-                    vec![(s, p, o)]
-                } else {
-                    Vec::new()
-                }
+        self.index.scan(pattern)
+    }
+
+    /// Resolves a term-level pattern to an id-pattern: `None` when a bound
+    /// term was never interned (in which case nothing can match).
+    pub fn resolve_pattern(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Iri>,
+        object: Option<&Term>,
+    ) -> Option<IdPattern> {
+        let to_id = |t: Option<&Term>| -> Option<Option<TermId>> {
+            match t {
+                None => Some(None),
+                Some(term) => self.dictionary.id_of(term).map(Some),
             }
-            (Some(s), p, o) => self
-                .spo
-                .range((s, 0, 0)..=(s, TermId::MAX, TermId::MAX))
-                .filter(|&&(_, tp, to)| p.map_or(true, |p| p == tp) && o.map_or(true, |o| o == to))
-                .copied()
-                .collect(),
-            (None, Some(p), o) => self
-                .pos
-                .range((p, 0, 0)..=(p, TermId::MAX, TermId::MAX))
-                .filter(|&&(_, to, _)| o.map_or(true, |o| o == to))
-                .map(|&(p, o, s)| (s, p, o))
-                .collect(),
-            (None, None, Some(o)) => self
-                .osp
-                .range((o, 0, 0)..=(o, TermId::MAX, TermId::MAX))
-                .map(|&(o, s, p)| (s, p, o))
-                .collect(),
-            (None, None, None) => self.spo.iter().copied().collect(),
-        }
+        };
+        Some((
+            to_id(subject)?,
+            to_id(predicate.map(|p| Term::Iri(p.clone())).as_ref())?,
+            to_id(object)?,
+        ))
     }
 
     /// Answers a term-level pattern (each position optionally bound).
@@ -164,70 +205,54 @@ impl TripleStore {
         predicate: Option<&Iri>,
         object: Option<&Term>,
     ) -> Vec<Triple> {
-        let dict = self.dictionary.read();
-        let to_id = |t: Option<&Term>| -> Result<Option<TermId>, ()> {
-            match t {
-                None => Ok(None),
-                Some(term) => dict.id_of(term).map(Some).ok_or(()),
-            }
-        };
-        let pattern = (
-            to_id(subject),
-            to_id(predicate.map(|p| Term::Iri(p.clone())).as_ref()),
-            to_id(object),
-        );
-        let (Ok(s), Ok(p), Ok(o)) = pattern else {
+        let Some(pattern) = self.resolve_pattern(subject, predicate, object) else {
             // A bound term that was never interned matches nothing.
             return Vec::new();
         };
-        drop(dict);
-        self.scan_ids((s, p, o))
+        self.scan_ids(pattern)
             .into_iter()
             .map(|ids| self.materialize(ids))
             .collect()
     }
 
-    fn materialize(&self, (s, p, o): IdTriple) -> Triple {
-        let dict = self.dictionary.read();
-        let subject = dict.term_of(s).expect("dangling subject id").clone();
-        let predicate = dict
+    /// Resolves an id-triple back to terms.
+    ///
+    /// Panics on ids that were never interned; ids produced by this store
+    /// are always resolvable.
+    pub fn materialize(&self, (s, p, o): IdTriple) -> Triple {
+        let subject = self
+            .dictionary
+            .term_of(s)
+            .expect("dangling subject id")
+            .clone();
+        let predicate = self
+            .dictionary
             .term_of(p)
             .and_then(|t| t.as_iri().cloned())
             .expect("dangling predicate id");
-        let object = dict.term_of(o).expect("dangling object id").clone();
+        let object = self
+            .dictionary
+            .term_of(o)
+            .expect("dangling object id")
+            .clone();
         Triple::new(subject, predicate, object)
     }
 
     /// Exports the stored triples as a [`Graph`].
     pub fn to_graph(&self) -> Graph {
-        self.spo.iter().map(|&ids| self.materialize(ids)).collect()
+        self.index.iter().map(|ids| self.materialize(ids)).collect()
     }
 
     /// The distinct predicates in use.
     pub fn predicates(&self) -> BTreeSet<Iri> {
-        let mut out = BTreeSet::new();
-        let mut last = None;
-        for &(p, _, _) in &self.pos {
-            if last == Some(p) {
-                continue;
-            }
-            last = Some(p);
-            if let Some(Term::Iri(iri)) = self.dictionary.read().term_of(p) {
-                out.insert(iri.clone());
-            }
-        }
-        out
-    }
-}
-
-impl Clone for TripleStore {
-    fn clone(&self) -> Self {
-        TripleStore {
-            dictionary: RwLock::new(self.dictionary.read().clone()),
-            spo: self.spo.clone(),
-            pos: self.pos.clone(),
-            osp: self.osp.clone(),
-        }
+        self.index
+            .predicate_ids()
+            .into_iter()
+            .filter_map(|p| match self.dictionary.term_of(p) {
+                Some(Term::Iri(iri)) => Some(iri.clone()),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -268,6 +293,29 @@ mod tests {
     }
 
     #[test]
+    fn id_level_insert_remove_round_trip() {
+        let mut store = sample();
+        let t = triple("ex:new", "ex:p", "ex:b");
+        let (ids, added) = store.insert_with_ids(&t);
+        assert!(added);
+        assert!(store.contains_id_triple(ids));
+        assert_eq!(store.remove_with_ids(&t), Some(ids));
+        assert!(!store.contains_id_triple(ids));
+        // Ids survive removal: reinserting by id alone resolves back.
+        assert!(store.insert_id_triple(ids));
+        assert_eq!(store.materialize(ids), t);
+    }
+
+    #[test]
+    fn remove_of_unknown_terms_is_none() {
+        let mut store = sample();
+        assert_eq!(
+            store.remove_with_ids(&triple("ex:ghost", "ex:p", "ex:b")),
+            None
+        );
+    }
+
+    #[test]
     fn round_trip_through_graph() {
         let g = graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:b")]);
         let store = TripleStore::from_graph(&g);
@@ -282,7 +330,11 @@ mod tests {
         assert_eq!(store.scan(None, None, Some(&Term::iri("ex:b"))).len(), 2);
         assert_eq!(
             store
-                .scan(Some(&Term::iri("ex:a")), Some(&Iri::new("ex:p")), Some(&Term::iri("ex:b")))
+                .scan(
+                    Some(&Term::iri("ex:a")),
+                    Some(&Iri::new("ex:p")),
+                    Some(&Term::iri("ex:b"))
+                )
                 .len(),
             1
         );
@@ -292,7 +344,9 @@ mod tests {
     #[test]
     fn scans_for_unknown_terms_return_nothing() {
         let store = sample();
-        assert!(store.scan(Some(&Term::iri("ex:unknown")), None, None).is_empty());
+        assert!(store
+            .scan(Some(&Term::iri("ex:unknown")), None, None)
+            .is_empty());
         assert!(store
             .scan(None, Some(&Iri::new("ex:unknownpred")), None)
             .is_empty());
@@ -332,5 +386,15 @@ mod tests {
         let mut modified = store.clone();
         modified.insert(&triple("ex:z", "ex:p", "ex:z"));
         assert_ne!(store, modified);
+    }
+
+    #[test]
+    fn iter_ids_is_in_spo_order_and_complete() {
+        let store = sample();
+        let ids: Vec<_> = store.iter_ids().collect();
+        assert_eq!(ids.len(), 4);
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
     }
 }

@@ -45,7 +45,8 @@ pub fn redundant_cycle(n: usize) -> Graph {
 
 /// An RDF graph that *is* lean: an odd blank cycle (its core is itself).
 pub fn lean_cycle(n: usize) -> Graph {
-    let cycle = DiGraph::from_undirected_edges((0..(2 * n + 1)).map(|i| (i, (i + 1) % (2 * n + 1))));
+    let cycle =
+        DiGraph::from_undirected_edges((0..(2 * n + 1)).map(|i| (i, (i + 1) % (2 * n + 1))));
     encode(&cycle, "c")
 }
 

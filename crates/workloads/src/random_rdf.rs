@@ -44,7 +44,10 @@ pub fn simple_graph(config: &SimpleGraphConfig, seed: u64) -> Graph {
     };
     while g.len() < config.triples {
         let s = pick_node(&mut rng);
-        let p = swdb_model::Iri::new(format!("ex:p{}", rng.gen_range(0..config.predicates.max(1))));
+        let p = swdb_model::Iri::new(format!(
+            "ex:p{}",
+            rng.gen_range(0..config.predicates.max(1))
+        ));
         let o = pick_node(&mut rng);
         g.insert(Triple::new(s, p, o));
     }
@@ -207,7 +210,11 @@ pub fn sc_chain_with_instance(n: usize) -> Graph {
             )
         })
         .collect();
-    g.insert(Triple::new(Term::iri("ex:bottom"), rdfs::type_(), Term::iri("ex:C0")));
+    g.insert(Triple::new(
+        Term::iri("ex:bottom"),
+        rdfs::type_(),
+        Term::iri("ex:C0"),
+    ));
     g
 }
 

@@ -64,17 +64,29 @@ pub fn instances(config: &UniversityConfig, seed: u64) -> Graph {
     let mut g = Graph::new();
     for d in 0..config.departments {
         let dept = Term::iri(format!("uni:dept{d}"));
-        g.insert(Triple::new(dept.clone(), rdfs::type_(), Term::iri("uni:Department")));
+        g.insert(Triple::new(
+            dept.clone(),
+            rdfs::type_(),
+            Term::iri("uni:Department"),
+        ));
         let courses: Vec<Term> = (0..config.courses_per_department)
             .map(|c| Term::iri(format!("uni:course{d}_{c}")))
             .collect();
         for course in &courses {
             g.insert(Triple::new(dept.clone(), "uni:offers", course.clone()));
-            g.insert(Triple::new(course.clone(), rdfs::type_(), Term::iri("uni:Course")));
+            g.insert(Triple::new(
+                course.clone(),
+                rdfs::type_(),
+                Term::iri("uni:Course"),
+            ));
         }
         for p in 0..config.professors_per_department {
             let prof = Term::iri(format!("uni:prof{d}_{p}"));
-            g.insert(Triple::new(prof.clone(), rdfs::type_(), Term::iri("uni:Professor")));
+            g.insert(Triple::new(
+                prof.clone(),
+                rdfs::type_(),
+                Term::iri("uni:Professor"),
+            ));
             g.insert(Triple::new(prof.clone(), "uni:worksFor", dept.clone()));
             if p == 0 {
                 g.insert(Triple::new(prof.clone(), "uni:headOf", dept.clone()));
@@ -86,8 +98,16 @@ pub fn instances(config: &UniversityConfig, seed: u64) -> Graph {
         }
         for s in 0..config.students_per_department {
             let student = Term::iri(format!("uni:student{d}_{s}"));
-            let class = if s % 4 == 0 { "uni:GraduateStudent" } else { "uni:Student" };
-            g.insert(Triple::new(student.clone(), rdfs::type_(), Term::iri(class)));
+            let class = if s % 4 == 0 {
+                "uni:GraduateStudent"
+            } else {
+                "uni:Student"
+            };
+            g.insert(Triple::new(
+                student.clone(),
+                rdfs::type_(),
+                Term::iri(class),
+            ));
             for _ in 0..config.enrollments_per_student {
                 if courses.is_empty() {
                     break;
@@ -135,10 +155,7 @@ pub fn persons_query() -> Query {
 pub fn student_professor_query() -> Query {
     query(
         [("?S", "uni:learnsFrom", "?P")],
-        [
-            ("?S", "uni:takes", "?C"),
-            ("?P", "uni:teaches", "?C"),
-        ],
+        [("?S", "uni:takes", "?C"), ("?P", "uni:teaches", "?C")],
     )
 }
 
@@ -147,11 +164,7 @@ pub fn student_professor_query() -> Query {
 pub fn star_query(width: usize) -> Query {
     let mut body: Vec<(String, String, String)> = Vec::with_capacity(width);
     for i in 0..width {
-        body.push((
-            "?D".to_owned(),
-            "uni:offers".to_owned(),
-            format!("?C{i}"),
-        ));
+        body.push(("?D".to_owned(), "uni:offers".to_owned(), format!("?C{i}")));
     }
     let body_refs: Vec<(&str, &str, &str)> = body
         .iter()
@@ -194,8 +207,12 @@ mod tests {
     fn persons_are_inferred_from_types_and_domains() {
         let g = university(&UniversityConfig::default(), 3);
         let answers = answer_union(&persons_query(), &g);
-        assert!(answers.iter().any(|t| t.subject() == &Term::iri("uni:student0_0")));
-        assert!(answers.iter().any(|t| t.subject() == &Term::iri("uni:prof0_0")));
+        assert!(answers
+            .iter()
+            .any(|t| t.subject() == &Term::iri("uni:student0_0")));
+        assert!(answers
+            .iter()
+            .any(|t| t.subject() == &Term::iri("uni:prof0_0")));
     }
 
     #[test]
@@ -203,7 +220,9 @@ mod tests {
         let g = university(&UniversityConfig::default(), 4);
         let answers = answer_union(&student_professor_query(), &g);
         assert!(!answers.is_empty());
-        assert!(answers.iter().all(|t| t.predicate().as_str() == "uni:learnsFrom"));
+        assert!(answers
+            .iter()
+            .all(|t| t.predicate().as_str() == "uni:learnsFrom"));
     }
 
     #[test]

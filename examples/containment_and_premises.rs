@@ -25,18 +25,26 @@ fn main() {
     println!("Basic containment (restricting the body shrinks the query):");
     let exhibited_painters = query(
         [("?A", "art:paints", "?Y")],
-        [("?A", "art:paints", "?Y"), ("?Y", "art:exhibited", "art:Uffizi")],
+        [
+            ("?A", "art:paints", "?Y"),
+            ("?Y", "art:exhibited", "art:Uffizi"),
+        ],
     );
     let painters = query([("?A", "art:paints", "?Y")], [("?A", "art:paints", "?Y")]);
-    check("exhibited-painters ⊑ painters", &exhibited_painters, &painters);
-    check("painters ⊑ exhibited-painters", &painters, &exhibited_painters);
+    check(
+        "exhibited-painters ⊑ painters",
+        &exhibited_painters,
+        &painters,
+    );
+    check(
+        "painters ⊑ exhibited-painters",
+        &painters,
+        &exhibited_painters,
+    );
 
     // --- Example 5.3: the two notions differ ------------------------------
     println!("\nExample 5.3 (heads = bodies, one body has the redundant sc shortcut):");
-    let b = pattern_graph([
-        ("?X", rdfs::SC, "?Y"),
-        ("?Y", rdfs::SC, "?Z"),
-    ]);
+    let b = pattern_graph([("?X", rdfs::SC, "?Y"), ("?Y", rdfs::SC, "?Z")]);
     let b_shortcut = pattern_graph([
         ("?X", rdfs::SC, "?Y"),
         ("?Y", rdfs::SC, "?Z"),
@@ -62,9 +70,14 @@ fn main() {
         println!("    {member}");
     }
     // Answers agree on a sample database.
-    let d = graph([("ex:u", "ex:q", "ex:a"), ("ex:v", "ex:q", "ex:w"), ("ex:w", "ex:t", "ex:s")]);
+    let d = graph([
+        ("ex:u", "ex:q", "ex:a"),
+        ("ex:v", "ex:q", "ex:w"),
+        ("ex:w", "ex:t", "ex:s"),
+    ]);
     let direct = semweb_foundations::query::answer_union(&with_premise, &d);
-    let expanded = semweb_foundations::query::answer_union_of_queries(&expansion, &d, Semantics::Union);
+    let expanded =
+        semweb_foundations::query::answer_union_of_queries(&expansion, &d, Semantics::Union);
     println!("  direct answer:    {direct}");
     println!("  via expansion:    {expanded}");
     println!("  answers agree?    {}", direct == expanded);

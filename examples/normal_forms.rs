@@ -19,8 +19,15 @@ fn main() {
     ]);
     println!("Example 3.8:");
     println!("  G1 = {g1}");
-    println!("  G1 lean? {}   core(G1) = {}", normal::is_lean(&g1), normal::core(&g1));
-    println!("  G2 lean? {} (the two blanks are distinguishable)", normal::is_lean(&g2));
+    println!(
+        "  G1 lean? {}   core(G1) = {}",
+        normal::is_lean(&g1),
+        normal::core(&g1)
+    );
+    println!(
+        "  G2 lean? {} (the two blanks are distinguishable)",
+        normal::is_lean(&g2)
+    );
 
     // --- Example 3.17: closure and core are not syntax independent --------
     let g = graph([

@@ -63,7 +63,13 @@ fn main() {
     //    already creates *something*, so a second anonymous work adds no
     //    information (the graph stops being lean).
     db.insert(triple("ex:Rodin", "ex:creates", "_:anotherWork"));
-    println!("\nafter inserting a second anonymous work: lean = {}", db.is_lean());
+    println!(
+        "\nafter inserting a second anonymous work: lean = {}",
+        db.is_lean()
+    );
     let removed = db.minimize();
-    println!("minimize() removed {removed} triple(s); lean = {}", db.is_lean());
+    println!(
+        "minimize() removed {removed} triple(s); lean = {}",
+        db.is_lean()
+    );
 }

@@ -60,19 +60,34 @@ fn main() {
     let union = db.answer(&anon, Semantics::Union);
     let merge = db.answer(&anon, Semantics::Merge);
     println!("\n-- anonymised advisors --");
-    println!("  union semantics: {} triples, {} blanks", union.len(), union.blank_nodes().len());
-    println!("  merge semantics: {} triples, {} blanks", merge.len(), merge.blank_nodes().len());
+    println!(
+        "  union semantics: {} triples, {} blanks",
+        union.len(),
+        union.blank_nodes().len()
+    );
+    println!(
+        "  merge semantics: {} triples, {} blanks",
+        merge.len(),
+        merge.blank_nodes().len()
+    );
 
     // Redundancy elimination.
     let all_takes = query::query([("?S", "uni:takes", "?C")], [("?S", "uni:takes", "?C")]);
     let raw = db.answer_union(&all_takes);
     let lean = db.answer_without_redundancy(&all_takes, Semantics::Union);
     println!("\n-- enrolment answers --");
-    println!("  raw answer:  {} triples (lean: {})", raw.len(), swdb_normal::is_lean(&raw));
+    println!(
+        "  raw answer:  {} triples (lean: {})",
+        raw.len(),
+        swdb_normal::is_lean(&raw)
+    );
     println!("  after redundancy elimination: {} triples", lean.len());
 
     // Round-trip through the concrete syntax.
     let serialized = db.to_ntriples();
     let reloaded = SemanticWebDatabase::from_ntriples(&serialized).expect("round trip");
-    println!("\nserialization round trip preserved {} triples", reloaded.len());
+    println!(
+        "\nserialization round trip preserved {} triples",
+        reloaded.len()
+    );
 }

@@ -4,6 +4,50 @@
 //! runnable examples under `examples/` and the cross-crate integration tests
 //! under `tests/` have a single dependency, mirroring how a downstream user
 //! would consume the library through `swdb-core`.
+//!
+//! ## Architecture
+//!
+//! The stack reproduces *Foundations of Semantic Web Databases* (Gutierrez,
+//! Hurtado, Mendelzon, Pérez; PODS 2004 / JCSS 2011) and grows it toward a
+//! production system. Its layers, bottom to top:
+//!
+//! | Layer | Crate | Role |
+//! |---|---|---|
+//! | data model | [`model`] | terms, triples, [`model::Graph`] (string terms, §2.1–2.2) |
+//! | matching | [`hom`] | maps/homomorphisms `μ : G₁ → G₂` |
+//! | semantics | [`entailment`] | deductive system, `RDFS-cl(G)` as whole-graph fixpoints |
+//! | normalization | [`normal`] | lean graphs, cores, normal forms (§3) |
+//! | storage | [`store`] | dictionary-encoded [`store::TripleStore`] with SPO/POS/OSP indexes |
+//! | **reasoning** | [`reason`] | **incremental `RDFS-cl(G)` over id-triples** |
+//! | queries | [`query`], [`containment`] | tableau queries, answers, containment (§4–6) |
+//! | facade | [`core`] | [`core::SemanticWebDatabase`] ties everything together |
+//!
+//! ### The Graph / TripleStore duality
+//!
+//! Two representations of the same data coexist deliberately:
+//!
+//! * [`model::Graph`] is the *abstract* representation — a `BTreeSet` of
+//!   string-term triples. The theory layers (`entailment`, `normal`,
+//!   `query`) are written against it because the paper's definitions are:
+//!   blank-node renaming, Skolemization and homomorphism search need terms,
+//!   not ids. It is the executable-specification side.
+//! * [`store::TripleStore`] is the *physical* representation — terms
+//!   interned to dense [`store::TermId`]s by an append-only dictionary,
+//!   triples held three times in `(s,p,o)`/`(p,o,s)`/`(o,s,p)` order so any
+//!   bound-prefix pattern is a range scan. It is the production side.
+//!
+//! `swdb-reason` is the bridge at the semantics level: the same rules
+//! (2)–(13) that `entailment` applies to `Graph`s as a fixpoint are encoded
+//! in [`reason::RuleSystem`] as patterns over id-triples, indexed by
+//! predicate so a delta triple wakes only the rules that can fire on it.
+//! [`reason::DeltaClosure`] maintains the closure under **insert**
+//! (semi-naive propagation: only the new frontier is joined) and **delete**
+//! (DRed overdelete/rederive, immune to the rule system's derivation
+//! cycles). [`reason::MaterializedStore`] packages a `TripleStore` with its
+//! maintained closure; [`core::SemanticWebDatabase`] keeps one and serves
+//! `closure()` / `closure_contains()` from it, while
+//! `closure_recomputed()` preserves the specification path that the
+//! property tests compare against.
 
 pub use swdb_containment as containment;
 pub use swdb_core as core;
@@ -13,5 +57,6 @@ pub use swdb_hom as hom;
 pub use swdb_model as model;
 pub use swdb_normal as normal;
 pub use swdb_query as query;
+pub use swdb_reason as reason;
 pub use swdb_store as store;
 pub use swdb_workloads as workloads;

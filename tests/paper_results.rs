@@ -46,15 +46,18 @@ fn theorem_2_8_entailment_iff_map_into_closure() {
     // For simple graphs the map goes directly into G1 (Theorem 2.8(2)).
     let s1 = graph([("ex:a", "ex:p", "ex:b")]);
     let s2 = graph([("_:X", "ex:p", "ex:b")]);
-    assert_eq!(entailment::simple_entails(&s1, &s2), hom::exists_map(&s2, &s1));
+    assert_eq!(
+        entailment::simple_entails(&s1, &s2),
+        hom::exists_map(&s2, &s1)
+    );
 }
 
 #[test]
 fn theorem_2_9_entailment_tracks_graph_homomorphism() {
     // The enc(·) reduction: H homomorphic to H' iff enc(H') ⊨ enc(H).
     let pairs = [
-        (DiGraph::cycle(6), DiGraph::cycle(3), true),   // C6 → C3 (wrap twice)
-        (DiGraph::cycle(3), DiGraph::cycle(6), false),  // no C3 → C6
+        (DiGraph::cycle(6), DiGraph::cycle(3), true), // C6 → C3 (wrap twice)
+        (DiGraph::cycle(3), DiGraph::cycle(6), false), // no C3 → C6
         (DiGraph::path(4), DiGraph::cycle(2), true),
     ];
     for (h, h_prime, expected) in pairs {
@@ -92,13 +95,23 @@ fn theorem_2_10_rdfs_entailment_has_checkable_polynomial_witnesses() {
 fn theorem_3_6_closure_properties() {
     let g = art::figure1();
     let cl = normal::closure(&g);
-    assert_eq!(cl, entailment::rdfs_closure(&g), "cl = RDFS-cl (Theorem 3.6(2))");
+    assert_eq!(
+        cl,
+        entailment::rdfs_closure(&g),
+        "cl = RDFS-cl (Theorem 3.6(2))"
+    );
     assert!(normal::is_closed(&cl));
     assert!(entailment::equivalent(&g, &cl));
     for t in cl.iter() {
-        assert!(normal::closure_contains(&g, t), "membership test must accept {t}");
+        assert!(
+            normal::closure_contains(&g, t),
+            "membership test must accept {t}"
+        );
     }
-    assert!(!normal::closure_contains(&g, &triple("art:Guernica", "art:paints", "art:Picasso")));
+    assert!(!normal::closure_contains(
+        &g,
+        &triple("art:Guernica", "art:paints", "art:Picasso")
+    ));
 }
 
 #[test]
@@ -207,7 +220,10 @@ fn proposition_4_5_and_note_4_7_union_vs_merge() {
 
 #[test]
 fn section_4_2_premises_extend_answers() {
-    let data = graph([("ex:John", "ex:son", "ex:Peter"), ("ex:Ann", "ex:relative", "ex:Peter")]);
+    let data = graph([
+        ("ex:John", "ex:son", "ex:Peter"),
+        ("ex:Ann", "ex:relative", "ex:Peter"),
+    ]);
     let plain = query::query(
         [("?X", "ex:relative", "ex:Peter")],
         [("?X", "ex:relative", "ex:Peter")],
@@ -234,7 +250,11 @@ fn proposition_5_2_and_example_5_3() {
     let body = hom::pattern_graph([("?X", "ex:p", "ex:c")]);
     let q = Query::new(hom::pattern_graph([("ex:c", "ex:q", "?X")]), body.clone()).unwrap();
     let q_prime = Query::new(hom::pattern_graph([("_:Y", "ex:q", "?X")]), body).unwrap();
-    assert!(containment::contained_in(&q_prime, &q, Notion::EntailmentBased));
+    assert!(containment::contained_in(
+        &q_prime,
+        &q,
+        Notion::EntailmentBased
+    ));
     assert!(!containment::contained_in(&q_prime, &q, Notion::Standard));
     // And whenever ⊑p holds, ⊑m holds.
     assert!(containment::contained_in(&q, &q, Notion::Standard));
@@ -297,7 +317,11 @@ fn theorem_5_8_containment_with_right_premise() {
     )
     .unwrap();
     assert!(containment::contained_in(&q, &q_premised, Notion::Standard));
-    assert!(!containment::contained_in(&q_premised, &q, Notion::Standard));
+    assert!(!containment::contained_in(
+        &q_premised,
+        &q,
+        Notion::Standard
+    ));
 }
 
 // ---------- Section 6: complexity-facing behaviour ----------

@@ -62,7 +62,10 @@ fn normalization_shrinks_redundant_data_without_losing_answers() {
     );
 
     let removed = db_redundant.minimize();
-    assert!(removed > 0, "minimisation must remove the injected redundancy");
+    assert!(
+        removed > 0,
+        "minimisation must remove the injected redundancy"
+    );
     let a_minimised = db_redundant.answer_union(&q);
     assert!(semweb_foundations::model::isomorphic(&a_minimised, &a_base));
 }
@@ -74,13 +77,14 @@ fn containment_identifies_a_cheaper_equivalent_query() {
     // one can be executed instead.
     let verbose = query(
         [("?S", "uni:takes", "?C")],
-        [
-            ("?S", "uni:takes", "?C"),
-            ("?S", "uni:takes", "?C2"),
-        ],
+        [("?S", "uni:takes", "?C"), ("?S", "uni:takes", "?C2")],
     );
     let reduced = query([("?S", "uni:takes", "?C")], [("?S", "uni:takes", "?C")]);
-    assert!(containment::equivalent(&verbose, &reduced, Notion::EntailmentBased));
+    assert!(containment::equivalent(
+        &verbose,
+        &reduced,
+        Notion::EntailmentBased
+    ));
     let data = university(&UniversityConfig::default(), 8);
     let mut db = SemanticWebDatabase::from_graph(data);
     let a_verbose = db.answer(&verbose, Semantics::Union);
@@ -120,7 +124,9 @@ fn facade_updates_interact_correctly_with_inference() {
         [("?X", rdfs::TYPE, "uni:Faculty")],
     );
     let before = db.answer_union(&faculty);
-    assert!(before.iter().any(|t| t.subject() == &Term::iri("uni:alice")));
+    assert!(before
+        .iter()
+        .any(|t| t.subject() == &Term::iri("uni:alice")));
     // Retracting the teaching assertion retracts the inference.
     db.remove(&semweb_foundations::model::triple(
         "uni:alice",
