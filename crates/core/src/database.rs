@@ -2,15 +2,39 @@
 //!
 //! A downstream application interacts with one value of this type: it holds
 //! the data, knows which entailment regime is in force (simple or RDFS),
-//! caches the normal form used for query answering, and exposes the
+//! caches the evaluation index used for query answering, and exposes the
 //! operations studied in the paper — entailment, equivalence, closure, core,
 //! normal form, query answering under both semantics, and redundancy
 //! elimination.
+//!
+//! ## The read path
+//!
+//! Premise-free queries — the hot path — run **entirely in id space**
+//! through `swdb_query::exec`: the body is compiled to `TermId` patterns
+//! against the store dictionary (a body constant that was never interned
+//! short-circuits to zero answers) and joined directly over a cached
+//! SPO/POS/OSP [`swdb_store::IdIndex`] of the evaluation graph. The
+//! evaluation graph keeps the paper's semantics: `nf(D) = core(cl(D))`
+//! under RDFS, `core(D)` under simple entailment — answers stay invariant
+//! under database equivalence (Theorem 4.6). What changed is how `nf(D)` is
+//! obtained: the closure is **never recomputed** — the maintained
+//! materialization of `swdb-reason` is cored directly — and no per-query
+//! string-keyed `GraphIndex` is ever rebuilt. Bindings are `TermId`s,
+//! decoded only when a matching survives the constraint check and an answer
+//! graph is materialized.
+//!
+//! Queries **with premises** still normalize `nf(D + P)` wholesale on the
+//! fly (the premise changes the graph being queried), through the
+//! string-space evaluator. That evaluator also remains available as the
+//! executable specification via
+//! [`SemanticWebDatabase::answer_recomputed`], which the equivalence
+//! property tests pin the id-space path against. Making the `core(·)` step
+//! incremental the way the closure already is remains a ROADMAP follow-on.
 
-use swdb_model::{Graph, Triple};
+use swdb_model::{Graph, Term, Triple};
 use swdb_query::{NormalizedDatabase, Query, Semantics};
 use swdb_reason::MaterializedStore;
-use swdb_store::GraphStats;
+use swdb_store::{Dictionary, GraphStats, IdIndex};
 
 /// The entailment regime a database operates under.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -35,9 +59,12 @@ pub struct SemanticWebDatabase {
     /// semi-naive propagation on insert, DRed on remove — so closure reads
     /// never recompute a fixpoint.
     reasoner: MaterializedStore,
-    /// Cached `nf(D)`, used for premise-free query answering; rebuilt lazily
-    /// after mutations.
-    normalized: Option<NormalizedDatabase>,
+    /// The id-space index of the evaluation graph premise-free queries run
+    /// against (`nf(D)` under RDFS, `core(D)` under simple entailment),
+    /// over the store dictionary's ids. Rebuilt lazily after mutations by
+    /// coring the maintained closure — the closure fixpoint itself is never
+    /// recomputed for it.
+    evaluation: Option<IdIndex>,
 }
 
 impl SemanticWebDatabase {
@@ -83,7 +110,7 @@ impl SemanticWebDatabase {
     pub fn set_regime(&mut self, regime: EntailmentRegime) {
         if self.regime != regime {
             self.regime = regime;
-            self.normalized = None;
+            self.evaluation = None;
         }
     }
 
@@ -109,7 +136,7 @@ impl SemanticWebDatabase {
         let added = self.graph.insert(triple.clone());
         if added {
             self.reasoner.insert(&triple);
-            self.normalized = None;
+            self.evaluation = None;
         }
         added
     }
@@ -120,19 +147,21 @@ impl SemanticWebDatabase {
         let removed = self.graph.remove(triple);
         if removed {
             self.reasoner.remove(triple);
-            self.normalized = None;
+            self.evaluation = None;
         }
         removed
     }
 
-    /// Inserts every triple of a graph.
+    /// Inserts every triple of a graph. The maintained closure is extended
+    /// in one frontier-batched semi-naive round
+    /// ([`MaterializedStore::insert_graph`]) rather than a propagation
+    /// fixpoint per triple, so bulk loads amortize the index probes.
     pub fn insert_graph(&mut self, graph: &Graph) {
         for t in graph.iter() {
-            if self.graph.insert(t.clone()) {
-                self.reasoner.insert(t);
-            }
+            self.graph.insert(t.clone());
         }
-        self.normalized = None;
+        self.reasoner.insert_graph(graph);
+        self.evaluation = None;
     }
 
     /// Descriptive statistics of the stored graph.
@@ -218,34 +247,80 @@ impl SemanticWebDatabase {
             self.reasoner.remove(dropped);
         }
         self.graph = core;
-        self.normalized = None;
+        self.evaluation = None;
         before - self.graph.len()
     }
 
     // ----- query answering -----
 
-    fn normalized(&mut self) -> &NormalizedDatabase {
-        if self.normalized.is_none() {
+    /// Ensures the id-space evaluation index is built, then returns it with
+    /// the dictionary it is encoded against.
+    ///
+    /// The evaluation graph is `nf(D) = core(cl(D))` under RDFS and
+    /// `core(D)` under simple entailment. Under RDFS the `cl(D)` part is
+    /// taken from the maintained materialization — only the `core(·)` step
+    /// runs here, never the closure fixpoint. Every term of the evaluation
+    /// graph is a term of `cl(D)` (or `D`), so all ids resolve through the
+    /// store dictionary.
+    fn evaluation(&mut self) -> (&Dictionary, &IdIndex) {
+        if self.evaluation.is_none() {
+            let evaluation_graph = match self.regime {
+                EntailmentRegime::Rdfs => swdb_normal::core(&self.reasoner.closure_graph()),
+                // Under simple entailment, matching against the core of D
+                // gives equivalence-invariant answers without applying the
+                // vocabulary rules.
+                EntailmentRegime::Simple => swdb_normal::core(&self.graph),
+            };
+            let store = self.reasoner.store();
+            let mut index = IdIndex::new();
+            for t in evaluation_graph.iter() {
+                let interned = |term: &Term| {
+                    store
+                        .id_of(term)
+                        .expect("evaluation graph terms are interned in the store")
+                };
+                index.insert((
+                    interned(t.subject()),
+                    interned(&Term::Iri(t.predicate().clone())),
+                    interned(t.object()),
+                ));
+            }
+            self.evaluation = Some(index);
+        }
+        (
+            self.reasoner.store().dictionary(),
+            self.evaluation.as_ref().expect("just initialised"),
+        )
+    }
+
+    /// Answers a query under the given semantics. Premise-free queries run
+    /// in id space against the cached evaluation index (see the module
+    /// docs); queries with premises normalize `D + P` on the fly through
+    /// the string-space evaluator (the premise changes the graph being
+    /// queried).
+    pub fn answer(&mut self, query: &Query, semantics: Semantics) -> Graph {
+        if query.is_premise_free() {
+            let (dictionary, index) = self.evaluation();
+            swdb_query::id_answer(query, dictionary, index, semantics)
+        } else {
+            swdb_query::answer(query, &self.graph, semantics)
+        }
+    }
+
+    /// The recomputing specification path for query answering: evaluates
+    /// through the string-space solver over a freshly normalized evaluation
+    /// graph, exactly as the facade did before the id-space engine existed.
+    /// The equivalence property tests pin [`SemanticWebDatabase::answer`]
+    /// against this, the same way `closure()` is pinned against
+    /// [`SemanticWebDatabase::closure_recomputed`].
+    pub fn answer_recomputed(&self, query: &Query, semantics: Semantics) -> Graph {
+        if query.is_premise_free() {
             let normalized = match self.regime {
                 EntailmentRegime::Rdfs => NormalizedDatabase::without_premise(&self.graph),
                 EntailmentRegime::Simple => {
-                    // Under simple entailment, matching against the core of D
-                    // gives equivalence-invariant answers without applying
-                    // the vocabulary rules.
                     NormalizedDatabase::assume_normalized(swdb_normal::core(&self.graph))
                 }
             };
-            self.normalized = Some(normalized);
-        }
-        self.normalized.as_ref().expect("just initialised")
-    }
-
-    /// Answers a query under the given semantics. Premise-free queries reuse
-    /// the cached normal form; queries with premises normalize `D + P` on the
-    /// fly (the premise changes the graph being queried).
-    pub fn answer(&mut self, query: &Query, semantics: Semantics) -> Graph {
-        if query.is_premise_free() {
-            let normalized = self.normalized().clone();
             swdb_query::answer_against(query, &normalized, semantics)
         } else {
             swdb_query::answer(query, &self.graph, semantics)
@@ -265,16 +340,23 @@ impl SemanticWebDatabase {
     /// The pre-answer (list of single answers) of a query.
     pub fn pre_answers(&mut self, query: &Query) -> Vec<Graph> {
         if query.is_premise_free() {
-            let normalized = self.normalized().clone();
-            swdb_query::pre_answers_against(query, &normalized)
+            let (dictionary, index) = self.evaluation();
+            swdb_query::id_pre_answers(query, dictionary, index)
         } else {
             swdb_query::pre_answers(query, &self.graph)
         }
     }
 
     /// Returns `true` if the query has no answer over this database.
+    /// Premise-free queries early-exit on the first witnessing matching
+    /// instead of materializing the pre-answer.
     pub fn answer_is_empty(&mut self, query: &Query) -> bool {
-        self.pre_answers(query).is_empty()
+        if query.is_premise_free() {
+            let (dictionary, index) = self.evaluation();
+            swdb_query::id_answer_is_empty(query, dictionary, index)
+        } else {
+            swdb_query::pre_answers(query, &self.graph).is_empty()
+        }
     }
 
     /// Answers a query and removes redundancy from the result (returns the
@@ -407,6 +489,58 @@ mod tests {
         let nf = db.normal_form();
         assert!(db.equivalent_to(&nf));
         assert!(swdb_normal::is_lean(&nf));
+    }
+
+    #[test]
+    fn id_read_path_matches_the_recomputing_specification() {
+        // The redundant blank shadow makes nf(D) a proper subgraph of
+        // cl(D), so this exercises the core step of the evaluation index,
+        // not just the closure.
+        let mut db = SemanticWebDatabase::from_graph(graph([
+            ("ex:paints", rdfs::SP, "ex:creates"),
+            ("ex:creates", rdfs::DOM, "ex:Artist"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+            ("ex:a", "ex:p", "ex:b"),
+            ("_:N", "ex:p", "ex:b"),
+        ]));
+        let queries = [
+            query([("?X", "ex:creates", "?Y")], [("?X", "ex:creates", "?Y")]),
+            query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]),
+            query([("?X", "?P", "?Y")], [("?X", "?P", "?Y")]),
+            query(
+                [("?X", rdfs::TYPE, "ex:Artist")],
+                [("?X", rdfs::TYPE, "ex:Artist")],
+            ),
+        ];
+        for regime in [EntailmentRegime::Rdfs, EntailmentRegime::Simple] {
+            db.set_regime(regime);
+            for q in &queries {
+                assert_eq!(
+                    db.answer(q, Semantics::Union),
+                    db.answer_recomputed(q, Semantics::Union),
+                    "union answers must be identical under {regime:?} for {q}"
+                );
+                assert!(
+                    swdb_model::isomorphic(
+                        &db.answer(q, Semantics::Merge),
+                        &db.answer_recomputed(q, Semantics::Merge),
+                    ),
+                    "merge answers must be isomorphic under {regime:?} for {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_body_constants_short_circuit_to_empty_answers() {
+        let mut db = sample();
+        let q = query(
+            [("?X", "ex:neverSeen", "?Y")],
+            [("?X", "ex:neverSeen", "?Y")],
+        );
+        assert!(db.answer_union(&q).is_empty());
+        assert!(db.pre_answers(&q).is_empty());
+        assert!(db.answer_is_empty(&q));
     }
 
     #[test]

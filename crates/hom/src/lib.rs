@@ -36,7 +36,7 @@ pub use pattern::{
     parse_pattern_term, pattern, pattern_graph, Binding, PatternGraph, PatternTerm, TriplePattern,
     Variable,
 };
-pub use solve::{match_pattern, pattern_matches, Solver, DEFAULT_SOLUTION_LIMIT};
+pub use solve::{match_pattern, most_constrained, pattern_matches, Solver, DEFAULT_SOLUTION_LIMIT};
 
 #[cfg(test)]
 mod proptests {

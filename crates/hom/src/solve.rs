@@ -24,6 +24,25 @@ use crate::pattern::{Binding, PatternGraph, PatternTerm, TriplePattern};
 /// exponentially many homomorphisms.
 pub const DEFAULT_SOLUTION_LIMIT: usize = 1_000_000;
 
+/// Returns the index of the item with the smallest selectivity value — the
+/// most-constrained-first rule shared by this string-space solver and the
+/// id-space join in `swdb-query`. Evaluation short-circuits on a selectivity
+/// of `0` (nothing beats an unsatisfiable or already-verified pattern).
+/// Returns `None` on an empty slice.
+pub fn most_constrained<T>(items: &[T], mut selectivity: impl FnMut(&T) -> usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, item) in items.iter().enumerate() {
+        let sel = selectivity(item);
+        if sel == 0 {
+            return Some(i);
+        }
+        if best.is_none_or(|(_, best_sel)| sel < best_sel) {
+            best = Some((i, sel));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
 /// A prepared matcher for one pattern graph against one target graph.
 pub struct Solver<'a> {
     pattern: &'a PatternGraph,
@@ -63,11 +82,7 @@ impl<'a> Solver<'a> {
         // Most-constrained pattern first (fewest candidates under current
         // binding). Ground patterns get priority implicitly because their
         // candidate count is 0 or 1.
-        let (best_pos, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i, self.index.selectivity(p, binding)))
-            .min_by_key(|&(_, sel)| sel)
+        let best_pos = most_constrained(remaining, |p| self.index.selectivity(p, binding))
             .expect("remaining not empty");
         let chosen = remaining.swap_remove(best_pos);
 
@@ -286,6 +301,19 @@ mod tests {
         // collapse variables).
         let looped = graph([("ex:n", "ex:e", "ex:n")]);
         assert!(pattern_matches(&pg, &looped));
+    }
+
+    #[test]
+    fn most_constrained_picks_the_smallest_and_short_circuits_on_zero() {
+        assert_eq!(most_constrained::<usize>(&[], |&n| n), None);
+        assert_eq!(most_constrained(&[5usize, 3, 4], |&n| n), Some(1));
+        let mut evaluated = 0;
+        let best = most_constrained(&[2usize, 0, 9], |&n| {
+            evaluated += 1;
+            n
+        });
+        assert_eq!(best, Some(1));
+        assert_eq!(evaluated, 2, "selection stops at the first zero");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::triple::Triple;
 /// The triple set is kept in a [`BTreeSet`] so that iteration order is
 /// deterministic, which makes test output, serialization and benchmark
 /// workloads reproducible.
-#[derive(Clone, Default, PartialEq, Eq)]
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     triples: BTreeSet<Triple>,

@@ -108,10 +108,11 @@ pub fn pre_answers(query: &Query, database: &Graph) -> Vec<Graph> {
 
 /// Like [`pre_answers`], but against a pre-normalized database.
 pub fn pre_answers_against(query: &Query, normalized: &NormalizedDatabase) -> Vec<Graph> {
+    let mut seen = std::collections::BTreeSet::new();
     let mut singles = Vec::new();
     for binding in matchings_against(query, normalized) {
         if let Some(answer) = single_answer(query, &binding) {
-            if !singles.contains(&answer) {
+            if seen.insert(answer.clone()) {
                 singles.push(answer);
             }
         }
@@ -136,6 +137,11 @@ pub fn single_answer(query: &Query, binding: &Binding) -> Option<Graph> {
             _ => None,
         })
         .collect();
+    if head_blanks.is_empty() {
+        // Nothing to Skolemize: rewriting would clone the head into itself,
+        // and on the hot read path this runs once per matching.
+        return query.head().instantiate(binding);
+    }
     let skolem_bindings: Vec<(String, Term)> = head_blanks
         .into_iter()
         .map(|label| {
@@ -229,9 +235,18 @@ pub fn answer_against(
 /// Combines single answers under the requested semantics.
 pub fn combine(singles: Vec<Graph>, semantics: Semantics) -> Graph {
     match semantics {
-        Semantics::Union => singles
-            .into_iter()
-            .fold(Graph::new(), |acc, g| acc.union(&g)),
+        // Union identifies shared blank labels, so the triples can be
+        // accumulated in place (folding `Graph::union` would clone the
+        // growing accumulator once per single answer).
+        Semantics::Union => {
+            let mut acc = Graph::new();
+            for g in singles {
+                for t in g.iter() {
+                    acc.insert(t.clone());
+                }
+            }
+            acc
+        }
         Semantics::Merge => singles
             .into_iter()
             .fold(Graph::new(), |acc, g| acc.merge(&g)),

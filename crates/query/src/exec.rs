@@ -1,0 +1,740 @@
+//! Id-space execution of premise-free query bodies.
+//!
+//! The string-space evaluator in [`crate::answer`] joins on cloned
+//! [`swdb_model::Term`]s through a [`swdb_hom::GraphIndex`] that is rebuilt
+//! for every call. This module is the production read path: a query body is
+//! *compiled* against a [`Dictionary`] — constants become [`TermId`]s,
+//! variables become dense slot numbers — and then executed by a
+//! selectivity-ordered backtracking join that probes an [`IdIndex`]
+//! (SPO/POS/OSP range scans) directly. Inside the join loop there is no term
+//! cloning and no string hashing: a binding is a `[Option<TermId>]` slot
+//! array, and terms are only decoded when a complete matching survives the
+//! constraint check and an answer is materialized.
+//!
+//! Compilation also yields a fast negative path: a body constant that was
+//! never interned cannot occur in any stored triple, so the query has zero
+//! matchings without touching the index ([`compile_body`] returns `None`).
+//!
+//! The string-space evaluator remains the executable specification; the
+//! property tests pin `id_matchings`/`id_answer` against
+//! [`crate::answer::matchings_against`]/[`crate::answer::answer_against`]
+//! over the same evaluation graph.
+
+use std::ops::ControlFlow;
+
+use swdb_hom::{
+    most_constrained, Binding, PatternGraph, PatternTerm, Variable, DEFAULT_SOLUTION_LIMIT,
+};
+use swdb_model::{Graph, Term};
+use swdb_store::{Dictionary, IdIndex, IdPattern, TermId};
+
+use crate::answer::{combine, satisfies_constraints, single_answer, Semantics};
+use crate::query::Query;
+
+/// One position of a compiled triple pattern: an interned constant or a
+/// dense variable slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdPatternTerm {
+    /// A constant, already resolved to its dictionary id.
+    Const(TermId),
+    /// A variable, identified by its slot in the binding array.
+    Var(usize),
+}
+
+/// A triple pattern over [`IdPatternTerm`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdTriplePattern {
+    /// Subject position.
+    pub subject: IdPatternTerm,
+    /// Predicate position.
+    pub predicate: IdPatternTerm,
+    /// Object position.
+    pub object: IdPatternTerm,
+}
+
+impl IdTriplePattern {
+    /// Resolves the pattern under a partial binding to an [`IdPattern`]
+    /// scan: constants and bound slots become bound positions, unbound
+    /// slots become wildcards.
+    fn to_scan(self, binding: &[Option<TermId>]) -> IdPattern {
+        let resolve = |t: IdPatternTerm| match t {
+            IdPatternTerm::Const(id) => Some(id),
+            IdPatternTerm::Var(slot) => binding[slot],
+        };
+        (
+            resolve(self.subject),
+            resolve(self.predicate),
+            resolve(self.object),
+        )
+    }
+}
+
+/// A premise-free query body compiled against a dictionary.
+#[derive(Clone, Debug)]
+pub struct CompiledBody {
+    patterns: Vec<IdTriplePattern>,
+    /// Slot number → source variable, for decoding complete bindings.
+    vars: Vec<Variable>,
+}
+
+impl CompiledBody {
+    /// The compiled patterns.
+    pub fn patterns(&self) -> &[IdTriplePattern] {
+        &self.patterns
+    }
+
+    /// The variables of the body, indexed by slot.
+    pub fn variables(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// Decodes a complete slot array back into a string-space [`Binding`].
+    ///
+    /// Panics on unbound slots or dangling ids; complete solutions produced
+    /// by [`IdSolver`] over ids of `dictionary` never trigger either.
+    pub fn decode(&self, slots: &[Option<TermId>], dictionary: &Dictionary) -> Binding {
+        let mut binding = Binding::new();
+        for (slot, var) in self.vars.iter().enumerate() {
+            let id = slots[slot].expect("complete solutions bind every slot");
+            let term = dictionary.term_of(id).expect("dangling term id").clone();
+            binding.bind(var.clone(), term);
+        }
+        binding
+    }
+}
+
+/// Compiles a body pattern graph against a dictionary. Returns `None` when a
+/// body constant was never interned — such a constant occurs in no stored
+/// triple, so the body has zero matchings and the caller can skip execution
+/// entirely (the "unknown constant" fast path).
+pub fn compile_body(body: &PatternGraph, dictionary: &Dictionary) -> Option<CompiledBody> {
+    let mut vars: Vec<Variable> = Vec::new();
+    let mut patterns = Vec::with_capacity(body.len());
+    for pattern in body.patterns() {
+        let mut compile_term = |term: &PatternTerm| -> Option<IdPatternTerm> {
+            match term {
+                PatternTerm::Const(t) => dictionary.id_of(t).map(IdPatternTerm::Const),
+                PatternTerm::Var(v) => {
+                    let slot = match vars.iter().position(|known| known == v) {
+                        Some(slot) => slot,
+                        None => {
+                            vars.push(v.clone());
+                            vars.len() - 1
+                        }
+                    };
+                    Some(IdPatternTerm::Var(slot))
+                }
+            }
+        };
+        patterns.push(IdTriplePattern {
+            subject: compile_term(&pattern.subject)?,
+            predicate: compile_term(&pattern.predicate)?,
+            object: compile_term(&pattern.object)?,
+        });
+    }
+    Some(CompiledBody { patterns, vars })
+}
+
+/// A prepared id-space matcher: one compiled body against one [`IdIndex`].
+///
+/// The search mirrors [`swdb_hom::Solver`] — dynamic most-constrained-first
+/// pattern selection, backtracking over candidates — but selectivity comes
+/// from [`IdIndex::candidate_count`] (a range count, no allocation) and
+/// candidates are visited in place via [`IdIndex::scan_while`] (no
+/// materialized candidate `Vec`, no term clones).
+pub struct IdSolver<'a> {
+    body: &'a CompiledBody,
+    index: &'a IdIndex,
+}
+
+impl<'a> IdSolver<'a> {
+    /// Creates a solver for the given compiled body and target index.
+    pub fn new(body: &'a CompiledBody, index: &'a IdIndex) -> Self {
+        IdSolver { body, index }
+    }
+
+    /// Enumerates complete solutions, invoking `visit` with the slot array
+    /// (every slot `Some`). The visitor stops the enumeration by returning
+    /// [`ControlFlow::Break`].
+    pub fn for_each_solution<B>(
+        &self,
+        visit: &mut impl FnMut(&[Option<TermId>]) -> ControlFlow<B>,
+    ) -> Option<B> {
+        let mut remaining: Vec<&IdTriplePattern> = self.body.patterns.iter().collect();
+        let mut binding: Vec<Option<TermId>> = vec![None; self.body.vars.len()];
+        match self.search(&mut remaining, &mut binding, visit) {
+            ControlFlow::Break(b) => Some(b),
+            ControlFlow::Continue(()) => None,
+        }
+    }
+
+    fn search<B>(
+        &self,
+        remaining: &mut Vec<&'a IdTriplePattern>,
+        binding: &mut Vec<Option<TermId>>,
+        visit: &mut impl FnMut(&[Option<TermId>]) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        if remaining.is_empty() {
+            return visit(binding);
+        }
+        let best_pos = most_constrained(remaining, |p| {
+            self.index.candidate_count(p.to_scan(binding))
+        })
+        .expect("remaining not empty");
+        let chosen = remaining.swap_remove(best_pos);
+
+        let mut broke: Option<B> = None;
+        self.index.scan_while(chosen.to_scan(binding), |(s, p, o)| {
+            // Bind the unbound slots of the chosen pattern to the candidate's
+            // positions; bound positions already match by construction of the
+            // scan, and a repeated variable's second occurrence is checked
+            // against the binding its first occurrence just made.
+            let mut newly_bound = [usize::MAX; 3];
+            let mut bound_count = 0;
+            let mut consistent = true;
+            for (position, actual) in [
+                (chosen.subject, s),
+                (chosen.predicate, p),
+                (chosen.object, o),
+            ] {
+                if let IdPatternTerm::Var(slot) = position {
+                    match binding[slot] {
+                        Some(existing) if existing == actual => {}
+                        Some(_) => {
+                            consistent = false;
+                            break;
+                        }
+                        None => {
+                            binding[slot] = Some(actual);
+                            newly_bound[bound_count] = slot;
+                            bound_count += 1;
+                        }
+                    }
+                }
+            }
+            let keep_scanning = if consistent {
+                match self.search(remaining, binding, visit) {
+                    ControlFlow::Break(b) => {
+                        broke = Some(b);
+                        false
+                    }
+                    ControlFlow::Continue(()) => true,
+                }
+            } else {
+                true
+            };
+            for &slot in &newly_bound[..bound_count] {
+                binding[slot] = None;
+            }
+            keep_scanning
+        });
+        // Restore the pattern list order-insensitively (selection is
+        // dynamic, so only the set matters).
+        remaining.push(chosen);
+        let last = remaining.len() - 1;
+        remaining.swap(best_pos.min(last), last);
+        match broke {
+            Some(b) => ControlFlow::Break(b),
+            None => ControlFlow::Continue(()),
+        }
+    }
+
+    /// Returns `true` if at least one solution exists.
+    pub fn exists(&self) -> bool {
+        self.for_each_solution(&mut |_slots| ControlFlow::Break(()))
+            .is_some()
+    }
+
+    /// Counts solutions (up to [`DEFAULT_SOLUTION_LIMIT`]).
+    pub fn count_solutions(&self) -> usize {
+        let mut n = 0usize;
+        self.for_each_solution(&mut |_slots| {
+            n += 1;
+            if n >= DEFAULT_SOLUTION_LIMIT {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::<()>::Continue(())
+            }
+        });
+        n
+    }
+
+    /// Collects all solutions as dense `TermId` rows, one entry per body
+    /// variable in slot order (up to [`DEFAULT_SOLUTION_LIMIT`]).
+    pub fn all_solutions(&self) -> Vec<Vec<TermId>> {
+        let mut out = Vec::new();
+        self.for_each_solution(&mut |slots| {
+            out.push(
+                slots
+                    .iter()
+                    .map(|slot| slot.expect("complete solution"))
+                    .collect(),
+            );
+            if out.len() >= DEFAULT_SOLUTION_LIMIT {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::<()>::Continue(())
+            }
+        });
+        out
+    }
+}
+
+/// Computes the constraint-satisfying matchings of a premise-free query
+/// against an id-indexed evaluation graph, decoding each surviving solution
+/// through the dictionary. Equals [`crate::answer::matchings_against`] over
+/// the same evaluation graph (the property tests pin this).
+pub fn id_matchings(query: &Query, dictionary: &Dictionary, index: &IdIndex) -> Vec<Binding> {
+    let mut out = Vec::new();
+    for_each_matching(query, dictionary, index, |binding| out.push(binding));
+    out
+}
+
+/// Computes the pre-answer of a premise-free query over an id-indexed
+/// evaluation graph: Skolemization and head instantiation run on decoded
+/// bindings, everything before that stays in id space.
+///
+/// When the head contains no blank constants, a single answer is a function
+/// of the head-variable bindings alone (there is nothing to Skolemize, and
+/// constraints only mention head variables), so solutions are first
+/// projected onto the head-variable slots and deduplicated as `TermId`
+/// rows — only distinct projections are ever decoded.
+pub fn id_pre_answers(query: &Query, dictionary: &Dictionary, index: &IdIndex) -> Vec<Graph> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut singles: Vec<Graph> = Vec::new();
+    if head_has_blank_consts(query) {
+        // Skolem values depend on every body variable: full decode per
+        // matching.
+        for_each_matching(query, dictionary, index, |binding| {
+            if let Some(answer) = single_answer(query, &binding) {
+                if seen.insert(answer.clone()) {
+                    singles.push(answer);
+                }
+            }
+        });
+        return singles;
+    }
+    let Some(compiled) = compile_body(query.body(), dictionary) else {
+        return singles;
+    };
+    let head_slots = head_slot_projection(query, &compiled);
+    let mut seen_rows = std::collections::BTreeSet::new();
+    let mut enumerated = 0usize;
+    IdSolver::new(&compiled, index).for_each_solution(&mut |slots| {
+        let row: Vec<TermId> = head_slots
+            .iter()
+            .map(|(slot, _)| slots[*slot].expect("complete solution"))
+            .collect();
+        if seen_rows.insert(row) {
+            let mut binding = Binding::new();
+            for (slot, var) in &head_slots {
+                let id = slots[*slot].expect("complete solution");
+                let term = dictionary.term_of(id).expect("dangling term id").clone();
+                binding.bind(var.clone(), term);
+            }
+            if satisfies_constraints(query, &binding) {
+                if let Some(answer) = single_answer(query, &binding) {
+                    if seen.insert(answer.clone()) {
+                        singles.push(answer);
+                    }
+                }
+            }
+        }
+        enumerated += 1;
+        if enumerated >= DEFAULT_SOLUTION_LIMIT {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::<()>::Continue(())
+        }
+    });
+    singles
+}
+
+/// Computes the answer of a premise-free query over an id-indexed evaluation
+/// graph under the requested semantics.
+///
+/// Union semantics with a blank-free head takes a fully direct path: the
+/// answer is exactly the set of head instantiations over the qualifying
+/// matchings, so distinct head projections stream straight into one answer
+/// graph — no per-matching `Binding`, no per-single `Graph`, no combine
+/// pass. Merge semantics and Skolemized heads go through
+/// [`id_pre_answers`] + [`combine`] like the string-space evaluator.
+pub fn id_answer(
+    query: &Query,
+    dictionary: &Dictionary,
+    index: &IdIndex,
+    semantics: Semantics,
+) -> Graph {
+    if semantics == Semantics::Union && !head_has_blank_consts(query) {
+        return id_answer_union_direct(query, dictionary, index);
+    }
+    combine(id_pre_answers(query, dictionary, index), semantics)
+}
+
+/// Returns `true` if the head mentions a blank-node constant — the case
+/// that forces Skolemization over every body variable and disables the
+/// head-projection fast paths.
+fn head_has_blank_consts(query: &Query) -> bool {
+    query
+        .head()
+        .patterns()
+        .iter()
+        .flat_map(|p| [&p.subject, &p.predicate, &p.object])
+        .any(|pos| matches!(pos, PatternTerm::Const(t) if t.is_blank()))
+}
+
+/// Maps each head variable to its slot in the compiled body. Head variables
+/// always occur in the body (Note 4.2), so every lookup succeeds.
+fn head_slot_projection(query: &Query, compiled: &CompiledBody) -> Vec<(usize, Variable)> {
+    query
+        .head()
+        .variables()
+        .into_iter()
+        .map(|var| {
+            let slot = compiled
+                .variables()
+                .iter()
+                .position(|known| known == &var)
+                .expect("head variables occur in the body");
+            (slot, var)
+        })
+        .collect()
+}
+
+/// The direct union path: equals
+/// `combine(id_pre_answers(..), Semantics::Union)` for blank-free heads
+/// (union identifies shared labels, so the union of the single answers is
+/// the set of all well-formed head instantiations; a single answer is
+/// dropped as a whole when any head pattern fails to instantiate, exactly
+/// as [`single_answer`] does).
+fn id_answer_union_direct(query: &Query, dictionary: &Dictionary, index: &IdIndex) -> Graph {
+    let mut answer = Graph::new();
+    let Some(compiled) = compile_body(query.body(), dictionary) else {
+        return answer;
+    };
+    let head_slots = head_slot_projection(query, &compiled);
+    // Constraints only mention head variables, so they become non-blank
+    // checks on projected slots.
+    let constraint_slots: Vec<usize> = query
+        .constraints()
+        .iter()
+        .map(|var| {
+            head_slots
+                .iter()
+                .find(|(_, known)| known == var)
+                .expect("constraints mention head variables")
+                .0
+        })
+        .collect();
+    // Per head pattern, each position is a constant term or a slot.
+    enum HeadPos {
+        Const(Term),
+        Slot(usize),
+    }
+    let head_plan: Vec<[HeadPos; 3]> = query
+        .head()
+        .patterns()
+        .iter()
+        .map(|p| {
+            let position = |pos: &PatternTerm| match pos {
+                PatternTerm::Const(t) => HeadPos::Const(t.clone()),
+                PatternTerm::Var(v) => HeadPos::Slot(
+                    head_slots
+                        .iter()
+                        .find(|(_, known)| known == v)
+                        .expect("head variables are collected above")
+                        .0,
+                ),
+            };
+            [
+                position(&p.subject),
+                position(&p.predicate),
+                position(&p.object),
+            ]
+        })
+        .collect();
+
+    let mut seen_rows = std::collections::BTreeSet::new();
+    let mut enumerated = 0usize;
+    let mut row_triples: Vec<swdb_model::Triple> = Vec::with_capacity(head_plan.len());
+    IdSolver::new(&compiled, index).for_each_solution(&mut |slots| {
+        let row: Vec<TermId> = head_slots
+            .iter()
+            .map(|(slot, _)| slots[*slot].expect("complete solution"))
+            .collect();
+        if seen_rows.insert(row) {
+            let decoded = |slot: usize| -> &Term {
+                let id = slots[slot].expect("complete solution");
+                dictionary.term_of(id).expect("dangling term id")
+            };
+            let constrained_ok = constraint_slots
+                .iter()
+                .all(|&slot| !matches!(decoded(slot), Term::Blank(_)));
+            if constrained_ok {
+                // All-or-nothing: a blank in a predicate position drops the
+                // whole single answer, not just that triple.
+                row_triples.clear();
+                let mut well_formed = true;
+                for plan in &head_plan {
+                    let resolve = |pos: &HeadPos| -> Term {
+                        match pos {
+                            HeadPos::Const(t) => t.clone(),
+                            HeadPos::Slot(slot) => decoded(*slot).clone(),
+                        }
+                    };
+                    let predicate = match resolve(&plan[1]) {
+                        Term::Iri(iri) => iri,
+                        Term::Blank(_) => {
+                            well_formed = false;
+                            break;
+                        }
+                    };
+                    row_triples.push(swdb_model::Triple::new(
+                        resolve(&plan[0]),
+                        predicate,
+                        resolve(&plan[2]),
+                    ));
+                }
+                if well_formed {
+                    for t in row_triples.drain(..) {
+                        answer.insert(t);
+                    }
+                }
+            }
+        }
+        enumerated += 1;
+        if enumerated >= DEFAULT_SOLUTION_LIMIT {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::<()>::Continue(())
+        }
+    });
+    answer
+}
+
+/// Returns `true` if a premise-free query has an empty pre-answer over the
+/// id-indexed evaluation graph — i.e. no matching satisfies the constraints
+/// *and* instantiates the head to a well-formed graph. Early-exits on the
+/// first witness instead of materializing every matching, and — like every
+/// other enumeration path — gives up after [`DEFAULT_SOLUTION_LIMIT`]
+/// rejected matchings rather than exhausting a combinatorial cross product.
+pub fn id_answer_is_empty(query: &Query, dictionary: &Dictionary, index: &IdIndex) -> bool {
+    let Some(compiled) = compile_body(query.body(), dictionary) else {
+        return true;
+    };
+    let solver = IdSolver::new(&compiled, index);
+    let mut found = false;
+    let mut enumerated = 0usize;
+    solver.for_each_solution(&mut |slots| {
+        let binding = compiled.decode(slots, dictionary);
+        if satisfies_constraints(query, &binding) && single_answer(query, &binding).is_some() {
+            found = true;
+            return ControlFlow::Break(());
+        }
+        enumerated += 1;
+        if enumerated >= DEFAULT_SOLUTION_LIMIT {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::<()>::Continue(())
+        }
+    });
+    !found
+}
+
+/// Shared enumeration core: compile (with the unknown-constant fast path),
+/// solve in id space, decode, filter by constraints.
+fn for_each_matching(
+    query: &Query,
+    dictionary: &Dictionary,
+    index: &IdIndex,
+    mut accept: impl FnMut(Binding),
+) {
+    let Some(compiled) = compile_body(query.body(), dictionary) else {
+        // A body constant that was never interned matches nothing.
+        return;
+    };
+    let solver = IdSolver::new(&compiled, index);
+    let mut seen = 0usize;
+    solver.for_each_solution(&mut |slots| {
+        let binding = compiled.decode(slots, dictionary);
+        if satisfies_constraints(query, &binding) {
+            accept(binding);
+        }
+        seen += 1;
+        if seen >= DEFAULT_SOLUTION_LIMIT {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::<()>::Continue(())
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::{answer_against, matchings_against, NormalizedDatabase};
+    use crate::query::{query, Query};
+    use swdb_hom::pattern_graph;
+    use swdb_model::{graph, Term};
+    use swdb_store::TripleStore;
+
+    fn store() -> TripleStore {
+        TripleStore::from_graph(&graph([
+            ("ex:dept", "ex:offers", "ex:DB"),
+            ("ex:dept", "ex:offers", "ex:AI"),
+            ("ex:alice", "ex:takes", "ex:DB"),
+            ("ex:bob", "ex:takes", "ex:AI"),
+            ("ex:carol", "ex:takes", "ex:DB"),
+            ("_:N", "ex:takes", "ex:DB"),
+        ]))
+    }
+
+    fn string_matchings(q: &Query, store: &TripleStore) -> Vec<Binding> {
+        let normalized = NormalizedDatabase::assume_normalized(store.to_graph());
+        matchings_against(q, &normalized)
+    }
+
+    fn assert_same_matchings(q: &Query, store: &TripleStore) {
+        let mut id = id_matchings(q, store.dictionary(), store.id_index());
+        let mut spec = string_matchings(q, store);
+        id.sort();
+        spec.sort();
+        assert_eq!(id, spec, "id-space and string-space matchings differ");
+    }
+
+    #[test]
+    fn joins_agree_with_the_string_space_solver() {
+        let s = store();
+        for q in [
+            query([("?X", "ex:takes", "?C")], [("?X", "ex:takes", "?C")]),
+            query(
+                [("?S", "ex:studies", "?C")],
+                [("ex:dept", "ex:offers", "?C"), ("?S", "ex:takes", "?C")],
+            ),
+            query([("?X", "?P", "?Y")], [("?X", "?P", "?Y")]),
+            query([("ex:alice", "?P", "?O")], [("ex:alice", "?P", "?O")]),
+            query([("?X", "ex:takes", "?X")], [("?X", "ex:takes", "?X")]),
+        ] {
+            assert_same_matchings(&q, &s);
+        }
+    }
+
+    #[test]
+    fn unknown_constants_compile_to_the_empty_answer() {
+        let s = store();
+        let q = query(
+            [("?X", "ex:sculpts", "?Y")],
+            [("?X", "ex:sculpts", "?Y")], // predicate never interned
+        );
+        assert!(compile_body(q.body(), s.dictionary()).is_none());
+        assert!(id_matchings(&q, s.dictionary(), s.id_index()).is_empty());
+        assert!(id_answer_is_empty(&q, s.dictionary(), s.id_index()));
+    }
+
+    #[test]
+    fn constraints_filter_blank_bindings_in_id_space() {
+        let s = store();
+        let unconstrained = query([("?X", "ex:takes", "ex:DB")], [("?X", "ex:takes", "ex:DB")]);
+        assert_eq!(
+            id_matchings(&unconstrained, s.dictionary(), s.id_index()).len(),
+            3
+        );
+        let constrained = Query::with_constraints(
+            pattern_graph([("?X", "ex:takes", "ex:DB")]),
+            pattern_graph([("?X", "ex:takes", "ex:DB")]),
+            [swdb_hom::Variable::new("X")],
+        )
+        .unwrap();
+        let matchings = id_matchings(&constrained, s.dictionary(), s.id_index());
+        assert_eq!(matchings.len(), 2, "the blank taker is filtered out");
+        assert!(matchings
+            .iter()
+            .all(|b| !b.get(&swdb_hom::Variable::new("X")).unwrap().is_blank()));
+    }
+
+    #[test]
+    fn answers_agree_with_the_string_space_evaluator_under_both_semantics() {
+        let s = store();
+        let normalized = NormalizedDatabase::assume_normalized(s.to_graph());
+        // A head blank exercises Skolemization through the decoded bindings.
+        let q = Query::new(
+            pattern_graph([("?C", "ex:taughtBy", "_:T")]),
+            pattern_graph([("ex:dept", "ex:offers", "?C")]),
+        )
+        .unwrap();
+        for semantics in [Semantics::Union, Semantics::Merge] {
+            let id = id_answer(&q, s.dictionary(), s.id_index(), semantics);
+            let spec = answer_against(&q, &normalized, semantics);
+            assert!(
+                swdb_model::isomorphic(&id, &spec),
+                "{semantics:?}: {id} vs {spec}"
+            );
+        }
+        // Union answers are bit-identical, not merely isomorphic: Skolem
+        // labels depend only on the bindings.
+        assert_eq!(
+            id_answer(&q, s.dictionary(), s.id_index(), Semantics::Union),
+            answer_against(&q, &normalized, Semantics::Union)
+        );
+    }
+
+    #[test]
+    fn emptiness_ignores_matchings_with_ill_formed_heads() {
+        // The only matching binds ?O to a blank, which cannot instantiate
+        // the head's predicate position: the pre-answer is empty even
+        // though a matching exists.
+        let s = TripleStore::from_graph(&graph([("ex:s", "ex:p", "_:B")]));
+        let q = query([("ex:s", "?O", "ex:marker")], [("ex:s", "ex:p", "?O")]);
+        assert!(!id_matchings(&q, s.dictionary(), s.id_index()).is_empty());
+        assert!(id_pre_answers(&q, s.dictionary(), s.id_index()).is_empty());
+        assert!(id_answer_is_empty(&q, s.dictionary(), s.id_index()));
+    }
+
+    #[test]
+    fn empty_body_has_exactly_the_empty_matching() {
+        let s = store();
+        let q = Query::new(
+            pattern_graph([("ex:dept", "ex:offers", "ex:DB")]),
+            pattern_graph([]),
+        )
+        .unwrap();
+        let matchings = id_matchings(&q, s.dictionary(), s.id_index());
+        assert_eq!(matchings.len(), 1);
+        assert!(matchings[0].is_empty());
+    }
+
+    #[test]
+    fn solver_exists_and_count_take_the_early_exit() {
+        let s = store();
+        let q = query([("?X", "ex:takes", "?C")], [("?X", "ex:takes", "?C")]);
+        let compiled = compile_body(q.body(), s.dictionary()).unwrap();
+        let solver = IdSolver::new(&compiled, s.id_index());
+        assert!(solver.exists());
+        assert_eq!(solver.count_solutions(), 4);
+        assert_eq!(solver.all_solutions().len(), 4);
+        let none = compile_body(
+            &pattern_graph([("ex:alice", "ex:takes", "ex:AI")]),
+            s.dictionary(),
+        )
+        .unwrap();
+        assert!(!IdSolver::new(&none, s.id_index()).exists());
+    }
+
+    #[test]
+    fn bound_variable_in_predicate_position_narrows_the_scan() {
+        let s = store();
+        // ?P is bound by the first pattern (subject scan), then drives a POS
+        // probe for the second.
+        let q = query(
+            [("?O2", "ex:alsoVia", "?P")],
+            [("ex:alice", "?P", "?O"), ("ex:bob", "?P", "?O2")],
+        );
+        assert_same_matchings(&q, &s);
+        let m = id_matchings(&q, s.dictionary(), s.id_index());
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m[0].get(&swdb_hom::Variable::new("P")).unwrap(),
+            &Term::iri("ex:takes")
+        );
+    }
+}

@@ -10,12 +10,17 @@
 //! * [`premise`] — premise elimination into unions of premise-free queries
 //!   (Proposition 5.9, Example 5.10);
 //! * [`redundancy`] — redundancy elimination in answers and the polynomial
-//!   leanness check for merge semantics (Theorems 6.2/6.3).
+//!   leanness check for merge semantics (Theorems 6.2/6.3);
+//! * [`exec`] — the id-space execution engine: premise-free bodies compiled
+//!   to [`swdb_store::TermId`] patterns and joined directly against a
+//!   [`swdb_store::IdIndex`], with the string-space evaluator kept as the
+//!   executable specification.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod answer;
+pub mod exec;
 pub mod premise;
 pub mod query;
 pub mod redundancy;
@@ -26,6 +31,10 @@ pub use answer::{
     answer, answer_against, answer_is_empty, answer_merge, answer_union, combine, matchings,
     matchings_against, pre_answers, pre_answers_against, satisfies_constraints, select,
     single_answer, NormalizedDatabase, Semantics,
+};
+pub use exec::{
+    compile_body, id_answer, id_answer_is_empty, id_matchings, id_pre_answers, CompiledBody,
+    IdPatternTerm, IdSolver, IdTriplePattern,
 };
 pub use premise::{answer_union_of_queries, premise_free_expansion};
 pub use redundancy::{
@@ -99,6 +108,33 @@ mod proptests {
             let q = query([("?X", "ex:p0", "?Y")], [("?X", "ex:p0", "?Y")]);
             prop_assert!(answer_union(&q, &Graph::new()).is_empty());
             prop_assert!(crate::answer::answer_is_empty(&q, &Graph::new()));
+        }
+
+        #[test]
+        fn id_space_matchings_equal_string_space_matchings(d in arb_simple_graph(8)) {
+            // Engine equivalence over the *same* evaluation graph: the
+            // id-space join must enumerate exactly the matchings the
+            // string-space solver does, blanks and variable predicates
+            // included.
+            let store = swdb_store::TripleStore::from_graph(&d);
+            let normalized = crate::answer::NormalizedDatabase::assume_normalized(d.clone());
+            let queries = [
+                query([("?X", "ex:p0", "?Y")], [("?X", "ex:p0", "?Y")]),
+                query([("?X", "?P", "?Y")], [("?X", "?P", "?Y")]),
+                query(
+                    [("?X", "ex:p0", "?Z")],
+                    [("?X", "ex:p0", "?Y"), ("?Y", "ex:p1", "?Z")],
+                ),
+                query([("?X", "ex:p0", "?X")], [("?X", "ex:p0", "?X")]),
+                query([("ex:n0", "ex:p1", "?Y")], [("ex:n0", "ex:p1", "?Y")]),
+            ];
+            for q in &queries {
+                let mut id = crate::exec::id_matchings(q, store.dictionary(), store.id_index());
+                let mut spec = crate::answer::matchings_against(q, &normalized);
+                id.sort();
+                spec.sort();
+                prop_assert_eq!(id, spec);
+            }
         }
     }
 }

@@ -41,12 +41,11 @@ impl MaterializedStore {
         MaterializedStore { store, engine }
     }
 
-    /// Builds a store (and closure) from a graph.
+    /// Builds a store (and closure) from a graph, using the batched
+    /// propagation path.
     pub fn from_graph(graph: &Graph) -> Self {
         let mut materialized = MaterializedStore::new();
-        for t in graph.iter() {
-            materialized.insert(t);
-        }
+        materialized.insert_graph(graph);
         materialized
     }
 
@@ -80,6 +79,31 @@ impl MaterializedStore {
             self.engine.insert(ids);
         }
         added
+    }
+
+    /// Inserts every triple of a graph, extending the closure in **one**
+    /// frontier-batched semi-naive round (see
+    /// [`DeltaClosure::insert_batch`]): the whole batch is interned and
+    /// asserted first, terms are synced once, and a single propagation
+    /// fixpoint runs with all fresh triples as the initial frontier — bulk
+    /// loads amortize the per-delta index probes instead of paying a
+    /// propagation round per triple. Returns the number of newly asserted
+    /// triples.
+    pub fn insert_graph(&mut self, graph: &Graph) -> usize {
+        let mut fresh = Vec::new();
+        for t in graph.iter() {
+            let (ids, added) = self.store.insert_with_ids(t);
+            if added {
+                fresh.push(ids);
+            }
+        }
+        self.engine.sync_terms(self.store.dictionary());
+        // Newly *asserted* (like `insert`'s return), not newly in the
+        // closure: a triple that was already derivable counts here even
+        // though `insert_batch` finds it in the closure already.
+        let asserted = fresh.len();
+        self.engine.insert_batch(fresh);
+        asserted
     }
 
     /// Removes a triple; returns `true` if it was asserted. The closure is
@@ -117,6 +141,20 @@ impl MaterializedStore {
     /// Scans the closure with an id-pattern.
     pub fn scan_closure_ids(&self, pattern: IdPattern) -> Vec<IdTriple> {
         self.engine.scan(pattern)
+    }
+
+    /// Counts the closure triples matching an id-pattern without
+    /// materializing them — the selectivity probe the id-space query
+    /// engine orders its joins by.
+    pub fn closure_candidate_count(&self, pattern: IdPattern) -> usize {
+        self.engine.candidate_count(pattern)
+    }
+
+    /// Read access to the maintained closure's SPO/POS/OSP index. Together
+    /// with `store().dictionary()` this is the substrate the id-space query
+    /// engine (`swdb_query::exec`) executes premise-free queries against.
+    pub fn closure_index(&self) -> &swdb_store::IdIndex {
+        self.engine.index()
     }
 
     /// Scans the closure with a term-level pattern (each position optionally
@@ -227,6 +265,54 @@ mod tests {
         assert_eq!(m.closure_len(), 5);
         assert!(m.closure_contains(&triple(rdfs::SP, rdfs::SP, rdfs::SP)));
         assert_eq!(m.closure_graph().len(), 5);
+    }
+
+    #[test]
+    fn batched_insert_graph_matches_triple_by_triple_propagation() {
+        let g = graph([
+            ("ex:Painter", rdfs::SC, "ex:Artist"),
+            ("ex:Artist", rdfs::SC, "ex:Person"),
+            ("ex:paints", rdfs::SP, "ex:creates"),
+            ("ex:creates", rdfs::DOM, "ex:Artist"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+            ("ex:Picasso", rdfs::TYPE, "ex:Painter"),
+        ]);
+        let mut batched = MaterializedStore::new();
+        assert_eq!(batched.insert_graph(&g), g.len());
+        let mut single = MaterializedStore::new();
+        for t in g.iter() {
+            single.insert(t);
+        }
+        assert_eq!(batched.closure_graph(), single.closure_graph());
+        assert_eq!(batched.insert_graph(&g), 0, "re-inserting is a no-op");
+    }
+
+    #[test]
+    fn insert_graph_counts_assertions_even_when_already_derived() {
+        // (a, sp, c) is already in the closure via sp-transitivity, but
+        // asserting it is still a base-store change and must be counted —
+        // the same contract as `insert`'s return value.
+        let mut m = MaterializedStore::from_graph(&graph([
+            ("ex:a", rdfs::SP, "ex:b"),
+            ("ex:b", rdfs::SP, "ex:c"),
+        ]));
+        let derived = triple("ex:a", rdfs::SP, "ex:c");
+        assert!(m.closure_contains(&derived));
+        assert!(!m.contains(&derived));
+        assert_eq!(m.insert_graph(&graph([("ex:a", rdfs::SP, "ex:c")])), 1);
+        assert!(m.contains(&derived));
+    }
+
+    #[test]
+    fn closure_index_and_candidate_counts_expose_the_id_substrate() {
+        let m = sample();
+        let ty = m.store().id_of(&Term::iri(rdfs::TYPE)).unwrap();
+        let pattern = (None, Some(ty), None);
+        assert_eq!(
+            m.closure_candidate_count(pattern),
+            m.scan_closure_ids(pattern).len()
+        );
+        assert_eq!(m.closure_index().len(), m.closure_len());
     }
 
     #[test]

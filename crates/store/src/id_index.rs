@@ -77,34 +77,56 @@ impl IdIndex {
     }
 
     /// Visits every triple matching the pattern, using the most selective
-    /// index. The visitor returns `true` to keep scanning, `false` to stop
-    /// early (used by existence checks).
+    /// index. Every pattern shape is a contiguous range of one of the three
+    /// orderings (two-position prefixes included: `(s, p, ·)` on SPO,
+    /// `(p, o, ·)` on POS, `(o, s, ·)` on OSP), so no visited triple is ever
+    /// filtered out. The visitor returns `true` to keep scanning, `false`
+    /// to stop early (used by existence checks).
     pub fn scan_while(&self, pattern: IdPattern, mut visit: impl FnMut(IdTriple) -> bool) {
+        const MAX: TermId = TermId::MAX;
         match pattern {
             (Some(s), Some(p), Some(o)) => {
                 if self.spo.contains(&(s, p, o)) {
                     visit((s, p, o));
                 }
             }
-            (Some(s), p, o) => {
-                for &(ts, tp, to) in self.spo.range((s, 0, 0)..=(s, TermId::MAX, TermId::MAX)) {
-                    if p.is_none_or(|p| p == tp)
-                        && o.is_none_or(|o| o == to)
-                        && !visit((ts, tp, to))
-                    {
+            (Some(s), Some(p), None) => {
+                for &(ts, tp, to) in self.spo.range((s, p, 0)..=(s, p, MAX)) {
+                    if !visit((ts, tp, to)) {
                         return;
                     }
                 }
             }
-            (None, Some(p), o) => {
-                for &(tp, to, ts) in self.pos.range((p, 0, 0)..=(p, TermId::MAX, TermId::MAX)) {
-                    if o.is_none_or(|o| o == to) && !visit((ts, tp, to)) {
+            (Some(s), None, Some(o)) => {
+                for &(to, ts, tp) in self.osp.range((o, s, 0)..=(o, s, MAX)) {
+                    if !visit((ts, tp, to)) {
+                        return;
+                    }
+                }
+            }
+            (Some(s), None, None) => {
+                for &(ts, tp, to) in self.spo.range((s, 0, 0)..=(s, MAX, MAX)) {
+                    if !visit((ts, tp, to)) {
+                        return;
+                    }
+                }
+            }
+            (None, Some(p), Some(o)) => {
+                for &(tp, to, ts) in self.pos.range((p, o, 0)..=(p, o, MAX)) {
+                    if !visit((ts, tp, to)) {
+                        return;
+                    }
+                }
+            }
+            (None, Some(p), None) => {
+                for &(tp, to, ts) in self.pos.range((p, 0, 0)..=(p, MAX, MAX)) {
+                    if !visit((ts, tp, to)) {
                         return;
                     }
                 }
             }
             (None, None, Some(o)) => {
-                for &(to, ts, tp) in self.osp.range((o, 0, 0)..=(o, TermId::MAX, TermId::MAX)) {
+                for &(to, ts, tp) in self.osp.range((o, 0, 0)..=(o, MAX, MAX)) {
                     if !visit((ts, tp, to)) {
                         return;
                     }
@@ -128,6 +150,25 @@ impl IdIndex {
             true
         });
         out
+    }
+
+    /// Counts the triples matching the pattern without materializing them —
+    /// the selectivity probe behind most-constrained-first join ordering.
+    /// Fully-bound and fully-unbound patterns are O(1); every other shape
+    /// walks exactly its matching prefix range (see
+    /// [`IdIndex::scan_while`]) and never allocates.
+    pub fn candidate_count(&self, pattern: IdPattern) -> usize {
+        const MAX: TermId = TermId::MAX;
+        match pattern {
+            (Some(s), Some(p), Some(o)) => usize::from(self.spo.contains(&(s, p, o))),
+            (Some(s), Some(p), None) => self.spo.range((s, p, 0)..=(s, p, MAX)).count(),
+            (Some(s), None, Some(o)) => self.osp.range((o, s, 0)..=(o, s, MAX)).count(),
+            (Some(s), None, None) => self.spo.range((s, 0, 0)..=(s, MAX, MAX)).count(),
+            (None, Some(p), Some(o)) => self.pos.range((p, o, 0)..=(p, o, MAX)).count(),
+            (None, Some(p), None) => self.pos.range((p, 0, 0)..=(p, MAX, MAX)).count(),
+            (None, None, Some(o)) => self.osp.range((o, 0, 0)..=(o, MAX, MAX)).count(),
+            (None, None, None) => self.spo.len(),
+        }
     }
 }
 
@@ -181,5 +222,23 @@ mod tests {
     fn predicate_ids_are_distinct_and_sorted() {
         let index = sample();
         assert_eq!(index.predicate_ids(), vec![10, 11]);
+    }
+
+    #[test]
+    fn candidate_count_agrees_with_scan_on_every_pattern_shape() {
+        let index = sample();
+        let ids = [None, Some(1), Some(2), Some(3), Some(4), Some(10), Some(11)];
+        for &s in &ids {
+            for &p in &ids {
+                for &o in &ids {
+                    let pattern = (s, p, o);
+                    assert_eq!(
+                        index.candidate_count(pattern),
+                        index.scan(pattern).len(),
+                        "count/scan disagree on {pattern:?}"
+                    );
+                }
+            }
+        }
     }
 }

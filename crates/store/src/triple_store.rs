@@ -177,6 +177,24 @@ impl TripleStore {
         self.index.scan(pattern)
     }
 
+    /// Visits every id-triple matching the pattern without materializing a
+    /// `Vec`; the visitor returns `false` to stop early.
+    pub fn scan_ids_while(&self, pattern: IdPattern, visit: impl FnMut(IdTriple) -> bool) {
+        self.index.scan_while(pattern, visit)
+    }
+
+    /// Counts the id-triples matching a pattern without materializing them
+    /// (see [`IdIndex::candidate_count`]).
+    pub fn candidate_count(&self, pattern: IdPattern) -> usize {
+        self.index.candidate_count(pattern)
+    }
+
+    /// Read access to the underlying SPO/POS/OSP index, for id-space
+    /// consumers (the query engine joins against it directly).
+    pub fn id_index(&self) -> &IdIndex {
+        &self.index
+    }
+
     /// Resolves a term-level pattern to an id-pattern: `None` when a bound
     /// term was never interned (in which case nothing can match).
     pub fn resolve_pattern(

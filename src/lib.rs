@@ -41,13 +41,32 @@
 //! in [`reason::RuleSystem`] as patterns over id-triples, indexed by
 //! predicate so a delta triple wakes only the rules that can fire on it.
 //! [`reason::DeltaClosure`] maintains the closure under **insert**
-//! (semi-naive propagation: only the new frontier is joined) and **delete**
-//! (DRed overdelete/rederive, immune to the rule system's derivation
-//! cycles). [`reason::MaterializedStore`] packages a `TripleStore` with its
+//! (semi-naive propagation: only the new frontier is joined — batched for
+//! bulk loads via `insert_batch`) and **delete** (DRed
+//! overdelete/rederive, immune to the rule system's derivation cycles).
+//! [`reason::MaterializedStore`] packages a `TripleStore` with its
 //! maintained closure; [`core::SemanticWebDatabase`] keeps one and serves
 //! `closure()` / `closure_contains()` from it, while
 //! `closure_recomputed()` preserves the specification path that the
 //! property tests compare against.
+//!
+//! ### The read path
+//!
+//! Query answering splits the same way. **Premise-free** queries — the hot
+//! read path — never touch the string-space machinery: the facade compiles
+//! the body to `TermId` patterns against the store dictionary
+//! (`query::exec`; a body constant that was never interned short-circuits
+//! to zero answers) and runs a selectivity-ordered backtracking join
+//! directly over a cached SPO/POS/OSP id-index of the evaluation graph —
+//! `nf(D) = core(cl(D))` under RDFS, `core(D)` under simple entailment, so
+//! answers keep Theorem 4.6's invariance under database equivalence. The
+//! `cl(D)` part comes from the maintained materialization (no fixpoint
+//! recompute); bindings stay `TermId`s until a matching survives the
+//! constraint check and the answer graph is materialized. Queries **with
+//! premises** still normalize `nf(D + P)` on the fly through the
+//! string-space evaluator, which also remains the executable specification
+//! (`core::SemanticWebDatabase::answer_recomputed`) that the equivalence
+//! property tests pin the id engine against.
 
 pub use swdb_containment as containment;
 pub use swdb_core as core;

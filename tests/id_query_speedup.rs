@@ -1,0 +1,64 @@
+//! The acceptance property behind bench E18: premise-free answering through
+//! the id-space read path beats the string-space evaluator by a wide
+//! margin once the evaluation structures are warm. Demonstrated here at a
+//! scale that stays fast in debug builds with a conservative 5× bar
+//! (best-of-N on both sides; the release-mode margin recorded in
+//! `BENCH_e18.json` is far larger); the bench reports it at 1k/10k.
+
+use std::time::{Duration, Instant};
+
+use semweb_foundations::core::{SemanticWebDatabase, Semantics};
+use semweb_foundations::query::{answer_against, NormalizedDatabase};
+use semweb_foundations::workloads::{university, UniversityConfig};
+
+fn best_of(n: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .min()
+        .expect("n > 0")
+}
+
+#[test]
+fn warm_id_space_answering_beats_string_space_by_5x() {
+    let data = university(
+        &UniversityConfig {
+            departments: 12,
+            courses_per_department: 8,
+            professors_per_department: 4,
+            students_per_department: 20,
+            enrollments_per_student: 3,
+        },
+        0xE18,
+    );
+    let q = semweb_foundations::workloads::university::workers_query();
+
+    // String-space warm path: the evaluation graph is already normalized,
+    // but every call rebuilds the term-keyed GraphIndex and joins on
+    // cloned terms — exactly what the facade did per query before the id
+    // engine.
+    let normalized = NormalizedDatabase::without_premise(&data);
+    // Id-space warm path: the facade compiles the query against the
+    // dictionary and joins over the cached id-index.
+    let mut db = SemanticWebDatabase::from_graph(data);
+    assert_eq!(
+        db.answer(&q, Semantics::Union),
+        answer_against(&q, &normalized, Semantics::Union),
+        "both paths must agree before being compared on speed"
+    );
+
+    let string_time = best_of(3, || {
+        std::hint::black_box(answer_against(&q, &normalized, Semantics::Union));
+    });
+    let id_time = best_of(3, || {
+        std::hint::black_box(db.answer(&q, Semantics::Union));
+    });
+    assert!(
+        string_time >= id_time * 5,
+        "expected >=5x speedup: string-space {string_time:?} vs id-space {id_time:?}"
+    );
+}
