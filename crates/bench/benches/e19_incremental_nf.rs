@@ -1,0 +1,366 @@
+//! E19 — incremental normal form: cold `nf(D)` build and post-mutation
+//! refresh of the evaluation index.
+//!
+//! PR 2 made premise-free answering id-space end to end but still built the
+//! evaluation index by running the *string-space* `core(·)` over the
+//! maintained closure — ~7 s on the 10k university workload — and dropped
+//! the whole index on any mutation. This experiment measures the
+//! replacement, the component-decomposed incremental core engine
+//! (`swdb_normal::IdCoreEngine`):
+//!
+//! * **cold** — building the evaluation structure from scratch:
+//!   `swdb_normal::core(closure_graph)` (the PR 2 path: one monolithic
+//!   retraction search, a graph clone + string index per probe) vs
+//!   `IdCoreEngine::from_triples` over the same closure (ground triples
+//!   stream through; each blank component is cored locally in id space).
+//! * **refresh** — a warm facade absorbing one mutation and re-answering a
+//!   query: a *ground* delta (pure index maintenance on the read path) and
+//!   a *blank* delta (re-cores only the touched component), measured as one
+//!   insert+query+remove+query round trip. Under the PR 2 design each of
+//!   those mutations would have paid the full cold build again.
+//!
+//! Results land on stdout (criterion + report rows) and in
+//! `BENCH_e19.json` at the workspace root. Acceptance: ground-delta refresh
+//! ≥ 20× faster than a full engine rebuild on the 10k university workload,
+//! and the cold build ≥ 5× faster than the string-space baseline there.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_core::SemanticWebDatabase;
+use swdb_model::{isomorphic, triple, Graph, Term, Triple};
+use swdb_normal::IdCoreEngine;
+use swdb_query::Semantics;
+use swdb_reason::MaterializedStore;
+use swdb_store::GraphStats;
+use swdb_workloads::{
+    inject_blank_redundancy, simple_graph, university, SimpleGraphConfig, UniversityConfig,
+};
+
+/// A university workload of roughly `target` triples (≈ 1 anonymous-advisor
+/// blank per 5 students, all singleton components).
+fn university_workload(target: usize) -> Graph {
+    let departments = (target / 160).max(1);
+    university(
+        &UniversityConfig {
+            departments,
+            courses_per_department: 10,
+            professors_per_department: 6,
+            students_per_department: 30,
+            enrollments_per_student: 3,
+        },
+        0xE19,
+    )
+}
+
+/// A random ground graph with blank redundancy injected: each shadow triple
+/// uses fresh blank labels, so components stay small while the string-space
+/// core still has real folding work on every one of them.
+fn random_workload(target: usize) -> Graph {
+    let ground = simple_graph(
+        &SimpleGraphConfig {
+            triples: target,
+            uri_nodes: target / 5,
+            blank_nodes: 0,
+            predicates: 8,
+            blank_probability: 0.0,
+        },
+        0xE19,
+    );
+    inject_blank_redundancy(&ground, target / 50, 0xE19)
+}
+
+fn query_for(workload: &str) -> swdb_query::Query {
+    match workload {
+        "university" => swdb_workloads::university::workers_query(),
+        _ => swdb_query::query([("?X", "ex:p0", "?Y")], [("?X", "ex:p0", "?Y")]),
+    }
+}
+
+/// Best-of-N wall clock after warm-up.
+fn measure(rounds: usize, mut f: impl FnMut()) -> Duration {
+    f();
+    let mut best = Duration::MAX;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+struct ColdRow {
+    workload: &'static str,
+    triples: usize,
+    closure_triples: usize,
+    blank_components: usize,
+    string_core_ms: f64,
+    engine_ms: f64,
+}
+
+struct RefreshRow {
+    workload: &'static str,
+    triples: usize,
+    kind: &'static str,
+    refresh_us: f64,
+    rebuild_ms: f64,
+}
+
+fn cold_point(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    workload: &'static str,
+    data: &Graph,
+    cold: &mut Vec<ColdRow>,
+) -> f64 {
+    let n = data.len();
+    let stats = GraphStats::of(data);
+    let materialized = MaterializedStore::from_graph(data);
+
+    // Both cold paths must produce the same core before being compared.
+    let spec = swdb_normal::core(&materialized.closure_graph());
+    let engine = IdCoreEngine::from_triples(
+        materialized.closure_index().iter(),
+        materialized.store().dictionary(),
+    );
+    let decoded: Graph = engine
+        .index()
+        .iter()
+        .map(|ids| materialized.store().materialize(ids))
+        .collect();
+    assert!(
+        isomorphic(&decoded, &spec),
+        "engine and string-space cores disagree on {workload} n={n}"
+    );
+
+    let string_core = measure(2, || {
+        criterion::black_box(swdb_normal::core(&materialized.closure_graph()));
+    });
+    let engine_build = measure(3, || {
+        criterion::black_box(IdCoreEngine::from_triples(
+            materialized.closure_index().iter(),
+            materialized.store().dictionary(),
+        ));
+    });
+    cold.push(ColdRow {
+        workload,
+        triples: n,
+        closure_triples: materialized.closure_len(),
+        blank_components: stats.blank_components,
+        string_core_ms: string_core.as_secs_f64() * 1e3,
+        engine_ms: engine_build.as_secs_f64() * 1e3,
+    });
+    report_row(
+        "E19",
+        &format!("cold {workload} n={n}"),
+        &[
+            ("closure", materialized.closure_len().to_string()),
+            ("components", stats.blank_components.to_string()),
+            (
+                "string_core_ms",
+                format!("{:.1}", string_core.as_secs_f64() * 1e3),
+            ),
+            (
+                "engine_ms",
+                format!("{:.1}", engine_build.as_secs_f64() * 1e3),
+            ),
+            (
+                "speedup",
+                format!(
+                    "{:.1}x",
+                    string_core.as_secs_f64() / engine_build.as_secs_f64().max(1e-9)
+                ),
+            ),
+        ],
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("cold_engine/{workload}"), n),
+        &n,
+        |b, _| {
+            b.iter(|| {
+                IdCoreEngine::from_triples(
+                    materialized.closure_index().iter(),
+                    materialized.store().dictionary(),
+                )
+            })
+        },
+    );
+    engine_build.as_secs_f64() * 1e3
+}
+
+fn refresh_point(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    workload: &'static str,
+    data: &Graph,
+    kind: &'static str,
+    edit: Triple,
+    rebuild_ms: f64,
+    rows: &mut Vec<RefreshRow>,
+) {
+    let n = data.len();
+    let q = query_for(workload);
+    let mut db = SemanticWebDatabase::from_graph(data.clone());
+    let _ = db.answer(&q, Semantics::Union); // build the engine once
+
+    // One refresh = absorb a mutation and re-answer: insert+query+remove+
+    // query, halved. Under the drop-and-rebuild design each half would pay
+    // a full cold build.
+    let round = measure(5, || {
+        assert!(db.insert(edit.clone()));
+        criterion::black_box(db.answer(&q, Semantics::Union));
+        assert!(db.remove(&edit));
+        criterion::black_box(db.answer(&q, Semantics::Union));
+    });
+    let refresh_us = round.as_secs_f64() * 1e6 / 2.0;
+    rows.push(RefreshRow {
+        workload,
+        triples: n,
+        kind,
+        refresh_us,
+        rebuild_ms,
+    });
+    report_row(
+        "E19",
+        &format!("refresh {workload} n={n} {kind}"),
+        &[
+            ("refresh_us", format!("{refresh_us:.1}")),
+            ("rebuild_ms", format!("{rebuild_ms:.1}")),
+            (
+                "vs_rebuild",
+                format!("{:.0}x", rebuild_ms * 1e3 / refresh_us.max(1e-9)),
+            ),
+        ],
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("refresh_{kind}/{workload}"), n),
+        &n,
+        |b, _| {
+            b.iter(|| {
+                db.insert(edit.clone());
+                let a = db.answer(&q, Semantics::Union);
+                db.remove(&edit);
+                criterion::black_box(a)
+            })
+        },
+    );
+}
+
+fn ground_edit(workload: &str) -> Triple {
+    match workload {
+        "university" => triple("uni:profFresh", "uni:worksFor", "uni:dept0"),
+        _ => triple("ex:nFresh", "ex:p0", "ex:n0"),
+    }
+}
+
+fn blank_edit(workload: &str) -> Triple {
+    match workload {
+        "university" => Triple::new(
+            Term::iri("uni:studentFresh"),
+            "uni:advisedBy",
+            Term::blank("advisorFresh"),
+        ),
+        _ => Triple::new(Term::iri("ex:n0"), "ex:p0", Term::blank("freshShadow")),
+    }
+}
+
+fn write_json(cold: &[ColdRow], rows: &[RefreshRow]) {
+    let mut out = String::from("{\n  \"experiment\": \"e19_incremental_nf\",\n");
+    out.push_str("  \"acceptance\": \"ground-delta refresh >= 20x engine rebuild on 10k university; cold engine build >= 5x string-space core\",\n");
+    out.push_str("  \"mode\": \"release, best-of-N after warm-up\",\n  \"cold_build\": [\n");
+    for (i, c) in cold.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"triples\": {}, \"closure_triples\": {}, \"blank_components\": {}, \"string_core_ms\": {:.1}, \"engine_ms\": {:.1}, \"speedup\": {:.1}}}{}\n",
+            c.workload,
+            c.triples,
+            c.closure_triples,
+            c.blank_components,
+            c.string_core_ms,
+            c.engine_ms,
+            c.string_core_ms / c.engine_ms.max(1e-6),
+            if i + 1 < cold.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"refresh\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"triples\": {}, \"kind\": \"{}\", \"refresh_us\": {:.1}, \"rebuild_ms\": {:.1}, \"vs_rebuild\": {:.0}}}{}\n",
+            r.workload,
+            r.triples,
+            r.kind,
+            r.refresh_us,
+            r.rebuild_ms,
+            r.rebuild_ms * 1e3 / r.refresh_us.max(1e-6),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e19.json");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("could not write BENCH_e19.json: {e}");
+    } else {
+        println!("[E19] results recorded in BENCH_e19.json");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut cold = Vec::new();
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("e19_incremental_nf");
+    for &target in &[1_000usize, 10_000] {
+        for (workload, data) in [
+            ("university", university_workload(target)),
+            ("random_rdf", random_workload(target)),
+        ] {
+            let rebuild_ms = cold_point(&mut group, workload, &data, &mut cold);
+            refresh_point(
+                &mut group,
+                workload,
+                &data,
+                "ground",
+                ground_edit(workload),
+                rebuild_ms,
+                &mut rows,
+            );
+            refresh_point(
+                &mut group,
+                workload,
+                &data,
+                "blank",
+                blank_edit(workload),
+                rebuild_ms,
+                &mut rows,
+            );
+        }
+    }
+    group.finish();
+    write_json(&cold, &rows);
+
+    // Acceptance (release-mode): the recorded numbers must clear the bars.
+    for c in &cold {
+        if c.workload == "university" && c.triples > 5_000 {
+            assert!(
+                c.string_core_ms >= 5.0 * c.engine_ms,
+                "cold build must beat the string-space core 5x at 10k university: {:.1}ms vs {:.1}ms",
+                c.string_core_ms,
+                c.engine_ms
+            );
+        }
+    }
+    for r in &rows {
+        if r.workload == "university" && r.triples > 5_000 && r.kind == "ground" {
+            assert!(
+                r.rebuild_ms * 1e3 >= 20.0 * r.refresh_us,
+                "ground refresh must beat a full rebuild 20x at 10k university: {:.1}us vs {:.1}ms",
+                r.refresh_us,
+                r.rebuild_ms
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -16,25 +16,32 @@
 //! SPO/POS/OSP [`swdb_store::IdIndex`] of the evaluation graph. The
 //! evaluation graph keeps the paper's semantics: `nf(D) = core(cl(D))`
 //! under RDFS, `core(D)` under simple entailment — answers stay invariant
-//! under database equivalence (Theorem 4.6). What changed is how `nf(D)` is
-//! obtained: the closure is **never recomputed** — the maintained
-//! materialization of `swdb-reason` is cored directly — and no per-query
-//! string-keyed `GraphIndex` is ever rebuilt. Bindings are `TermId`s,
-//! decoded only when a matching survives the constraint check and an answer
-//! graph is materialized.
+//! under database equivalence (Theorem 4.6).
+//!
+//! The whole pipeline behind that index is **incremental**. `cl(D)` is the
+//! maintained materialization of `swdb-reason` (semi-naive insert, DRed
+//! delete — never a recomputed fixpoint), and the `core(·)` step is the
+//! [`swdb_normal::IdCoreEngine`]: ground closure triples pass straight
+//! through (a map fixes URIs, so they always survive the core), blank
+//! triples are partitioned into connected components and cored by local
+//! id-space retraction searches. A mutation feeds the engine the exact
+//! closure delta reported by [`MaterializedStore`]: a ground delta is pure
+//! `O(log n)` index maintenance, a blank-touching delta re-cores only the
+//! affected component(s). Nothing is dropped and rebuilt; the cold build
+//! (first query) itself runs component-by-component in id space.
 //!
 //! Queries **with premises** still normalize `nf(D + P)` wholesale on the
 //! fly (the premise changes the graph being queried), through the
 //! string-space evaluator. That evaluator also remains available as the
 //! executable specification via
 //! [`SemanticWebDatabase::answer_recomputed`], which the equivalence
-//! property tests pin the id-space path against. Making the `core(·)` step
-//! incremental the way the closure already is remains a ROADMAP follow-on.
+//! property tests pin the id-space path against.
 
-use swdb_model::{Graph, Term, Triple};
+use swdb_model::{Graph, Triple};
+use swdb_normal::IdCoreEngine;
 use swdb_query::{NormalizedDatabase, Query, Semantics};
-use swdb_reason::MaterializedStore;
-use swdb_store::{Dictionary, GraphStats, IdIndex};
+use swdb_reason::{ClosureDelta, MaterializedStore};
+use swdb_store::{Dictionary, GraphStats, IdIndex, IdTriple};
 
 /// The entailment regime a database operates under.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -59,12 +66,13 @@ pub struct SemanticWebDatabase {
     /// semi-naive propagation on insert, DRed on remove — so closure reads
     /// never recompute a fixpoint.
     reasoner: MaterializedStore,
-    /// The id-space index of the evaluation graph premise-free queries run
-    /// against (`nf(D)` under RDFS, `core(D)` under simple entailment),
-    /// over the store dictionary's ids. Rebuilt lazily after mutations by
-    /// coring the maintained closure — the closure fixpoint itself is never
+    /// The incremental core engine over the evaluation graph premise-free
+    /// queries run against (`nf(D)` under RDFS, `core(D)` under simple
+    /// entailment), encoded against the store dictionary's ids. Built
+    /// lazily on first use, then *maintained* under the closure deltas of
+    /// every mutation — neither the closure fixpoint nor the core is ever
     /// recomputed for it.
-    evaluation: Option<IdIndex>,
+    evaluation: Option<IdCoreEngine>,
 }
 
 impl SemanticWebDatabase {
@@ -130,24 +138,26 @@ impl SemanticWebDatabase {
     }
 
     /// Inserts a triple. Returns `true` if it was new. The maintained
-    /// closure is extended by delta propagation, not recomputed.
+    /// closure is extended by delta propagation, not recomputed, and the
+    /// cached evaluation index absorbs the closure delta in place.
     pub fn insert(&mut self, triple: impl Into<Triple>) -> bool {
         let triple = triple.into();
         let added = self.graph.insert(triple.clone());
         if added {
-            self.reasoner.insert(&triple);
-            self.evaluation = None;
+            let delta = self.reasoner.insert_with_delta(&triple);
+            self.feed_delta(&delta, false);
         }
         added
     }
 
     /// Removes a triple. Returns `true` if it was present. The maintained
-    /// closure retracts exactly the consequences that lost support (DRed).
+    /// closure retracts exactly the consequences that lost support (DRed),
+    /// and the cached evaluation index absorbs the closure delta in place.
     pub fn remove(&mut self, triple: &Triple) -> bool {
         let removed = self.graph.remove(triple);
         if removed {
-            self.reasoner.remove(triple);
-            self.evaluation = None;
+            let delta = self.reasoner.remove_with_delta(triple);
+            self.feed_delta(&delta, true);
         }
         removed
     }
@@ -155,13 +165,32 @@ impl SemanticWebDatabase {
     /// Inserts every triple of a graph. The maintained closure is extended
     /// in one frontier-batched semi-naive round
     /// ([`MaterializedStore::insert_graph`]) rather than a propagation
-    /// fixpoint per triple, so bulk loads amortize the index probes.
+    /// fixpoint per triple, so bulk loads amortize the index probes; the
+    /// evaluation index absorbs the whole batch as one delta.
     pub fn insert_graph(&mut self, graph: &Graph) {
         for t in graph.iter() {
             self.graph.insert(t.clone());
         }
-        self.reasoner.insert_graph(graph);
-        self.evaluation = None;
+        let delta = self.reasoner.insert_graph_with_delta(graph);
+        self.feed_delta(&delta, false);
+    }
+
+    /// Routes one mutation's closure delta into the cached evaluation
+    /// engine, if it is built. Under RDFS the evaluation graph is
+    /// `core(cl(D))`, so the engine consumes the *closure* delta; under
+    /// simple entailment it is `core(D)`, so the engine consumes the base
+    /// assertion/retraction itself.
+    fn feed_delta(&mut self, delta: &ClosureDelta, removal: bool) {
+        if let Some(engine) = self.evaluation.as_mut() {
+            let dictionary = self.reasoner.store().dictionary();
+            let none: &[IdTriple] = &[];
+            let (added, removed): (&[IdTriple], &[IdTriple]) = match (self.regime, removal) {
+                (EntailmentRegime::Rdfs, _) => (&delta.added, &delta.removed),
+                (EntailmentRegime::Simple, false) => (&delta.base, none),
+                (EntailmentRegime::Simple, true) => (none, &delta.base),
+            };
+            engine.apply_delta(added, removed, dictionary);
+        }
     }
 
     /// Descriptive statistics of the stored graph.
@@ -242,55 +271,65 @@ impl SemanticWebDatabase {
         let before = self.graph.len();
         let core = swdb_normal::core(&self.graph);
         // The core is a subgraph: retract the dropped triples one by one so
-        // the maintained closure shrinks incrementally too.
+        // the maintained closure — and with it the evaluation index —
+        // shrinks incrementally too.
         for dropped in self.graph.difference(&core).iter() {
-            self.reasoner.remove(dropped);
+            let delta = self.reasoner.remove_with_delta(dropped);
+            self.feed_delta(&delta, true);
         }
         self.graph = core;
-        self.evaluation = None;
         before - self.graph.len()
     }
 
     // ----- query answering -----
 
-    /// Ensures the id-space evaluation index is built, then returns it with
-    /// the dictionary it is encoded against.
+    /// Ensures the id-space evaluation engine is built, then returns the
+    /// evaluation index with the dictionary it is encoded against.
     ///
     /// The evaluation graph is `nf(D) = core(cl(D))` under RDFS and
-    /// `core(D)` under simple entailment. Under RDFS the `cl(D)` part is
-    /// taken from the maintained materialization — only the `core(·)` step
-    /// runs here, never the closure fixpoint. Every term of the evaluation
-    /// graph is a term of `cl(D)` (or `D`), so all ids resolve through the
-    /// store dictionary.
+    /// `core(D)` under simple entailment. The cold build never leaves id
+    /// space: under RDFS the maintained closure index feeds the core engine
+    /// directly (no closure fixpoint, no string-graph materialization);
+    /// under simple entailment the asserted store does. Afterwards the
+    /// engine is kept in step by [`SemanticWebDatabase::feed_delta`], so
+    /// this cold path runs once, not per mutation.
     fn evaluation(&mut self) -> (&Dictionary, &IdIndex) {
         if self.evaluation.is_none() {
-            let evaluation_graph = match self.regime {
-                EntailmentRegime::Rdfs => swdb_normal::core(&self.reasoner.closure_graph()),
+            let dictionary = self.reasoner.store().dictionary();
+            let engine = match self.regime {
+                EntailmentRegime::Rdfs => {
+                    IdCoreEngine::from_triples(self.reasoner.closure_index().iter(), dictionary)
+                }
                 // Under simple entailment, matching against the core of D
                 // gives equivalence-invariant answers without applying the
                 // vocabulary rules.
-                EntailmentRegime::Simple => swdb_normal::core(&self.graph),
+                EntailmentRegime::Simple => {
+                    IdCoreEngine::from_triples(self.reasoner.store().iter_ids(), dictionary)
+                }
             };
-            let store = self.reasoner.store();
-            let mut index = IdIndex::new();
-            for t in evaluation_graph.iter() {
-                let interned = |term: &Term| {
-                    store
-                        .id_of(term)
-                        .expect("evaluation graph terms are interned in the store")
-                };
-                index.insert((
-                    interned(t.subject()),
-                    interned(&Term::Iri(t.predicate().clone())),
-                    interned(t.object()),
-                ));
-            }
-            self.evaluation = Some(index);
+            self.evaluation = Some(engine);
         }
         (
             self.reasoner.store().dictionary(),
-            self.evaluation.as_ref().expect("just initialised"),
+            self.evaluation.as_ref().expect("just initialised").index(),
         )
+    }
+
+    /// The evaluation graph premise-free queries run against, decoded to
+    /// terms: `nf(D) = core(cl(D))` under RDFS, `core(D)` under simple
+    /// entailment (built/maintained incrementally; the equivalence tests
+    /// pin it against the recomputing `swdb_normal` pipeline up to
+    /// isomorphism).
+    pub fn evaluation_graph(&mut self) -> Graph {
+        self.evaluation();
+        let store = self.reasoner.store();
+        self.evaluation
+            .as_ref()
+            .expect("just ensured")
+            .index()
+            .iter()
+            .map(|ids| store.materialize(ids))
+            .collect()
     }
 
     /// Answers a query under the given semantics. Premise-free queries run

@@ -20,15 +20,22 @@ use crate::homomorphism::{find_isomorphism, is_homomorphic};
 /// witnessing assignment if one exists.
 ///
 /// A graph has a homomorphism to a proper subgraph iff it has one to a
-/// subgraph induced by a proper subset of its vertices, so it suffices to try
-/// removing one vertex at a time.
+/// subgraph induced by a proper subset of its vertices, so it suffices to
+/// try removing one vertex at a time. One working copy serves every
+/// candidate: the vertex's edges are dropped before the search and restored
+/// after it — `O(deg)` per candidate instead of an `O(V + E)` induced
+/// subgraph per candidate per retraction round.
 pub fn find_retraction(g: &DiGraph) -> Option<BTreeMap<usize, usize>> {
     let vertices: Vec<usize> = g.vertices().collect();
+    let mut target = g.clone();
     for &dropped in &vertices {
-        let keep: BTreeSet<usize> = vertices.iter().copied().filter(|&v| v != dropped).collect();
-        let sub = g.induced_subgraph(&keep);
-        if let Some(h) = crate::homomorphism::find_homomorphism(g, &sub) {
+        let detached = target.remove_vertex(dropped);
+        if let Some(h) = crate::homomorphism::find_homomorphism(g, &target) {
             return Some(h);
+        }
+        target.add_vertex(dropped);
+        for (u, v) in detached {
+            target.add_edge(u, v);
         }
     }
     None

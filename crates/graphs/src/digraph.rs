@@ -52,6 +52,37 @@ impl DiGraph {
         added
     }
 
+    /// Removes a vertex and its incident edges, returning the removed edges
+    /// (a self-loop is returned once). The inverse of re-adding the vertex
+    /// and its edges — the pair the retraction search uses to try dropping
+    /// each vertex against one working copy instead of rebuilding induced
+    /// subgraphs.
+    pub fn remove_vertex(&mut self, v: usize) -> Vec<(usize, usize)> {
+        let mut removed = Vec::new();
+        if !self.vertices.remove(&v) {
+            return removed;
+        }
+        if let Some(successors) = self.succ.remove(&v) {
+            for w in successors {
+                removed.push((v, w));
+                if let Some(p) = self.pred.get_mut(&w) {
+                    p.remove(&v);
+                }
+            }
+        }
+        if let Some(predecessors) = self.pred.remove(&v) {
+            // A self-loop was already detached (and counted) above.
+            for u in predecessors {
+                removed.push((u, v));
+                if let Some(s) = self.succ.get_mut(&u) {
+                    s.remove(&v);
+                }
+            }
+        }
+        self.edge_count -= removed.len();
+        removed
+    }
+
     /// Removes an edge. Returns `true` if it was present.
     pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
         let removed = self.succ.get_mut(&u).is_some_and(|s| s.remove(&v));
@@ -217,6 +248,35 @@ mod tests {
         assert!(!g.remove_edge(0, 1));
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.vertex_count(), 2, "vertices survive edge removal");
+    }
+
+    #[test]
+    fn remove_vertex_detaches_all_incident_edges_once() {
+        let mut g = DiGraph::from_edges([(0, 1), (1, 2), (2, 1), (1, 1), (0, 2)]);
+        let original = g.clone();
+        let detached = g.remove_vertex(1);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_list(), vec![(0, 2)]);
+        assert_eq!(detached.len(), 4, "self-loop counted once: {detached:?}");
+        assert_eq!(g.edge_count(), 1);
+        // Restoring the vertex and its edges round-trips.
+        g.add_vertex(1);
+        for (u, v) in detached {
+            g.add_edge(u, v);
+        }
+        assert_eq!(g, original);
+        // Removing an absent vertex is a no-op.
+        assert!(g.remove_vertex(99).is_empty());
+        assert_eq!(g, original);
+    }
+
+    #[test]
+    fn remove_isolated_vertex_returns_no_edges() {
+        let mut g = DiGraph::from_edges([(0, 1)]);
+        g.add_vertex(5);
+        assert!(g.remove_vertex(5).is_empty());
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
     }
 
     #[test]

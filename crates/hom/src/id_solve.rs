@@ -1,0 +1,357 @@
+//! The id-space backtracking matcher.
+//!
+//! The string-space [`crate::Solver`] joins cloned [`swdb_model::Term`]s
+//! through a per-call [`crate::GraphIndex`]. This module is its
+//! dictionary-encoded generalization: patterns are triples of
+//! [`IdPatternTerm`]s (interned constants or dense variable slots), a
+//! binding is a `[Option<TermId>]` slot array, and candidates are visited in
+//! place via range scans over an [`swdb_store::IdIndex`] — no term cloning,
+//! no string hashing, no materialized candidate `Vec`.
+//!
+//! The target of the search is abstracted behind [`IdTarget`] so the same
+//! solver drives two different consumers:
+//!
+//! * `swdb-query::exec` joins compiled query bodies against a plain
+//!   [`IdIndex`] (the cached evaluation index of the facade's read path);
+//! * `swdb-normal::id_core` runs the *retraction search* of the core
+//!   computation — an endomorphism avoiding one triple — against an
+//!   [`Avoiding`] view that masks the avoided triple out of the index
+//!   (Definition 3.7: `G` is not lean iff some `μ : G → G − {t}` exists).
+//!
+//! Join ordering is the shared [`crate::most_constrained`] rule; selectivity
+//! comes from [`IdTarget::candidate_count`] (a range count, no allocation).
+
+use std::ops::ControlFlow;
+
+use swdb_store::{IdIndex, IdPattern, IdTriple, TermId};
+
+/// One position of an id-space triple pattern: an interned constant or a
+/// dense variable slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdPatternTerm {
+    /// A constant, already resolved to its dictionary id.
+    Const(TermId),
+    /// A variable, identified by its slot in the binding array.
+    Var(usize),
+}
+
+/// A triple pattern over [`IdPatternTerm`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdTriplePattern {
+    /// Subject position.
+    pub subject: IdPatternTerm,
+    /// Predicate position.
+    pub predicate: IdPatternTerm,
+    /// Object position.
+    pub object: IdPatternTerm,
+}
+
+impl IdTriplePattern {
+    /// Resolves the pattern under a partial binding to an [`IdPattern`]
+    /// scan: constants and bound slots become bound positions, unbound
+    /// slots become wildcards.
+    pub fn to_scan(self, binding: &[Option<TermId>]) -> IdPattern {
+        let resolve = |t: IdPatternTerm| match t {
+            IdPatternTerm::Const(id) => Some(id),
+            IdPatternTerm::Var(slot) => binding[slot],
+        };
+        (
+            resolve(self.subject),
+            resolve(self.predicate),
+            resolve(self.object),
+        )
+    }
+}
+
+/// What an [`IdSolver`] searches against: anything that can count and
+/// enumerate the triples matching an [`IdPattern`].
+pub trait IdTarget {
+    /// Counts the triples matching the pattern without materializing them —
+    /// the selectivity probe behind most-constrained-first join ordering.
+    fn candidate_count(&self, pattern: IdPattern) -> usize;
+
+    /// Visits every triple matching the pattern; the visitor returns `true`
+    /// to keep scanning, `false` to stop early.
+    fn scan_while(&self, pattern: IdPattern, visit: impl FnMut(IdTriple) -> bool);
+}
+
+impl IdTarget for IdIndex {
+    fn candidate_count(&self, pattern: IdPattern) -> usize {
+        IdIndex::candidate_count(self, pattern)
+    }
+
+    fn scan_while(&self, pattern: IdPattern, visit: impl FnMut(IdTriple) -> bool) {
+        IdIndex::scan_while(self, pattern, visit)
+    }
+}
+
+/// An [`IdIndex`] with one triple masked out: the target `G − {t}` of the
+/// retraction search. Masking beats cloning — the non-leanness probe runs
+/// once per blank triple per round, and a clone per probe is exactly the
+/// quadratic blowup the string-space `find_map_avoiding` pays.
+pub struct Avoiding<'a> {
+    index: &'a IdIndex,
+    avoid: IdTriple,
+}
+
+impl<'a> Avoiding<'a> {
+    /// Creates the masked view `index − {avoid}`.
+    pub fn new(index: &'a IdIndex, avoid: IdTriple) -> Self {
+        Avoiding { index, avoid }
+    }
+
+    fn masks(&self, (s, p, o): IdPattern) -> bool {
+        s.is_none_or(|s| s == self.avoid.0)
+            && p.is_none_or(|p| p == self.avoid.1)
+            && o.is_none_or(|o| o == self.avoid.2)
+            && self.index.contains(self.avoid)
+    }
+}
+
+impl IdTarget for Avoiding<'_> {
+    fn candidate_count(&self, pattern: IdPattern) -> usize {
+        let raw = self.index.candidate_count(pattern);
+        raw - usize::from(self.masks(pattern))
+    }
+
+    fn scan_while(&self, pattern: IdPattern, mut visit: impl FnMut(IdTriple) -> bool) {
+        self.index
+            .scan_while(pattern, |t| t == self.avoid || visit(t))
+    }
+}
+
+/// A prepared id-space matcher: a pattern list with `slots` variables
+/// against one [`IdTarget`].
+///
+/// The search mirrors [`crate::Solver`] — dynamic most-constrained-first
+/// pattern selection, backtracking over candidates — entirely in id space.
+pub struct IdSolver<'a, T: IdTarget> {
+    patterns: &'a [IdTriplePattern],
+    slots: usize,
+    target: &'a T,
+}
+
+impl<'a, T: IdTarget> IdSolver<'a, T> {
+    /// Creates a solver for the given patterns (with variable slots
+    /// `0..slots`) and target.
+    pub fn new(patterns: &'a [IdTriplePattern], slots: usize, target: &'a T) -> Self {
+        IdSolver {
+            patterns,
+            slots,
+            target,
+        }
+    }
+
+    /// Enumerates complete solutions, invoking `visit` with the slot array
+    /// (every slot `Some`). The visitor stops the enumeration by returning
+    /// [`ControlFlow::Break`].
+    pub fn for_each_solution<B>(
+        &self,
+        visit: &mut impl FnMut(&[Option<TermId>]) -> ControlFlow<B>,
+    ) -> Option<B> {
+        let mut remaining: Vec<&IdTriplePattern> = self.patterns.iter().collect();
+        let mut binding: Vec<Option<TermId>> = vec![None; self.slots];
+        match self.search(&mut remaining, &mut binding, visit) {
+            ControlFlow::Break(b) => Some(b),
+            ControlFlow::Continue(()) => None,
+        }
+    }
+
+    fn search<B>(
+        &self,
+        remaining: &mut Vec<&'a IdTriplePattern>,
+        binding: &mut Vec<Option<TermId>>,
+        visit: &mut impl FnMut(&[Option<TermId>]) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        if remaining.is_empty() {
+            return visit(binding);
+        }
+        let best_pos = crate::most_constrained(remaining, |p| {
+            self.target.candidate_count(p.to_scan(binding))
+        })
+        .expect("remaining not empty");
+        let chosen = remaining.swap_remove(best_pos);
+
+        let mut broke: Option<B> = None;
+        self.target
+            .scan_while(chosen.to_scan(binding), |(s, p, o)| {
+                // Bind the unbound slots of the chosen pattern to the candidate's
+                // positions; bound positions already match by construction of the
+                // scan, and a repeated variable's second occurrence is checked
+                // against the binding its first occurrence just made.
+                let mut newly_bound = [usize::MAX; 3];
+                let mut bound_count = 0;
+                let mut consistent = true;
+                for (position, actual) in [
+                    (chosen.subject, s),
+                    (chosen.predicate, p),
+                    (chosen.object, o),
+                ] {
+                    if let IdPatternTerm::Var(slot) = position {
+                        match binding[slot] {
+                            Some(existing) if existing == actual => {}
+                            Some(_) => {
+                                consistent = false;
+                                break;
+                            }
+                            None => {
+                                binding[slot] = Some(actual);
+                                newly_bound[bound_count] = slot;
+                                bound_count += 1;
+                            }
+                        }
+                    }
+                }
+                let keep_scanning = if consistent {
+                    match self.search(remaining, binding, visit) {
+                        ControlFlow::Break(b) => {
+                            broke = Some(b);
+                            false
+                        }
+                        ControlFlow::Continue(()) => true,
+                    }
+                } else {
+                    true
+                };
+                for &slot in &newly_bound[..bound_count] {
+                    binding[slot] = None;
+                }
+                keep_scanning
+            });
+        // Restore the pattern list order-insensitively (selection is
+        // dynamic, so only the set matters).
+        remaining.push(chosen);
+        let last = remaining.len() - 1;
+        remaining.swap(best_pos.min(last), last);
+        match broke {
+            Some(b) => ControlFlow::Break(b),
+            None => ControlFlow::Continue(()),
+        }
+    }
+
+    /// Returns `true` if at least one solution exists.
+    pub fn exists(&self) -> bool {
+        self.for_each_solution(&mut |_slots| ControlFlow::Break(()))
+            .is_some()
+    }
+
+    /// Returns the first complete slot assignment, if any.
+    pub fn first_solution(&self) -> Option<Vec<TermId>> {
+        self.for_each_solution(&mut |slots| {
+            ControlFlow::Break(
+                slots
+                    .iter()
+                    .map(|slot| slot.expect("complete solution"))
+                    .collect(),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> IdIndex {
+        let mut index = IdIndex::new();
+        for t in [(1, 10, 2), (1, 10, 3), (2, 11, 3), (4, 10, 2)] {
+            index.insert(t);
+        }
+        index
+    }
+
+    const fn var(slot: usize) -> IdPatternTerm {
+        IdPatternTerm::Var(slot)
+    }
+
+    const fn constant(id: TermId) -> IdPatternTerm {
+        IdPatternTerm::Const(id)
+    }
+
+    fn pattern(s: IdPatternTerm, p: IdPatternTerm, o: IdPatternTerm) -> IdTriplePattern {
+        IdTriplePattern {
+            subject: s,
+            predicate: p,
+            object: o,
+        }
+    }
+
+    #[test]
+    fn joins_over_a_plain_index() {
+        let idx = index();
+        // (?X, 10, ?Y), (?Y, 11, ?Z): 1 -10-> 3? no 3 -11-> …; 1 -10-> 2,
+        // 2 -11-> 3 matches.
+        let patterns = [
+            pattern(var(0), constant(10), var(1)),
+            pattern(var(1), constant(11), var(2)),
+        ];
+        let solver = IdSolver::new(&patterns, 3, &idx);
+        assert!(solver.exists());
+        assert_eq!(solver.first_solution(), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn avoiding_view_masks_exactly_one_triple() {
+        let idx = index();
+        let avoiding = Avoiding::new(&idx, (1, 10, 2));
+        assert_eq!(avoiding.candidate_count((Some(1), Some(10), None)), 1);
+        assert_eq!(idx.candidate_count((Some(1), Some(10), None)), 2);
+        let mut seen = Vec::new();
+        avoiding.scan_while((None, Some(10), None), |t| {
+            seen.push(t);
+            true
+        });
+        // POS order: (10, 2, 4) sorts before (10, 3, 1).
+        assert_eq!(seen, vec![(4, 10, 2), (1, 10, 3)]);
+        // A pattern that cannot match the avoided triple is uncorrected.
+        assert_eq!(avoiding.candidate_count((Some(2), None, None)), 1);
+    }
+
+    #[test]
+    fn avoidance_search_finds_the_redundancy_witness() {
+        // The id rendering of Example 3.8 G1: (a, p, X), (a, p, Y) with
+        // a=1, p=10, X=2, Y=3 — avoiding (1, 10, 2) maps X to Y.
+        let mut idx = IdIndex::new();
+        idx.insert((1, 10, 2));
+        idx.insert((1, 10, 3));
+        let patterns = [
+            pattern(constant(1), constant(10), var(0)),
+            pattern(constant(1), constant(10), var(1)),
+        ];
+        let avoiding = Avoiding::new(&idx, (1, 10, 2));
+        let solution = IdSolver::new(&patterns, 2, &avoiding)
+            .first_solution()
+            .expect("X and Y both map to Y");
+        assert_eq!(solution, vec![3, 3]);
+        // A lean variant — distinguishable continuations — has no witness.
+        idx.insert((2, 11, 5));
+        idx.insert((3, 12, 5));
+        let patterns = [
+            pattern(constant(1), constant(10), var(0)),
+            pattern(var(0), constant(11), constant(5)),
+        ];
+        let avoiding = Avoiding::new(&idx, (1, 10, 2));
+        assert!(!IdSolver::new(&patterns, 1, &avoiding).exists());
+    }
+
+    #[test]
+    fn repeated_slots_force_equality() {
+        let idx = index();
+        let loops = [pattern(var(0), var(1), var(0))];
+        assert!(!IdSolver::new(&loops, 2, &idx).exists());
+        let mut with_loop = index();
+        with_loop.insert((7, 10, 7));
+        assert_eq!(
+            IdSolver::new(&loops, 2, &with_loop).first_solution(),
+            Some(vec![7, 10])
+        );
+    }
+
+    #[test]
+    fn empty_pattern_list_has_the_empty_solution() {
+        let idx = index();
+        let solver = IdSolver::new(&[], 0, &idx);
+        assert!(solver.exists());
+        assert_eq!(solver.first_solution(), Some(vec![]));
+    }
+}

@@ -12,6 +12,10 @@
 //! * [`index`] — per-predicate / per-position indexes of the target graph.
 //! * [`solve`] — the backtracking matcher with dynamic most-constrained-first
 //!   join ordering.
+//! * [`id_solve`] — the dictionary-encoded generalization of the matcher:
+//!   `TermId` patterns joined directly over an `swdb_store::IdIndex`, with
+//!   pluggable targets (including the `G − {t}` view of the retraction
+//!   search).
 //! * [`acyclic`] — blank-induced-cycle detection, GYO α-acyclicity, and the
 //!   polynomial semijoin evaluation for acyclic patterns (the paper's
 //!   polynomial special cases of entailment).
@@ -21,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod acyclic;
+pub mod id_solve;
 pub mod index;
 pub mod maps;
 pub mod pattern;
 pub mod solve;
 
 pub use acyclic::{acyclic_exists, has_blank_induced_cycle, is_acyclic_pattern};
+pub use id_solve::{Avoiding, IdPatternTerm, IdSolver, IdTarget, IdTriplePattern};
 pub use index::GraphIndex;
 pub use maps::{
     all_maps, exists_map, exists_map_indexed, find_map, find_map_avoiding, find_map_indexed,

@@ -1,0 +1,123 @@
+//! Blank-node connected components of an id-triple set.
+//!
+//! Two blank nodes are *connected* when they co-occur in a triple; the
+//! transitive closure of that relation partitions the blank nodes (and with
+//! them, the blank-mentioning triples) into components. The partition is the
+//! lever that makes the core computation tractable in practice: ground
+//! triples are fixed by every map (§2.1 — maps preserve URIs), so a
+//! redundancy-witnessing map can only move blank nodes, and a witness for a
+//! triple of component `c` restricted to `c`'s blanks is still a witness.
+//! One global NP-hard retraction search (Theorem 3.12) therefore splits into
+//! an independent search per component — and real workloads have many tiny
+//! components, not one big one.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use swdb_store::{DisjointSets, IdTriple, TermId};
+
+/// One blank-node component: its blank ids and the triples mentioning them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlankComponent {
+    /// The blank ids of the component.
+    pub blanks: BTreeSet<TermId>,
+    /// Every triple mentioning at least one of the component's blanks.
+    pub triples: BTreeSet<IdTriple>,
+}
+
+/// Partitions a set of blank-mentioning triples into connected components.
+///
+/// `is_blank` classifies term ids; every triple passed in must mention at
+/// least one blank (ground triples have no component). Components are
+/// returned in ascending order of their smallest blank id, so the partition
+/// is deterministic.
+pub fn blank_components(
+    triples: impl IntoIterator<Item = IdTriple>,
+    mut is_blank: impl FnMut(TermId) -> bool,
+) -> Vec<BlankComponent> {
+    let triples: Vec<IdTriple> = triples.into_iter().collect();
+
+    // Union-find over the blank ids.
+    let mut index_of: BTreeMap<TermId, usize> = BTreeMap::new();
+    let mut sets = DisjointSets::new();
+    for &(s, _, o) in &triples {
+        let mut prev: Option<usize> = None;
+        for id in [s, o] {
+            if is_blank(id) {
+                let slot = *index_of.entry(id).or_insert_with(|| sets.make_set());
+                if let Some(p) = prev {
+                    sets.union(slot, p);
+                }
+                prev = Some(slot);
+            }
+        }
+        debug_assert!(prev.is_some(), "component triples must mention a blank");
+    }
+
+    // Bucket blanks and triples by root.
+    let mut buckets: BTreeMap<usize, BlankComponent> = BTreeMap::new();
+    for (&id, &slot) in &index_of {
+        let root = sets.find(slot);
+        buckets.entry(root).or_default().blanks.insert(id);
+    }
+    for &(s, p, o) in &triples {
+        let anchor = if index_of.contains_key(&s) { s } else { o };
+        let root = sets.find(index_of[&anchor]);
+        buckets
+            .get_mut(&root)
+            .expect("anchor blank was bucketed")
+            .triples
+            .insert((s, p, o));
+    }
+    let mut components: Vec<BlankComponent> = buckets.into_values().collect();
+    components.sort_by_key(|c| c.blanks.first().copied());
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blankish(id: TermId) -> bool {
+        id >= 100
+    }
+
+    #[test]
+    fn cooccurrence_merges_blanks_transitively() {
+        // 100–101 share a triple, 101–102 share a triple; 103 is separate.
+        let components = blank_components(
+            [
+                (100, 1, 101),
+                (101, 2, 102),
+                (103, 1, 5),
+                (5, 3, 100),
+                (6, 1, 7),
+            ]
+            .into_iter()
+            .filter(|&(s, _, o)| blankish(s) || blankish(o)),
+            blankish,
+        );
+        assert_eq!(components.len(), 2);
+        assert_eq!(
+            components[0].blanks,
+            [100, 101, 102].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(components[0].triples.len(), 3);
+        assert_eq!(
+            components[1].blanks,
+            [103].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(components[1].triples.len(), 1);
+    }
+
+    #[test]
+    fn isolated_blanks_form_singleton_components() {
+        let components = blank_components([(1, 2, 100), (1, 2, 101)], blankish);
+        assert_eq!(components.len(), 2);
+        assert!(components.iter().all(|c| c.triples.len() == 1));
+    }
+
+    #[test]
+    fn empty_input_has_no_components() {
+        assert!(blank_components([], blankish).is_empty());
+    }
+}

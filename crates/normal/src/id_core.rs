@@ -1,0 +1,660 @@
+//! The incremental id-space core engine.
+//!
+//! [`IdCoreEngine`] maintains `core(G)` (Theorem 3.10) for a mutating set of
+//! id-triples without ever re-running the monolithic string-space retraction
+//! of [`crate::core`]. It is the read-path counterpart of `swdb-reason`'s
+//! incremental closure: together they keep the evaluation graph
+//! `nf(D) = core(cl(D))` of Theorem 4.6 maintained under deltas instead of
+//! rebuilt per mutation. Three ideas, layered:
+//!
+//! 1. **Ground triples never participate.** A map fixes URIs (§2.1), so
+//!    ground triples survive every retraction: they go straight into the
+//!    published index, and a *ground* delta is pure `O(log n)` index
+//!    maintenance — no core step at all, the common case.
+//! 2. **Blank triples decompose into components** (see
+//!    [`crate::components`]): a non-leanness witness only moves the blanks
+//!    of the component owning the avoided triple, so the global NP-hard
+//!    search (Theorem 3.12) splits into one small retraction search per
+//!    component, each running in id space over the shared published index
+//!    ([`swdb_hom::Avoiding`] masks the avoided triple instead of cloning
+//!    `G − {t}`).
+//! 3. **Support tracking makes deltas local.** Each component records the
+//!    *images* of its triples under its composed retraction. A deletion
+//!    re-cores exactly the components whose structure or support it touches;
+//!    an insertion re-checks only components whose triples could newly fold
+//!    onto it (matching predicate). Everything else keeps its cached
+//!    survivors.
+//!
+//! ### Why per-component processing yields the global core
+//!
+//! Restricting a global witness `μ : G → G − {t}` to the blanks of `t`'s
+//! component is still a witness (other components' triples mention none of
+//! those blanks, so they are fixed and stay in `G − {t}`); conversely a
+//! local witness extends by the identity. Hence *G is lean iff every
+//! component is locally lean*. Each local fold is a genuine retraction of
+//! the current graph, so their composition witnesses that the final result
+//! is an instance-subgraph — and shrinking the graph never creates new maps
+//! (a map into a subgraph is a map into the graph), so components already
+//! processed stay lean: the fixpoint is `core(G)`, reached without a global
+//! search. Fold images may land on *other* components' triples or on ground
+//! triples; that cross-component support is exactly what the per-component
+//! `support` sets record, and every fold map is replayed onto all support
+//! sets so they always name live triples of the published index.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use swdb_hom::{Avoiding, IdPatternTerm, IdSolver, IdTriplePattern};
+use swdb_store::{Dictionary, IdIndex, IdTriple, TermId};
+
+use crate::components::blank_components;
+
+/// A URI-preserving map over term ids: the id-space [`swdb_model::TermMap`].
+/// Only the moved blank ids are recorded.
+type IdMap = BTreeMap<TermId, TermId>;
+
+fn apply_map(map: &IdMap, (s, p, o): IdTriple) -> IdTriple {
+    (
+        map.get(&s).copied().unwrap_or(s),
+        p,
+        map.get(&o).copied().unwrap_or(o),
+    )
+}
+
+fn remap_set(set: &BTreeSet<IdTriple>, map: &IdMap) -> BTreeSet<IdTriple> {
+    set.iter().map(|&t| apply_map(map, t)).collect()
+}
+
+/// One blank component with its cached core state.
+#[derive(Clone, Debug)]
+struct Component {
+    /// The component's blank ids.
+    blanks: BTreeSet<TermId>,
+    /// Every maintained blank triple of the component (cored or not).
+    full: BTreeSet<IdTriple>,
+    /// The subset of `full` currently published in the evaluation index.
+    survivors: BTreeSet<IdTriple>,
+    /// `ρ(full)` for the composed retraction `ρ` — the published triples the
+    /// component's folds rely on. All of them are in the evaluation index;
+    /// deleting one invalidates the folds and forces a re-core.
+    support: BTreeSet<IdTriple>,
+    /// Set when `full` changed and the cached survivors are meaningless.
+    stale: bool,
+}
+
+/// An incrementally maintained `core(·)` over id-triples.
+///
+/// Feed it the maintained closure (RDFS regime) or the asserted store
+/// (simple regime) and keep it posted about deltas; [`IdCoreEngine::index`]
+/// is then always the core of the maintained set — the evaluation index
+/// premise-free queries join against.
+#[derive(Clone, Debug, Default)]
+pub struct IdCoreEngine {
+    /// The published evaluation index: all ground triples plus every
+    /// component's survivors.
+    eval: IdIndex,
+    /// All maintained blank triples (the un-cored blank side).
+    blank_full: BTreeSet<IdTriple>,
+    components: Vec<Component>,
+    /// Predicate id → number of `blank_full` triples using it. A ground
+    /// insertion whose predicate no blank triple uses cannot be the image of
+    /// any fold and skips the core step entirely.
+    blank_pred_refs: BTreeMap<TermId, usize>,
+}
+
+impl IdCoreEngine {
+    /// An engine over the empty set.
+    pub fn new() -> Self {
+        IdCoreEngine::default()
+    }
+
+    /// Builds the engine — and with it `core(G)` — from a triple set. This
+    /// is the cold path: ground triples stream into the index, blank triples
+    /// are partitioned into components and each component is cored locally.
+    pub fn from_triples(
+        triples: impl IntoIterator<Item = IdTriple>,
+        dictionary: &Dictionary,
+    ) -> Self {
+        let mut engine = IdCoreEngine::new();
+        for t in triples {
+            if is_blank_triple(dictionary, t) {
+                if engine.blank_full.insert(t) {
+                    *engine.blank_pred_refs.entry(t.1).or_insert(0) += 1;
+                }
+            } else {
+                engine.eval.insert(t);
+            }
+        }
+        engine.rebuild_components(dictionary);
+        let dirty = (0..engine.components.len()).collect();
+        engine.refresh(dirty, BTreeSet::new());
+        engine.debug_check(dictionary);
+        engine
+    }
+
+    /// The published evaluation index: the core of the maintained set.
+    pub fn index(&self) -> &IdIndex {
+        &self.eval
+    }
+
+    /// Number of triples in the published core.
+    pub fn len(&self) -> usize {
+        self.eval.len()
+    }
+
+    /// Returns `true` if the published core is empty.
+    pub fn is_empty(&self) -> bool {
+        self.eval.is_empty()
+    }
+
+    /// Number of maintained blank triples (before coring).
+    pub fn blank_triple_count(&self) -> usize {
+        self.blank_full.len()
+    }
+
+    /// Number of blank components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The components' sizes in triples, ascending.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.components.iter().map(|c| c.full.len()).collect();
+        sizes.sort_unstable();
+        sizes
+    }
+
+    /// Applies one batch of deltas to the maintained set and brings the
+    /// published index back to its core.
+    ///
+    /// A delta that neither mentions a blank nor removes a published triple
+    /// nor adds a possible fold image (a predicate some blank triple uses)
+    /// is pure index maintenance. Otherwise the blank side is repaired at
+    /// component granularity: structurally changed components and components
+    /// whose support lost a triple are re-cored from their full sets (which
+    /// can *restore* previously folded triples); components that merely
+    /// gained potential fold targets continue retracting from their cached
+    /// survivors.
+    pub fn apply_delta(
+        &mut self,
+        added: &[IdTriple],
+        removed: &[IdTriple],
+        dictionary: &Dictionary,
+    ) {
+        let mut removed_from_eval: BTreeSet<IdTriple> = BTreeSet::new();
+        let mut structure_changed = false;
+        for &t in removed {
+            if is_blank_triple(dictionary, t) {
+                if self.blank_full.remove(&t) {
+                    structure_changed = true;
+                    if let Some(refs) = self.blank_pred_refs.get_mut(&t.1) {
+                        *refs -= 1;
+                        if *refs == 0 {
+                            self.blank_pred_refs.remove(&t.1);
+                        }
+                    }
+                    if self.eval.remove(t) {
+                        removed_from_eval.insert(t);
+                    }
+                }
+            } else if self.eval.remove(t) {
+                removed_from_eval.insert(t);
+            }
+        }
+        let mut added_preds: BTreeSet<TermId> = BTreeSet::new();
+        for &t in added {
+            if is_blank_triple(dictionary, t) {
+                if self.blank_full.insert(t) {
+                    structure_changed = true;
+                    *self.blank_pred_refs.entry(t.1).or_insert(0) += 1;
+                }
+            } else if self.eval.insert(t) {
+                added_preds.insert(t.1);
+            }
+        }
+        let relevant_add = added_preds
+            .iter()
+            .any(|p| self.blank_pred_refs.contains_key(p));
+        if !structure_changed && removed_from_eval.is_empty() && !relevant_add {
+            // The pure ground fast path: the index is already the core.
+            return;
+        }
+        if structure_changed {
+            self.rebuild_components(dictionary);
+        }
+        let dirty: Vec<usize> = self
+            .components
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.stale || removed_from_eval.iter().any(|t| c.support.contains(t)))
+            .map(|(i, _)| i)
+            .collect();
+        self.refresh(dirty, added_preds);
+        self.debug_check(dictionary);
+    }
+
+    /// Recomputes the component partition of `blank_full`, inheriting the
+    /// cached core state of every component whose full triple set is
+    /// unchanged and marking the rest stale.
+    fn rebuild_components(&mut self, dictionary: &Dictionary) {
+        let old = std::mem::take(&mut self.components);
+        let mut by_first: BTreeMap<IdTriple, Vec<Component>> = BTreeMap::new();
+        for c in old {
+            if let Some(&first) = c.full.first() {
+                by_first.entry(first).or_default().push(c);
+            }
+        }
+        for part in blank_components(self.blank_full.iter().copied(), |id| {
+            dictionary.is_blank(id)
+        }) {
+            let inherited = part.triples.first().and_then(|first| {
+                let bucket = by_first.get_mut(first)?;
+                let at = bucket.iter().position(|c| c.full == part.triples)?;
+                Some(bucket.swap_remove(at))
+            });
+            self.components.push(match inherited {
+                Some(c) => Component {
+                    blanks: part.blanks,
+                    full: part.triples,
+                    survivors: c.survivors,
+                    support: c.support,
+                    stale: c.stale,
+                },
+                None => Component {
+                    blanks: part.blanks,
+                    full: part.triples,
+                    survivors: BTreeSet::new(),
+                    support: BTreeSet::new(),
+                    stale: true,
+                },
+            });
+        }
+    }
+
+    /// Re-cores the dirty components from their full sets, then gives every
+    /// other component whose survivors could fold onto a freshly published
+    /// triple the chance to retract further. Every fold map is replayed onto
+    /// all components' support sets, keeping them pointed at live triples.
+    fn refresh(&mut self, dirty: Vec<usize>, mut added_preds: BTreeSet<TermId>) {
+        for &i in &dirty {
+            let mut folds = Vec::new();
+            {
+                let comp = &mut self.components[i];
+                // Restore the full set: previously folded triples come back
+                // until the fresh local core search decides their fate.
+                for &t in &comp.full {
+                    if self.eval.insert(t) {
+                        added_preds.insert(t.1);
+                    }
+                }
+                let mut current = comp.full.clone();
+                let composed =
+                    fold_to_fixpoint(&mut self.eval, &mut current, &comp.blanks, &mut folds);
+                comp.survivors = current;
+                comp.support = comp.full.iter().map(|&t| apply_map(&composed, t)).collect();
+                comp.stale = false;
+            }
+            self.replay_folds(&folds, i);
+        }
+        if added_preds.is_empty() {
+            return;
+        }
+        // Progressive pass: a newly published triple can be the image of a
+        // fold only for a survivor pattern with the same predicate. Folds
+        // only remove triples, so one sweep reaches the fixpoint.
+        for i in 0..self.components.len() {
+            let comp = &self.components[i];
+            if comp.survivors.iter().all(|t| !added_preds.contains(&t.1)) {
+                continue;
+            }
+            let mut folds = Vec::new();
+            {
+                let comp = &mut self.components[i];
+                let mut current = comp.survivors.clone();
+                let composed =
+                    fold_to_fixpoint(&mut self.eval, &mut current, &comp.blanks, &mut folds);
+                if !folds.is_empty() {
+                    comp.survivors = current;
+                    comp.support = remap_set(&comp.support, &composed);
+                }
+            }
+            self.replay_folds(&folds, i);
+        }
+    }
+
+    /// Applies fold maps produced while processing component `origin` to
+    /// every other component's support set.
+    fn replay_folds(&mut self, folds: &[IdMap], origin: usize) {
+        if folds.is_empty() {
+            return;
+        }
+        for (j, other) in self.components.iter_mut().enumerate() {
+            if j == origin {
+                continue;
+            }
+            for map in folds {
+                // A fold only moves the origin component's blanks; most
+                // support sets never mention them, so probe before paying
+                // for a rebuild of the set.
+                let touched = other
+                    .support
+                    .iter()
+                    .any(|(s, _, o)| map.contains_key(s) || map.contains_key(o));
+                if touched {
+                    other.support = remap_set(&other.support, map);
+                }
+            }
+        }
+    }
+
+    /// Debug-build invariants: the published index is exactly the ground
+    /// triples plus every component's survivors, and all support triples
+    /// are live.
+    fn debug_check(&self, dictionary: &Dictionary) {
+        if cfg!(debug_assertions) {
+            let mut expected_blank: BTreeSet<IdTriple> = BTreeSet::new();
+            for c in &self.components {
+                debug_assert!(c.survivors.is_subset(&c.full));
+                debug_assert!(
+                    c.support.iter().all(|t| self.eval.contains(*t)),
+                    "support names a dead triple"
+                );
+                expected_blank.extend(c.survivors.iter().copied());
+            }
+            let published_blank: BTreeSet<IdTriple> = self
+                .eval
+                .iter()
+                .filter(|&t| is_blank_triple(dictionary, t))
+                .collect();
+            debug_assert_eq!(
+                published_blank, expected_blank,
+                "published blank triples must be exactly the survivors"
+            );
+        }
+    }
+}
+
+fn is_blank_triple(dictionary: &Dictionary, (s, _, o): IdTriple) -> bool {
+    dictionary.is_blank(s) || dictionary.is_blank(o)
+}
+
+/// Retracts `current` — the component's triples presently in `eval` — to a
+/// local fixpoint. Each successful fold map is applied to `eval` (dropping
+/// the folded triples), pushed to `folds`, and composed into the returned
+/// map. On return no triple of `current` can be avoided: the component is
+/// locally lean.
+fn fold_to_fixpoint(
+    eval: &mut IdIndex,
+    current: &mut BTreeSet<IdTriple>,
+    blanks: &BTreeSet<TermId>,
+    folds: &mut Vec<IdMap>,
+) -> IdMap {
+    let mut composed = IdMap::new();
+    while let Some(map) = find_fold(eval, current, blanks) {
+        let image: BTreeSet<IdTriple> = current.iter().map(|&t| apply_map(&map, t)).collect();
+        for &t in current.iter() {
+            if !image.contains(&t) {
+                eval.remove(t);
+            }
+        }
+        // Images that still mention the component's blanks are the surviving
+        // component triples; the rest (ground triples, other components'
+        // triples) are pure support.
+        *current = image
+            .into_iter()
+            .filter(|&(s, _, o)| blanks.contains(&s) || blanks.contains(&o))
+            .collect();
+        for v in composed.values_mut() {
+            if let Some(&w) = map.get(v) {
+                *v = w;
+            }
+        }
+        for (&k, &v) in &map {
+            composed.entry(k).or_insert(v);
+        }
+        folds.push(map);
+    }
+    composed
+}
+
+/// Searches for a retraction witness: a map `μ` over the component's blanks
+/// with `μ(current) ⊆ eval − {t}` for some `t ∈ current` (Definition 3.7,
+/// localized). The patterns are the component's triples with blanks as
+/// variables; the target is the published index with the avoided triple
+/// masked out, so ground triples and other components' survivors are valid
+/// fold images exactly as in the global search.
+fn find_fold(
+    eval: &IdIndex,
+    current: &BTreeSet<IdTriple>,
+    blanks: &BTreeSet<TermId>,
+) -> Option<IdMap> {
+    if current.is_empty() {
+        return None;
+    }
+    let mut slot_of: BTreeMap<TermId, usize> = BTreeMap::new();
+    let mut patterns: Vec<IdTriplePattern> = Vec::with_capacity(current.len());
+    {
+        let position = |id: TermId, slot_of: &mut BTreeMap<TermId, usize>| {
+            if blanks.contains(&id) {
+                let next = slot_of.len();
+                IdPatternTerm::Var(*slot_of.entry(id).or_insert(next))
+            } else {
+                IdPatternTerm::Const(id)
+            }
+        };
+        for &(s, p, o) in current.iter() {
+            patterns.push(IdTriplePattern {
+                subject: position(s, &mut slot_of),
+                predicate: IdPatternTerm::Const(p),
+                object: position(o, &mut slot_of),
+            });
+        }
+    }
+    for &avoid in current.iter() {
+        let target = Avoiding::new(eval, avoid);
+        let solver = IdSolver::new(&patterns, slot_of.len(), &target);
+        if let Some(solution) = solver.first_solution() {
+            let mut map = IdMap::new();
+            for (&blank, &slot) in &slot_of {
+                if solution[slot] != blank {
+                    map.insert(blank, solution[slot]);
+                }
+            }
+            debug_assert!(!map.is_empty(), "an avoiding map cannot be the identity");
+            return Some(map);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdb_model::{graph, isomorphic, Graph};
+    use swdb_store::TripleStore;
+
+    /// Builds an engine over the graph's id-triples, returning the store for
+    /// decoding.
+    fn engine_of(g: &Graph) -> (TripleStore, IdCoreEngine) {
+        let store = TripleStore::from_graph(g);
+        let engine = IdCoreEngine::from_triples(store.iter_ids(), store.dictionary());
+        (store, engine)
+    }
+
+    fn decode(store: &TripleStore, engine: &IdCoreEngine) -> Graph {
+        engine
+            .index()
+            .iter()
+            .map(|t| store.materialize(t))
+            .collect()
+    }
+
+    fn assert_is_core_of(g: &Graph) {
+        let (store, engine) = engine_of(g);
+        let decoded = decode(&store, &engine);
+        let expected = crate::core(g);
+        assert!(
+            isomorphic(&decoded, &expected),
+            "engine core {decoded} differs from spec core {expected} for {g}"
+        );
+    }
+
+    #[test]
+    fn example_3_8_g1_collapses_to_one_triple() {
+        let g = graph([("ex:a", "ex:p", "_:X"), ("ex:a", "ex:p", "_:Y")]);
+        let (_, engine) = engine_of(&g);
+        assert_eq!(engine.len(), 1);
+        assert_eq!(engine.component_count(), 2);
+        assert_is_core_of(&g);
+    }
+
+    #[test]
+    fn lean_components_survive_whole() {
+        let g = graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:a", "ex:p", "_:Y"),
+            ("_:X", "ex:q", "ex:b"),
+            ("_:Y", "ex:r", "ex:b"),
+        ]);
+        let (_, engine) = engine_of(&g);
+        assert_eq!(engine.len(), 4, "Example 3.8 G2 is lean");
+        assert_eq!(engine.component_count(), 2);
+        assert_is_core_of(&g);
+    }
+
+    #[test]
+    fn cross_component_folds_are_found() {
+        // X's component folds onto Y's component, not onto ground.
+        let g = graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:a", "ex:p", "_:Y"),
+            ("_:Y", "ex:q", "ex:b"),
+        ]);
+        let (store, engine) = engine_of(&g);
+        assert_eq!(engine.len(), 2);
+        assert_is_core_of(&g);
+        let decoded = decode(&store, &engine);
+        assert!(decoded.iter().any(|t| t.object().is_blank()));
+    }
+
+    #[test]
+    fn ground_anchored_folds_are_found() {
+        let g = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:a", "ex:p", "_:X"),
+            ("_:X", "ex:q", "ex:c"),
+            ("ex:b", "ex:q", "ex:c"),
+        ]);
+        let (store, engine) = engine_of(&g);
+        assert_eq!(engine.len(), 2);
+        assert!(decode(&store, &engine).is_ground());
+        assert_is_core_of(&g);
+    }
+
+    #[test]
+    fn ground_delta_is_index_maintenance_until_it_creates_a_fold() {
+        let g = graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:c")]);
+        let (mut store, mut engine) = engine_of(&g);
+        assert_eq!(engine.len(), 2, "lean initially");
+        // An unrelated ground triple: pure insert.
+        let (ids, _) = store.insert_with_ids(&swdb_model::triple("ex:z", "ex:r", "ex:w"));
+        engine.apply_delta(&[ids], &[], store.dictionary());
+        assert_eq!(engine.len(), 3);
+        // Ground triples that give X a ground fold target: (a,p,b), (b,q,c).
+        let (b1, _) = store.insert_with_ids(&swdb_model::triple("ex:a", "ex:p", "ex:b"));
+        engine.apply_delta(&[b1], &[], store.dictionary());
+        assert_eq!(engine.len(), 4, "still lean: b lacks the q-edge");
+        let (b2, _) = store.insert_with_ids(&swdb_model::triple("ex:b", "ex:q", "ex:c"));
+        engine.apply_delta(&[b2], &[], store.dictionary());
+        // Now X folds onto b: the two blank triples leave the core, the
+        // three ground triples remain.
+        assert_eq!(engine.len(), 3);
+        let decoded = decode(&store, &engine);
+        assert!(decoded.is_ground());
+        assert!(isomorphic(&decoded, &crate::core(&store.to_graph())));
+    }
+
+    #[test]
+    fn removing_a_support_triple_restores_the_folded_component() {
+        let g = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:b", "ex:q", "ex:c"),
+            ("ex:a", "ex:p", "_:X"),
+            ("_:X", "ex:q", "ex:c"),
+        ]);
+        let (mut store, mut engine) = engine_of(&g);
+        assert_eq!(engine.len(), 2, "X folds onto b");
+        // Remove the ground edge the fold relied on: X must come back.
+        let removed = store
+            .remove_with_ids(&swdb_model::triple("ex:b", "ex:q", "ex:c"))
+            .expect("present");
+        engine.apply_delta(&[], &[removed], store.dictionary());
+        let decoded = decode(&store, &engine);
+        assert_eq!(decoded.len(), 3);
+        assert!(isomorphic(&decoded, &crate::core(&store.to_graph())));
+    }
+
+    #[test]
+    fn blank_delta_recores_only_by_merging_components() {
+        let g = graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:a", "ex:p", "_:Y"),
+            ("_:X", "ex:q", "ex:b"),
+            ("_:Y", "ex:r", "ex:b"),
+        ]);
+        let (mut store, mut engine) = engine_of(&g);
+        assert_eq!(engine.component_count(), 2);
+        // A bridging triple merges X's and Y's components.
+        let (ids, _) = store.insert_with_ids(&swdb_model::triple("_:X", "ex:s", "_:Y"));
+        engine.apply_delta(&[ids], &[], store.dictionary());
+        assert_eq!(engine.component_count(), 1);
+        assert!(isomorphic(
+            &decode(&store, &engine),
+            &crate::core(&store.to_graph())
+        ));
+    }
+
+    #[test]
+    fn interleaved_mutations_track_the_spec_core() {
+        let mut store = TripleStore::new();
+        let mut engine = IdCoreEngine::new();
+        let script: Vec<(bool, swdb_model::Triple)> = vec![
+            (true, swdb_model::triple("ex:a", "ex:p", "_:X")),
+            (true, swdb_model::triple("ex:a", "ex:p", "_:Y")),
+            (true, swdb_model::triple("_:Y", "ex:q", "ex:b")),
+            (true, swdb_model::triple("ex:a", "ex:p", "ex:c")),
+            (true, swdb_model::triple("ex:c", "ex:q", "ex:b")),
+            (false, swdb_model::triple("ex:c", "ex:q", "ex:b")),
+            (false, swdb_model::triple("_:Y", "ex:q", "ex:b")),
+            (true, swdb_model::triple("_:X", "ex:q", "_:X")),
+            (false, swdb_model::triple("ex:a", "ex:p", "_:Y")),
+        ];
+        for (insert, t) in script {
+            if insert {
+                let (ids, added) = store.insert_with_ids(&t);
+                if added {
+                    engine.apply_delta(&[ids], &[], store.dictionary());
+                }
+            } else if let Some(ids) = store.remove_with_ids(&t) {
+                engine.apply_delta(&[], &[ids], store.dictionary());
+            }
+            let decoded: Graph = engine
+                .index()
+                .iter()
+                .map(|ids| store.materialize(ids))
+                .collect();
+            let expected = crate::core(&store.to_graph());
+            assert!(
+                isomorphic(&decoded, &expected),
+                "after {t}: engine {decoded} vs spec {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_engine_is_empty() {
+        let engine = IdCoreEngine::new();
+        assert!(engine.is_empty());
+        assert_eq!(engine.component_count(), 0);
+        assert_eq!(engine.blank_triple_count(), 0);
+    }
+}

@@ -11,19 +11,28 @@
 //! * [`minimal`] — minimal representations, their non-uniqueness in general
 //!   (Examples 3.14/3.15) and the unique case of Theorem 3.16;
 //! * [`nf`] — the normal form `nf(G) = core(cl(G))` (Definition 3.18,
-//!   Theorems 3.19/3.20).
+//!   Theorems 3.19/3.20);
+//! * [`components`] / [`id_core`] — the production-path core: blank-node
+//!   component decomposition and the incremental, id-space core engine that
+//!   maintains `core(·)` under deltas instead of recomputing it (the
+//!   [`core`] module remains the executable specification it is pinned
+//!   against).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod closure;
+pub mod components;
 pub mod core;
+pub mod id_core;
 pub mod lean;
 pub mod minimal;
 pub mod nf;
 
 pub use crate::core::{core, core_with_witness, is_core_of, is_own_core, CoreComputation};
 pub use closure::{closure, closure_contains, closure_growth, is_closed};
+pub use components::{blank_components, BlankComponent};
+pub use id_core::IdCoreEngine;
 pub use lean::{find_non_lean_witness, is_lean, verify_non_lean_witness, NonLeanWitness};
 pub use minimal::{
     distinct_minimal_representations, has_unique_minimal_representation, is_redundant_in,

@@ -22,52 +22,16 @@
 
 use std::ops::ControlFlow;
 
-use swdb_hom::{
-    most_constrained, Binding, PatternGraph, PatternTerm, Variable, DEFAULT_SOLUTION_LIMIT,
-};
+use swdb_hom::{Binding, PatternGraph, PatternTerm, Variable, DEFAULT_SOLUTION_LIMIT};
 use swdb_model::{Graph, Term};
-use swdb_store::{Dictionary, IdIndex, IdPattern, TermId};
+use swdb_store::{Dictionary, IdIndex, TermId};
 
 use crate::answer::{combine, satisfies_constraints, single_answer, Semantics};
 use crate::query::Query;
 
-/// One position of a compiled triple pattern: an interned constant or a
-/// dense variable slot.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum IdPatternTerm {
-    /// A constant, already resolved to its dictionary id.
-    Const(TermId),
-    /// A variable, identified by its slot in the binding array.
-    Var(usize),
-}
-
-/// A triple pattern over [`IdPatternTerm`]s.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct IdTriplePattern {
-    /// Subject position.
-    pub subject: IdPatternTerm,
-    /// Predicate position.
-    pub predicate: IdPatternTerm,
-    /// Object position.
-    pub object: IdPatternTerm,
-}
-
-impl IdTriplePattern {
-    /// Resolves the pattern under a partial binding to an [`IdPattern`]
-    /// scan: constants and bound slots become bound positions, unbound
-    /// slots become wildcards.
-    fn to_scan(self, binding: &[Option<TermId>]) -> IdPattern {
-        let resolve = |t: IdPatternTerm| match t {
-            IdPatternTerm::Const(id) => Some(id),
-            IdPatternTerm::Var(slot) => binding[slot],
-        };
-        (
-            resolve(self.subject),
-            resolve(self.predicate),
-            resolve(self.object),
-        )
-    }
-}
+// The pattern representation and the backtracking join are shared with the
+// retraction search of `swdb-normal::id_core` and live in `swdb_hom`.
+pub use swdb_hom::id_solve::{IdPatternTerm, IdTriplePattern};
 
 /// A premise-free query body compiled against a dictionary.
 #[derive(Clone, Debug)]
@@ -137,20 +101,21 @@ pub fn compile_body(body: &PatternGraph, dictionary: &Dictionary) -> Option<Comp
 
 /// A prepared id-space matcher: one compiled body against one [`IdIndex`].
 ///
-/// The search mirrors [`swdb_hom::Solver`] — dynamic most-constrained-first
-/// pattern selection, backtracking over candidates — but selectivity comes
-/// from [`IdIndex::candidate_count`] (a range count, no allocation) and
-/// candidates are visited in place via [`IdIndex::scan_while`] (no
-/// materialized candidate `Vec`, no term clones).
+/// A thin query-shaped wrapper over the shared [`swdb_hom::IdSolver`] —
+/// dynamic most-constrained-first pattern selection via
+/// [`IdIndex::candidate_count`] (a range count, no allocation), candidates
+/// visited in place via [`IdIndex::scan_while`] (no materialized candidate
+/// `Vec`, no term clones).
 pub struct IdSolver<'a> {
-    body: &'a CompiledBody,
-    index: &'a IdIndex,
+    inner: swdb_hom::IdSolver<'a, IdIndex>,
 }
 
 impl<'a> IdSolver<'a> {
     /// Creates a solver for the given compiled body and target index.
     pub fn new(body: &'a CompiledBody, index: &'a IdIndex) -> Self {
-        IdSolver { body, index }
+        IdSolver {
+            inner: swdb_hom::IdSolver::new(&body.patterns, body.vars.len(), index),
+        }
     }
 
     /// Enumerates complete solutions, invoking `visit` with the slot array
@@ -160,89 +125,12 @@ impl<'a> IdSolver<'a> {
         &self,
         visit: &mut impl FnMut(&[Option<TermId>]) -> ControlFlow<B>,
     ) -> Option<B> {
-        let mut remaining: Vec<&IdTriplePattern> = self.body.patterns.iter().collect();
-        let mut binding: Vec<Option<TermId>> = vec![None; self.body.vars.len()];
-        match self.search(&mut remaining, &mut binding, visit) {
-            ControlFlow::Break(b) => Some(b),
-            ControlFlow::Continue(()) => None,
-        }
-    }
-
-    fn search<B>(
-        &self,
-        remaining: &mut Vec<&'a IdTriplePattern>,
-        binding: &mut Vec<Option<TermId>>,
-        visit: &mut impl FnMut(&[Option<TermId>]) -> ControlFlow<B>,
-    ) -> ControlFlow<B> {
-        if remaining.is_empty() {
-            return visit(binding);
-        }
-        let best_pos = most_constrained(remaining, |p| {
-            self.index.candidate_count(p.to_scan(binding))
-        })
-        .expect("remaining not empty");
-        let chosen = remaining.swap_remove(best_pos);
-
-        let mut broke: Option<B> = None;
-        self.index.scan_while(chosen.to_scan(binding), |(s, p, o)| {
-            // Bind the unbound slots of the chosen pattern to the candidate's
-            // positions; bound positions already match by construction of the
-            // scan, and a repeated variable's second occurrence is checked
-            // against the binding its first occurrence just made.
-            let mut newly_bound = [usize::MAX; 3];
-            let mut bound_count = 0;
-            let mut consistent = true;
-            for (position, actual) in [
-                (chosen.subject, s),
-                (chosen.predicate, p),
-                (chosen.object, o),
-            ] {
-                if let IdPatternTerm::Var(slot) = position {
-                    match binding[slot] {
-                        Some(existing) if existing == actual => {}
-                        Some(_) => {
-                            consistent = false;
-                            break;
-                        }
-                        None => {
-                            binding[slot] = Some(actual);
-                            newly_bound[bound_count] = slot;
-                            bound_count += 1;
-                        }
-                    }
-                }
-            }
-            let keep_scanning = if consistent {
-                match self.search(remaining, binding, visit) {
-                    ControlFlow::Break(b) => {
-                        broke = Some(b);
-                        false
-                    }
-                    ControlFlow::Continue(()) => true,
-                }
-            } else {
-                true
-            };
-            for &slot in &newly_bound[..bound_count] {
-                binding[slot] = None;
-            }
-            keep_scanning
-        });
-        // Restore the pattern list order-insensitively (selection is
-        // dynamic, so only the set matters).
-        remaining.push(chosen);
-        let last = remaining.len() - 1;
-        remaining.swap(best_pos.min(last), last);
-        match broke {
-            Some(b) => ControlFlow::Break(b),
-            None => ControlFlow::Continue(()),
-        }
+        self.inner.for_each_solution(visit)
     }
 
     /// Returns `true` if at least one solution exists.
     pub fn exists(&self) -> bool {
-        self.for_each_solution(&mut |_slots| ControlFlow::Break(()))
-            .is_some()
+        self.inner.exists()
     }
 
     /// Counts solutions (up to [`DEFAULT_SOLUTION_LIMIT`]).

@@ -230,6 +230,19 @@ impl DeltaClosure {
     /// identical — the property tests pin bulk loads against
     /// `rdfs_closure`.
     pub fn insert_batch(&mut self, deltas: impl IntoIterator<Item = IdTriple>) -> usize {
+        let mut added = Vec::new();
+        self.insert_batch_logged(deltas, &mut added)
+    }
+
+    /// Like [`DeltaClosure::insert_batch`], but appends every triple that
+    /// *entered the closure* (the batch's fresh members plus all fresh
+    /// conclusions) to `added` — the delta a downstream incremental consumer
+    /// (the evaluation-index core engine) needs to stay in step.
+    pub fn insert_batch_logged(
+        &mut self,
+        deltas: impl IntoIterator<Item = IdTriple>,
+        added: &mut Vec<IdTriple>,
+    ) -> usize {
         let mut frontier = Vec::new();
         for t in deltas {
             if self.closure.insert(t) {
@@ -238,14 +251,17 @@ impl DeltaClosure {
         }
         let fresh = frontier.len();
         if fresh > 0 {
-            self.propagate(frontier);
+            added.extend(frontier.iter().copied());
+            self.propagate_logged(frontier, added);
         }
         fresh
     }
 
     /// Semi-naive frontier propagation: every queued triple is new to the
-    /// closure and is joined only against rules its predicate wakes.
-    fn propagate(&mut self, mut queue: Vec<IdTriple>) {
+    /// closure and is joined only against rules its predicate wakes. Every
+    /// fresh conclusion is appended to `added` (the queue itself is not
+    /// logged — callers know their own frontier).
+    fn propagate_logged(&mut self, mut queue: Vec<IdTriple>, added: &mut Vec<IdTriple>) {
         while let Some(delta) = queue.pop() {
             let paths: Vec<_> = self.rules.paths_for_predicate(delta.1).collect();
             for (rule_idx, hyp_idx) in paths {
@@ -271,6 +287,7 @@ impl DeltaClosure {
                         let derived = conclusion.instantiate(&binding);
                         if self.closure.insert(derived) {
                             queue.push(derived);
+                            added.push(derived);
                         }
                     }
                 }
@@ -282,6 +299,19 @@ impl DeltaClosure {
     /// `true` if the triple left the closure, `false` when it is still
     /// derivable (or axiomatic) and therefore survives.
     pub fn delete(&mut self, t: IdTriple, base: &TripleStore) -> bool {
+        let mut removed = Vec::new();
+        self.delete_logged(t, base, &mut removed)
+    }
+
+    /// Like [`DeltaClosure::delete`], but appends every triple that *left
+    /// the closure* for good (overdeleted and neither rederived nor
+    /// recovered by the propagation of the rederived set) to `removed`.
+    pub fn delete_logged(
+        &mut self,
+        t: IdTriple,
+        base: &TripleStore,
+        removed: &mut Vec<IdTriple>,
+    ) -> bool {
         if !self.closure.contains(t) || self.axioms.contains(&t) {
             return false;
         }
@@ -371,9 +401,19 @@ impl DeltaClosure {
 
         // Phase 3 — propagate the rederived triples; anything they still
         // support is recovered exactly like an ordinary insert.
-        self.propagate(rederived);
-
-        !self.closure.contains(t)
+        let mut gone = over;
+        for r in &rederived {
+            gone.remove(r);
+        }
+        let mut recovered = Vec::new();
+        self.propagate_logged(rederived, &mut recovered);
+        for r in &recovered {
+            gone.remove(r);
+        }
+        let deleted = gone.contains(&t);
+        debug_assert_eq!(deleted, !self.closure.contains(t));
+        removed.extend(gone);
+        deleted
     }
 
     /// Is `t` the conclusion of some rule instance whose hypotheses are all

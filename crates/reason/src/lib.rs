@@ -44,7 +44,7 @@ pub mod pattern;
 pub mod rules;
 
 pub use delta::DeltaClosure;
-pub use materialized::MaterializedStore;
+pub use materialized::{ClosureDelta, MaterializedStore};
 pub use rules::{Rule, RuleSystem, Vocabulary};
 pub use swdb_store::IdIndex;
 

@@ -12,6 +12,22 @@ use swdb_store::{IdPattern, IdTriple, TripleStore};
 use crate::delta::DeltaClosure;
 use crate::rules::Vocabulary;
 
+/// The id-level net effect of one mutation on a [`MaterializedStore`]:
+/// which base triples were asserted/retracted and which triples entered or
+/// left the maintained closure. This is what downstream incremental
+/// structures (the facade's evaluation-index core engine) consume to stay
+/// in step without recomputing anything.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClosureDelta {
+    /// Ids of the base triples this mutation asserted or retracted (empty
+    /// when the mutation was a no-op on the asserted store).
+    pub base: Vec<IdTriple>,
+    /// Triples that entered `RDFS-cl(G)`.
+    pub added: Vec<IdTriple>,
+    /// Triples that left `RDFS-cl(G)`.
+    pub removed: Vec<IdTriple>,
+}
+
 /// A triple store whose RDFS closure is maintained incrementally.
 #[derive(Clone, Debug)]
 pub struct MaterializedStore {
@@ -73,12 +89,20 @@ impl MaterializedStore {
     /// Inserts a triple; returns `true` if it was newly asserted. The
     /// closure is extended by semi-naive delta propagation.
     pub fn insert(&mut self, triple: &Triple) -> bool {
+        !self.insert_with_delta(triple).base.is_empty()
+    }
+
+    /// Inserts a triple, reporting the closure delta: the id triples that
+    /// entered `RDFS-cl(G)` as a consequence.
+    pub fn insert_with_delta(&mut self, triple: &Triple) -> ClosureDelta {
+        let mut delta = ClosureDelta::default();
         let (ids, added) = self.store.insert_with_ids(triple);
         if added {
+            delta.base.push(ids);
             self.engine.sync_terms(self.store.dictionary());
-            self.engine.insert(ids);
+            self.engine.insert_batch_logged([ids], &mut delta.added);
         }
-        added
+        delta
     }
 
     /// Inserts every triple of a graph, extending the closure in **one**
@@ -90,32 +114,44 @@ impl MaterializedStore {
     /// propagation round per triple. Returns the number of newly asserted
     /// triples.
     pub fn insert_graph(&mut self, graph: &Graph) -> usize {
-        let mut fresh = Vec::new();
+        self.insert_graph_with_delta(graph).base.len()
+    }
+
+    /// Bulk insert ([`MaterializedStore::insert_graph`]) reporting the
+    /// closure delta. `base` holds the newly *asserted* ids — a triple that
+    /// was already derivable still counts there even though the closure did
+    /// not grow by it.
+    pub fn insert_graph_with_delta(&mut self, graph: &Graph) -> ClosureDelta {
+        let mut delta = ClosureDelta::default();
         for t in graph.iter() {
             let (ids, added) = self.store.insert_with_ids(t);
             if added {
-                fresh.push(ids);
+                delta.base.push(ids);
             }
         }
         self.engine.sync_terms(self.store.dictionary());
-        // Newly *asserted* (like `insert`'s return), not newly in the
-        // closure: a triple that was already derivable counts here even
-        // though `insert_batch` finds it in the closure already.
-        let asserted = fresh.len();
-        self.engine.insert_batch(fresh);
-        asserted
+        self.engine
+            .insert_batch_logged(delta.base.iter().copied(), &mut delta.added);
+        delta
     }
 
     /// Removes a triple; returns `true` if it was asserted. The closure is
     /// maintained by DRed overdelete/rederive.
     pub fn remove(&mut self, triple: &Triple) -> bool {
-        match self.store.remove_with_ids(triple) {
-            Some(ids) => {
-                self.engine.delete(ids, &self.store);
-                true
-            }
-            None => false,
+        !self.remove_with_delta(triple).base.is_empty()
+    }
+
+    /// Removes a triple, reporting the closure delta: the id triples that
+    /// left `RDFS-cl(G)` for good (a retracted triple that is still
+    /// derivable from the surviving assertions does not appear).
+    pub fn remove_with_delta(&mut self, triple: &Triple) -> ClosureDelta {
+        let mut delta = ClosureDelta::default();
+        if let Some(ids) = self.store.remove_with_ids(triple) {
+            delta.base.push(ids);
+            self.engine
+                .delete_logged(ids, &self.store, &mut delta.removed);
         }
+        delta
     }
 
     /// Is the triple asserted?
@@ -313,6 +349,59 @@ mod tests {
             m.scan_closure_ids(pattern).len()
         );
         assert_eq!(m.closure_index().len(), m.closure_len());
+    }
+
+    #[test]
+    fn reported_deltas_replay_the_closure_exactly() {
+        // A shadow set maintained purely from the reported deltas must
+        // track the closure index through inserts, bulk loads and DRed
+        // deletions — including the cascade cases.
+        let mut m = MaterializedStore::new();
+        let mut shadow: std::collections::BTreeSet<IdTriple> =
+            m.scan_closure_ids((None, None, None)).into_iter().collect();
+        let apply = |m: &mut MaterializedStore,
+                     shadow: &mut std::collections::BTreeSet<IdTriple>,
+                     delta: ClosureDelta| {
+            for t in delta.added {
+                assert!(shadow.insert(t), "delta re-added a live triple");
+            }
+            for t in delta.removed {
+                assert!(shadow.remove(&t), "delta removed a dead triple");
+            }
+            assert_eq!(
+                m.scan_closure_ids((None, None, None))
+                    .into_iter()
+                    .collect::<std::collections::BTreeSet<_>>(),
+                *shadow,
+                "shadow diverged from the maintained closure"
+            );
+        };
+        let d = m.insert_graph_with_delta(&graph([
+            ("ex:p", rdfs::SP, rdfs::SC),
+            ("ex:A", "ex:p", "ex:B"),
+            ("ex:B", rdfs::SC, "ex:C"),
+        ]));
+        apply(&mut m, &mut shadow, d);
+        let d = m.insert_with_delta(&triple("ex:x", rdfs::TYPE, "ex:A"));
+        apply(&mut m, &mut shadow, d);
+        // Re-inserting produces an empty delta.
+        let d = m.insert_with_delta(&triple("ex:x", rdfs::TYPE, "ex:A"));
+        assert_eq!(d, ClosureDelta::default());
+        apply(&mut m, &mut shadow, d);
+        // Retracting the re-routing edge unwinds the cascade.
+        let d = m.remove_with_delta(&triple("ex:p", rdfs::SP, rdfs::SC));
+        assert!(!d.removed.is_empty());
+        apply(&mut m, &mut shadow, d);
+        // Removing a triple that is still derivable reports no closure loss.
+        let d = m.insert_with_delta(&triple("ex:A", rdfs::SC, "ex:A"));
+        apply(&mut m, &mut shadow, d);
+        let d = m.remove_with_delta(&triple("ex:A", rdfs::SC, "ex:A"));
+        assert_eq!(d.base.len(), 1);
+        assert!(
+            d.removed.is_empty(),
+            "reflexive sc survives via the closure rules"
+        );
+        apply(&mut m, &mut shadow, d);
     }
 
     #[test]

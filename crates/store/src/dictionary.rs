@@ -18,6 +18,10 @@ pub type TermId = u32;
 pub struct Dictionary {
     forward: BTreeMap<Term, TermId>,
     backward: Vec<Term>,
+    /// One bit per id, set when the interned term is a blank node. Kept as a
+    /// side bitset so blank/ground classification — the branch every
+    /// id-space delta takes — is a word load, not a `Term` access.
+    blank_bits: Vec<u64>,
 }
 
 impl Dictionary {
@@ -34,7 +38,23 @@ impl Dictionary {
         let id = TermId::try_from(self.backward.len()).expect("dictionary overflow");
         self.forward.insert(term.clone(), id);
         self.backward.push(term.clone());
+        if matches!(term, Term::Blank(_)) {
+            let word = id as usize / 64;
+            if word >= self.blank_bits.len() {
+                self.blank_bits.resize(word + 1, 0);
+            }
+            self.blank_bits[word] |= 1 << (id % 64);
+        }
         id
+    }
+
+    /// Returns `true` if the id was interned for a blank node. O(1) — a
+    /// bitset probe, classified at intern time; never resolves the term.
+    /// Unknown ids are reported as not blank.
+    pub fn is_blank(&self, id: TermId) -> bool {
+        self.blank_bits
+            .get(id as usize / 64)
+            .is_some_and(|word| word >> (id % 64) & 1 == 1)
     }
 
     /// Looks up an already-interned term.
@@ -97,6 +117,27 @@ mod tests {
         let iri = d.intern(&Term::iri("X"));
         let blank = d.intern(&Term::blank("X"));
         assert_ne!(iri, blank);
+        assert!(!d.is_blank(iri));
+        assert!(d.is_blank(blank));
+    }
+
+    #[test]
+    fn blank_classification_tracks_interning_across_word_boundaries() {
+        let mut d = Dictionary::new();
+        let mut blanks = Vec::new();
+        let mut iris = Vec::new();
+        // Enough terms to span several 64-bit words of the bitset.
+        for i in 0..200 {
+            if i % 3 == 0 {
+                blanks.push(d.intern(&Term::blank(format!("B{i}"))));
+            } else {
+                iris.push(d.intern(&Term::iri(format!("ex:n{i}"))));
+            }
+        }
+        assert!(blanks.iter().all(|&id| d.is_blank(id)));
+        assert!(iris.iter().all(|&id| !d.is_blank(id)));
+        // Unknown ids are not blank.
+        assert!(!d.is_blank(9999));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! * [`id_index`] — the raw SPO/POS/OSP ordered index over id-triples,
 //! * [`triple_store`] — dictionary + index with term-level pattern scans,
 //! * [`ntriples`] — an N-Triples-style parser and serializer,
-//! * [`stats`] — graph statistics used by the experiment reports.
+//! * [`stats`] — graph statistics used by the experiment reports,
+//! * [`union_find`] — the disjoint-set forest behind every blank-component
+//!   partition (statistics here, the core engine in `swdb-normal`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,12 +22,14 @@ pub mod id_index;
 pub mod ntriples;
 pub mod stats;
 pub mod triple_store;
+pub mod union_find;
 
 pub use dictionary::{Dictionary, TermId};
 pub use id_index::IdIndex;
 pub use ntriples::{parse, serialize, ParseError};
 pub use stats::GraphStats;
 pub use triple_store::{IdPattern, IdTriple, TripleStore};
+pub use union_find::DisjointSets;
 
 #[cfg(test)]
 mod proptests {

@@ -1,0 +1,81 @@
+//! A minimal disjoint-set (union-find) forest.
+//!
+//! The one primitive behind every "blank-node connected component"
+//! computation in the workspace: `swdb_normal::blank_components` partitions
+//! id-triples for the incremental core engine, [`crate::stats`] partitions
+//! blank labels for the workload reports. Keeping the forest here — below
+//! both — keeps the two notions of "component" the same algorithm.
+
+/// A disjoint-set forest over dense `usize` slots with path compression and
+/// union by arbitrary root choice (fine for the small universes it serves).
+#[derive(Clone, Debug, Default)]
+pub struct DisjointSets {
+    parent: Vec<usize>,
+}
+
+impl DisjointSets {
+    /// An empty forest.
+    pub fn new() -> Self {
+        DisjointSets::default()
+    }
+
+    /// Number of slots allocated.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if no slot has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Allocates a fresh singleton set, returning its slot.
+    pub fn make_set(&mut self) -> usize {
+        self.parent.push(self.parent.len());
+        self.parent.len() - 1
+    }
+
+    /// The representative of `slot`'s set (with path compression).
+    pub fn find(&mut self, mut slot: usize) -> usize {
+        while self.parent[slot] != slot {
+            self.parent[slot] = self.parent[self.parent[slot]];
+            slot = self.parent[slot];
+        }
+        slot
+    }
+
+    /// Merges the sets of `a` and `b`; returns the surviving representative.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        self.parent[ra] = rb;
+        rb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_representatives() {
+        let mut sets = DisjointSets::new();
+        let a = sets.make_set();
+        let b = sets.make_set();
+        assert_ne!(sets.find(a), sets.find(b));
+        assert_eq!(sets.len(), 2);
+    }
+
+    #[test]
+    fn unions_are_transitive() {
+        let mut sets = DisjointSets::new();
+        let slots: Vec<usize> = (0..5).map(|_| sets.make_set()).collect();
+        sets.union(slots[0], slots[1]);
+        sets.union(slots[1], slots[2]);
+        assert_eq!(sets.find(slots[0]), sets.find(slots[2]));
+        assert_ne!(sets.find(slots[0]), sets.find(slots[3]));
+        sets.union(slots[3], slots[4]);
+        sets.union(slots[2], slots[4]);
+        let root = sets.find(slots[0]);
+        assert!(slots.iter().all(|&s| sets.find(s) == root));
+    }
+}

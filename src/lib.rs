@@ -59,14 +59,27 @@
 //! to zero answers) and runs a selectivity-ordered backtracking join
 //! directly over a cached SPO/POS/OSP id-index of the evaluation graph —
 //! `nf(D) = core(cl(D))` under RDFS, `core(D)` under simple entailment, so
-//! answers keep Theorem 4.6's invariance under database equivalence. The
-//! `cl(D)` part comes from the maintained materialization (no fixpoint
-//! recompute); bindings stay `TermId`s until a matching survives the
-//! constraint check and the answer graph is materialized. Queries **with
-//! premises** still normalize `nf(D + P)` on the fly through the
-//! string-space evaluator, which also remains the executable specification
-//! (`core::SemanticWebDatabase::answer_recomputed`) that the equivalence
-//! property tests pin the id engine against.
+//! answers keep Theorem 4.6's invariance under database equivalence.
+//!
+//! Both halves of `nf(D)` are **incremental**: the `cl(D)` part is
+//! `reason`'s maintained materialization (no fixpoint recompute), and the
+//! `core(·)` part is [`normal::IdCoreEngine`] — ground closure triples pass
+//! straight through (maps fix URIs, so they always survive), blank triples
+//! are partitioned into co-occurrence components
+//! ([`normal::blank_components`]) and each component is cored by a local
+//! id-space retraction search ([`hom::IdSolver`] against an
+//! [`hom::Avoiding`] view, the same generic solver `query::exec` joins
+//! with). Mutations feed the engine the exact closure delta reported by
+//! [`reason::MaterializedStore`]: ground deltas are `O(log n)` index
+//! maintenance, blank-touching deltas re-core only the affected
+//! component(s); nothing is dropped and rebuilt. Bindings stay `TermId`s
+//! until a matching survives the constraint check and the answer graph is
+//! materialized. Queries **with premises** still normalize `nf(D + P)` on
+//! the fly through the string-space evaluator, which also remains the
+//! executable specification (`core::SemanticWebDatabase::answer_recomputed`)
+//! that the equivalence property tests pin the id engine against — the core
+//! is unique up to isomorphism (Theorem 3.10), so the pinning is up to
+//! isomorphism wherever answers expose blank nodes.
 
 pub use swdb_containment as containment;
 pub use swdb_core as core;
