@@ -1,0 +1,304 @@
+//! E20 — premise-query answering: string-space vs the id-space mechanisms.
+//!
+//! The read-path experiment behind routing queries **with premises**
+//! through the id engine. Three paths per (workload, scale, premise-size)
+//! point:
+//!
+//! * `string_space` — the retained specification: every call normalizes
+//!   `nf(D + P)` wholesale (`SemanticWebDatabase::answer_recomputed`) —
+//!   closure recomputation plus the string-space core, per query.
+//! * `overlay` — the facade default under RDFS (and for blank premises):
+//!   the premise's closure growth is previewed against the maintained
+//!   closure, the incremental core engine cores the overlaid set as a
+//!   scoped diff, and the query joins `index ∪ added − removed`. Warm
+//!   calls hit the per-premise overlay cache.
+//! * `expansion` — the facade default for ground premises under simple
+//!   entailment: the Proposition 5.9 premise-free expansion `Ω_q`,
+//!   every member joining the cached evaluation index.
+//!
+//! Results land on stdout (criterion + report rows) and in
+//! `BENCH_e20.json` at the workspace root. The acceptance bar — warm
+//! premise answering ≥ 10× faster than the string-space path on the 10k
+//! university workload — is recorded from release-mode runs.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_core::{EntailmentRegime, SemanticWebDatabase};
+use swdb_model::{isomorphic, Graph};
+use swdb_query::{Query, Semantics};
+use swdb_workloads::{simple_graph, university, SimpleGraphConfig, UniversityConfig};
+
+/// A university workload of roughly `target` triples.
+fn university_workload(target: usize) -> Graph {
+    let departments = (target / 160).max(1);
+    university(
+        &UniversityConfig {
+            departments,
+            courses_per_department: 10,
+            professors_per_department: 6,
+            students_per_department: 30,
+            enrollments_per_student: 3,
+        },
+        0xE20,
+    )
+}
+
+/// A random ground simple graph of `target` triples (ground so the core
+/// step measures the overlay machinery, not a blank-explosion search).
+fn random_workload(target: usize) -> Graph {
+    simple_graph(
+        &SimpleGraphConfig {
+            triples: target,
+            uri_nodes: target / 5,
+            blank_nodes: 0,
+            predicates: 8,
+            blank_probability: 0.0,
+        },
+        0xE20,
+    )
+}
+
+/// The workers query with a premise of `k` fresh department heads: each
+/// premise triple fires `headOf ⊑ worksFor` plus domain/range typing
+/// through the closure preview.
+fn university_premise_query(k: usize) -> Query {
+    let facts: Vec<(String, String, String)> = (0..k)
+        .map(|i| {
+            (
+                format!("uni:visitor{i}"),
+                "uni:headOf".to_owned(),
+                format!("uni:dept{}", i % 3),
+            )
+        })
+        .collect();
+    let premise: Graph = facts
+        .iter()
+        .map(|(s, p, o)| {
+            swdb_model::Triple::new(
+                swdb_model::Term::iri(s.clone()),
+                swdb_model::Iri::new(p.clone()),
+                swdb_model::Term::iri(o.clone()),
+            )
+        })
+        .collect();
+    Query::with_premise(
+        swdb_hom::pattern_graph([("?X", "uni:worksFor", "?D")]),
+        swdb_hom::pattern_graph([("?X", "uni:worksFor", "?D")]),
+        premise,
+    )
+    .expect("well formed")
+}
+
+/// An Example 5.10-shaped simple query whose second body triple only
+/// matches inside the `k`-triple ground premise.
+fn random_premise_query(k: usize) -> Query {
+    let facts: Vec<(String, String, String)> = (0..k)
+        .map(|i| {
+            (
+                format!("ex:n{}", i * 3),
+                "ex:tagged".to_owned(),
+                "ex:tag".to_owned(),
+            )
+        })
+        .collect();
+    let premise: Graph = facts
+        .iter()
+        .map(|(s, p, o)| {
+            swdb_model::Triple::new(
+                swdb_model::Term::iri(s.clone()),
+                swdb_model::Iri::new(p.clone()),
+                swdb_model::Term::iri(o.clone()),
+            )
+        })
+        .collect();
+    Query::with_premise(
+        swdb_hom::pattern_graph([("?X", "ex:via", "?Y")]),
+        swdb_hom::pattern_graph([("?X", "ex:p0", "?Y"), ("?Y", "ex:tagged", "ex:tag")]),
+        premise,
+    )
+    .expect("well formed")
+}
+
+/// Best-of-N wall clock after warm-up.
+fn measure(mut f: impl FnMut()) -> Duration {
+    for _ in 0..2 {
+        f();
+    }
+    let mut best = Duration::MAX;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+struct Row {
+    workload: &'static str,
+    triples: usize,
+    premise: usize,
+    mechanism: &'static str,
+    cold_us: f64,
+    string_us: f64,
+    id_us: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_point(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    workload: &'static str,
+    mechanism: &'static str,
+    regime: EntailmentRegime,
+    data: &Graph,
+    premise_sizes: &[usize],
+    make_query: fn(usize) -> Query,
+    rows: &mut Vec<Row>,
+) {
+    let n = data.len();
+    let mut db = SemanticWebDatabase::with_regime(regime);
+    db.insert_graph(data);
+    // Warm the evaluation engine with a premise-free probe so `cold_us`
+    // isolates the premise mechanism (overlay build / expansion), not the
+    // engine's cold build.
+    let warmup = swdb_query::query([("?X", "?P", "?Y")], [("?X", "?P", "?Y")]);
+    let _ = db.answer_is_empty(&warmup);
+    for &k in premise_sizes {
+        let q = make_query(k);
+        // Time the *first* premise call (overlay computation / expansion).
+        let t0 = Instant::now();
+        let id = db.answer(&q, Semantics::Union);
+        let cold = t0.elapsed();
+        let spec = db.answer_recomputed(&q, Semantics::Union);
+        assert!(
+            isomorphic(&id, &spec),
+            "paths disagree on {workload} n={n} k={k}"
+        );
+        let string_time = measure(|| {
+            criterion::black_box(db.answer_recomputed(&q, Semantics::Union));
+        });
+        let id_time = measure(|| {
+            criterion::black_box(db.answer(&q, Semantics::Union));
+        });
+        rows.push(Row {
+            workload,
+            triples: n,
+            premise: k,
+            mechanism,
+            cold_us: cold.as_secs_f64() * 1e6,
+            string_us: string_time.as_secs_f64() * 1e6,
+            id_us: id_time.as_secs_f64() * 1e6,
+        });
+        report_row(
+            "E20",
+            &format!("{workload} n={n} premise={k} via={mechanism}"),
+            &[
+                (
+                    "string_us",
+                    format!("{:.1}", string_time.as_secs_f64() * 1e6),
+                ),
+                ("id_us", format!("{:.1}", id_time.as_secs_f64() * 1e6)),
+                ("cold_us", format!("{:.1}", cold.as_secs_f64() * 1e6)),
+                (
+                    "speedup",
+                    format!(
+                        "{:.1}x",
+                        string_time.as_secs_f64() / id_time.as_secs_f64().max(1e-12)
+                    ),
+                ),
+            ],
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("string_space/{workload}/k{k}"), n),
+            &n,
+            |b, _| b.iter(|| db.answer_recomputed(&q, Semantics::Union)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{mechanism}/{workload}/k{k}"), n),
+            &n,
+            |b, _| b.iter(|| db.answer(&q, Semantics::Union)),
+        );
+    }
+}
+
+fn write_json(rows: &[Row]) {
+    let mut out = String::from("{\n  \"experiment\": \"e20_premise_query\",\n");
+    out.push_str(
+        "  \"acceptance\": \"warm premise answering >= 10x string-space on the 10k university workload\",\n",
+    );
+    out.push_str("  \"mode\": \"release, best-of-5 after warm-up; cold_us is the first call (overlay build / expansion)\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"triples\": {}, \"premise_triples\": {}, \"mechanism\": \"{}\", \"cold_us\": {:.1}, \"string_us\": {:.1}, \"id_us\": {:.1}, \"speedup\": {:.1}}}{}\n",
+            r.workload,
+            r.triples,
+            r.premise,
+            r.mechanism,
+            r.cold_us,
+            r.string_us,
+            r.id_us,
+            r.string_us / r.id_us.max(1e-6),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e20.json");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("could not write BENCH_e20.json: {e}");
+    } else {
+        println!("[E20] results recorded in BENCH_e20.json");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("e20_premise_query");
+    let premise_sizes = [1usize, 4, 16];
+    for &target in &[1_000usize, 10_000] {
+        let uni = university_workload(target);
+        run_point(
+            &mut group,
+            "university",
+            "overlay",
+            EntailmentRegime::Rdfs,
+            &uni,
+            &premise_sizes,
+            university_premise_query,
+            &mut rows,
+        );
+        let rnd = random_workload(target);
+        // The same ground premise query through both id mechanisms: the
+        // expansion under simple entailment, the overlay under RDFS (the
+        // data is vocabulary-free, so the answers coincide).
+        run_point(
+            &mut group,
+            "random_rdf",
+            "expansion",
+            EntailmentRegime::Simple,
+            &rnd,
+            &premise_sizes,
+            random_premise_query,
+            &mut rows,
+        );
+        run_point(
+            &mut group,
+            "random_rdf",
+            "overlay",
+            EntailmentRegime::Rdfs,
+            &rnd,
+            &premise_sizes,
+            random_premise_query,
+            &mut rows,
+        );
+    }
+    group.finish();
+    write_json(&rows);
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -30,15 +30,34 @@
 //! affected component(s). Nothing is dropped and rebuilt; the cold build
 //! (first query) itself runs component-by-component in id space.
 //!
-//! Queries **with premises** still normalize `nf(D + P)` wholesale on the
-//! fly (the premise changes the graph being queried), through the
-//! string-space evaluator. That evaluator also remains available as the
-//! executable specification via
-//! [`SemanticWebDatabase::answer_recomputed`], which the equivalence
-//! property tests pin the id-space path against.
+//! Queries **with premises** run through the same id engine, by one of two
+//! mechanisms selected per query:
+//!
+//! * **Premise-free expansion** (simple regime, ground premise): the query
+//!   is rewritten into the union `Ω_q` of premise-free queries
+//!   (Proposition 5.9, [`swdb_query::premise_free_expansion`]) — computed
+//!   once per call — and every member joins the *same* cached evaluation
+//!   index; single answers dedupe across members in id space.
+//! * **Premise overlay** (RDFS regime, or blank-bearing premises): the
+//!   premise is treated as a *scoped, transient delta* over the maintained
+//!   engines. Its closure growth `cl(D + P) − cl(D)` is previewed against
+//!   the maintained closure without committing anything
+//!   ([`MaterializedStore::preview_insert`]), the incremental core engine
+//!   cores the overlaid set as a diff ([`swdb_normal::EvalOverlay`]), and
+//!   the query joins the layered view `index ∪ added − removed`
+//!   ([`swdb_hom::Overlay`]). The published evaluation index is never
+//!   cloned or mutated — it is bit-identical before and after — and the
+//!   computed overlay is cached per premise, so repeated queries sharing a
+//!   premise pay for the delta once until the next mutation.
+//!
+//! The string-space evaluator remains the executable specification via
+//! [`SemanticWebDatabase::answer_recomputed`] — `nf(D + P)` normalized
+//! wholesale per call — which the equivalence property tests pin both id
+//! mechanisms against (up to isomorphism: the core is unique only up to
+//! iso, Theorem 3.10).
 
-use swdb_model::{Graph, Triple};
-use swdb_normal::IdCoreEngine;
+use swdb_model::{BlankNode, Graph, Term, Triple};
+use swdb_normal::{EvalOverlay, IdCoreEngine};
 use swdb_query::{NormalizedDatabase, Query, Semantics};
 use swdb_reason::{ClosureDelta, MaterializedStore};
 use swdb_store::{Dictionary, GraphStats, IdIndex, IdTriple};
@@ -55,6 +74,18 @@ pub enum EntailmentRegime {
     Rdfs,
 }
 
+/// How many distinct premises keep a cached overlay between mutations.
+const PREMISE_CACHE_CAPACITY: usize = 8;
+
+/// Worst-case budget for the Proposition 5.9 expansion: the subset
+/// enumeration visits at most `Σ_{R ⊆ B} |P|^|R| = (|P| + 1)^|B|` maps, so
+/// gating on that bound keeps the rewriting cheap *and* guarantees no
+/// subset's map enumeration can hit the solver's
+/// [`swdb_hom::DEFAULT_SOLUTION_LIMIT`] cap (which would silently truncate
+/// the expansion). Queries over budget take the premise overlay, which is
+/// linear in the delta.
+const EXPANSION_MAP_BUDGET: u64 = 1 << 19;
+
 /// A semantic-web database: an RDF graph with an entailment regime and the
 /// derived structures needed to answer queries.
 #[derive(Clone, Debug, Default)]
@@ -66,13 +97,22 @@ pub struct SemanticWebDatabase {
     /// semi-naive propagation on insert, DRed on remove — so closure reads
     /// never recompute a fixpoint.
     reasoner: MaterializedStore,
-    /// The incremental core engine over the evaluation graph premise-free
-    /// queries run against (`nf(D)` under RDFS, `core(D)` under simple
-    /// entailment), encoded against the store dictionary's ids. Built
-    /// lazily on first use, then *maintained* under the closure deltas of
-    /// every mutation — neither the closure fixpoint nor the core is ever
-    /// recomputed for it.
+    /// The incremental core engine over the evaluation graph queries run
+    /// against (`nf(D)` under RDFS, `core(D)` under simple entailment),
+    /// encoded against the store dictionary's ids. Built lazily on first
+    /// use, then *maintained* under the closure deltas of every mutation —
+    /// neither the closure fixpoint nor the core is ever recomputed for it.
     evaluation: Option<IdCoreEngine>,
+    /// Cached premise overlays, keyed by premise graph: the scoped
+    /// evaluation-index diff a premise induces ([`EvalOverlay`]), valid
+    /// until the next mutation or regime switch. Repeated queries sharing a
+    /// premise hit the cache and skip the closure preview + overlay core.
+    premise_cache: Vec<(Graph, EvalOverlay)>,
+    /// A second core engine over the *asserted* store, powering
+    /// [`SemanticWebDatabase::minimize`] under the RDFS regime (under
+    /// simple entailment the evaluation engine already cores the asserted
+    /// graph). Built on first minimize, then maintained under base deltas.
+    asserted_core: Option<IdCoreEngine>,
 }
 
 impl SemanticWebDatabase {
@@ -114,11 +154,14 @@ impl SemanticWebDatabase {
         self.regime
     }
 
-    /// Switches the entailment regime (invalidates the normalization cache).
+    /// Switches the entailment regime (invalidates the normalization cache
+    /// and the cached premise overlays; the asserted-store core used by
+    /// `minimize` is regime-independent and survives).
     pub fn set_regime(&mut self, regime: EntailmentRegime) {
         if self.regime != regime {
             self.regime = regime;
             self.evaluation = None;
+            self.premise_cache.clear();
         }
     }
 
@@ -175,19 +218,30 @@ impl SemanticWebDatabase {
         self.feed_delta(&delta, false);
     }
 
-    /// Routes one mutation's closure delta into the cached evaluation
-    /// engine, if it is built. Under RDFS the evaluation graph is
-    /// `core(cl(D))`, so the engine consumes the *closure* delta; under
-    /// simple entailment it is `core(D)`, so the engine consumes the base
-    /// assertion/retraction itself.
+    /// Routes one mutation's closure delta into the maintained engines.
+    /// Under RDFS the evaluation graph is `core(cl(D))`, so the evaluation
+    /// engine consumes the *closure* delta; under simple entailment it is
+    /// `core(D)`, so it consumes the base assertion/retraction itself. The
+    /// asserted-store core (if built) always consumes the base delta, and
+    /// every mutation invalidates the cached premise overlays.
     fn feed_delta(&mut self, delta: &ClosureDelta, removal: bool) {
+        self.premise_cache.clear();
+        let none: &[IdTriple] = &[];
         if let Some(engine) = self.evaluation.as_mut() {
             let dictionary = self.reasoner.store().dictionary();
-            let none: &[IdTriple] = &[];
             let (added, removed): (&[IdTriple], &[IdTriple]) = match (self.regime, removal) {
                 (EntailmentRegime::Rdfs, _) => (&delta.added, &delta.removed),
                 (EntailmentRegime::Simple, false) => (&delta.base, none),
                 (EntailmentRegime::Simple, true) => (none, &delta.base),
+            };
+            engine.apply_delta(added, removed, dictionary);
+        }
+        if let Some(engine) = self.asserted_core.as_mut() {
+            let dictionary = self.reasoner.store().dictionary();
+            let (added, removed): (&[IdTriple], &[IdTriple]) = if removal {
+                (none, &delta.base)
+            } else {
+                (&delta.base, none)
             };
             engine.apply_delta(added, removed, dictionary);
         }
@@ -267,18 +321,49 @@ impl SemanticWebDatabase {
 
     /// Replaces the stored graph by its core, removing redundancy while
     /// preserving equivalence. Returns the number of triples removed.
+    ///
+    /// The core of the *asserted* graph is read off an [`IdCoreEngine`] in
+    /// id space — under simple entailment the evaluation engine already is
+    /// one; under RDFS a second engine over the asserted store is built
+    /// lazily here and then maintained under base deltas — so minimizing
+    /// never runs the string-space retraction search.
     pub fn minimize(&mut self) -> usize {
         let before = self.graph.len();
-        let core = swdb_normal::core(&self.graph);
+        let core = self.asserted_core_graph();
         // The core is a subgraph: retract the dropped triples one by one so
-        // the maintained closure — and with it the evaluation index —
+        // the maintained closure — and with it the maintained engines —
         // shrinks incrementally too.
-        for dropped in self.graph.difference(&core).iter() {
-            let delta = self.reasoner.remove_with_delta(dropped);
+        let dropped: Vec<Triple> = self.graph.difference(&core).iter().cloned().collect();
+        for t in &dropped {
+            let delta = self.reasoner.remove_with_delta(t);
             self.feed_delta(&delta, true);
         }
         self.graph = core;
         before - self.graph.len()
+    }
+
+    /// The core of the asserted graph, decoded from the maintained id
+    /// engine that covers it. The result is a genuine subgraph of the
+    /// stored graph (the engine retracts, never renames).
+    fn asserted_core_graph(&mut self) -> Graph {
+        let engine = if self.regime == EntailmentRegime::Simple {
+            self.ensure_evaluation();
+            self.evaluation.as_ref().expect("just ensured")
+        } else {
+            if self.asserted_core.is_none() {
+                self.asserted_core = Some(IdCoreEngine::from_triples(
+                    self.reasoner.store().iter_ids(),
+                    self.reasoner.store().dictionary(),
+                ));
+            }
+            self.asserted_core.as_ref().expect("just built")
+        };
+        let store = self.reasoner.store();
+        engine
+            .index()
+            .iter()
+            .map(|ids| store.materialize(ids))
+            .collect()
     }
 
     // ----- query answering -----
@@ -294,6 +379,16 @@ impl SemanticWebDatabase {
     /// engine is kept in step by [`SemanticWebDatabase::feed_delta`], so
     /// this cold path runs once, not per mutation.
     fn evaluation(&mut self) -> (&Dictionary, &IdIndex) {
+        self.ensure_evaluation();
+        (
+            self.reasoner.store().dictionary(),
+            self.evaluation.as_ref().expect("just initialised").index(),
+        )
+    }
+
+    /// Builds the evaluation engine if it is not built yet (the cold path
+    /// behind [`SemanticWebDatabase::evaluation`]).
+    fn ensure_evaluation(&mut self) {
         if self.evaluation.is_none() {
             let dictionary = self.reasoner.store().dictionary();
             let engine = match self.regime {
@@ -309,10 +404,6 @@ impl SemanticWebDatabase {
             };
             self.evaluation = Some(engine);
         }
-        (
-            self.reasoner.store().dictionary(),
-            self.evaluation.as_ref().expect("just initialised").index(),
-        )
     }
 
     /// The evaluation graph premise-free queries run against, decoded to
@@ -332,18 +423,87 @@ impl SemanticWebDatabase {
             .collect()
     }
 
-    /// Answers a query under the given semantics. Premise-free queries run
-    /// in id space against the cached evaluation index (see the module
-    /// docs); queries with premises normalize `D + P` on the fly through
-    /// the string-space evaluator (the premise changes the graph being
-    /// queried).
+    /// Does this premise query go through the Proposition 5.9 expansion?
+    ///
+    /// Only under simple entailment (once RDFS vocabulary is interpreted, a
+    /// premise data triple can fire rules against stored schema, which no
+    /// premise-free rewriting over `nf(D)` can see — the paper notes
+    /// Prop. 5.9 fails there), only for ground premises (a premise blank
+    /// reached by the head would be Skolemized per expansion member instead
+    /// of shared across single answers), only for blank-free heads (head
+    /// blanks Skolemize over *all* body variables, and μ substitutes some
+    /// of those away per member, changing the Skolem values), and only
+    /// within [`EXPANSION_MAP_BUDGET`]. Everything else takes the overlay.
+    fn premise_via_expansion(&self, query: &Query) -> bool {
+        let within_budget = (query.premise().len() as u64)
+            .saturating_add(1)
+            .checked_pow(query.body().len() as u32)
+            .is_some_and(|worst_case| worst_case <= EXPANSION_MAP_BUDGET);
+        self.regime == EntailmentRegime::Simple
+            && query.premise().is_ground()
+            && !swdb_query::head_has_blank_consts(query)
+            && within_budget
+    }
+
+    /// Returns the position of the cached overlay for this premise,
+    /// computing (and caching) it on a miss.
+    ///
+    /// The premise's terms are interned (append-only; no index is touched),
+    /// its blanks renamed apart from every interned blank label first — the
+    /// id-space counterpart of the capture-avoiding `Graph::merge` the spec
+    /// path uses. Under RDFS the transient delta is the premise's closure
+    /// growth `cl(D + P) − cl(D)`, previewed against the maintained closure
+    /// without committing; under simple entailment it is the premise's
+    /// not-yet-asserted triples. The evaluation engine then cores the
+    /// overlaid set as a scoped diff — the published index stays
+    /// bit-identical.
+    fn premise_overlay(&mut self, premise: &Graph) -> usize {
+        self.ensure_evaluation();
+        if let Some(at) = self.premise_cache.iter().position(|(g, _)| g == premise) {
+            return at;
+        }
+        let renamed = rename_premise_apart(premise, &self.graph);
+        let ids = self.reasoner.intern_graph(&renamed);
+        let engine = self.evaluation.as_ref().expect("just ensured");
+        let delta: Vec<IdTriple> = match self.regime {
+            EntailmentRegime::Rdfs => self.reasoner.preview_insert(&ids),
+            EntailmentRegime::Simple => ids.into_iter().filter(|&t| !engine.maintains(t)).collect(),
+        };
+        let overlay = engine.overlay_core(&delta, self.reasoner.store().dictionary());
+        if self.premise_cache.len() >= PREMISE_CACHE_CAPACITY {
+            self.premise_cache.remove(0);
+        }
+        self.premise_cache.push((premise.clone(), overlay));
+        self.premise_cache.len() - 1
+    }
+
+    /// The evaluation substrate of an overlaid premise query: the
+    /// dictionary plus the layered view `index ∪ added − removed` over the
+    /// published evaluation index (computing and caching the overlay first
+    /// if needed).
+    fn premise_target(&mut self, premise: &Graph) -> (&Dictionary, swdb_hom::Overlay<'_>) {
+        let at = self.premise_overlay(premise);
+        let overlay = &self.premise_cache[at].1;
+        let target = overlay.target(self.evaluation.as_ref().expect("overlay built it").index());
+        (self.reasoner.store().dictionary(), target)
+    }
+
+    /// Answers a query under the given semantics — entirely in id space.
+    /// Premise-free queries join the cached evaluation index directly;
+    /// premise queries go through the Proposition 5.9 expansion or the
+    /// premise overlay (see the module docs).
     pub fn answer(&mut self, query: &Query, semantics: Semantics) -> Graph {
         if query.is_premise_free() {
             let (dictionary, index) = self.evaluation();
-            swdb_query::id_answer(query, dictionary, index, semantics)
-        } else {
-            swdb_query::answer(query, &self.graph, semantics)
+            return swdb_query::id_answer(query, dictionary, index, semantics);
         }
+        if self.premise_via_expansion(query) {
+            let members = swdb_query::premise_free_expansion(query);
+            let (dictionary, index) = self.evaluation();
+            return swdb_query::id_answer_union_of_queries(&members, dictionary, index, semantics);
+        }
+        let (dictionary, target) = self.premise_target(query.premise());
+        swdb_query::id_answer(query, dictionary, &target, semantics)
     }
 
     /// The recomputing specification path for query answering: evaluates
@@ -353,16 +513,24 @@ impl SemanticWebDatabase {
     /// against this, the same way `closure()` is pinned against
     /// [`SemanticWebDatabase::closure_recomputed`].
     pub fn answer_recomputed(&self, query: &Query, semantics: Semantics) -> Graph {
-        if query.is_premise_free() {
-            let normalized = match self.regime {
-                EntailmentRegime::Rdfs => NormalizedDatabase::without_premise(&self.graph),
-                EntailmentRegime::Simple => {
-                    NormalizedDatabase::assume_normalized(swdb_normal::core(&self.graph))
-                }
-            };
-            swdb_query::answer_against(query, &normalized, semantics)
-        } else {
-            swdb_query::answer(query, &self.graph, semantics)
+        swdb_query::answer_against(query, &self.normalized_for(query), semantics)
+    }
+
+    /// The paper-defined evaluation graph of a query under the current
+    /// regime, recomputed wholesale in string space: `nf(D + P)` under RDFS
+    /// (`core(cl(D + P))`), `core(D + P)` under simple entailment — with
+    /// `D + P` the capture-avoiding merge. Premise-free queries drop the
+    /// `+ P`.
+    fn normalized_for(&self, query: &Query) -> NormalizedDatabase {
+        match (self.regime, query.is_premise_free()) {
+            (EntailmentRegime::Rdfs, true) => NormalizedDatabase::without_premise(&self.graph),
+            (EntailmentRegime::Rdfs, false) => NormalizedDatabase::new(&self.graph, query),
+            (EntailmentRegime::Simple, true) => {
+                NormalizedDatabase::assume_normalized(swdb_normal::core(&self.graph))
+            }
+            (EntailmentRegime::Simple, false) => NormalizedDatabase::assume_normalized(
+                swdb_normal::core(&self.graph.merge(query.premise())),
+            ),
         }
     }
 
@@ -376,26 +544,38 @@ impl SemanticWebDatabase {
         self.answer(query, Semantics::Merge)
     }
 
-    /// The pre-answer (list of single answers) of a query.
+    /// The pre-answer (list of single answers) of a query, computed through
+    /// the same id paths as [`SemanticWebDatabase::answer`].
     pub fn pre_answers(&mut self, query: &Query) -> Vec<Graph> {
         if query.is_premise_free() {
             let (dictionary, index) = self.evaluation();
-            swdb_query::id_pre_answers(query, dictionary, index)
-        } else {
-            swdb_query::pre_answers(query, &self.graph)
+            return swdb_query::id_pre_answers(query, dictionary, index);
         }
+        if self.premise_via_expansion(query) {
+            let members = swdb_query::premise_free_expansion(query);
+            let (dictionary, index) = self.evaluation();
+            return swdb_query::id_pre_answers_of_queries(&members, dictionary, index);
+        }
+        let (dictionary, target) = self.premise_target(query.premise());
+        swdb_query::id_pre_answers(query, dictionary, &target)
     }
 
-    /// Returns `true` if the query has no answer over this database.
-    /// Premise-free queries early-exit on the first witnessing matching
-    /// instead of materializing the pre-answer.
+    /// Returns `true` if the query has no answer over this database. Every
+    /// path — premise-free, expansion, overlay — early-exits on the first
+    /// witnessing matching instead of materializing the pre-answer (for the
+    /// expansion, per member).
     pub fn answer_is_empty(&mut self, query: &Query) -> bool {
         if query.is_premise_free() {
             let (dictionary, index) = self.evaluation();
-            swdb_query::id_answer_is_empty(query, dictionary, index)
-        } else {
-            swdb_query::pre_answers(query, &self.graph).is_empty()
+            return swdb_query::id_answer_is_empty(query, dictionary, index);
         }
+        if self.premise_via_expansion(query) {
+            let members = swdb_query::premise_free_expansion(query);
+            let (dictionary, index) = self.evaluation();
+            return swdb_query::id_union_answer_is_empty(&members, dictionary, index);
+        }
+        let (dictionary, target) = self.premise_target(query.premise());
+        swdb_query::id_answer_is_empty(query, dictionary, &target)
     }
 
     /// Answers a query and removes redundancy from the result (returns the
@@ -423,9 +603,46 @@ impl From<Graph> for SemanticWebDatabase {
     }
 }
 
+/// Renames apart every premise blank whose label also names a blank of the
+/// stored graph — the id-space counterpart of the capture avoidance in
+/// [`Graph::merge`]: a premise blank is existentially scoped to the query
+/// and must never be identified with a database blank that happens to share
+/// its label. Every blank reachable by evaluation (the evaluation graph's,
+/// the closure's) is a stored-graph blank, so clashing against the stored
+/// graph — not the append-only dictionary — suffices and keeps the renaming
+/// deterministic across repeated queries (no per-repeat fresh labels).
+fn rename_premise_apart(premise: &Graph, stored: &Graph) -> Graph {
+    let mine = stored.blank_nodes();
+    let theirs = premise.blank_nodes();
+    let clashes: Vec<&BlankNode> = theirs.iter().filter(|b| mine.contains(*b)).collect();
+    if clashes.is_empty() {
+        return premise.clone();
+    }
+    let used: std::collections::BTreeSet<&str> = mine
+        .iter()
+        .chain(theirs.iter())
+        .map(|b| b.as_str())
+        .collect();
+    let mut renaming: std::collections::BTreeMap<BlankNode, Term> =
+        std::collections::BTreeMap::new();
+    let mut counter = 0usize;
+    for blank in clashes {
+        let fresh = loop {
+            let candidate = format!("{}~p{}", blank.as_str(), counter);
+            counter += 1;
+            if !used.contains(candidate.as_str()) {
+                break candidate;
+            }
+        };
+        renaming.insert(blank.clone(), Term::blank(fresh));
+    }
+    premise.apply(&swdb_model::TermMap::from_bindings(renaming))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use swdb_hom::Variable;
     use swdb_model::{graph, rdfs, triple};
     use swdb_query::query;
 
@@ -583,7 +800,10 @@ mod tests {
     }
 
     #[test]
-    fn queries_with_premises_bypass_the_cache() {
+    fn premise_queries_run_through_the_overlay_under_rdfs() {
+        // The §4 running example: all relatives of Peter, knowing son ⊑
+        // relative. The premise schema triple must fire against the stored
+        // data triple through the closure *preview* — nothing is committed.
         let mut db = SemanticWebDatabase::from_graph(graph([("ex:John", "ex:son", "ex:Peter")]));
         let q = swdb_query::Query::with_premise(
             swdb_hom::pattern_graph([("?X", "ex:relative", "ex:Peter")]),
@@ -593,6 +813,218 @@ mod tests {
         .unwrap();
         let answers = db.answer_union(&q);
         assert!(answers.contains(&triple("ex:John", "ex:relative", "ex:Peter")));
+        assert!(!db.answer_is_empty(&q));
+        // The overlaid evaluation never perturbed the durable state: the
+        // premise-free read path and the closure are exactly as before.
+        assert!(!db.closure_contains(&triple("ex:John", "ex:relative", "ex:Peter")));
+        let premise_free = query(
+            [("?X", "ex:relative", "ex:Peter")],
+            [("?X", "ex:relative", "ex:Peter")],
+        );
+        assert!(db.answer_union(&premise_free).is_empty());
+    }
+
+    #[test]
+    fn overlaid_premise_queries_leave_the_evaluation_index_bit_identical() {
+        let mut db = SemanticWebDatabase::from_graph(graph([
+            ("ex:paints", rdfs::SP, "ex:creates"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+            ("ex:a", "ex:p", "_:X"),
+        ]));
+        for regime in [EntailmentRegime::Rdfs, EntailmentRegime::Simple] {
+            db.set_regime(regime);
+            let before = db.evaluation_graph();
+            let q = swdb_query::Query::with_premise(
+                swdb_hom::pattern_graph([("?X", rdfs::TYPE, "ex:Artist")]),
+                swdb_hom::pattern_graph([("?X", rdfs::TYPE, "ex:Artist")]),
+                graph([
+                    ("ex:creates", rdfs::DOM, "ex:Artist"),
+                    ("ex:a", "ex:p", "_:X"),
+                    ("ex:extra", "ex:p", "ex:b"),
+                ]),
+            )
+            .unwrap();
+            let _ = db.answer(&q, Semantics::Union);
+            let _ = db.pre_answers(&q);
+            let _ = db.answer_is_empty(&q);
+            assert_eq!(
+                db.evaluation_graph(),
+                before,
+                "{regime:?}: the published evaluation graph changed under an overlaid query"
+            );
+        }
+    }
+
+    #[test]
+    fn premise_paths_agree_with_the_recomputing_specification() {
+        let mut db = SemanticWebDatabase::from_graph(graph([
+            ("ex:paints", rdfs::SP, "ex:creates"),
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+            ("ex:u", "ex:q", "ex:a"),
+            ("ex:u", "ex:q", "ex:c"),
+            ("ex:c", "ex:t", "ex:s"),
+        ]));
+        let queries = [
+            // Example 5.10's shape (simple query, ground premise).
+            swdb_query::Query::with_premise(
+                swdb_hom::pattern_graph([("?X", "ex:p", "?Y")]),
+                swdb_hom::pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")]),
+                graph([("ex:a", "ex:t", "ex:s"), ("ex:b", "ex:t", "ex:s")]),
+            )
+            .unwrap(),
+            // RDFS vocabulary in the premise.
+            swdb_query::Query::with_premise(
+                swdb_hom::pattern_graph([("?X", "ex:creates", "?Y")]),
+                swdb_hom::pattern_graph([("?X", "ex:creates", "?Y")]),
+                graph([("ex:sketches", rdfs::SP, "ex:creates")]),
+            )
+            .unwrap(),
+            // A blank-bearing premise (overlay path in both regimes).
+            swdb_query::Query::with_premise(
+                swdb_hom::pattern_graph([("?X", "ex:q", "?Y")]),
+                swdb_hom::pattern_graph([("?X", "ex:q", "?Y")]),
+                graph([("ex:w", "ex:q", "_:P")]),
+            )
+            .unwrap(),
+        ];
+        for regime in [EntailmentRegime::Rdfs, EntailmentRegime::Simple] {
+            db.set_regime(regime);
+            for q in &queries {
+                for semantics in [Semantics::Union, Semantics::Merge] {
+                    let id = db.answer(q, semantics);
+                    let spec = db.answer_recomputed(q, semantics);
+                    assert!(
+                        swdb_model::isomorphic(&id, &spec),
+                        "{regime:?}/{semantics:?}: {id} vs {spec} for {q}"
+                    );
+                }
+                assert_eq!(
+                    db.answer_is_empty(q),
+                    db.answer_recomputed(q, Semantics::Union).is_empty(),
+                    "{regime:?}: emptiness diverged for {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ground_simple_premises_take_the_expansion_path() {
+        let mut db = SemanticWebDatabase::with_regime(EntailmentRegime::Simple);
+        db.insert(triple("ex:u", "ex:q", "ex:a"));
+        let q = swdb_query::Query::with_premise(
+            swdb_hom::pattern_graph([("?X", "ex:p", "?Y")]),
+            swdb_hom::pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")]),
+            graph([("ex:a", "ex:t", "ex:s")]),
+        )
+        .unwrap();
+        assert!(db.premise_via_expansion(&q));
+        let answers = db.answer_union(&q);
+        assert!(answers.contains(&triple("ex:u", "ex:p", "ex:a")));
+        assert_eq!(answers.len(), 1);
+        assert!(
+            db.premise_cache.is_empty(),
+            "the expansion path needs no overlay"
+        );
+        assert!(!db.answer_is_empty(&q));
+    }
+
+    #[test]
+    fn skolemized_heads_with_premises_take_the_overlay_even_when_simple() {
+        // The head blank Skolemizes over all body variables; expansion
+        // members substitute some of them away, so their Skolem values
+        // cannot coincide with the direct evaluation's — such queries must
+        // route to the overlay.
+        let mut db = SemanticWebDatabase::with_regime(EntailmentRegime::Simple);
+        db.insert(triple("ex:u", "ex:q", "ex:a"));
+        db.insert(triple("ex:u", "ex:q", "ex:b"));
+        let q = swdb_query::Query::with_premise(
+            swdb_hom::pattern_graph([("?X", "ex:p", "_:H")]),
+            swdb_hom::pattern_graph([("?X", "ex:q", "?Y"), ("?Y", "ex:t", "ex:s")]),
+            graph([("ex:a", "ex:t", "ex:s"), ("ex:b", "ex:t", "ex:s")]),
+        )
+        .unwrap();
+        assert!(!db.premise_via_expansion(&q));
+        assert!(
+            swdb_model::isomorphic(
+                &db.answer(&q, Semantics::Union),
+                &db.answer_recomputed(&q, Semantics::Union)
+            ),
+            "Skolemized premise answers must match the spec"
+        );
+    }
+
+    #[test]
+    fn constrained_premise_queries_expand_without_losing_answers() {
+        let mut db = SemanticWebDatabase::with_regime(EntailmentRegime::Simple);
+        db.insert(triple("ex:unrelated", "ex:r", "ex:z"));
+        let q = swdb_query::Query::with_all(
+            swdb_hom::pattern_graph([("?X", "ex:p", "?Y")]),
+            swdb_hom::pattern_graph([("?X", "ex:q", "?Y")]),
+            graph([("ex:a", "ex:q", "ex:b")]),
+            [Variable::new("Y")].into_iter().collect(),
+        )
+        .unwrap();
+        assert!(db.premise_via_expansion(&q));
+        let answers = db.answer_union(&q);
+        assert!(
+            answers.contains(&triple("ex:a", "ex:p", "ex:b")),
+            "the fully-premise-matched member must keep its (discharged) constraint: {answers}"
+        );
+        assert!(swdb_model::isomorphic(
+            &answers,
+            &db.answer_recomputed(&q, Semantics::Union)
+        ));
+        assert!(!db.answer_is_empty(&q));
+    }
+
+    #[test]
+    fn premise_overlays_are_cached_until_a_mutation() {
+        let mut db = SemanticWebDatabase::from_graph(graph([("ex:John", "ex:son", "ex:Peter")]));
+        let q = swdb_query::Query::with_premise(
+            swdb_hom::pattern_graph([("?X", "ex:relative", "ex:Peter")]),
+            swdb_hom::pattern_graph([("?X", "ex:relative", "ex:Peter")]),
+            graph([("ex:son", rdfs::SP, "ex:relative")]),
+        )
+        .unwrap();
+        let _ = db.answer_union(&q);
+        assert_eq!(db.premise_cache.len(), 1);
+        let _ = db.answer_union(&q);
+        assert_eq!(db.premise_cache.len(), 1, "second call hits the cache");
+        db.insert(triple("ex:Mary", "ex:son", "ex:Peter"));
+        assert!(
+            db.premise_cache.is_empty(),
+            "mutations invalidate premise overlays"
+        );
+        let answers = db.answer_union(&q);
+        assert!(answers.contains(&triple("ex:Mary", "ex:relative", "ex:Peter")));
+        assert_eq!(db.premise_cache.len(), 1);
+    }
+
+    #[test]
+    fn premise_blanks_never_capture_database_blanks() {
+        // The database and the premise both use the label _:X; the premise
+        // copy is a different existential and must not be identified with
+        // the stored one (Graph::merge semantics).
+        let mut db = SemanticWebDatabase::from_graph(graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("_:X", "ex:marked", "ex:yes"),
+        ]));
+        let q = swdb_query::Query::with_premise(
+            swdb_hom::pattern_graph([("?W", "ex:marked", "?V")]),
+            swdb_hom::pattern_graph([("ex:b", "ex:p", "?W"), ("?W", "ex:marked", "?V")]),
+            graph([("ex:b", "ex:p", "_:X")]),
+        )
+        .unwrap();
+        // The premise's _:X hangs off ex:b and is unmarked; only a captured
+        // blank would make the body match.
+        assert!(db.answer_union(&q).is_empty());
+        assert!(
+            swdb_model::isomorphic(
+                &db.answer(&q, Semantics::Union),
+                &db.answer_recomputed(&q, Semantics::Union)
+            ),
+            "capture avoidance must match the merge-based spec"
+        );
     }
 
     #[test]

@@ -40,10 +40,16 @@
 //! triples; that cross-component support is exactly what the per-component
 //! `support` sets record, and every fold map is replayed onto all support
 //! sets so they always name live triples of the published index.
+//!
+//! Besides durable deltas, the engine also cores **scoped** deltas:
+//! [`IdCoreEngine::overlay_core`] runs the same insert-path algorithm
+//! against a layered view and returns an [`EvalOverlay`] diff instead of
+//! touching the published index — the substrate of transient query-premise
+//! evaluation (`D + P` for one query, then dropped).
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use swdb_hom::{Avoiding, IdPatternTerm, IdSolver, IdTriplePattern};
+use swdb_hom::{Avoiding, IdPatternTerm, IdSolver, IdTarget, IdTriplePattern, Overlay};
 use swdb_store::{Dictionary, IdIndex, IdTriple, TermId};
 
 use crate::components::blank_components;
@@ -62,6 +68,102 @@ fn apply_map(map: &IdMap, (s, p, o): IdTriple) -> IdTriple {
 
 fn remap_set(set: &BTreeSet<IdTriple>, map: &IdMap) -> BTreeSet<IdTriple> {
     set.iter().map(|&t| apply_map(map, t)).collect()
+}
+
+/// What the core retraction publishes into: a mutable view of the
+/// evaluation graph the fold search reads through [`IdTarget`]. The durable
+/// engine folds the real published [`IdIndex`]; the scoped premise overlay
+/// folds a layered diff against it without touching the published index.
+trait CoreIndex: IdTarget {
+    /// Makes a triple visible; returns `true` if it was not visible before.
+    fn insert(&mut self, t: IdTriple) -> bool;
+    /// Hides a triple; returns `true` if it was visible before.
+    fn remove(&mut self, t: IdTriple) -> bool;
+}
+
+impl CoreIndex for IdIndex {
+    fn insert(&mut self, t: IdTriple) -> bool {
+        IdIndex::insert(self, t)
+    }
+
+    fn remove(&mut self, t: IdTriple) -> bool {
+        IdIndex::remove(self, t)
+    }
+}
+
+/// The result of a *scoped* core computation over `maintained ∪ delta`: the
+/// triples the delta makes newly visible (`added`, disjoint from the
+/// published index) and the published triples it folds away (`removed`).
+/// `published ∪ added − removed` is the core of the overlaid set; the
+/// engine that produced it is untouched, so the overlay can be dropped — or
+/// cached and replayed — without any cleanup.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EvalOverlay {
+    /// Newly visible triples (the delta's survivors plus restored blank
+    /// triples the delta's presence un-folds).
+    pub added: IdIndex,
+    /// Published triples the overlaid delta folds away.
+    pub removed: BTreeSet<IdTriple>,
+}
+
+impl EvalOverlay {
+    /// Returns `true` if the overlay changes nothing — evaluating over the
+    /// published index alone is then already exact.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// The layered [`IdTarget`] view `base ∪ added − removed` queries run
+    /// against.
+    pub fn target<'a>(&'a self, base: &'a IdIndex) -> Overlay<'a> {
+        Overlay::with_removed(base, &self.added, &self.removed)
+    }
+}
+
+/// The mutable working state of a scoped core computation: the published
+/// index (read-only) plus the diff under construction.
+struct OverlayCoreView<'a> {
+    base: &'a IdIndex,
+    diff: EvalOverlay,
+}
+
+impl OverlayCoreView<'_> {
+    fn as_target(&self) -> Overlay<'_> {
+        self.diff.target(self.base)
+    }
+}
+
+impl IdTarget for OverlayCoreView<'_> {
+    fn candidate_count(&self, pattern: swdb_store::IdPattern) -> usize {
+        self.as_target().candidate_count(pattern)
+    }
+
+    fn scan_while(&self, pattern: swdb_store::IdPattern, visit: impl FnMut(IdTriple) -> bool) {
+        self.as_target().scan_while(pattern, visit)
+    }
+
+    fn contains(&self, ids: IdTriple) -> bool {
+        self.as_target().contains(ids)
+    }
+}
+
+impl CoreIndex for OverlayCoreView<'_> {
+    fn insert(&mut self, t: IdTriple) -> bool {
+        if self.diff.removed.remove(&t) {
+            return true;
+        }
+        if self.base.contains(t) {
+            return false;
+        }
+        self.diff.added.insert(t)
+    }
+
+    fn remove(&mut self, t: IdTriple) -> bool {
+        if self.diff.added.remove(t) {
+            return true;
+        }
+        self.base.contains(t) && self.diff.removed.insert(t)
+    }
 }
 
 /// One blank component with its cached core state.
@@ -181,11 +283,18 @@ impl IdCoreEngine {
         dictionary: &Dictionary,
     ) {
         let mut removed_from_eval: BTreeSet<IdTriple> = BTreeSet::new();
-        let mut structure_changed = false;
+        let mut blank_delta_ids: BTreeSet<TermId> = BTreeSet::new();
+        let note_blanks = |ids: &mut BTreeSet<TermId>, (s, _, o): IdTriple| {
+            for id in [s, o] {
+                if dictionary.is_blank(id) {
+                    ids.insert(id);
+                }
+            }
+        };
         for &t in removed {
             if is_blank_triple(dictionary, t) {
                 if self.blank_full.remove(&t) {
-                    structure_changed = true;
+                    note_blanks(&mut blank_delta_ids, t);
                     if let Some(refs) = self.blank_pred_refs.get_mut(&t.1) {
                         *refs -= 1;
                         if *refs == 0 {
@@ -201,10 +310,12 @@ impl IdCoreEngine {
             }
         }
         let mut added_preds: BTreeSet<TermId> = BTreeSet::new();
+        let mut blank_added: Vec<IdTriple> = Vec::new();
         for &t in added {
             if is_blank_triple(dictionary, t) {
                 if self.blank_full.insert(t) {
-                    structure_changed = true;
+                    note_blanks(&mut blank_delta_ids, t);
+                    blank_added.push(t);
                     *self.blank_pred_refs.entry(t.1).or_insert(0) += 1;
                 }
             } else if self.eval.insert(t) {
@@ -214,12 +325,12 @@ impl IdCoreEngine {
         let relevant_add = added_preds
             .iter()
             .any(|p| self.blank_pred_refs.contains_key(p));
-        if !structure_changed && removed_from_eval.is_empty() && !relevant_add {
+        if blank_delta_ids.is_empty() && removed_from_eval.is_empty() && !relevant_add {
             // The pure ground fast path: the index is already the core.
             return;
         }
-        if structure_changed {
-            self.rebuild_components(dictionary);
+        if !blank_delta_ids.is_empty() {
+            self.update_components(&blank_added, &blank_delta_ids, dictionary);
         }
         let dirty: Vec<usize> = self
             .components
@@ -232,42 +343,147 @@ impl IdCoreEngine {
         self.debug_check(dictionary);
     }
 
-    /// Recomputes the component partition of `blank_full`, inheriting the
-    /// cached core state of every component whose full triple set is
-    /// unchanged and marking the rest stale.
-    fn rebuild_components(&mut self, dictionary: &Dictionary) {
-        let old = std::mem::take(&mut self.components);
-        let mut by_first: BTreeMap<IdTriple, Vec<Component>> = BTreeMap::new();
-        for c in old {
-            if let Some(&first) = c.full.first() {
-                by_first.entry(first).or_default().push(c);
+    /// Is the triple part of the maintained set (cored away or not)? Ground
+    /// triples live in the published index, blank triples in the full blank
+    /// side.
+    pub fn maintains(&self, t: IdTriple) -> bool {
+        self.eval.contains(t) || self.blank_full.contains(&t)
+    }
+
+    /// Cores `maintained ∪ delta` as a *scoped* diff against the published
+    /// index, without mutating the engine — the substrate of transient
+    /// premise evaluation: queries over `D + P` run against
+    /// `published ∪ overlay.added − overlay.removed`, and dropping the
+    /// overlay afterwards leaves the durable state bit-identical.
+    ///
+    /// `delta` must be additions the engine does not already maintain (the
+    /// closure preview under RDFS, the not-yet-asserted premise triples
+    /// under simple entailment); the algorithm mirrors the insert half of
+    /// [`IdCoreEngine::apply_delta`]. Ground delta triples always survive
+    /// (maps fix URIs). Blank delta triples form a blob with every existing
+    /// component they transitively share a blank with; the blob is restored
+    /// to its full set and re-cored into the diff. Finally, components
+    /// whose survivors could fold onto a newly visible triple (matching
+    /// predicate) get the chance to retract further — their folded
+    /// survivors land in `removed`, the published index keeps them.
+    pub fn overlay_core(&self, delta: &[IdTriple], dictionary: &Dictionary) -> EvalOverlay {
+        let mut view = OverlayCoreView {
+            base: &self.eval,
+            diff: EvalOverlay::default(),
+        };
+        let mut added_preds: BTreeSet<TermId> = BTreeSet::new();
+        let mut fresh_blank: BTreeSet<IdTriple> = BTreeSet::new();
+        for &t in delta {
+            if is_blank_triple(dictionary, t) {
+                if !self.blank_full.contains(&t) {
+                    fresh_blank.insert(t);
+                }
+            } else if view.insert(t) {
+                added_preds.insert(t.1);
             }
         }
-        for part in blank_components(self.blank_full.iter().copied(), |id| {
-            dictionary.is_blank(id)
-        }) {
-            let inherited = part.triples.first().and_then(|first| {
-                let bucket = by_first.get_mut(first)?;
-                let at = bucket.iter().position(|c| c.full == part.triples)?;
-                Some(bucket.swap_remove(at))
-            });
-            self.components.push(match inherited {
-                Some(c) => Component {
-                    blanks: part.blanks,
-                    full: part.triples,
-                    survivors: c.survivors,
-                    support: c.support,
-                    stale: c.stale,
-                },
-                None => Component {
-                    blanks: part.blanks,
-                    full: part.triples,
-                    survivors: BTreeSet::new(),
-                    support: BTreeSet::new(),
-                    stale: true,
-                },
-            });
+        let mut folds = Vec::new();
+        let mut affected: Vec<usize> = Vec::new();
+        if !fresh_blank.is_empty() {
+            // The blob: the fresh blank triples plus every component they
+            // transitively connect to through shared blanks.
+            let mut blob_blanks: BTreeSet<TermId> = fresh_blank
+                .iter()
+                .flat_map(|&(s, _, o)| [s, o])
+                .filter(|&id| dictionary.is_blank(id))
+                .collect();
+            loop {
+                let mut grew = false;
+                for (i, c) in self.components.iter().enumerate() {
+                    if !affected.contains(&i) && c.blanks.iter().any(|b| blob_blanks.contains(b)) {
+                        blob_blanks.extend(c.blanks.iter().copied());
+                        affected.push(i);
+                        grew = true;
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+            let mut current: BTreeSet<IdTriple> = fresh_blank;
+            for &i in &affected {
+                current.extend(self.components[i].full.iter().copied());
+            }
+            // Restore the blob's full set into the view (previously folded
+            // triples come back until the fresh local search decides their
+            // fate), then core it.
+            for &t in &current {
+                if view.insert(t) {
+                    added_preds.insert(t.1);
+                }
+            }
+            fold_to_fixpoint(&mut view, &mut current, &blob_blanks, &mut folds);
         }
+        if !added_preds.is_empty() {
+            // Progressive pass over the components outside the blob,
+            // exactly as in `refresh`: a newly visible triple can be a fold
+            // image only for survivors sharing its predicate, and folds
+            // only remove, so one sweep reaches the fixpoint. Folded
+            // survivors are *published* triples — they land in the diff's
+            // removals while the published index keeps them.
+            for (i, comp) in self.components.iter().enumerate() {
+                if affected.contains(&i) {
+                    continue;
+                }
+                if comp.survivors.iter().all(|t| !added_preds.contains(&t.1)) {
+                    continue;
+                }
+                let mut current = comp.survivors.clone();
+                fold_to_fixpoint(&mut view, &mut current, &comp.blanks, &mut folds);
+            }
+        }
+        view.diff
+    }
+
+    /// Repartitions only the components a blank-structural delta touches.
+    ///
+    /// A delta triple can merge, split, extend or shrink exactly the
+    /// components it shares a blank with: any other component's triples
+    /// mention none of the delta's blanks, so its partition cell is
+    /// untouched and its cached core state carries over wholesale. The
+    /// union-find therefore runs over the *local* triple set only — the
+    /// live triples of the dissolved components plus the freshly added
+    /// blank triples (a triple mentioning a delta blank either was in a
+    /// component owning that blank, or is itself part of the delta) —
+    /// instead of the whole blank side (ROADMAP item).
+    fn update_components(
+        &mut self,
+        blank_added: &[IdTriple],
+        delta_blanks: &BTreeSet<TermId>,
+        dictionary: &Dictionary,
+    ) {
+        let all = std::mem::take(&mut self.components);
+        let (dissolved, kept): (Vec<Component>, Vec<Component>) = all
+            .into_iter()
+            .partition(|c| c.blanks.iter().any(|b| delta_blanks.contains(b)));
+        self.components = kept;
+        let mut local: BTreeSet<IdTriple> = dissolved
+            .iter()
+            .flat_map(|c| c.full.iter().copied())
+            .filter(|t| self.blank_full.contains(t))
+            .collect();
+        local.extend(blank_added.iter().copied());
+        partition_and_inherit(&mut self.components, local, dissolved, dictionary);
+    }
+
+    /// Recomputes the component partition of `blank_full` from scratch (the
+    /// cold-build path; deltas go through
+    /// [`IdCoreEngine::update_components`]), inheriting the cached core
+    /// state of every component whose full triple set is unchanged and
+    /// marking the rest stale.
+    fn rebuild_components(&mut self, dictionary: &Dictionary) {
+        let old = std::mem::take(&mut self.components);
+        partition_and_inherit(
+            &mut self.components,
+            self.blank_full.iter().copied(),
+            old,
+            dictionary,
+        );
     }
 
     /// Re-cores the dirty components from their full sets, then gives every
@@ -377,13 +593,55 @@ fn is_blank_triple(dictionary: &Dictionary, (s, _, o): IdTriple) -> bool {
     dictionary.is_blank(s) || dictionary.is_blank(o)
 }
 
+/// Partitions `triples` into blank components and appends the cells to
+/// `components` — the shared inheritance protocol of the cold rebuild and
+/// the incremental repartition: a cell whose full triple set reappears
+/// unchanged among `old` (bucketed by first triple) carries its cached core
+/// state over wholesale; every other cell starts stale.
+fn partition_and_inherit(
+    components: &mut Vec<Component>,
+    triples: impl IntoIterator<Item = IdTriple>,
+    old: Vec<Component>,
+    dictionary: &Dictionary,
+) {
+    let mut by_first: BTreeMap<IdTriple, Vec<Component>> = BTreeMap::new();
+    for c in old {
+        if let Some(&first) = c.full.first() {
+            by_first.entry(first).or_default().push(c);
+        }
+    }
+    for part in blank_components(triples, |id| dictionary.is_blank(id)) {
+        let inherited = part.triples.first().and_then(|first| {
+            let bucket = by_first.get_mut(first)?;
+            let at = bucket.iter().position(|c| c.full == part.triples)?;
+            Some(bucket.swap_remove(at))
+        });
+        components.push(match inherited {
+            Some(c) => Component {
+                blanks: part.blanks,
+                full: part.triples,
+                survivors: c.survivors,
+                support: c.support,
+                stale: c.stale,
+            },
+            None => Component {
+                blanks: part.blanks,
+                full: part.triples,
+                survivors: BTreeSet::new(),
+                support: BTreeSet::new(),
+                stale: true,
+            },
+        });
+    }
+}
+
 /// Retracts `current` — the component's triples presently in `eval` — to a
 /// local fixpoint. Each successful fold map is applied to `eval` (dropping
 /// the folded triples), pushed to `folds`, and composed into the returned
 /// map. On return no triple of `current` can be avoided: the component is
 /// locally lean.
-fn fold_to_fixpoint(
-    eval: &mut IdIndex,
+fn fold_to_fixpoint<T: CoreIndex>(
+    eval: &mut T,
     current: &mut BTreeSet<IdTriple>,
     blanks: &BTreeSet<TermId>,
     folds: &mut Vec<IdMap>,
@@ -422,8 +680,8 @@ fn fold_to_fixpoint(
 /// variables; the target is the published index with the avoided triple
 /// masked out, so ground triples and other components' survivors are valid
 /// fold images exactly as in the global search.
-fn find_fold(
-    eval: &IdIndex,
+fn find_fold<T: CoreIndex>(
+    eval: &T,
     current: &BTreeSet<IdTriple>,
     blanks: &BTreeSet<TermId>,
 ) -> Option<IdMap> {
@@ -647,6 +905,163 @@ mod tests {
                 isomorphic(&decoded, &expected),
                 "after {t}: engine {decoded} vs spec {expected}"
             );
+        }
+    }
+
+    /// Decodes the published index overlaid with a diff.
+    fn decode_overlay(store: &TripleStore, engine: &IdCoreEngine, overlay: &EvalOverlay) -> Graph {
+        engine
+            .index()
+            .iter()
+            .filter(|t| !overlay.removed.contains(t))
+            .chain(overlay.added.iter())
+            .map(|t| store.materialize(t))
+            .collect()
+    }
+
+    /// The overlaid core must be isomorphic to the spec core of the
+    /// combined graph, and computing it must leave the engine untouched.
+    fn assert_overlay_is_core_of_union(base: &Graph, delta: &Graph) {
+        let mut store = TripleStore::from_graph(base);
+        let engine = IdCoreEngine::from_triples(store.iter_ids(), store.dictionary());
+        let published_before = engine.index().clone();
+        let ids: Vec<IdTriple> = delta
+            .iter()
+            .map(|t| {
+                let s = store.intern(t.subject());
+                let p = store.intern(&swdb_model::Term::Iri(t.predicate().clone()));
+                let o = store.intern(t.object());
+                (s, p, o)
+            })
+            .filter(|&t| !engine.maintains(t))
+            .collect();
+        let overlay = engine.overlay_core(&ids, store.dictionary());
+        assert_eq!(
+            engine.index(),
+            &published_before,
+            "overlay_core must not perturb the published index"
+        );
+        let decoded = decode_overlay(&store, &engine, &overlay);
+        let expected = crate::core(&base.union(delta));
+        assert!(
+            isomorphic(&decoded, &expected),
+            "overlaid core {decoded} differs from spec core {expected} for {base} + {delta}"
+        );
+    }
+
+    #[test]
+    fn overlay_core_of_a_ground_delta_is_purely_additive() {
+        let base = graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:c")]);
+        let delta = graph([("ex:z", "ex:r", "ex:w")]);
+        assert_overlay_is_core_of_union(&base, &delta);
+    }
+
+    #[test]
+    fn overlay_ground_delta_can_fold_published_blanks_into_removals() {
+        // The delta gives X a ground fold target: both blank triples must be
+        // *removed* by the overlay while the engine keeps publishing them.
+        let base = graph([("ex:a", "ex:p", "_:X"), ("_:X", "ex:q", "ex:c")]);
+        let delta = graph([("ex:a", "ex:p", "ex:b"), ("ex:b", "ex:q", "ex:c")]);
+        let mut store = TripleStore::from_graph(&base);
+        let engine = IdCoreEngine::from_triples(store.iter_ids(), store.dictionary());
+        let ids: Vec<IdTriple> = delta
+            .iter()
+            .map(|t| {
+                let s = store.intern(t.subject());
+                let p = store.intern(&swdb_model::Term::Iri(t.predicate().clone()));
+                let o = store.intern(t.object());
+                (s, p, o)
+            })
+            .collect();
+        let overlay = engine.overlay_core(&ids, store.dictionary());
+        assert_eq!(overlay.added.len(), 2, "both ground delta triples survive");
+        assert_eq!(overlay.removed.len(), 2, "both blank triples fold away");
+        assert_eq!(engine.len(), 2, "published index untouched");
+        assert_overlay_is_core_of_union(&base, &delta);
+    }
+
+    #[test]
+    fn overlay_blank_delta_merges_with_existing_components_transiently() {
+        // The delta's blank triple bridges into X's component and makes the
+        // whole blob redundant against the ground pair.
+        let base = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:b", "ex:q", "ex:c"),
+            ("ex:a", "ex:p", "_:X"),
+        ]);
+        let delta = graph([("_:X", "ex:q", "ex:c")]);
+        assert_overlay_is_core_of_union(&base, &delta);
+        // And a delta that keeps the blob alive (distinguishing edge).
+        let delta2 = graph([("_:X", "ex:r", "ex:d")]);
+        assert_overlay_is_core_of_union(&base, &delta2);
+    }
+
+    #[test]
+    fn overlay_with_fresh_blank_components_and_cross_folds() {
+        let base = graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("_:X", "ex:q", "ex:b"),
+            ("ex:c", "ex:r", "ex:d"),
+        ]);
+        // A fresh blank Y that folds onto X's component, plus a triple that
+        // makes Y distinguishable — both directions.
+        for delta in [
+            graph([("ex:a", "ex:p", "_:Y")]),
+            graph([("ex:a", "ex:p", "_:Y"), ("_:Y", "ex:q", "ex:b")]),
+            graph([("ex:a", "ex:p", "_:Y"), ("_:Y", "ex:s", "ex:e")]),
+        ] {
+            assert_overlay_is_core_of_union(&base, &delta);
+        }
+    }
+
+    #[test]
+    fn overlay_on_empty_delta_is_empty() {
+        let base = graph([("ex:a", "ex:p", "_:X")]);
+        let store = TripleStore::from_graph(&base);
+        let engine = IdCoreEngine::from_triples(store.iter_ids(), store.dictionary());
+        let overlay = engine.overlay_core(&[], store.dictionary());
+        assert!(overlay.is_empty());
+    }
+
+    #[test]
+    fn incremental_partition_matches_a_fresh_rebuild_under_mutation() {
+        // Interleave blank-structural edits and compare the maintained
+        // partition against a cold-built engine's after every step.
+        let script: Vec<(bool, swdb_model::Triple)> = vec![
+            (true, swdb_model::triple("ex:a", "ex:p", "_:A")),
+            (true, swdb_model::triple("ex:a", "ex:p", "_:B")),
+            (true, swdb_model::triple("_:B", "ex:q", "_:C")),
+            (true, swdb_model::triple("_:D", "ex:r", "ex:b")),
+            (true, swdb_model::triple("_:A", "ex:s", "_:D")),
+            (false, swdb_model::triple("_:A", "ex:s", "_:D")),
+            (false, swdb_model::triple("_:B", "ex:q", "_:C")),
+            (true, swdb_model::triple("_:C", "ex:t", "_:D")),
+            (false, swdb_model::triple("ex:a", "ex:p", "_:A")),
+        ];
+        let mut store = TripleStore::new();
+        let mut engine = IdCoreEngine::new();
+        for (insert, t) in script {
+            if insert {
+                let (ids, added) = store.insert_with_ids(&t);
+                if added {
+                    engine.apply_delta(&[ids], &[], store.dictionary());
+                }
+            } else if let Some(ids) = store.remove_with_ids(&t) {
+                engine.apply_delta(&[], &[ids], store.dictionary());
+            }
+            let fresh = IdCoreEngine::from_triples(store.iter_ids(), store.dictionary());
+            assert_eq!(
+                engine.component_sizes(),
+                fresh.component_sizes(),
+                "partition diverged from a fresh rebuild after {t}"
+            );
+            assert_eq!(engine.component_count(), fresh.component_count());
+            let decoded: Graph = engine
+                .index()
+                .iter()
+                .map(|ids| store.materialize(ids))
+                .collect();
+            assert!(isomorphic(&decoded, &crate::core(&store.to_graph())));
         }
     }
 

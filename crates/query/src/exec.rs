@@ -22,7 +22,7 @@
 
 use std::ops::ControlFlow;
 
-use swdb_hom::{Binding, PatternGraph, PatternTerm, Variable, DEFAULT_SOLUTION_LIMIT};
+use swdb_hom::{Binding, IdTarget, PatternGraph, PatternTerm, Variable, DEFAULT_SOLUTION_LIMIT};
 use swdb_model::{Graph, Term};
 use swdb_store::{Dictionary, IdIndex, TermId};
 
@@ -99,22 +99,24 @@ pub fn compile_body(body: &PatternGraph, dictionary: &Dictionary) -> Option<Comp
     Some(CompiledBody { patterns, vars })
 }
 
-/// A prepared id-space matcher: one compiled body against one [`IdIndex`].
+/// A prepared id-space matcher: one compiled body against one evaluation
+/// target — a plain [`IdIndex`] (the cached evaluation index) or any other
+/// [`IdTarget`] such as the premise overlay view [`swdb_hom::Overlay`].
 ///
 /// A thin query-shaped wrapper over the shared [`swdb_hom::IdSolver`] —
 /// dynamic most-constrained-first pattern selection via
-/// [`IdIndex::candidate_count`] (a range count, no allocation), candidates
-/// visited in place via [`IdIndex::scan_while`] (no materialized candidate
+/// [`IdTarget::candidate_count`] (a range count, no allocation), candidates
+/// visited in place via [`IdTarget::scan_while`] (no materialized candidate
 /// `Vec`, no term clones).
-pub struct IdSolver<'a> {
-    inner: swdb_hom::IdSolver<'a, IdIndex>,
+pub struct IdSolver<'a, T: IdTarget = IdIndex> {
+    inner: swdb_hom::IdSolver<'a, T>,
 }
 
-impl<'a> IdSolver<'a> {
-    /// Creates a solver for the given compiled body and target index.
-    pub fn new(body: &'a CompiledBody, index: &'a IdIndex) -> Self {
+impl<'a, T: IdTarget> IdSolver<'a, T> {
+    /// Creates a solver for the given compiled body and evaluation target.
+    pub fn new(body: &'a CompiledBody, target: &'a T) -> Self {
         IdSolver {
-            inner: swdb_hom::IdSolver::new(&body.patterns, body.vars.len(), index),
+            inner: swdb_hom::IdSolver::new(&body.patterns, body.vars.len(), target),
         }
     }
 
@@ -172,9 +174,13 @@ impl<'a> IdSolver<'a> {
 /// against an id-indexed evaluation graph, decoding each surviving solution
 /// through the dictionary. Equals [`crate::answer::matchings_against`] over
 /// the same evaluation graph (the property tests pin this).
-pub fn id_matchings(query: &Query, dictionary: &Dictionary, index: &IdIndex) -> Vec<Binding> {
+pub fn id_matchings<T: IdTarget>(
+    query: &Query,
+    dictionary: &Dictionary,
+    target: &T,
+) -> Vec<Binding> {
     let mut out = Vec::new();
-    for_each_matching(query, dictionary, index, |binding| out.push(binding));
+    for_each_matching(query, dictionary, target, |binding| out.push(binding));
     out
 }
 
@@ -187,13 +193,17 @@ pub fn id_matchings(query: &Query, dictionary: &Dictionary, index: &IdIndex) -> 
 /// constraints only mention head variables), so solutions are first
 /// projected onto the head-variable slots and deduplicated as `TermId`
 /// rows — only distinct projections are ever decoded.
-pub fn id_pre_answers(query: &Query, dictionary: &Dictionary, index: &IdIndex) -> Vec<Graph> {
+pub fn id_pre_answers<T: IdTarget>(
+    query: &Query,
+    dictionary: &Dictionary,
+    target: &T,
+) -> Vec<Graph> {
     let mut seen = std::collections::BTreeSet::new();
     let mut singles: Vec<Graph> = Vec::new();
     if head_has_blank_consts(query) {
         // Skolem values depend on every body variable: full decode per
         // matching.
-        for_each_matching(query, dictionary, index, |binding| {
+        for_each_matching(query, dictionary, target, |binding| {
             if let Some(answer) = single_answer(query, &binding) {
                 if seen.insert(answer.clone()) {
                     singles.push(answer);
@@ -208,7 +218,7 @@ pub fn id_pre_answers(query: &Query, dictionary: &Dictionary, index: &IdIndex) -
     let head_slots = head_slot_projection(query, &compiled);
     let mut seen_rows = std::collections::BTreeSet::new();
     let mut enumerated = 0usize;
-    IdSolver::new(&compiled, index).for_each_solution(&mut |slots| {
+    IdSolver::new(&compiled, target).for_each_solution(&mut |slots| {
         let row: Vec<TermId> = head_slots
             .iter()
             .map(|(slot, _)| slots[*slot].expect("complete solution"))
@@ -247,22 +257,25 @@ pub fn id_pre_answers(query: &Query, dictionary: &Dictionary, index: &IdIndex) -
 /// graph — no per-matching `Binding`, no per-single `Graph`, no combine
 /// pass. Merge semantics and Skolemized heads go through
 /// [`id_pre_answers`] + [`combine`] like the string-space evaluator.
-pub fn id_answer(
+pub fn id_answer<T: IdTarget>(
     query: &Query,
     dictionary: &Dictionary,
-    index: &IdIndex,
+    target: &T,
     semantics: Semantics,
 ) -> Graph {
     if semantics == Semantics::Union && !head_has_blank_consts(query) {
-        return id_answer_union_direct(query, dictionary, index);
+        return id_answer_union_direct(query, dictionary, target);
     }
-    combine(id_pre_answers(query, dictionary, index), semantics)
+    combine(id_pre_answers(query, dictionary, target), semantics)
 }
 
 /// Returns `true` if the head mentions a blank-node constant — the case
-/// that forces Skolemization over every body variable and disables the
-/// head-projection fast paths.
-fn head_has_blank_consts(query: &Query) -> bool {
+/// that forces Skolemization over every body variable. It disables the
+/// head-projection fast paths here, and routes premise queries away from
+/// the Proposition 5.9 expansion in the facade (substituting body
+/// variables away changes the Skolem arguments, so per-member Skolem
+/// values would not coincide with the direct evaluation's).
+pub fn head_has_blank_consts(query: &Query) -> bool {
     query
         .head()
         .patterns()
@@ -295,7 +308,11 @@ fn head_slot_projection(query: &Query, compiled: &CompiledBody) -> Vec<(usize, V
 /// the set of all well-formed head instantiations; a single answer is
 /// dropped as a whole when any head pattern fails to instantiate, exactly
 /// as [`single_answer`] does).
-fn id_answer_union_direct(query: &Query, dictionary: &Dictionary, index: &IdIndex) -> Graph {
+fn id_answer_union_direct<T: IdTarget>(
+    query: &Query,
+    dictionary: &Dictionary,
+    target: &T,
+) -> Graph {
     let mut answer = Graph::new();
     let Some(compiled) = compile_body(query.body(), dictionary) else {
         return answer;
@@ -345,7 +362,7 @@ fn id_answer_union_direct(query: &Query, dictionary: &Dictionary, index: &IdInde
     let mut seen_rows = std::collections::BTreeSet::new();
     let mut enumerated = 0usize;
     let mut row_triples: Vec<swdb_model::Triple> = Vec::with_capacity(head_plan.len());
-    IdSolver::new(&compiled, index).for_each_solution(&mut |slots| {
+    IdSolver::new(&compiled, target).for_each_solution(&mut |slots| {
         let row: Vec<TermId> = head_slots
             .iter()
             .map(|(slot, _)| slots[*slot].expect("complete solution"))
@@ -406,11 +423,11 @@ fn id_answer_union_direct(query: &Query, dictionary: &Dictionary, index: &IdInde
 /// first witness instead of materializing every matching, and — like every
 /// other enumeration path — gives up after [`DEFAULT_SOLUTION_LIMIT`]
 /// rejected matchings rather than exhausting a combinatorial cross product.
-pub fn id_answer_is_empty(query: &Query, dictionary: &Dictionary, index: &IdIndex) -> bool {
+pub fn id_answer_is_empty<T: IdTarget>(query: &Query, dictionary: &Dictionary, target: &T) -> bool {
     let Some(compiled) = compile_body(query.body(), dictionary) else {
         return true;
     };
-    let solver = IdSolver::new(&compiled, index);
+    let solver = IdSolver::new(&compiled, target);
     let mut found = false;
     let mut enumerated = 0usize;
     solver.for_each_solution(&mut |slots| {
@@ -431,17 +448,17 @@ pub fn id_answer_is_empty(query: &Query, dictionary: &Dictionary, index: &IdInde
 
 /// Shared enumeration core: compile (with the unknown-constant fast path),
 /// solve in id space, decode, filter by constraints.
-fn for_each_matching(
+fn for_each_matching<T: IdTarget>(
     query: &Query,
     dictionary: &Dictionary,
-    index: &IdIndex,
+    target: &T,
     mut accept: impl FnMut(Binding),
 ) {
     let Some(compiled) = compile_body(query.body(), dictionary) else {
         // A body constant that was never interned matches nothing.
         return;
     };
-    let solver = IdSolver::new(&compiled, index);
+    let solver = IdSolver::new(&compiled, target);
     let mut seen = 0usize;
     solver.for_each_solution(&mut |slots| {
         let binding = compiled.decode(slots, dictionary);

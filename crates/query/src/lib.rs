@@ -33,10 +33,13 @@ pub use answer::{
     single_answer, NormalizedDatabase, Semantics,
 };
 pub use exec::{
-    compile_body, id_answer, id_answer_is_empty, id_matchings, id_pre_answers, CompiledBody,
-    IdPatternTerm, IdSolver, IdTriplePattern,
+    compile_body, head_has_blank_consts, id_answer, id_answer_is_empty, id_matchings,
+    id_pre_answers, CompiledBody, IdPatternTerm, IdSolver, IdTriplePattern,
 };
-pub use premise::{answer_union_of_queries, premise_free_expansion};
+pub use premise::{
+    answer_union_of_queries, id_answer_union_of_queries, id_pre_answers_of_queries,
+    id_union_answer_is_empty, premise_free_expansion,
+};
 pub use redundancy::{
     answer_is_lean, eliminate_redundancy, merge_answer_is_lean, merge_answer_redundancy,
     MergeRedundancy,

@@ -13,10 +13,14 @@
 
 use std::collections::BTreeSet;
 
-use swdb_hom::{Binding, GraphIndex, PatternGraph, PatternTerm, Solver, TriplePattern, Variable};
+use swdb_hom::{
+    Binding, GraphIndex, IdTarget, PatternGraph, PatternTerm, Solver, TriplePattern, Variable,
+};
 use swdb_model::{Graph, Term};
+use swdb_store::Dictionary;
 
 use crate::answer::{combine, pre_answers, Semantics};
+use crate::exec;
 use crate::query::Query;
 
 /// Computes the premise-free expansion `Ω_q` of a query.
@@ -60,6 +64,28 @@ pub fn premise_free_expansion(query: &Query) -> Vec<Query> {
             if maps_rest_var_to_blank {
                 continue;
             }
+            // Constraints on variables μ substitutes away are decided now:
+            // a constrained variable sent to a blank of P makes the member
+            // unsatisfiable (skip it), one sent to a ground term satisfies
+            // its constraint (drop it); only constraints on variables that
+            // survive into the member are carried over.
+            let mut constraints: BTreeSet<Variable> = BTreeSet::new();
+            let mut constraint_violated = false;
+            for v in query.constraints() {
+                match mu.get(v) {
+                    Some(Term::Blank(_)) => {
+                        constraint_violated = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        constraints.insert(v.clone());
+                    }
+                }
+            }
+            if constraint_violated {
+                continue;
+            }
             // Head variables sent to blanks of P would also reintroduce
             // blanks, but into the head, which stays legal (heads may contain
             // blanks); we keep those.
@@ -68,17 +94,12 @@ pub fn premise_free_expansion(query: &Query) -> Vec<Query> {
                 .iter()
                 .map(|p| apply_binding_to_triple_pattern(p, &mu))
                 .collect();
-            let candidate = Query::with_all(
-                new_head,
-                new_body,
-                Graph::new(),
-                query.constraints().clone(),
-            );
+            let candidate = Query::with_all(new_head, new_body, Graph::new(), constraints);
             let Ok(candidate) = candidate else {
-                // Substituting can orphan a constrained or head variable that
-                // only occurred in R; such candidates are not well-formed
-                // queries and are skipped (their answers are covered by the
-                // variants that keep the variable in the body).
+                // Unreachable in practice: μ binds every variable of R, so a
+                // head (or surviving constrained) variable either keeps a
+                // body occurrence in B − R or was substituted above. Kept as
+                // a guard so a malformed member can never enter Ω_q.
                 continue;
             };
             if !expansion.contains(&candidate) {
@@ -126,6 +147,58 @@ pub fn answer_union_of_queries(queries: &[Query], database: &Graph, semantics: S
         }
     }
     combine(singles, semantics)
+}
+
+/// The pre-answer of a union of premise-free queries in id space: every
+/// member is compiled and joined against the same evaluation target, and
+/// single answers are deduplicated *across* members (expansion members
+/// overlap heavily — constant heads produced by different `μ` often
+/// coincide). This is the execution half of Proposition 5.9: the expansion
+/// is computed once, each member reuses the cached id join target.
+pub fn id_pre_answers_of_queries<T: IdTarget>(
+    queries: &[Query],
+    dictionary: &Dictionary,
+    target: &T,
+) -> Vec<Graph> {
+    let mut seen = BTreeSet::new();
+    let mut singles: Vec<Graph> = Vec::new();
+    for q in queries {
+        for single in exec::id_pre_answers(q, dictionary, target) {
+            if seen.insert(single.clone()) {
+                singles.push(single);
+            }
+        }
+    }
+    singles
+}
+
+/// Evaluates a union of premise-free queries in id space under the
+/// requested semantics — the id engine's counterpart of
+/// [`answer_union_of_queries`], used by the facade to answer premise
+/// queries through their premise-free expansion.
+pub fn id_answer_union_of_queries<T: IdTarget>(
+    queries: &[Query],
+    dictionary: &Dictionary,
+    target: &T,
+    semantics: Semantics,
+) -> Graph {
+    combine(
+        id_pre_answers_of_queries(queries, dictionary, target),
+        semantics,
+    )
+}
+
+/// Returns `true` if no member of the union has an answer — emptiness of
+/// the expanded premise query. Early-exits on the first member with a
+/// witnessing matching instead of materializing any pre-answer.
+pub fn id_union_answer_is_empty<T: IdTarget>(
+    queries: &[Query],
+    dictionary: &Dictionary,
+    target: &T,
+) -> bool {
+    queries
+        .iter()
+        .all(|q| exec::id_answer_is_empty(q, dictionary, target))
 }
 
 #[cfg(test)]
@@ -244,6 +317,72 @@ mod tests {
         assert!(answers.contains(&triple("ex:u", "ex:p", "ex:a")));
         // (u, q, a) is in the data, (a, t, s) in the premise.
         assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn id_union_evaluation_matches_the_string_union_over_the_same_graph() {
+        let q = example_5_10();
+        let expansion = premise_free_expansion(&q);
+        let databases = [
+            graph([("ex:u", "ex:q", "ex:a")]),
+            graph([("ex:u", "ex:q", "ex:a"), ("ex:v", "ex:q", "ex:b")]),
+            graph([("ex:u", "ex:q", "ex:c"), ("ex:c", "ex:t", "ex:s")]),
+            Graph::new(),
+        ];
+        for d in &databases {
+            let store = swdb_store::TripleStore::from_graph(d);
+            for semantics in [Semantics::Union, Semantics::Merge] {
+                let id = id_answer_union_of_queries(
+                    &expansion,
+                    store.dictionary(),
+                    store.id_index(),
+                    semantics,
+                );
+                let spec = answer_union_of_queries(&expansion, d, semantics);
+                assert!(
+                    swdb_model::isomorphic(&id, &spec),
+                    "{semantics:?} over {d}: {id} vs {spec}"
+                );
+            }
+            assert_eq!(
+                id_union_answer_is_empty(&expansion, store.dictionary(), store.id_index()),
+                answer_union_of_queries(&expansion, d, Semantics::Union).is_empty(),
+                "emptiness diverged over {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn constraints_on_substituted_variables_are_decided_at_expansion_time() {
+        // The only useful member maps the whole body into P, substituting
+        // the constrained ?Y to the ground ex:b — the constraint is then
+        // satisfied and must be dropped, not turned into a malformed (and
+        // silently skipped) member.
+        let q = Query::with_all(
+            pattern_graph([("?X", "ex:p", "?Y")]),
+            pattern_graph([("?X", "ex:q", "?Y")]),
+            graph([("ex:a", "ex:q", "ex:b")]),
+            [Variable::new("Y")].into_iter().collect(),
+        )
+        .unwrap();
+        let expansion = premise_free_expansion(&q);
+        let d = Graph::new();
+        let via_expansion = answer_union_of_queries(&expansion, &d, Semantics::Union);
+        assert_eq!(
+            answer_union(&q, &d),
+            via_expansion,
+            "the fully-premise-matched member must survive with its constraint discharged"
+        );
+        assert!(via_expansion.contains(&triple("ex:a", "ex:p", "ex:b")));
+        // A blank premise value violates the constraint: the member is
+        // dropped and the answer stays empty.
+        let blanked = q.replacing_premise(graph([("ex:a", "ex:q", "_:B")]));
+        let expansion = premise_free_expansion(&blanked);
+        assert_eq!(
+            answer_union(&blanked, &d),
+            answer_union_of_queries(&expansion, &d, Semantics::Union),
+        );
+        assert!(answer_union_of_queries(&expansion, &d, Semantics::Union).is_empty());
     }
 
     #[test]

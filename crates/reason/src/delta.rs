@@ -25,6 +25,7 @@
 
 use std::collections::BTreeSet;
 
+use swdb_hom::{IdTarget, Overlay};
 use swdb_model::Term;
 use swdb_store::{Dictionary, IdPattern, IdTriple, TermId, TripleStore};
 
@@ -57,9 +58,12 @@ fn split_most_bound<'a>(
 }
 
 /// Joins `hypotheses` (most selective first) against `closure`, starting
-/// from `binding`, appending every complete binding to `out`.
-fn join_all(
-    closure: &IdIndex,
+/// from `binding`, appending every complete binding to `out`. Generic over
+/// the scan target so the same join runs against the maintained closure
+/// index and against the layered closure-plus-overlay view of a transient
+/// premise preview.
+fn join_all<V: IdTarget>(
+    closure: &V,
     hypotheses: &[&TriplePattern],
     binding: Binding,
     out: &mut Vec<Binding>,
@@ -80,7 +84,7 @@ fn join_all(
 
 /// Like [`join_all`] but only tests for the existence of a complete binding,
 /// stopping at the first one.
-fn join_exists(closure: &IdIndex, hypotheses: &[&TriplePattern], binding: Binding) -> bool {
+fn join_exists<V: IdTarget>(closure: &V, hypotheses: &[&TriplePattern], binding: Binding) -> bool {
     if hypotheses.is_empty() {
         return true;
     }
@@ -293,6 +297,76 @@ impl DeltaClosure {
                 }
             }
         }
+    }
+
+    /// Computes `RDFS-cl(G ∪ Δ) − RDFS-cl(G)` — the closure growth a
+    /// transient batch insert would cause — **without mutating** the
+    /// maintained closure. The same frontier-batched semi-naive round as
+    /// [`DeltaClosure::insert_batch_logged`] runs, but fresh conclusions
+    /// accumulate in a private overlay and every rule join probes the
+    /// layered view `closure ∪ overlay` ([`swdb_hom::Overlay`]), so the
+    /// cost scales with the delta's consequences, never with `|cl(G)|`.
+    ///
+    /// This is the reasoning half of transient premise evaluation: the
+    /// returned triples (the premise's fresh members plus everything they
+    /// newly derive) overlay the evaluation index for the duration of one
+    /// query and are then dropped — the durable engine is untouched.
+    ///
+    /// The ids must be interned and covered by [`DeltaClosure::sync_terms`].
+    pub fn preview_insert_batch(
+        &self,
+        deltas: impl IntoIterator<Item = IdTriple>,
+    ) -> Vec<IdTriple> {
+        let mut extra = IdIndex::new();
+        let mut added: Vec<IdTriple> = Vec::new();
+        let mut queue: Vec<IdTriple> = Vec::new();
+        for t in deltas {
+            if !self.closure.contains(t) && extra.insert(t) {
+                queue.push(t);
+                added.push(t);
+            }
+        }
+        while let Some(delta) = queue.pop() {
+            let mut fresh: Vec<IdTriple> = Vec::new();
+            {
+                let view = Overlay::new(&self.closure, &extra);
+                let paths: Vec<_> = self.rules.paths_for_predicate(delta.1).collect();
+                for (rule_idx, hyp_idx) in paths {
+                    let rule = &self.rules.rules()[rule_idx];
+                    let mut seed = EMPTY_BINDING;
+                    if !rule.hypotheses[hyp_idx].unify(delta, &mut seed) {
+                        continue;
+                    }
+                    let remaining: Vec<&TriplePattern> = rule
+                        .hypotheses
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != hyp_idx)
+                        .map(|(_, h)| h)
+                        .collect();
+                    let mut bindings = Vec::new();
+                    join_all(&view, &remaining, seed, &mut bindings);
+                    for binding in bindings {
+                        if !self.guards_ok(&rule.iri_guards, &binding) {
+                            continue;
+                        }
+                        for conclusion in &rule.conclusions {
+                            let derived = conclusion.instantiate(&binding);
+                            if !view.contains(derived) {
+                                fresh.push(derived);
+                            }
+                        }
+                    }
+                }
+            }
+            for t in fresh {
+                if extra.insert(t) {
+                    queue.push(t);
+                    added.push(t);
+                }
+            }
+        }
+        added
     }
 
     /// Applies a deleted base triple (already removed from `base`); returns

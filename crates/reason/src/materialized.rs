@@ -135,6 +135,33 @@ impl MaterializedStore {
         delta
     }
 
+    /// Interns every term of a graph into the shared dictionary — nothing
+    /// is asserted and no closure propagation runs — and returns the
+    /// graph's id triples. The substrate of *transient* premise
+    /// evaluation: the ids are durable (the dictionary is append-only, so
+    /// interning perturbs no index), while the store and the maintained
+    /// closure stay untouched.
+    pub fn intern_graph(&mut self, graph: &Graph) -> Vec<IdTriple> {
+        let ids = graph
+            .iter()
+            .map(|t| {
+                let s = self.store.intern(t.subject());
+                let p = self.store.intern(&Term::Iri(t.predicate().clone()));
+                let o = self.store.intern(t.object());
+                (s, p, o)
+            })
+            .collect();
+        self.engine.sync_terms(self.store.dictionary());
+        ids
+    }
+
+    /// Previews the closure growth of transiently inserting the given id
+    /// triples — `RDFS-cl(G ∪ Δ) − RDFS-cl(G)` — without perturbing the
+    /// maintained closure (see [`DeltaClosure::preview_insert_batch`]).
+    pub fn preview_insert(&self, ids: &[IdTriple]) -> Vec<IdTriple> {
+        self.engine.preview_insert_batch(ids.iter().copied())
+    }
+
     /// Removes a triple; returns `true` if it was asserted. The closure is
     /// maintained by DRed overdelete/rederive.
     pub fn remove(&mut self, triple: &Triple) -> bool {
@@ -402,6 +429,43 @@ mod tests {
             "reflexive sc survives via the closure rules"
         );
         apply(&mut m, &mut shadow, d);
+    }
+
+    #[test]
+    fn preview_matches_the_committed_delta_and_leaves_the_closure_alone() {
+        let mut m = sample();
+        let premise = graph([
+            ("ex:sculpts", rdfs::SP, "ex:creates"),
+            ("ex:Rodin", "ex:sculpts", "ex:TheThinker"),
+        ]);
+        let before = m.closure_graph();
+        let ids = m.intern_graph(&premise);
+        assert_eq!(ids.len(), 2);
+        let mut previewed = m.preview_insert(&ids);
+        assert_eq!(
+            m.closure_graph(),
+            before,
+            "neither interning nor previewing may touch the closure"
+        );
+        // The preview must equal the added-side of actually committing.
+        let mut committed = m.insert_graph_with_delta(&premise).added;
+        previewed.sort_unstable();
+        committed.sort_unstable();
+        assert_eq!(previewed, committed);
+        // The preview saw the cross product: the premise's data triple
+        // joined with the premise's own schema *and* the stored schema.
+        assert!(m.closure_contains(&triple("ex:Rodin", "ex:creates", "ex:TheThinker")));
+        assert!(m.closure_contains(&triple("ex:Rodin", rdfs::TYPE, "ex:Artist")));
+    }
+
+    #[test]
+    fn preview_of_already_derived_triples_is_empty() {
+        let mut m = sample();
+        let ids = m.intern_graph(&graph([("ex:Picasso", "ex:creates", "ex:Guernica")]));
+        assert!(
+            m.preview_insert(&ids).is_empty(),
+            "a triple already in the closure adds nothing"
+        );
     }
 
     #[test]

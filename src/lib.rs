@@ -74,12 +74,28 @@
 //! maintenance, blank-touching deltas re-core only the affected
 //! component(s); nothing is dropped and rebuilt. Bindings stay `TermId`s
 //! until a matching survives the constraint check and the answer graph is
-//! materialized. Queries **with premises** still normalize `nf(D + P)` on
-//! the fly through the string-space evaluator, which also remains the
-//! executable specification (`core::SemanticWebDatabase::answer_recomputed`)
-//! that the equivalence property tests pin the id engine against — the core
-//! is unique up to isomorphism (Theorem 3.10), so the pinning is up to
-//! isomorphism wherever answers expose blank nodes.
+//! materialized.
+//!
+//! Queries **with premises** run through the same id engine — no query
+//! path evaluates in string space anymore. Two mechanisms, selected per
+//! query: ground premises under simple entailment take the
+//! **premise-free expansion** of Proposition 5.9
+//! ([`query::premise_free_expansion`]), every member joining the cached
+//! evaluation index with answers deduplicated across members in id space;
+//! everything else takes the **premise overlay** — the premise is a
+//! *scoped, transient delta* whose closure growth is previewed against the
+//! maintained closure without committing
+//! ([`reason::MaterializedStore::preview_insert`]), cored as a diff by the
+//! incremental engine ([`normal::IdCoreEngine::overlay_core`] →
+//! [`normal::EvalOverlay`]), and joined through the layered
+//! [`hom::Overlay`] view `index ∪ added − removed`. The published
+//! evaluation index stays bit-identical across an overlaid query, and
+//! overlays are cached per premise until the next mutation. The
+//! string-space evaluator remains the executable specification
+//! (`core::SemanticWebDatabase::answer_recomputed`) that the equivalence
+//! property tests pin both mechanisms against — the core is unique up to
+//! isomorphism (Theorem 3.10), so the pinning is up to isomorphism
+//! wherever answers expose blank nodes.
 
 pub use swdb_containment as containment;
 pub use swdb_core as core;

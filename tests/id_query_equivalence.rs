@@ -7,7 +7,7 @@
 
 use semweb_foundations::core::{EntailmentRegime, SemanticWebDatabase, Semantics};
 use semweb_foundations::hom::{pattern_graph, Variable};
-use semweb_foundations::model::{isomorphic, rdfs, triple, Graph};
+use semweb_foundations::model::{graph, isomorphic, rdfs, triple, Graph};
 use semweb_foundations::query::{query, Query};
 use semweb_foundations::workloads::{
     inject_blank_redundancy, schema_graph, simple_graph, SchemaGraphConfig, SimpleGraphConfig,
@@ -104,6 +104,112 @@ fn assert_id_path_matches_spec(db: &mut SemanticWebDatabase, seed: u64, context:
         }
     }
     db.set_regime(EntailmentRegime::Rdfs);
+}
+
+/// Premise queries covering both id mechanisms: ground simple premises
+/// (expansion path under the simple regime), RDFS-vocabulary premises
+/// (overlay with closure preview), blank-bearing premises (overlay in both
+/// regimes; capture-prone label `_:B0` deliberately collides with the
+/// generators' blank labels), and a premise that is entirely already
+/// asserted (empty overlay).
+fn premise_query_pool(seed: u64) -> Vec<Query> {
+    let fresh = format!("ex:prem{seed}");
+    let data_premise = graph([
+        (fresh.as_str(), "ex:p0", "ex:n0"),
+        ("ex:n0", "ex:p1", fresh.as_str()),
+    ]);
+    vec![
+        Query::with_premise(
+            pattern_graph([("?X", "ex:p0", "?Y")]),
+            pattern_graph([("?X", "ex:p0", "?Y")]),
+            data_premise.clone(),
+        )
+        .expect("well formed"),
+        Query::with_premise(
+            pattern_graph([("?X", "ex:p0", "?Z")]),
+            pattern_graph([("?X", "ex:p0", "?Y"), ("?Y", "ex:p1", "?Z")]),
+            data_premise,
+        )
+        .expect("well formed"),
+        Query::with_premise(
+            pattern_graph([("?X", rdfs::TYPE, "?C")]),
+            pattern_graph([("?X", rdfs::TYPE, "?C")]),
+            graph([
+                ("ex:p0", rdfs::DOM, "ex:Origin"),
+                ("ex:p1", rdfs::SP, "ex:p0"),
+            ]),
+        )
+        .expect("well formed"),
+        Query::with_premise(
+            pattern_graph([("?X", "ex:p1", "?Y")]),
+            pattern_graph([("?X", "ex:p1", "?Y")]),
+            graph([("_:B0", "ex:p1", "ex:n1"), ("ex:n1", "ex:p1", "_:B0")]),
+        )
+        .expect("well formed"),
+        Query::with_premise(
+            pattern_graph([("?X", "ex:p0", "?Y")]),
+            pattern_graph([("?X", "ex:p0", "?Y")]),
+            graph([("ex:n0", "ex:p0", "ex:n1")]),
+        )
+        .expect("well formed"),
+    ]
+}
+
+fn assert_premise_paths_match_spec(db: &mut SemanticWebDatabase, seed: u64, context: &str) {
+    for regime in [EntailmentRegime::Rdfs, EntailmentRegime::Simple] {
+        db.set_regime(regime);
+        let eval_before = db.evaluation_graph();
+        for q in &premise_query_pool(seed) {
+            for semantics in [Semantics::Union, Semantics::Merge] {
+                let id = db.answer(q, semantics);
+                let spec = db.answer_recomputed(q, semantics);
+                assert!(
+                    isomorphic(&id, &spec),
+                    "seed {seed} ({context}), {regime:?}/{semantics:?}: premise answers \
+                     diverged for {q}: {id} vs {spec}"
+                );
+            }
+            assert_eq!(
+                db.answer_is_empty(q),
+                db.answer_recomputed(q, Semantics::Union).is_empty(),
+                "seed {seed} ({context}), {regime:?}: premise emptiness diverged for {q}"
+            );
+        }
+        // Acceptance bar: overlaid premise queries leave the published
+        // evaluation graph bit-identical (not merely isomorphic).
+        assert_eq!(
+            db.evaluation_graph(),
+            eval_before,
+            "seed {seed} ({context}), {regime:?}: premise queries perturbed the evaluation graph"
+        );
+    }
+    db.set_regime(EntailmentRegime::Rdfs);
+}
+
+#[test]
+fn premise_query_paths_equal_the_string_space_spec_on_random_databases() {
+    for seed in 0..8u64 {
+        let mut db = SemanticWebDatabase::from_graph(random_database(seed));
+        assert_premise_paths_match_spec(&mut db, seed, "fresh load");
+    }
+}
+
+#[test]
+fn premise_query_paths_track_mutations() {
+    for seed in 0..3u64 {
+        let mut db = SemanticWebDatabase::from_graph(random_database(seed));
+        // Warm both the evaluation cache and a premise overlay, then
+        // mutate: overlays must be invalidated and recomputed against the
+        // new engine state.
+        let warm = &premise_query_pool(seed)[2];
+        let _ = db.answer_union(warm);
+        db.insert(triple("ex:n0", "ex:p0", "ex:fresh"));
+        db.insert(triple("ex:p1", rdfs::SP, "ex:p2"));
+        assert_premise_paths_match_spec(&mut db, seed, "after inserts");
+        db.remove(&triple("ex:p1", rdfs::SP, "ex:p2"));
+        db.insert(triple("ex:n1", "ex:p0", "_:Fresh"));
+        assert_premise_paths_match_spec(&mut db, seed, "after mixed edits");
+    }
 }
 
 #[test]
