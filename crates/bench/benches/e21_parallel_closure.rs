@@ -1,0 +1,256 @@
+//! E21 — parallel sharded closure propagation: bulk-load throughput across
+//! worker-thread counts.
+//!
+//! PR 2's frontier-batched semi-naive fixpoint (`DeltaClosure::insert_batch`)
+//! is the sequential baseline; this experiment measures the round-based
+//! sharded schedule (`swdb_reason::parallel`) that partitions each round's
+//! frontier by woken `(rule, hypothesis)` paths and runs the independent
+//! joins on `std::thread::scope` workers against an immutable snapshot of
+//! the closure index. Workloads: the university generator and the random
+//! RDFS schema generator at the 10k and 50k scales, loaded in one
+//! `MaterializedStore::insert_graph` batch at 1/2/4/8 threads.
+//!
+//! Every parallel load is differentially pinned inside the bench: the
+//! maintained closure index must be **bit-identical** to the thread-count-1
+//! run, and the `added` delta log (the feed of the downstream
+//! `IdCoreEngine`) must be equal as a set. Results land on stdout and in
+//! `BENCH_e21.json` at the workspace root.
+//!
+//! Acceptance: ≥ 2× bulk-load speedup at 4 threads over the sequential
+//! batch path on the 10k university workload — asserted when
+//! `E21_ASSERT_SPEEDUP=1` is set on a host with ≥ 4 cores (shared CI
+//! runners and small hosts skip the assert). The identity checks always
+//! run, and the recorded numbers state the core count, so the JSON never
+//! claims parallel speedup the hardware cannot produce.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdb_bench::{quick, report_row};
+use swdb_model::Graph;
+use swdb_reason::MaterializedStore;
+use swdb_workloads::{schema_graph, university, SchemaGraphConfig, UniversityConfig};
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn university_workload(target: usize) -> Graph {
+    let departments = (target / 160).max(1);
+    university(
+        &UniversityConfig {
+            departments,
+            courses_per_department: 10,
+            professors_per_department: 6,
+            students_per_department: 30,
+            enrollments_per_student: 3,
+        },
+        0xE21,
+    )
+}
+
+fn random_workload(target: usize) -> Graph {
+    schema_graph(
+        &SchemaGraphConfig {
+            classes: 32,
+            properties: 12,
+            edge_probability: 0.10,
+            instances: target / 6,
+            data_triples: target - target / 6,
+        },
+        0xE21,
+    )
+}
+
+/// Best-of-N wall clock after one warm-up run.
+fn measure(rounds: usize, mut f: impl FnMut()) -> Duration {
+    f();
+    let mut best = Duration::MAX;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+struct Row {
+    workload: &'static str,
+    triples: usize,
+    closure_triples: usize,
+    threads: usize,
+    load_ms: f64,
+    speedup: f64,
+}
+
+fn bench(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut group = c.benchmark_group("e21_parallel_closure");
+
+    for &target in &[10_000usize, 50_000] {
+        for (workload, data) in [
+            ("university", university_workload(target)),
+            ("random_rdf", random_workload(target)),
+        ] {
+            let n = data.len();
+
+            // Sequential baseline (the PR 2 batch path, preserved exactly
+            // at thread count 1), plus the reference closure and log for
+            // the differential pins.
+            let mut reference = MaterializedStore::with_threads(1);
+            let reference_added: BTreeSet<_> = reference
+                .insert_graph_with_delta(&data)
+                .added
+                .into_iter()
+                .collect();
+            let sequential = measure(2, || {
+                let mut m = MaterializedStore::with_threads(1);
+                m.insert_graph(&data);
+                criterion::black_box(m.closure_len());
+            });
+            let sequential_ms = sequential.as_secs_f64() * 1e3;
+            rows.push(Row {
+                workload,
+                triples: n,
+                closure_triples: reference.closure_len(),
+                threads: 1,
+                load_ms: sequential_ms,
+                speedup: 1.0,
+            });
+
+            for &threads in &THREAD_SWEEP[1..] {
+                // Differential pin: bit-identical closure index, identical
+                // added-log set.
+                let mut parallel = MaterializedStore::with_threads(threads);
+                let added: BTreeSet<_> = parallel
+                    .insert_graph_with_delta(&data)
+                    .added
+                    .into_iter()
+                    .collect();
+                assert_eq!(
+                    parallel.closure_index(),
+                    reference.closure_index(),
+                    "{workload} n={n}: closure diverged at threads={threads}"
+                );
+                assert_eq!(
+                    added, reference_added,
+                    "{workload} n={n}: added log diverged at threads={threads}"
+                );
+
+                let load = measure(2, || {
+                    let mut m = MaterializedStore::with_threads(threads);
+                    m.insert_graph(&data);
+                    criterion::black_box(m.closure_len());
+                });
+                let load_ms = load.as_secs_f64() * 1e3;
+                rows.push(Row {
+                    workload,
+                    triples: n,
+                    closure_triples: reference.closure_len(),
+                    threads,
+                    load_ms,
+                    speedup: sequential_ms / load_ms.max(1e-9),
+                });
+                report_row(
+                    "E21",
+                    &format!("{workload} n={n} threads={threads}"),
+                    &[
+                        ("load_ms", format!("{load_ms:.1}")),
+                        ("sequential_ms", format!("{sequential_ms:.1}")),
+                        (
+                            "speedup",
+                            format!("{:.2}x", sequential_ms / load_ms.max(1e-9)),
+                        ),
+                    ],
+                );
+            }
+
+            // Criterion timings at the 10k point only — each iteration is
+            // a full bulk load.
+            if target == 10_000 {
+                for &threads in &THREAD_SWEEP {
+                    group.bench_with_input(
+                        BenchmarkId::new(format!("bulk_load/{workload}/t{threads}"), n),
+                        &threads,
+                        |b, &threads| {
+                            b.iter(|| {
+                                let mut m = MaterializedStore::with_threads(threads);
+                                m.insert_graph(&data);
+                                criterion::black_box(m.closure_len())
+                            })
+                        },
+                    );
+                }
+            }
+        }
+    }
+    group.finish();
+    write_json(&rows, cores);
+
+    // Acceptance: the 2× bar at 4 threads is a statement about dedicated
+    // parallel hardware. It is asserted only when `E21_ASSERT_SPEEDUP=1`
+    // is set on a host with ≥ 4 cores — shared CI runners report 4 vCPUs
+    // over 2 noisy physical cores, where a hard assert would flake — and
+    // otherwise the measured ratio is reported (and recorded in the JSON)
+    // without failing the run. The differential identity checks above are
+    // unconditional.
+    let point = rows
+        .iter()
+        .find(|r| {
+            r.workload == "university" && r.triples > 5_000 && r.triples < 20_000 && r.threads == 4
+        })
+        .expect("the 10k university / 4-thread point was measured");
+    let assert_requested = std::env::var("E21_ASSERT_SPEEDUP").is_ok_and(|v| v.trim() == "1");
+    if assert_requested && cores >= 4 {
+        assert!(
+            point.speedup >= 2.0,
+            "bulk load at 4 threads must beat the sequential batch path 2x \
+             on the 10k university workload: measured {:.2}x",
+            point.speedup
+        );
+    } else {
+        println!(
+            "[E21] 10k university at 4 threads: {:.2}x vs sequential on {cores} core(s); \
+             the 2x acceptance bar is asserted with E21_ASSERT_SPEEDUP=1 on >= 4 dedicated cores",
+            point.speedup
+        );
+    }
+}
+
+fn write_json(rows: &[Row], cores: usize) {
+    let mut out = String::from("{\n  \"experiment\": \"e21_parallel_closure\",\n");
+    out.push_str(
+        "  \"acceptance\": \"bulk load at 4 threads >= 2x the sequential batch path on 10k university (asserted with E21_ASSERT_SPEEDUP=1 on >= 4 dedicated cores); closure index and added log bit-identical at every thread count\",\n",
+    );
+    out.push_str("  \"mode\": \"release, best-of-N after warm-up\",\n");
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str("  \"bulk_load\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"triples\": {}, \"closure_triples\": {}, \"threads\": {}, \"load_ms\": {:.1}, \"speedup_vs_sequential\": {:.2}}}{}\n",
+            r.workload,
+            r.triples,
+            r.closure_triples,
+            r.threads,
+            r.load_ms,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e21.json");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("could not write BENCH_e21.json: {e}");
+    } else {
+        println!("[E21] results recorded in BENCH_e21.json");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -55,6 +55,38 @@
 //! wholesale per call — which the equivalence property tests pin both id
 //! mechanisms against (up to isomorphism: the core is unique only up to
 //! iso, Theorem 3.10).
+//!
+//! ## The write path
+//!
+//! Mutations keep every maintained structure in step without recomputing
+//! anything: a mutation runs through [`MaterializedStore`] (semi-naive
+//! insert propagation, DRed delete), and the exact closure delta it reports
+//! feeds the evaluation engine and the asserted-store core.
+//!
+//! The propagation itself has **two interchangeable execution schedules**,
+//! selected by [`SemanticWebDatabase::set_threads`] (default: the
+//! `SWDB_THREADS` environment variable, else the machine's available
+//! parallelism):
+//!
+//! * thread count 1 — the original sequential depth-first schedule,
+//!   preserved exactly;
+//! * thread count `n > 1` — `swdb_reason::parallel`'s round-based sharded
+//!   schedule: each round partitions the frontier by the
+//!   `(rule, hypothesis)` paths its predicates wake, runs the independent
+//!   rule joins on up to `n` scoped worker threads against an immutable
+//!   snapshot of the closure index, and commits the merged, deduplicated
+//!   conclusions single-threadedly as the next frontier. The DRed delete's
+//!   overdeletion cascade and rederivation probes parallelize the same way.
+//!
+//! Because the RDFS rules are monotone and the closure is a set, both
+//! schedules reach the identical fixpoint — the maintained closure index,
+//! the delta logs consumed by the evaluation engine, and therefore the
+//! published evaluation index are bit-identical across thread counts. The
+//! differential tests (`crates/reason/tests/parallel_differential.rs`, the
+//! facade stress test `tests/parallel_facade_stress.rs`) sweep thread
+//! counts to keep that claim executable; bench E21 records the bulk-load
+//! throughput. Small rounds (single-triple edits) run inline regardless of
+//! the configured ceiling, so point-write latency never pays a spawn.
 
 use swdb_model::{BlankNode, Graph, Term, Triple};
 use swdb_normal::{EvalOverlay, IdCoreEngine};
@@ -86,9 +118,28 @@ const PREMISE_CACHE_CAPACITY: usize = 8;
 /// linear in the delta.
 const EXPANSION_MAP_BUDGET: u64 = 1 << 19;
 
+/// The default worker-thread ceiling for closure maintenance: the
+/// `SWDB_THREADS` environment variable when set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`]. `1` selects the
+/// sequential schedule exactly; the differential tests pin every count to
+/// the same closure, so the choice is purely a throughput knob.
+fn default_threads() -> usize {
+    match std::env::var("SWDB_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        // Any explicit setting wins; 0 clamps to 1 (the sequential
+        // schedule), matching `set_threads(0)`.
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
 /// A semantic-web database: an RDF graph with an entailment regime and the
 /// derived structures needed to answer queries.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SemanticWebDatabase {
     graph: Graph,
     regime: EntailmentRegime,
@@ -113,12 +164,47 @@ pub struct SemanticWebDatabase {
     /// simple entailment the evaluation engine already cores the asserted
     /// graph). Built on first minimize, then maintained under base deltas.
     asserted_core: Option<IdCoreEngine>,
+    /// Worker-thread ceiling for closure propagation and DRed cascades
+    /// (mirrored into the reasoner; see [`SemanticWebDatabase::set_threads`]).
+    threads: usize,
+}
+
+impl Default for SemanticWebDatabase {
+    fn default() -> Self {
+        let threads = default_threads();
+        SemanticWebDatabase {
+            graph: Graph::default(),
+            regime: EntailmentRegime::default(),
+            reasoner: MaterializedStore::with_threads(threads),
+            evaluation: None,
+            premise_cache: Vec::new(),
+            asserted_core: None,
+            threads,
+        }
+    }
 }
 
 impl SemanticWebDatabase {
     /// Creates an empty database under the RDFS regime.
     pub fn new() -> Self {
         SemanticWebDatabase::default()
+    }
+
+    /// Sets the worker-thread ceiling for the write path (clamped to at
+    /// least 1). `1` runs the original sequential propagation/DRed
+    /// schedule; higher counts run `swdb_reason::parallel`'s round-based
+    /// sharded schedule on bulk work (small rounds stay inline). The
+    /// maintained closure — and with it every published read structure —
+    /// is identical for every count, so no cache is invalidated here.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        self.reasoner.set_threads(self.threads);
+    }
+
+    /// The configured worker-thread ceiling (defaults to `SWDB_THREADS` or
+    /// the machine's available parallelism).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Creates an empty database under the given regime.
@@ -129,13 +215,14 @@ impl SemanticWebDatabase {
         }
     }
 
-    /// Wraps an existing graph.
+    /// Wraps an existing graph. The initial closure materialization is one
+    /// frontier-batched fixpoint, parallel-sharded when the configured
+    /// thread ceiling allows.
     pub fn from_graph(graph: Graph) -> Self {
-        SemanticWebDatabase {
-            reasoner: MaterializedStore::from_graph(&graph),
-            graph,
-            ..SemanticWebDatabase::default()
-        }
+        let mut db = SemanticWebDatabase::default();
+        db.reasoner.insert_graph(&graph);
+        db.graph = graph;
+        db
     }
 
     /// Loads a database from the N-Triples-style syntax of

@@ -70,7 +70,13 @@ impl IdTriplePattern {
 
 /// What an [`IdSolver`] searches against: anything that can count and
 /// enumerate the triples matching an [`IdPattern`].
-pub trait IdTarget {
+/// A target is also required to be [`Sync`]: every implementor is a purely
+/// immutable snapshot view (shared references into `BTreeSet`-backed
+/// indexes, no interior mutability), and the parallel closure-propagation
+/// workers in `swdb-reason` share one `&impl IdTarget` across
+/// `std::thread::scope` threads. The bound makes that sharing a compile-time
+/// guarantee instead of a convention.
+pub trait IdTarget: Sync {
     /// Counts the triples matching the pattern without materializing them —
     /// the selectivity probe behind most-constrained-first join ordering.
     fn candidate_count(&self, pattern: IdPattern) -> usize;

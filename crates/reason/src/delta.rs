@@ -19,6 +19,23 @@
 //!   after the last external support disappears. DRed's
 //!   overdelete/rederive pair is insensitive to derivation cycles.
 //!
+//! Both mutations have **two interchangeable execution schedules** selected
+//! by [`DeltaClosure::set_threads`]:
+//!
+//! * `threads == 1` (the default) — the original sequential schedule:
+//!   depth-first, triple-at-a-time propagation and push-time-memoised DRed
+//!   cascades. This code path is preserved exactly.
+//! * `threads > 1` — the round-based sharded schedule of [`crate::parallel`]:
+//!   each round partitions the frontier by the `(rule, hypothesis)` paths
+//!   its predicates wake, runs the independent joins on scoped worker
+//!   threads against an immutable snapshot of the closure index, then
+//!   merges/dedupes the conclusions single-threadedly and commits them as
+//!   the next frontier. Because the rules are monotone and the closure is a
+//!   set, both schedules reach the identical fixpoint — the differential
+//!   tests in `crates/reason/tests/` sweep thread counts and pin the
+//!   closure, the delta logs (as sets) and the downstream evaluation index
+//!   against the sequential run.
+//!
 //! The five axiomatic triples of rule (9) are seeded at construction and are
 //! never deleted — they hold in every closure, including the closure of the
 //! empty graph.
@@ -62,7 +79,7 @@ fn split_most_bound<'a>(
 /// the scan target so the same join runs against the maintained closure
 /// index and against the layered closure-plus-overlay view of a transient
 /// premise preview.
-fn join_all<V: IdTarget>(
+pub(crate) fn join_all<V: IdTarget>(
     closure: &V,
     hypotheses: &[&TriplePattern],
     binding: Binding,
@@ -121,6 +138,76 @@ fn join_exists_base(base: &TripleStore, hypotheses: &[&TriplePattern], binding: 
     found
 }
 
+/// The instantiation condition: every guarded variable must be bound to a
+/// URI id. Shared between the engine methods and the parallel workers,
+/// which only hold the `is_iri` slice, not the engine.
+pub(crate) fn guards_pass(
+    is_iri: &[bool],
+    guards: &[crate::pattern::VarId],
+    binding: &Binding,
+) -> bool {
+    guards.iter().all(|&v| {
+        binding[v as usize].is_some_and(|id| is_iri.get(id as usize).copied().unwrap_or(false))
+    })
+}
+
+/// Is `t` the conclusion of some rule instance whose hypotheses are all
+/// *asserted* (present in the base store)? Such support is independent of
+/// any closure cascade. Free-standing so the parallel DRed prune probes can
+/// run it from worker threads over shared snapshots.
+fn one_step_from_base(
+    rules: &RuleSystem,
+    is_iri: &[bool],
+    base: &TripleStore,
+    t: IdTriple,
+) -> bool {
+    for rule in rules.rules() {
+        for conclusion in &rule.conclusions {
+            let mut binding = EMPTY_BINDING;
+            if !conclusion.unify(t, &mut binding) {
+                continue;
+            }
+            if !guards_pass(is_iri, &rule.iri_guards, &binding) {
+                continue;
+            }
+            let hypotheses: Vec<&TriplePattern> = rule.hypotheses.iter().collect();
+            if join_exists_base(base, &hypotheses, binding) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Is `t` the conclusion of some rule instance whose hypotheses all hold in
+/// `closure`? Free-standing for the parallel rederivation probes.
+fn one_step_from_closure(
+    rules: &RuleSystem,
+    is_iri: &[bool],
+    closure: &IdIndex,
+    t: IdTriple,
+) -> bool {
+    for rule in rules.rules() {
+        for conclusion in &rule.conclusions {
+            let mut binding = EMPTY_BINDING;
+            if !conclusion.unify(t, &mut binding) {
+                continue;
+            }
+            // The only guarded variable (rule (3)'s conclusion predicate)
+            // is bound by the conclusion unification, so guards can be
+            // checked before the join.
+            if !guards_pass(is_iri, &rule.iri_guards, &binding) {
+                continue;
+            }
+            let hypotheses: Vec<&TriplePattern> = rule.hypotheses.iter().collect();
+            if join_exists(closure, &hypotheses, binding) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// An incrementally maintained RDFS closure over id-triples.
 #[derive(Clone, Debug)]
 pub struct DeltaClosure {
@@ -130,6 +217,10 @@ pub struct DeltaClosure {
     /// `is_iri[id]` — whether the interned term is a URI (blank nodes may
     /// never instantiate a conclusion's predicate position).
     is_iri: Vec<bool>,
+    /// Worker threads for propagation and DRed cascades. `1` selects the
+    /// original sequential depth-first schedule; `> 1` the round-based
+    /// sharded schedule of [`crate::parallel`].
+    threads: usize,
 }
 
 impl DeltaClosure {
@@ -148,7 +239,22 @@ impl DeltaClosure {
             closure,
             axioms,
             is_iri: Vec::new(),
+            threads: 1,
         }
+    }
+
+    /// Sets the worker-thread count for propagation and DRed cascades
+    /// (clamped to at least 1). `1` — the default — runs the original
+    /// sequential schedule; any higher count runs the round-based sharded
+    /// schedule, which reaches the identical fixpoint (see the module
+    /// docs). The count is a ceiling: small rounds run inline regardless.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured worker-thread ceiling.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Extends the IRI-ness cache to cover every id interned so far. Must be
@@ -161,14 +267,8 @@ impl DeltaClosure {
         }
     }
 
-    fn is_iri(&self, id: TermId) -> bool {
-        self.is_iri.get(id as usize).copied().unwrap_or(false)
-    }
-
     fn guards_ok(&self, guards: &[crate::pattern::VarId], binding: &Binding) -> bool {
-        guards
-            .iter()
-            .all(|&v| binding[v as usize].is_some_and(|id| self.is_iri(id)))
+        guards_pass(&self.is_iri, guards, binding)
     }
 
     /// Number of triples in the maintained closure.
@@ -264,8 +364,45 @@ impl DeltaClosure {
     /// Semi-naive frontier propagation: every queued triple is new to the
     /// closure and is joined only against rules its predicate wakes. Every
     /// fresh conclusion is appended to `added` (the queue itself is not
-    /// logged — callers know their own frontier).
-    fn propagate_logged(&mut self, mut queue: Vec<IdTriple>, added: &mut Vec<IdTriple>) {
+    /// logged — callers know their own frontier). Dispatches between the
+    /// sequential depth-first schedule (`threads == 1`, the original code
+    /// path) and the round-based sharded schedule; both compute the same
+    /// fixpoint and log the same `added` *set*.
+    fn propagate_logged(&mut self, queue: Vec<IdTriple>, added: &mut Vec<IdTriple>) {
+        if self.threads <= 1 {
+            self.propagate_depth_first(queue, added);
+        } else {
+            self.propagate_rounds(queue, added);
+        }
+    }
+
+    /// Round-based sharded propagation (see [`crate::parallel`]): each
+    /// round joins the whole frontier against an immutable snapshot of the
+    /// closure on worker threads, then commits the merged conclusions
+    /// single-threadedly as the next frontier. The per-round sort makes the
+    /// schedule — and the `added` log — deterministic across thread counts.
+    fn propagate_rounds(&mut self, mut frontier: Vec<IdTriple>, added: &mut Vec<IdTriple>) {
+        while !frontier.is_empty() {
+            let fresh = crate::parallel::round_conclusions(
+                &self.rules,
+                &self.closure,
+                &self.is_iri,
+                &frontier,
+                self.threads,
+                &|t| !self.closure.contains(t),
+            );
+            frontier.clear();
+            for t in fresh {
+                if self.closure.insert(t) {
+                    frontier.push(t);
+                    added.push(t);
+                }
+            }
+        }
+    }
+
+    /// The original sequential schedule: depth-first, triple-at-a-time.
+    fn propagate_depth_first(&mut self, mut queue: Vec<IdTriple>, added: &mut Vec<IdTriple>) {
         while let Some(delta) = queue.pop() {
             let paths: Vec<_> = self.rules.paths_for_predicate(delta.1).collect();
             for (rule_idx, hyp_idx) in paths {
@@ -389,7 +526,119 @@ impl DeltaClosure {
         if !self.closure.contains(t) || self.axioms.contains(&t) {
             return false;
         }
+        if self.threads <= 1 {
+            self.delete_sequential(t, base, removed)
+        } else {
+            self.delete_parallel(t, base, removed)
+        }
+    }
 
+    /// DRed with the round-based sharded schedule: the overdeletion cascade
+    /// runs as parallel join rounds (the same shape as insert propagation,
+    /// with a "currently in the closure" filter), the per-candidate prune
+    /// and rederivation probes are independent reads parallelized by
+    /// [`crate::parallel::parallel_mask`], and phase 3 is ordinary
+    /// (round-based) insert propagation.
+    ///
+    /// One scheduling difference from the sequential path is deliberate and
+    /// harmless: sequential rederivation inserts candidates while iterating,
+    /// so a candidate can be rederived *through* an earlier rederived triple
+    /// already back in the closure. Here all probes run against the
+    /// post-overdeletion snapshot; a candidate that misses its one-step
+    /// support this way is recovered by phase 3 instead — the rederived set
+    /// propagates as ordinary inserts, and anything one-step derivable from
+    /// it (transitively) is re-added and struck from `gone`. The final
+    /// closure and the `removed` set are identical; the differential tests
+    /// sweep thread counts to pin this.
+    fn delete_parallel(
+        &mut self,
+        t: IdTriple,
+        base: &TripleStore,
+        removed: &mut Vec<IdTriple>,
+    ) -> bool {
+        // Phase 1 — overdelete, round by round. Workers emit conclusions
+        // still present in the closure (never axioms); the merge dedupes
+        // against previous rounds, then the prune probes — still-asserted,
+        // or one-step derivable from still-asserted premises alone — run in
+        // parallel over the fresh candidates, once each (the memoisation
+        // the sequential path does at push time).
+        let mut over: BTreeSet<IdTriple> = BTreeSet::new();
+        let mut spared: BTreeSet<IdTriple> = BTreeSet::new();
+        over.insert(t);
+        let mut frontier = vec![t];
+        while !frontier.is_empty() {
+            let candidates = crate::parallel::round_conclusions(
+                &self.rules,
+                &self.closure,
+                &self.is_iri,
+                &frontier,
+                self.threads,
+                &|d| self.closure.contains(d) && !self.axioms.contains(&d),
+            );
+            let fresh: Vec<IdTriple> = candidates
+                .into_iter()
+                .filter(|d| !over.contains(d) && !spared.contains(d))
+                .collect();
+            let survives = crate::parallel::parallel_mask(&fresh, self.threads, &|&d| {
+                base.contains_id_triple(d) || one_step_from_base(&self.rules, &self.is_iri, base, d)
+            });
+            frontier.clear();
+            for (d, survives) in fresh.into_iter().zip(survives) {
+                if survives {
+                    spared.insert(d);
+                } else {
+                    over.insert(d);
+                    frontier.push(d);
+                }
+            }
+        }
+
+        for &doomed in &over {
+            self.closure.remove(doomed);
+        }
+
+        // Phase 2 — rederive: probe every overdeleted triple against the
+        // surviving closure snapshot in parallel, then re-insert the
+        // survivors in one batch.
+        let candidates: Vec<IdTriple> = over.iter().copied().collect();
+        let back = crate::parallel::parallel_mask(&candidates, self.threads, &|&c| {
+            base.contains_id_triple(c)
+                || one_step_from_closure(&self.rules, &self.is_iri, &self.closure, c)
+        });
+        let rederived: Vec<IdTriple> = candidates
+            .into_iter()
+            .zip(back)
+            .filter_map(|(c, back)| back.then_some(c))
+            .collect();
+        for &r in &rederived {
+            self.closure.insert(r);
+        }
+
+        // Phase 3 — propagate the rederived triples; anything they still
+        // support (including chains the snapshot probes of phase 2 could
+        // not see) is recovered exactly like an ordinary insert.
+        let mut gone = over;
+        for r in &rederived {
+            gone.remove(r);
+        }
+        let mut recovered = Vec::new();
+        self.propagate_logged(rederived, &mut recovered);
+        for r in &recovered {
+            gone.remove(r);
+        }
+        let deleted = gone.contains(&t);
+        debug_assert_eq!(deleted, !self.closure.contains(t));
+        removed.extend(gone);
+        deleted
+    }
+
+    /// DRed with the original sequential schedule.
+    fn delete_sequential(
+        &mut self,
+        t: IdTriple,
+        base: &TripleStore,
+        removed: &mut Vec<IdTriple>,
+    ) -> bool {
         // Phase 1 — overdelete: everything with a derivation path from `t`,
         // computed against the still-intact closure (the standard DRed
         // overapproximation), with two sound prunes that keep cascades
@@ -494,46 +743,13 @@ impl DeltaClosure {
     /// *asserted* (present in the base store)? Such support is independent
     /// of any closure cascade.
     fn one_step_derivable_from_base(&self, t: IdTriple, base: &TripleStore) -> bool {
-        for rule in self.rules.rules() {
-            for conclusion in &rule.conclusions {
-                let mut binding = EMPTY_BINDING;
-                if !conclusion.unify(t, &mut binding) {
-                    continue;
-                }
-                if !self.guards_ok(&rule.iri_guards, &binding) {
-                    continue;
-                }
-                let hypotheses: Vec<&TriplePattern> = rule.hypotheses.iter().collect();
-                if join_exists_base(base, &hypotheses, binding) {
-                    return true;
-                }
-            }
-        }
-        false
+        one_step_from_base(&self.rules, &self.is_iri, base, t)
     }
 
     /// Is `t` the conclusion of some rule instance whose hypotheses all hold
     /// in the current closure?
     fn one_step_derivable(&self, t: IdTriple) -> bool {
-        for rule in self.rules.rules() {
-            for conclusion in &rule.conclusions {
-                let mut binding = EMPTY_BINDING;
-                if !conclusion.unify(t, &mut binding) {
-                    continue;
-                }
-                // The only guarded variable (rule (3)'s conclusion
-                // predicate) is bound by the conclusion unification, so
-                // guards can be checked before the join.
-                if !self.guards_ok(&rule.iri_guards, &binding) {
-                    continue;
-                }
-                let hypotheses: Vec<&TriplePattern> = rule.hypotheses.iter().collect();
-                if join_exists(&self.closure, &hypotheses, binding) {
-                    return true;
-                }
-            }
-        }
-        false
+        one_step_from_closure(&self.rules, &self.is_iri, &self.closure, t)
     }
 }
 

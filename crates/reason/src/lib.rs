@@ -15,6 +15,18 @@
 //! * [`swdb_store::IdIndex`] — the SPO/POS/OSP index the closure lives in;
 //! * [`delta`] — [`DeltaClosure`]: semi-naive insert propagation and
 //!   DRed (overdelete/rederive) deletion;
+//! * [`parallel`] — the round-based sharded execution schedule: a frontier
+//!   is partitioned by the `(rule, hypothesis)` paths its predicates wake,
+//!   the independent joins run on `std::thread::scope` workers against an
+//!   immutable snapshot of the closure index, and the merged conclusions
+//!   are committed single-threadedly as the next round's frontier.
+//!   Selected per engine by [`DeltaClosure::set_threads`] /
+//!   [`MaterializedStore::set_threads`] (`1` ⇒ the original sequential
+//!   schedule, preserved exactly); the rules are monotone and the closure
+//!   is a set, so every thread count reaches the identical fixpoint — the
+//!   differential tests under `tests/` sweep thread counts and pin the
+//!   closure and both delta logs against the sequential engine and against
+//!   `swdb_entailment::rdfs_closure`;
 //! * [`materialized`] — [`MaterializedStore`]: a [`swdb_store::TripleStore`]
 //!   plus its maintained closure, with closure-answered pattern scans.
 //!
@@ -40,6 +52,7 @@
 
 pub mod delta;
 pub mod materialized;
+pub mod parallel;
 pub mod pattern;
 pub mod rules;
 

@@ -1,0 +1,265 @@
+//! Round-based, sharded parallel evaluation of the RDFS rule joins.
+//!
+//! [`crate::DeltaClosure`]'s sequential propagation is depth-first and
+//! triple-at-a-time: pop a delta, join it against the closure, push fresh
+//! conclusions, repeat. This module restructures the same semi-naive
+//! computation into **rounds** so the independent rule joins can run on
+//! worker threads (`std::thread::scope` — std only, no external thread
+//! pool):
+//!
+//! 1. **Shard** — the current frontier is partitioned by the
+//!    `(rule, hypothesis)` paths its predicates wake
+//!    ([`crate::rules::RuleSystem::paths_for_predicate`]): one shard is one
+//!    path plus every frontier triple that wakes it. Two shards never share
+//!    a join, so they are embarrassingly parallel.
+//! 2. **Join** — shards are balanced across workers (longest-processing-
+//!    time-first greedy assignment) and every worker joins its shards
+//!    against one shared, immutable snapshot view of the closure (the
+//!    [`swdb_store::IdIndex`] read-snapshot guarantee; the [`IdTarget`]
+//!    `Sync` bound makes the sharing a compile-time fact).
+//! 3. **Merge** — worker conclusions are concatenated, sorted, deduplicated
+//!    and returned; the single-threaded caller commits the fresh ones and
+//!    makes them the next round's frontier.
+//!
+//! ## Why the fixpoint cannot change
+//!
+//! The rules (2)–(13) are *monotone* (a conclusion derivable from a set of
+//! triples stays derivable from any superset) and the closure is a *set*
+//! (commits are idempotent and order-insensitive). Round-parallel
+//! derivation therefore reaches exactly the fixpoint the depth-first loop
+//! reaches: every rule instance with a hypothesis in the frontier is
+//! evaluated against a view that contains the whole frontier (the frontier
+//! is committed before the round runs), so no instance is missed, and no
+//! instance can derive anything outside `RDFS-cl(G)` because each round
+//! only applies the rules. The per-round sort additionally makes the
+//! *rounds themselves* — and with them the `added` delta log — identical
+//! for every thread count ≥ 2, which the differential tests in
+//! `crates/reason/tests/` make executable (thread count 1 preserves the
+//! original depth-first code path bit for bit; its log is the same *set*).
+//!
+//! The DRed delete reuses the same machinery: the overdeletion cascade is
+//! the same join shape (run with a "currently in the closure" filter
+//! instead of a freshness filter), and the per-candidate prune/rederive
+//! probes are independent membership checks parallelized by
+//! [`parallel_mask`].
+
+use std::thread;
+
+use swdb_hom::IdTarget;
+use swdb_store::IdTriple;
+
+use crate::delta::{guards_pass, join_all};
+use crate::pattern::{TriplePattern, EMPTY_BINDING};
+use crate::rules::{RulePath, RuleSystem};
+
+/// Below this many `(delta, path)` join tasks a round runs inline on the
+/// calling thread: for single-triple edits the spawn cost would dominate
+/// the joins, and an inline round computes the identical result (the merge
+/// sorts either way).
+const INLINE_TASK_THRESHOLD: usize = 64;
+
+/// One shard: a `(rule, hypothesis)` path plus the frontier triples whose
+/// predicate woke it.
+type Shard = (RulePath, Vec<IdTriple>);
+
+/// Partitions the frontier into shards keyed by woken rule path.
+fn shard_frontier(rules: &RuleSystem, frontier: &[IdTriple]) -> Vec<Shard> {
+    let mut by_path: std::collections::BTreeMap<RulePath, Vec<IdTriple>> =
+        std::collections::BTreeMap::new();
+    for &t in frontier {
+        for path in rules.paths_for_predicate(t.1) {
+            by_path.entry(path).or_default().push(t);
+        }
+    }
+    by_path.into_iter().collect()
+}
+
+/// Greedy longest-first balancing of shards into at most `threads` buckets.
+fn balance(mut shards: Vec<Shard>, threads: usize) -> Vec<Vec<Shard>> {
+    shards.sort_by_key(|(_, deltas)| std::cmp::Reverse(deltas.len()));
+    let buckets = threads.min(shards.len()).max(1);
+    let mut out: Vec<(usize, Vec<Shard>)> = (0..buckets).map(|_| (0, Vec::new())).collect();
+    for shard in shards {
+        let lightest = out
+            .iter_mut()
+            .min_by_key(|(load, _)| *load)
+            .expect("at least one bucket");
+        lightest.0 += shard.1.len().max(1);
+        lightest.1.push(shard);
+    }
+    out.into_iter().map(|(_, bucket)| bucket).collect()
+}
+
+/// Evaluates one shard: every delta is unified against its hypothesis, the
+/// remaining hypotheses are joined against the snapshot view, and every
+/// guard-passing conclusion accepted by `keep` is appended to `out`.
+fn eval_shard<V: IdTarget>(
+    rules: &RuleSystem,
+    view: &V,
+    is_iri: &[bool],
+    (rule_idx, hyp_idx): RulePath,
+    deltas: &[IdTriple],
+    keep: &(impl Fn(IdTriple) -> bool + Sync),
+    out: &mut Vec<IdTriple>,
+) {
+    let rule = &rules.rules()[rule_idx];
+    let remaining: Vec<&TriplePattern> = rule
+        .hypotheses
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != hyp_idx)
+        .map(|(_, h)| h)
+        .collect();
+    for &delta in deltas {
+        let mut seed = EMPTY_BINDING;
+        if !rule.hypotheses[hyp_idx].unify(delta, &mut seed) {
+            continue;
+        }
+        let mut bindings = Vec::new();
+        join_all(view, &remaining, seed, &mut bindings);
+        for binding in bindings {
+            if !guards_pass(is_iri, &rule.iri_guards, &binding) {
+                continue;
+            }
+            for conclusion in &rule.conclusions {
+                let derived = conclusion.instantiate(&binding);
+                if keep(derived) {
+                    out.push(derived);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one propagation round: joins the whole frontier against the
+/// immutable `view` on up to `threads` workers and returns the sorted,
+/// deduplicated conclusions accepted by `keep`.
+///
+/// `keep` is a read-only pre-filter evaluated inside the workers (against
+/// the same snapshot) so the merge only sees plausible conclusions; the
+/// caller still re-checks at commit time, because two shards of the same
+/// round can derive the same triple.
+pub(crate) fn round_conclusions<V>(
+    rules: &RuleSystem,
+    view: &V,
+    is_iri: &[bool],
+    frontier: &[IdTriple],
+    threads: usize,
+    keep: &(impl Fn(IdTriple) -> bool + Sync),
+) -> Vec<IdTriple>
+where
+    V: IdTarget + Sync,
+{
+    let shards = shard_frontier(rules, frontier);
+    let tasks: usize = shards.iter().map(|(_, deltas)| deltas.len()).sum();
+    let mut fresh = if threads <= 1 || shards.len() <= 1 || tasks < INLINE_TASK_THRESHOLD {
+        let mut out = Vec::new();
+        for (path, deltas) in &shards {
+            eval_shard(rules, view, is_iri, *path, deltas, keep, &mut out);
+        }
+        out
+    } else {
+        let buckets = balance(shards, threads);
+        let mut results: Vec<Vec<IdTriple>> = Vec::new();
+        thread::scope(|scope| {
+            let workers: Vec<_> = buckets
+                .iter()
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for (path, deltas) in bucket {
+                            eval_shard(rules, view, is_iri, *path, deltas, keep, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            results = workers
+                .into_iter()
+                .map(|w| w.join().expect("propagation worker panicked"))
+                .collect();
+        });
+        results.concat()
+    };
+    // Sorting makes the round — and therefore the whole fixpoint schedule
+    // and the `added` log — independent of the shard-to-worker assignment
+    // and of the thread count.
+    fresh.sort_unstable();
+    fresh.dedup();
+    fresh
+}
+
+/// Evaluates an independent boolean probe over every item, in parallel when
+/// the batch is large enough, preserving item order in the returned mask.
+/// Used for the DRed prune (`still supported by asserted facts alone?`) and
+/// rederivation (`still one-step derivable from the surviving closure?`)
+/// probes, which only read immutable snapshots.
+pub(crate) fn parallel_mask<T: Sync>(
+    items: &[T],
+    threads: usize,
+    test: &(impl Fn(&T) -> bool + Sync),
+) -> Vec<bool> {
+    if threads <= 1 || items.len() < INLINE_TASK_THRESHOLD {
+        return items.iter().map(test).collect();
+    }
+    let chunk = items.len().div_ceil(threads.min(items.len()));
+    let mut mask = Vec::with_capacity(items.len());
+    thread::scope(|scope| {
+        let workers: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(test).collect::<Vec<bool>>()))
+            .collect();
+        for worker in workers {
+            mask.extend(worker.join().expect("probe worker panicked"));
+        }
+    });
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balance_spreads_load_without_losing_shards() {
+        let shards: Vec<Shard> = (0..7)
+            .map(|i| ((i, 0), vec![(0, 0, 0); 1 + (i % 3)]))
+            .collect();
+        let total: usize = shards.iter().map(|(_, d)| d.len()).sum();
+        let buckets = balance(shards, 3);
+        assert_eq!(buckets.len(), 3);
+        let spread: usize = buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|(_, d)| d.len()))
+            .sum();
+        assert_eq!(spread, total, "no shard may be dropped or duplicated");
+        let max = buckets
+            .iter()
+            .map(|b| b.iter().map(|(_, d)| d.len()).sum::<usize>())
+            .max()
+            .unwrap();
+        assert!(max <= total, "greedy LPT keeps buckets bounded");
+    }
+
+    #[test]
+    fn balance_with_more_threads_than_shards_stays_dense() {
+        let shards: Vec<Shard> = vec![((0, 0), vec![(1, 2, 3)])];
+        let buckets = balance(shards, 8);
+        assert_eq!(buckets.len(), 1, "empty buckets are never created");
+    }
+
+    #[test]
+    fn parallel_mask_matches_sequential_on_any_batch_size() {
+        let items: Vec<u32> = (0..500).collect();
+        let test = |x: &u32| x.is_multiple_of(3);
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                parallel_mask(&items, threads, &test),
+                items.iter().map(test).collect::<Vec<bool>>(),
+                "threads={threads}"
+            );
+        }
+        let tiny: Vec<u32> = (0..5).collect();
+        assert_eq!(parallel_mask(&tiny, 8, &test).len(), 5);
+    }
+}

@@ -1,0 +1,241 @@
+//! Differential property tests for the round-based sharded (parallel)
+//! closure schedule.
+//!
+//! The claim the parallel engine rests on — monotone rules over a set
+//! cannot be reordered into a different fixpoint — is made executable
+//! here: for randomized batch inserts, interleaved edit scripts and DRed
+//! delete cascades, the engine is run at every thread count in
+//! [`THREAD_SWEEP`] and pinned, after **every** mutation, against
+//!
+//! * the sequential engine (`threads == 1`, the original depth-first code
+//!   path) — the maintained closure *index* must be bit-identical, and the
+//!   `added`/`removed` delta logs that feed the downstream `IdCoreEngine`
+//!   must be equal **as sets** (the schedules discover the same triples in
+//!   different orders);
+//! * the executable specification `swdb_entailment::rdfs_closure`, so the
+//!   sweep cannot agree on a wrong answer.
+//!
+//! All engines replay the same operations in the same order, so the shared
+//! dictionaries assign identical ids and id-level comparison is exact.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swdb_entailment::rdfs_closure;
+use swdb_model::{rdfs, Graph, Iri, Term, Triple};
+use swdb_reason::MaterializedStore;
+use swdb_store::IdTriple;
+
+/// Thread counts the differential sweep covers: the preserved sequential
+/// path, the smallest parallel schedule, and an oversubscribed one (more
+/// workers than this machine has cores — the schedule must not care).
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+
+fn as_set(log: &[IdTriple]) -> BTreeSet<IdTriple> {
+    log.iter().copied().collect()
+}
+
+/// Random graphs mixing plain data with RDFS vocabulary triples, blank
+/// nodes, and reserved terms in node positions (the feedback shapes of
+/// Theorem 3.16) — the same distribution the in-crate spec proptests use.
+fn arb_rdfs_graph(max_triples: usize) -> impl Strategy<Value = Graph> {
+    let node = prop_oneof![
+        5 => (0u8..5).prop_map(|i| Term::iri(format!("ex:n{i}"))),
+        2 => (0u8..3).prop_map(|i| Term::blank(format!("B{i}"))),
+        1 => (0u8..5).prop_map(|i| {
+            Term::Iri(match i {
+                0 => rdfs::sp(),
+                1 => rdfs::sc(),
+                2 => rdfs::type_(),
+                3 => rdfs::dom(),
+                _ => rdfs::range(),
+            })
+        }),
+    ];
+    let pred = prop_oneof![
+        3 => (0u8..3).prop_map(|i| Iri::new(format!("ex:p{i}"))),
+        2 => (0u8..5).prop_map(|i| match i {
+            0 => rdfs::sp(),
+            1 => rdfs::sc(),
+            2 => rdfs::type_(),
+            3 => rdfs::dom(),
+            _ => rdfs::range(),
+        }),
+    ];
+    let triple = (node.clone(), pred, node).prop_map(|(s, p, o)| Triple::new(s, p, o));
+    proptest::collection::vec(triple, 0..=max_triples).prop_map(Graph::from_triples)
+}
+
+/// A seeded pool of candidate triples for edit scripts (the stress-test
+/// distribution: small vocabulary, heavy collision rate, so scripts
+/// genuinely re-insert, re-derive and cascade).
+fn pool(seed: u64) -> Vec<Triple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab = |rng: &mut StdRng| -> Iri {
+        match rng.gen_range(0..5) {
+            0 => rdfs::sp(),
+            1 => rdfs::sc(),
+            2 => rdfs::type_(),
+            3 => rdfs::dom(),
+            _ => rdfs::range(),
+        }
+    };
+    let node = |rng: &mut StdRng| -> Term {
+        match rng.gen_range(0..10) {
+            0..=5 => Term::iri(format!("ex:n{}", rng.gen_range(0..6))),
+            6 | 7 => Term::blank(format!("B{}", rng.gen_range(0..3))),
+            8 => Term::iri(format!("ex:C{}", rng.gen_range(0..4))),
+            _ => Term::Iri(vocab(rng)),
+        }
+    };
+    let size = rng.gen_range(12..32);
+    (0..size)
+        .map(|_| {
+            let p = match rng.gen_range(0..10) {
+                0..=3 => Iri::new(format!("ex:p{}", rng.gen_range(0..3))),
+                _ => vocab(&mut rng),
+            };
+            Triple::new(node(&mut rng), p, node(&mut rng))
+        })
+        .collect()
+}
+
+/// Asserts that every engine in the sweep holds a bit-identical closure
+/// index (ids are comparable because all engines replayed the same ops).
+fn assert_lockstep(engines: &[MaterializedStore], context: &str) -> Result<(), String> {
+    let reference = engines[0].closure_index();
+    for (engine, &threads) in engines.iter().zip(&THREAD_SWEEP).skip(1) {
+        prop_assert_eq!(
+            engine.closure_index(),
+            reference,
+            "closure diverged at threads={} ({})",
+            threads,
+            context
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// One frontier-batched bulk load: closure index bit-identical across
+    /// the sweep, `added` log identical as a set, and the agreed closure is
+    /// the specification's.
+    #[test]
+    fn parallel_bulk_load_matches_sequential_and_spec(g in arb_rdfs_graph(18)) {
+        let mut sequential = MaterializedStore::with_threads(1);
+        let seq = sequential.insert_graph_with_delta(&g);
+        for &threads in &THREAD_SWEEP[1..] {
+            let mut parallel = MaterializedStore::with_threads(threads);
+            let delta = parallel.insert_graph_with_delta(&g);
+            prop_assert_eq!(
+                parallel.closure_index(),
+                sequential.closure_index(),
+                "bulk-load closure diverged at threads={}",
+                threads
+            );
+            prop_assert_eq!(
+                as_set(&delta.added),
+                as_set(&seq.added),
+                "added log diverged at threads={}",
+                threads
+            );
+            prop_assert_eq!(&delta.base, &seq.base, "asserted base diverged");
+        }
+        prop_assert_eq!(sequential.closure_graph(), rdfs_closure(&g));
+    }
+
+    /// Interleaved single inserts, batch inserts and DRed deletes: after
+    /// every operation the whole sweep is in lockstep, and both per-op
+    /// delta logs agree as sets with the sequential engine's.
+    #[test]
+    fn interleaved_edits_stay_in_lockstep_across_thread_counts(
+        seed in 0u64..512,
+        ops in proptest::collection::vec((0u8..4, 0u8..32u8), 1..14),
+    ) {
+        let pool = pool(seed);
+        let mut engines: Vec<MaterializedStore> =
+            THREAD_SWEEP.iter().map(|&n| MaterializedStore::with_threads(n)).collect();
+        let mut shadow = Graph::new();
+        for (step, &(kind, at)) in ops.iter().enumerate() {
+            let at = at as usize % pool.len();
+            let deltas: Vec<swdb_reason::ClosureDelta> = match kind {
+                // Batch insert: a contiguous slice of the pool.
+                0 => {
+                    let batch: Graph = pool[at..(at + 5).min(pool.len())].iter().cloned().collect();
+                    for t in batch.iter() {
+                        shadow.insert(t.clone());
+                    }
+                    engines.iter_mut().map(|e| e.insert_graph_with_delta(&batch)).collect()
+                }
+                // Single insert.
+                1 | 2 => {
+                    shadow.insert(pool[at].clone());
+                    engines.iter_mut().map(|e| e.insert_with_delta(&pool[at])).collect()
+                }
+                // DRed delete.
+                _ => {
+                    shadow.remove(&pool[at]);
+                    engines.iter_mut().map(|e| e.remove_with_delta(&pool[at])).collect()
+                }
+            };
+            for (delta, &threads) in deltas.iter().zip(&THREAD_SWEEP).skip(1) {
+                prop_assert_eq!(&delta.base, &deltas[0].base, "base diverged (step {})", step);
+                prop_assert_eq!(
+                    as_set(&delta.added),
+                    as_set(&deltas[0].added),
+                    "added log diverged at threads={} (step {}, op {})",
+                    threads, step, kind
+                );
+                prop_assert_eq!(
+                    as_set(&delta.removed),
+                    as_set(&deltas[0].removed),
+                    "removed log diverged at threads={} (step {}, op {})",
+                    threads, step, kind
+                );
+            }
+            assert_lockstep(&engines, &format!("step {step}, op {kind}"))?;
+        }
+        prop_assert_eq!(engines[0].closure_graph(), rdfs_closure(&shadow));
+    }
+
+    /// Fill-then-drain: the DRed cascades at every thread count retract to
+    /// the same intermediate closures and end on exactly the five axioms.
+    #[test]
+    fn draining_cascades_agree_at_every_thread_count(seed in 0u64..256) {
+        let pool = pool(seed ^ 0xD00D);
+        let mut engines: Vec<MaterializedStore> =
+            THREAD_SWEEP.iter().map(|&n| MaterializedStore::with_threads(n)).collect();
+        for engine in &mut engines {
+            let batch: Graph = pool.iter().cloned().collect();
+            engine.insert_graph(&batch);
+        }
+        assert_lockstep(&engines, "after fill")?;
+        for (i, t) in pool.iter().enumerate() {
+            let removed: Vec<BTreeSet<IdTriple>> = engines
+                .iter_mut()
+                .map(|e| as_set(&e.remove_with_delta(t).removed))
+                .collect();
+            for (log, &threads) in removed.iter().zip(&THREAD_SWEEP).skip(1) {
+                prop_assert_eq!(
+                    log,
+                    &removed[0],
+                    "removed log diverged at threads={} deleting triple {}",
+                    threads,
+                    i
+                );
+            }
+            assert_lockstep(&engines, &format!("after delete {i}"))?;
+        }
+        for (engine, &threads) in engines.iter().zip(&THREAD_SWEEP) {
+            prop_assert!(engine.is_empty(), "threads={} retained assertions", threads);
+            prop_assert_eq!(
+                engine.closure_len(), 5,
+                "threads={} left residue beyond the axioms", threads
+            );
+        }
+    }
+}

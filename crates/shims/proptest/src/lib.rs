@@ -8,10 +8,17 @@
 //!
 //! Semantics: each test runs `ProptestConfig::cases` deterministic cases
 //! (seeded per case index, so failures are reproducible), and a failing
-//! `prop_assert*` reports the case number and message. Unlike the real
-//! proptest there is **no shrinking** — a failure reports the first
-//! counterexample as generated. The module layout mirrors `proptest 1.x` so
-//! the shim can be swapped for the real crate without touching any caller.
+//! `prop_assert*` reports the case number and message. A failing case is
+//! **shrunk** before reporting: the runner greedily accepts the first
+//! candidate from [`Strategy::shrink`] that still fails and repeats until
+//! no candidate fails (or a fixed budget runs out), minimizing each test
+//! argument independently. Integer ranges shrink by halving toward the
+//! range start, `collection::vec` by element dropping plus element-wise
+//! shrinking; value-opaque strategies (`prop_map`, `prop_oneof!`) report
+//! the counterexample as generated, since without the real crate's value
+//! trees their output cannot be inverted. The module layout mirrors
+//! `proptest 1.x` so the shim can be swapped for the real crate without
+//! touching any caller.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,7 +73,15 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    /// Caps on the candidate lists [`VecStrategy::shrink`] proposes, so one
+    /// shrink round stays cheap even for long vectors.
+    const MAX_DROP_CANDIDATES: usize = 24;
+    const MAX_ELEMENT_CANDIDATES: usize = 24;
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
@@ -77,6 +92,39 @@ pub mod collection {
             };
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
+
+        /// Structural shrink first — halving the length, then dropping each
+        /// element in turn (never below the size range's minimum) — followed
+        /// by element-wise shrinking through the element strategy. Candidate
+        /// counts are capped so a shrink round stays cheap.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            let len = value.len();
+            if len > self.size.min {
+                let half = (len / 2).max(self.size.min);
+                if half < len {
+                    out.push(value[..half].to_vec());
+                }
+                for at in 0..len.min(MAX_DROP_CANDIDATES) {
+                    let mut shorter = value.clone();
+                    shorter.remove(at);
+                    out.push(shorter);
+                }
+            }
+            let mut element_candidates = 0;
+            for at in 0..len {
+                if element_candidates >= MAX_ELEMENT_CANDIDATES {
+                    break;
+                }
+                for candidate in self.element.shrink(&value[at]).into_iter().take(2) {
+                    let mut simpler = value.clone();
+                    simpler[at] = candidate;
+                    out.push(simpler);
+                    element_candidates += 1;
+                }
+            }
+            out
+        }
     }
 
     /// Creates a strategy for `Vec`s with lengths in `size`.
@@ -86,6 +134,15 @@ pub mod collection {
             size: size.into(),
         }
     }
+}
+
+/// Pins a test closure's argument type to the generated value tuple so the
+/// closure body type-checks before its first call (closure parameter
+/// inference does not flow backwards from later call sites). Internal
+/// plumbing for `proptest!`.
+#[doc(hidden)]
+pub fn __constrain<T, F: Fn(&T) -> Result<(), String>>(_witness: &T, run: F) -> F {
+    run
 }
 
 /// The customary glob-import module (`proptest::prelude`).
@@ -176,18 +233,56 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
+                let strategies = ( $( $strategy, )* );
                 for case in 0..config.cases {
                     let mut rng = $crate::test_runner::TestRng::for_case(case as u64);
-                    $(
-                        let $arg =
-                            $crate::strategy::Strategy::generate(&($strategy), &mut rng);
-                    )*
-                    let outcome: ::std::result::Result<(), ::std::string::String> =
-                        (move || {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    if let ::std::result::Result::Err(message) = outcome {
+                    let values = {
+                        let ( $( $arg, )* ) = &strategies;
+                        ( $( $crate::strategy::Strategy::generate($arg, &mut rng), )* )
+                    };
+                    #[allow(unused_variables)]
+                    let run = $crate::__constrain(&values, |values| {
+                        let ( $( $arg, )* ) = values;
+                        $( let $arg = ::std::clone::Clone::clone($arg); )*
+                        $body
+                        ::std::result::Result::Ok(())
+                    });
+                    if let ::std::result::Result::Err(first) = run(&values) {
+                        // Greedy minimization: keep accepting the first
+                        // shrink candidate that still fails until no
+                        // candidate fails (or the budget runs out), then
+                        // report the smallest failure found.
+                        let mut smallest = values;
+                        let mut message = first;
+                        let mut steps = 0u32;
+                        let mut budget = 256u32;
+                        'shrinking: loop {
+                            let candidates =
+                                $crate::strategy::Strategy::shrink(&strategies, &smallest);
+                            let mut advanced = false;
+                            for candidate in candidates {
+                                if budget == 0 {
+                                    break 'shrinking;
+                                }
+                                budget -= 1;
+                                if let ::std::result::Result::Err(simpler) = run(&candidate) {
+                                    smallest = candidate;
+                                    message = simpler;
+                                    steps += 1;
+                                    advanced = true;
+                                    break;
+                                }
+                            }
+                            if !advanced {
+                                break;
+                            }
+                        }
+                        if steps > 0 {
+                            panic!(
+                                "case {}/{} failed (minimized after {} shrink steps): {}",
+                                case + 1, config.cases, steps, message
+                            );
+                        }
                         panic!("case {}/{} failed: {}", case + 1, config.cases, message);
                     }
                 }
@@ -248,6 +343,97 @@ mod tests {
         fn the_macro_itself_runs(x in 0u32..100, v in crate::collection::vec(0u8..3, 0..5)) {
             prop_assert!(x < 100);
             prop_assert_eq!(v.len() < 5, true);
+        }
+    }
+
+    /// The greedy minimization loop the `proptest!` runner uses, extracted
+    /// so the shrink self-tests can drive it against a known predicate.
+    fn minimize<S: Strategy>(
+        strategy: &S,
+        mut value: S::Value,
+        still_fails: impl Fn(&S::Value) -> bool,
+    ) -> S::Value {
+        assert!(still_fails(&value), "minimize needs a failing start");
+        loop {
+            let mut advanced = false;
+            for candidate in strategy.shrink(&value) {
+                if still_fails(&candidate) {
+                    value = candidate;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return value;
+            }
+        }
+    }
+
+    #[test]
+    fn integer_shrink_halves_toward_the_range_start() {
+        let strategy = 3u32..100;
+        let candidates = strategy.shrink(&80);
+        assert_eq!(candidates, vec![3, 41, 79], "min, midpoint, predecessor");
+        assert!(strategy.shrink(&3).is_empty(), "the minimum is terminal");
+        // A failing "x >= 7" case minimizes to exactly the boundary.
+        assert_eq!(minimize(&(0u32..100), 93, |x| *x >= 7), 7);
+    }
+
+    #[test]
+    fn vec_shrink_respects_the_minimum_size() {
+        let strategy = crate::collection::vec(0u8..5, 2..=4);
+        for candidate in strategy.shrink(&vec![1, 2, 3, 4]) {
+            assert!(
+                candidate.len() >= 2,
+                "candidate below min size: {candidate:?}"
+            );
+        }
+        assert!(
+            strategy.shrink(&vec![0, 0]).is_empty(),
+            "minimal length of all-minimal elements is terminal"
+        );
+    }
+
+    #[test]
+    fn vec_counterexamples_minimize_structurally_and_element_wise() {
+        // Failing predicate: the vector still sums to >= 10. The minimizer
+        // must drop every irrelevant element and shrink the survivors to a
+        // local minimum (no single drop or element-shrink passes).
+        let strategy = crate::collection::vec(0u32..100, 0..10);
+        let minimal = minimize(&strategy, vec![3, 9, 4, 7, 1], |v| {
+            v.iter().sum::<u32>() >= 10
+        });
+        assert!(minimal.iter().sum::<u32>() >= 10, "must still fail");
+        assert!(
+            minimal.len() <= 2,
+            "dropping cannot go further: {minimal:?}"
+        );
+        for at in 0..minimal.len() {
+            let mut dropped = minimal.clone();
+            dropped.remove(at);
+            assert!(
+                dropped.iter().sum::<u32>() < 10,
+                "a further drop would still fail: {minimal:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tuple_shrink_minimizes_each_coordinate_independently() {
+        let strategy = (0u32..100, 0u32..100);
+        let minimal = minimize(&strategy, (55, 80), |(a, b)| *a >= 20 && *b >= 5);
+        assert_eq!(minimal, (20, 5));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        #[should_panic(expected = "minimized after")]
+        fn the_runner_reports_minimized_failures(n in 10u32..1000) {
+            // Always fails (n >= 10 by construction), so the runner must
+            // shrink n to the range minimum and say it minimized.
+            prop_assert!(n < 10, "n was {}", n);
         }
     }
 }

@@ -8,14 +8,31 @@ use crate::test_runner::TestRng;
 
 /// A recipe for generating values of one type.
 ///
-/// Mirrors `proptest::strategy::Strategy` minus shrinking: `generate`
-/// corresponds to drawing one value from the strategy's distribution.
+/// Mirrors `proptest::strategy::Strategy`: `generate` corresponds to
+/// drawing one value from the strategy's distribution, and [`shrink`]
+/// proposes simplifications of a failing value. Unlike the real crate
+/// there is no value-tree machinery — shrinking is value-to-value, so
+/// strategies whose output cannot be inverted (`prop_map`, `prop_oneof!`)
+/// do not shrink; integer ranges (halving toward the range start) and
+/// `collection::vec` (element dropping plus element-wise shrinking) do,
+/// which is what minimizes the workspace's failing differential cases.
+///
+/// [`shrink`]: Strategy::shrink
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes candidate simplifications of a failing value, simplest
+    /// first. The `proptest!` runner greedily accepts the first candidate
+    /// that still fails and repeats until no candidate fails (or a budget
+    /// runs out). Strategies that cannot shrink return nothing — the
+    /// default.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through a function.
     fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
@@ -32,6 +49,17 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// The empty argument tuple of a `proptest!` test with no inputs.
+impl Strategy for () {
+    type Value = ();
+
+    fn generate(&self, _rng: &mut TestRng) -> Self::Value {}
 }
 
 /// Strategy producing one fixed value.
@@ -132,6 +160,25 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.rng.gen_range(self.clone())
             }
+
+            /// Halving shrink toward the range start: the minimum itself,
+            /// the midpoint between minimum and value, and the predecessor
+            /// — all strictly simpler, all still inside the range.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                    let pred = *value - 1;
+                    if pred != self.start && pred != mid {
+                        out.push(pred);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -140,7 +187,10 @@ impl_range_strategy!(u8, u16, u32, u64, usize);
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -148,8 +198,33 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+
+            /// Coordinate-wise shrink: each candidate simplifies exactly
+            /// one coordinate and clones the rest, so the runner minimizes
+            /// every test argument independently.
+            #[allow(non_snake_case)]
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                // For each coordinate in turn, substitute its candidates.
+                macro_rules! coordinate {
+                    ($i:tt) => {
+                        for candidate in self.$i.shrink(&value.$i) {
+                            let mut next = value.clone();
+                            next.$i = candidate;
+                            out.push(next);
+                        }
+                    };
+                }
+                impl_tuple_strategy!(@coords coordinate; $($name),+);
+                out
+            }
         }
     };
+    (@coords $mac:ident; A) => { $mac!(0); };
+    (@coords $mac:ident; A, B) => { $mac!(0); $mac!(1); };
+    (@coords $mac:ident; A, B, C) => { $mac!(0); $mac!(1); $mac!(2); };
+    (@coords $mac:ident; A, B, C, D) => { $mac!(0); $mac!(1); $mac!(2); $mac!(3); };
+    (@coords $mac:ident; A, B, C, D, E) => { $mac!(0); $mac!(1); $mac!(2); $mac!(3); $mac!(4); };
 }
 
 impl_tuple_strategy!(A);

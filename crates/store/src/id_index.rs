@@ -12,6 +12,18 @@ use crate::dictionary::TermId;
 use crate::triple_store::{IdPattern, IdTriple};
 
 /// An ordered, scannable set of id-triples.
+///
+/// # Read-snapshot guarantee
+///
+/// An `IdIndex` has no interior mutability: between `&mut self` calls, a
+/// shared `&IdIndex` is a frozen snapshot — every [`IdIndex::scan_while`],
+/// [`IdIndex::candidate_count`] and [`IdIndex::contains`] observes exactly
+/// the same triple set, and the type is `Send + Sync` by construction
+/// (asserted by a compile-time test below). The parallel propagation
+/// workers of `swdb-reason` rely on this: each round shares one `&IdIndex`
+/// of the closure across `std::thread::scope` threads, runs all rule joins
+/// against that immutable view, and only the single-threaded merge step
+/// takes `&mut self` to commit the round's conclusions.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct IdIndex {
     spo: BTreeSet<IdTriple>,
@@ -175,6 +187,17 @@ impl IdIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The read-snapshot guarantee, at compile time: shared references to
+    /// the index (and to the whole store it lives in) may cross thread
+    /// boundaries, so parallel propagation workers can scan one snapshot.
+    #[test]
+    fn index_snapshots_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IdIndex>();
+        assert_send_sync::<&IdIndex>();
+        assert_send_sync::<crate::TripleStore>();
+    }
 
     fn sample() -> IdIndex {
         let mut index = IdIndex::new();

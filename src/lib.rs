@@ -44,6 +44,17 @@
 //! (semi-naive propagation: only the new frontier is joined — batched for
 //! bulk loads via `insert_batch`) and **delete** (DRed
 //! overdelete/rederive, immune to the rule system's derivation cycles).
+//! Propagation runs on one of two interchangeable schedules: the
+//! sequential depth-first loop (thread count 1, preserved exactly) or the
+//! round-based sharded schedule of [`reason::parallel`], which partitions
+//! each round's frontier by woken `(rule, hypothesis)` paths and runs the
+//! independent joins on scoped worker threads against an immutable
+//! snapshot of the closure index — monotone rules over a set make the
+//! fixpoint schedule-independent, and differential tests sweep thread
+//! counts to pin the closure, both delta logs and the published evaluation
+//! index bit-for-bit against the sequential run
+//! (`core::SemanticWebDatabase::set_threads`; default `SWDB_THREADS` or
+//! the machine's available parallelism).
 //! [`reason::MaterializedStore`] packages a `TripleStore` with its
 //! maintained closure; [`core::SemanticWebDatabase`] keeps one and serves
 //! `closure()` / `closure_contains()` from it, while
