@@ -18,11 +18,66 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use swdb_bench::{quick, report_row};
+use swdb_bench::{json_prologue, metrics_block, quick, report_row};
 use swdb_entailment::rdfs_closure;
 use swdb_model::{rdfs, triple, Graph, Triple};
+use swdb_obs::{Metrics, MetricsLevel};
 use swdb_reason::MaterializedStore;
 use swdb_workloads::{schema_graph, SchemaGraphConfig};
+
+struct Row {
+    triples: usize,
+    closure: usize,
+    full_ms: f64,
+    insert_us: f64,
+    delete_us: f64,
+}
+
+fn write_json(rows: &[Row], metrics_json: &str) {
+    let mut out = json_prologue("e17_incremental_closure");
+    out.push_str(
+        "  \"acceptance\": \"single incremental edit >= 10x faster than recomputation at 10k\",\n",
+    );
+    out.push_str("  \"mode\": \"release, 50-edit average vs one recomputation\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"triples\": {}, \"closure\": {}, \"full_ms\": {:.1}, \"insert_us\": {:.1}, \"delete_us\": {:.1}, \"insert_speedup\": {:.0}, \"delete_speedup\": {:.0}}}{}\n",
+            r.triples,
+            r.closure,
+            r.full_ms,
+            r.insert_us,
+            r.delete_us,
+            r.full_ms * 1e3 / r.insert_us.max(1e-9),
+            r.full_ms * 1e3 / r.delete_us.max(1e-9),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&metrics_block(metrics_json));
+    out.push_str("\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e17.json");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("could not write BENCH_e17.json: {e}");
+    } else {
+        println!("[E17] results recorded in BENCH_e17.json");
+    }
+}
+
+/// One instrumented edit cycle at the 10k point: the counter snapshot that
+/// lands in the report, showing what the maintained closure actually did.
+fn instrumented_snapshot() -> String {
+    let metrics = Metrics::new(MetricsLevel::Debug);
+    let mut materialized = MaterializedStore::from_graph(&workload(10_000));
+    materialized.set_metrics(metrics.clone());
+    for t in [
+        delta_triple(),
+        triple("ex:freshS", "ex:freshP", "ex:freshO"),
+    ] {
+        materialized.insert(&t);
+        materialized.remove(&t);
+    }
+    metrics.snapshot().to_json()
+}
 
 /// A schema+instance workload of roughly `target` triples.
 fn workload(target: usize) -> Graph {
@@ -44,6 +99,7 @@ fn delta_triple() -> Triple {
 }
 
 fn bench(c: &mut Criterion) {
+    let mut rows = Vec::new();
     let mut group = c.benchmark_group("e17_incremental_closure");
     for &target in &[1_000usize, 10_000] {
         let g = workload(target);
@@ -98,6 +154,13 @@ fn bench(c: &mut Criterion) {
                 ("delete_speedup", format!("{:.0}x", ratio(delete_time))),
             ],
         );
+        rows.push(Row {
+            triples: g.len(),
+            closure: closure.len(),
+            full_ms: full_time.as_secs_f64() * 1e3,
+            insert_us: insert_time.as_secs_f64() * 1e6,
+            delete_us: delete_time.as_secs_f64() * 1e6,
+        });
 
         group.bench_with_input(
             BenchmarkId::new("full_recompute", target),
@@ -126,6 +189,7 @@ fn bench(c: &mut Criterion) {
         );
     }
     group.finish();
+    write_json(&rows, &instrumented_snapshot());
 }
 
 criterion_group! {

@@ -25,8 +25,8 @@
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use swdb_bench::{quick, report_row};
-use swdb_core::SemanticWebDatabase;
+use swdb_bench::{json_prologue, metrics_block, quick, report_row};
+use swdb_core::{MetricsLevel, SemanticWebDatabase};
 use swdb_model::Graph;
 use swdb_query::{answer_against, NormalizedDatabase, Query, Semantics};
 use swdb_workloads::{simple_graph, university, SimpleGraphConfig, UniversityConfig};
@@ -198,8 +198,20 @@ fn run_point(
     }
 }
 
-fn write_json(rows: &[Row], cold: &[ColdRow]) {
-    let mut out = String::from("{\n  \"experiment\": \"e18_id_query\",\n");
+/// One instrumented pass over the 10k university point: every query once
+/// at `Counters` level, so the report shows the executor's probe/binding
+/// economy next to the timings.
+fn instrumented_snapshot() -> String {
+    let mut db = SemanticWebDatabase::from_graph(university_workload(10_000));
+    db.set_metrics_level(MetricsLevel::Counters);
+    for (_, q) in &university_queries() {
+        let _ = db.answer(q, Semantics::Union);
+    }
+    db.metrics_snapshot()
+}
+
+fn write_json(rows: &[Row], cold: &[ColdRow], metrics_json: &str) {
+    let mut out = json_prologue("e18_id_query");
     out.push_str(
         "  \"acceptance\": \"id-space >= 5x string-space on the 10k premise-free workload\",\n",
     );
@@ -227,7 +239,9 @@ fn write_json(rows: &[Row], cold: &[ColdRow]) {
             if i + 1 < cold.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&metrics_block(metrics_json));
+    out.push_str("\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e18.json");
     if let Err(e) = std::fs::write(path, out) {
         eprintln!("could not write BENCH_e18.json: {e}");
@@ -261,7 +275,7 @@ fn bench(c: &mut Criterion) {
         );
     }
     group.finish();
-    write_json(&rows, &cold);
+    write_json(&rows, &cold, &instrumented_snapshot());
 }
 
 criterion_group! {

@@ -27,8 +27,8 @@
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use swdb_bench::{quick, report_row};
-use swdb_core::SemanticWebDatabase;
+use swdb_bench::{json_prologue, metrics_block, quick, report_row};
+use swdb_core::{MetricsLevel, SemanticWebDatabase};
 use swdb_model::{isomorphic, triple, Graph, Term, Triple};
 use swdb_normal::IdCoreEngine;
 use swdb_query::Semantics;
@@ -263,8 +263,22 @@ fn blank_edit(workload: &str) -> Triple {
     }
 }
 
-fn write_json(cold: &[ColdRow], rows: &[RefreshRow]) {
-    let mut out = String::from("{\n  \"experiment\": \"e19_incremental_nf\",\n");
+/// One instrumented refresh cycle on the 10k university point: a ground and
+/// a blank edit against the maintained evaluation engine at `Debug` level,
+/// so the report carries the core engine's counters and span histograms.
+fn instrumented_snapshot() -> String {
+    let mut db = SemanticWebDatabase::from_graph(university_workload(10_000));
+    db.set_metrics_level(MetricsLevel::Debug);
+    let _ = db.evaluation_graph();
+    for t in [ground_edit("university"), blank_edit("university")] {
+        db.insert(t.clone());
+        db.remove(&t);
+    }
+    db.metrics_snapshot()
+}
+
+fn write_json(cold: &[ColdRow], rows: &[RefreshRow], metrics_json: &str) {
+    let mut out = json_prologue("e19_incremental_nf");
     out.push_str("  \"acceptance\": \"ground-delta refresh >= 20x engine rebuild on 10k university; cold engine build >= 5x string-space core\",\n");
     out.push_str("  \"mode\": \"release, best-of-N after warm-up\",\n  \"cold_build\": [\n");
     for (i, c) in cold.iter().enumerate() {
@@ -293,7 +307,9 @@ fn write_json(cold: &[ColdRow], rows: &[RefreshRow]) {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&metrics_block(metrics_json));
+    out.push_str("\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e19.json");
     if let Err(e) = std::fs::write(path, out) {
         eprintln!("could not write BENCH_e19.json: {e}");
@@ -333,7 +349,7 @@ fn bench(c: &mut Criterion) {
         }
     }
     group.finish();
-    write_json(&cold, &rows);
+    write_json(&cold, &rows, &instrumented_snapshot());
 
     // Acceptance (release-mode): the recorded numbers must clear the bars.
     for c in &cold {

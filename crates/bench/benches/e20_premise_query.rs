@@ -24,8 +24,8 @@
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use swdb_bench::{quick, report_row};
-use swdb_core::{EntailmentRegime, SemanticWebDatabase};
+use swdb_bench::{json_prologue, metrics_block, quick, report_row};
+use swdb_core::{EntailmentRegime, MetricsLevel, SemanticWebDatabase};
 use swdb_model::{isomorphic, Graph};
 use swdb_query::{Query, Semantics};
 use swdb_workloads::{simple_graph, university, SimpleGraphConfig, UniversityConfig};
@@ -222,8 +222,21 @@ fn run_point(
     }
 }
 
-fn write_json(rows: &[Row]) {
-    let mut out = String::from("{\n  \"experiment\": \"e20_premise_query\",\n");
+/// One instrumented warm/cold premise cycle on the 10k university point at
+/// `Counters` level: the report shows the overlay-cache economy (one miss,
+/// then hits) next to the timings.
+fn instrumented_snapshot() -> String {
+    let mut db = SemanticWebDatabase::from_graph(university_workload(10_000));
+    db.set_metrics_level(MetricsLevel::Counters);
+    let q = university_premise_query(4);
+    for _ in 0..3 {
+        let _ = db.answer(&q, Semantics::Union);
+    }
+    db.metrics_snapshot()
+}
+
+fn write_json(rows: &[Row], metrics_json: &str) {
+    let mut out = json_prologue("e20_premise_query");
     out.push_str(
         "  \"acceptance\": \"warm premise answering >= 10x string-space on the 10k university workload\",\n",
     );
@@ -242,7 +255,9 @@ fn write_json(rows: &[Row]) {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&metrics_block(metrics_json));
+    out.push_str("\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e20.json");
     if let Err(e) = std::fs::write(path, out) {
         eprintln!("could not write BENCH_e20.json: {e}");
@@ -293,7 +308,7 @@ fn bench(c: &mut Criterion) {
         );
     }
     group.finish();
-    write_json(&rows);
+    write_json(&rows, &instrumented_snapshot());
 }
 
 criterion_group! {

@@ -27,8 +27,9 @@ use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use swdb_bench::{quick, report_row};
+use swdb_bench::{json_prologue, metrics_block, quick, report_row};
 use swdb_model::Graph;
+use swdb_obs::{Metrics, MetricsLevel};
 use swdb_reason::MaterializedStore;
 use swdb_workloads::{schema_graph, university, SchemaGraphConfig, UniversityConfig};
 
@@ -187,7 +188,7 @@ fn bench(c: &mut Criterion) {
         }
     }
     group.finish();
-    write_json(&rows, cores);
+    write_json(&rows, cores, &instrumented_snapshot());
 
     // Acceptance: the 2× bar at 4 threads is a statement about dedicated
     // parallel hardware. It is asserted only when `E21_ASSERT_SPEEDUP=1`
@@ -219,8 +220,20 @@ fn bench(c: &mut Criterion) {
     }
 }
 
-fn write_json(rows: &[Row], cores: usize) {
-    let mut out = String::from("{\n  \"experiment\": \"e21_parallel_closure\",\n");
+/// One instrumented 4-thread bulk load at `Debug` level: the report carries
+/// the round structure, shard sizes and per-round utilization histograms of
+/// the sharded schedule.
+fn instrumented_snapshot() -> String {
+    let metrics = Metrics::new(MetricsLevel::Debug);
+    let data = university_workload(10_000);
+    let mut store = MaterializedStore::with_threads(4);
+    store.set_metrics(metrics.clone());
+    store.insert_graph(&data);
+    metrics.snapshot().to_json()
+}
+
+fn write_json(rows: &[Row], cores: usize, metrics_json: &str) {
+    let mut out = json_prologue("e21_parallel_closure");
     out.push_str(
         "  \"acceptance\": \"bulk load at 4 threads >= 2x the sequential batch path on 10k university (asserted with E21_ASSERT_SPEEDUP=1 on >= 4 dedicated cores); closure index and added log bit-identical at every thread count\",\n",
     );
@@ -239,7 +252,9 @@ fn write_json(rows: &[Row], cores: usize) {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&metrics_block(metrics_json));
+    out.push_str("\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e21.json");
     if let Err(e) = std::fs::write(path, out) {
         eprintln!("could not write BENCH_e21.json: {e}");

@@ -90,7 +90,8 @@
 
 use swdb_model::{BlankNode, Graph, Term, Triple};
 use swdb_normal::{EvalOverlay, IdCoreEngine};
-use swdb_query::{NormalizedDatabase, Query, Semantics};
+use swdb_obs::{Counter, Hist, Metrics, MetricsLevel};
+use swdb_query::{Explain, NormalizedDatabase, Query, Semantics};
 use swdb_reason::{ClosureDelta, MaterializedStore};
 use swdb_store::{Dictionary, GraphStats, IdIndex, IdTriple};
 
@@ -167,19 +168,28 @@ pub struct SemanticWebDatabase {
     /// Worker-thread ceiling for closure propagation and DRed cascades
     /// (mirrored into the reasoner; see [`SemanticWebDatabase::set_threads`]).
     threads: usize,
+    /// The shared observability handle (`swdb-obs`): one lock-free counter /
+    /// histogram sheet threaded through the reasoner, the core engines and
+    /// the query executor. Level defaults from `SWDB_METRICS`
+    /// (off/counters/debug) and is `Off` — near-zero cost — unless set.
+    metrics: Metrics,
 }
 
 impl Default for SemanticWebDatabase {
     fn default() -> Self {
         let threads = default_threads();
+        let metrics = Metrics::from_env();
+        let mut reasoner = MaterializedStore::with_threads(threads);
+        reasoner.set_metrics(metrics.clone());
         SemanticWebDatabase {
             graph: Graph::default(),
             regime: EntailmentRegime::default(),
-            reasoner: MaterializedStore::with_threads(threads),
+            reasoner,
             evaluation: None,
             premise_cache: Vec::new(),
             asserted_core: None,
             threads,
+            metrics,
         }
     }
 }
@@ -205,6 +215,30 @@ impl SemanticWebDatabase {
     /// the machine's available parallelism).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sets the metrics recording level at runtime. `Off` (the default
+    /// unless `SWDB_METRICS` says otherwise) keeps every instrumentation
+    /// site to one relaxed atomic load; `Counters` turns on the lock-free
+    /// counter sheet; `Debug` additionally records histograms and span
+    /// timings. The level applies retroactively to every engine sharing the
+    /// handle — no structure is rebuilt.
+    pub fn set_metrics_level(&mut self, level: MetricsLevel) {
+        self.metrics.set_level(level);
+    }
+
+    /// The shared [`Metrics`] handle every subsystem of this database
+    /// records into (clones share state, so a held clone keeps observing).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Freezes the current metrics into deterministic JSON (keys sorted,
+    /// integers only): counters, per-rule firings, gauges, histograms
+    /// (debug level), and early warnings such as an oversized blank
+    /// component. See [`swdb_obs::MetricsSnapshot`] for the typed form.
+    pub fn metrics_snapshot(&self) -> String {
+        self.metrics.snapshot().to_json()
     }
 
     /// Creates an empty database under the given regime.
@@ -334,9 +368,16 @@ impl SemanticWebDatabase {
         }
     }
 
-    /// Descriptive statistics of the stored graph.
+    /// Descriptive statistics of the stored graph. Also feeds the
+    /// largest-blank-component early warning: the observation updates the
+    /// metrics gauge and counts a warning when the size exceeds the
+    /// configured threshold (`SWDB_BLANK_WARN`, or
+    /// [`swdb_obs::Metrics::set_blank_warn_threshold`]).
     pub fn stats(&self) -> GraphStats {
-        GraphStats::of(&self.graph)
+        let stats = GraphStats::of(&self.graph);
+        self.metrics
+            .observe_largest_blank_component(stats.largest_blank_component() as u64);
+        stats
     }
 
     // ----- semantics -----
@@ -438,9 +479,10 @@ impl SemanticWebDatabase {
             self.evaluation.as_ref().expect("just ensured")
         } else {
             if self.asserted_core.is_none() {
-                self.asserted_core = Some(IdCoreEngine::from_triples(
+                self.asserted_core = Some(IdCoreEngine::from_triples_metered(
                     self.reasoner.store().iter_ids(),
                     self.reasoner.store().dictionary(),
+                    self.metrics.clone(),
                 ));
             }
             self.asserted_core.as_ref().expect("just built")
@@ -479,15 +521,19 @@ impl SemanticWebDatabase {
         if self.evaluation.is_none() {
             let dictionary = self.reasoner.store().dictionary();
             let engine = match self.regime {
-                EntailmentRegime::Rdfs => {
-                    IdCoreEngine::from_triples(self.reasoner.closure_index().iter(), dictionary)
-                }
+                EntailmentRegime::Rdfs => IdCoreEngine::from_triples_metered(
+                    self.reasoner.closure_index().iter(),
+                    dictionary,
+                    self.metrics.clone(),
+                ),
                 // Under simple entailment, matching against the core of D
                 // gives equivalence-invariant answers without applying the
                 // vocabulary rules.
-                EntailmentRegime::Simple => {
-                    IdCoreEngine::from_triples(self.reasoner.store().iter_ids(), dictionary)
-                }
+                EntailmentRegime::Simple => IdCoreEngine::from_triples_metered(
+                    self.reasoner.store().iter_ids(),
+                    dictionary,
+                    self.metrics.clone(),
+                ),
             };
             self.evaluation = Some(engine);
         }
@@ -547,8 +593,14 @@ impl SemanticWebDatabase {
     fn premise_overlay(&mut self, premise: &Graph) -> usize {
         self.ensure_evaluation();
         if let Some(at) = self.premise_cache.iter().position(|(g, _)| g == premise) {
+            self.metrics.count(Counter::OverlayCacheHits, 1);
             return at;
         }
+        self.metrics.count(Counter::OverlayCacheMisses, 1);
+        let t0 = self
+            .metrics
+            .on(MetricsLevel::Debug)
+            .then(std::time::Instant::now);
         let renamed = rename_premise_apart(premise, &self.graph);
         let ids = self.reasoner.intern_graph(&renamed);
         let engine = self.evaluation.as_ref().expect("just ensured");
@@ -557,8 +609,13 @@ impl SemanticWebDatabase {
             EntailmentRegime::Simple => ids.into_iter().filter(|&t| !engine.maintains(t)).collect(),
         };
         let overlay = engine.overlay_core(&delta, self.reasoner.store().dictionary());
+        if let Some(t0) = t0 {
+            self.metrics
+                .record(Hist::SpanOverlayBuildNs, t0.elapsed().as_nanos() as u64);
+        }
         if self.premise_cache.len() >= PREMISE_CACHE_CAPACITY {
             self.premise_cache.remove(0);
+            self.metrics.count(Counter::OverlayCacheEvictions, 1);
         }
         self.premise_cache.push((premise.clone(), overlay));
         self.premise_cache.len() - 1
@@ -580,17 +637,93 @@ impl SemanticWebDatabase {
     /// premise queries go through the Proposition 5.9 expansion or the
     /// premise overlay (see the module docs).
     pub fn answer(&mut self, query: &Query, semantics: Semantics) -> Graph {
+        let metrics = self.metrics.clone();
+        let t0 = metrics
+            .on(MetricsLevel::Debug)
+            .then(std::time::Instant::now);
+        let out = self.answer_inner(query, semantics, &metrics);
+        if let Some(t0) = t0 {
+            metrics.record(Hist::SpanQueryAnswerNs, t0.elapsed().as_nanos() as u64);
+        }
+        out
+    }
+
+    /// The dispatch behind [`SemanticWebDatabase::answer`] (split out so the
+    /// span timing wraps every mechanism once).
+    fn answer_inner(&mut self, query: &Query, semantics: Semantics, metrics: &Metrics) -> Graph {
         if query.is_premise_free() {
             let (dictionary, index) = self.evaluation();
-            return swdb_query::id_answer(query, dictionary, index, semantics);
+            return swdb_query::id_answer_metered(query, dictionary, index, semantics, metrics);
         }
         if self.premise_via_expansion(query) {
             let members = swdb_query::premise_free_expansion(query);
             let (dictionary, index) = self.evaluation();
+            if metrics.on(MetricsLevel::Counters) {
+                metrics.count(Counter::QueryCompiled, 1);
+                let metered = swdb_query::MeteredTarget::new(index);
+                let answer = swdb_query::id_answer_union_of_queries(
+                    &members, dictionary, &metered, semantics,
+                );
+                metered.flush(metrics);
+                metrics.count(Counter::QueryAnswers, answer.len() as u64);
+                return answer;
+            }
             return swdb_query::id_answer_union_of_queries(&members, dictionary, index, semantics);
         }
         let (dictionary, target) = self.premise_target(query.premise());
-        swdb_query::id_answer(query, dictionary, &target, semantics)
+        swdb_query::id_answer_metered(query, dictionary, &target, semantics, metrics)
+    }
+
+    /// Explains how [`SemanticWebDatabase::answer`] would (and does) execute
+    /// this query: the mechanism chosen by the dispatch (`premise_free`,
+    /// `expansion`, or `overlay`), the compiled pattern count, the join
+    /// order actually taken by the most-constrained-first solver (original
+    /// body-pattern indices, in descent order at the first full descent),
+    /// and the measured candidate probes, enumerated bindings, and answer
+    /// count. Runs the real execution pipeline with a recorder attached —
+    /// the join order reported is the one `swdb_query::exec` chooses, not a
+    /// re-derivation — so explaining is roughly as expensive as answering.
+    /// For the expansion mechanism, `members` counts the premise-free
+    /// members of `Ω_q`; `join_order` and `patterns` describe the first
+    /// member, probes/bindings/answers sum over all of them.
+    pub fn explain(&mut self, query: &Query, semantics: Semantics) -> Explain {
+        if query.is_premise_free() {
+            let (dictionary, index) = self.evaluation();
+            return swdb_query::explain_premise_free(query, dictionary, index, semantics);
+        }
+        if self.premise_via_expansion(query) {
+            let members = swdb_query::premise_free_expansion(query);
+            let (dictionary, index) = self.evaluation();
+            let mut merged: Option<Explain> = None;
+            for member in &members {
+                let e = swdb_query::explain_premise_free(member, dictionary, index, semantics);
+                match merged.as_mut() {
+                    None => merged = Some(e),
+                    Some(m) => {
+                        m.probes += e.probes;
+                        m.bindings += e.bindings;
+                        m.answers += e.answers;
+                    }
+                }
+            }
+            let mut explain = merged.unwrap_or_else(|| Explain {
+                mechanism: "expansion",
+                semantics: Explain::semantics_name(semantics),
+                members: 0,
+                patterns: 0,
+                join_order: Vec::new(),
+                probes: 0,
+                bindings: 0,
+                answers: 0,
+            });
+            explain.mechanism = "expansion";
+            explain.members = members.len();
+            return explain;
+        }
+        let (dictionary, target) = self.premise_target(query.premise());
+        let mut explain = swdb_query::explain_premise_free(query, dictionary, &target, semantics);
+        explain.mechanism = "overlay";
+        explain
     }
 
     /// The recomputing specification path for query answering: evaluates
@@ -634,9 +767,10 @@ impl SemanticWebDatabase {
     /// The pre-answer (list of single answers) of a query, computed through
     /// the same id paths as [`SemanticWebDatabase::answer`].
     pub fn pre_answers(&mut self, query: &Query) -> Vec<Graph> {
+        let metrics = self.metrics.clone();
         if query.is_premise_free() {
             let (dictionary, index) = self.evaluation();
-            return swdb_query::id_pre_answers(query, dictionary, index);
+            return swdb_query::id_pre_answers_metered(query, dictionary, index, &metrics);
         }
         if self.premise_via_expansion(query) {
             let members = swdb_query::premise_free_expansion(query);
@@ -644,7 +778,7 @@ impl SemanticWebDatabase {
             return swdb_query::id_pre_answers_of_queries(&members, dictionary, index);
         }
         let (dictionary, target) = self.premise_target(query.premise());
-        swdb_query::id_pre_answers(query, dictionary, &target)
+        swdb_query::id_pre_answers_metered(query, dictionary, &target, &metrics)
     }
 
     /// Returns `true` if the query has no answer over this database. Every
@@ -652,9 +786,10 @@ impl SemanticWebDatabase {
     /// witnessing matching instead of materializing the pre-answer (for the
     /// expansion, per member).
     pub fn answer_is_empty(&mut self, query: &Query) -> bool {
+        let metrics = self.metrics.clone();
         if query.is_premise_free() {
             let (dictionary, index) = self.evaluation();
-            return swdb_query::id_answer_is_empty(query, dictionary, index);
+            return swdb_query::id_answer_is_empty_metered(query, dictionary, index, &metrics);
         }
         if self.premise_via_expansion(query) {
             let members = swdb_query::premise_free_expansion(query);
@@ -662,7 +797,7 @@ impl SemanticWebDatabase {
             return swdb_query::id_union_answer_is_empty(&members, dictionary, index);
         }
         let (dictionary, target) = self.premise_target(query.premise());
-        swdb_query::id_answer_is_empty(query, dictionary, &target)
+        swdb_query::id_answer_is_empty_metered(query, dictionary, &target, &metrics)
     }
 
     /// Answers a query and removes redundancy from the result (returns the

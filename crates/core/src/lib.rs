@@ -17,6 +17,37 @@
 //! | Triple store, N-Triples syntax, statistics | [`store`] |
 //! | Incremental closure maintenance over id-triples | [`reason`] |
 //! | Classical graph substrate for the hardness reductions | [`graphs`] |
+//! | Metrics, spans, early warnings (engineering layer) | [`obs`] |
+//!
+//! ## Observability
+//!
+//! Every engine a [`SemanticWebDatabase`] owns — the reasoner, the core
+//! engines, the query executor, the premise-overlay cache — records into
+//! one shared [`obs::Metrics`] handle. Recording is off by default and
+//! near-free when off (one relaxed atomic load per site; hot loops batch
+//! into locals). Turn it on with the `SWDB_METRICS` environment variable
+//! (`counters` or `debug`) or at runtime with
+//! [`SemanticWebDatabase::set_metrics_level`]:
+//!
+//! ```
+//! use swdb_core::{MetricsLevel, SemanticWebDatabase, Semantics};
+//! use swdb_core::model::graph;
+//! use swdb_core::query::query;
+//!
+//! let mut db = SemanticWebDatabase::new();
+//! db.set_metrics_level(MetricsLevel::Counters);
+//! db.insert_graph(&graph([("ex:a", "ex:p", "ex:b")]));
+//! let q = query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]);
+//! let _ = db.answer(&q, Semantics::Union);
+//!
+//! // Deterministic JSON: counters, per-rule firings, gauges, histograms.
+//! let report = db.metrics_snapshot();
+//! assert!(report.contains("\"query_answers\": 1"));
+//!
+//! // EXPLAIN: the mechanism and join order the executor actually used.
+//! let plan = db.explain(&q, Semantics::Union);
+//! assert_eq!(plan.mechanism, "premise_free");
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -51,7 +82,11 @@
 pub mod database;
 
 pub use database::{EntailmentRegime, SemanticWebDatabase};
-pub use swdb_query::Semantics;
+pub use swdb_obs::{Metrics, MetricsLevel};
+pub use swdb_query::{Explain, Semantics};
+
+/// Re-export of the observability layer (`swdb-obs`).
+pub use swdb_obs as obs;
 
 /// Re-export of the abstract RDF data model (`swdb-model`).
 pub use swdb_model as model;

@@ -234,6 +234,47 @@ impl IdTarget for Overlay<'_> {
     }
 }
 
+/// Records the join order an [`IdSolver`] actually chose: the original
+/// pattern indices in the order of the search's **first descent** to each
+/// depth. Pattern selection is dynamic (most-constrained-first against live
+/// candidate counts), so the order is a run-time fact, not a compile-time
+/// plan — this log is how `EXPLAIN` surfaces it without changing the search.
+///
+/// Backtracking can re-enter a depth with different bindings and pick a
+/// different pattern there; the log keeps the first choice per depth, which
+/// is the order the initial (most selective) probe path took.
+#[derive(Debug, Default)]
+pub struct JoinOrderLog {
+    order: std::cell::RefCell<Vec<usize>>,
+}
+
+impl JoinOrderLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        JoinOrderLog::default()
+    }
+
+    /// Records `pattern_index` as the choice at `depth` unless that depth
+    /// already has one.
+    fn record(&self, depth: usize, pattern_index: usize) {
+        let mut order = self.order.borrow_mut();
+        if order.len() == depth {
+            order.push(pattern_index);
+        }
+    }
+
+    /// The recorded order so far (original pattern indices, outermost
+    /// first).
+    pub fn order(&self) -> Vec<usize> {
+        self.order.borrow().clone()
+    }
+
+    /// Takes the recorded order, resetting the log for reuse.
+    pub fn take(&self) -> Vec<usize> {
+        std::mem::take(&mut *self.order.borrow_mut())
+    }
+}
+
 /// A prepared id-space matcher: a pattern list with `slots` variables
 /// against one [`IdTarget`].
 ///
@@ -243,6 +284,7 @@ pub struct IdSolver<'a, T: IdTarget> {
     patterns: &'a [IdTriplePattern],
     slots: usize,
     target: &'a T,
+    recorder: Option<&'a JoinOrderLog>,
 }
 
 impl<'a, T: IdTarget> IdSolver<'a, T> {
@@ -253,6 +295,23 @@ impl<'a, T: IdTarget> IdSolver<'a, T> {
             patterns,
             slots,
             target,
+            recorder: None,
+        }
+    }
+
+    /// Like [`IdSolver::new`], additionally recording the join order the
+    /// search chooses into `recorder` (see [`JoinOrderLog`]).
+    pub fn with_recorder(
+        patterns: &'a [IdTriplePattern],
+        slots: usize,
+        target: &'a T,
+        recorder: &'a JoinOrderLog,
+    ) -> Self {
+        IdSolver {
+            patterns,
+            slots,
+            target,
+            recorder: Some(recorder),
         }
     }
 
@@ -280,11 +339,19 @@ impl<'a, T: IdTarget> IdSolver<'a, T> {
         if remaining.is_empty() {
             return visit(binding);
         }
+        let depth = self.patterns.len() - remaining.len();
         let best_pos = crate::most_constrained(remaining, |p| {
             self.target.candidate_count(p.to_scan(binding))
         })
         .expect("remaining not empty");
         let chosen = remaining.swap_remove(best_pos);
+        if let Some(log) = self.recorder {
+            // Recover the original pattern index from the reference's offset
+            // into the pattern slice (safe pointer arithmetic on addresses).
+            let offset =
+                chosen as *const IdTriplePattern as usize - self.patterns.as_ptr() as usize;
+            log.record(depth, offset / std::mem::size_of::<IdTriplePattern>());
+        }
 
         let mut broke: Option<B> = None;
         self.target
@@ -531,6 +598,23 @@ mod tests {
             IdSolver::new(&loops, 2, &with_loop).first_solution(),
             Some(vec![7, 10])
         );
+    }
+
+    #[test]
+    fn recorder_logs_first_descent_join_order() {
+        let idx = index();
+        // (?X, 10, ?Y) has 3 candidates, (?Y, 11, ?Z) has 1 — the most-
+        // constrained rule must descend into the second pattern first.
+        let patterns = [
+            pattern(var(0), constant(10), var(1)),
+            pattern(var(1), constant(11), var(2)),
+        ];
+        let log = JoinOrderLog::new();
+        let solver = IdSolver::with_recorder(&patterns, 3, &idx, &log);
+        assert!(solver.exists());
+        assert_eq!(log.order(), vec![1, 0]);
+        assert_eq!(log.take(), vec![1, 0]);
+        assert!(log.order().is_empty(), "take resets the log");
     }
 
     #[test]

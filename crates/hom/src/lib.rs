@@ -32,7 +32,9 @@ pub mod pattern;
 pub mod solve;
 
 pub use acyclic::{acyclic_exists, has_blank_induced_cycle, is_acyclic_pattern};
-pub use id_solve::{Avoiding, IdPatternTerm, IdSolver, IdTarget, IdTriplePattern, Overlay};
+pub use id_solve::{
+    Avoiding, IdPatternTerm, IdSolver, IdTarget, IdTriplePattern, JoinOrderLog, Overlay,
+};
 pub use index::GraphIndex;
 pub use maps::{
     all_maps, exists_map, exists_map_indexed, find_map, find_map_avoiding, find_map_indexed,

@@ -50,6 +50,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use swdb_hom::{Avoiding, IdPatternTerm, IdSolver, IdTarget, IdTriplePattern, Overlay};
+use swdb_obs::{Counter, Hist, Metrics, MetricsLevel};
 use swdb_store::{Dictionary, IdIndex, IdTriple, TermId};
 
 use crate::components::blank_components;
@@ -201,6 +202,9 @@ pub struct IdCoreEngine {
     /// insertion whose predicate no blank triple uses cannot be the image of
     /// any fold and skips the core step entirely.
     blank_pred_refs: BTreeMap<TermId, usize>,
+    /// Instrumentation handle (`Off` by default: every site reduces to a
+    /// relaxed flag load).
+    metrics: Metrics,
 }
 
 impl IdCoreEngine {
@@ -216,7 +220,18 @@ impl IdCoreEngine {
         triples: impl IntoIterator<Item = IdTriple>,
         dictionary: &Dictionary,
     ) -> Self {
+        IdCoreEngine::from_triples_metered(triples, dictionary, Metrics::default())
+    }
+
+    /// [`IdCoreEngine::from_triples`] with the metrics handle attached
+    /// before the cold build runs, so the initial coring is observed too.
+    pub fn from_triples_metered(
+        triples: impl IntoIterator<Item = IdTriple>,
+        dictionary: &Dictionary,
+        metrics: Metrics,
+    ) -> Self {
         let mut engine = IdCoreEngine::new();
+        engine.metrics = metrics;
         for t in triples {
             if is_blank_triple(dictionary, t) {
                 if engine.blank_full.insert(t) {
@@ -231,6 +246,18 @@ impl IdCoreEngine {
         engine.refresh(dirty, BTreeSet::new());
         engine.debug_check(dictionary);
         engine
+    }
+
+    /// Attaches a metrics handle: components re-cored, retraction-search
+    /// probes, fold steps, support replays and the largest-blank-component
+    /// early warning all report through it.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// The metrics handle observing this engine.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The published evaluation index: the core of the maintained set.
@@ -367,6 +394,9 @@ impl IdCoreEngine {
     /// predicate) get the chance to retract further — their folded
     /// survivors land in `removed`, the published index keeps them.
     pub fn overlay_core(&self, delta: &[IdTriple], dictionary: &Dictionary) -> EvalOverlay {
+        let mut searches = 0u64;
+        let mut fold_steps = 0u64;
+        let mut recored = 0u64;
         let mut view = OverlayCoreView {
             base: &self.eval,
             diff: EvalOverlay::default(),
@@ -417,7 +447,15 @@ impl IdCoreEngine {
                     added_preds.insert(t.1);
                 }
             }
-            fold_to_fixpoint(&mut view, &mut current, &blob_blanks, &mut folds);
+            fold_to_fixpoint(
+                &mut view,
+                &mut current,
+                &blob_blanks,
+                &mut folds,
+                &mut searches,
+            );
+            recored += 1;
+            fold_steps += folds.len() as u64;
         }
         if !added_preds.is_empty() {
             // Progressive pass over the components outside the blob,
@@ -433,10 +471,25 @@ impl IdCoreEngine {
                 if comp.survivors.iter().all(|t| !added_preds.contains(&t.1)) {
                     continue;
                 }
+                let before = folds.len();
                 let mut current = comp.survivors.clone();
-                fold_to_fixpoint(&mut view, &mut current, &comp.blanks, &mut folds);
+                fold_to_fixpoint(
+                    &mut view,
+                    &mut current,
+                    &comp.blanks,
+                    &mut folds,
+                    &mut searches,
+                );
+                if folds.len() > before {
+                    recored += 1;
+                    fold_steps += (folds.len() - before) as u64;
+                }
             }
         }
+        self.metrics.count(Counter::CoreComponentsRecored, recored);
+        self.metrics.count(Counter::CoreFoldSteps, fold_steps);
+        self.metrics
+            .count(Counter::CoreRetractionSearches, searches);
         view.diff
     }
 
@@ -491,6 +544,13 @@ impl IdCoreEngine {
     /// triple the chance to retract further. Every fold map is replayed onto
     /// all components' support sets, keeping them pointed at live triples.
     fn refresh(&mut self, dirty: Vec<usize>, mut added_preds: BTreeSet<TermId>) {
+        let t0 = self
+            .metrics
+            .on(MetricsLevel::Debug)
+            .then(std::time::Instant::now);
+        let mut searches = 0u64;
+        let mut fold_steps = 0u64;
+        let mut recored = dirty.len() as u64;
         for &i in &dirty {
             let mut folds = Vec::new();
             {
@@ -503,37 +563,68 @@ impl IdCoreEngine {
                     }
                 }
                 let mut current = comp.full.clone();
-                let composed =
-                    fold_to_fixpoint(&mut self.eval, &mut current, &comp.blanks, &mut folds);
+                let composed = fold_to_fixpoint(
+                    &mut self.eval,
+                    &mut current,
+                    &comp.blanks,
+                    &mut folds,
+                    &mut searches,
+                );
                 comp.survivors = current;
                 comp.support = comp.full.iter().map(|&t| apply_map(&composed, t)).collect();
                 comp.stale = false;
             }
+            fold_steps += folds.len() as u64;
             self.replay_folds(&folds, i);
         }
-        if added_preds.is_empty() {
-            return;
-        }
-        // Progressive pass: a newly published triple can be the image of a
-        // fold only for a survivor pattern with the same predicate. Folds
-        // only remove triples, so one sweep reaches the fixpoint.
-        for i in 0..self.components.len() {
-            let comp = &self.components[i];
-            if comp.survivors.iter().all(|t| !added_preds.contains(&t.1)) {
-                continue;
-            }
-            let mut folds = Vec::new();
-            {
-                let comp = &mut self.components[i];
-                let mut current = comp.survivors.clone();
-                let composed =
-                    fold_to_fixpoint(&mut self.eval, &mut current, &comp.blanks, &mut folds);
-                if !folds.is_empty() {
-                    comp.survivors = current;
-                    comp.support = remap_set(&comp.support, &composed);
+        if !added_preds.is_empty() {
+            // Progressive pass: a newly published triple can be the image of
+            // a fold only for a survivor pattern with the same predicate.
+            // Folds only remove triples, so one sweep reaches the fixpoint.
+            for i in 0..self.components.len() {
+                let comp = &self.components[i];
+                if comp.survivors.iter().all(|t| !added_preds.contains(&t.1)) {
+                    continue;
                 }
+                let mut folds = Vec::new();
+                {
+                    let comp = &mut self.components[i];
+                    let mut current = comp.survivors.clone();
+                    let composed = fold_to_fixpoint(
+                        &mut self.eval,
+                        &mut current,
+                        &comp.blanks,
+                        &mut folds,
+                        &mut searches,
+                    );
+                    if !folds.is_empty() {
+                        comp.survivors = current;
+                        comp.support = remap_set(&comp.support, &composed);
+                    }
+                }
+                if !folds.is_empty() {
+                    recored += 1;
+                    fold_steps += folds.len() as u64;
+                }
+                self.replay_folds(&folds, i);
             }
-            self.replay_folds(&folds, i);
+        }
+        self.metrics.count(Counter::CoreComponentsRecored, recored);
+        self.metrics.count(Counter::CoreFoldSteps, fold_steps);
+        self.metrics
+            .count(Counter::CoreRetractionSearches, searches);
+        if self.metrics.on(MetricsLevel::Counters) {
+            let largest = self
+                .components
+                .iter()
+                .map(|c| c.full.len())
+                .max()
+                .unwrap_or(0);
+            self.metrics.observe_largest_blank_component(largest as u64);
+        }
+        if let Some(t0) = t0 {
+            self.metrics
+                .record(Hist::SpanCoreRefreshNs, t0.elapsed().as_nanos() as u64);
         }
     }
 
@@ -543,6 +634,7 @@ impl IdCoreEngine {
         if folds.is_empty() {
             return;
         }
+        let mut replays = 0u64;
         for (j, other) in self.components.iter_mut().enumerate() {
             if j == origin {
                 continue;
@@ -557,9 +649,11 @@ impl IdCoreEngine {
                     .any(|(s, _, o)| map.contains_key(s) || map.contains_key(o));
                 if touched {
                     other.support = remap_set(&other.support, map);
+                    replays += 1;
                 }
             }
         }
+        self.metrics.count(Counter::CoreSupportReplays, replays);
     }
 
     /// Debug-build invariants: the published index is exactly the ground
@@ -645,9 +739,10 @@ fn fold_to_fixpoint<T: CoreIndex>(
     current: &mut BTreeSet<IdTriple>,
     blanks: &BTreeSet<TermId>,
     folds: &mut Vec<IdMap>,
+    searches: &mut u64,
 ) -> IdMap {
     let mut composed = IdMap::new();
-    while let Some(map) = find_fold(eval, current, blanks) {
+    while let Some(map) = find_fold(eval, current, blanks, searches) {
         let image: BTreeSet<IdTriple> = current.iter().map(|&t| apply_map(&map, t)).collect();
         for &t in current.iter() {
             if !image.contains(&t) {
@@ -684,6 +779,7 @@ fn find_fold<T: CoreIndex>(
     eval: &T,
     current: &BTreeSet<IdTriple>,
     blanks: &BTreeSet<TermId>,
+    searches: &mut u64,
 ) -> Option<IdMap> {
     if current.is_empty() {
         return None;
@@ -708,6 +804,7 @@ fn find_fold<T: CoreIndex>(
         }
     }
     for &avoid in current.iter() {
+        *searches += 1;
         let target = Avoiding::new(eval, avoid);
         let solver = IdSolver::new(&patterns, slot_of.len(), &target);
         if let Some(solution) = solver.first_solution() {

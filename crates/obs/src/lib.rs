@@ -1,0 +1,774 @@
+//! # swdb-obs — zero-cost-when-off instrumentation for the swdb stack
+//!
+//! Every engine in the workspace (closure maintenance, id-space joins, the
+//! incremental core, the facade's overlay cache) reports through one shared
+//! [`Metrics`] handle: a cheaply clonable `Arc` of lock-free atomic state.
+//! The handle has three levels:
+//!
+//! * [`MetricsLevel::Off`] — the default. Every recording call is a single
+//!   relaxed atomic load and a predictable branch; no counter is touched,
+//!   no clock is read, no allocation happens. Engines additionally batch
+//!   their hot-loop counts into plain locals and flush once per operation,
+//!   so the off path costs a handful of loads per *operation*, not per
+//!   *triple*.
+//! * [`MetricsLevel::Counters`] — lock-free monotonic counters, per-rule
+//!   firing slots and gauges are live. Suitable for production traffic.
+//! * [`MetricsLevel::Debug`] — additionally records log₂-bucketed size and
+//!   latency histograms, and [`Metrics::span`] RAII timers read the clock.
+//!
+//! [`Metrics::snapshot`] freezes everything into a [`MetricsSnapshot`]
+//! whose maps are `BTreeMap`s, so [`MetricsSnapshot::to_json`] emits a
+//! deterministically-keyed report using the workspace's hand-rolled JSON
+//! conventions (no external serializer).
+//!
+//! The crate is std-only and dependency-free so every layer of the stack
+//! can depend on it, including `swdb-reason` at the bottom.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// How much the stack records. Ordered: each level includes the previous.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum MetricsLevel {
+    /// Record nothing; every instrumentation call is a load and a branch.
+    #[default]
+    Off = 0,
+    /// Lock-free counters, per-rule firing slots and gauges.
+    Counters = 1,
+    /// Counters plus histograms and RAII span timers (clock reads).
+    Debug = 2,
+}
+
+impl MetricsLevel {
+    /// Parses the `SWDB_METRICS` convention: `off`/`0`, `counters`/`on`/`1`,
+    /// `debug`/`2` (case-insensitive). Unknown values mean [`Off`].
+    ///
+    /// [`Off`]: MetricsLevel::Off
+    pub fn parse(s: &str) -> MetricsLevel {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "counters" | "on" | "1" => MetricsLevel::Counters,
+            "debug" | "2" => MetricsLevel::Debug,
+            _ => MetricsLevel::Off,
+        }
+    }
+
+    /// Reads the level from the `SWDB_METRICS` environment variable
+    /// ([`Off`] when unset).
+    ///
+    /// [`Off`]: MetricsLevel::Off
+    pub fn from_env() -> MetricsLevel {
+        std::env::var("SWDB_METRICS")
+            .map(|v| MetricsLevel::parse(&v))
+            .unwrap_or(MetricsLevel::Off)
+    }
+
+    /// The snapshot/JSON name of the level.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricsLevel::Off => "off",
+            MetricsLevel::Counters => "counters",
+            MetricsLevel::Debug => "debug",
+        }
+    }
+
+    fn from_u8(v: u8) -> MetricsLevel {
+        match v {
+            1 => MetricsLevel::Counters,
+            2 => MetricsLevel::Debug,
+            _ => MetricsLevel::Off,
+        }
+    }
+}
+
+macro_rules! keyed_enum {
+    ($(#[$doc:meta])* $name:ident { $($(#[$vdoc:meta])* $variant:ident => $key:literal,)+ }) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        #[repr(usize)]
+        pub enum $name {
+            $($(#[$vdoc])* $variant,)+
+        }
+
+        impl $name {
+            /// Every variant, in declaration order (the storage order).
+            pub const ALL: &'static [$name] = &[$($name::$variant,)+];
+
+            /// The stable snake_case snapshot/JSON key of the variant.
+            pub fn key(self) -> &'static str {
+                match self {
+                    $($name::$variant => $key,)+
+                }
+            }
+        }
+    };
+}
+
+keyed_enum! {
+    /// The monotonic counters of the stack, one slot each.
+    Counter {
+        /// Semi-naive propagation rounds committed (round-based schedule).
+        ReasonRounds => "reason_rounds",
+        /// Rounds that actually ran on scoped worker threads.
+        ReasonParallelRounds => "reason_parallel_rounds",
+        /// `(rule, hypothesis)` shards evaluated across all rounds.
+        ReasonShards => "reason_shards",
+        /// Rule conclusions kept at evaluation time (all rules; the
+        /// per-rule split lives in the rule-firing slots). Schedule-
+        /// dependent: the depth-first and round-based schedules evaluate
+        /// different numbers of instances on the way to the same fixpoint.
+        ReasonRuleFirings => "reason_rule_firings",
+        /// Triples added to the maintained closure (schedule-invariant).
+        ReasonClosureAdded => "reason_closure_added",
+        /// Triples removed from the maintained closure (schedule-invariant).
+        ReasonClosureRemoved => "reason_closure_removed",
+        /// Triples overdeleted by the DRed cascade before rederivation.
+        ReasonOverdeleted => "reason_overdeleted",
+        /// Overdeleted triples rederived (put back) by the DRed check.
+        ReasonRederived => "reason_rederived",
+        /// Non-committing closure previews run for premise overlays.
+        ReasonPreviews => "reason_previews",
+        /// Queries compiled to id patterns.
+        QueryCompiled => "query_compiled",
+        /// Body triple patterns compiled to id patterns.
+        QueryPatternsCompiled => "query_patterns_compiled",
+        /// `candidate_count` selectivity probes issued by the join planner.
+        QueryJoinProbes => "query_join_probes",
+        /// Bindings (complete pattern matchings) enumerated by the solver.
+        QueryBindings => "query_bindings",
+        /// Answers materialized into result graphs.
+        QueryAnswers => "query_answers",
+        /// Blank components re-cored by the incremental core engine.
+        CoreComponentsRecored => "core_components_recored",
+        /// Successful folds applied by the retraction searches.
+        CoreFoldSteps => "core_fold_steps",
+        /// Fold maps replayed onto component support sets.
+        CoreSupportReplays => "core_support_replays",
+        /// Retraction searches attempted (one per fold candidate probe).
+        CoreRetractionSearches => "core_retraction_searches",
+        /// Early warnings: largest blank component exceeded the threshold.
+        CoreBlankWarnings => "core_blank_warnings",
+        /// Premise overlay cache hits in the facade.
+        OverlayCacheHits => "overlay_cache_hits",
+        /// Premise overlay cache misses (overlay built from scratch).
+        OverlayCacheMisses => "overlay_cache_misses",
+        /// Premise overlay cache evictions (capacity reached).
+        OverlayCacheEvictions => "overlay_cache_evictions",
+    }
+}
+
+keyed_enum! {
+    /// The gauges (last-observed values, not monotonic).
+    Gauge {
+        /// Size in triples of the largest blank co-occurrence component in
+        /// the evaluation graph — the driver of the worst-case (NP-hard,
+        /// Thm 3.12) local core search.
+        LargestBlankComponent => "largest_blank_component",
+        /// The configured early-warning threshold for the above.
+        BlankWarnThreshold => "blank_warn_threshold",
+    }
+}
+
+keyed_enum! {
+    /// The log₂-bucketed histograms (recorded at [`MetricsLevel::Debug`]).
+    Hist {
+        /// Frontier size per propagation round, in triples.
+        FrontierSize => "frontier_size",
+        /// Shard size per parallel round, in `(delta, path)` join tasks.
+        ShardSize => "shard_size",
+        /// Per-round worker utilization in percent:
+        /// `total load / (workers × busiest worker load)`.
+        RoundUtilizationPct => "round_utilization_pct",
+        /// Wall time of one closure insert propagation, nanoseconds.
+        SpanReasonInsertNs => "span_reason_insert_ns",
+        /// Wall time of one DRed delete, nanoseconds.
+        SpanReasonDeleteNs => "span_reason_delete_ns",
+        /// Wall time of one core-engine delta refresh, nanoseconds.
+        SpanCoreRefreshNs => "span_core_refresh_ns",
+        /// Wall time of one facade query answer, nanoseconds.
+        SpanQueryAnswerNs => "span_query_answer_ns",
+        /// Wall time of one premise overlay build, nanoseconds.
+        SpanOverlayBuildNs => "span_overlay_build_ns",
+    }
+}
+
+/// Number of per-rule firing slots (the rule system has 14 rules).
+pub const RULE_SLOTS: usize = 16;
+
+/// Default early-warning threshold (triples in one blank component) when
+/// `SWDB_BLANK_WARN` is unset.
+pub const DEFAULT_BLANK_WARN_THRESHOLD: u64 = 1_000;
+
+/// 64 log₂ buckets plus the zero bucket.
+const HIST_BUCKETS: usize = 65;
+
+struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `floor(log₂ v) + 1`.
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Lower bound of a bucket (inclusive): 0 for the zero bucket, else
+/// `2^(b-1)`.
+fn bucket_lower_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+struct Inner {
+    level: AtomicU8,
+    counters: [AtomicU64; Counter::ALL.len()],
+    gauges: [AtomicU64; Gauge::ALL.len()],
+    rule_firings: [AtomicU64; RULE_SLOTS],
+    histograms: [Histogram; Hist::ALL.len()],
+    blank_warn_threshold: AtomicU64,
+    /// Cold-path registry mapping rule slots to human-readable labels
+    /// (e.g. `r04_sc-transitivity`); written once by the rule system.
+    rule_labels: Mutex<Vec<String>>,
+}
+
+/// The shared instrumentation handle. Clones share the same atomic state
+/// (an `Arc`), so an engine and the facade that owns it report into one
+/// set of counters; [`Metrics::default`] is a fresh, disabled handle.
+#[derive(Clone)]
+pub struct Metrics {
+    inner: Arc<Inner>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new(MetricsLevel::Off)
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("level", &self.level())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Metrics {
+    /// A fresh handle at the given level.
+    pub fn new(level: MetricsLevel) -> Metrics {
+        let threshold = std::env::var("SWDB_BLANK_WARN")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_BLANK_WARN_THRESHOLD);
+        Metrics {
+            inner: Arc::new(Inner {
+                level: AtomicU8::new(level as u8),
+                counters: std::array::from_fn(|_| AtomicU64::new(0)),
+                gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+                rule_firings: std::array::from_fn(|_| AtomicU64::new(0)),
+                histograms: std::array::from_fn(|_| Histogram::new()),
+                blank_warn_threshold: AtomicU64::new(threshold),
+                rule_labels: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// A fresh handle at the level named by the `SWDB_METRICS` environment
+    /// variable ([`MetricsLevel::Off`] when unset).
+    pub fn from_env() -> Metrics {
+        Metrics::new(MetricsLevel::from_env())
+    }
+
+    /// A process-wide permanently-disabled handle for uninstrumented entry
+    /// points: no allocation per call site.
+    pub fn disabled() -> &'static Metrics {
+        static OFF: OnceLock<Metrics> = OnceLock::new();
+        OFF.get_or_init(|| Metrics::new(MetricsLevel::Off))
+    }
+
+    /// The current recording level.
+    pub fn level(&self) -> MetricsLevel {
+        MetricsLevel::from_u8(self.inner.level.load(Ordering::Relaxed))
+    }
+
+    /// Changes the recording level; already-recorded state is kept.
+    pub fn set_level(&self, level: MetricsLevel) {
+        self.inner.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// `true` when the handle records at least at `at` — one relaxed load.
+    /// Engines use this to batch hot-loop counts into locals and skip the
+    /// flush entirely when off.
+    #[inline]
+    pub fn on(&self, at: MetricsLevel) -> bool {
+        self.inner.level.load(Ordering::Relaxed) >= at as u8
+    }
+
+    /// Adds `n` to a counter (no-op below [`MetricsLevel::Counters`] or
+    /// when `n == 0`).
+    #[inline]
+    pub fn count(&self, counter: Counter, n: u64) {
+        if n != 0 && self.on(MetricsLevel::Counters) {
+            self.inner.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` firings to rule slot `slot` (modulo [`RULE_SLOTS`]).
+    #[inline]
+    pub fn count_rule(&self, slot: usize, n: u64) {
+        if n != 0 && self.on(MetricsLevel::Counters) {
+            self.inner.rule_firings[slot % RULE_SLOTS].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets a gauge to its latest observed value.
+    #[inline]
+    pub fn gauge_set(&self, gauge: Gauge, value: u64) {
+        if self.on(MetricsLevel::Counters) {
+            self.inner.gauges[gauge as usize].store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a histogram sample (no-op below [`MetricsLevel::Debug`]).
+    #[inline]
+    pub fn record(&self, hist: Hist, value: u64) {
+        if self.on(MetricsLevel::Debug) {
+            self.inner.histograms[hist as usize].record(value);
+        }
+    }
+
+    /// Starts an RAII span timer recording its wall time into `hist` when
+    /// dropped. Below [`MetricsLevel::Debug`] the clock is never read.
+    #[inline]
+    pub fn span(&self, hist: Hist) -> Span<'_> {
+        Span {
+            metrics: self,
+            hist,
+            start: if self.on(MetricsLevel::Debug) {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// The configured largest-blank-component early-warning threshold.
+    pub fn blank_warn_threshold(&self) -> u64 {
+        self.inner.blank_warn_threshold.load(Ordering::Relaxed)
+    }
+
+    /// Reconfigures the early-warning threshold.
+    pub fn set_blank_warn_threshold(&self, threshold: u64) {
+        self.inner
+            .blank_warn_threshold
+            .store(threshold, Ordering::Relaxed);
+    }
+
+    /// Reports the current largest blank-component size: updates the gauge
+    /// and counts an early warning whenever the size exceeds the
+    /// configured threshold (the first concrete hook of the NP-hard-tail
+    /// budgeting item — Thm 3.12 makes one giant component the worst case
+    /// of the core refresh).
+    pub fn observe_largest_blank_component(&self, size: u64) {
+        if !self.on(MetricsLevel::Counters) {
+            return;
+        }
+        self.gauge_set(Gauge::LargestBlankComponent, size);
+        self.gauge_set(Gauge::BlankWarnThreshold, self.blank_warn_threshold());
+        if size > self.blank_warn_threshold() {
+            self.count(Counter::CoreBlankWarnings, 1);
+        }
+    }
+
+    /// Registers human-readable labels for the rule-firing slots (slot `i`
+    /// gets `labels[i]`). Cold path; called once by the rule system.
+    pub fn set_rule_labels(&self, labels: Vec<String>) {
+        *self.inner.rule_labels.lock().expect("rule label registry") = labels;
+    }
+
+    /// Resets all counters, gauges, rule slots and histograms to zero
+    /// (level and labels are kept). Used by tests and by benches that
+    /// report per-phase snapshots.
+    pub fn reset(&self) {
+        for c in &self.inner.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        for g in &self.inner.gauges {
+            g.store(0, Ordering::Relaxed);
+        }
+        for r in &self.inner.rule_firings {
+            r.store(0, Ordering::Relaxed);
+        }
+        for h in &self.inner.histograms {
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Freezes the current state into a deterministic snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| {
+                (
+                    c.key(),
+                    self.inner.counters[c as usize].load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        let gauges = Gauge::ALL
+            .iter()
+            .map(|&g| {
+                (
+                    g.key(),
+                    self.inner.gauges[g as usize].load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        let labels = self.inner.rule_labels.lock().expect("rule label registry");
+        let mut rule_firings = BTreeMap::new();
+        for (slot, counter) in self.inner.rule_firings.iter().enumerate() {
+            let fired = counter.load(Ordering::Relaxed);
+            if fired == 0 {
+                continue;
+            }
+            let label = labels
+                .get(slot)
+                .cloned()
+                .unwrap_or_else(|| format!("rule_{slot:02}"));
+            *rule_firings.entry(label).or_insert(0) += fired;
+        }
+        let mut histograms = BTreeMap::new();
+        for &h in Hist::ALL {
+            let hist = &self.inner.histograms[h as usize];
+            let count = hist.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let buckets = hist
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n != 0).then_some((bucket_lower_bound(i), n))
+                })
+                .collect();
+            histograms.insert(
+                h.key(),
+                HistSnapshot {
+                    count,
+                    sum: hist.sum.load(Ordering::Relaxed),
+                    buckets,
+                },
+            );
+        }
+        let mut warnings = Vec::new();
+        let warned =
+            self.inner.counters[Counter::CoreBlankWarnings as usize].load(Ordering::Relaxed);
+        if warned > 0 {
+            let largest =
+                self.inner.gauges[Gauge::LargestBlankComponent as usize].load(Ordering::Relaxed);
+            let threshold =
+                self.inner.gauges[Gauge::BlankWarnThreshold as usize].load(Ordering::Relaxed);
+            warnings.push(format!(
+                "largest blank component reached {largest} (warn threshold {threshold}, \
+                 {warned} observation(s) over it); one giant component is the NP-hard \
+                 worst case of the core refresh (Thm 3.12) — consider SWDB_BLANK_WARN"
+            ));
+        }
+        MetricsSnapshot {
+            level: self.level().name(),
+            counters,
+            rule_firings,
+            gauges,
+            histograms,
+            warnings,
+        }
+    }
+}
+
+/// RAII span timer returned by [`Metrics::span`].
+pub struct Span<'a> {
+    metrics: &'a Metrics,
+    hist: Hist,
+    start: Option<Instant>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.metrics
+                .record(self.hist, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// A frozen histogram: sample count, sample sum, and the non-empty log₂
+/// buckets as `(inclusive lower bound, count)` pairs in ascending order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Non-empty buckets, ascending by lower bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A deterministic freeze of a [`Metrics`] handle. All maps are `BTreeMap`s
+/// so [`MetricsSnapshot::to_json`] emits stable key order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// The recording level at snapshot time.
+    pub level: &'static str,
+    /// Every counter, including zeros (stable report shape).
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Per-rule firings, non-zero slots only, keyed by registered label.
+    pub rule_firings: BTreeMap<String, u64>,
+    /// Every gauge, including zeros.
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Non-empty histograms (populated at `debug` level).
+    pub histograms: BTreeMap<&'static str, HistSnapshot>,
+    /// Early-warning messages (currently: the largest blank component
+    /// exceeded the configured threshold at some observation point).
+    pub warnings: Vec<String>,
+}
+
+impl MetricsSnapshot {
+    /// Convenience: the value of one counter by its snapshot key.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Renders the snapshot as deterministic JSON (keys sorted, integers
+    /// only) following the workspace's hand-rolled JSON conventions.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"level\": \"{}\",\n", self.level));
+        out.push_str("  \"counters\": {");
+        push_map(&mut out, self.counters.iter().map(|(k, v)| (*k, *v)));
+        out.push_str("},\n  \"rule_firings\": {");
+        push_map(
+            &mut out,
+            self.rule_firings.iter().map(|(k, v)| (k.as_str(), *v)),
+        );
+        out.push_str("},\n  \"gauges\": {");
+        push_map(&mut out, self.gauges.iter().map(|(k, v)| (*k, *v)));
+        out.push_str("},\n  \"histograms\": {");
+        let mut first = true;
+        for (key, hist) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{key}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                hist.count, hist.sum
+            ));
+            for (i, (lb, n)) in hist.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{lb}, {n}]"));
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"warnings\": [");
+        for (i, w) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{}\"",
+                w.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+        out.push_str("]\n}");
+        out
+    }
+}
+
+fn push_map<'k>(out: &mut String, entries: impl Iterator<Item = (&'k str, u64)>) {
+    let mut first = true;
+    let mut any = false;
+    for (key, value) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        any = true;
+        out.push_str(&format!("\n    \"{key}\": {value}"));
+    }
+    if any {
+        out.push_str("\n  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_by_default_and_records_nothing() {
+        let m = Metrics::default();
+        assert_eq!(m.level(), MetricsLevel::Off);
+        m.count(Counter::ReasonRounds, 5);
+        m.count_rule(2, 7);
+        m.record(Hist::FrontierSize, 10);
+        m.gauge_set(Gauge::LargestBlankComponent, 9);
+        {
+            let _span = m.span(Hist::SpanQueryAnswerNs);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("reason_rounds"), 0);
+        assert!(snap.rule_firings.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert_eq!(snap.gauges["largest_blank_component"], 0);
+    }
+
+    #[test]
+    fn counters_level_records_counts_but_not_histograms() {
+        let m = Metrics::new(MetricsLevel::Counters);
+        m.count(Counter::QueryJoinProbes, 3);
+        m.count(Counter::QueryJoinProbes, 4);
+        m.record(Hist::FrontierSize, 10);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("query_join_probes"), 7);
+        assert!(snap.histograms.is_empty(), "histograms need debug level");
+    }
+
+    #[test]
+    fn debug_level_records_histograms_and_spans() {
+        let m = Metrics::new(MetricsLevel::Debug);
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            m.record(Hist::FrontierSize, v);
+        }
+        {
+            let _span = m.span(Hist::SpanReasonInsertNs);
+        }
+        let snap = m.snapshot();
+        let h = &snap.histograms["frontier_size"];
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1010);
+        // 0 → bucket 0; 1 → [1,2); 2,3 → [2,4); 4 → [4,8); 1000 → [512,1024).
+        assert_eq!(h.buckets, vec![(0, 1), (1, 1), (2, 2), (4, 1), (512, 1)]);
+        let spans = &snap.histograms["span_reason_insert_ns"];
+        assert_eq!(spans.count, 1);
+    }
+
+    #[test]
+    fn clones_share_state_and_level_changes_apply_retroactively() {
+        let m = Metrics::new(MetricsLevel::Off);
+        let clone = m.clone();
+        clone.set_level(MetricsLevel::Counters);
+        m.count(Counter::ReasonClosureAdded, 2);
+        assert_eq!(clone.snapshot().counter("reason_closure_added"), 2);
+    }
+
+    #[test]
+    fn rule_labels_name_the_firing_slots() {
+        let m = Metrics::new(MetricsLevel::Counters);
+        m.set_rule_labels(vec!["r02_sp-transitivity".into()]);
+        m.count_rule(0, 3);
+        m.count_rule(1, 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.rule_firings["r02_sp-transitivity"], 3);
+        assert_eq!(snap.rule_firings["rule_01"], 1);
+    }
+
+    #[test]
+    fn blank_component_observation_warns_past_threshold() {
+        let m = Metrics::new(MetricsLevel::Counters);
+        m.set_blank_warn_threshold(10);
+        m.observe_largest_blank_component(9);
+        assert_eq!(m.snapshot().counter("core_blank_warnings"), 0);
+        m.observe_largest_blank_component(11);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("core_blank_warnings"), 1);
+        assert_eq!(snap.gauges["largest_blank_component"], 11);
+        assert_eq!(snap.gauges["blank_warn_threshold"], 10);
+        assert_eq!(snap.warnings.len(), 1, "warning surfaces in the snapshot");
+        assert!(snap
+            .to_json()
+            .contains("\"warnings\": [\"largest blank component"));
+    }
+
+    #[test]
+    fn snapshot_warnings_block_is_empty_when_under_threshold() {
+        let m = Metrics::new(MetricsLevel::Counters);
+        m.observe_largest_blank_component(3);
+        let snap = m.snapshot();
+        assert!(snap.warnings.is_empty());
+        assert!(snap.to_json().contains("\"warnings\": []"));
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_keyed() {
+        let m = Metrics::new(MetricsLevel::Counters);
+        m.count(Counter::QueryAnswers, 2);
+        let a = m.snapshot().to_json();
+        let b = m.snapshot().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"level\": \"counters\""));
+        assert!(a.contains("\"query_answers\": 2"));
+        // Keys are emitted in sorted order.
+        let hits = a.find("\"overlay_cache_hits\"").unwrap();
+        let probes = a.find("\"query_join_probes\"").unwrap();
+        assert!(hits < probes);
+    }
+
+    #[test]
+    fn level_parsing_covers_the_conventions() {
+        assert_eq!(MetricsLevel::parse("off"), MetricsLevel::Off);
+        assert_eq!(MetricsLevel::parse("Counters"), MetricsLevel::Counters);
+        assert_eq!(MetricsLevel::parse("on"), MetricsLevel::Counters);
+        assert_eq!(MetricsLevel::parse("1"), MetricsLevel::Counters);
+        assert_eq!(MetricsLevel::parse("DEBUG"), MetricsLevel::Debug);
+        assert_eq!(MetricsLevel::parse("2"), MetricsLevel::Debug);
+        assert_eq!(MetricsLevel::parse("garbage"), MetricsLevel::Off);
+    }
+
+    #[test]
+    fn reset_clears_recorded_state_but_keeps_level() {
+        let m = Metrics::new(MetricsLevel::Debug);
+        m.count(Counter::ReasonRounds, 3);
+        m.record(Hist::FrontierSize, 4);
+        m.reset();
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("reason_rounds"), 0);
+        assert!(snap.histograms.is_empty());
+        assert_eq!(m.level(), MetricsLevel::Debug);
+    }
+}

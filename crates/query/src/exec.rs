@@ -21,17 +21,71 @@
 //! over the same evaluation graph.
 
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use swdb_hom::{Binding, IdTarget, PatternGraph, PatternTerm, Variable, DEFAULT_SOLUTION_LIMIT};
 use swdb_model::{Graph, Term};
-use swdb_store::{Dictionary, IdIndex, TermId};
+use swdb_obs::{Counter, Metrics, MetricsLevel};
+use swdb_store::{Dictionary, IdIndex, IdPattern, IdTriple, TermId};
 
 use crate::answer::{combine, satisfies_constraints, single_answer, Semantics};
 use crate::query::Query;
 
 // The pattern representation and the backtracking join are shared with the
 // retraction search of `swdb-normal::id_core` and live in `swdb_hom`.
-pub use swdb_hom::id_solve::{IdPatternTerm, IdTriplePattern};
+pub use swdb_hom::id_solve::{IdPatternTerm, IdTriplePattern, JoinOrderLog};
+
+/// An [`IdTarget`] adapter that counts the selectivity probes
+/// ([`IdTarget::candidate_count`] calls) the join ordering spends against
+/// the wrapped target. Composable over any target — the plain evaluation
+/// [`IdIndex`] as well as the premise [`swdb_hom::Overlay`] — so one wrapper
+/// instruments every query mechanism.
+///
+/// The count is a relaxed local atomic (the target trait requires [`Sync`]);
+/// callers wrap a target only when metrics are enabled, so the `Off` path
+/// never even constructs one.
+pub struct MeteredTarget<'a, T: IdTarget> {
+    inner: &'a T,
+    probes: AtomicU64,
+}
+
+impl<'a, T: IdTarget> MeteredTarget<'a, T> {
+    /// Wraps a target with a fresh probe counter.
+    pub fn new(inner: &'a T) -> Self {
+        MeteredTarget {
+            inner,
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    /// Selectivity probes spent so far.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Drains the probe count into [`Counter::QueryJoinProbes`].
+    pub fn flush(&self, metrics: &Metrics) {
+        metrics.count(
+            Counter::QueryJoinProbes,
+            self.probes.swap(0, Ordering::Relaxed),
+        );
+    }
+}
+
+impl<T: IdTarget> IdTarget for MeteredTarget<'_, T> {
+    fn candidate_count(&self, pattern: IdPattern) -> usize {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.inner.candidate_count(pattern)
+    }
+
+    fn scan_while(&self, pattern: IdPattern, visit: impl FnMut(IdTriple) -> bool) {
+        self.inner.scan_while(pattern, visit)
+    }
+
+    fn contains(&self, ids: IdTriple) -> bool {
+        self.inner.contains(ids)
+    }
+}
 
 /// A premise-free query body compiled against a dictionary.
 #[derive(Clone, Debug)]
@@ -180,7 +234,9 @@ pub fn id_matchings<T: IdTarget>(
     target: &T,
 ) -> Vec<Binding> {
     let mut out = Vec::new();
-    for_each_matching(query, dictionary, target, |binding| out.push(binding));
+    for_each_matching(query, dictionary, target, Metrics::disabled(), |binding| {
+        out.push(binding)
+    });
     out
 }
 
@@ -198,12 +254,42 @@ pub fn id_pre_answers<T: IdTarget>(
     dictionary: &Dictionary,
     target: &T,
 ) -> Vec<Graph> {
+    id_pre_answers_metered(query, dictionary, target, Metrics::disabled())
+}
+
+/// [`id_pre_answers`] with instrumentation: counts the compilation, the
+/// selectivity probes, the bindings enumerated and the single answers
+/// materialized into `metrics`. At `Off` it is the plain path — the target
+/// is not even wrapped.
+pub fn id_pre_answers_metered<T: IdTarget>(
+    query: &Query,
+    dictionary: &Dictionary,
+    target: &T,
+    metrics: &Metrics,
+) -> Vec<Graph> {
+    if metrics.on(MetricsLevel::Counters) {
+        metrics.count(Counter::QueryCompiled, 1);
+        let metered = MeteredTarget::new(target);
+        let singles = id_pre_answers_core(query, dictionary, &metered, metrics);
+        metered.flush(metrics);
+        metrics.count(Counter::QueryAnswers, singles.len() as u64);
+        return singles;
+    }
+    id_pre_answers_core(query, dictionary, target, metrics)
+}
+
+fn id_pre_answers_core<T: IdTarget>(
+    query: &Query,
+    dictionary: &Dictionary,
+    target: &T,
+    metrics: &Metrics,
+) -> Vec<Graph> {
     let mut seen = std::collections::BTreeSet::new();
     let mut singles: Vec<Graph> = Vec::new();
     if head_has_blank_consts(query) {
         // Skolem values depend on every body variable: full decode per
         // matching.
-        for_each_matching(query, dictionary, target, |binding| {
+        for_each_matching(query, dictionary, target, metrics, |binding| {
             if let Some(answer) = single_answer(query, &binding) {
                 if seen.insert(answer.clone()) {
                     singles.push(answer);
@@ -215,6 +301,10 @@ pub fn id_pre_answers<T: IdTarget>(
     let Some(compiled) = compile_body(query.body(), dictionary) else {
         return singles;
     };
+    metrics.count(
+        Counter::QueryPatternsCompiled,
+        compiled.patterns.len() as u64,
+    );
     let head_slots = head_slot_projection(query, &compiled);
     let mut seen_rows = std::collections::BTreeSet::new();
     let mut enumerated = 0usize;
@@ -245,6 +335,7 @@ pub fn id_pre_answers<T: IdTarget>(
             ControlFlow::<()>::Continue(())
         }
     });
+    metrics.count(Counter::QueryBindings, enumerated as u64);
     singles
 }
 
@@ -263,10 +354,35 @@ pub fn id_answer<T: IdTarget>(
     target: &T,
     semantics: Semantics,
 ) -> Graph {
+    id_answer_metered(query, dictionary, target, semantics, Metrics::disabled())
+}
+
+/// [`id_answer`] with instrumentation: counts the compilation, the
+/// selectivity probes, the bindings enumerated and the answer triples
+/// materialized into `metrics`. At `Off` it is the plain path — the target
+/// is not even wrapped.
+pub fn id_answer_metered<T: IdTarget>(
+    query: &Query,
+    dictionary: &Dictionary,
+    target: &T,
+    semantics: Semantics,
+    metrics: &Metrics,
+) -> Graph {
     if semantics == Semantics::Union && !head_has_blank_consts(query) {
-        return id_answer_union_direct(query, dictionary, target);
+        if metrics.on(MetricsLevel::Counters) {
+            metrics.count(Counter::QueryCompiled, 1);
+            let metered = MeteredTarget::new(target);
+            let answer = id_answer_union_direct(query, dictionary, &metered, metrics);
+            metered.flush(metrics);
+            metrics.count(Counter::QueryAnswers, answer.len() as u64);
+            return answer;
+        }
+        return id_answer_union_direct(query, dictionary, target, metrics);
     }
-    combine(id_pre_answers(query, dictionary, target), semantics)
+    combine(
+        id_pre_answers_metered(query, dictionary, target, metrics),
+        semantics,
+    )
 }
 
 /// Returns `true` if the head mentions a blank-node constant — the case
@@ -312,11 +428,16 @@ fn id_answer_union_direct<T: IdTarget>(
     query: &Query,
     dictionary: &Dictionary,
     target: &T,
+    metrics: &Metrics,
 ) -> Graph {
     let mut answer = Graph::new();
     let Some(compiled) = compile_body(query.body(), dictionary) else {
         return answer;
     };
+    metrics.count(
+        Counter::QueryPatternsCompiled,
+        compiled.patterns.len() as u64,
+    );
     let head_slots = head_slot_projection(query, &compiled);
     // Constraints only mention head variables, so they become non-blank
     // checks on projected slots.
@@ -414,6 +535,7 @@ fn id_answer_union_direct<T: IdTarget>(
             ControlFlow::<()>::Continue(())
         }
     });
+    metrics.count(Counter::QueryBindings, enumerated as u64);
     answer
 }
 
@@ -424,9 +546,40 @@ fn id_answer_union_direct<T: IdTarget>(
 /// other enumeration path — gives up after [`DEFAULT_SOLUTION_LIMIT`]
 /// rejected matchings rather than exhausting a combinatorial cross product.
 pub fn id_answer_is_empty<T: IdTarget>(query: &Query, dictionary: &Dictionary, target: &T) -> bool {
+    id_answer_is_empty_metered(query, dictionary, target, Metrics::disabled())
+}
+
+/// [`id_answer_is_empty`] with instrumentation (see
+/// [`id_answer_metered`] for the counting conventions).
+pub fn id_answer_is_empty_metered<T: IdTarget>(
+    query: &Query,
+    dictionary: &Dictionary,
+    target: &T,
+    metrics: &Metrics,
+) -> bool {
+    if metrics.on(MetricsLevel::Counters) {
+        metrics.count(Counter::QueryCompiled, 1);
+        let metered = MeteredTarget::new(target);
+        let empty = id_answer_is_empty_core(query, dictionary, &metered, metrics);
+        metered.flush(metrics);
+        return empty;
+    }
+    id_answer_is_empty_core(query, dictionary, target, metrics)
+}
+
+fn id_answer_is_empty_core<T: IdTarget>(
+    query: &Query,
+    dictionary: &Dictionary,
+    target: &T,
+    metrics: &Metrics,
+) -> bool {
     let Some(compiled) = compile_body(query.body(), dictionary) else {
         return true;
     };
+    metrics.count(
+        Counter::QueryPatternsCompiled,
+        compiled.patterns.len() as u64,
+    );
     let solver = IdSolver::new(&compiled, target);
     let mut found = false;
     let mut enumerated = 0usize;
@@ -443,7 +596,117 @@ pub fn id_answer_is_empty<T: IdTarget>(query: &Query, dictionary: &Dictionary, t
             ControlFlow::<()>::Continue(())
         }
     });
+    metrics.count(Counter::QueryBindings, enumerated as u64);
     !found
+}
+
+/// A structured account of how one query execution actually ran: which
+/// mechanism answered it, the join order the most-constrained-first rule
+/// chose against live candidate counts, and the work it spent. Produced by
+/// [`explain_premise_free`] (and surfaced per query by the facade's
+/// `explain`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Explain {
+    /// How the query was answered: `"premise_free"`, or — set by the facade
+    /// — `"expansion"` (Proposition 5.9 union of premise-free members) or
+    /// `"overlay"` (scoped delta evaluation).
+    pub mechanism: &'static str,
+    /// The requested answer semantics (`"union"` or `"merge"`).
+    pub semantics: &'static str,
+    /// Premise-free member queries executed (1 unless `mechanism` is
+    /// `"expansion"`).
+    pub members: usize,
+    /// Body patterns after compilation (0 when an unknown constant
+    /// short-circuited execution).
+    pub patterns: usize,
+    /// Original body-pattern indices in the order the search first chose
+    /// them (see [`JoinOrderLog`]); for `"expansion"`, the first member's
+    /// order.
+    pub join_order: Vec<usize>,
+    /// Selectivity probes ([`IdTarget::candidate_count`] calls) spent.
+    pub probes: u64,
+    /// Bindings (complete solutions) enumerated, capped by
+    /// [`DEFAULT_SOLUTION_LIMIT`].
+    pub bindings: u64,
+    /// Triples in the materialized answer.
+    pub answers: u64,
+}
+
+impl Explain {
+    /// The semantics label used in explains and snapshots.
+    pub fn semantics_name(semantics: Semantics) -> &'static str {
+        match semantics {
+            Semantics::Union => "union",
+            Semantics::Merge => "merge",
+        }
+    }
+
+    /// Renders the explain as a small deterministic JSON object (keys in
+    /// fixed order, no external dependencies).
+    pub fn to_json(&self) -> String {
+        let order: Vec<String> = self.join_order.iter().map(|i| i.to_string()).collect();
+        format!(
+            concat!(
+                "{{\"mechanism\": \"{}\", \"semantics\": \"{}\", \"members\": {}, ",
+                "\"patterns\": {}, \"join_order\": [{}], \"probes\": {}, ",
+                "\"bindings\": {}, \"answers\": {}}}"
+            ),
+            self.mechanism,
+            self.semantics,
+            self.members,
+            self.patterns,
+            order.join(", "),
+            self.probes,
+            self.bindings,
+            self.answers,
+        )
+    }
+}
+
+/// Explains a premise-free execution against `target`: re-runs the
+/// enumeration with a [`JoinOrderLog`] recorder and a [`MeteredTarget`], so
+/// the reported join order is exactly the one the production path chooses
+/// (pattern selection is deterministic in the target's candidate counts),
+/// then materializes the answer for the `answers` count.
+pub fn explain_premise_free<T: IdTarget>(
+    query: &Query,
+    dictionary: &Dictionary,
+    target: &T,
+    semantics: Semantics,
+) -> Explain {
+    let mut explain = Explain {
+        mechanism: "premise_free",
+        semantics: Explain::semantics_name(semantics),
+        members: 1,
+        patterns: 0,
+        join_order: Vec::new(),
+        probes: 0,
+        bindings: 0,
+        answers: 0,
+    };
+    let Some(compiled) = compile_body(query.body(), dictionary) else {
+        // Unknown body constant: the fast negative path runs no joins.
+        return explain;
+    };
+    explain.patterns = compiled.patterns.len();
+    let log = JoinOrderLog::new();
+    let metered = MeteredTarget::new(target);
+    let solver =
+        swdb_hom::IdSolver::with_recorder(&compiled.patterns, compiled.vars.len(), &metered, &log);
+    let mut bindings = 0usize;
+    solver.for_each_solution(&mut |_slots| {
+        bindings += 1;
+        if bindings >= DEFAULT_SOLUTION_LIMIT {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::<()>::Continue(())
+        }
+    });
+    explain.join_order = log.take();
+    explain.probes = metered.probes();
+    explain.bindings = bindings as u64;
+    explain.answers = id_answer(query, dictionary, target, semantics).len() as u64;
+    explain
 }
 
 /// Shared enumeration core: compile (with the unknown-constant fast path),
@@ -452,12 +715,17 @@ fn for_each_matching<T: IdTarget>(
     query: &Query,
     dictionary: &Dictionary,
     target: &T,
+    metrics: &Metrics,
     mut accept: impl FnMut(Binding),
 ) {
     let Some(compiled) = compile_body(query.body(), dictionary) else {
         // A body constant that was never interned matches nothing.
         return;
     };
+    metrics.count(
+        Counter::QueryPatternsCompiled,
+        compiled.patterns.len() as u64,
+    );
     let solver = IdSolver::new(&compiled, target);
     let mut seen = 0usize;
     solver.for_each_solution(&mut |slots| {
@@ -472,6 +740,7 @@ fn for_each_matching<T: IdTarget>(
             ControlFlow::<()>::Continue(())
         }
     });
+    metrics.count(Counter::QueryBindings, seen as u64);
 }
 
 #[cfg(test)]

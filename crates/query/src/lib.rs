@@ -33,8 +33,10 @@ pub use answer::{
     single_answer, NormalizedDatabase, Semantics,
 };
 pub use exec::{
-    compile_body, head_has_blank_consts, id_answer, id_answer_is_empty, id_matchings,
-    id_pre_answers, CompiledBody, IdPatternTerm, IdSolver, IdTriplePattern,
+    compile_body, explain_premise_free, head_has_blank_consts, id_answer, id_answer_is_empty,
+    id_answer_is_empty_metered, id_answer_metered, id_matchings, id_pre_answers,
+    id_pre_answers_metered, CompiledBody, Explain, IdPatternTerm, IdSolver, IdTriplePattern,
+    MeteredTarget,
 };
 pub use premise::{
     answer_union_of_queries, id_answer_union_of_queries, id_pre_answers_of_queries,

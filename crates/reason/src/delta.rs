@@ -44,6 +44,7 @@ use std::collections::BTreeSet;
 
 use swdb_hom::{IdTarget, Overlay};
 use swdb_model::Term;
+use swdb_obs::{Counter, Hist, Metrics, MetricsLevel, RULE_SLOTS};
 use swdb_store::{Dictionary, IdPattern, IdTriple, TermId, TripleStore};
 
 use crate::pattern::{Binding, TriplePattern, EMPTY_BINDING};
@@ -151,6 +152,22 @@ pub(crate) fn guards_pass(
     })
 }
 
+/// Flushes a locally accumulated per-rule firing batch into the shared
+/// counters: one level check, then one atomic add per non-zero slot. Hot
+/// loops accumulate into the plain array so the off path never touches an
+/// atomic per conclusion.
+pub(crate) fn flush_firings(metrics: &Metrics, fired: &[u64; RULE_SLOTS]) {
+    if !metrics.on(MetricsLevel::Counters) {
+        return;
+    }
+    let mut total = 0u64;
+    for (slot, &n) in fired.iter().enumerate() {
+        metrics.count_rule(slot, n);
+        total += n;
+    }
+    metrics.count(Counter::ReasonRuleFirings, total);
+}
+
 /// Is `t` the conclusion of some rule instance whose hypotheses are all
 /// *asserted* (present in the base store)? Such support is independent of
 /// any closure cascade. Free-standing so the parallel DRed prune probes can
@@ -221,6 +238,9 @@ pub struct DeltaClosure {
     /// original sequential depth-first schedule; `> 1` the round-based
     /// sharded schedule of [`crate::parallel`].
     threads: usize,
+    /// Instrumentation handle (a disabled default unless wired by the
+    /// owner). Clones of the engine share the same counters.
+    metrics: Metrics,
 }
 
 impl DeltaClosure {
@@ -240,7 +260,28 @@ impl DeltaClosure {
             axioms,
             is_iri: Vec::new(),
             threads: 1,
+            metrics: Metrics::default(),
         }
+    }
+
+    /// Wires an instrumentation handle into the engine and registers the
+    /// rule table's labels for the per-rule firing slots. The handle is
+    /// shared (its clones report into the same counters); passing a
+    /// default-constructed [`Metrics`] disables recording again.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        metrics.set_rule_labels(
+            self.rules
+                .rules()
+                .iter()
+                .map(|r| format!("r{:02}_{}", r.paper_number, r.name.replace(' ', "_")))
+                .collect(),
+        );
+        self.metrics = metrics;
+    }
+
+    /// The engine's instrumentation handle.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Sets the worker-thread count for propagation and DRed cascades
@@ -347,6 +388,13 @@ impl DeltaClosure {
         deltas: impl IntoIterator<Item = IdTriple>,
         added: &mut Vec<IdTriple>,
     ) -> usize {
+        // Manual span: the RAII guard would borrow `self.metrics` across
+        // the `&mut self` propagation below.
+        let t0 = self
+            .metrics
+            .on(MetricsLevel::Debug)
+            .then(std::time::Instant::now);
+        let logged_before = added.len();
         let mut frontier = Vec::new();
         for t in deltas {
             if self.closure.insert(t) {
@@ -357,6 +405,14 @@ impl DeltaClosure {
         if fresh > 0 {
             added.extend(frontier.iter().copied());
             self.propagate_logged(frontier, added);
+        }
+        self.metrics.count(
+            Counter::ReasonClosureAdded,
+            (added.len() - logged_before) as u64,
+        );
+        if let Some(t0) = t0 {
+            self.metrics
+                .record(Hist::SpanReasonInsertNs, t0.elapsed().as_nanos() as u64);
         }
         fresh
     }
@@ -382,7 +438,11 @@ impl DeltaClosure {
     /// single-threadedly as the next frontier. The per-round sort makes the
     /// schedule — and the `added` log — deterministic across thread counts.
     fn propagate_rounds(&mut self, mut frontier: Vec<IdTriple>, added: &mut Vec<IdTriple>) {
+        let mut rounds = 0u64;
         while !frontier.is_empty() {
+            rounds += 1;
+            self.metrics
+                .record(Hist::FrontierSize, frontier.len() as u64);
             let fresh = crate::parallel::round_conclusions(
                 &self.rules,
                 &self.closure,
@@ -390,6 +450,7 @@ impl DeltaClosure {
                 &frontier,
                 self.threads,
                 &|t| !self.closure.contains(t),
+                &self.metrics,
             );
             frontier.clear();
             for t in fresh {
@@ -399,10 +460,14 @@ impl DeltaClosure {
                 }
             }
         }
+        self.metrics.count(Counter::ReasonRounds, rounds);
     }
 
     /// The original sequential schedule: depth-first, triple-at-a-time.
+    /// Rule firings are batched into a local array and flushed once — the
+    /// off path pays a plain register increment per firing, no atomics.
     fn propagate_depth_first(&mut self, mut queue: Vec<IdTriple>, added: &mut Vec<IdTriple>) {
+        let mut fired = [0u64; RULE_SLOTS];
         while let Some(delta) = queue.pop() {
             let paths: Vec<_> = self.rules.paths_for_predicate(delta.1).collect();
             for (rule_idx, hyp_idx) in paths {
@@ -427,6 +492,7 @@ impl DeltaClosure {
                     for conclusion in &rule.conclusions {
                         let derived = conclusion.instantiate(&binding);
                         if self.closure.insert(derived) {
+                            fired[rule_idx % RULE_SLOTS] += 1;
                             queue.push(derived);
                             added.push(derived);
                         }
@@ -434,6 +500,7 @@ impl DeltaClosure {
                 }
             }
         }
+        flush_firings(&self.metrics, &fired);
     }
 
     /// Computes `RDFS-cl(G ∪ Δ) − RDFS-cl(G)` — the closure growth a
@@ -454,6 +521,7 @@ impl DeltaClosure {
         &self,
         deltas: impl IntoIterator<Item = IdTriple>,
     ) -> Vec<IdTriple> {
+        self.metrics.count(Counter::ReasonPreviews, 1);
         let mut extra = IdIndex::new();
         let mut added: Vec<IdTriple> = Vec::new();
         let mut queue: Vec<IdTriple> = Vec::new();
@@ -526,11 +594,25 @@ impl DeltaClosure {
         if !self.closure.contains(t) || self.axioms.contains(&t) {
             return false;
         }
-        if self.threads <= 1 {
+        let t0 = self
+            .metrics
+            .on(MetricsLevel::Debug)
+            .then(std::time::Instant::now);
+        let logged_before = removed.len();
+        let deleted = if self.threads <= 1 {
             self.delete_sequential(t, base, removed)
         } else {
             self.delete_parallel(t, base, removed)
+        };
+        self.metrics.count(
+            Counter::ReasonClosureRemoved,
+            (removed.len() - logged_before) as u64,
+        );
+        if let Some(t0) = t0 {
+            self.metrics
+                .record(Hist::SpanReasonDeleteNs, t0.elapsed().as_nanos() as u64);
         }
+        deleted
     }
 
     /// DRed with the round-based sharded schedule: the overdeletion cascade
@@ -574,6 +656,7 @@ impl DeltaClosure {
                 &frontier,
                 self.threads,
                 &|d| self.closure.contains(d) && !self.axioms.contains(&d),
+                Metrics::disabled(),
             );
             let fresh: Vec<IdTriple> = candidates
                 .into_iter()
@@ -613,6 +696,10 @@ impl DeltaClosure {
         for &r in &rederived {
             self.closure.insert(r);
         }
+        self.metrics
+            .count(Counter::ReasonOverdeleted, over.len() as u64);
+        self.metrics
+            .count(Counter::ReasonRederived, rederived.len() as u64);
 
         // Phase 3 — propagate the rederived triples; anything they still
         // support (including chains the snapshot probes of phase 2 could
@@ -721,6 +808,10 @@ impl DeltaClosure {
                 rederived.push(candidate);
             }
         }
+        self.metrics
+            .count(Counter::ReasonOverdeleted, over.len() as u64);
+        self.metrics
+            .count(Counter::ReasonRederived, rederived.len() as u64);
 
         // Phase 3 — propagate the rederived triples; anything they still
         // support is recovered exactly like an ordinary insert.

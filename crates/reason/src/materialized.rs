@@ -79,6 +79,20 @@ impl MaterializedStore {
         self.engine.threads()
     }
 
+    /// Attaches a metrics handle to the closure engine (see
+    /// [`DeltaClosure::set_metrics`]). The handle is shared: a caller that
+    /// keeps a clone observes rounds, per-rule firings, frontier sizes and
+    /// closure growth as mutations run. The default handle is `Off`, which
+    /// reduces every instrumentation site to a relaxed flag load.
+    pub fn set_metrics(&mut self, metrics: swdb_obs::Metrics) {
+        self.engine.set_metrics(metrics);
+    }
+
+    /// The metrics handle observing closure maintenance.
+    pub fn metrics(&self) -> &swdb_obs::Metrics {
+        self.engine.metrics()
+    }
+
     /// Builds a store (and closure) from a graph, using the batched
     /// propagation path.
     pub fn from_graph(graph: &Graph) -> Self {

@@ -46,9 +46,10 @@
 use std::thread;
 
 use swdb_hom::IdTarget;
+use swdb_obs::{Counter, Hist, Metrics, MetricsLevel, RULE_SLOTS};
 use swdb_store::IdTriple;
 
-use crate::delta::{guards_pass, join_all};
+use crate::delta::{flush_firings, guards_pass, join_all};
 use crate::pattern::{TriplePattern, EMPTY_BINDING};
 use crate::rules::{RulePath, RuleSystem};
 
@@ -93,6 +94,7 @@ fn balance(mut shards: Vec<Shard>, threads: usize) -> Vec<Vec<Shard>> {
 /// Evaluates one shard: every delta is unified against its hypothesis, the
 /// remaining hypotheses are joined against the snapshot view, and every
 /// guard-passing conclusion accepted by `keep` is appended to `out`.
+#[allow(clippy::too_many_arguments)]
 fn eval_shard<V: IdTarget>(
     rules: &RuleSystem,
     view: &V,
@@ -101,6 +103,7 @@ fn eval_shard<V: IdTarget>(
     deltas: &[IdTriple],
     keep: &(impl Fn(IdTriple) -> bool + Sync),
     out: &mut Vec<IdTriple>,
+    fired: &mut [u64; RULE_SLOTS],
 ) {
     let rule = &rules.rules()[rule_idx];
     let remaining: Vec<&TriplePattern> = rule
@@ -124,6 +127,7 @@ fn eval_shard<V: IdTarget>(
             for conclusion in &rule.conclusions {
                 let derived = conclusion.instantiate(&binding);
                 if keep(derived) {
+                    fired[rule_idx % RULE_SLOTS] += 1;
                     out.push(derived);
                 }
             }
@@ -146,31 +150,61 @@ pub(crate) fn round_conclusions<V>(
     frontier: &[IdTriple],
     threads: usize,
     keep: &(impl Fn(IdTriple) -> bool + Sync),
+    metrics: &Metrics,
 ) -> Vec<IdTriple>
 where
     V: IdTarget + Sync,
 {
     let shards = shard_frontier(rules, frontier);
     let tasks: usize = shards.iter().map(|(_, deltas)| deltas.len()).sum();
+    metrics.count(Counter::ReasonShards, shards.len() as u64);
+    if metrics.on(MetricsLevel::Debug) {
+        for (_, deltas) in &shards {
+            metrics.record(Hist::ShardSize, deltas.len() as u64);
+        }
+    }
+    // Workers accumulate rule firings into plain local arrays (no shared
+    // atomics inside the joins); the per-worker batches are flushed after
+    // the round — at `Off` this whole scheme costs register increments.
+    let mut fired = [0u64; RULE_SLOTS];
     let mut fresh = if threads <= 1 || shards.len() <= 1 || tasks < INLINE_TASK_THRESHOLD {
         let mut out = Vec::new();
         for (path, deltas) in &shards {
-            eval_shard(rules, view, is_iri, *path, deltas, keep, &mut out);
+            eval_shard(
+                rules, view, is_iri, *path, deltas, keep, &mut out, &mut fired,
+            );
         }
         out
     } else {
+        metrics.count(Counter::ReasonParallelRounds, 1);
         let buckets = balance(shards, threads);
-        let mut results: Vec<Vec<IdTriple>> = Vec::new();
+        if metrics.on(MetricsLevel::Debug) {
+            // Per-round utilization: how evenly LPT spread the load.
+            // 100% means every worker carried the same number of tasks;
+            // the busiest worker bounds the round's critical path.
+            let loads: Vec<usize> = buckets
+                .iter()
+                .map(|b| b.iter().map(|(_, d)| d.len().max(1)).sum())
+                .collect();
+            let busiest = loads.iter().copied().max().unwrap_or(1).max(1);
+            let total: usize = loads.iter().sum();
+            let utilization = 100 * total / (loads.len().max(1) * busiest);
+            metrics.record(Hist::RoundUtilizationPct, utilization as u64);
+        }
+        let mut results: Vec<(Vec<IdTriple>, [u64; RULE_SLOTS])> = Vec::new();
         thread::scope(|scope| {
             let workers: Vec<_> = buckets
                 .iter()
                 .map(|bucket| {
                     scope.spawn(move || {
                         let mut out = Vec::new();
+                        let mut fired = [0u64; RULE_SLOTS];
                         for (path, deltas) in bucket {
-                            eval_shard(rules, view, is_iri, *path, deltas, keep, &mut out);
+                            eval_shard(
+                                rules, view, is_iri, *path, deltas, keep, &mut out, &mut fired,
+                            );
                         }
-                        out
+                        (out, fired)
                     })
                 })
                 .collect();
@@ -179,8 +213,16 @@ where
                 .map(|w| w.join().expect("propagation worker panicked"))
                 .collect();
         });
-        results.concat()
+        let mut merged = Vec::new();
+        for (out, worker_fired) in results {
+            merged.push(out);
+            for (slot, n) in worker_fired.into_iter().enumerate() {
+                fired[slot] += n;
+            }
+        }
+        merged.concat()
     };
+    flush_firings(metrics, &fired);
     // Sorting makes the round — and therefore the whole fixpoint schedule
     // and the `added` log — independent of the shard-to-worker assignment
     // and of the thread count.

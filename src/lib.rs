@@ -107,6 +107,32 @@
 //! property tests pin both mechanisms against — the core is unique up to
 //! isomorphism (Theorem 3.10), so the pinning is up to isomorphism
 //! wherever answers expose blank nodes.
+//!
+//! ### Observability
+//!
+//! The whole pipeline is instrumented through [`obs`] (`swdb-obs`), a
+//! std-only, lock-free metrics sheet shared by every engine a
+//! [`core::SemanticWebDatabase`] owns. Three levels
+//! ([`obs::MetricsLevel`]): `Off` (the default — every site is one relaxed
+//! atomic load, hot loops accumulate into locals and skip the flush),
+//! `Counters` (reasoner rounds/firings/delta sizes, query compilations /
+//! join probes / bindings / answers, core re-corings / retraction searches
+//! / fold steps / support replays, overlay-cache hits/misses/evictions),
+//! and `Debug` (adds log₂ histograms: frontier/shard sizes, round
+//! utilization, span timings for insert/delete/core-refresh/overlay-build/
+//! answer). Select with `SWDB_METRICS=off|counters|debug` or
+//! [`core::SemanticWebDatabase::set_metrics_level`]; freeze with
+//! [`core::SemanticWebDatabase::metrics_snapshot`] (deterministic-keyed
+//! JSON, including an early warning when the largest blank-node component
+//! exceeds `SWDB_BLANK_WARN` — the NP-hard tail of the core refresh).
+//! [`core::SemanticWebDatabase::explain`] reports, per query, the
+//! mechanism the dispatch chose, the compiled pattern count, and the join
+//! order the most-constrained-first solver actually took, with measured
+//! probe/binding/answer counts ([`query::Explain`]). The benches E17–E21
+//! embed a `metrics` block in their `BENCH_*.json` reports. The counters
+//! are schedule-invariant where the semantics are: closure delta sizes and
+//! query/core counters are pinned equal across `SWDB_THREADS` by
+//! `tests/metrics_observability.rs`.
 
 pub use swdb_containment as containment;
 pub use swdb_core as core;
@@ -115,6 +141,7 @@ pub use swdb_graphs as graphs;
 pub use swdb_hom as hom;
 pub use swdb_model as model;
 pub use swdb_normal as normal;
+pub use swdb_obs as obs;
 pub use swdb_query as query;
 pub use swdb_reason as reason;
 pub use swdb_store as store;

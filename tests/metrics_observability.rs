@@ -1,0 +1,272 @@
+//! End-to-end tests of the `swdb-obs` instrumentation through the facade:
+//! the counter sheet is populated by a mixed workload, the pinned counters
+//! are schedule-invariant across thread counts, the `Off` level records
+//! nothing and costs (close to) nothing, and `explain()` reports the join
+//! order the executor actually takes.
+
+use std::time::Instant;
+
+use semweb_foundations::core::{MetricsLevel, SemanticWebDatabase, Semantics};
+use semweb_foundations::hom::pattern_graph;
+use semweb_foundations::model::{graph, rdfs, triple, Graph};
+use semweb_foundations::obs::MetricsSnapshot;
+use semweb_foundations::query::{query, Query};
+use semweb_foundations::workloads::{university, UniversityConfig};
+
+fn workload() -> Graph {
+    university(
+        &UniversityConfig {
+            departments: 2,
+            courses_per_department: 4,
+            professors_per_department: 2,
+            students_per_department: 6,
+            enrollments_per_student: 2,
+        },
+        11,
+    )
+}
+
+/// Runs the same mixed insert / query / remove workload on a database
+/// configured with the given thread ceiling and returns the final counter
+/// snapshot.
+fn run_mixed_workload(threads: usize) -> MetricsSnapshot {
+    let mut db = SemanticWebDatabase::new();
+    db.set_threads(threads);
+    db.set_metrics_level(MetricsLevel::Counters);
+
+    let data = workload();
+    db.insert_graph(&data);
+    // A blank-node component so the core engine has work to do.
+    db.insert_graph(&graph([
+        ("_:a", "ex:knows", "_:b"),
+        ("_:b", "ex:knows", "_:c"),
+        ("ex:anchor", "ex:knows", "_:a"),
+    ]));
+
+    let q1 = query([("?X", rdfs::TYPE, "?C")], [("?X", rdfs::TYPE, "?C")]);
+    let q2 = query(
+        [("?X", "ex:knows", "?Y")],
+        [("?X", "ex:knows", "?Y"), ("?Y", "ex:knows", "?Z")],
+    );
+    assert!(!db.answer(&q1, Semantics::Union).is_empty());
+    assert!(!db.answer(&q2, Semantics::Union).is_empty());
+    assert!(!db.answer_is_empty(&q1));
+
+    // Remove a handful of asserted triples to drive the DRed path.
+    let victims: Vec<_> = db.graph().iter().take(5).cloned().collect();
+    for t in victims {
+        db.remove(&t);
+    }
+    assert!(!db.answer(&q1, Semantics::Union).is_empty());
+
+    db.metrics().snapshot()
+}
+
+#[test]
+fn mixed_workload_populates_the_counter_sheet() {
+    // Thread count 2 takes the round-based schedule, which is the one that
+    // reports round structure (the depth-first schedule of `threads == 1`
+    // has no rounds to count).
+    let snap = run_mixed_workload(2);
+    // Acceptance: non-zero rounds, rule firings, join probes, and core
+    // component counters after a mixed insert/query/remove workload.
+    assert!(snap.counter("reason_rounds") > 0, "rounds: {snap:?}");
+    assert!(
+        snap.rule_firings.values().sum::<u64>() > 0,
+        "rule firings: {snap:?}"
+    );
+    assert!(snap.counter("query_join_probes") > 0, "probes: {snap:?}");
+    assert!(
+        snap.counter("core_components_recored") > 0,
+        "core components: {snap:?}"
+    );
+    assert!(snap.counter("reason_closure_added") > 0);
+    assert!(snap.counter("reason_closure_removed") > 0);
+    assert!(snap.counter("query_answers") > 0);
+    // The JSON report carries the same numbers under deterministic keys.
+    let json = snap.to_json();
+    assert!(json.contains("\"query_join_probes\""));
+    assert!(json.contains("\"rule_firings\": {"));
+}
+
+#[test]
+fn pinned_counters_are_schedule_invariant_across_thread_counts() {
+    let sequential = run_mixed_workload(1);
+    let parallel = run_mixed_workload(4);
+    // The maintained closure is schedule-independent, so the delta sizes,
+    // the query-side counters, and the core engine's work are pinned.
+    for key in [
+        "reason_closure_added",
+        "reason_closure_removed",
+        "reason_overdeleted",
+        "reason_rederived",
+        "query_compiled",
+        "query_patterns_compiled",
+        "query_join_probes",
+        "query_bindings",
+        "query_answers",
+        "core_components_recored",
+        "core_fold_steps",
+        "core_retraction_searches",
+        "core_support_replays",
+    ] {
+        assert_eq!(
+            sequential.counter(key),
+            parallel.counter(key),
+            "{key} must not depend on the schedule"
+        );
+    }
+    // Round structure and per-rule attribution legitimately differ between
+    // the depth-first and the round-based schedule; both must still fire.
+    assert!(sequential.rule_firings.values().sum::<u64>() > 0);
+    assert!(parallel.rule_firings.values().sum::<u64>() > 0);
+    // The sharded schedule alone reports parallel rounds.
+    assert_eq!(sequential.counter("reason_parallel_rounds"), 0);
+}
+
+#[test]
+fn round_counters_are_invariant_across_parallel_thread_counts() {
+    // Both counts here take the round-based schedule, so even the round
+    // structure is pinned (threads only change who evaluates a shard).
+    let two = run_mixed_workload(2);
+    let four = run_mixed_workload(4);
+    assert_eq!(two.counter("reason_rounds"), four.counter("reason_rounds"));
+    assert_eq!(two.counter("reason_shards"), four.counter("reason_shards"));
+}
+
+#[test]
+fn off_level_records_nothing_and_stays_cheap() {
+    let data = university(
+        &UniversityConfig {
+            departments: 10,
+            courses_per_department: 10,
+            professors_per_department: 5,
+            students_per_department: 30,
+            enrollments_per_student: 3,
+        },
+        23,
+    );
+    let n = data.len();
+    assert!(n > 1_000, "bulk load should be non-trivial, got {n}");
+
+    let bulk_load = |level: MetricsLevel| {
+        let mut db = SemanticWebDatabase::new();
+        db.set_threads(1);
+        db.set_metrics_level(level);
+        let t0 = Instant::now();
+        db.insert_graph(&data);
+        let q = query([("?X", rdfs::TYPE, "?C")], [("?X", rdfs::TYPE, "?C")]);
+        assert!(!db.answer(&q, Semantics::Union).is_empty());
+        (t0.elapsed(), db.metrics().snapshot())
+    };
+
+    // Warm-up, then best-of-5 per level to shave scheduler noise.
+    let _ = bulk_load(MetricsLevel::Off);
+    let off = (0..5)
+        .map(|_| bulk_load(MetricsLevel::Off))
+        .min_by_key(|(d, _)| *d)
+        .expect("five runs");
+    let counters = (0..5)
+        .map(|_| bulk_load(MetricsLevel::Counters))
+        .min_by_key(|(d, _)| *d)
+        .expect("five runs");
+
+    // Off records nothing at all.
+    let snap = &off.1;
+    assert!(snap.counters.values().all(|&v| v == 0), "{snap:?}");
+    assert!(snap.rule_firings.is_empty());
+    assert!(snap.histograms.is_empty());
+    // ... while the instrumented run sees the same work.
+    assert!(counters.1.counter("reason_closure_added") > 0);
+
+    // Zero-cost-when-off: the Off path does strictly less than Counters,
+    // so it must not be meaningfully slower (generous bound + absolute
+    // slack keep this robust on noisy CI machines).
+    let off_ns = off.0.as_nanos();
+    let counters_ns = counters.0.as_nanos();
+    assert!(
+        off_ns <= counters_ns * 2 + 20_000_000,
+        "Off bulk load took {off_ns}ns vs {counters_ns}ns at Counters"
+    );
+}
+
+#[test]
+fn explain_reports_the_mechanism_and_the_executed_join_order() {
+    let mut db = SemanticWebDatabase::new();
+    db.set_metrics_level(MetricsLevel::Counters);
+    // ex:p is populous, ex:q has a single triple: the most-constrained
+    // solver must start from pattern 1 (the ex:q pattern).
+    let mut g = Graph::new();
+    for i in 0..20 {
+        g.insert(triple(&format!("ex:s{i}"), "ex:p", &format!("ex:o{i}")));
+    }
+    g.insert(triple("ex:o7", "ex:q", "ex:hub"));
+    db.insert_graph(&g);
+
+    let q = query(
+        [("?X", "ex:p", "?Y")],
+        [("?X", "ex:p", "?Y"), ("?Y", "ex:q", "ex:hub")],
+    );
+    let plan = db.explain(&q, Semantics::Union);
+    assert_eq!(plan.mechanism, "premise_free");
+    assert_eq!(plan.patterns, 2);
+    assert_eq!(
+        plan.join_order,
+        vec![1, 0],
+        "the solver starts from the single-triple ex:q pattern"
+    );
+    assert!(plan.probes > 0);
+    assert_eq!(plan.answers as usize, db.answer(&q, Semantics::Union).len());
+    // The explanation is itself deterministic.
+    assert_eq!(db.explain(&q, Semantics::Union), plan);
+    // And its JSON form carries the order verbatim.
+    assert!(plan.to_json().contains("\"join_order\": [1, 0]"));
+
+    // A premise query under RDFS takes the overlay mechanism.
+    let with_premise = Query::with_premise(
+        pattern_graph([("?X", "ex:p", "?Y")]),
+        pattern_graph([("?X", "ex:p", "?Y")]),
+        graph([("ex:extra", "ex:p", "ex:extra2")]),
+    )
+    .expect("well formed");
+    let plan = db.explain(&with_premise, Semantics::Union);
+    assert_eq!(plan.mechanism, "overlay");
+    assert_eq!(
+        plan.answers as usize,
+        db.answer(&with_premise, Semantics::Union).len()
+    );
+}
+
+#[test]
+fn overlay_cache_counters_track_hits_misses_and_blank_warning_surfaces() {
+    let mut db = SemanticWebDatabase::new();
+    db.set_metrics_level(MetricsLevel::Counters);
+    db.insert_graph(&graph([("ex:a", "ex:p", "ex:b")]));
+
+    let with_premise = Query::with_premise(
+        pattern_graph([("?X", "ex:p", "?Y")]),
+        pattern_graph([("?X", "ex:p", "?Y")]),
+        graph([("ex:c", "ex:p", "ex:d")]),
+    )
+    .expect("well formed");
+    let _ = db.answer(&with_premise, Semantics::Union);
+    let _ = db.answer(&with_premise, Semantics::Union);
+    let snap = db.metrics().snapshot();
+    assert_eq!(snap.counter("overlay_cache_misses"), 1);
+    assert!(snap.counter("overlay_cache_hits") >= 1);
+
+    // The GraphStats early warning reaches the snapshot's warnings block.
+    db.metrics().set_blank_warn_threshold(2);
+    db.insert_graph(&graph([
+        ("_:a", "ex:knows", "_:b"),
+        ("_:b", "ex:knows", "_:c"),
+        ("_:c", "ex:knows", "_:d"),
+    ]));
+    let _ = db.stats();
+    let snap = db.metrics().snapshot();
+    assert!(snap.counter("core_blank_warnings") > 0);
+    assert_eq!(snap.warnings.len(), 1);
+    assert!(db
+        .metrics_snapshot()
+        .contains("\"warnings\": [\"largest blank component"));
+}
