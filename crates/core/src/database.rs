@@ -87,9 +87,38 @@
 //! counts to keep that claim executable; bench E21 records the bulk-load
 //! throughput. Small rounds (single-triple edits) run inline regardless of
 //! the configured ceiling, so point-write latency never pays a spawn.
+//!
+//! ## Degraded mode — bounding the NP-hard tail
+//!
+//! Everything above is polynomial except one step: the per-component
+//! retraction searches behind `core(·)` are NP-hard (Theorem 3.12), so a
+//! hostile blank component — say an `enc(K_n)` clique — can stall a commit
+//! for hours while the rest of the database waits. The facade therefore
+//! threads a **per-component budget** (fold steps and/or wall clock;
+//! [`SemanticWebDatabase::set_core_budget`], `SWDB_CORE_BUDGET`,
+//! `SWDB_CORE_BUDGET_MS`) through every core search. A component whose
+//! slice runs out is **published uncored**: its current survivor set enters
+//! the evaluation index as-is — a sound superset of its true core, since
+//! the engine only ever shrinks the published set by *applying found
+//! retraction witnesses* — and the component is flagged. Query answers over
+//! a degraded index remain sound (every reported answer is entailed) and
+//! complete (the core is never dropped, so no entailed answer is lost);
+//! what may linger is redundancy, so the answer graph is equivalent to the
+//! unbudgeted one but may mention redundant blanks a finished core search
+//! would have folded away. The flag is surfaced as `non_minimal` on
+//! [`swdb_query::Explain`] and [`SemanticWebDatabase::answer_with_status`],
+//! as [`SemanticWebDatabase::is_degraded`], and as the
+//! `core_budget_exhausted` counter / `uncored_*` gauges in
+//! [`SemanticWebDatabase::metrics_snapshot`].
+//! [`SemanticWebDatabase::refresh_degraded`] retries every uncored
+//! component with a fresh slice at a quiet moment, resuming from the
+//! published survivors, and is guaranteed to fully recover under
+//! [`CoreBudgetMode::Unlimited`]. The default [`CoreBudgetMode::Auto`]
+//! budgets only components over the oversized-blank warning threshold, so
+//! benign workloads are bit-identical to the unbudgeted engine.
 
 use swdb_model::{BlankNode, Graph, Term, Triple};
-use swdb_normal::{EvalOverlay, IdCoreEngine};
+use swdb_normal::{CoreBudgetMode, EvalOverlay, IdCoreEngine};
 use swdb_obs::{Counter, Hist, Metrics, MetricsLevel};
 use swdb_query::{Explain, NormalizedDatabase, Query, Semantics};
 use swdb_reason::{ClosureDelta, MaterializedStore};
@@ -168,6 +197,12 @@ pub struct SemanticWebDatabase {
     /// Worker-thread ceiling for closure propagation and DRed cascades
     /// (mirrored into the reasoner; see [`SemanticWebDatabase::set_threads`]).
     threads: usize,
+    /// Per-component budget for the NP-hard core searches (mirrored into
+    /// both maintained engines; see
+    /// [`SemanticWebDatabase::set_core_budget`]). Defaults from
+    /// `SWDB_CORE_BUDGET` / `SWDB_CORE_BUDGET_MS`, else
+    /// [`CoreBudgetMode::Auto`].
+    core_budget: CoreBudgetMode,
     /// The shared observability handle (`swdb-obs`): one lock-free counter /
     /// histogram sheet threaded through the reasoner, the core engines and
     /// the query executor. Level defaults from `SWDB_METRICS`
@@ -189,6 +224,7 @@ impl Default for SemanticWebDatabase {
             premise_cache: Vec::new(),
             asserted_core: None,
             threads,
+            core_budget: CoreBudgetMode::from_env(),
             metrics,
         }
     }
@@ -215,6 +251,93 @@ impl SemanticWebDatabase {
     /// the machine's available parallelism).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sets the per-component budget for the NP-hard core searches (the
+    /// retraction searches behind `core(·)`), propagated to both maintained
+    /// engines. A component whose budget slice runs out is **published
+    /// uncored** — a sound superset of its true core, flagged degraded —
+    /// instead of stalling the write path; see the "Degraded mode" section
+    /// of [`swdb_normal::id_core`] for the soundness argument and
+    /// [`SemanticWebDatabase::refresh_degraded`] for the retry.
+    ///
+    /// The default comes from the `SWDB_CORE_BUDGET` environment variable
+    /// (a fold-step count; `off`/`unlimited` disables budgeting) and
+    /// `SWDB_CORE_BUDGET_MS` (a wall-clock ceiling), else
+    /// [`CoreBudgetMode::Auto`]: components at or under the oversized-blank
+    /// warning threshold run unbudgeted (bit-identical to the unbudgeted
+    /// engine on benign data), larger ones get a slice proportional to the
+    /// threshold.
+    ///
+    /// Cached premise overlays are invalidated: an overlay computed under a
+    /// different budget may carry a different `non_minimal` flag.
+    pub fn set_core_budget(&mut self, mode: CoreBudgetMode) {
+        self.core_budget = mode;
+        self.premise_cache.clear();
+        if let Some(engine) = self.evaluation.as_mut() {
+            engine.set_core_budget(mode);
+        }
+        if let Some(engine) = self.asserted_core.as_mut() {
+            engine.set_core_budget(mode);
+        }
+    }
+
+    /// The configured core-search budget mode.
+    pub fn core_budget(&self) -> CoreBudgetMode {
+        self.core_budget
+    }
+
+    /// `true` while any maintained engine holds a component published
+    /// uncored (degraded mode): the evaluation graph — and with it
+    /// merge-semantics answers — or the asserted-store core behind
+    /// [`SemanticWebDatabase::minimize`] is a sound but possibly
+    /// non-minimal superset of the true core. Answers stay sound and
+    /// complete either way; see [`SemanticWebDatabase::refresh_degraded`].
+    pub fn is_degraded(&self) -> bool {
+        self.evaluation.as_ref().is_some_and(|e| e.is_degraded())
+            || self.asserted_core.as_ref().is_some_and(|e| e.is_degraded())
+    }
+
+    /// Components currently published uncored, across both maintained
+    /// engines.
+    pub fn uncored_components(&self) -> usize {
+        self.evaluation
+            .as_ref()
+            .map_or(0, |e| e.uncored_components())
+            + self
+                .asserted_core
+                .as_ref()
+                .map_or(0, |e| e.uncored_components())
+    }
+
+    /// Published triples inside uncored components — the portion of the
+    /// maintained cores that may be non-minimal.
+    pub fn uncored_triples(&self) -> usize {
+        self.evaluation.as_ref().map_or(0, |e| e.uncored_triples())
+            + self
+                .asserted_core
+                .as_ref()
+                .map_or(0, |e| e.uncored_triples())
+    }
+
+    /// The quiet-moment retry of degraded mode: every uncored component of
+    /// every maintained engine gets a fresh budget slice and resumes its
+    /// core search from the published survivors (monotone — applied folds
+    /// are genuine retractions, so no work is lost). Returns `true` when no
+    /// component remains uncored; guaranteed to fully recover under
+    /// [`CoreBudgetMode::Unlimited`]. Cached premise overlays are
+    /// invalidated because the published evaluation index may shrink.
+    pub fn refresh_degraded(&mut self) -> bool {
+        self.premise_cache.clear();
+        let dictionary = self.reasoner.store().dictionary();
+        let mut recovered = true;
+        if let Some(engine) = self.evaluation.as_mut() {
+            recovered &= engine.recore_uncored(dictionary);
+        }
+        if let Some(engine) = self.asserted_core.as_mut() {
+            recovered &= engine.recore_uncored(dictionary);
+        }
+        recovered
     }
 
     /// Sets the metrics recording level at runtime. `Off` (the default
@@ -366,6 +489,16 @@ impl SemanticWebDatabase {
             };
             engine.apply_delta(added, removed, dictionary);
         }
+        // The largest-blank-component early warning fires on every commit,
+        // not just on demand: the engine path observes it inside
+        // `apply_delta`; before the engine's cold build the stored graph is
+        // scanned directly (gated on the metrics level, so the unobserved
+        // write path pays one relaxed load).
+        if self.evaluation.is_none() && self.metrics.on(MetricsLevel::Counters) {
+            let stats = GraphStats::of(&self.graph);
+            self.metrics
+                .observe_largest_blank_component(stats.largest_blank_component() as u64);
+        }
     }
 
     /// Descriptive statistics of the stored graph. Also feeds the
@@ -479,10 +612,11 @@ impl SemanticWebDatabase {
             self.evaluation.as_ref().expect("just ensured")
         } else {
             if self.asserted_core.is_none() {
-                self.asserted_core = Some(IdCoreEngine::from_triples_metered(
+                self.asserted_core = Some(IdCoreEngine::from_triples_budgeted(
                     self.reasoner.store().iter_ids(),
                     self.reasoner.store().dictionary(),
                     self.metrics.clone(),
+                    self.core_budget,
                 ));
             }
             self.asserted_core.as_ref().expect("just built")
@@ -521,18 +655,20 @@ impl SemanticWebDatabase {
         if self.evaluation.is_none() {
             let dictionary = self.reasoner.store().dictionary();
             let engine = match self.regime {
-                EntailmentRegime::Rdfs => IdCoreEngine::from_triples_metered(
+                EntailmentRegime::Rdfs => IdCoreEngine::from_triples_budgeted(
                     self.reasoner.closure_index().iter(),
                     dictionary,
                     self.metrics.clone(),
+                    self.core_budget,
                 ),
                 // Under simple entailment, matching against the core of D
                 // gives equivalence-invariant answers without applying the
                 // vocabulary rules.
-                EntailmentRegime::Simple => IdCoreEngine::from_triples_metered(
+                EntailmentRegime::Simple => IdCoreEngine::from_triples_budgeted(
                     self.reasoner.store().iter_ids(),
                     dictionary,
                     self.metrics.clone(),
+                    self.core_budget,
                 ),
             };
             self.evaluation = Some(engine);
@@ -648,6 +784,37 @@ impl SemanticWebDatabase {
         out
     }
 
+    /// [`SemanticWebDatabase::answer`] plus the degradation flag of the
+    /// substrate the answer was computed against: `true` when a core-budget
+    /// exhaustion left that substrate (the published evaluation graph, or
+    /// this query's premise overlay) a sound but possibly non-minimal
+    /// superset of the true core. The answer itself is still sound and
+    /// complete — equivalent to the unbudgeted answer — but may mention
+    /// redundant blanks a finished core search would have folded away.
+    /// Callers that need minimality can poll
+    /// [`SemanticWebDatabase::refresh_degraded`] and re-ask.
+    pub fn answer_with_status(&mut self, query: &Query, semantics: Semantics) -> (Graph, bool) {
+        let answer = self.answer(query, semantics);
+        (answer, self.query_non_minimal(query))
+    }
+
+    /// The `non_minimal` flag for a query that was just answered: the
+    /// evaluation engine's degradation for the premise-free and expansion
+    /// mechanisms, the cached overlay's flag for the overlay mechanism
+    /// (which already folds the engine's state in). Falls back to the
+    /// engine state on a cache miss (e.g. the overlay was evicted between
+    /// answering and asking).
+    fn query_non_minimal(&self, query: &Query) -> bool {
+        let engine_degraded = self.evaluation.as_ref().is_some_and(|e| e.is_degraded());
+        if query.is_premise_free() || self.premise_via_expansion(query) {
+            return engine_degraded;
+        }
+        self.premise_cache
+            .iter()
+            .find(|(g, _)| g == query.premise())
+            .map_or(engine_degraded, |(_, overlay)| overlay.non_minimal)
+    }
+
     /// The dispatch behind [`SemanticWebDatabase::answer`] (split out so the
     /// span timing wraps every mechanism once).
     fn answer_inner(&mut self, query: &Query, semantics: Semantics, metrics: &Metrics) -> Graph {
@@ -689,7 +856,9 @@ impl SemanticWebDatabase {
     pub fn explain(&mut self, query: &Query, semantics: Semantics) -> Explain {
         if query.is_premise_free() {
             let (dictionary, index) = self.evaluation();
-            return swdb_query::explain_premise_free(query, dictionary, index, semantics);
+            let mut explain = swdb_query::explain_premise_free(query, dictionary, index, semantics);
+            explain.non_minimal = self.query_non_minimal(query);
+            return explain;
         }
         if self.premise_via_expansion(query) {
             let members = swdb_query::premise_free_expansion(query);
@@ -715,14 +884,17 @@ impl SemanticWebDatabase {
                 probes: 0,
                 bindings: 0,
                 answers: 0,
+                non_minimal: false,
             });
             explain.mechanism = "expansion";
             explain.members = members.len();
+            explain.non_minimal = self.query_non_minimal(query);
             return explain;
         }
         let (dictionary, target) = self.premise_target(query.premise());
         let mut explain = swdb_query::explain_premise_free(query, dictionary, &target, semantics);
         explain.mechanism = "overlay";
+        explain.non_minimal = self.query_non_minimal(query);
         explain
     }
 
@@ -1271,6 +1443,98 @@ mod tests {
         let stats = db.stats();
         assert_eq!(stats.triples, 3);
         assert_eq!(stats.schema_triples, 2);
+    }
+
+    #[test]
+    fn budgeted_answers_are_flagged_sound_and_recoverable() {
+        use swdb_normal::CoreBudget;
+        let mut db = SemanticWebDatabase::with_regime(EntailmentRegime::Simple);
+        db.set_metrics_level(MetricsLevel::Counters);
+        // One fold-step per component: too little to prove any fold, so
+        // every blank component is published uncored.
+        db.set_core_budget(CoreBudgetMode::Budgeted(CoreBudget::steps(1)));
+        db.insert_graph(&graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:a", "ex:p", "_:Y"),
+        ]));
+        let q = query([("?S", "ex:p", "?O")], [("?S", "ex:p", "?O")]);
+        let (answers, non_minimal) = db.answer_with_status(&q, Semantics::Union);
+        assert!(
+            non_minimal,
+            "exhaustion must be surfaced on the answer path"
+        );
+        assert!(db.is_degraded());
+        assert_eq!(db.uncored_components(), 2);
+        assert!(db.uncored_triples() >= 2);
+        assert!(db.explain(&q, Semantics::Union).non_minimal);
+        // Sound: the certain answer survives, and the whole answer graph is
+        // equivalent to the spec's (only redundancy lingers).
+        assert!(answers.contains(&triple("ex:a", "ex:p", "ex:b")));
+        let spec = db.answer_recomputed(&q, Semantics::Union);
+        assert!(spec.is_subgraph_of(&answers), "superset, never a subset");
+        assert!(swdb_entailment::simple_equivalent(&answers, &spec));
+        let snap = db.metrics().snapshot();
+        assert!(snap.degraded.core_budget_exhausted >= 2);
+        assert_eq!(snap.degraded.uncored_components, 2);
+        assert!(db.metrics_snapshot().contains("\"uncored_components\": 2"));
+        // Lifting the budget and retrying fully recovers the true core.
+        db.set_core_budget(CoreBudgetMode::Unlimited);
+        assert!(db.refresh_degraded());
+        assert!(!db.is_degraded());
+        let (recovered, non_minimal) = db.answer_with_status(&q, Semantics::Union);
+        assert!(!non_minimal);
+        assert!(!db.explain(&q, Semantics::Union).non_minimal);
+        assert!(swdb_model::isomorphic(&recovered, &spec));
+    }
+
+    #[test]
+    fn budgeted_minimize_degrades_gracefully_and_recovers() {
+        use swdb_normal::CoreBudget;
+        let mut db = SemanticWebDatabase::from_graph(graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:a", "ex:p", "_:X"),
+        ]));
+        db.set_core_budget(CoreBudgetMode::Budgeted(CoreBudget::steps(1)));
+        assert_eq!(db.minimize(), 0, "budget too small to prove the fold");
+        assert!(db.is_degraded());
+        assert!(db.uncored_triples() >= 1);
+        db.set_core_budget(CoreBudgetMode::Unlimited);
+        assert!(db.refresh_degraded());
+        assert!(!db.is_degraded());
+        assert_eq!(db.minimize(), 1);
+        assert!(db.is_lean());
+        assert_eq!(db.closure(), db.closure_recomputed());
+    }
+
+    #[test]
+    fn overlay_queries_report_non_minimal_under_budget() {
+        use swdb_normal::CoreBudget;
+        let mut db = SemanticWebDatabase::from_graph(graph([("ex:a", "ex:p", "ex:b")]));
+        db.set_core_budget(CoreBudgetMode::Budgeted(CoreBudget::steps(1)));
+        // A blank-bearing premise routes to the overlay in every regime; its
+        // scoped core search exhausts the one-step slice immediately.
+        let q = swdb_query::Query::with_premise(
+            swdb_hom::pattern_graph([("?S", "ex:p", "?O")]),
+            swdb_hom::pattern_graph([("?S", "ex:p", "?O")]),
+            graph([("ex:a", "ex:p", "_:P")]),
+        )
+        .unwrap();
+        let (answers, non_minimal) = db.answer_with_status(&q, Semantics::Union);
+        assert!(non_minimal, "overlay exhaustion must reach the caller");
+        let explain = db.explain(&q, Semantics::Union);
+        assert_eq!(explain.mechanism, "overlay");
+        assert!(explain.non_minimal);
+        assert!(explain.to_json().contains("\"non_minimal\": true"));
+        assert!(answers.contains(&triple("ex:a", "ex:p", "ex:b")));
+        assert!(swdb_model::isomorphic(
+            &swdb_query::eliminate_redundancy(&answers),
+            &db.answer_recomputed(&q, Semantics::Union),
+        ));
+        // The published evaluation graph itself is benign and stays exact:
+        // premise-free queries are not flagged.
+        let pf = query([("?S", "ex:p", "?O")], [("?S", "ex:p", "?O")]);
+        assert!(!db.explain(&pf, Semantics::Union).non_minimal);
     }
 
     #[test]

@@ -82,6 +82,7 @@
 pub mod database;
 
 pub use database::{EntailmentRegime, SemanticWebDatabase};
+pub use swdb_normal::{CoreBudget, CoreBudgetMode};
 pub use swdb_obs::{Metrics, MetricsLevel};
 pub use swdb_query::{Explain, Semantics};
 

@@ -12,8 +12,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use swdb_obs::Budget;
+
 use crate::digraph::DiGraph;
-use crate::homomorphism::{find_isomorphism, is_homomorphic};
+use crate::homomorphism::{find_homomorphism_budgeted, find_isomorphism, is_homomorphic};
 
 /// Searches for a homomorphism from `g` to a *proper* subgraph of itself
 /// (i.e. a retraction witnessing that `g` is not a core). Returns the
@@ -26,11 +28,25 @@ use crate::homomorphism::{find_isomorphism, is_homomorphic};
 /// after it — `O(deg)` per candidate instead of an `O(V + E)` induced
 /// subgraph per candidate per retraction round.
 pub fn find_retraction(g: &DiGraph) -> Option<BTreeMap<usize, usize>> {
+    find_retraction_budgeted(g, None)
+}
+
+/// [`find_retraction`] under a cooperative [`Budget`] shared across all
+/// per-vertex homomorphism searches. `None` with `budget.is_exhausted()`
+/// means the search was abandoned — the graph may or may not be a core;
+/// a returned assignment is always a genuine retraction witness.
+pub fn find_retraction_budgeted(
+    g: &DiGraph,
+    budget: Option<&Budget>,
+) -> Option<BTreeMap<usize, usize>> {
     let vertices: Vec<usize> = g.vertices().collect();
     let mut target = g.clone();
     for &dropped in &vertices {
+        if budget.is_some_and(|b| b.is_exhausted()) {
+            return None;
+        }
         let detached = target.remove_vertex(dropped);
-        if let Some(h) = crate::homomorphism::find_homomorphism(g, &target) {
+        if let Some(h) = find_homomorphism_budgeted(g, &target, budget) {
             return Some(h);
         }
         target.add_vertex(dropped);
@@ -151,6 +167,31 @@ mod tests {
         let c6 = DiGraph::from_undirected_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         let k = core(&c6);
         assert!(isomorphic(&core(&k), &k));
+    }
+
+    #[test]
+    fn budgeted_retraction_gives_up_but_never_lies() {
+        // K6 is a core: proving that means exhausting every per-vertex
+        // search. A tiny budget abandons the proof and says so.
+        let k6 = DiGraph::complete(6);
+        let budget = Budget::steps(10);
+        assert_eq!(find_retraction_budgeted(&k6, Some(&budget)), None);
+        assert!(budget.is_exhausted(), "abandoned, not refuted");
+        // Unbudgeted (or generously budgeted) the answer is definitive.
+        let budget = Budget::steps(u64::MAX);
+        assert_eq!(find_retraction_budgeted(&k6, Some(&budget)), None);
+        assert!(!budget.is_exhausted());
+        // A witness found within budget is genuine.
+        let c6 = DiGraph::from_undirected_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let budget = Budget::steps(1_000_000);
+        let h = find_retraction_budgeted(&c6, Some(&budget)).expect("C6 retracts");
+        let image: BTreeSet<usize> = h.values().copied().collect();
+        assert!(image.len() < 6, "proper subgraph");
+        assert!(crate::homomorphism::verify_homomorphism(
+            &c6,
+            &c6.induced_subgraph(&image),
+            &h
+        ));
     }
 
     #[test]

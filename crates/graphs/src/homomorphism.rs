@@ -13,11 +13,26 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use swdb_obs::Budget;
+
 use crate::digraph::DiGraph;
 
 /// Searches for a homomorphism `h : from → into`. Returns the witnessing
 /// vertex assignment if one exists.
 pub fn find_homomorphism(from: &DiGraph, into: &DiGraph) -> Option<BTreeMap<usize, usize>> {
+    find_homomorphism_budgeted(from, into, None)
+}
+
+/// [`find_homomorphism`] under a cooperative [`Budget`]: the backtracking
+/// spends one unit per candidate assignment tried and unwinds as soon as
+/// the budget trips. `None` with `budget.is_exhausted()` means *unknown*
+/// (the search was abandoned), not *no homomorphism exists*; a returned
+/// assignment is always a genuine witness.
+pub fn find_homomorphism_budgeted(
+    from: &DiGraph,
+    into: &DiGraph,
+    budget: Option<&Budget>,
+) -> Option<BTreeMap<usize, usize>> {
     // Vertices of `from` with no incident edges can map anywhere; handle the
     // degenerate case where `into` has no vertices at all.
     if from.vertex_count() > 0 && into.vertex_count() == 0 {
@@ -31,13 +46,14 @@ pub fn find_homomorphism(from: &DiGraph, into: &DiGraph) -> Option<BTreeMap<usiz
     };
     let targets: Vec<usize> = into.vertices().collect();
     let mut assignment: BTreeMap<usize, usize> = BTreeMap::new();
-    if backtrack(from, into, &vars, &targets, 0, &mut assignment) {
+    if backtrack(from, into, &vars, &targets, 0, &mut assignment, budget) {
         Some(assignment)
     } else {
         None
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn backtrack(
     from: &DiGraph,
     into: &DiGraph,
@@ -45,12 +61,19 @@ fn backtrack(
     targets: &[usize],
     index: usize,
     assignment: &mut BTreeMap<usize, usize>,
+    budget: Option<&Budget>,
 ) -> bool {
     if index == vars.len() {
         return true;
     }
     let v = vars[index];
     'candidates: for &c in targets {
+        // One unit per candidate assignment tried; a tripped budget
+        // abandons the whole search (exhaustion is sticky, so every
+        // enclosing frame gives up too).
+        if budget.is_some_and(|b| !b.spend(1)) {
+            return false;
+        }
         // Check consistency with already-assigned neighbours.
         for succ in from.successors(v) {
             if let Some(&img) = assignment.get(&succ) {
@@ -71,7 +94,7 @@ fn backtrack(
             continue;
         }
         assignment.insert(v, c);
-        if backtrack(from, into, vars, targets, index + 1, assignment) {
+        if backtrack(from, into, vars, targets, index + 1, assignment, budget) {
             return true;
         }
         assignment.remove(&v);

@@ -16,11 +16,11 @@ pub mod homomorphism;
 pub mod random;
 pub mod transitive;
 
-pub use crate::core::{core, find_retraction, is_core, is_core_of};
+pub use crate::core::{core, find_retraction, find_retraction_budgeted, is_core, is_core_of};
 pub use digraph::DiGraph;
 pub use homomorphism::{
-    find_homomorphism, find_isomorphism, has_clique, has_triangle, homomorphically_equivalent,
-    is_homomorphic, is_k_colorable, isomorphic, verify_homomorphism,
+    find_homomorphism, find_homomorphism_budgeted, find_isomorphism, has_clique, has_triangle,
+    homomorphically_equivalent, is_homomorphic, is_k_colorable, isomorphic, verify_homomorphism,
 };
 pub use random::{gnp, planted_3_colorable, random_dag, undirected_gnp};
 pub use transitive::{

@@ -28,6 +28,7 @@
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
+use swdb_obs::Budget;
 use swdb_store::{IdIndex, IdPattern, IdTriple, TermId};
 
 /// One position of an id-space triple pattern: an interned constant or a
@@ -280,11 +281,21 @@ impl JoinOrderLog {
 ///
 /// The search mirrors [`crate::Solver`] — dynamic most-constrained-first
 /// pattern selection, backtracking over candidates — entirely in id space.
+///
+/// An optional cooperative [`Budget`] (see [`IdSolver::with_budget`])
+/// bounds the backtracking: the search spends one unit per candidate
+/// visited and one per selectivity probe, and unwinds as soon as the
+/// budget trips. An exhausted search that found no solution means
+/// *unknown*, not *absent* — callers must check [`Budget::is_exhausted`]
+/// before concluding non-existence. Solutions found before exhaustion are
+/// genuine. Without a budget the search is exactly as before (one branch
+/// per call).
 pub struct IdSolver<'a, T: IdTarget> {
     patterns: &'a [IdTriplePattern],
     slots: usize,
     target: &'a T,
     recorder: Option<&'a JoinOrderLog>,
+    budget: Option<&'a Budget>,
 }
 
 impl<'a, T: IdTarget> IdSolver<'a, T> {
@@ -296,6 +307,7 @@ impl<'a, T: IdTarget> IdSolver<'a, T> {
             slots,
             target,
             recorder: None,
+            budget: None,
         }
     }
 
@@ -312,7 +324,18 @@ impl<'a, T: IdTarget> IdSolver<'a, T> {
             slots,
             target,
             recorder: Some(recorder),
+            budget: None,
         }
+    }
+
+    /// Bounds the search by a cooperative budget, checked at probe
+    /// granularity (each candidate scanned and each selectivity probe
+    /// spends one unit). The budget is shared state: one [`Budget`] can
+    /// govern many solver calls, which is how a whole retraction-search
+    /// round gets one slice.
+    pub fn with_budget(mut self, budget: &'a Budget) -> Self {
+        self.budget = Some(budget);
+        self
     }
 
     /// Enumerates complete solutions, invoking `visit` with the slot array
@@ -339,6 +362,14 @@ impl<'a, T: IdTarget> IdSolver<'a, T> {
         if remaining.is_empty() {
             return visit(binding);
         }
+        // One unit per selectivity probe issued below plus one for the
+        // selection round itself; an exhausted budget abandons this branch
+        // (and, since exhaustion is sticky, every enclosing one).
+        if let Some(budget) = self.budget {
+            if !budget.spend(remaining.len() as u64 + 1) {
+                return ControlFlow::Continue(());
+            }
+        }
         let depth = self.patterns.len() - remaining.len();
         let best_pos = crate::most_constrained(remaining, |p| {
             self.target.candidate_count(p.to_scan(binding))
@@ -356,6 +387,11 @@ impl<'a, T: IdTarget> IdSolver<'a, T> {
         let mut broke: Option<B> = None;
         self.target
             .scan_while(chosen.to_scan(binding), |(s, p, o)| {
+                // One budget unit per candidate visited; stop the scan as
+                // soon as the slice is gone.
+                if self.budget.is_some_and(|b| !b.spend(1)) {
+                    return false;
+                }
                 // Bind the unbound slots of the chosen pattern to the candidate's
                 // positions; bound positions already match by construction of the
                 // scan, and a repeated variable's second occurrence is checked
@@ -623,5 +659,64 @@ mod tests {
         let solver = IdSolver::new(&[], 0, &idx);
         assert!(solver.exists());
         assert_eq!(solver.first_solution(), Some(vec![]));
+    }
+
+    #[test]
+    fn a_tripped_budget_stops_the_search_and_reports_unknown() {
+        let idx = index();
+        let patterns = [
+            pattern(var(0), constant(10), var(1)),
+            pattern(var(1), constant(11), var(2)),
+        ];
+        // Unbudgeted, the join succeeds (see joins_over_a_plain_index).
+        assert!(IdSolver::new(&patterns, 3, &idx).exists());
+        // With a one-step budget the search cannot even finish the first
+        // selection round: it stops, and the budget says so.
+        let budget = Budget::steps(1);
+        let solver = IdSolver::new(&patterns, 3, &idx).with_budget(&budget);
+        assert!(!solver.exists(), "search abandoned, no witness produced");
+        assert!(
+            budget.is_exhausted(),
+            "the caller can tell 'unknown' from 'absent'"
+        );
+    }
+
+    #[test]
+    fn a_generous_budget_changes_nothing() {
+        let idx = index();
+        let patterns = [
+            pattern(var(0), constant(10), var(1)),
+            pattern(var(1), constant(11), var(2)),
+        ];
+        let budget = Budget::steps(1_000_000);
+        let solver = IdSolver::new(&patterns, 3, &idx).with_budget(&budget);
+        assert_eq!(solver.first_solution(), Some(vec![1, 2, 3]));
+        assert!(!budget.is_exhausted());
+    }
+
+    #[test]
+    fn solutions_found_before_exhaustion_are_kept() {
+        // One pattern, many candidates: the first candidate is reached
+        // within budget even though a full enumeration would not be.
+        let mut idx = IdIndex::new();
+        for o in 0..100 {
+            idx.insert((1, 10, o));
+        }
+        let patterns = [pattern(constant(1), constant(10), var(0))];
+        let budget = Budget::steps(4);
+        let solver = IdSolver::new(&patterns, 1, &idx).with_budget(&budget);
+        assert_eq!(solver.first_solution(), Some(vec![0]));
+        let budget = Budget::steps(4);
+        let solver = IdSolver::new(&patterns, 1, &idx).with_budget(&budget);
+        let mut seen = 0usize;
+        solver.for_each_solution(&mut |_slots| {
+            seen += 1;
+            ControlFlow::<()>::Continue(())
+        });
+        assert!(budget.is_exhausted());
+        assert!(
+            seen > 0 && seen < 100,
+            "partial enumeration: got {seen} of 100"
+        );
     }
 }

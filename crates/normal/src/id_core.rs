@@ -46,11 +46,43 @@
 //! against a layered view and returns an [`EvalOverlay`] diff instead of
 //! touching the published index — the substrate of transient query-premise
 //! evaluation (`D + P` for one query, then dropped).
+//!
+//! ### Degraded mode — bounding the NP-hard tail
+//!
+//! Each local retraction search is still NP-hard in its component's size
+//! (Theorem 3.12), and one giant blank component degenerates to exactly the
+//! global search: a hostile insert — or a merely unlucky one — could stall
+//! a refresh indefinitely. A [`CoreBudgetMode`] bounds that tail: every
+//! component-coring call gets a cooperative [`swdb_obs::Budget`] slice
+//! (fold steps and/or wall clock, checked at probe granularity inside the
+//! backtracking search — no threads, no interrupts), and a component whose
+//! slice runs out is **published uncored**: its current survivor set goes
+//! into the evaluation index as-is, the component is flagged, and
+//! [`IdCoreEngine::recore_uncored`] retries it with a fresh slice on the
+//! next quiet refresh. The same slices govern [`IdCoreEngine::overlay_core`]
+//! so a poisoned what-if premise cannot stall the shared engine either; the
+//! diff then reports [`EvalOverlay::non_minimal`].
+//!
+//! **Why publishing uncored is sound.** The engine shrinks the published
+//! set only by *applying a found witness*: every fold applied before the
+//! budget tripped is a genuine retraction of the graph it was found in.
+//! The published state `G'` therefore satisfies
+//! `core(cl(D)) ⊆ G' ⊆ cl(D)`, and `G'` is homomorphically equivalent to
+//! `cl(D)` (the composed folds witness `cl(D) → G'`; the inclusion embeds
+//! `G' → cl(D)`). Queries evaluated over `G'` are then *sound*: every
+//! match over `G'` is a match over `cl(D)`, so no reported answer is
+//! wrong; and they are *complete* for certain answers: nothing of the core
+//! was dropped, so no entailed answer is lost. What the budget costs is
+//! **minimality** — the answer graph may mention redundant blanks a
+//! finished core search would have folded away (it may fail to be lean,
+//! Def. 3.7) — never correctness. The engine surfaces that honestly as
+//! `non_minimal` through the facade's answer path instead of hiding it.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
 
 use swdb_hom::{Avoiding, IdPatternTerm, IdSolver, IdTarget, IdTriplePattern, Overlay};
-use swdb_obs::{Counter, Hist, Metrics, MetricsLevel};
+use swdb_obs::{Budget, Counter, Gauge, Hist, Metrics, MetricsLevel};
 use swdb_store::{Dictionary, IdIndex, IdTriple, TermId};
 
 use crate::components::blank_components;
@@ -92,6 +124,113 @@ impl CoreIndex for IdIndex {
     }
 }
 
+/// An explicit per-slice budget: fold-search steps and/or wall-clock
+/// milliseconds. Both `None` means no limit (equivalent to
+/// [`CoreBudgetMode::Unlimited`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreBudget {
+    /// Probe-granularity step limit for one component-coring call.
+    pub steps: Option<u64>,
+    /// Wall-clock limit in milliseconds for one component-coring call.
+    pub millis: Option<u64>,
+}
+
+impl CoreBudget {
+    /// A pure step budget.
+    pub fn steps(steps: u64) -> CoreBudget {
+        CoreBudget {
+            steps: Some(steps),
+            millis: None,
+        }
+    }
+
+    /// A pure wall-clock budget.
+    pub fn millis(millis: u64) -> CoreBudget {
+        CoreBudget {
+            steps: None,
+            millis: Some(millis),
+        }
+    }
+
+    fn is_unlimited(self) -> bool {
+        self.steps.is_none() && self.millis.is_none()
+    }
+}
+
+/// In [`CoreBudgetMode::Auto`], how many search steps an oversized
+/// component's slice gets per unit of the `SWDB_BLANK_WARN` threshold
+/// (default threshold 1 000 → one million probe steps per slice).
+pub const AUTO_STEPS_PER_WARN_UNIT: u64 = 1_000;
+
+/// How the engine budgets its component-coring calls (see the module's
+/// "Degraded mode" section).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CoreBudgetMode {
+    /// Never give up: the pre-budget behavior, bit-identical results.
+    Unlimited,
+    /// Every component-coring call gets this explicit slice.
+    Budgeted(CoreBudget),
+    /// The default heuristic, keyed off the `SWDB_BLANK_WARN` threshold:
+    /// components at or under the threshold run unbudgeted (benign inputs
+    /// stay bit-identical to [`Unlimited`]); oversized components — the
+    /// ones the early-warning gauge already flags — get
+    /// [`AUTO_STEPS_PER_WARN_UNIT`] × threshold steps per slice.
+    ///
+    /// [`Unlimited`]: CoreBudgetMode::Unlimited
+    #[default]
+    Auto,
+}
+
+impl CoreBudgetMode {
+    /// Reads the mode from the environment: `SWDB_CORE_BUDGET` unset or
+    /// `auto` means [`Auto`]; `off`/`unlimited`/`none` means [`Unlimited`];
+    /// an integer is an explicit per-slice step budget. An integer
+    /// `SWDB_CORE_BUDGET_MS` adds (or alone sets) a wall-clock limit.
+    ///
+    /// [`Auto`]: CoreBudgetMode::Auto
+    /// [`Unlimited`]: CoreBudgetMode::Unlimited
+    pub fn from_env() -> CoreBudgetMode {
+        let steps = std::env::var("SWDB_CORE_BUDGET").ok();
+        let millis = std::env::var("SWDB_CORE_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok());
+        match steps.as_deref().map(str::trim) {
+            Some(s)
+                if s.eq_ignore_ascii_case("off")
+                    || s.eq_ignore_ascii_case("unlimited")
+                    || s.eq_ignore_ascii_case("none") =>
+            {
+                CoreBudgetMode::Unlimited
+            }
+            Some(s) if !s.is_empty() && !s.eq_ignore_ascii_case("auto") => match s.parse::<u64>() {
+                Ok(n) => CoreBudgetMode::Budgeted(CoreBudget {
+                    steps: Some(n),
+                    millis,
+                }),
+                Err(_) => CoreBudgetMode::Auto,
+            },
+            _ => match millis {
+                Some(ms) => CoreBudgetMode::Budgeted(CoreBudget::millis(ms)),
+                None => CoreBudgetMode::Auto,
+            },
+        }
+    }
+
+    /// The budget slice for one component-coring call over `size` triples;
+    /// `None` runs the search unbudgeted.
+    fn slice(self, size: usize, warn_threshold: u64) -> Option<Budget> {
+        match self {
+            CoreBudgetMode::Unlimited => None,
+            CoreBudgetMode::Budgeted(b) if b.is_unlimited() => None,
+            CoreBudgetMode::Budgeted(b) => {
+                Some(Budget::new(b.steps, b.millis.map(Duration::from_millis)))
+            }
+            CoreBudgetMode::Auto => ((size as u64) > warn_threshold)
+                .then(|| Budget::steps(warn_threshold.saturating_mul(AUTO_STEPS_PER_WARN_UNIT))),
+        }
+    }
+}
+
 /// The result of a *scoped* core computation over `maintained ∪ delta`: the
 /// triples the delta makes newly visible (`added`, disjoint from the
 /// published index) and the published triples it folds away (`removed`).
@@ -105,6 +244,11 @@ pub struct EvalOverlay {
     pub added: IdIndex,
     /// Published triples the overlaid delta folds away.
     pub removed: BTreeSet<IdTriple>,
+    /// Set when a budget slice ran out while coring the overlay: the view
+    /// `published ∪ added − removed` is still a sound evaluation state
+    /// (equivalent to, and a superset of, the true overlaid core) but may
+    /// not be minimal. See the module's "Degraded mode" section.
+    pub non_minimal: bool,
 }
 
 impl EvalOverlay {
@@ -182,6 +326,11 @@ struct Component {
     support: BTreeSet<IdTriple>,
     /// Set when `full` changed and the cached survivors are meaningless.
     stale: bool,
+    /// Set when the last coring slice ran out of budget: `survivors` is a
+    /// sound superset of the local core (every applied fold was a genuine
+    /// retraction) but may not be minimal. Cleared when a later slice
+    /// reaches the fold fixpoint.
+    uncored: bool,
 }
 
 /// An incrementally maintained `core(·)` over id-triples.
@@ -202,6 +351,9 @@ pub struct IdCoreEngine {
     /// insertion whose predicate no blank triple uses cannot be the image of
     /// any fold and skips the core step entirely.
     blank_pred_refs: BTreeMap<TermId, usize>,
+    /// How much search each component-coring call may spend before the
+    /// component is published uncored (module's "Degraded mode" section).
+    budget_mode: CoreBudgetMode,
     /// Instrumentation handle (`Off` by default: every site reduces to a
     /// relaxed flag load).
     metrics: Metrics,
@@ -230,8 +382,23 @@ impl IdCoreEngine {
         dictionary: &Dictionary,
         metrics: Metrics,
     ) -> Self {
+        IdCoreEngine::from_triples_budgeted(triples, dictionary, metrics, CoreBudgetMode::default())
+    }
+
+    /// [`IdCoreEngine::from_triples_metered`] with the budget mode
+    /// configured *before* the cold build, so the initial component coring
+    /// is already bounded — on adversarial input the first build is exactly
+    /// where the NP-hard tail bites, and a budget attached afterwards would
+    /// come too late.
+    pub fn from_triples_budgeted(
+        triples: impl IntoIterator<Item = IdTriple>,
+        dictionary: &Dictionary,
+        metrics: Metrics,
+        budget: CoreBudgetMode,
+    ) -> Self {
         let mut engine = IdCoreEngine::new();
         engine.metrics = metrics;
+        engine.budget_mode = budget;
         for t in triples {
             if is_blank_triple(dictionary, t) {
                 if engine.blank_full.insert(t) {
@@ -290,6 +457,116 @@ impl IdCoreEngine {
         let mut sizes: Vec<usize> = self.components.iter().map(|c| c.full.len()).collect();
         sizes.sort_unstable();
         sizes
+    }
+
+    /// Size in triples of the largest blank component (0 when none) — the
+    /// driver of the worst-case core search, observed on every commit.
+    pub fn largest_component_size(&self) -> usize {
+        self.components
+            .iter()
+            .map(|c| c.full.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The configured component-coring budget mode.
+    pub fn core_budget(&self) -> CoreBudgetMode {
+        self.budget_mode
+    }
+
+    /// Reconfigures the budget mode. Takes effect from the next coring
+    /// call on; already-published state is untouched (use
+    /// [`IdCoreEngine::recore_uncored`] to retry degraded components under
+    /// the new mode).
+    pub fn set_core_budget(&mut self, mode: CoreBudgetMode) {
+        self.budget_mode = mode;
+    }
+
+    /// `true` while any component is published uncored (degraded mode).
+    /// Independent of the metrics level — degradation is engine state, not
+    /// instrumentation.
+    pub fn is_degraded(&self) -> bool {
+        self.components.iter().any(|c| c.uncored)
+    }
+
+    /// Number of components currently published uncored.
+    pub fn uncored_components(&self) -> usize {
+        self.components.iter().filter(|c| c.uncored).count()
+    }
+
+    /// Published (survivor) triples across the uncored components — the
+    /// portion of the evaluation index that may be non-minimal.
+    pub fn uncored_triples(&self) -> usize {
+        self.components
+            .iter()
+            .filter(|c| c.uncored)
+            .map(|c| c.survivors.len())
+            .sum()
+    }
+
+    /// The quiet-refresh retry of degraded mode: gives every uncored
+    /// component a fresh budget slice, resuming from its current survivors
+    /// (all folds already applied are genuine retractions, so resuming
+    /// loses nothing and converges monotonically). Returns `true` when the
+    /// engine left degraded mode entirely — guaranteed when called under
+    /// [`CoreBudgetMode::Unlimited`].
+    pub fn recore_uncored(&mut self, dictionary: &Dictionary) -> bool {
+        let threshold = self.metrics.blank_warn_threshold();
+        let mode = self.budget_mode;
+        let mut searches = 0u64;
+        let mut fold_steps = 0u64;
+        let mut recored = 0u64;
+        let mut exhausted_slices = 0u64;
+        for i in 0..self.components.len() {
+            if !self.components[i].uncored {
+                continue;
+            }
+            let mut folds = Vec::new();
+            {
+                let comp = &mut self.components[i];
+                let budget = mode.slice(comp.survivors.len(), threshold);
+                let mut current = comp.survivors.clone();
+                let composed = fold_to_fixpoint(
+                    &mut self.eval,
+                    &mut current,
+                    &comp.blanks,
+                    &mut folds,
+                    &mut searches,
+                    budget.as_ref(),
+                );
+                if !folds.is_empty() {
+                    comp.survivors = current;
+                    comp.support = remap_set(&comp.support, &composed);
+                }
+                comp.uncored = budget.as_ref().is_some_and(|b| b.is_exhausted());
+                if comp.uncored {
+                    exhausted_slices += 1;
+                }
+            }
+            recored += 1;
+            fold_steps += folds.len() as u64;
+            self.replay_folds(&folds, i);
+        }
+        self.metrics.count(Counter::CoreComponentsRecored, recored);
+        self.metrics.count(Counter::CoreFoldSteps, fold_steps);
+        self.metrics
+            .count(Counter::CoreRetractionSearches, searches);
+        self.metrics
+            .count(Counter::CoreBudgetExhausted, exhausted_slices);
+        self.publish_degradation();
+        self.debug_check(dictionary);
+        !self.is_degraded()
+    }
+
+    /// Mirrors the engine's degradation state into the gauges (no-op with
+    /// metrics off; the engine state itself is always exact).
+    fn publish_degradation(&self) {
+        if self.metrics.on(MetricsLevel::Counters) {
+            self.metrics
+                .gauge_set(Gauge::UncoredComponents, self.uncored_components() as u64);
+            self.metrics
+                .gauge_set(Gauge::UncoredTriples, self.uncored_triples() as u64);
+        }
     }
 
     /// Applies one batch of deltas to the maintained set and brings the
@@ -353,7 +630,10 @@ impl IdCoreEngine {
             .iter()
             .any(|p| self.blank_pred_refs.contains_key(p));
         if blank_delta_ids.is_empty() && removed_from_eval.is_empty() && !relevant_add {
-            // The pure ground fast path: the index is already the core.
+            // The pure ground fast path: the index is already the core. The
+            // early-warning gauge is still refreshed — every mutation commit
+            // is an observation point, not just the coring ones.
+            self.observe_blank_components();
             return;
         }
         if !blank_delta_ids.is_empty() {
@@ -393,10 +673,18 @@ impl IdCoreEngine {
     /// whose survivors could fold onto a newly visible triple (matching
     /// predicate) get the chance to retract further — their folded
     /// survivors land in `removed`, the published index keeps them.
+    ///
+    /// The engine's [`CoreBudgetMode`] governs the overlay's searches too
+    /// (a hostile premise must not stall the shared engine): when a slice
+    /// runs out the diff is returned as-is — sound, per the module's
+    /// "Degraded mode" argument — with [`EvalOverlay::non_minimal`] set.
     pub fn overlay_core(&self, delta: &[IdTriple], dictionary: &Dictionary) -> EvalOverlay {
         let mut searches = 0u64;
         let mut fold_steps = 0u64;
         let mut recored = 0u64;
+        let mut exhausted_slices = 0u64;
+        let threshold = self.metrics.blank_warn_threshold();
+        let mode = self.budget_mode;
         let mut view = OverlayCoreView {
             base: &self.eval,
             diff: EvalOverlay::default(),
@@ -447,13 +735,19 @@ impl IdCoreEngine {
                     added_preds.insert(t.1);
                 }
             }
+            let budget = mode.slice(current.len(), threshold);
             fold_to_fixpoint(
                 &mut view,
                 &mut current,
                 &blob_blanks,
                 &mut folds,
                 &mut searches,
+                budget.as_ref(),
             );
+            if budget.as_ref().is_some_and(|b| b.is_exhausted()) {
+                view.diff.non_minimal = true;
+                exhausted_slices += 1;
+            }
             recored += 1;
             fold_steps += folds.len() as u64;
         }
@@ -472,6 +766,7 @@ impl IdCoreEngine {
                     continue;
                 }
                 let before = folds.len();
+                let budget = mode.slice(comp.survivors.len(), threshold);
                 let mut current = comp.survivors.clone();
                 fold_to_fixpoint(
                     &mut view,
@@ -479,17 +774,29 @@ impl IdCoreEngine {
                     &comp.blanks,
                     &mut folds,
                     &mut searches,
+                    budget.as_ref(),
                 );
+                if budget.as_ref().is_some_and(|b| b.is_exhausted()) {
+                    view.diff.non_minimal = true;
+                    exhausted_slices += 1;
+                }
                 if folds.len() > before {
                     recored += 1;
                     fold_steps += (folds.len() - before) as u64;
                 }
             }
         }
+        // An overlay over an already-degraded engine inherits the
+        // non-minimality of the published survivors it layers over.
+        if self.is_degraded() {
+            view.diff.non_minimal = true;
+        }
         self.metrics.count(Counter::CoreComponentsRecored, recored);
         self.metrics.count(Counter::CoreFoldSteps, fold_steps);
         self.metrics
             .count(Counter::CoreRetractionSearches, searches);
+        self.metrics
+            .count(Counter::CoreBudgetExhausted, exhausted_slices);
         view.diff
     }
 
@@ -551,6 +858,9 @@ impl IdCoreEngine {
         let mut searches = 0u64;
         let mut fold_steps = 0u64;
         let mut recored = dirty.len() as u64;
+        let mut exhausted_slices = 0u64;
+        let threshold = self.metrics.blank_warn_threshold();
+        let mode = self.budget_mode;
         for &i in &dirty {
             let mut folds = Vec::new();
             {
@@ -562,6 +872,7 @@ impl IdCoreEngine {
                         added_preds.insert(t.1);
                     }
                 }
+                let budget = mode.slice(comp.full.len(), threshold);
                 let mut current = comp.full.clone();
                 let composed = fold_to_fixpoint(
                     &mut self.eval,
@@ -569,10 +880,18 @@ impl IdCoreEngine {
                     &comp.blanks,
                     &mut folds,
                     &mut searches,
+                    budget.as_ref(),
                 );
                 comp.survivors = current;
                 comp.support = comp.full.iter().map(|&t| apply_map(&composed, t)).collect();
                 comp.stale = false;
+                // Out of budget: the survivors so far are published as-is —
+                // a sound superset of the local core (see "Degraded mode") —
+                // and the component waits for a quiet-refresh retry.
+                comp.uncored = budget.as_ref().is_some_and(|b| b.is_exhausted());
+                if comp.uncored {
+                    exhausted_slices += 1;
+                }
             }
             fold_steps += folds.len() as u64;
             self.replay_folds(&folds, i);
@@ -589,6 +908,7 @@ impl IdCoreEngine {
                 let mut folds = Vec::new();
                 {
                     let comp = &mut self.components[i];
+                    let budget = mode.slice(comp.survivors.len(), threshold);
                     let mut current = comp.survivors.clone();
                     let composed = fold_to_fixpoint(
                         &mut self.eval,
@@ -596,10 +916,18 @@ impl IdCoreEngine {
                         &comp.blanks,
                         &mut folds,
                         &mut searches,
+                        budget.as_ref(),
                     );
                     if !folds.is_empty() {
                         comp.survivors = current;
                         comp.support = remap_set(&comp.support, &composed);
+                    }
+                    // Reaching the fold fixpoint from the *current* graph
+                    // proves local leanness regardless of history, so an
+                    // unexhausted pass clears a stale uncored flag too.
+                    comp.uncored = budget.as_ref().is_some_and(|b| b.is_exhausted());
+                    if comp.uncored {
+                        exhausted_slices += 1;
                     }
                 }
                 if !folds.is_empty() {
@@ -613,18 +941,22 @@ impl IdCoreEngine {
         self.metrics.count(Counter::CoreFoldSteps, fold_steps);
         self.metrics
             .count(Counter::CoreRetractionSearches, searches);
-        if self.metrics.on(MetricsLevel::Counters) {
-            let largest = self
-                .components
-                .iter()
-                .map(|c| c.full.len())
-                .max()
-                .unwrap_or(0);
-            self.metrics.observe_largest_blank_component(largest as u64);
-        }
+        self.metrics
+            .count(Counter::CoreBudgetExhausted, exhausted_slices);
+        self.observe_blank_components();
+        self.publish_degradation();
         if let Some(t0) = t0 {
             self.metrics
                 .record(Hist::SpanCoreRefreshNs, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Reports the largest blank component to the early-warning gauge (a
+    /// no-op below the counters level).
+    fn observe_blank_components(&self) {
+        if self.metrics.on(MetricsLevel::Counters) {
+            self.metrics
+                .observe_largest_blank_component(self.largest_component_size() as u64);
         }
     }
 
@@ -717,6 +1049,7 @@ fn partition_and_inherit(
                 survivors: c.survivors,
                 support: c.support,
                 stale: c.stale,
+                uncored: c.uncored,
             },
             None => Component {
                 blanks: part.blanks,
@@ -724,6 +1057,7 @@ fn partition_and_inherit(
                 survivors: BTreeSet::new(),
                 support: BTreeSet::new(),
                 stale: true,
+                uncored: false,
             },
         });
     }
@@ -732,17 +1066,21 @@ fn partition_and_inherit(
 /// Retracts `current` — the component's triples presently in `eval` — to a
 /// local fixpoint. Each successful fold map is applied to `eval` (dropping
 /// the folded triples), pushed to `folds`, and composed into the returned
-/// map. On return no triple of `current` can be avoided: the component is
-/// locally lean.
+/// map. On return without budget exhaustion no triple of `current` can be
+/// avoided: the component is locally lean. With an exhausted budget the
+/// loop stops early; everything applied so far is still a genuine
+/// retraction, so `current` is a sound superset of the local core (the
+/// caller checks [`Budget::is_exhausted`] and flags the component).
 fn fold_to_fixpoint<T: CoreIndex>(
     eval: &mut T,
     current: &mut BTreeSet<IdTriple>,
     blanks: &BTreeSet<TermId>,
     folds: &mut Vec<IdMap>,
     searches: &mut u64,
+    budget: Option<&Budget>,
 ) -> IdMap {
     let mut composed = IdMap::new();
-    while let Some(map) = find_fold(eval, current, blanks, searches) {
+    while let Some(map) = find_fold(eval, current, blanks, searches, budget) {
         let image: BTreeSet<IdTriple> = current.iter().map(|&t| apply_map(&map, t)).collect();
         for &t in current.iter() {
             if !image.contains(&t) {
@@ -780,6 +1118,7 @@ fn find_fold<T: CoreIndex>(
     current: &BTreeSet<IdTriple>,
     blanks: &BTreeSet<TermId>,
     searches: &mut u64,
+    budget: Option<&Budget>,
 ) -> Option<IdMap> {
     if current.is_empty() {
         return None;
@@ -804,9 +1143,18 @@ fn find_fold<T: CoreIndex>(
         }
     }
     for &avoid in current.iter() {
+        // Exhaustion is sticky: once any solver call trips the budget, the
+        // remaining avoid candidates are abandoned too ("unknown", not
+        // "lean") and the caller publishes the partial state.
+        if budget.is_some_and(|b| b.is_exhausted()) {
+            return None;
+        }
         *searches += 1;
         let target = Avoiding::new(eval, avoid);
-        let solver = IdSolver::new(&patterns, slot_of.len(), &target);
+        let mut solver = IdSolver::new(&patterns, slot_of.len(), &target);
+        if let Some(b) = budget {
+            solver = solver.with_budget(b);
+        }
         if let Some(solution) = solver.first_solution() {
             let mut map = IdMap::new();
             for (&blank, &slot) in &slot_of {
@@ -1168,5 +1516,143 @@ mod tests {
         assert!(engine.is_empty());
         assert_eq!(engine.component_count(), 0);
         assert_eq!(engine.blank_triple_count(), 0);
+        assert!(!engine.is_degraded());
+        assert_eq!(engine.largest_component_size(), 0);
+    }
+
+    #[test]
+    fn budgeted_refresh_publishes_sound_superset_and_recovers_when_lifted() {
+        // Three redundant blanks: the true core is one triple. A one-step
+        // budget cannot even start the first retraction search.
+        let g = graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:a", "ex:p", "_:Y"),
+            ("ex:a", "ex:p", "_:Z"),
+        ]);
+        let store = TripleStore::from_graph(&g);
+        let mut engine = IdCoreEngine::new();
+        engine.set_core_budget(CoreBudgetMode::Budgeted(CoreBudget::steps(1)));
+        let ids: Vec<IdTriple> = store.iter_ids().collect();
+        engine.apply_delta(&ids, &[], store.dictionary());
+        assert!(engine.is_degraded());
+        assert_eq!(engine.uncored_components(), 3);
+        assert_eq!(engine.uncored_triples(), 3);
+        // Sound degraded state: everything published is maintained (no
+        // wrong facts) and nothing of the core was dropped — here nothing
+        // was folded at all.
+        let decoded = decode(&store, &engine);
+        assert_eq!(decoded.len(), 3);
+        assert!(decoded.iter().all(|t| g.contains(t)));
+        // Retrying under the same starved budget stays degraded.
+        assert!(!engine.recore_uncored(store.dictionary()));
+        assert!(engine.is_degraded());
+        // Lifting the budget re-cores to the true core.
+        engine.set_core_budget(CoreBudgetMode::Unlimited);
+        assert!(engine.recore_uncored(store.dictionary()));
+        assert!(!engine.is_degraded());
+        assert_eq!(engine.uncored_components(), 0);
+        let decoded = decode(&store, &engine);
+        assert!(isomorphic(&decoded, &crate::core(&g)));
+    }
+
+    #[test]
+    fn auto_mode_is_bit_identical_to_unlimited_on_benign_inputs() {
+        let g = graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:a", "ex:p", "_:Y"),
+            ("_:Y", "ex:q", "ex:b"),
+            ("ex:c", "ex:r", "ex:d"),
+        ]);
+        let store = TripleStore::from_graph(&g);
+        let auto_engine = IdCoreEngine::from_triples(store.iter_ids(), store.dictionary());
+        assert_eq!(auto_engine.core_budget(), CoreBudgetMode::Auto);
+        let mut unlimited = IdCoreEngine::new();
+        unlimited.set_core_budget(CoreBudgetMode::Unlimited);
+        let ids: Vec<IdTriple> = store.iter_ids().collect();
+        unlimited.apply_delta(&ids, &[], store.dictionary());
+        assert_eq!(
+            auto_engine.index(),
+            unlimited.index(),
+            "components under the warn threshold never see a budget"
+        );
+        assert!(!auto_engine.is_degraded());
+    }
+
+    #[test]
+    fn overlay_core_under_tiny_budget_is_sound_and_flagged() {
+        let base = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:b", "ex:q", "ex:c"),
+            ("ex:a", "ex:p", "_:X"),
+        ]);
+        let delta = graph([("_:X", "ex:q", "ex:c")]);
+        let mut store = TripleStore::from_graph(&base);
+        let mut engine = IdCoreEngine::from_triples(store.iter_ids(), store.dictionary());
+        let ids: Vec<IdTriple> = delta
+            .iter()
+            .map(|t| {
+                let s = store.intern(t.subject());
+                let p = store.intern(&swdb_model::Term::Iri(t.predicate().clone()));
+                let o = store.intern(t.object());
+                (s, p, o)
+            })
+            .collect();
+        engine.set_core_budget(CoreBudgetMode::Budgeted(CoreBudget::steps(1)));
+        let starved = engine.overlay_core(&ids, store.dictionary());
+        assert!(starved.non_minimal, "exhaustion is reported, not hidden");
+        let decoded = decode_overlay(&store, &engine, &starved);
+        let union = base.union(&delta);
+        assert!(
+            decoded.iter().all(|t| union.contains(t)),
+            "sound: nothing outside the overlaid set is reported"
+        );
+        assert!(decoded.len() >= crate::core(&union).len());
+        // The same overlay under no budget folds X away and is not flagged.
+        engine.set_core_budget(CoreBudgetMode::Unlimited);
+        let full = engine.overlay_core(&ids, store.dictionary());
+        assert!(!full.non_minimal);
+        assert!(isomorphic(
+            &decode_overlay(&store, &engine, &full),
+            &crate::core(&union)
+        ));
+    }
+
+    #[test]
+    fn budget_mode_env_parsing_covers_the_conventions() {
+        // One sequential test owns both env vars (parallel tests in this
+        // binary never read them — only `from_env` does).
+        let set = |steps: Option<&str>, ms: Option<&str>| {
+            match steps {
+                Some(v) => std::env::set_var("SWDB_CORE_BUDGET", v),
+                None => std::env::remove_var("SWDB_CORE_BUDGET"),
+            }
+            match ms {
+                Some(v) => std::env::set_var("SWDB_CORE_BUDGET_MS", v),
+                None => std::env::remove_var("SWDB_CORE_BUDGET_MS"),
+            }
+            CoreBudgetMode::from_env()
+        };
+        assert_eq!(set(None, None), CoreBudgetMode::Auto);
+        assert_eq!(set(Some("auto"), None), CoreBudgetMode::Auto);
+        assert_eq!(set(Some("off"), None), CoreBudgetMode::Unlimited);
+        assert_eq!(set(Some("Unlimited"), None), CoreBudgetMode::Unlimited);
+        assert_eq!(set(Some("none"), None), CoreBudgetMode::Unlimited);
+        assert_eq!(
+            set(Some("50000"), None),
+            CoreBudgetMode::Budgeted(CoreBudget::steps(50_000))
+        );
+        assert_eq!(
+            set(Some("50000"), Some("250")),
+            CoreBudgetMode::Budgeted(CoreBudget {
+                steps: Some(50_000),
+                millis: Some(250),
+            })
+        );
+        assert_eq!(
+            set(None, Some("250")),
+            CoreBudgetMode::Budgeted(CoreBudget::millis(250))
+        );
+        assert_eq!(set(Some("garbage"), None), CoreBudgetMode::Auto);
+        set(None, None);
     }
 }

@@ -27,10 +27,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How much the stack records. Ordered: each level includes the previous.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
@@ -159,6 +160,10 @@ keyed_enum! {
         OverlayCacheMisses => "overlay_cache_misses",
         /// Premise overlay cache evictions (capacity reached).
         OverlayCacheEvictions => "overlay_cache_evictions",
+        /// Core budget slices exhausted: a retraction search ran out of
+        /// fold steps or wall time and its component (or overlay) was
+        /// published uncored — sound, but non-minimal.
+        CoreBudgetExhausted => "core_budget_exhausted",
     }
 }
 
@@ -171,6 +176,11 @@ keyed_enum! {
         LargestBlankComponent => "largest_blank_component",
         /// The configured early-warning threshold for the above.
         BlankWarnThreshold => "blank_warn_threshold",
+        /// Blank components currently published uncored after budget
+        /// exhaustion (0 when the evaluation graph is fully minimized).
+        UncoredComponents => "uncored_components",
+        /// Total triples across the currently-uncored components.
+        UncoredTriples => "uncored_triples",
     }
 }
 
@@ -505,11 +515,28 @@ impl Metrics {
                  worst case of the core refresh (Thm 3.12) — consider SWDB_BLANK_WARN"
             ));
         }
+        let degraded = DegradedSnapshot {
+            core_budget_exhausted: self.inner.counters[Counter::CoreBudgetExhausted as usize]
+                .load(Ordering::Relaxed),
+            uncored_components: self.inner.gauges[Gauge::UncoredComponents as usize]
+                .load(Ordering::Relaxed),
+            uncored_triples: self.inner.gauges[Gauge::UncoredTriples as usize]
+                .load(Ordering::Relaxed),
+        };
+        if degraded.uncored_components > 0 {
+            warnings.push(format!(
+                "degraded mode: {} blank component(s) ({} triple(s)) published uncored \
+                 after core budget exhaustion; certain answers stay sound but non-minimal \
+                 until a recore succeeds — raise SWDB_CORE_BUDGET or call refresh_degraded",
+                degraded.uncored_components, degraded.uncored_triples
+            ));
+        }
         MetricsSnapshot {
             level: self.level().name(),
             counters,
             rule_firings,
             gauges,
+            degraded,
             histograms,
             warnings,
         }
@@ -532,6 +559,110 @@ impl Drop for Span<'_> {
     }
 }
 
+/// A cooperative step/wall-clock budget for the NP-hard core searches.
+///
+/// The per-component retraction search (and the overlay core on hostile
+/// premises) degenerates to the global NP-hard search of Thm 3.12 on one
+/// giant blank component. A `Budget` bounds that tail: the solver calls
+/// [`Budget::spend`] at probe granularity (one unit per candidate visited,
+/// a few per selection round) and unwinds cooperatively as soon as it
+/// returns `false`. No threads, no interrupts — just polling at the points
+/// the search already touches.
+///
+/// Two independent limits, either optional:
+///
+/// * a **step** limit — deterministic, reproducible across hosts; and
+/// * a **deadline** — wall-clock, checked only every
+///   [`Budget::CLOCK_CHECK_INTERVAL`] spent steps so the hot path stays a
+///   couple of `Cell` operations per probe.
+///
+/// Once exhausted, a budget stays exhausted: every later `spend` returns
+/// `false` immediately, so a deep recursion unwinds without re-checking
+/// the clock. The type is deliberately `!Sync` (plain `Cell`s) — each
+/// search thread gets its own slice.
+#[derive(Debug)]
+pub struct Budget {
+    steps_left: Cell<u64>,
+    deadline: Option<Instant>,
+    until_clock_check: Cell<u64>,
+    exhausted: Cell<bool>,
+}
+
+impl Budget {
+    /// How many spent steps pass between deadline (clock) checks.
+    pub const CLOCK_CHECK_INTERVAL: u64 = 4096;
+
+    /// A budget with an optional step limit and an optional time limit
+    /// (counted from now). `Budget::new(None, None)` never exhausts.
+    pub fn new(steps: Option<u64>, time: Option<Duration>) -> Budget {
+        Budget {
+            steps_left: Cell::new(steps.unwrap_or(u64::MAX)),
+            deadline: time.map(|t| Instant::now() + t),
+            until_clock_check: Cell::new(Budget::CLOCK_CHECK_INTERVAL),
+            exhausted: Cell::new(false),
+        }
+    }
+
+    /// A pure step budget (deterministic; no clock reads at all).
+    pub fn steps(steps: u64) -> Budget {
+        Budget::new(Some(steps), None)
+    }
+
+    /// A pure wall-clock budget starting now.
+    pub fn timeout(time: Duration) -> Budget {
+        Budget::new(None, Some(time))
+    }
+
+    /// Spends `n` steps. Returns `true` while the search may continue;
+    /// the first `false` is sticky — callers unwind and report the partial
+    /// state they already hold (every applied fold is still a genuine
+    /// retraction, so partial state stays sound).
+    #[inline]
+    pub fn spend(&self, n: u64) -> bool {
+        if self.exhausted.get() {
+            return false;
+        }
+        let left = self.steps_left.get();
+        if left < n {
+            self.exhausted.set(true);
+            return false;
+        }
+        self.steps_left.set(left - n);
+        if let Some(deadline) = self.deadline {
+            let until = self.until_clock_check.get().saturating_sub(n);
+            if until == 0 {
+                self.until_clock_check.set(Budget::CLOCK_CHECK_INTERVAL);
+                if Instant::now() >= deadline {
+                    self.exhausted.set(true);
+                    return false;
+                }
+            } else {
+                self.until_clock_check.set(until);
+            }
+        }
+        true
+    }
+
+    /// `true` once any limit tripped. Callers that got `None` out of a
+    /// search use this to tell "no solution exists" from "ran out of
+    /// budget before knowing".
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted.get()
+    }
+
+    /// Steps still available (`u64::MAX` when no step limit was set).
+    pub fn steps_remaining(&self) -> u64 {
+        self.steps_left.get()
+    }
+
+    /// Trips the budget immediately (tests, or an outer layer deciding to
+    /// shed load mid-search).
+    pub fn exhaust(&self) {
+        self.exhausted.set(true);
+    }
+}
+
 /// A frozen histogram: sample count, sample sum, and the non-empty log₂
 /// buckets as `(inclusive lower bound, count)` pairs in ascending order.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -542,6 +673,26 @@ pub struct HistSnapshot {
     pub sum: u64,
     /// Non-empty buckets, ascending by lower bound.
     pub buckets: Vec<(u64, u64)>,
+}
+
+/// The degraded-mode block of a snapshot: how much of the published
+/// evaluation graph is currently sound-but-unminimized because a core
+/// budget ran out before the retraction search finished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradedSnapshot {
+    /// Budget slices exhausted since the last reset (monotonic).
+    pub core_budget_exhausted: u64,
+    /// Blank components currently published uncored.
+    pub uncored_components: u64,
+    /// Triples across those uncored components.
+    pub uncored_triples: u64,
+}
+
+impl DegradedSnapshot {
+    /// `true` when any component is currently published uncored.
+    pub fn active(&self) -> bool {
+        self.uncored_components > 0
+    }
 }
 
 /// A deterministic freeze of a [`Metrics`] handle. All maps are `BTreeMap`s
@@ -556,10 +707,13 @@ pub struct MetricsSnapshot {
     pub rule_firings: BTreeMap<String, u64>,
     /// Every gauge, including zeros.
     pub gauges: BTreeMap<&'static str, u64>,
+    /// The degraded-mode block (budget exhaustions + currently-uncored
+    /// components); all zeros when every component is fully cored.
+    pub degraded: DegradedSnapshot,
     /// Non-empty histograms (populated at `debug` level).
     pub histograms: BTreeMap<&'static str, HistSnapshot>,
-    /// Early-warning messages (currently: the largest blank component
-    /// exceeded the configured threshold at some observation point).
+    /// Early-warning messages (the largest blank component exceeded the
+    /// configured threshold, or components are published uncored).
     pub warnings: Vec<String>,
 }
 
@@ -583,6 +737,16 @@ impl MetricsSnapshot {
         );
         out.push_str("},\n  \"gauges\": {");
         push_map(&mut out, self.gauges.iter().map(|(k, v)| (*k, *v)));
+        out.push_str("},\n  \"degraded\": {");
+        push_map(
+            &mut out,
+            [
+                ("core_budget_exhausted", self.degraded.core_budget_exhausted),
+                ("uncored_components", self.degraded.uncored_components),
+                ("uncored_triples", self.degraded.uncored_triples),
+            ]
+            .into_iter(),
+        );
         out.push_str("},\n  \"histograms\": {");
         let mut first = true;
         for (key, hist) in &self.histograms {
@@ -758,6 +922,80 @@ mod tests {
         assert_eq!(MetricsLevel::parse("DEBUG"), MetricsLevel::Debug);
         assert_eq!(MetricsLevel::parse("2"), MetricsLevel::Debug);
         assert_eq!(MetricsLevel::parse("garbage"), MetricsLevel::Off);
+    }
+
+    #[test]
+    fn step_budget_exhausts_exactly_and_stays_exhausted() {
+        let b = Budget::steps(10);
+        assert!(b.spend(4));
+        assert!(b.spend(6));
+        assert_eq!(b.steps_remaining(), 0);
+        assert!(!b.is_exhausted(), "hitting zero is not yet over budget");
+        assert!(!b.spend(1), "the 11th step trips the budget");
+        assert!(b.is_exhausted());
+        assert!(!b.spend(0), "exhaustion is sticky even for free spends");
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = Budget::new(None, None);
+        for _ in 0..100_000 {
+            assert!(b.spend(17));
+        }
+        assert!(!b.is_exhausted());
+    }
+
+    #[test]
+    fn deadline_budget_trips_at_the_clock_check() {
+        let b = Budget::timeout(Duration::from_millis(0));
+        // The deadline is already past, but it is only observed every
+        // CLOCK_CHECK_INTERVAL steps.
+        let mut spent = 0u64;
+        while b.spend(1) {
+            spent += 1;
+            assert!(spent <= Budget::CLOCK_CHECK_INTERVAL, "clock never checked");
+        }
+        assert!(b.is_exhausted());
+        assert_eq!(spent, Budget::CLOCK_CHECK_INTERVAL - 1);
+    }
+
+    #[test]
+    fn explicit_exhaust_trips_the_budget() {
+        let b = Budget::steps(u64::MAX);
+        b.exhaust();
+        assert!(!b.spend(1));
+    }
+
+    #[test]
+    fn degraded_block_reports_exhaustion_and_uncored_state() {
+        let m = Metrics::new(MetricsLevel::Counters);
+        let snap = m.snapshot();
+        assert_eq!(snap.degraded, DegradedSnapshot::default());
+        assert!(!snap.degraded.active());
+        assert!(snap.to_json().contains("\"degraded\": {"));
+        assert!(snap.to_json().contains("\"core_budget_exhausted\": 0"));
+
+        m.count(Counter::CoreBudgetExhausted, 2);
+        m.gauge_set(Gauge::UncoredComponents, 1);
+        m.gauge_set(Gauge::UncoredTriples, 36);
+        let snap = m.snapshot();
+        assert_eq!(snap.degraded.core_budget_exhausted, 2);
+        assert_eq!(snap.degraded.uncored_components, 1);
+        assert_eq!(snap.degraded.uncored_triples, 36);
+        assert!(snap.degraded.active());
+        assert_eq!(snap.counter("core_budget_exhausted"), 2);
+        assert!(
+            snap.warnings.iter().any(|w| w.contains("degraded mode")),
+            "uncored components surface as a warning"
+        );
+
+        // Recore: gauges drop back to zero, the counter stays monotonic.
+        m.gauge_set(Gauge::UncoredComponents, 0);
+        m.gauge_set(Gauge::UncoredTriples, 0);
+        let snap = m.snapshot();
+        assert!(!snap.degraded.active());
+        assert!(!snap.warnings.iter().any(|w| w.contains("degraded mode")));
+        assert_eq!(snap.degraded.core_budget_exhausted, 2);
     }
 
     #[test]

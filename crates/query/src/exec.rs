@@ -630,6 +630,13 @@ pub struct Explain {
     pub bindings: u64,
     /// Triples in the materialized answer.
     pub answers: u64,
+    /// `true` when the evaluation substrate was degraded — a core-budget
+    /// exhaustion left the published evaluation graph (or the premise
+    /// overlay) a sound but possibly non-minimal superset of the true core.
+    /// Answers are still sound and complete; merge-semantics answers may
+    /// carry redundant blank triples. Set by the facade from the engine's
+    /// degradation state; always `false` for an unbudgeted engine.
+    pub non_minimal: bool,
 }
 
 impl Explain {
@@ -649,7 +656,7 @@ impl Explain {
             concat!(
                 "{{\"mechanism\": \"{}\", \"semantics\": \"{}\", \"members\": {}, ",
                 "\"patterns\": {}, \"join_order\": [{}], \"probes\": {}, ",
-                "\"bindings\": {}, \"answers\": {}}}"
+                "\"bindings\": {}, \"answers\": {}, \"non_minimal\": {}}}"
             ),
             self.mechanism,
             self.semantics,
@@ -659,6 +666,7 @@ impl Explain {
             self.probes,
             self.bindings,
             self.answers,
+            self.non_minimal,
         )
     }
 }
@@ -683,6 +691,7 @@ pub fn explain_premise_free<T: IdTarget>(
         probes: 0,
         bindings: 0,
         answers: 0,
+        non_minimal: false,
     };
     let Some(compiled) = compile_body(query.body(), dictionary) else {
         // Unknown body constant: the fast negative path runs no joins.

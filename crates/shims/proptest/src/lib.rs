@@ -9,16 +9,22 @@
 //! Semantics: each test runs `ProptestConfig::cases` deterministic cases
 //! (seeded per case index, so failures are reproducible), and a failing
 //! `prop_assert*` reports the case number and message. A failing case is
-//! **shrunk** before reporting: the runner greedily accepts the first
-//! candidate from [`Strategy::shrink`] that still fails and repeats until
-//! no candidate fails (or a fixed budget runs out), minimizing each test
+//! **shrunk** before reporting: generation produces a [`Shrinkable`] — a
+//! value paired with a lazy tree of simpler candidates, this shim's
+//! stand-in for the real crate's value trees — and the runner greedily
+//! accepts the first candidate that still fails, repeating until no
+//! candidate fails (or a fixed budget runs out), minimizing each test
 //! argument independently. Integer ranges shrink by halving toward the
-//! range start, `collection::vec` by element dropping plus element-wise
-//! shrinking; value-opaque strategies (`prop_map`, `prop_oneof!`) report
-//! the counterexample as generated, since without the real crate's value
-//! trees their output cannot be inverted. The module layout mirrors
-//! `proptest 1.x` so the shim can be swapped for the real crate without
-//! touching any caller.
+//! range start and `collection::vec` by element dropping plus
+//! element-wise shrinking; because candidates are built compositionally
+//! rather than by inverting failing values, shrinking also flows
+//! *through* `prop_map` (the source shrinks and the mapping is
+//! re-applied, so candidates stay in the mapped strategy's image) and
+//! `prop_oneof!` (the branch that produced the failure shrinks). The
+//! module layout mirrors `proptest 1.x` so the shim can be swapped for
+//! the real crate without touching any caller.
+//!
+//! [`Shrinkable`]: strategy::Shrinkable
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +34,7 @@ pub mod test_runner;
 
 /// Collection strategies (`proptest::collection`).
 pub mod collection {
-    use crate::strategy::Strategy;
+    use crate::strategy::{Shrinkable, Strategy};
     use crate::test_runner::TestRng;
     use rand::Rng;
 
@@ -80,7 +86,7 @@ pub mod collection {
 
     impl<S: Strategy> Strategy for VecStrategy<S>
     where
-        S::Value: Clone,
+        S::Value: Clone + 'static,
     {
         type Value = Vec<S::Value>;
 
@@ -125,6 +131,57 @@ pub mod collection {
             }
             out
         }
+
+        /// The same structural-then-element-wise candidates as [`shrink`],
+        /// but built over the elements' own [`Shrinkable`]s, so vectors of
+        /// mapped or union elements shrink through to their sources.
+        ///
+        /// [`shrink`]: Strategy::shrink
+        fn generate_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Self::Value> {
+            let len = if self.size.min == self.size.max {
+                self.size.min
+            } else {
+                rng.rng.gen_range(self.size.min..self.size.max + 1)
+            };
+            let elements: Vec<Shrinkable<S::Value>> = (0..len)
+                .map(|_| self.element.generate_shrinkable(rng))
+                .collect();
+            rebuild(elements, self.size.min)
+        }
+    }
+
+    /// Reassembles a vector `Shrinkable` from per-element `Shrinkable`s;
+    /// every candidate recurses so shrinking can continue from it.
+    fn rebuild<T: Clone + 'static>(elements: Vec<Shrinkable<T>>, min: usize) -> Shrinkable<Vec<T>> {
+        let value: Vec<T> = elements.iter().map(|e| e.value().clone()).collect();
+        Shrinkable::new(value, move || {
+            let mut out = Vec::new();
+            let len = elements.len();
+            if len > min {
+                let half = (len / 2).max(min);
+                if half < len {
+                    out.push(rebuild(elements[..half].to_vec(), min));
+                }
+                for at in 0..len.min(MAX_DROP_CANDIDATES) {
+                    let mut shorter = elements.clone();
+                    shorter.remove(at);
+                    out.push(rebuild(shorter, min));
+                }
+            }
+            let mut element_candidates = 0;
+            for at in 0..len {
+                if element_candidates >= MAX_ELEMENT_CANDIDATES {
+                    break;
+                }
+                for candidate in elements[at].shrink().into_iter().take(2) {
+                    let mut simpler = elements.clone();
+                    simpler[at] = candidate;
+                    out.push(rebuild(simpler, min));
+                    element_candidates += 1;
+                }
+            }
+            out
+        })
     }
 
     /// Creates a strategy for `Vec`s with lengths in `size`.
@@ -236,36 +293,37 @@ macro_rules! __proptest_impl {
                 let strategies = ( $( $strategy, )* );
                 for case in 0..config.cases {
                     let mut rng = $crate::test_runner::TestRng::for_case(case as u64);
-                    let values = {
-                        let ( $( $arg, )* ) = &strategies;
-                        ( $( $crate::strategy::Strategy::generate($arg, &mut rng), )* )
-                    };
+                    let generated =
+                        $crate::strategy::Strategy::generate_shrinkable(&strategies, &mut rng);
                     #[allow(unused_variables)]
-                    let run = $crate::__constrain(&values, |values| {
+                    let run = $crate::__constrain(generated.value(), |values| {
                         let ( $( $arg, )* ) = values;
                         $( let $arg = ::std::clone::Clone::clone($arg); )*
                         $body
                         ::std::result::Result::Ok(())
                     });
-                    if let ::std::result::Result::Err(first) = run(&values) {
+                    if let ::std::result::Result::Err(first) = run(generated.value()) {
                         // Greedy minimization: keep accepting the first
                         // shrink candidate that still fails until no
                         // candidate fails (or the budget runs out), then
-                        // report the smallest failure found.
-                        let mut smallest = values;
+                        // report the smallest failure found. Candidates
+                        // come from the Shrinkable, so mapped and union
+                        // arguments shrink through to their sources.
+                        let mut smallest = generated;
                         let mut message = first;
                         let mut steps = 0u32;
                         let mut budget = 256u32;
                         'shrinking: loop {
-                            let candidates =
-                                $crate::strategy::Strategy::shrink(&strategies, &smallest);
+                            let candidates = smallest.shrink();
                             let mut advanced = false;
                             for candidate in candidates {
                                 if budget == 0 {
                                     break 'shrinking;
                                 }
                                 budget -= 1;
-                                if let ::std::result::Result::Err(simpler) = run(&candidate) {
+                                if let ::std::result::Result::Err(simpler) =
+                                    run(candidate.value())
+                                {
                                     smallest = candidate;
                                     message = simpler;
                                     steps += 1;
@@ -425,6 +483,106 @@ mod tests {
         assert_eq!(minimal, (20, 5));
     }
 
+    /// The greedy minimization loop again, but over a [`Shrinkable`] —
+    /// the path the runner actually takes, and the only one that shrinks
+    /// through value-opaque strategies.
+    fn minimize_shrinkable<T: Clone + 'static>(
+        mut shrinkable: crate::strategy::Shrinkable<T>,
+        still_fails: impl Fn(&T) -> bool,
+    ) -> T {
+        assert!(
+            still_fails(shrinkable.value()),
+            "minimize needs a failing start"
+        );
+        loop {
+            let mut advanced = false;
+            for candidate in shrinkable.shrink() {
+                if still_fails(candidate.value()) {
+                    shrinkable = candidate;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return shrinkable.value().clone();
+            }
+        }
+    }
+
+    /// Draws from `strategy` until the predicate holds, then returns the
+    /// shrinkable — a deterministic stand-in for the runner finding a
+    /// failing case.
+    fn generate_failing<S: Strategy>(
+        strategy: &S,
+        fails: impl Fn(&S::Value) -> bool,
+    ) -> crate::strategy::Shrinkable<S::Value>
+    where
+        S::Value: Clone + 'static,
+    {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..1000 {
+            let candidate = strategy.generate_shrinkable(&mut rng);
+            if fails(candidate.value()) {
+                return candidate;
+            }
+        }
+        panic!("no failing value in 1000 draws");
+    }
+
+    #[test]
+    fn map_counterexamples_shrink_through_the_mapping() {
+        // Even numbers via prop_map; the source shrinks and the mapping is
+        // re-applied, so the failing "v >= 40" case lands exactly on the
+        // boundary and every intermediate candidate stays even.
+        let strategy = (0u32..100).prop_map(|x| x * 2);
+        let failing = generate_failing(&strategy, |v| *v >= 40);
+        for candidate in failing.shrink() {
+            assert_eq!(
+                candidate.value() % 2,
+                0,
+                "candidates must stay in the image"
+            );
+        }
+        let minimal = minimize_shrinkable(failing, |v| *v >= 40);
+        assert_eq!(minimal, 40);
+    }
+
+    #[test]
+    fn oneof_counterexamples_shrink_within_the_drawn_branch() {
+        // Only the "large" branch can fail the predicate; its shrinkable
+        // must shrink inside that branch (toward 1000), never hopping to
+        // the "small" branch or escaping either range's image.
+        let strategy = prop_oneof![
+            (0u32..100).prop_map(|x| ("small", x)),
+            (1000u32..2000).prop_map(|x| ("large", x)),
+        ];
+        let failing = generate_failing(&strategy, |(_, v)| *v >= 1000);
+        let minimal = minimize_shrinkable(failing, |(_, v)| *v >= 1000);
+        assert_eq!(minimal, ("large", 1000));
+    }
+
+    #[test]
+    fn vecs_of_mapped_elements_shrink_through_to_their_sources() {
+        // Elements are mapped (always even); structural dropping still
+        // works and surviving elements keep shrinking through the map.
+        let strategy = crate::collection::vec((0u32..50).prop_map(|x| x * 2), 0..8);
+        let failing = generate_failing(&strategy, |v| v.iter().sum::<u32>() >= 20);
+        let minimal = minimize_shrinkable(failing, |v| v.iter().sum::<u32>() >= 20);
+        assert!(minimal.iter().sum::<u32>() >= 20, "must still fail");
+        assert!(
+            minimal.iter().all(|v| v % 2 == 0),
+            "image preserved: {minimal:?}"
+        );
+        for at in 0..minimal.len() {
+            let mut dropped = minimal.clone();
+            dropped.remove(at);
+            assert!(
+                dropped.iter().sum::<u32>() < 20,
+                "a further drop would still fail: {minimal:?}"
+            );
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(4))]
 
@@ -433,6 +591,15 @@ mod tests {
         fn the_runner_reports_minimized_failures(n in 10u32..1000) {
             // Always fails (n >= 10 by construction), so the runner must
             // shrink n to the range minimum and say it minimized.
+            prop_assert!(n < 10, "n was {}", n);
+        }
+
+        #[test]
+        #[should_panic(expected = "n was 10")]
+        fn the_runner_shrinks_through_prop_map(n in (5u32..500).prop_map(|x| x * 2)) {
+            // Always fails (n >= 10 by construction). The runner must
+            // shrink the *source* to its minimum and re-apply the map,
+            // reporting exactly the image of the source's minimum.
             prop_assert!(n < 10, "n was {}", n);
         }
     }

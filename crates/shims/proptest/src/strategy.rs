@@ -9,15 +9,20 @@ use crate::test_runner::TestRng;
 /// A recipe for generating values of one type.
 ///
 /// Mirrors `proptest::strategy::Strategy`: `generate` corresponds to
-/// drawing one value from the strategy's distribution, and [`shrink`]
-/// proposes simplifications of a failing value. Unlike the real crate
-/// there is no value-tree machinery — shrinking is value-to-value, so
-/// strategies whose output cannot be inverted (`prop_map`, `prop_oneof!`)
-/// do not shrink; integer ranges (halving toward the range start) and
-/// `collection::vec` (element dropping plus element-wise shrinking) do,
-/// which is what minimizes the workspace's failing differential cases.
+/// drawing one value from the strategy's distribution, and
+/// [`generate_shrinkable`] draws the same value wrapped in a
+/// [`Shrinkable`] that knows how to simplify it. Unlike the real crate
+/// there is no full value-tree machinery, but the `Shrinkable` plays the
+/// same role: candidates are built *compositionally* — [`Map`] shrinks
+/// its source and re-applies the mapping, [`Union`] shrinks within the
+/// branch it drew, tuples and `collection::vec` shrink their parts — so
+/// shrinking flows through `prop_map` and `prop_oneof!` even though their
+/// output cannot be inverted. The value-to-value [`shrink`] remains for
+/// strategies whose candidates are a pure function of the failing value
+/// (integer ranges halve toward the range start).
 ///
 /// [`shrink`]: Strategy::shrink
+/// [`generate_shrinkable`]: Strategy::generate_shrinkable
 pub trait Strategy {
     /// The type of generated values.
     type Value;
@@ -26,12 +31,27 @@ pub trait Strategy {
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
     /// Proposes candidate simplifications of a failing value, simplest
-    /// first. The `proptest!` runner greedily accepts the first candidate
-    /// that still fails and repeats until no candidate fails (or a budget
-    /// runs out). Strategies that cannot shrink return nothing — the
-    /// default.
+    /// first. Strategies whose candidates cannot be computed from the
+    /// value alone return nothing — the default — and instead override
+    /// [`generate_shrinkable`].
+    ///
+    /// [`generate_shrinkable`]: Strategy::generate_shrinkable
     fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
         Vec::new()
+    }
+
+    /// Draws one value wrapped in a [`Shrinkable`] carrying its shrink
+    /// candidates. Consumes the RNG exactly as [`generate`] does, so both
+    /// paths see identical case sequences. The default wraps the value as
+    /// a terminal leaf; every shrinking combinator overrides this
+    /// compositionally.
+    ///
+    /// [`generate`]: Strategy::generate
+    fn generate_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Self::Value>
+    where
+        Self::Value: Clone + 'static,
+    {
+        Shrinkable::leaf(self.generate(rng))
     }
 
     /// Maps generated values through a function.
@@ -39,7 +59,93 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Map { source: self, f }
+        Map {
+            source: self,
+            f: Rc::new(f),
+        }
+    }
+}
+
+/// A generated value paired with a lazy source of simpler candidates —
+/// this shim's lightweight stand-in for the real crate's value trees.
+///
+/// Each candidate is itself a `Shrinkable`, so minimization can continue
+/// from whichever candidate the runner accepts. The `proptest!` runner
+/// greedily accepts the first candidate that still fails and repeats
+/// until no candidate fails (or its budget runs out).
+pub struct Shrinkable<T> {
+    value: T,
+    candidates: Rc<dyn Fn() -> Vec<Shrinkable<T>>>,
+}
+
+impl<T: Clone> Clone for Shrinkable<T> {
+    fn clone(&self) -> Self {
+        Shrinkable {
+            value: self.value.clone(),
+            candidates: Rc::clone(&self.candidates),
+        }
+    }
+}
+
+impl<T: 'static> Shrinkable<T> {
+    /// Wraps a value with a custom candidate producer.
+    pub fn new(value: T, candidates: impl Fn() -> Vec<Shrinkable<T>> + 'static) -> Self {
+        Shrinkable {
+            value,
+            candidates: Rc::new(candidates),
+        }
+    }
+
+    /// Wraps a value that cannot shrink.
+    pub fn leaf(value: T) -> Self {
+        Shrinkable::new(value, Vec::new)
+    }
+
+    /// The generated (or shrunk-to) value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Proposes simplifications of the value, simplest first, each ready
+    /// to shrink further.
+    pub fn shrink(&self) -> Vec<Shrinkable<T>> {
+        (self.candidates)()
+    }
+
+    /// Lifts a strategy's value-to-value [`Strategy::shrink`] into a
+    /// `Shrinkable`, re-wrapping every candidate recursively so each can
+    /// shrink again.
+    pub fn from_strategy<S>(strategy: S, value: T) -> Self
+    where
+        T: Clone,
+        S: Strategy<Value = T> + Clone + 'static,
+    {
+        let seed = value.clone();
+        Shrinkable::new(value, move || {
+            strategy
+                .shrink(&seed)
+                .into_iter()
+                .map(|candidate| Shrinkable::from_strategy(strategy.clone(), candidate))
+                .collect()
+        })
+    }
+
+    /// Maps the value through `f`, shrinking the *source* and re-applying
+    /// `f` to every candidate — the mechanism behind shrink-through-
+    /// `prop_map`: shrunk values stay inside the mapped strategy's image.
+    pub fn map<U: 'static>(self, f: Rc<dyn Fn(T) -> U>) -> Shrinkable<U>
+    where
+        T: Clone,
+    {
+        let value = f(self.value.clone());
+        let source = self;
+        Shrinkable::new(value, move || {
+            source
+                .shrink()
+                .into_iter()
+                .map(|candidate| candidate.map(Rc::clone(&f)))
+                .collect()
+        })
     }
 }
 
@@ -52,6 +158,13 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 
     fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
         (**self).shrink(value)
+    }
+
+    fn generate_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Self::Value>
+    where
+        Self::Value: Clone + 'static,
+    {
+        (**self).generate_shrinkable(rng)
     }
 }
 
@@ -74,18 +187,32 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-/// The result of [`Strategy::prop_map`].
+/// The result of [`Strategy::prop_map`]. The mapping is reference counted
+/// so the [`Shrinkable`] candidates it yields can re-apply it lazily.
 #[derive(Clone, Debug)]
 pub struct Map<S, F> {
     source: S,
-    f: F,
+    f: Rc<F>,
 }
 
-impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+impl<S: Strategy, T, F: Fn(S::Value) -> T + 'static> Strategy for Map<S, F>
+where
+    S::Value: Clone + 'static,
+{
     type Value = T;
 
     fn generate(&self, rng: &mut TestRng) -> T {
         (self.f)(self.source.generate(rng))
+    }
+
+    /// Shrink-through: generates the *source* shrinkably and re-applies
+    /// the mapping to every candidate.
+    fn generate_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<T>
+    where
+        Self::Value: Clone + 'static,
+    {
+        let f: Rc<dyn Fn(S::Value) -> T> = self.f.clone();
+        self.source.generate_shrinkable(rng).map(f)
     }
 }
 
@@ -131,12 +258,8 @@ impl<V> Union<V> {
         self.total_weight += weight;
         self
     }
-}
 
-impl<V> Strategy for Union<V> {
-    type Value = V;
-
-    fn generate(&self, rng: &mut TestRng) -> V {
+    fn pick(&self, rng: &mut TestRng) -> &dyn Strategy<Value = V> {
         assert!(
             !self.options.is_empty(),
             "prop_oneof! needs at least one branch"
@@ -144,11 +267,29 @@ impl<V> Strategy for Union<V> {
         let mut roll = rng.rng.gen_range(0..self.total_weight);
         for (weight, option) in &self.options {
             if roll < *weight {
-                return option.generate(rng);
+                return option.as_ref();
             }
             roll -= weight;
         }
         unreachable!("weights cover the roll");
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.pick(rng).generate(rng)
+    }
+
+    /// Draws a branch exactly as `generate` does, then delegates to that
+    /// branch — so a `prop_oneof!` counterexample shrinks within the
+    /// branch that actually produced it.
+    fn generate_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<V>
+    where
+        Self::Value: Clone + 'static,
+    {
+        self.pick(rng).generate_shrinkable(rng)
     }
 }
 
@@ -179,6 +320,10 @@ macro_rules! impl_range_strategy {
                 }
                 out
             }
+
+            fn generate_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<$t> {
+                Shrinkable::from_strategy(self.clone(), self.generate(rng))
+            }
         }
     )*};
 }
@@ -189,7 +334,7 @@ macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+)
         where
-            $($name::Value: Clone,)+
+            $($name::Value: Clone + 'static,)+
         {
             type Value = ($($name::Value,)+);
 
@@ -217,6 +362,38 @@ macro_rules! impl_tuple_strategy {
                 }
                 impl_tuple_strategy!(@coords coordinate; $($name),+);
                 out
+            }
+
+            /// Coordinate-wise shrink through each coordinate's own
+            /// [`Shrinkable`], preserving shrink-through for mapped and
+            /// union coordinates.
+            #[allow(non_snake_case)]
+            fn generate_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Self::Value> {
+                #[allow(non_snake_case)]
+                fn rebuild<$($name: Clone + 'static),+>(
+                    parts: ($(Shrinkable<$name>,)+),
+                ) -> Shrinkable<($($name,)+)> {
+                    let value = {
+                        let ($($name,)+) = &parts;
+                        ($($name.value().clone(),)+)
+                    };
+                    Shrinkable::new(value, move || {
+                        let mut out = Vec::new();
+                        macro_rules! coordinate {
+                            ($i:tt) => {
+                                for candidate in parts.$i.shrink() {
+                                    let mut next = parts.clone();
+                                    next.$i = candidate;
+                                    out.push(rebuild(next));
+                                }
+                            };
+                        }
+                        impl_tuple_strategy!(@coords coordinate; $($name),+);
+                        out
+                    })
+                }
+                let ($($name,)+) = self;
+                rebuild(($($name.generate_shrinkable(rng),)+))
             }
         }
     };
