@@ -1,0 +1,311 @@
+//! E23 — durability: snapshot write cost, WAL append overhead, and
+//! recovery versus cold rebuild.
+//!
+//! The workload is the ~10k-triple university graph (RDFS schema plus
+//! instances, so the maintained closure and the evaluation engine carry
+//! real inference work). Three questions, each answered against the same
+//! database image:
+//!
+//! 1. **What does a snapshot cost?** Time and size of one full rotation
+//!    (`snapshot_now`) of the loaded database.
+//! 2. **What does the WAL cost per mutation?** The same insert sequence
+//!    timed durable (append + fsync per commit) and in-memory; the
+//!    difference is the durability tax.
+//! 3. **What does recovery buy?** Reopening from a snapshot (pure
+//!    deserialization) and from a snapshot + 100-record WAL suffix
+//!    (incremental replay), against the cold rebuild that re-inserts the
+//!    graph and re-materializes the closure from scratch. The acceptance
+//!    criterion — recovery beats the cold rebuild — is asserted
+//!    unconditionally, and the replayed-delta counter pins that the WAL
+//!    suffix went through the incremental engines rather than a rebuild.
+//!
+//! Results land on stdout and in `BENCH_e23.json`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swdb_bench::{json_prologue, metrics_block, quick, report_row};
+use swdb_core::durable::StdIo;
+use swdb_core::{Metrics, MetricsLevel, SemanticWebDatabase, Semantics};
+use swdb_model::triple;
+use swdb_workloads::university::persons_query;
+use swdb_workloads::{university, UniversityConfig};
+
+/// ~10k triples at ~58 triples per department.
+const DEPARTMENTS: usize = 175;
+/// Mutations in the replayed WAL suffix.
+const SUFFIX_RECORDS: usize = 100;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("swdb-e23-{tag}-{}", std::process::id()))
+}
+
+fn suffix_triple(i: usize) -> swdb_model::Triple {
+    triple(
+        &format!("ex:suffix{i}"),
+        "ex:touches",
+        &format!("ex:suffix{}", i + 1),
+    )
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn bench(c: &mut Criterion) {
+    let uni = university(
+        &UniversityConfig {
+            departments: DEPARTMENTS,
+            ..UniversityConfig::default()
+        },
+        42,
+    );
+    let q = persons_query();
+
+    // --- cold rebuild baseline: insert + closure + first answer ----------
+    let t0 = Instant::now();
+    let mut cold = SemanticWebDatabase::new();
+    cold.insert_graph(&uni);
+    let cold_answers = cold.answer(&q, Semantics::Union).len();
+    let cold_rebuild_ms = ms(t0);
+    let triples = cold.len();
+    let closure_triples = cold.closure().len();
+    report_row(
+        "E23",
+        &format!("cold_rebuild triples={triples}"),
+        &[
+            ("build_ms", format!("{cold_rebuild_ms:.1}")),
+            ("closure", closure_triples.to_string()),
+        ],
+    );
+
+    // --- snapshot write ---------------------------------------------------
+    let dir = scratch_dir("main");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = cold;
+    db.set_metrics_level(MetricsLevel::Counters);
+    db.persist_to(&dir).expect("attach durability");
+    let t0 = Instant::now();
+    db.snapshot_now().expect("rotate");
+    let snapshot_write_ms = ms(t0);
+    let snapshot_bytes = std::fs::read_dir(&dir)
+        .expect("data dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+        .map(|e| e.metadata().map(|m| m.len()).unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    report_row(
+        "E23",
+        "snapshot_write",
+        &[
+            ("write_ms", format!("{snapshot_write_ms:.1}")),
+            ("bytes", snapshot_bytes.to_string()),
+        ],
+    );
+
+    // --- WAL append overhead ----------------------------------------------
+    let t0 = Instant::now();
+    for i in 0..SUFFIX_RECORDS {
+        db.insert(suffix_triple(i));
+    }
+    let durable_insert_ms = ms(t0);
+    assert!(db.is_durable(), "no commit may have failed");
+    // The in-memory baseline: the same image and the same inserts, no WAL.
+    let mut detached = SemanticWebDatabase::new();
+    detached.insert_graph(&uni);
+    let _ = detached.answer(&q, Semantics::Union);
+    let t0 = Instant::now();
+    for i in 0..SUFFIX_RECORDS {
+        detached.insert(suffix_triple(i));
+    }
+    let memory_insert_ms = ms(t0);
+    let per_commit_overhead_us =
+        (durable_insert_ms - memory_insert_ms) * 1e3 / SUFFIX_RECORDS as f64;
+    report_row(
+        "E23",
+        &format!("wal_append n={SUFFIX_RECORDS}"),
+        &[
+            ("durable_ms", format!("{durable_insert_ms:.1}")),
+            ("memory_ms", format!("{memory_insert_ms:.1}")),
+            (
+                "overhead_us_per_commit",
+                format!("{per_commit_overhead_us:.0}"),
+            ),
+        ],
+    );
+    let wal_metrics = db.metrics_snapshot();
+    let expected_len = db.len();
+    drop(db);
+
+    // --- recovery: snapshot + WAL suffix vs cold rebuild -------------------
+    let metrics = Metrics::new(MetricsLevel::Counters);
+    let t0 = Instant::now();
+    let recovered =
+        SemanticWebDatabase::open_with_io(&dir, Arc::new(StdIo), metrics.clone()).expect("recover");
+    let recovery_suffix_ms = ms(t0);
+    assert_eq!(recovered.len(), expected_len);
+    let replayed = metrics.snapshot().counter("recovery_replayed_deltas");
+    assert_eq!(
+        replayed, SUFFIX_RECORDS as u64,
+        "the suffix must replay through the incremental engines"
+    );
+    drop(recovered);
+
+    // Rotate the suffix into a snapshot, then time a snapshot-only open.
+    let mut db = SemanticWebDatabase::open(&dir).expect("reopen to rotate");
+    let _ = db.answer(&q, Semantics::Union);
+    db.snapshot_now().expect("rotate suffix away");
+    drop(db);
+    let metrics = Metrics::new(MetricsLevel::Counters);
+    let t0 = Instant::now();
+    let recovered = SemanticWebDatabase::open_with_io(&dir, Arc::new(StdIo), metrics.clone())
+        .expect("snapshot-only recover");
+    let recovery_snapshot_ms = ms(t0);
+    assert_eq!(recovered.len(), expected_len);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("recovery_replayed_deltas"), 0);
+    assert_eq!(snap.counter("reason_rounds"), 0, "no closure recompute");
+    assert_eq!(
+        snap.counter("core_retraction_searches"),
+        0,
+        "no core search"
+    );
+    let mut recovered = recovered;
+    let recovered_answers = recovered.answer(&q, Semantics::Union).len();
+    assert_eq!(recovered_answers, cold_answers);
+    drop(recovered);
+
+    let snapshot_speedup = cold_rebuild_ms / recovery_snapshot_ms;
+    let suffix_speedup = cold_rebuild_ms / recovery_suffix_ms;
+    assert!(
+        recovery_snapshot_ms < cold_rebuild_ms,
+        "snapshot recovery ({recovery_snapshot_ms:.1} ms) must beat the cold \
+         rebuild ({cold_rebuild_ms:.1} ms)"
+    );
+    assert!(
+        recovery_suffix_ms < cold_rebuild_ms,
+        "WAL-suffix recovery ({recovery_suffix_ms:.1} ms) must beat the cold \
+         rebuild ({cold_rebuild_ms:.1} ms)"
+    );
+    report_row(
+        "E23",
+        "recovery",
+        &[
+            ("snapshot_ms", format!("{recovery_snapshot_ms:.1}")),
+            ("wal_suffix_ms", format!("{recovery_suffix_ms:.1}")),
+            ("cold_rebuild_ms", format!("{cold_rebuild_ms:.1}")),
+            ("snapshot_speedup", format!("{snapshot_speedup:.1}x")),
+            ("suffix_speedup", format!("{suffix_speedup:.1}x")),
+        ],
+    );
+
+    // --- criterion timings on the cheap, representative operations --------
+    let mut group = c.benchmark_group("e23_durability");
+    let small_dir = scratch_dir("criterion");
+    let _ = std::fs::remove_dir_all(&small_dir);
+    let mut durable = SemanticWebDatabase::new();
+    durable
+        .persist_to(&small_dir)
+        .expect("attach small durable db");
+    let mut i = 0usize;
+    group.bench_function("wal_commit/insert_remove_cycle", |b| {
+        b.iter(|| {
+            let t = suffix_triple(i);
+            i += 1;
+            durable.insert(t.clone());
+            durable.remove(&t);
+        })
+    });
+    group.bench_function("snapshot_rotate/empty_db", |b| {
+        b.iter(|| durable.snapshot_now().expect("rotate"))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&small_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    write_json(
+        triples,
+        closure_triples,
+        snapshot_write_ms,
+        snapshot_bytes,
+        durable_insert_ms,
+        memory_insert_ms,
+        per_commit_overhead_us,
+        recovery_snapshot_ms,
+        recovery_suffix_ms,
+        cold_rebuild_ms,
+        &wal_metrics,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    triples: usize,
+    closure_triples: usize,
+    snapshot_write_ms: f64,
+    snapshot_bytes: u64,
+    durable_insert_ms: f64,
+    memory_insert_ms: f64,
+    per_commit_overhead_us: f64,
+    recovery_snapshot_ms: f64,
+    recovery_suffix_ms: f64,
+    cold_rebuild_ms: f64,
+    metrics_json: &str,
+) {
+    let mut out = json_prologue("e23_durability");
+    out.push_str(
+        "  \"acceptance\": \"recovery from a snapshot (pure deserialization, zero reason rounds, zero core searches) and from a snapshot plus a 100-record WAL suffix (incremental replay) both beat the cold rebuild that re-materializes the closure from scratch\",\n",
+    );
+    out.push_str("  \"mode\": \"release, university workload, one shot per point\",\n");
+    out.push_str(&format!("  \"triples\": {triples},\n"));
+    out.push_str(&format!("  \"closure_triples\": {closure_triples},\n"));
+    out.push_str(&format!("  \"wal_suffix_records\": {SUFFIX_RECORDS},\n"));
+    out.push_str("  \"points\": {\n");
+    out.push_str(&format!(
+        "    \"snapshot_write_ms\": {snapshot_write_ms:.1},\n"
+    ));
+    out.push_str(&format!("    \"snapshot_bytes\": {snapshot_bytes},\n"));
+    out.push_str(&format!(
+        "    \"wal_durable_insert_ms\": {durable_insert_ms:.1},\n"
+    ));
+    out.push_str(&format!(
+        "    \"wal_memory_insert_ms\": {memory_insert_ms:.1},\n"
+    ));
+    out.push_str(&format!(
+        "    \"wal_overhead_us_per_commit\": {per_commit_overhead_us:.0},\n"
+    ));
+    out.push_str(&format!(
+        "    \"recovery_snapshot_ms\": {recovery_snapshot_ms:.1},\n"
+    ));
+    out.push_str(&format!(
+        "    \"recovery_wal_suffix_ms\": {recovery_suffix_ms:.1},\n"
+    ));
+    out.push_str(&format!("    \"cold_rebuild_ms\": {cold_rebuild_ms:.1},\n"));
+    out.push_str(&format!(
+        "    \"snapshot_recovery_speedup\": {:.1},\n",
+        cold_rebuild_ms / recovery_snapshot_ms
+    ));
+    out.push_str(&format!(
+        "    \"wal_suffix_recovery_speedup\": {:.1}\n",
+        cold_rebuild_ms / recovery_suffix_ms
+    ));
+    out.push_str("  },\n");
+    out.push_str(&metrics_block(metrics_json));
+    out.push_str("\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e23.json");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("could not write BENCH_e23.json: {e}");
+    } else {
+        println!("[E23] results recorded in BENCH_e23.json");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

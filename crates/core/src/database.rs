@@ -117,9 +117,17 @@
 //! budgets only components over the oversized-blank warning threshold, so
 //! benign workloads are bit-identical to the unbudgeted engine.
 
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use swdb_durable::{
+    Durability, Io, SnapshotPayload, StdIo, WalRecord, DEFAULT_WAL_COMPACT_THRESHOLD,
+};
 use swdb_model::{BlankNode, Graph, Term, Triple};
-use swdb_normal::{CoreBudgetMode, EvalOverlay, IdCoreEngine};
-use swdb_obs::{Counter, Hist, Metrics, MetricsLevel};
+use swdb_normal::{CoreBudget, CoreBudgetMode, EvalOverlay, IdCoreEngine};
+use swdb_obs::{Counter, Gauge, Hist, Metrics, MetricsLevel};
 use swdb_query::{Explain, NormalizedDatabase, Query, Semantics};
 use swdb_reason::{ClosureDelta, MaterializedStore};
 use swdb_store::{Dictionary, GraphStats, IdIndex, IdTriple};
@@ -167,9 +175,69 @@ fn default_threads() -> usize {
     }
 }
 
+/// The WAL compaction threshold: `SWDB_WAL_COMPACT` (records; `0` disables
+/// auto-compaction), else [`DEFAULT_WAL_COMPACT_THRESHOLD`].
+fn wal_compact_threshold() -> u64 {
+    std::env::var("SWDB_WAL_COMPACT")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_WAL_COMPACT_THRESHOLD)
+}
+
+/// Wire encoding of the entailment regime (snapshot + WAL records).
+fn encode_regime(regime: EntailmentRegime) -> u8 {
+    match regime {
+        EntailmentRegime::Simple => 0,
+        EntailmentRegime::Rdfs => 1,
+    }
+}
+
+fn decode_regime(wire: u8) -> EntailmentRegime {
+    if wire == 0 {
+        EntailmentRegime::Simple
+    } else {
+        EntailmentRegime::Rdfs
+    }
+}
+
+/// Wire encoding of the core budget: `(mode, steps, millis)` with
+/// `u64::MAX` standing in for "no limit".
+fn encode_budget(mode: CoreBudgetMode) -> (u8, u64, u64) {
+    match mode {
+        CoreBudgetMode::Unlimited => (0, u64::MAX, u64::MAX),
+        CoreBudgetMode::Budgeted(b) => {
+            (1, b.steps.unwrap_or(u64::MAX), b.millis.unwrap_or(u64::MAX))
+        }
+        CoreBudgetMode::Auto => (2, u64::MAX, u64::MAX),
+    }
+}
+
+fn decode_budget(mode: u8, steps: u64, millis: u64) -> CoreBudgetMode {
+    match mode {
+        0 => CoreBudgetMode::Unlimited,
+        1 => CoreBudgetMode::Budgeted(CoreBudget {
+            steps: (steps != u64::MAX).then_some(steps),
+            millis: (millis != u64::MAX).then_some(millis),
+        }),
+        _ => CoreBudgetMode::Auto,
+    }
+}
+
+/// A WAL record whose N-Triples payload failed to parse during recovery —
+/// possible only via outside interference, since the payload passed its CRC.
+fn replay_parse_error(e: swdb_store::ParseError) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!(
+            "WAL replay: record payload is not valid N-Triples (line {}: {})",
+            e.line, e.message
+        ),
+    )
+}
+
 /// A semantic-web database: an RDF graph with an entailment regime and the
 /// derived structures needed to answer queries.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct SemanticWebDatabase {
     graph: Graph,
     regime: EntailmentRegime,
@@ -208,12 +276,81 @@ pub struct SemanticWebDatabase {
     /// the query executor. Level defaults from `SWDB_METRICS`
     /// (off/counters/debug) and is `Off` — near-zero cost — unless set.
     metrics: Metrics,
+    /// The attached crash-safe durability layer (`swdb-durable`): snapshots
+    /// plus a write-ahead log under a data directory. `None` — the default
+    /// unless `SWDB_DATA_DIR` is set or [`SemanticWebDatabase::open`] /
+    /// [`SemanticWebDatabase::persist_to`] was used — keeps the database
+    /// purely in memory. The discipline on any IO error is **fail-stop**:
+    /// the layer detaches (recorded in
+    /// [`SemanticWebDatabase::durability_error`]) and the in-memory
+    /// database keeps working; the data directory is left in a state the
+    /// next `open` recovers to the last durably-acknowledged mutation.
+    durability: Option<Durability>,
+    /// Why the durability layer detached, if it did (fail-stop record).
+    durability_error: Option<String>,
 }
+
+/// Sequence number making `SWDB_DATA_DIR` subdirectories unique within one
+/// process (combined with the pid for uniqueness across processes).
+static DATA_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl Default for SemanticWebDatabase {
     fn default() -> Self {
+        let mut db = SemanticWebDatabase::detached_with_metrics(Metrics::from_env());
+        // Opt-in ambient durability: with SWDB_DATA_DIR set, every database
+        // persists into its own fresh subdirectory. Attachment failure is
+        // deliberately silent here (a default constructor cannot return
+        // `Result`); use `open`/`persist_to` for checked attachment.
+        if let Ok(root) = std::env::var("SWDB_DATA_DIR") {
+            if !root.trim().is_empty() {
+                let seq = DATA_DIR_SEQ.fetch_add(1, Ordering::SeqCst);
+                let dir = PathBuf::from(root).join(format!("db-{}-{seq}", std::process::id()));
+                if let Ok((durability, _)) = Durability::open(
+                    &dir,
+                    Arc::new(StdIo),
+                    db.metrics.clone(),
+                    wal_compact_threshold(),
+                ) {
+                    db.durability = Some(durability);
+                }
+            }
+        }
+        db
+    }
+}
+
+impl Clone for SemanticWebDatabase {
+    /// Clones the in-memory database **without** the durability layer: two
+    /// handles appending to one WAL would interleave their records into a
+    /// history neither produced, so the clone starts detached (attach its
+    /// own directory with [`SemanticWebDatabase::persist_to`]).
+    fn clone(&self) -> Self {
+        SemanticWebDatabase {
+            graph: self.graph.clone(),
+            regime: self.regime,
+            reasoner: self.reasoner.clone(),
+            evaluation: self.evaluation.clone(),
+            premise_cache: self.premise_cache.clone(),
+            asserted_core: self.asserted_core.clone(),
+            threads: self.threads,
+            core_budget: self.core_budget,
+            metrics: self.metrics.clone(),
+            durability: None,
+            durability_error: None,
+        }
+    }
+}
+
+impl SemanticWebDatabase {
+    /// Creates an empty database under the RDFS regime.
+    pub fn new() -> Self {
+        SemanticWebDatabase::default()
+    }
+
+    /// The in-memory constructor behind [`Default`]: everything wired to
+    /// the given metrics handle, no durability attached.
+    fn detached_with_metrics(metrics: Metrics) -> Self {
         let threads = default_threads();
-        let metrics = Metrics::from_env();
         let mut reasoner = MaterializedStore::with_threads(threads);
         reasoner.set_metrics(metrics.clone());
         SemanticWebDatabase {
@@ -226,14 +363,246 @@ impl Default for SemanticWebDatabase {
             threads,
             core_budget: CoreBudgetMode::from_env(),
             metrics,
+            durability: None,
+            durability_error: None,
         }
     }
-}
 
-impl SemanticWebDatabase {
-    /// Creates an empty database under the RDFS regime.
-    pub fn new() -> Self {
-        SemanticWebDatabase::default()
+    // ----- durability -----
+
+    /// Opens (creating if needed) a durable database at `dir` and recovers
+    /// whatever consistent state the directory holds: the newest valid
+    /// snapshot loads by pure deserialization — dictionary, base store,
+    /// maintained closure and both core-engine states come back exactly as
+    /// exported, with **no closure fixpoint and no core search** — and the
+    /// WAL suffix committed after it replays through the same incremental
+    /// delta paths a live mutation takes (counted by the
+    /// `recovery_replayed_deltas` metric). A torn final WAL record — the
+    /// expected signature of a crash mid-commit — is detected by checksum,
+    /// truncated, and counted (`recovery_torn_tails`); everything durably
+    /// acknowledged before the crash survives.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        SemanticWebDatabase::open_with_io(dir.as_ref(), Arc::new(StdIo), Metrics::from_env())
+    }
+
+    /// [`SemanticWebDatabase::open`] with an explicit IO implementation and
+    /// metrics handle — the entry point of the fault-injection tests
+    /// ([`swdb_durable::FaultIo`]) and of callers that need to observe the
+    /// recovery counters race-free.
+    pub fn open_with_io(dir: &Path, io: Arc<dyn Io>, metrics: Metrics) -> io::Result<Self> {
+        let span = metrics.span(Hist::SpanRecoveryNs);
+        let (durability, recovered) =
+            Durability::open(dir, io, metrics.clone(), wal_compact_threshold())?;
+        let mut db = SemanticWebDatabase::detached_with_metrics(metrics.clone());
+        if let Some(snapshot) = recovered.snapshot.as_ref() {
+            db.restore_from_snapshot(snapshot);
+        }
+        // Replay the WAL suffix through the live mutation paths. The
+        // durability field is still `None` here, so nothing gets re-logged.
+        let replayed = recovered.wal.len() as u64;
+        for record in &recovered.wal {
+            db.replay(record)?;
+        }
+        db.metrics.count(Counter::RecoveryReplayedDeltas, replayed);
+        db.durability = Some(durability);
+        drop(span);
+        Ok(db)
+    }
+
+    /// Attaches durability to an in-memory database: opens `dir`, writes
+    /// the **current** state as a snapshot (replacing whatever generation
+    /// the directory held), and logs every subsequent mutation to the WAL.
+    /// The prior durability attachment of this value, if any, is replaced.
+    pub fn persist_to(&mut self, dir: impl AsRef<Path>) -> io::Result<()> {
+        self.persist_to_with_io(dir.as_ref(), Arc::new(StdIo))
+    }
+
+    /// [`SemanticWebDatabase::persist_to`] with an explicit IO
+    /// implementation (fault-injection entry point).
+    pub fn persist_to_with_io(&mut self, dir: &Path, io: Arc<dyn Io>) -> io::Result<()> {
+        let (mut durability, _prior) =
+            Durability::open(dir, io, self.metrics.clone(), wal_compact_threshold())?;
+        durability.rotate(&self.snapshot_payload())?;
+        self.durability = Some(durability);
+        self.durability_error = None;
+        Ok(())
+    }
+
+    /// Rotates now: writes the current state as a new snapshot generation
+    /// and truncates the WAL (crash-safe; see [`swdb_durable`] for the
+    /// write ordering). Returns `Ok(false)` when no durability layer is
+    /// attached. On error the layer detaches (fail-stop) — the directory
+    /// still recovers to its pre-rotation state.
+    pub fn snapshot_now(&mut self) -> io::Result<bool> {
+        if self.durability.is_none() {
+            return Ok(false);
+        }
+        let payload = self.snapshot_payload();
+        match self
+            .durability
+            .as_mut()
+            .expect("checked above")
+            .rotate(&payload)
+        {
+            Ok(()) => Ok(true),
+            Err(e) => {
+                self.detach_durability(format!("snapshot rotation failed ({e})"));
+                Err(e)
+            }
+        }
+    }
+
+    /// The data directory mutations are being persisted into, if any.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir())
+    }
+
+    /// `true` while a durability layer is attached and healthy.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Why the durability layer detached, if it fail-stopped on an IO
+    /// error. `None` while healthy (or never attached).
+    pub fn durability_error(&self) -> Option<&str> {
+        self.durability_error.as_deref()
+    }
+
+    /// Live records in the current WAL generation (0 when detached).
+    pub fn wal_records(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.wal_records())
+    }
+
+    /// Exports the complete durable image of the current state: regime,
+    /// budget, the dictionary in id order, base + closure triples, and the
+    /// exported state of both core engines (including per-component
+    /// `uncored` flags, so degraded mode survives a reopen exactly).
+    fn snapshot_payload(&self) -> SnapshotPayload {
+        let store = self.reasoner.store();
+        let dictionary = store.dictionary();
+        let (budget_mode, budget_steps, budget_millis) = encode_budget(self.core_budget);
+        SnapshotPayload {
+            regime: encode_regime(self.regime),
+            budget_mode,
+            budget_steps,
+            budget_millis,
+            terms: dictionary.iter().map(|(_, t)| t.clone()).collect(),
+            base: store.iter_ids().collect(),
+            closure: self.reasoner.closure_index().iter().collect(),
+            evaluation: self
+                .evaluation
+                .as_ref()
+                .map(|e| e.export_state(dictionary))
+                .into_iter()
+                .collect(),
+            asserted_core: self
+                .asserted_core
+                .as_ref()
+                .map(|e| e.export_state(dictionary))
+                .into_iter()
+                .collect(),
+        }
+    }
+
+    /// Rebuilds every maintained structure from a decoded snapshot — pure
+    /// deserialization: the dictionary replays in id order (reproducing the
+    /// exact id assignment), the closure is adopted without rule
+    /// propagation, and the core engines restore from their exported
+    /// component states without any retraction search.
+    fn restore_from_snapshot(&mut self, snapshot: &SnapshotPayload) {
+        self.regime = decode_regime(snapshot.regime);
+        self.core_budget = decode_budget(
+            snapshot.budget_mode,
+            snapshot.budget_steps,
+            snapshot.budget_millis,
+        );
+        let mut reasoner =
+            MaterializedStore::restore(&snapshot.terms, &snapshot.base, &snapshot.closure);
+        reasoner.set_threads(self.threads);
+        reasoner.set_metrics(self.metrics.clone());
+        self.reasoner = reasoner;
+        self.graph = self.reasoner.store().to_graph();
+        let dictionary = self.reasoner.store().dictionary();
+        self.evaluation = snapshot.evaluation.first().map(|state| {
+            IdCoreEngine::from_state(state, dictionary, self.metrics.clone(), self.core_budget)
+        });
+        self.asserted_core = snapshot.asserted_core.first().map(|state| {
+            IdCoreEngine::from_state(state, dictionary, self.metrics.clone(), self.core_budget)
+        });
+        self.premise_cache.clear();
+    }
+
+    /// Re-applies one WAL record through the live mutation paths (the
+    /// incremental engines absorb each delta exactly as the original run's
+    /// did). Only called while durability is detached, so nothing re-logs.
+    fn replay(&mut self, record: &WalRecord) -> io::Result<()> {
+        match record {
+            WalRecord::InsertGraph(text) => {
+                let graph = swdb_store::parse(text).map_err(replay_parse_error)?;
+                self.insert_graph(&graph);
+            }
+            WalRecord::RemoveGraph(text) => {
+                let graph = swdb_store::parse(text).map_err(replay_parse_error)?;
+                for triple in graph.iter() {
+                    self.remove(triple);
+                }
+            }
+            WalRecord::SetRegime(wire) => self.set_regime(decode_regime(*wire)),
+            WalRecord::SetBudget {
+                mode,
+                steps,
+                millis,
+            } => {
+                self.set_core_budget(decode_budget(*mode, *steps, *millis));
+            }
+            WalRecord::RefreshDegraded => {
+                self.refresh_degraded();
+            }
+        }
+        Ok(())
+    }
+
+    /// Durably commits one mutation's records (a single append + fsync),
+    /// then rotates if the WAL has outgrown the compaction threshold. Any
+    /// IO error fail-stops the layer: it detaches, the error is recorded,
+    /// and the in-memory database continues.
+    fn log_wal(&mut self, records: &[WalRecord]) {
+        let Some(durability) = self.durability.as_mut() else {
+            return;
+        };
+        if let Err(e) = durability.commit(records) {
+            self.detach_durability(format!("WAL commit failed ({e})"));
+            return;
+        }
+        if self
+            .durability
+            .as_ref()
+            .is_some_and(|d| d.needs_compaction())
+        {
+            let payload = self.snapshot_payload();
+            if let Err(e) = self
+                .durability
+                .as_mut()
+                .expect("checked above")
+                .rotate(&payload)
+            {
+                self.detach_durability(format!("WAL compaction rotation failed ({e})"));
+            }
+        }
+    }
+
+    /// The fail-stop transition: drop the layer, record why, and zero the
+    /// compaction gauge so the metrics warning stops firing for a WAL
+    /// nobody appends to anymore.
+    fn detach_durability(&mut self, why: String) {
+        self.durability = None;
+        self.durability_error = Some(format!(
+            "{why}; durability detached — this database continues in memory only, \
+             and the data directory recovers to its last durable state on the \
+             next open"
+        ));
+        self.metrics.gauge_set(Gauge::WalCompactThreshold, 0);
+        self.metrics.gauge_set(Gauge::WalLiveRecords, 0);
     }
 
     /// Sets the worker-thread ceiling for the write path (clamped to at
@@ -279,6 +648,14 @@ impl SemanticWebDatabase {
         }
         if let Some(engine) = self.asserted_core.as_mut() {
             engine.set_core_budget(mode);
+        }
+        if self.durability.is_some() {
+            let (mode, steps, millis) = encode_budget(mode);
+            self.log_wal(&[WalRecord::SetBudget {
+                mode,
+                steps,
+                millis,
+            }]);
         }
     }
 
@@ -336,6 +713,13 @@ impl SemanticWebDatabase {
         }
         if let Some(engine) = self.asserted_core.as_mut() {
             recovered &= engine.recore_uncored(dictionary);
+        }
+        if self.durability.is_some() {
+            // Logged so a replay repeats the retry at the same point in the
+            // mutation sequence: under a step-count budget that makes the
+            // recovered degraded flags deterministic (wall-clock budgets
+            // remain inherently run-dependent).
+            self.log_wal(&[WalRecord::RefreshDegraded]);
         }
         recovered
     }
@@ -406,6 +790,9 @@ impl SemanticWebDatabase {
             self.regime = regime;
             self.evaluation = None;
             self.premise_cache.clear();
+            if self.durability.is_some() {
+                self.log_wal(&[WalRecord::SetRegime(encode_regime(regime))]);
+            }
         }
     }
 
@@ -433,6 +820,10 @@ impl SemanticWebDatabase {
         if added {
             let delta = self.reasoner.insert_with_delta(&triple);
             self.feed_delta(&delta, false);
+            if self.durability.is_some() {
+                let text = swdb_store::serialize(&std::iter::once(triple).collect());
+                self.log_wal(&[WalRecord::InsertGraph(text)]);
+            }
         }
         added
     }
@@ -445,6 +836,10 @@ impl SemanticWebDatabase {
         if removed {
             let delta = self.reasoner.remove_with_delta(triple);
             self.feed_delta(&delta, true);
+            if self.durability.is_some() {
+                let text = swdb_store::serialize(&std::iter::once(triple.clone()).collect());
+                self.log_wal(&[WalRecord::RemoveGraph(text)]);
+            }
         }
         removed
     }
@@ -460,6 +855,9 @@ impl SemanticWebDatabase {
         }
         let delta = self.reasoner.insert_graph_with_delta(graph);
         self.feed_delta(&delta, false);
+        if self.durability.is_some() && !graph.is_empty() {
+            self.log_wal(&[WalRecord::InsertGraph(swdb_store::serialize(graph))]);
+        }
     }
 
     /// Routes one mutation's closure delta into the maintained engines.
@@ -600,6 +998,10 @@ impl SemanticWebDatabase {
             self.feed_delta(&delta, true);
         }
         self.graph = core;
+        if self.durability.is_some() && !dropped.is_empty() {
+            let text = swdb_store::serialize(&dropped.iter().cloned().collect());
+            self.log_wal(&[WalRecord::RemoveGraph(text)]);
+        }
         before - self.graph.len()
     }
 

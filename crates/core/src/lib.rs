@@ -18,6 +18,7 @@
 //! | Incremental closure maintenance over id-triples | [`reason`] |
 //! | Classical graph substrate for the hardness reductions | [`graphs`] |
 //! | Metrics, spans, early warnings (engineering layer) | [`obs`] |
+//! | Snapshots, WAL, crash recovery (engineering layer) | [`durable`] |
 //!
 //! ## Observability
 //!
@@ -47,6 +48,47 @@
 //! // EXPLAIN: the mechanism and join order the executor actually used.
 //! let plan = db.explain(&q, Semantics::Union);
 //! assert_eq!(plan.mechanism, "premise_free");
+//! ```
+//!
+//! ## Durability & recovery
+//!
+//! A database can be made **crash-safe**: attach a data directory with
+//! [`SemanticWebDatabase::persist_to`] (or the `SWDB_DATA_DIR`
+//! environment variable), and every mutation commits to an append-only,
+//! per-record-checksummed **write-ahead log** with one append plus one
+//! fsync per facade call. [`SemanticWebDatabase::snapshot_now`] — or
+//! automatic compaction past `SWDB_WAL_COMPACT` records — rotates a
+//! versioned, checksummed **snapshot** of the entire state (dictionary,
+//! base store, maintained closure, both core-engine states including
+//! degraded-mode flags) and truncates the log.
+//!
+//! [`SemanticWebDatabase::open`] recovers: the newest valid snapshot
+//! loads by pure deserialization — **no closure fixpoint, no core
+//! search** — and the WAL suffix replays through the same incremental
+//! delta paths a live mutation takes. A crash mid-commit tears the final
+//! WAL record; recovery detects it by checksum, truncates it, and keeps
+//! everything durably acknowledged before it. Snapshot formats are
+//! versioned (`SNAPSHOT_VERSION` in [`swdb_durable`]); an unreadable or
+//! future-versioned snapshot falls back to the previous generation,
+//! which rotation deletes only after the new segment passes a read-back
+//! verification. Durability IO errors **fail-stop**: the layer detaches
+//! (see [`SemanticWebDatabase::durability_error`]), the in-memory
+//! database keeps working, and the directory still recovers to its last
+//! durable state.
+//!
+//! ```
+//! use swdb_core::SemanticWebDatabase;
+//! use swdb_core::model::graph;
+//!
+//! let dir = std::env::temp_dir().join(format!("swdb-doc-{}", std::process::id()));
+//! let mut db = SemanticWebDatabase::new();
+//! db.persist_to(&dir).unwrap();
+//! db.insert_graph(&graph([("ex:a", "ex:p", "ex:b")]));
+//! drop(db);
+//!
+//! let recovered = SemanticWebDatabase::open(&dir).unwrap();
+//! assert_eq!(recovered.len(), 1);
+//! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 //!
 //! ## Quickstart
@@ -115,6 +157,11 @@ pub use swdb_query as query;
 
 /// Re-export of query containment (`swdb-containment`).
 pub use swdb_containment as containment;
+
+/// Re-export of the crash-safe durability layer (`swdb-durable`):
+/// snapshots, the write-ahead log, and the fault-injection IO shim the
+/// crash-point matrix tests drive.
+pub use swdb_durable as durable;
 
 #[cfg(test)]
 mod integration_smoke {

@@ -333,6 +333,37 @@ struct Component {
     uncored: bool,
 }
 
+/// A verbatim dump of one blank component's cached core state — the unit of
+/// [`CoreEngineState`]. `blanks` are derivable from `full` (via the
+/// dictionary) and are not serialized.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ComponentState {
+    /// Every maintained blank triple of the component (cored away or not).
+    pub full: Vec<IdTriple>,
+    /// The subset of `full` published in the evaluation index.
+    pub survivors: Vec<IdTriple>,
+    /// The images of `full` under the composed retraction (all of them
+    /// published triples the component's folds rely on).
+    pub support: Vec<IdTriple>,
+    /// Whether the component is published uncored (degraded mode) — this is
+    /// exactly the state a durability snapshot must carry so
+    /// `is_degraded()` stays honest across a restart.
+    pub uncored: bool,
+}
+
+/// The complete restorable state of an [`IdCoreEngine`]: the ground side of
+/// the published index plus every component's cached core state.
+/// [`IdCoreEngine::export_state`] produces it, [`IdCoreEngine::from_state`]
+/// reconstructs a bit-identical engine from it *without re-running any core
+/// search* — the contract the durability layer's recovery path depends on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoreEngineState {
+    /// The ground (blank-free) triples of the published evaluation index.
+    pub ground: Vec<IdTriple>,
+    /// Every blank component's cached state.
+    pub components: Vec<ComponentState>,
+}
+
 /// An incrementally maintained `core(·)` over id-triples.
 ///
 /// Feed it the maintained closure (RDFS regime) or the asserted store
@@ -411,6 +442,79 @@ impl IdCoreEngine {
         engine.rebuild_components(dictionary);
         let dirty = (0..engine.components.len()).collect();
         engine.refresh(dirty, BTreeSet::new());
+        engine.debug_check(dictionary);
+        engine
+    }
+
+    /// Dumps the engine's state for a durability snapshot. Components are
+    /// exported verbatim — full sets, survivor sets, support sets and the
+    /// uncored flags — so [`IdCoreEngine::from_state`] can rebuild the
+    /// engine without re-running a single retraction search. Safe to call
+    /// between public mutations (no component is ever left `stale` then).
+    pub fn export_state(&self, dictionary: &Dictionary) -> CoreEngineState {
+        CoreEngineState {
+            ground: self
+                .eval
+                .iter()
+                .filter(|&t| !is_blank_triple(dictionary, t))
+                .collect(),
+            components: self
+                .components
+                .iter()
+                .map(|c| ComponentState {
+                    full: c.full.iter().copied().collect(),
+                    survivors: c.survivors.iter().copied().collect(),
+                    support: c.support.iter().copied().collect(),
+                    uncored: c.uncored,
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs an engine from an exported state: pure deserialization —
+    /// the published index is ground triples plus every component's
+    /// survivors, cached core state (including degraded/uncored flags)
+    /// carries over verbatim, and **no core search runs**. The recovery
+    /// path's replacement for [`IdCoreEngine::from_triples_budgeted`].
+    pub fn from_state(
+        state: &CoreEngineState,
+        dictionary: &Dictionary,
+        metrics: Metrics,
+        budget: CoreBudgetMode,
+    ) -> Self {
+        let mut engine = IdCoreEngine::new();
+        engine.metrics = metrics;
+        engine.budget_mode = budget;
+        for &t in &state.ground {
+            engine.eval.insert(t);
+        }
+        for comp in &state.components {
+            let full: BTreeSet<IdTriple> = comp.full.iter().copied().collect();
+            for &t in &full {
+                if engine.blank_full.insert(t) {
+                    *engine.blank_pred_refs.entry(t.1).or_insert(0) += 1;
+                }
+            }
+            let survivors: BTreeSet<IdTriple> = comp.survivors.iter().copied().collect();
+            for &t in &survivors {
+                engine.eval.insert(t);
+            }
+            let blanks = full
+                .iter()
+                .flat_map(|&(s, _, o)| [s, o])
+                .filter(|&id| dictionary.is_blank(id))
+                .collect();
+            engine.components.push(Component {
+                blanks,
+                full,
+                survivors,
+                support: comp.support.iter().copied().collect(),
+                stale: false,
+                uncored: comp.uncored,
+            });
+        }
+        engine.observe_blank_components();
+        engine.publish_degradation();
         engine.debug_check(dictionary);
         engine
     }
@@ -1208,6 +1312,79 @@ mod tests {
         assert_eq!(engine.len(), 1);
         assert_eq!(engine.component_count(), 2);
         assert_is_core_of(&g);
+    }
+
+    #[test]
+    fn exported_state_round_trips_bit_identical() {
+        // Folded blanks, a surviving blank component, and ground triples.
+        let g = graph([
+            ("ex:a", "ex:p", "ex:b"),
+            ("ex:a", "ex:p", "_:X"),
+            ("_:X", "ex:q", "ex:c"),
+            ("ex:b", "ex:q", "ex:c"),
+            ("ex:a", "ex:r", "_:Z"),
+        ]);
+        let (store, engine) = engine_of(&g);
+        let state = engine.export_state(store.dictionary());
+        let restored = IdCoreEngine::from_state(
+            &state,
+            store.dictionary(),
+            Metrics::default(),
+            engine.core_budget(),
+        );
+        let published: Vec<IdTriple> = engine.index().iter().collect();
+        let restored_published: Vec<IdTriple> = restored.index().iter().collect();
+        assert_eq!(published, restored_published);
+        assert_eq!(engine.blank_triple_count(), restored.blank_triple_count());
+        assert_eq!(engine.component_count(), restored.component_count());
+        assert_eq!(engine.is_degraded(), restored.is_degraded());
+        // The restored engine keeps tracking deltas exactly like the
+        // original: remove the ground support of X's fold from both.
+        let mut store2 = store.clone();
+        let removed = store2
+            .remove_with_ids(&swdb_model::triple("ex:b", "ex:q", "ex:c"))
+            .expect("present");
+        let mut original = engine.clone();
+        let mut restored = restored;
+        original.apply_delta(&[], &[removed], store2.dictionary());
+        restored.apply_delta(&[], &[removed], store2.dictionary());
+        let a: Vec<IdTriple> = original.index().iter().collect();
+        let b: Vec<IdTriple> = restored.index().iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exported_state_preserves_uncored_flags() {
+        // A component big enough that a 0-step budget leaves it uncored.
+        let g = graph([
+            ("ex:a", "ex:p", "_:X"),
+            ("ex:a", "ex:p", "_:Y"),
+            ("_:X", "ex:q", "_:Y"),
+        ]);
+        let store = TripleStore::from_graph(&g);
+        let engine = IdCoreEngine::from_triples_budgeted(
+            store.iter_ids(),
+            store.dictionary(),
+            Metrics::default(),
+            CoreBudgetMode::Budgeted(CoreBudget::steps(0)),
+        );
+        assert!(engine.is_degraded(), "a 0-step slice cannot finish coring");
+        let state = engine.export_state(store.dictionary());
+        assert!(state.components.iter().any(|c| c.uncored));
+        let restored = IdCoreEngine::from_state(
+            &state,
+            store.dictionary(),
+            Metrics::default(),
+            engine.core_budget(),
+        );
+        assert!(restored.is_degraded());
+        assert_eq!(engine.uncored_components(), restored.uncored_components());
+        assert_eq!(engine.uncored_triples(), restored.uncored_triples());
+        // recore_uncored resumes post-restore: unlimited budget clears it.
+        let mut restored = restored;
+        restored.set_core_budget(CoreBudgetMode::Unlimited);
+        assert!(restored.recore_uncored(store.dictionary()));
+        assert!(!restored.is_degraded());
     }
 
     #[test]

@@ -164,6 +164,19 @@ keyed_enum! {
         /// fold steps or wall time and its component (or overlay) was
         /// published uncored — sound, but non-minimal.
         CoreBudgetExhausted => "core_budget_exhausted",
+        /// WAL records appended (one per logged mutation record, before
+        /// group-commit batching).
+        WalRecordsAppended => "wal_records_appended",
+        /// Bytes appended to the WAL (payload + framing).
+        WalBytes => "wal_bytes",
+        /// Snapshots written (full rotations: snapshot + WAL truncation).
+        SnapshotsWritten => "snapshots_written",
+        /// WAL records replayed through the incremental delta paths during
+        /// recovery (`open`): zero on a clean snapshot boot.
+        RecoveryReplayedDeltas => "recovery_replayed_deltas",
+        /// Recoveries that found and discarded a torn (incomplete or
+        /// CRC-failing) final WAL record — the expected crash signature.
+        RecoveryTornTails => "recovery_torn_tails",
     }
 }
 
@@ -181,6 +194,11 @@ keyed_enum! {
         UncoredComponents => "uncored_components",
         /// Total triples across the currently-uncored components.
         UncoredTriples => "uncored_triples",
+        /// Live records in the current WAL generation (resets on rotation).
+        WalLiveRecords => "wal_live_records",
+        /// The configured WAL compaction threshold in records (0 when no
+        /// durability layer is attached).
+        WalCompactThreshold => "wal_compact_threshold",
     }
 }
 
@@ -204,6 +222,12 @@ keyed_enum! {
         SpanQueryAnswerNs => "span_query_answer_ns",
         /// Wall time of one premise overlay build, nanoseconds.
         SpanOverlayBuildNs => "span_overlay_build_ns",
+        /// Wall time of one snapshot rotation (write + fsync + rename + WAL
+        /// truncation), nanoseconds.
+        SpanSnapshotWriteNs => "span_snapshot_write_ns",
+        /// Wall time of one recovery (`open`: snapshot load + WAL replay),
+        /// nanoseconds.
+        SpanRecoveryNs => "span_recovery_ns",
     }
 }
 
@@ -529,6 +553,16 @@ impl Metrics {
                  after core budget exhaustion; certain answers stay sound but non-minimal \
                  until a recore succeeds — raise SWDB_CORE_BUDGET or call refresh_degraded",
                 degraded.uncored_components, degraded.uncored_triples
+            ));
+        }
+        let wal_live = self.inner.gauges[Gauge::WalLiveRecords as usize].load(Ordering::Relaxed);
+        let wal_threshold =
+            self.inner.gauges[Gauge::WalCompactThreshold as usize].load(Ordering::Relaxed);
+        if wal_threshold > 0 && wal_live > wal_threshold {
+            warnings.push(format!(
+                "WAL has {wal_live} live record(s), past the compaction threshold \
+                 ({wal_threshold}); recovery replay grows with the WAL suffix — call \
+                 snapshot_now (or lower SWDB_WAL_COMPACT) to rotate"
             ));
         }
         MetricsSnapshot {
@@ -996,6 +1030,26 @@ mod tests {
         assert!(!snap.degraded.active());
         assert!(!snap.warnings.iter().any(|w| w.contains("degraded mode")));
         assert_eq!(snap.degraded.core_budget_exhausted, 2);
+    }
+
+    #[test]
+    fn wal_past_compaction_threshold_surfaces_as_a_warning() {
+        let m = Metrics::new(MetricsLevel::Counters);
+        m.gauge_set(Gauge::WalCompactThreshold, 100);
+        m.gauge_set(Gauge::WalLiveRecords, 100);
+        assert!(
+            m.snapshot().warnings.is_empty(),
+            "at the threshold is not yet over it"
+        );
+        m.gauge_set(Gauge::WalLiveRecords, 101);
+        let snap = m.snapshot();
+        assert!(snap
+            .warnings
+            .iter()
+            .any(|w| w.contains("compaction threshold")));
+        // No threshold configured (no durability layer) never warns.
+        m.gauge_set(Gauge::WalCompactThreshold, 0);
+        assert!(m.snapshot().warnings.is_empty());
     }
 
     #[test]

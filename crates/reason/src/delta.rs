@@ -354,6 +354,21 @@ impl DeltaClosure {
         self.rules.vocabulary()
     }
 
+    /// Adopts a previously maintained closure verbatim: the triples go into
+    /// the closure index **without any rule propagation**. This is the
+    /// durability-recovery path — a snapshot carries the exact closure the
+    /// engine maintained when it was written, so reloading it is pure
+    /// deserialization; re-deriving it would pay the cold fixpoint the
+    /// incremental machinery exists to avoid. The caller is responsible for
+    /// the set actually being `RDFS-cl` of the base it restores alongside
+    /// (the durability layer checksums the pair together) and for having
+    /// called [`DeltaClosure::sync_terms`] first.
+    pub fn adopt_closure(&mut self, triples: impl IntoIterator<Item = IdTriple>) {
+        for t in triples {
+            self.closure.insert(t);
+        }
+    }
+
     /// Applies an inserted base triple; returns `true` if the closure grew.
     ///
     /// The triple's ids must already be interned and covered by

@@ -226,4 +226,104 @@ mod tests {
         let err = parse("bogus line .").unwrap_err();
         assert!(err.to_string().starts_with("line 1:"));
     }
+
+    // ----- recovery-path hardening -----
+    //
+    // WAL records carry N-Triples text, and while every record is
+    // CRC-guarded, the parser is the last line of defence: on *any* input
+    // it must return `Ok` or a line-numbered `ParseError` — never panic,
+    // never mis-index a line.
+
+    use proptest::prelude::*;
+
+    /// The parser's contract on an input it rejects.
+    fn assert_well_formed_error(input: &str, err: &ParseError) {
+        let lines = input.lines().count().max(1);
+        assert!(
+            err.line >= 1 && err.line <= lines,
+            "error line {} out of range 1..={lines}",
+            err.line
+        );
+        assert!(!err.message.is_empty());
+        // And the Display form carries the location.
+        assert!(err.to_string().starts_with(&format!("line {}:", err.line)));
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_document_parses_or_fails_cleanly() {
+        let g = graph([
+            ("ex:Picasso", "ex:paints", "ex:Guernica"),
+            ("_:X", "rdf:type", "ex:Painter"),
+            ("ex:paints", "rdfs:subPropertyOf", "ex:creates"),
+        ]);
+        let text = serialize(&g);
+        for cut in 0..=text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &text[..cut];
+            match parse(prefix) {
+                // A prefix can only ever contain whole triples of the
+                // original document.
+                Ok(parsed) => assert!(parsed.is_subgraph_of(&g)),
+                Err(err) => assert_well_formed_error(prefix, &err),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_after_valid_lines_reports_the_garbage_line() {
+        let err = parse("<ex:a> <ex:p> <ex:b> .\n\x00\x01 binary junk\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary bytes (lossily decoded, as a recovery path would after
+        /// checksum damage slipped through) never panic the parser, and any
+        /// rejection carries an in-range line number.
+        #[test]
+        fn arbitrary_bytes_never_panic_the_parser(bytes in proptest::collection::vec(0u8..255, 0..300)) {
+            let input = String::from_utf8_lossy(&bytes).into_owned();
+            if let Err(err) = parse(&input) {
+                assert_well_formed_error(&input, &err);
+            }
+        }
+
+        /// Splicing garbage into a valid document fails with the error
+        /// attributed to a line, never a panic — and the same document
+        /// without the splice still round-trips.
+        #[test]
+        fn garbage_spliced_into_a_valid_document_fails_cleanly(
+            ids in proptest::collection::vec((0usize..5, 0usize..3, 0usize..5), 1..8),
+            junk in proptest::collection::vec(0u8..255, 1..40),
+            at in 0usize..8,
+        ) {
+            let g: Graph = ids
+                .iter()
+                .map(|(s, p, o)| {
+                    Triple::new(
+                        Term::iri(format!("ex:s{s}")),
+                        Iri::new(format!("ex:p{p}")),
+                        Term::iri(format!("ex:o{o}")),
+                    )
+                })
+                .collect();
+            let clean = serialize(&g);
+            prop_assert_eq!(parse(&clean).expect("round trip"), g);
+
+            let junk_line = String::from_utf8_lossy(&junk).into_owned();
+            let mut lines: Vec<&str> = clean.lines().collect();
+            let at = at.min(lines.len());
+            lines.insert(at, &junk_line);
+            let spliced = lines.join("\n");
+            match parse(&spliced) {
+                // The junk happened to parse (e.g. whitespace or a comment):
+                // the result must still contain every original triple.
+                Ok(parsed) => prop_assert!(g.is_subgraph_of(&parsed)),
+                Err(err) => assert_well_formed_error(&spliced, &err),
+            }
+        }
+    }
 }
