@@ -288,6 +288,12 @@ pub struct SemanticWebDatabase {
     durability: Option<Durability>,
     /// Why the durability layer detached, if it did (fail-stop record).
     durability_error: Option<String>,
+    /// The MVCC publication slot: the writer's last explicitly published
+    /// immutable snapshot ([`crate::publish::PublishedSnapshot`]), pinned
+    /// lock-free-in-effect by any number of [`SnapshotReader`] handles.
+    /// Starts at epoch 0 (empty); [`SemanticWebDatabase::publish`] swaps in
+    /// the next epoch.
+    publish_slot: Arc<crate::publish::PublishSlot>,
 }
 
 /// Sequence number making `SWDB_DATA_DIR` subdirectories unique within one
@@ -337,6 +343,9 @@ impl Clone for SemanticWebDatabase {
             metrics: self.metrics.clone(),
             durability: None,
             durability_error: None,
+            // A fresh, unpublished slot: readers pinned on the original keep
+            // observing the original's publications, never the clone's.
+            publish_slot: Arc::new(crate::publish::PublishSlot::empty(self.metrics.clone())),
         }
     }
 }
@@ -362,6 +371,7 @@ impl SemanticWebDatabase {
             asserted_core: None,
             threads,
             core_budget: CoreBudgetMode::from_env(),
+            publish_slot: Arc::new(crate::publish::PublishSlot::empty(metrics.clone())),
             metrics,
             durability: None,
             durability_error: None,
@@ -601,6 +611,7 @@ impl SemanticWebDatabase {
              and the data directory recovers to its last durable state on the \
              next open"
         ));
+        self.metrics.count(Counter::DurabilityDetached, 1);
         self.metrics.gauge_set(Gauge::WalCompactThreshold, 0);
         self.metrics.gauge_set(Gauge::WalLiveRecords, 0);
     }
@@ -743,9 +754,78 @@ impl SemanticWebDatabase {
     /// Freezes the current metrics into deterministic JSON (keys sorted,
     /// integers only): counters, per-rule firings, gauges, histograms
     /// (debug level), and early warnings such as an oversized blank
-    /// component. See [`swdb_obs::MetricsSnapshot`] for the typed form.
+    /// component. A fail-stop durability detach surfaces here too: the
+    /// recorded [`SemanticWebDatabase::durability_error`] joins the
+    /// `warnings` block (alongside the `durability_detached` counter), so
+    /// detachment is observable without polling the facade. See
+    /// [`swdb_obs::MetricsSnapshot`] for the typed form.
     pub fn metrics_snapshot(&self) -> String {
-        self.metrics.snapshot().to_json()
+        let mut snapshot = self.metrics.snapshot();
+        if let Some(why) = &self.durability_error {
+            snapshot.warnings.push(format!("durability_error: {why}"));
+        }
+        snapshot.to_json()
+    }
+
+    // ----- publication (the MVCC read side) -----
+
+    /// Atomically publishes the current evaluation state as an immutable
+    /// [`PublishedSnapshot`](crate::publish::PublishedSnapshot) and returns
+    /// it. The snapshot carries a clone of the dictionary and the evaluation
+    /// `IdIndex` (built first if cold), the epoch (monotonically increasing
+    /// from 1), and the degraded flags in force at publication time
+    /// (`non_minimal` from the core budget, `durability_detached` from the
+    /// fail-stop record). Every [`SnapshotReader`](crate::publish::SnapshotReader)
+    /// handle on this database observes the new epoch on its next pin;
+    /// already-pinned snapshots are untouched — that is the MVCC contract:
+    /// a pinned snapshot stays bit-identical however the writer mutates,
+    /// and a reader answering on one never blocks `insert`/`remove`.
+    ///
+    /// Publication is **explicit**: mutations do not republish on their
+    /// own (a bulk load would otherwise clone the index per triple). The
+    /// serving layer (`swdb-server`) publishes once per write request.
+    pub fn publish(&mut self) -> Arc<crate::publish::PublishedSnapshot> {
+        let metrics = self.metrics.clone();
+        let span = metrics.span(Hist::SpanSnapshotPublishNs);
+        self.ensure_evaluation();
+        let engine = self.evaluation.as_ref().expect("just ensured");
+        let epoch = self.publish_slot.pin().epoch() + 1;
+        let snapshot = Arc::new(crate::publish::PublishedSnapshot::new(
+            epoch,
+            self.regime,
+            self.graph.len(),
+            engine.is_degraded(),
+            self.durability_error.is_some(),
+            self.reasoner.store().dictionary().clone(),
+            engine.index().clone(),
+            self.metrics.clone(),
+        ));
+        self.publish_slot.swap(Arc::clone(&snapshot));
+        self.metrics.count(Counter::SnapshotsPublished, 1);
+        self.metrics.gauge_set(Gauge::PublishedEpoch, epoch);
+        drop(span);
+        snapshot
+    }
+
+    /// A clonable, `Send + Sync` handle onto this database's publication
+    /// slot: each [`SnapshotReader::pin`](crate::publish::SnapshotReader::pin)
+    /// returns the latest published snapshot as a plain `Arc` the reader
+    /// thread queries without any further coordination with the writer.
+    /// Publishes epoch 1 first if nothing has been published yet, so a
+    /// fresh reader never observes the empty epoch-0 placeholder.
+    pub fn reader(&mut self) -> crate::publish::SnapshotReader {
+        if self.publish_slot.pin().epoch() == 0 {
+            self.publish();
+        }
+        crate::publish::SnapshotReader::new(Arc::clone(&self.publish_slot))
+    }
+
+    /// The currently published snapshot (epoch 0 and empty until the first
+    /// [`SemanticWebDatabase::publish`]). Equivalent to pinning through a
+    /// [`SnapshotReader`](crate::publish::SnapshotReader), but borrowable
+    /// from `&self`.
+    pub fn published(&self) -> Arc<crate::publish::PublishedSnapshot> {
+        self.publish_slot.pin()
     }
 
     /// Creates an empty database under the given regime.
@@ -1095,25 +1175,11 @@ impl SemanticWebDatabase {
     }
 
     /// Does this premise query go through the Proposition 5.9 expansion?
-    ///
-    /// Only under simple entailment (once RDFS vocabulary is interpreted, a
-    /// premise data triple can fire rules against stored schema, which no
-    /// premise-free rewriting over `nf(D)` can see — the paper notes
-    /// Prop. 5.9 fails there), only for ground premises (a premise blank
-    /// reached by the head would be Skolemized per expansion member instead
-    /// of shared across single answers), only for blank-free heads (head
-    /// blanks Skolemize over *all* body variables, and μ substitutes some
-    /// of those away per member, changing the Skolem values), and only
-    /// within [`EXPANSION_MAP_BUDGET`]. Everything else takes the overlay.
+    /// Delegates to the shared gate [`expansion_eligible`] (also used by
+    /// [`crate::publish::PublishedSnapshot`], whose servable set is exactly
+    /// "premise-free or expansion-eligible").
     fn premise_via_expansion(&self, query: &Query) -> bool {
-        let within_budget = (query.premise().len() as u64)
-            .saturating_add(1)
-            .checked_pow(query.body().len() as u32)
-            .is_some_and(|worst_case| worst_case <= EXPANSION_MAP_BUDGET);
-        self.regime == EntailmentRegime::Simple
-            && query.premise().is_ground()
-            && !swdb_query::head_has_blank_consts(query)
-            && within_budget
+        expansion_eligible(self.regime, query)
     }
 
     /// Returns the position of the cached overlay for this premise,
@@ -1397,6 +1463,31 @@ impl From<Graph> for SemanticWebDatabase {
     fn from(graph: Graph) -> Self {
         SemanticWebDatabase::from_graph(graph)
     }
+}
+
+/// The shared dispatch gate for the Proposition 5.9 expansion, used by the
+/// facade's `answer` dispatch and by [`crate::publish::PublishedSnapshot`]
+/// (a snapshot can serve exactly the premise-free and expansion mechanisms —
+/// both need only the dictionary + index pair it carries).
+///
+/// Only under simple entailment (once RDFS vocabulary is interpreted, a
+/// premise data triple can fire rules against stored schema, which no
+/// premise-free rewriting over `nf(D)` can see — the paper notes Prop. 5.9
+/// fails there), only for ground premises (a premise blank reached by the
+/// head would be Skolemized per expansion member instead of shared across
+/// single answers), only for blank-free heads (head blanks Skolemize over
+/// *all* body variables, and μ substitutes some of those away per member,
+/// changing the Skolem values), and only within [`EXPANSION_MAP_BUDGET`].
+/// Everything else takes the overlay, which needs the mutable facade.
+pub(crate) fn expansion_eligible(regime: EntailmentRegime, query: &Query) -> bool {
+    let within_budget = (query.premise().len() as u64)
+        .saturating_add(1)
+        .checked_pow(query.body().len() as u32)
+        .is_some_and(|worst_case| worst_case <= EXPANSION_MAP_BUDGET);
+    regime == EntailmentRegime::Simple
+        && query.premise().is_ground()
+        && !swdb_query::head_has_blank_consts(query)
+        && within_budget
 }
 
 /// Renames apart every premise blank whose label also names a blank of the

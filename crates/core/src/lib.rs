@@ -91,6 +91,45 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 //!
+//! ## Serving & snapshots
+//!
+//! The facade is a single-owner value (read paths take `&mut self`), so
+//! serving it to many threads through one lock would let any writer stall
+//! every reader. The **publication layer** ([`publish`]) splits the read
+//! side off: [`SemanticWebDatabase::publish`] atomically swaps an
+//! immutable, epoch-stamped [`PublishedSnapshot`] — the dictionary + the
+//! evaluation `IdIndex`, plus the degraded flags in force — into a shared
+//! slot, and every [`SnapshotReader`] handle pins the current snapshot in
+//! O(1) and answers on the pin with **no further coordination**: a pinned
+//! snapshot stays bit-identical however the writer mutates, so
+//! `answer`/`explain` on it never blocks — or is blocked by —
+//! `insert`/`remove`. Premise queries that need the overlay mechanism are
+//! the one exception ([`SnapshotQueryError::NeedsWriter`]); route those to
+//! the live database.
+//!
+//! ```
+//! use swdb_core::{SemanticWebDatabase, Semantics};
+//! use swdb_core::model::graph;
+//! use swdb_core::query::query;
+//!
+//! let mut db = SemanticWebDatabase::from_graph(graph([("ex:a", "ex:p", "ex:b")]));
+//! let reader = db.reader(); // clonable, Send + Sync — one per thread
+//! let pinned = reader.pin();
+//!
+//! // The writer keeps mutating; the pinned snapshot does not move.
+//! db.insert_graph(&graph([("ex:c", "ex:p", "ex:d")]));
+//! let q = query([("?X", "ex:p", "?Y")], [("?X", "ex:p", "?Y")]);
+//! assert_eq!(pinned.answer(&q, Semantics::Union).unwrap().len(), 1);
+//!
+//! // A new pin observes the next published epoch.
+//! db.publish();
+//! assert_eq!(reader.pin().answer(&q, Semantics::Union).unwrap().len(), 2);
+//! ```
+//!
+//! The `swdb-server` crate builds a fault-hardened std-only HTTP/1.1 front
+//! end on exactly this contract: one writer thread owns the facade, every
+//! worker answers read requests from pinned snapshots.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -122,8 +161,10 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod publish;
 
 pub use database::{EntailmentRegime, SemanticWebDatabase};
+pub use publish::{PublishedSnapshot, SnapshotQueryError, SnapshotReader};
 pub use swdb_normal::{CoreBudget, CoreBudgetMode};
 pub use swdb_obs::{Metrics, MetricsLevel};
 pub use swdb_query::{Explain, Semantics};

@@ -160,17 +160,23 @@ impl Durability {
         }
 
         // Best-effort cleanup of everything that is not the live
-        // generation: older (or damaged newer) snapshots, stale WALs,
-        // leftover temp files.
+        // generation: older (or damaged newer) snapshots, stale WALs, and
+        // orphaned `*.tmp` segments from a crash mid-rotation (step 1→2 of
+        // the rotation ordering). A tmp can never shadow the live
+        // generation — snapshot selection above only considers `.seg`
+        // names — but leaving it would accrete debris and could confuse a
+        // later rotation to the same generation number.
+        let mut orphans_removed = 0u64;
         for name in &names {
             let stale_snapshot = parse_generation(name, "snapshot-", ".seg")
                 .is_some_and(|g| chosen.as_ref().is_none_or(|(c, _)| g != *c));
             let stale_wal = parse_generation(name, "wal-", ".log").is_some_and(|g| g != generation);
             let stale = stale_snapshot || stale_wal || name.ends_with(".tmp");
-            if stale {
-                let _ = io.remove(&dir.join(name));
+            if stale && io.remove(&dir.join(name)).is_ok() {
+                orphans_removed += 1;
             }
         }
+        metrics.count(Counter::RecoveryOrphansRemoved, orphans_removed);
 
         if torn_tail {
             metrics.count(Counter::RecoveryTornTails, 1);
@@ -496,6 +502,60 @@ mod tests {
         assert_eq!(d.generation(), 1);
         assert_eq!(recovered.snapshot.as_ref(), Some(&sample_payload()));
         assert!(recovered.wal.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_tmp_segment_from_a_crashed_rotation_never_shadows_the_live_generation() {
+        let dir = tmp_dir("tmp-orphan");
+        let fault = FaultIo::new();
+        let io: Arc<dyn Io> = Arc::new(fault.clone());
+        let (mut d, _) = Durability::open(&dir, io.clone(), Metrics::default(), 100).unwrap();
+        d.commit(&records(3)).unwrap();
+
+        // Crash between rotation steps 1 and 2: the tmp segment is fully
+        // written and fsynced, the rename never happens.
+        fault.arm(1, FaultKind::Fail);
+        assert!(d.rotate(&sample_payload()).is_err());
+        fault.disarm();
+        drop(d);
+        assert!(
+            StdIo.list(&dir).unwrap().contains(&"snapshot-1.tmp".into()),
+            "the crash must leave the orphaned tmp behind"
+        );
+
+        // Reopen: the tmp — although it holds a complete, decodable payload
+        // — must not shadow the live generation 0, and it gets cleaned up.
+        let metrics = Metrics::new(swdb_obs::MetricsLevel::Counters);
+        let (d, recovered) = Durability::open(&dir, io.clone(), metrics.clone(), 100).unwrap();
+        assert_eq!(d.generation(), 0);
+        assert!(recovered.snapshot.is_none());
+        assert_eq!(recovered.wal, records(3));
+        assert!(metrics.snapshot().counter("recovery_orphans_removed") >= 1);
+        drop(d);
+        assert!(
+            !StdIo
+                .list(&dir)
+                .unwrap()
+                .iter()
+                .any(|n| n.ends_with(".tmp")),
+            "open must sweep orphaned tmp segments"
+        );
+
+        // A planted tmp with a *newer* stamped generation is equally inert:
+        // snapshot selection only ever reads `.seg` names.
+        StdIo
+            .write_new(&dir.join("snapshot-99.tmp"), &sample_payload().encode(99))
+            .unwrap();
+        let (d, recovered) = Durability::open(&dir, io, Metrics::default(), 100).unwrap();
+        assert_eq!(d.generation(), 0, "a stale tmp never becomes the state");
+        assert!(recovered.snapshot.is_none());
+        assert_eq!(recovered.wal, records(3));
+        assert!(!StdIo
+            .list(&dir)
+            .unwrap()
+            .iter()
+            .any(|n| n.ends_with(".tmp")));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

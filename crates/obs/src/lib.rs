@@ -177,6 +177,29 @@ keyed_enum! {
         /// Recoveries that found and discarded a torn (incomplete or
         /// CRC-failing) final WAL record — the expected crash signature.
         RecoveryTornTails => "recovery_torn_tails",
+        /// Orphaned files (`*.tmp` segments and stale generations) removed
+        /// by `open`'s cleanup sweep — the debris of a crash mid-rotation.
+        RecoveryOrphansRemoved => "recovery_orphans_removed",
+        /// Fail-stop durability detaches: an IO error dropped the
+        /// snapshot/WAL layer and the database continued in memory only.
+        DurabilityDetached => "durability_detached",
+        /// Immutable evaluation snapshots published for lock-free readers.
+        SnapshotsPublished => "snapshots_published",
+        /// Connections accepted by the HTTP front end.
+        ServerAccepted => "server_accepted",
+        /// Requests fully served (any status) by the HTTP front end.
+        ServerRequests => "server_requests",
+        /// Connections shed with `503 Retry-After` because the bounded
+        /// accept/work queue was full.
+        ServerShed => "server_shed",
+        /// Connections dropped by a read/write deadline (slow peers,
+        /// slow-loris requests).
+        ServerTimeouts => "server_timeouts",
+        /// Requests rejected as malformed or over the size limits
+        /// (4xx responses).
+        ServerBadRequests => "server_bad_requests",
+        /// Handler panics isolated by a worker (the worker survives).
+        ServerPanics => "server_panics",
     }
 }
 
@@ -199,6 +222,11 @@ keyed_enum! {
         /// The configured WAL compaction threshold in records (0 when no
         /// durability layer is attached).
         WalCompactThreshold => "wal_compact_threshold",
+        /// Epoch of the currently published evaluation snapshot (0 before
+        /// the first publication).
+        PublishedEpoch => "published_epoch",
+        /// Connections waiting in the server's bounded work queue.
+        ServerQueueDepth => "server_queue_depth",
     }
 }
 
@@ -228,6 +256,12 @@ keyed_enum! {
         /// Wall time of one recovery (`open`: snapshot load + WAL replay),
         /// nanoseconds.
         SpanRecoveryNs => "span_recovery_ns",
+        /// Wall time of one snapshot publication (cloning the evaluation
+        /// index + dictionary into an immutable published view), nanoseconds.
+        SpanSnapshotPublishNs => "span_snapshot_publish_ns",
+        /// Wall time of one served HTTP request (parse to last byte
+        /// written), nanoseconds.
+        SpanServerRequestNs => "span_server_request_ns",
     }
 }
 

@@ -1,0 +1,173 @@
+//! Request routing and the endpoint handlers. Reads answer from pinned
+//! snapshots (no facade lock); writes and overlay-mechanism queries take
+//! the facade mutex. Every handler is total: bad input is a `4xx`, a
+//! degraded store is a `503`-for-writes, and nothing here unwinds on
+//! malformed bytes (panics would only come from engine bugs — which the
+//! worker's `catch_unwind` isolates to the one connection).
+
+use std::sync::Arc;
+
+use swdb_core::{PublishedSnapshot, Semantics};
+use swdb_model::Graph;
+
+use crate::http::{Request, Response};
+use crate::Shared;
+
+/// Minimal JSON string escaping for the handful of strings we embed.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Stamps the snapshot-substrate headers every data-bearing response
+/// carries: which epoch answered, and whether that substrate was degraded.
+fn stamped(response: Response, epoch: u64, degraded: bool) -> Response {
+    response
+        .header("x-swdb-epoch", epoch.to_string())
+        .header("x-swdb-degraded", degraded.to_string())
+}
+
+fn retry_later(shared: &Shared, why: &str) -> Response {
+    Response::text(503, format!("{why}\n"))
+        .header("retry-after", shared.config.retry_after_secs.to_string())
+}
+
+/// The route table.
+pub(crate) fn handle(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => health(shared),
+        ("GET", "/metrics") => metrics(shared),
+        ("POST", "/ingest") => ingest(shared, request, false),
+        ("POST", "/remove") => ingest(shared, request, true),
+        ("POST", "/query") => query(shared, request, false),
+        ("POST", "/answer") => query(shared, request, true),
+        ("POST", "/panic") if shared.config.enable_test_endpoints => {
+            panic!("deliberate test-endpoint panic")
+        }
+        ("GET" | "POST", _) => Response::text(404, "no such endpoint\n"),
+        _ => Response::text(405, "method not allowed\n"),
+    }
+}
+
+fn health(shared: &Shared) -> Response {
+    let pinned = shared.reader.pin();
+    let body = format!(
+        "{{\"epoch\": {}, \"asserted_triples\": {}, \"evaluation_triples\": {}, \
+         \"non_minimal\": {}, \"durability_detached\": {}}}",
+        pinned.epoch(),
+        pinned.asserted_triples(),
+        pinned.evaluation_triples(),
+        pinned.non_minimal(),
+        pinned.durability_detached(),
+    );
+    stamped(
+        Response::json(200, body),
+        pinned.epoch(),
+        pinned.non_minimal(),
+    )
+}
+
+fn metrics(shared: &Shared) -> Response {
+    let db = shared.lock_db();
+    Response::json(200, db.metrics_snapshot())
+}
+
+/// `POST /ingest` and `POST /remove`: N-Triples body, mutate under the
+/// facade lock, publish the next epoch. When durability has fail-stopped,
+/// writes are refused with `503` + `Retry-After` — accepting them would
+/// silently drop the durability contract — while reads keep serving.
+fn ingest(shared: &Shared, request: &Request, removal: bool) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::text(400, "body is not UTF-8\n");
+    };
+    let graph: Graph = match swdb_store::parse(text) {
+        Ok(g) => g,
+        Err(e) => {
+            return Response::text(
+                400,
+                format!("N-Triples parse error at line {}: {}\n", e.line, e.message),
+            )
+        }
+    };
+    let mut db = shared.lock_db();
+    if let Some(why) = db.durability_error() {
+        let why = format!("writes unavailable — {why}");
+        drop(db);
+        return retry_later(shared, &why);
+    }
+    let changed = if removal {
+        graph.iter().filter(|t| db.remove(t)).count()
+    } else {
+        let before = db.len();
+        db.insert_graph(&graph);
+        db.len() - before
+    };
+    let snapshot = db.publish();
+    drop(db);
+    let body = format!(
+        "{{\"{}\": {changed}, \"epoch\": {}}}",
+        if removal { "removed" } else { "inserted" },
+        snapshot.epoch(),
+    );
+    stamped(
+        Response::json(200, body),
+        snapshot.epoch(),
+        snapshot.non_minimal(),
+    )
+}
+
+/// `POST /query` (N-Triples answer) and `POST /answer` (JSON envelope):
+/// parse the query, answer on the pinned snapshot — lock-free with respect
+/// to writers — falling back to the facade lock only for overlay-mechanism
+/// premise queries the snapshot cannot serve.
+fn query(shared: &Shared, request: &Request, envelope: bool) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::text(400, "body is not UTF-8\n");
+    };
+    let parsed = match swdb_query::parse_query(text) {
+        Ok(q) => q,
+        Err(e) => return Response::text(400, format!("{e}\n")),
+    };
+    let semantics = match request.param("semantics") {
+        None | Some("union") => Semantics::Union,
+        Some("merge") => Semantics::Merge,
+        Some(other) => {
+            return Response::text(400, format!("unknown semantics {other:?}\n"));
+        }
+    };
+    let pinned: Arc<PublishedSnapshot> = shared.reader.pin();
+    let (answer, non_minimal, epoch) = match pinned.answer_with_status(&parsed, semantics) {
+        Ok((answer, non_minimal)) => (answer, non_minimal, pinned.epoch()),
+        // `SnapshotQueryError` is non-exhaustive; every variant means
+        // "needs the live facade".
+        Err(_) => {
+            // Overlay-mechanism premise query: the one read shape that
+            // must consult the live facade.
+            let mut db = shared.lock_db();
+            let (answer, non_minimal) = db.answer_with_status(&parsed, semantics);
+            (answer, non_minimal, pinned.epoch())
+        }
+    };
+    if !envelope {
+        let body = swdb_store::serialize(&answer);
+        return stamped(Response::text(200, body), epoch, non_minimal);
+    }
+    let body = format!(
+        "{{\"epoch\": {epoch}, \"non_minimal\": {non_minimal}, \"answers\": {}, \
+         \"triples\": \"{}\"}}",
+        answer.len(),
+        json_escape(&swdb_store::serialize(&answer)),
+    );
+    stamped(Response::json(200, body), epoch, non_minimal)
+}

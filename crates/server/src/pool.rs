@@ -1,0 +1,85 @@
+//! The bounded work queue between the accept loop and the worker pool:
+//! `Mutex<VecDeque>` + `Condvar`, capacity-capped so overload turns into
+//! explicit load shedding at the accept side instead of unbounded latency.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use swdb_obs::{Gauge, Metrics};
+
+struct QueueState {
+    items: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+pub(crate) struct WorkQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+    metrics: Metrics,
+}
+
+impl WorkQueue {
+    pub(crate) fn new(capacity: usize, metrics: Metrics) -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+            metrics,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        // The queue's critical sections only move pointers — no user code
+        // runs under the lock — so a poisoned lock (possible only if a
+        // panic unwound through one of these few lines) still holds a
+        // structurally sound queue.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues a connection, or hands it back when the queue is full or
+    /// closed (the caller sheds it).
+    pub(crate) fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.lock();
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(stream);
+        }
+        state.items.push_back(stream);
+        self.metrics
+            .gauge_set(Gauge::ServerQueueDepth, state.items.len() as u64);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once the queue is closed
+    /// *and* drained — queued connections are still served after close, so
+    /// shutdown never drops an accepted connection on the floor.
+    pub(crate) fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.lock();
+        loop {
+            if let Some(stream) = state.items.pop_front() {
+                self.metrics
+                    .gauge_set(Gauge::ServerQueueDepth, state.items.len() as u64);
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue and wakes every blocked worker.
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+}

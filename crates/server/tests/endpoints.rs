@@ -1,0 +1,374 @@
+//! Endpoint-level tests of the HTTP front end: the happy paths, the whole
+//! `4xx` discipline, panic isolation, load shedding, degraded (durability
+//! fail-stop) serving, and the graceful-shutdown handoff.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use swdb_core::{MetricsLevel, SemanticWebDatabase};
+use swdb_durable::{FaultIo, FaultKind};
+use swdb_server::{Server, ServerConfig, ServerHandle};
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "swdb-server-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One full request over a fresh connection; returns (status, full
+/// response text).
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    let raw = format!(
+        "{method} {target} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    send_raw(addr, raw.as_bytes())
+}
+
+/// Writes raw bytes, reads to EOF, parses the first status line.
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw).expect("write");
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    let status: u16 = out
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, out)
+}
+
+fn body_of(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap_or("")
+}
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        read_timeout: Duration::from_millis(600),
+        write_timeout: Duration::from_millis(600),
+        ..ServerConfig::default()
+    }
+}
+
+fn start_default() -> ServerHandle {
+    let mut db = SemanticWebDatabase::new();
+    db.set_metrics_level(MetricsLevel::Counters);
+    Server::start(db, quick_config()).expect("server start")
+}
+
+#[test]
+fn ingest_query_answer_health_metrics_round_trip() {
+    let server = start_default();
+    let addr = server.addr();
+
+    let (status, response) = request(
+        addr,
+        "POST",
+        "/ingest",
+        "<ex:paints> <rdfs:subPropertyOf> <ex:creates> .\n\
+         <ex:Picasso> <ex:paints> <ex:Guernica> .\n",
+    );
+    assert_eq!(status, 200, "{response}");
+    assert!(body_of(&response).contains("\"inserted\": 2"));
+
+    // The inferred triple is served from a pinned snapshot.
+    let (status, response) = request(
+        addr,
+        "POST",
+        "/query",
+        "(?X, ex:creates, ?Y) <- (?X, ex:creates, ?Y)",
+    );
+    assert_eq!(status, 200, "{response}");
+    assert!(body_of(&response).contains("<ex:Picasso> <ex:creates> <ex:Guernica>"));
+    assert!(response.contains("x-swdb-epoch:"));
+    assert!(response.contains("x-swdb-degraded: false"));
+
+    let (status, response) = request(
+        addr,
+        "POST",
+        "/answer?semantics=merge",
+        "(?X, ex:creates, ?Y) <- (?X, ex:creates, ?Y)",
+    );
+    assert_eq!(status, 200, "{response}");
+    assert!(body_of(&response).contains("\"answers\": 1"));
+    assert!(body_of(&response).contains("\"non_minimal\": false"));
+
+    let (status, response) = request(addr, "GET", "/health", "");
+    assert_eq!(status, 200);
+    assert!(body_of(&response).contains("\"asserted_triples\": 2"));
+
+    let (status, response) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(body_of(&response).contains("\"server_requests\""));
+    assert!(body_of(&response).contains("\"snapshots_published\""));
+
+    // Removal unwinds the answer.
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/remove",
+        "<ex:Picasso> <ex:paints> <ex:Guernica> .\n",
+    );
+    assert_eq!(status, 200);
+    let (status, response) = request(
+        addr,
+        "POST",
+        "/query",
+        "(?X, ex:creates, ?Y) <- (?X, ex:creates, ?Y)",
+    );
+    assert_eq!(status, 200);
+    assert!(!body_of(&response).contains("ex:Guernica"));
+
+    server.shutdown();
+}
+
+#[test]
+fn protocol_violations_get_the_right_4xx() {
+    let server = start_default();
+    let addr = server.addr();
+
+    let (status, _) = request(addr, "GET", "/no-such-endpoint", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "DELETE", "/ingest", "");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "POST", "/ingest", "this is not n-triples");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/query", "this is not a query");
+    assert_eq!(status, 400);
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/query?semantics=bogus",
+        "(?X, ex:p, ?X) <- (?X, ex:p, ?X)",
+    );
+    assert_eq!(status, 400);
+
+    let (status, _) = send_raw(addr, b"NONSENSE\r\n\r\n");
+    assert_eq!(status, 400, "malformed request line");
+    let (status, _) = send_raw(
+        addr,
+        b"POST /ingest HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+    );
+    assert_eq!(status, 501, "chunked is declined");
+    let (status, _) = send_raw(
+        addr,
+        b"POST /ingest HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n",
+    );
+    assert_eq!(status, 413, "body over the cap");
+    let huge_header = format!(
+        "GET /health HTTP/1.1\r\nx-filler: {}\r\n\r\n",
+        "a".repeat(64 << 10)
+    );
+    let (status, _) = send_raw(addr, huge_header.as_bytes());
+    assert_eq!(status, 431, "head over the cap");
+
+    // After all that abuse the server still serves.
+    let (status, _) = request(addr, "GET", "/health", "");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_is_cut_off_at_the_read_deadline() {
+    let server = start_default();
+    let addr = server.addr();
+    let t0 = std::time::Instant::now();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Drip half a request and then stall.
+    stream.write_all(b"GET /health HT").unwrap();
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    assert!(
+        out.starts_with("HTTP/1.1 408"),
+        "expected 408 cut-off, got: {out:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "the deadline must fire promptly"
+    );
+    let snapshot = server.metrics().snapshot();
+    assert!(
+        snapshot
+            .counters
+            .get("server_timeouts")
+            .copied()
+            .unwrap_or(0)
+            >= 1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_pipelining_serves_back_to_back_requests() {
+    let server = start_default();
+    let addr = server.addr();
+    let one = "GET /health HTTP/1.1\r\nhost: t\r\n\r\n";
+    let two = format!("{one}{one}");
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(two.as_bytes()).unwrap();
+    // Both pipelined requests are answered on the one connection; it then
+    // idles out at the read deadline (and may close with a final 408).
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    assert_eq!(
+        out.matches("HTTP/1.1 200").count(),
+        2,
+        "both pipelined requests must be answered: {out:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn a_panicking_handler_costs_one_connection_never_a_worker() {
+    let mut db = SemanticWebDatabase::new();
+    db.set_metrics_level(MetricsLevel::Counters);
+    let config = ServerConfig {
+        workers: 2,
+        enable_test_endpoints: true,
+        ..quick_config()
+    };
+    let server = Server::start(db, config).expect("server start");
+    let addr = server.addr();
+
+    // More deliberate panics than workers: if a panic killed its worker,
+    // the pool would be gone after two.
+    for _ in 0..6 {
+        let (_, response) = request(addr, "POST", "/panic", "");
+        assert!(
+            !response.contains("HTTP/1.1 200"),
+            "a panicked handler must not answer 200"
+        );
+    }
+    let (status, _) = request(addr, "GET", "/health", "");
+    assert_eq!(status, 200, "the pool must survive every panic");
+    let snapshot = server.metrics().snapshot();
+    assert_eq!(
+        snapshot.counters.get("server_panics").copied().unwrap_or(0),
+        6
+    );
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    let mut db = SemanticWebDatabase::new();
+    db.set_metrics_level(MetricsLevel::Counters);
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(db, config).expect("server start");
+    let addr = server.addr();
+
+    // Occupy the single worker with a stalled request, fill the
+    // depth-one queue with a second connection, then watch the third
+    // get shed.
+    let mut stall = TcpStream::connect(addr).unwrap();
+    stall.write_all(b"GET /health HT").unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    let mut queued = TcpStream::connect(addr).unwrap();
+    queued.write_all(b"GET").unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    let (status, response) = request(addr, "GET", "/health", "");
+    assert_eq!(status, 503, "{response}");
+    assert!(response.contains("retry-after:"));
+    let snapshot = server.metrics().snapshot();
+    assert!(snapshot.counters.get("server_shed").copied().unwrap_or(0) >= 1);
+    drop(stall);
+    drop(queued);
+    server.shutdown();
+}
+
+#[test]
+fn durability_fail_stop_degrades_to_503_writes_200_reads() {
+    let dir = tmp_dir("degraded");
+    let fault = FaultIo::new();
+    let mut db = SemanticWebDatabase::new();
+    db.set_metrics_level(MetricsLevel::Counters);
+    db.persist_to_with_io(&dir, Arc::new(fault.clone()))
+        .expect("attach durability");
+    let server = Server::start(db, quick_config()).expect("server start");
+    let addr = server.addr();
+
+    let (status, _) = request(addr, "POST", "/ingest", "<ex:a> <ex:p> <ex:b> .\n");
+    assert_eq!(status, 200, "durable write while healthy");
+
+    // The next WAL append fails: the write that hits it still succeeds in
+    // memory (fail-stop detaches the layer), then every later write is
+    // refused and every read keeps serving.
+    fault.arm(0, FaultKind::Fail);
+    let (status, _) = request(addr, "POST", "/ingest", "<ex:a> <ex:p> <ex:c> .\n");
+    assert_eq!(
+        status, 200,
+        "the detaching write itself is applied in memory"
+    );
+    fault.disarm();
+
+    let (status, response) = request(addr, "POST", "/ingest", "<ex:a> <ex:p> <ex:d> .\n");
+    assert_eq!(
+        status, 503,
+        "writes after fail-stop are refused: {response}"
+    );
+    assert!(response.contains("retry-after:"));
+    let (status, response) = request(addr, "POST", "/query", "(?X, ex:p, ?Y) <- (?X, ex:p, ?Y)");
+    assert_eq!(status, 200, "reads keep serving after fail-stop");
+    assert!(body_of(&response).contains("<ex:b>"));
+
+    // The detach is observable in the metrics snapshot.
+    let (_, response) = request(addr, "GET", "/metrics", "");
+    assert!(body_of(&response).contains("\"durability_detached\": 1"));
+    assert!(body_of(&response).contains("durability_error"));
+
+    let db = server.shutdown();
+    assert!(db.durability_error().is_some());
+
+    // The directory still recovers to the last durably-acknowledged state:
+    // the first ingest survived, the detaching and refused ones did not.
+    let recovered = SemanticWebDatabase::open(&dir).expect("reopen");
+    assert_eq!(recovered.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_rotates_and_hands_the_store_back() {
+    let dir = tmp_dir("shutdown");
+    let mut db = SemanticWebDatabase::new();
+    db.persist_to(&dir).expect("attach durability");
+    let server = Server::start(db, quick_config()).expect("server start");
+    let addr = server.addr();
+    let (status, _) = request(addr, "POST", "/ingest", "<ex:a> <ex:p> <ex:b> .\n");
+    assert_eq!(status, 200);
+
+    let db = server.shutdown();
+    assert_eq!(db.len(), 1);
+    assert!(db.is_durable(), "shutdown must not detach a healthy layer");
+    assert_eq!(
+        db.wal_records(),
+        0,
+        "the final snapshot_now rotation truncates the WAL"
+    );
+    drop(db);
+    let recovered = SemanticWebDatabase::open(&dir).expect("reopen");
+    assert_eq!(recovered.len(), 1);
+    assert_eq!(recovered.closure(), recovered.closure_recomputed());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -21,6 +21,7 @@
 //! | **reasoning** | [`reason`] | **incremental `RDFS-cl(G)` over id-triples** |
 //! | queries | [`query`], [`containment`] | tableau queries, answers, containment (§4–6) |
 //! | facade | [`core`] | [`core::SemanticWebDatabase`] ties everything together |
+//! | serving | [`server`] | std-only HTTP front end over published MVCC snapshots |
 //!
 //! ### The Graph / TripleStore duality
 //!
@@ -133,6 +134,29 @@
 //! are schedule-invariant where the semantics are: closure delta sizes and
 //! query/core counters are pinned equal across `SWDB_THREADS` by
 //! `tests/metrics_observability.rs`.
+//!
+//! ### Serving & snapshots
+//!
+//! Concurrent reads are served through a publication layer on the facade
+//! ([`core::publish`]): a writer commits as usual, then
+//! [`core::SemanticWebDatabase::publish`] atomically swaps an immutable,
+//! epoch-stamped [`core::PublishedSnapshot`] — the evaluation id-index,
+//! its dictionary, and the degraded/durability flags of the substrate that
+//! produced it — into an `Arc` slot that any number of
+//! [`core::SnapshotReader`]s pin and answer from without taking the facade
+//! lock. A pinned snapshot is bit-identical for as long as it is held;
+//! premise-free queries and Prop. 5.9 expansions are answered on it
+//! directly, while overlay-mechanism premise queries return
+//! [`core::SnapshotQueryError::NeedsWriter`] and fall back to the live
+//! facade. On top of that sits [`server`] (`swdb-server`), a std-only
+//! HTTP/1.1 front end — `TcpListener` plus a bounded worker pool — with
+//! ingest/remove/query/answer/health/metrics endpoints, per-connection
+//! read/write deadlines (slow-loris safe), request-size caps, load
+//! shedding (`503` + `Retry-After` from a bounded accept queue),
+//! per-connection panic isolation, degraded serving when durability has
+//! fail-stopped (`503` writes, `200` reads), and graceful shutdown that
+//! drains, rotates a final snapshot, and hands the database back. See
+//! `examples/http_server.rs` for an end-to-end run.
 
 pub use swdb_containment as containment;
 pub use swdb_core as core;
@@ -144,5 +168,6 @@ pub use swdb_normal as normal;
 pub use swdb_obs as obs;
 pub use swdb_query as query;
 pub use swdb_reason as reason;
+pub use swdb_server as server;
 pub use swdb_store as store;
 pub use swdb_workloads as workloads;
