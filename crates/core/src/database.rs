@@ -294,6 +294,13 @@ pub struct SemanticWebDatabase {
     /// Starts at epoch 0 (empty); [`SemanticWebDatabase::publish`] swaps in
     /// the next epoch.
     publish_slot: Arc<crate::publish::PublishSlot>,
+    /// The compiled plan + expansion cache (`swdb_query::plan`): join
+    /// orders costed once per query shape and `Ω_q` expansions computed
+    /// once per premise query, invalidated by a generation bump on every
+    /// mutation, regime switch, and dictionary growth. Defaults from
+    /// `SWDB_PLAN_CACHE` (on unless `0`/`off`); published snapshots get
+    /// their own cache (immutable substrate — it never invalidates).
+    plan_cache: swdb_query::PlanCache,
 }
 
 /// Sequence number making `SWDB_DATA_DIR` subdirectories unique within one
@@ -346,6 +353,9 @@ impl Clone for SemanticWebDatabase {
             // A fresh, unpublished slot: readers pinned on the original keep
             // observing the original's publications, never the clone's.
             publish_slot: Arc::new(crate::publish::PublishSlot::empty(self.metrics.clone())),
+            // A fresh, empty plan cache (same enablement): the clone's
+            // mutations must never resurrect plans costed on the original.
+            plan_cache: swdb_query::PlanCache::new(self.plan_cache.enabled()),
         }
     }
 }
@@ -375,6 +385,7 @@ impl SemanticWebDatabase {
             metrics,
             durability: None,
             durability_error: None,
+            plan_cache: swdb_query::PlanCache::from_env(),
         }
     }
 
@@ -540,6 +551,8 @@ impl SemanticWebDatabase {
             IdCoreEngine::from_state(state, dictionary, self.metrics.clone(), self.core_budget)
         });
         self.premise_cache.clear();
+        // The dictionary was rebuilt wholesale: doom every cached plan.
+        self.plan_cache.bump_generation();
     }
 
     /// Re-applies one WAL record through the live mutation paths (the
@@ -717,6 +730,9 @@ impl SemanticWebDatabase {
     /// invalidated because the published evaluation index may shrink.
     pub fn refresh_degraded(&mut self) -> bool {
         self.premise_cache.clear();
+        // The published evaluation index may shrink under a resumed core
+        // search, invalidating costed cardinalities.
+        self.plan_cache.bump_generation();
         let dictionary = self.reasoner.store().dictionary();
         let mut recovered = true;
         if let Some(engine) = self.evaluation.as_mut() {
@@ -799,6 +815,9 @@ impl SemanticWebDatabase {
             self.reasoner.store().dictionary().clone(),
             engine.index().clone(),
             self.metrics.clone(),
+            // The snapshot is immutable, so its plans stay valid for its
+            // whole lifetime: a fresh cache, never invalidated.
+            swdb_query::PlanCache::new(self.plan_cache.enabled()),
         ));
         self.publish_slot.swap(Arc::clone(&snapshot));
         self.metrics.count(Counter::SnapshotsPublished, 1);
@@ -870,10 +889,27 @@ impl SemanticWebDatabase {
             self.regime = regime;
             self.evaluation = None;
             self.premise_cache.clear();
+            // Plans were costed against the old regime's evaluation index;
+            // expansions are regime-gated. Doom both.
+            self.plan_cache.bump_generation();
             if self.durability.is_some() {
                 self.log_wal(&[WalRecord::SetRegime(encode_regime(regime))]);
             }
         }
+    }
+
+    /// Whether the compiled plan + expansion cache is in use (defaults
+    /// from `SWDB_PLAN_CACHE`: on unless set to `0`/`off`/`false`/`no`).
+    pub fn plan_cache_enabled(&self) -> bool {
+        self.plan_cache.enabled()
+    }
+
+    /// Enables or disables the compiled plan + expansion cache. The cache
+    /// is replaced (emptied) either way; disabling routes every query back
+    /// through the classic per-call compile-and-probe path, which the
+    /// equivalence property tests pin the planned path against.
+    pub fn set_plan_cache_enabled(&mut self, enabled: bool) {
+        self.plan_cache = swdb_query::PlanCache::new(enabled);
     }
 
     /// The stored graph (the raw assertions, not their closure).
@@ -948,6 +984,9 @@ impl SemanticWebDatabase {
     /// every mutation invalidates the cached premise overlays.
     fn feed_delta(&mut self, delta: &ClosureDelta, removal: bool) {
         self.premise_cache.clear();
+        // Mutation: the evaluation index (and possibly the dictionary)
+        // changed under every costed plan.
+        self.plan_cache.bump_generation();
         let none: &[IdTriple] = &[];
         if let Some(engine) = self.evaluation.as_mut() {
             let dictionary = self.reasoner.store().dictionary();
@@ -1206,7 +1245,16 @@ impl SemanticWebDatabase {
             .on(MetricsLevel::Debug)
             .then(std::time::Instant::now);
         let renamed = rename_premise_apart(premise, &self.graph);
+        let before = self.reasoner.store().dictionary().len();
         let ids = self.reasoner.intern_graph(&renamed);
+        if self.reasoner.store().dictionary().len() != before {
+            // Interning the premise grew the dictionary. Plans never cache
+            // resolved ids (constants re-resolve per call), but the growth
+            // is the agreed invalidation signal alongside mutation and
+            // regime switch: doom cached plans so none outlives a
+            // dictionary it was not costed under.
+            self.plan_cache.bump_generation();
+        }
         let engine = self.evaluation.as_ref().expect("just ensured");
         let delta: Vec<IdTriple> = match self.regime {
             EntailmentRegime::Rdfs => self.reasoner.preview_insert(&ids),
@@ -1287,12 +1335,34 @@ impl SemanticWebDatabase {
     /// span timing wraps every mechanism once).
     fn answer_inner(&mut self, query: &Query, semantics: Semantics, metrics: &Metrics) -> Graph {
         if query.is_premise_free() {
-            let (dictionary, index) = self.evaluation();
-            return swdb_query::id_answer_metered(query, dictionary, index, semantics, metrics);
+            self.ensure_evaluation();
+            let dictionary = self.reasoner.store().dictionary();
+            let index = self.evaluation.as_ref().expect("just ensured").index();
+            return swdb_query::planned_answer(
+                &self.plan_cache,
+                query,
+                dictionary,
+                index,
+                semantics,
+                metrics,
+            );
         }
         if self.premise_via_expansion(query) {
+            self.ensure_evaluation();
+            let dictionary = self.reasoner.store().dictionary();
+            let index = self.evaluation.as_ref().expect("just ensured").index();
+            if self.plan_cache.enabled() {
+                let (members, _) = swdb_query::expansion_members(&self.plan_cache, query, metrics);
+                return swdb_query::planned_answer_union(
+                    &self.plan_cache,
+                    &members,
+                    dictionary,
+                    index,
+                    semantics,
+                    metrics,
+                );
+            }
             let members = swdb_query::premise_free_expansion(query);
-            let (dictionary, index) = self.evaluation();
             if metrics.on(MetricsLevel::Counters) {
                 metrics.count(Counter::QueryCompiled, 1);
                 let metered = swdb_query::MeteredTarget::new(index);
@@ -1322,40 +1392,58 @@ impl SemanticWebDatabase {
     /// members of `Ω_q`; `join_order` and `patterns` describe the first
     /// member, probes/bindings/answers sum over all of them.
     pub fn explain(&mut self, query: &Query, semantics: Semantics) -> Explain {
+        let metrics = self.metrics.clone();
         if query.is_premise_free() {
-            let (dictionary, index) = self.evaluation();
-            let mut explain = swdb_query::explain_premise_free(query, dictionary, index, semantics);
+            self.ensure_evaluation();
+            let dictionary = self.reasoner.store().dictionary();
+            let index = self.evaluation.as_ref().expect("just ensured").index();
+            let mut explain = swdb_query::planned_explain(
+                &self.plan_cache,
+                query,
+                dictionary,
+                index,
+                semantics,
+                &metrics,
+            );
             explain.non_minimal = self.query_non_minimal(query);
             return explain;
         }
         if self.premise_via_expansion(query) {
-            let members = swdb_query::premise_free_expansion(query);
-            let (dictionary, index) = self.evaluation();
-            let mut merged: Option<Explain> = None;
-            for member in &members {
-                let e = swdb_query::explain_premise_free(member, dictionary, index, semantics);
-                match merged.as_mut() {
-                    None => merged = Some(e),
-                    Some(m) => {
-                        m.probes += e.probes;
-                        m.bindings += e.bindings;
-                        m.answers += e.answers;
+            self.ensure_evaluation();
+            let dictionary = self.reasoner.store().dictionary();
+            let index = self.evaluation.as_ref().expect("just ensured").index();
+            let mut explain = if self.plan_cache.enabled() {
+                let (members, hit) =
+                    swdb_query::expansion_members(&self.plan_cache, query, &metrics);
+                swdb_query::planned_explain_union(
+                    &self.plan_cache,
+                    &members,
+                    dictionary,
+                    index,
+                    semantics,
+                    &metrics,
+                    hit,
+                )
+            } else {
+                let members = swdb_query::premise_free_expansion(query);
+                let mut merged: Option<Explain> = None;
+                for member in &members {
+                    let e = swdb_query::explain_premise_free(member, dictionary, index, semantics);
+                    match merged.as_mut() {
+                        None => merged = Some(e),
+                        Some(m) => {
+                            m.probes += e.probes;
+                            m.bindings += e.bindings;
+                            m.answers += e.answers;
+                            m.truncated |= e.truncated;
+                        }
                     }
                 }
-            }
-            let mut explain = merged.unwrap_or_else(|| Explain {
-                mechanism: "expansion",
-                semantics: Explain::semantics_name(semantics),
-                members: 0,
-                patterns: 0,
-                join_order: Vec::new(),
-                probes: 0,
-                bindings: 0,
-                answers: 0,
-                non_minimal: false,
-            });
-            explain.mechanism = "expansion";
-            explain.members = members.len();
+                let mut explain = merged.unwrap_or_else(|| Explain::empty("expansion", semantics));
+                explain.mechanism = "expansion";
+                explain.members = members.len();
+                explain
+            };
             explain.non_minimal = self.query_non_minimal(query);
             return explain;
         }
@@ -1409,12 +1497,32 @@ impl SemanticWebDatabase {
     pub fn pre_answers(&mut self, query: &Query) -> Vec<Graph> {
         let metrics = self.metrics.clone();
         if query.is_premise_free() {
-            let (dictionary, index) = self.evaluation();
-            return swdb_query::id_pre_answers_metered(query, dictionary, index, &metrics);
+            self.ensure_evaluation();
+            let dictionary = self.reasoner.store().dictionary();
+            let index = self.evaluation.as_ref().expect("just ensured").index();
+            return swdb_query::planned_pre_answers(
+                &self.plan_cache,
+                query,
+                dictionary,
+                index,
+                &metrics,
+            );
         }
         if self.premise_via_expansion(query) {
+            self.ensure_evaluation();
+            let dictionary = self.reasoner.store().dictionary();
+            let index = self.evaluation.as_ref().expect("just ensured").index();
+            if self.plan_cache.enabled() {
+                let (members, _) = swdb_query::expansion_members(&self.plan_cache, query, &metrics);
+                return swdb_query::planned_pre_answers_union(
+                    &self.plan_cache,
+                    &members,
+                    dictionary,
+                    index,
+                    &metrics,
+                );
+            }
             let members = swdb_query::premise_free_expansion(query);
-            let (dictionary, index) = self.evaluation();
             return swdb_query::id_pre_answers_of_queries(&members, dictionary, index);
         }
         let (dictionary, target) = self.premise_target(query.premise());
@@ -1428,12 +1536,32 @@ impl SemanticWebDatabase {
     pub fn answer_is_empty(&mut self, query: &Query) -> bool {
         let metrics = self.metrics.clone();
         if query.is_premise_free() {
-            let (dictionary, index) = self.evaluation();
-            return swdb_query::id_answer_is_empty_metered(query, dictionary, index, &metrics);
+            self.ensure_evaluation();
+            let dictionary = self.reasoner.store().dictionary();
+            let index = self.evaluation.as_ref().expect("just ensured").index();
+            return swdb_query::planned_answer_is_empty(
+                &self.plan_cache,
+                query,
+                dictionary,
+                index,
+                &metrics,
+            );
         }
         if self.premise_via_expansion(query) {
+            self.ensure_evaluation();
+            let dictionary = self.reasoner.store().dictionary();
+            let index = self.evaluation.as_ref().expect("just ensured").index();
+            if self.plan_cache.enabled() {
+                let (members, _) = swdb_query::expansion_members(&self.plan_cache, query, &metrics);
+                return swdb_query::planned_union_is_empty(
+                    &self.plan_cache,
+                    &members,
+                    dictionary,
+                    index,
+                    &metrics,
+                );
+            }
             let members = swdb_query::premise_free_expansion(query);
-            let (dictionary, index) = self.evaluation();
             return swdb_query::id_union_answer_is_empty(&members, dictionary, index);
         }
         let (dictionary, target) = self.premise_target(query.premise());

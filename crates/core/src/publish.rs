@@ -87,6 +87,12 @@ pub struct PublishedSnapshot {
     dictionary: Dictionary,
     index: IdIndex,
     metrics: Metrics,
+    /// The snapshot's own compiled plan + expansion cache
+    /// (`swdb_query::plan`). The snapshot is immutable, so — unlike the
+    /// writer's cache — nothing ever invalidates it: every repeated query
+    /// shape served from this snapshot reuses its plan for the snapshot's
+    /// whole lifetime.
+    plan_cache: swdb_query::PlanCache,
 }
 
 impl PublishedSnapshot {
@@ -102,6 +108,7 @@ impl PublishedSnapshot {
         dictionary: Dictionary,
         index: IdIndex,
         metrics: Metrics,
+        plan_cache: swdb_query::PlanCache,
     ) -> Self {
         PublishedSnapshot {
             epoch,
@@ -112,6 +119,7 @@ impl PublishedSnapshot {
             dictionary,
             index,
             metrics,
+            plan_cache,
         }
     }
 
@@ -192,7 +200,8 @@ impl PublishedSnapshot {
         metrics: &Metrics,
     ) -> Result<Graph, SnapshotQueryError> {
         if query.is_premise_free() {
-            return Ok(swdb_query::id_answer_metered(
+            return Ok(swdb_query::planned_answer(
+                &self.plan_cache,
                 query,
                 &self.dictionary,
                 &self.index,
@@ -201,6 +210,17 @@ impl PublishedSnapshot {
             ));
         }
         if expansion_eligible(self.regime, query) {
+            if self.plan_cache.enabled() {
+                let (members, _) = swdb_query::expansion_members(&self.plan_cache, query, metrics);
+                return Ok(swdb_query::planned_answer_union(
+                    &self.plan_cache,
+                    &members,
+                    &self.dictionary,
+                    &self.index,
+                    semantics,
+                    metrics,
+                ));
+            }
             let members = swdb_query::premise_free_expansion(query);
             if metrics.on(MetricsLevel::Counters) {
                 metrics.count(Counter::QueryCompiled, 1);
@@ -242,7 +262,8 @@ impl PublishedSnapshot {
     pub fn pre_answers(&self, query: &Query) -> Result<Vec<Graph>, SnapshotQueryError> {
         let metrics = &self.metrics;
         if query.is_premise_free() {
-            return Ok(swdb_query::id_pre_answers_metered(
+            return Ok(swdb_query::planned_pre_answers(
+                &self.plan_cache,
                 query,
                 &self.dictionary,
                 &self.index,
@@ -250,6 +271,16 @@ impl PublishedSnapshot {
             ));
         }
         if expansion_eligible(self.regime, query) {
+            if self.plan_cache.enabled() {
+                let (members, _) = swdb_query::expansion_members(&self.plan_cache, query, metrics);
+                return Ok(swdb_query::planned_pre_answers_union(
+                    &self.plan_cache,
+                    &members,
+                    &self.dictionary,
+                    &self.index,
+                    metrics,
+                ));
+            }
             let members = swdb_query::premise_free_expansion(query);
             return Ok(swdb_query::id_pre_answers_of_queries(
                 &members,
@@ -265,7 +296,8 @@ impl PublishedSnapshot {
     pub fn answer_is_empty(&self, query: &Query) -> Result<bool, SnapshotQueryError> {
         let metrics = &self.metrics;
         if query.is_premise_free() {
-            return Ok(swdb_query::id_answer_is_empty_metered(
+            return Ok(swdb_query::planned_answer_is_empty(
+                &self.plan_cache,
                 query,
                 &self.dictionary,
                 &self.index,
@@ -273,6 +305,16 @@ impl PublishedSnapshot {
             ));
         }
         if expansion_eligible(self.regime, query) {
+            if self.plan_cache.enabled() {
+                let (members, _) = swdb_query::expansion_members(&self.plan_cache, query, metrics);
+                return Ok(swdb_query::planned_union_is_empty(
+                    &self.plan_cache,
+                    &members,
+                    &self.dictionary,
+                    &self.index,
+                    metrics,
+                ));
+            }
             let members = swdb_query::premise_free_expansion(query);
             return Ok(swdb_query::id_union_answer_is_empty(
                 &members,
@@ -293,44 +335,57 @@ impl PublishedSnapshot {
         query: &Query,
         semantics: Semantics,
     ) -> Result<Explain, SnapshotQueryError> {
+        let metrics = &self.metrics;
         if query.is_premise_free() {
-            let mut explain =
-                swdb_query::explain_premise_free(query, &self.dictionary, &self.index, semantics);
+            let mut explain = swdb_query::planned_explain(
+                &self.plan_cache,
+                query,
+                &self.dictionary,
+                &self.index,
+                semantics,
+                metrics,
+            );
             explain.non_minimal = self.non_minimal;
             return Ok(explain);
         }
         if expansion_eligible(self.regime, query) {
-            let members = swdb_query::premise_free_expansion(query);
-            let mut merged: Option<Explain> = None;
-            for member in &members {
-                let e = swdb_query::explain_premise_free(
-                    member,
+            let mut explain = if self.plan_cache.enabled() {
+                let (members, hit) =
+                    swdb_query::expansion_members(&self.plan_cache, query, metrics);
+                swdb_query::planned_explain_union(
+                    &self.plan_cache,
+                    &members,
                     &self.dictionary,
                     &self.index,
                     semantics,
-                );
-                match merged.as_mut() {
-                    None => merged = Some(e),
-                    Some(m) => {
-                        m.probes += e.probes;
-                        m.bindings += e.bindings;
-                        m.answers += e.answers;
+                    metrics,
+                    hit,
+                )
+            } else {
+                let members = swdb_query::premise_free_expansion(query);
+                let mut merged: Option<Explain> = None;
+                for member in &members {
+                    let e = swdb_query::explain_premise_free(
+                        member,
+                        &self.dictionary,
+                        &self.index,
+                        semantics,
+                    );
+                    match merged.as_mut() {
+                        None => merged = Some(e),
+                        Some(m) => {
+                            m.probes += e.probes;
+                            m.bindings += e.bindings;
+                            m.answers += e.answers;
+                            m.truncated |= e.truncated;
+                        }
                     }
                 }
-            }
-            let mut explain = merged.unwrap_or_else(|| Explain {
-                mechanism: "expansion",
-                semantics: Explain::semantics_name(semantics),
-                members: 0,
-                patterns: 0,
-                join_order: Vec::new(),
-                probes: 0,
-                bindings: 0,
-                answers: 0,
-                non_minimal: false,
-            });
-            explain.mechanism = "expansion";
-            explain.members = members.len();
+                let mut explain = merged.unwrap_or_else(|| Explain::empty("expansion", semantics));
+                explain.mechanism = "expansion";
+                explain.members = members.len();
+                explain
+            };
             explain.non_minimal = self.non_minimal;
             return Ok(explain);
         }
@@ -361,6 +416,7 @@ impl PublishSlot {
                 Dictionary::default(),
                 IdIndex::new(),
                 metrics,
+                swdb_query::PlanCache::from_env(),
             ))),
         }
     }

@@ -296,6 +296,7 @@ pub struct IdSolver<'a, T: IdTarget> {
     target: &'a T,
     recorder: Option<&'a JoinOrderLog>,
     budget: Option<&'a Budget>,
+    order: Option<&'a [usize]>,
 }
 
 impl<'a, T: IdTarget> IdSolver<'a, T> {
@@ -308,6 +309,7 @@ impl<'a, T: IdTarget> IdSolver<'a, T> {
             target,
             recorder: None,
             budget: None,
+            order: None,
         }
     }
 
@@ -325,7 +327,29 @@ impl<'a, T: IdTarget> IdSolver<'a, T> {
             target,
             recorder: Some(recorder),
             budget: None,
+            order: None,
         }
+    }
+
+    /// Executes a **static join plan** instead of the dynamic
+    /// most-constrained-first selection: `order` lists the original pattern
+    /// indices in execution order (a permutation of `0..patterns.len()`).
+    /// The search then issues **zero** selectivity probes — a planner has
+    /// already paid them once — while the candidate scans, repeated-slot
+    /// consistency checks, and budget accounting stay identical. Any
+    /// permutation yields the same solution *set* (join order is
+    /// correctness-neutral), only the traversal cost differs.
+    pub fn with_order(mut self, order: &'a [usize]) -> Self {
+        debug_assert_eq!(order.len(), self.patterns.len());
+        self.order = Some(order);
+        self
+    }
+
+    /// Like [`IdSolver::with_recorder`] as a builder: records the join
+    /// order the search takes (planned or dynamic) into `recorder`.
+    pub fn recording_into(mut self, recorder: &'a JoinOrderLog) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Bounds the search by a cooperative budget, checked at probe
@@ -345,11 +369,66 @@ impl<'a, T: IdTarget> IdSolver<'a, T> {
         &self,
         visit: &mut impl FnMut(&[Option<TermId>]) -> ControlFlow<B>,
     ) -> Option<B> {
-        let mut remaining: Vec<&IdTriplePattern> = self.patterns.iter().collect();
         let mut binding: Vec<Option<TermId>> = vec![None; self.slots];
-        match self.search(&mut remaining, &mut binding, visit) {
+        let outcome = if let Some(order) = self.order {
+            self.search_planned(0, order, &mut binding, visit)
+        } else {
+            let mut remaining: Vec<&IdTriplePattern> = self.patterns.iter().collect();
+            self.search(&mut remaining, &mut binding, visit)
+        };
+        match outcome {
             ControlFlow::Break(b) => Some(b),
             ControlFlow::Continue(()) => None,
+        }
+    }
+
+    /// The static-plan counterpart of [`IdSolver::search`]: the pattern at
+    /// each depth is `order[depth]`, so no per-node selection round and no
+    /// selectivity probes happen. Budget accounting keeps the per-candidate
+    /// unit plus one unit per node entered (the probe units the dynamic
+    /// path would have spent are exactly what the plan saves).
+    fn search_planned<B>(
+        &self,
+        depth: usize,
+        order: &[usize],
+        binding: &mut Vec<Option<TermId>>,
+        visit: &mut impl FnMut(&[Option<TermId>]) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        let Some(&pattern_index) = order.get(depth) else {
+            return visit(binding);
+        };
+        if let Some(budget) = self.budget {
+            if !budget.spend(1) {
+                return ControlFlow::Continue(());
+            }
+        }
+        let chosen = self.patterns[pattern_index];
+        if let Some(log) = self.recorder {
+            log.record(depth, pattern_index);
+        }
+        let mut broke: Option<B> = None;
+        self.target.scan_while(chosen.to_scan(binding), |triple| {
+            if self.budget.is_some_and(|b| !b.spend(1)) {
+                return false;
+            }
+            let Some((newly_bound, bound_count)) = try_bind(&chosen, triple, binding) else {
+                return true;
+            };
+            let keep_scanning = match self.search_planned(depth + 1, order, binding, visit) {
+                ControlFlow::Break(b) => {
+                    broke = Some(b);
+                    false
+                }
+                ControlFlow::Continue(()) => true,
+            };
+            for &slot in &newly_bound[..bound_count] {
+                binding[slot] = None;
+            }
+            keep_scanning
+        });
+        match broke {
+            Some(b) => ControlFlow::Break(b),
+            None => ControlFlow::Continue(()),
         }
     }
 
@@ -385,56 +464,27 @@ impl<'a, T: IdTarget> IdSolver<'a, T> {
         }
 
         let mut broke: Option<B> = None;
-        self.target
-            .scan_while(chosen.to_scan(binding), |(s, p, o)| {
-                // One budget unit per candidate visited; stop the scan as
-                // soon as the slice is gone.
-                if self.budget.is_some_and(|b| !b.spend(1)) {
-                    return false;
+        self.target.scan_while(chosen.to_scan(binding), |triple| {
+            // One budget unit per candidate visited; stop the scan as
+            // soon as the slice is gone.
+            if self.budget.is_some_and(|b| !b.spend(1)) {
+                return false;
+            }
+            let Some((newly_bound, bound_count)) = try_bind(chosen, triple, binding) else {
+                return true;
+            };
+            let keep_scanning = match self.search(remaining, binding, visit) {
+                ControlFlow::Break(b) => {
+                    broke = Some(b);
+                    false
                 }
-                // Bind the unbound slots of the chosen pattern to the candidate's
-                // positions; bound positions already match by construction of the
-                // scan, and a repeated variable's second occurrence is checked
-                // against the binding its first occurrence just made.
-                let mut newly_bound = [usize::MAX; 3];
-                let mut bound_count = 0;
-                let mut consistent = true;
-                for (position, actual) in [
-                    (chosen.subject, s),
-                    (chosen.predicate, p),
-                    (chosen.object, o),
-                ] {
-                    if let IdPatternTerm::Var(slot) = position {
-                        match binding[slot] {
-                            Some(existing) if existing == actual => {}
-                            Some(_) => {
-                                consistent = false;
-                                break;
-                            }
-                            None => {
-                                binding[slot] = Some(actual);
-                                newly_bound[bound_count] = slot;
-                                bound_count += 1;
-                            }
-                        }
-                    }
-                }
-                let keep_scanning = if consistent {
-                    match self.search(remaining, binding, visit) {
-                        ControlFlow::Break(b) => {
-                            broke = Some(b);
-                            false
-                        }
-                        ControlFlow::Continue(()) => true,
-                    }
-                } else {
-                    true
-                };
-                for &slot in &newly_bound[..bound_count] {
-                    binding[slot] = None;
-                }
-                keep_scanning
-            });
+                ControlFlow::Continue(()) => true,
+            };
+            for &slot in &newly_bound[..bound_count] {
+                binding[slot] = None;
+            }
+            keep_scanning
+        });
         // Restore the pattern list order-insensitively (selection is
         // dynamic, so only the set matters).
         remaining.push(chosen);
@@ -463,6 +513,43 @@ impl<'a, T: IdTarget> IdSolver<'a, T> {
             )
         })
     }
+}
+
+/// Binds the unbound slots of `chosen` to the candidate triple's positions.
+/// Bound positions already match by construction of the scan; a repeated
+/// variable's second occurrence is checked against the binding its first
+/// occurrence just made. Returns the newly bound slots on success; on a
+/// consistency clash the partial binds are undone and `None` is returned.
+fn try_bind(
+    chosen: &IdTriplePattern,
+    (s, p, o): IdTriple,
+    binding: &mut [Option<TermId>],
+) -> Option<([usize; 3], usize)> {
+    let mut newly_bound = [usize::MAX; 3];
+    let mut bound_count = 0;
+    for (position, actual) in [
+        (chosen.subject, s),
+        (chosen.predicate, p),
+        (chosen.object, o),
+    ] {
+        if let IdPatternTerm::Var(slot) = position {
+            match binding[slot] {
+                Some(existing) if existing == actual => {}
+                Some(_) => {
+                    for &undo in &newly_bound[..bound_count] {
+                        binding[undo] = None;
+                    }
+                    return None;
+                }
+                None => {
+                    binding[slot] = Some(actual);
+                    newly_bound[bound_count] = slot;
+                    bound_count += 1;
+                }
+            }
+        }
+    }
+    Some((newly_bound, bound_count))
 }
 
 #[cfg(test)]
@@ -651,6 +738,71 @@ mod tests {
         assert_eq!(log.order(), vec![1, 0]);
         assert_eq!(log.take(), vec![1, 0]);
         assert!(log.order().is_empty(), "take resets the log");
+    }
+
+    #[test]
+    fn planned_order_yields_the_same_solutions_as_dynamic_selection() {
+        let idx = index();
+        let patterns = [
+            pattern(var(0), constant(10), var(1)),
+            pattern(var(1), constant(11), var(2)),
+        ];
+        let mut dynamic: Vec<Vec<TermId>> = Vec::new();
+        IdSolver::new(&patterns, 3, &idx).for_each_solution(&mut |slots| {
+            dynamic.push(slots.iter().map(|s| s.unwrap()).collect());
+            ControlFlow::<()>::Continue(())
+        });
+        dynamic.sort();
+        // Every permutation — including the anti-selective one — agrees.
+        for order in [[0, 1], [1, 0]] {
+            let mut planned: Vec<Vec<TermId>> = Vec::new();
+            IdSolver::new(&patterns, 3, &idx)
+                .with_order(&order)
+                .for_each_solution(&mut |slots| {
+                    planned.push(slots.iter().map(|s| s.unwrap()).collect());
+                    ControlFlow::<()>::Continue(())
+                });
+            planned.sort();
+            assert_eq!(planned, dynamic, "order {order:?} changed the answers");
+        }
+    }
+
+    #[test]
+    fn planned_order_is_what_the_recorder_sees() {
+        let idx = index();
+        let patterns = [
+            pattern(var(0), constant(10), var(1)),
+            pattern(var(1), constant(11), var(2)),
+        ];
+        // Deliberately the opposite of what dynamic selection would pick.
+        let order = [0, 1];
+        let log = JoinOrderLog::new();
+        let solver = IdSolver::new(&patterns, 3, &idx)
+            .with_order(&order)
+            .recording_into(&log);
+        assert!(solver.exists());
+        assert_eq!(log.order(), vec![0, 1]);
+    }
+
+    #[test]
+    fn planned_search_respects_the_budget() {
+        let mut idx = IdIndex::new();
+        for o in 0..100 {
+            idx.insert((1, 10, o));
+        }
+        let patterns = [pattern(constant(1), constant(10), var(0))];
+        let order = [0];
+        let budget = Budget::steps(4);
+        let solver = IdSolver::new(&patterns, 1, &idx)
+            .with_order(&order)
+            .with_budget(&budget);
+        let mut seen = 0usize;
+        solver.for_each_solution(&mut |_slots| {
+            seen += 1;
+            ControlFlow::<()>::Continue(())
+        });
+        assert!(budget.is_exhausted());
+        assert!(seen > 0 && seen < 100, "partial: got {seen} of 100");
     }
 
     #[test]

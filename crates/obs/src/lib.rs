@@ -144,6 +144,19 @@ keyed_enum! {
         QueryBindings => "query_bindings",
         /// Answers materialized into result graphs.
         QueryAnswers => "query_answers",
+        /// Enumerations cut off at the solution limit: the produced answer
+        /// set (or emptiness verdict) may be incomplete. The query-side
+        /// analogue of the degraded-core warning — surfaced in
+        /// `Explain::truncated` and the snapshot warnings.
+        QueryTruncations => "query_truncations",
+        /// Planned executions that reused a cached compiled plan.
+        PlanCacheHits => "plan_cache_hits",
+        /// Planned executions that compiled, probed, and planned from
+        /// scratch (then cached the plan).
+        PlanCacheMisses => "plan_cache_misses",
+        /// Plan-cache entries evicted — least-recently-used on capacity,
+        /// or found stale under a newer generation.
+        PlanCacheEvictions => "plan_cache_evictions",
         /// Blank components re-cored by the incremental core engine.
         CoreComponentsRecored => "core_components_recored",
         /// Successful folds applied by the retraction searches.
@@ -587,6 +600,15 @@ impl Metrics {
                  after core budget exhaustion; certain answers stay sound but non-minimal \
                  until a recore succeeds — raise SWDB_CORE_BUDGET or call refresh_degraded",
                 degraded.uncored_components, degraded.uncored_triples
+            ));
+        }
+        let truncated =
+            self.inner.counters[Counter::QueryTruncations as usize].load(Ordering::Relaxed);
+        if truncated > 0 {
+            warnings.push(format!(
+                "{truncated} query enumeration(s) hit the solution limit and were \
+                 truncated; the affected answer sets (and emptiness verdicts) may be \
+                 incomplete — check Explain::truncated and narrow the query"
             ));
         }
         let wal_live = self.inner.gauges[Gauge::WalLiveRecords as usize].load(Ordering::Relaxed);

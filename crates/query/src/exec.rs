@@ -87,6 +87,31 @@ impl<T: IdTarget> IdTarget for MeteredTarget<'_, T> {
     }
 }
 
+/// Per-execution controls threaded through the enumeration cores, shared by
+/// the planned (static join order from `crate::plan`) and unplanned paths.
+/// `Default` is the classic behavior: compile per call, dynamic
+/// most-constrained-first selection, no recording.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct ExecHooks<'a> {
+    /// Execute this static join order (original pattern indices) instead of
+    /// re-probing selectivity at every backtrack node.
+    pub order: Option<&'a [usize]>,
+    /// Record the join order actually taken (planned or dynamic).
+    pub recorder: Option<&'a JoinOrderLog>,
+    /// Use this pre-compiled body (a plan-cache hit) instead of compiling.
+    pub compiled: Option<&'a CompiledBody>,
+}
+
+/// What one enumeration actually did, reported back to explain/plan callers.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct ExecStats {
+    /// Bindings (complete solutions) enumerated.
+    pub bindings: u64,
+    /// The enumeration hit [`DEFAULT_SOLUTION_LIMIT`] and stopped: the
+    /// produced answer set (or emptiness verdict) may be incomplete.
+    pub truncated: bool,
+}
+
 /// A premise-free query body compiled against a dictionary.
 #[derive(Clone, Debug)]
 pub struct CompiledBody {
@@ -96,6 +121,12 @@ pub struct CompiledBody {
 }
 
 impl CompiledBody {
+    /// Assembles a compiled body from already-resolved parts (the plan
+    /// cache re-instantiates cached pattern templates against the current
+    /// dictionary and hands the result here).
+    pub(crate) fn from_parts(patterns: Vec<IdTriplePattern>, vars: Vec<Variable>) -> Self {
+        CompiledBody { patterns, vars }
+    }
     /// The compiled patterns.
     pub fn patterns(&self) -> &[IdTriplePattern] {
         &self.patterns
@@ -267,48 +298,108 @@ pub fn id_pre_answers_metered<T: IdTarget>(
     target: &T,
     metrics: &Metrics,
 ) -> Vec<Graph> {
+    let mut stats = ExecStats::default();
     if metrics.on(MetricsLevel::Counters) {
         metrics.count(Counter::QueryCompiled, 1);
         let metered = MeteredTarget::new(target);
-        let singles = id_pre_answers_core(query, dictionary, &metered, metrics);
+        let singles = id_pre_answers_core(
+            query,
+            dictionary,
+            &metered,
+            metrics,
+            ExecHooks::default(),
+            &mut stats,
+        );
         metered.flush(metrics);
         metrics.count(Counter::QueryAnswers, singles.len() as u64);
         return singles;
     }
-    id_pre_answers_core(query, dictionary, target, metrics)
+    id_pre_answers_core(
+        query,
+        dictionary,
+        target,
+        metrics,
+        ExecHooks::default(),
+        &mut stats,
+    )
 }
 
-fn id_pre_answers_core<T: IdTarget>(
+/// Builds the underlying solver for a compiled body, honoring the hooks'
+/// static order and recorder.
+fn solver_with<'a, T: IdTarget>(
+    compiled: &'a CompiledBody,
+    target: &'a T,
+    hooks: ExecHooks<'a>,
+) -> swdb_hom::IdSolver<'a, T> {
+    let mut solver = swdb_hom::IdSolver::new(&compiled.patterns, compiled.vars.len(), target);
+    if let Some(order) = hooks.order {
+        solver = solver.with_order(order);
+    }
+    if let Some(recorder) = hooks.recorder {
+        solver = solver.recording_into(recorder);
+    }
+    solver
+}
+
+/// Resolves the compiled body for an execution: the hooks' pre-compiled one
+/// (a plan-cache hit — nothing to count), or a fresh per-call compilation
+/// (counted into [`Counter::QueryPatternsCompiled`]); `None` on the
+/// unknown-constant fast path.
+macro_rules! resolve_body {
+    ($query:expr, $dictionary:expr, $metrics:expr, $hooks:expr, $owned:ident) => {
+        match $hooks.compiled {
+            Some(compiled) => compiled,
+            None => match compile_body($query.body(), $dictionary) {
+                Some(compiled) => {
+                    $metrics.count(
+                        Counter::QueryPatternsCompiled,
+                        compiled.patterns.len() as u64,
+                    );
+                    $owned = compiled;
+                    &$owned
+                }
+                None => return Default::default(),
+            },
+        }
+    };
+}
+
+pub(crate) fn id_pre_answers_core<T: IdTarget>(
     query: &Query,
     dictionary: &Dictionary,
     target: &T,
     metrics: &Metrics,
+    hooks: ExecHooks<'_>,
+    stats: &mut ExecStats,
 ) -> Vec<Graph> {
     let mut seen = std::collections::BTreeSet::new();
     let mut singles: Vec<Graph> = Vec::new();
     if head_has_blank_consts(query) {
         // Skolem values depend on every body variable: full decode per
         // matching.
-        for_each_matching(query, dictionary, target, metrics, |binding| {
-            if let Some(answer) = single_answer(query, &binding) {
-                if seen.insert(answer.clone()) {
-                    singles.push(answer);
+        for_each_matching_hooked(
+            query,
+            dictionary,
+            target,
+            metrics,
+            hooks,
+            stats,
+            |binding| {
+                if let Some(answer) = single_answer(query, &binding) {
+                    if seen.insert(answer.clone()) {
+                        singles.push(answer);
+                    }
                 }
-            }
-        });
+            },
+        );
         return singles;
     }
-    let Some(compiled) = compile_body(query.body(), dictionary) else {
-        return singles;
-    };
-    metrics.count(
-        Counter::QueryPatternsCompiled,
-        compiled.patterns.len() as u64,
-    );
-    let head_slots = head_slot_projection(query, &compiled);
+    let owned;
+    let compiled = resolve_body!(query, dictionary, metrics, hooks, owned);
+    let head_slots = head_slot_projection(query, compiled);
     let mut seen_rows = std::collections::BTreeSet::new();
     let mut enumerated = 0usize;
-    IdSolver::new(&compiled, target).for_each_solution(&mut |slots| {
+    solver_with(compiled, target, hooks).for_each_solution(&mut |slots| {
         let row: Vec<TermId> = head_slots
             .iter()
             .map(|(slot, _)| slots[*slot].expect("complete solution"))
@@ -330,12 +421,15 @@ fn id_pre_answers_core<T: IdTarget>(
         }
         enumerated += 1;
         if enumerated >= DEFAULT_SOLUTION_LIMIT {
+            stats.truncated = true;
+            metrics.count(Counter::QueryTruncations, 1);
             ControlFlow::Break(())
         } else {
             ControlFlow::<()>::Continue(())
         }
     });
     metrics.count(Counter::QueryBindings, enumerated as u64);
+    stats.bindings += enumerated as u64;
     singles
 }
 
@@ -368,19 +462,57 @@ pub fn id_answer_metered<T: IdTarget>(
     semantics: Semantics,
     metrics: &Metrics,
 ) -> Graph {
+    let mut stats = ExecStats::default();
     if semantics == Semantics::Union && !head_has_blank_consts(query) {
         if metrics.on(MetricsLevel::Counters) {
             metrics.count(Counter::QueryCompiled, 1);
             let metered = MeteredTarget::new(target);
-            let answer = id_answer_union_direct(query, dictionary, &metered, metrics);
+            let answer = id_answer_union_direct(
+                query,
+                dictionary,
+                &metered,
+                metrics,
+                ExecHooks::default(),
+                &mut stats,
+            );
             metered.flush(metrics);
             metrics.count(Counter::QueryAnswers, answer.len() as u64);
             return answer;
         }
-        return id_answer_union_direct(query, dictionary, target, metrics);
+        return id_answer_union_direct(
+            query,
+            dictionary,
+            target,
+            metrics,
+            ExecHooks::default(),
+            &mut stats,
+        );
     }
     combine(
         id_pre_answers_metered(query, dictionary, target, metrics),
+        semantics,
+    )
+}
+
+/// The semantics-dispatching answer core the planned and explain paths
+/// share: the union-direct projection when it applies, the
+/// pre-answers + [`combine`] pipeline otherwise. Counting conventions
+/// follow the cores (no `QueryCompiled`/`QueryAnswers`/probe flushing —
+/// callers own the metered shell).
+pub(crate) fn id_answer_core<T: IdTarget>(
+    query: &Query,
+    dictionary: &Dictionary,
+    target: &T,
+    semantics: Semantics,
+    metrics: &Metrics,
+    hooks: ExecHooks<'_>,
+    stats: &mut ExecStats,
+) -> Graph {
+    if semantics == Semantics::Union && !head_has_blank_consts(query) {
+        return id_answer_union_direct(query, dictionary, target, metrics, hooks, stats);
+    }
+    combine(
+        id_pre_answers_core(query, dictionary, target, metrics, hooks, stats),
         semantics,
     )
 }
@@ -429,16 +561,13 @@ fn id_answer_union_direct<T: IdTarget>(
     dictionary: &Dictionary,
     target: &T,
     metrics: &Metrics,
+    hooks: ExecHooks<'_>,
+    stats: &mut ExecStats,
 ) -> Graph {
     let mut answer = Graph::new();
-    let Some(compiled) = compile_body(query.body(), dictionary) else {
-        return answer;
-    };
-    metrics.count(
-        Counter::QueryPatternsCompiled,
-        compiled.patterns.len() as u64,
-    );
-    let head_slots = head_slot_projection(query, &compiled);
+    let owned;
+    let compiled = resolve_body!(query, dictionary, metrics, hooks, owned);
+    let head_slots = head_slot_projection(query, compiled);
     // Constraints only mention head variables, so they become non-blank
     // checks on projected slots.
     let constraint_slots: Vec<usize> = query
@@ -483,7 +612,7 @@ fn id_answer_union_direct<T: IdTarget>(
     let mut seen_rows = std::collections::BTreeSet::new();
     let mut enumerated = 0usize;
     let mut row_triples: Vec<swdb_model::Triple> = Vec::with_capacity(head_plan.len());
-    IdSolver::new(&compiled, target).for_each_solution(&mut |slots| {
+    solver_with(compiled, target, hooks).for_each_solution(&mut |slots| {
         let row: Vec<TermId> = head_slots
             .iter()
             .map(|(slot, _)| slots[*slot].expect("complete solution"))
@@ -530,12 +659,15 @@ fn id_answer_union_direct<T: IdTarget>(
         }
         enumerated += 1;
         if enumerated >= DEFAULT_SOLUTION_LIMIT {
+            stats.truncated = true;
+            metrics.count(Counter::QueryTruncations, 1);
             ControlFlow::Break(())
         } else {
             ControlFlow::<()>::Continue(())
         }
     });
     metrics.count(Counter::QueryBindings, enumerated as u64);
+    stats.bindings += enumerated as u64;
     answer
 }
 
@@ -557,30 +689,56 @@ pub fn id_answer_is_empty_metered<T: IdTarget>(
     target: &T,
     metrics: &Metrics,
 ) -> bool {
+    let mut stats = ExecStats::default();
     if metrics.on(MetricsLevel::Counters) {
         metrics.count(Counter::QueryCompiled, 1);
         let metered = MeteredTarget::new(target);
-        let empty = id_answer_is_empty_core(query, dictionary, &metered, metrics);
+        let empty = id_answer_is_empty_core(
+            query,
+            dictionary,
+            &metered,
+            metrics,
+            ExecHooks::default(),
+            &mut stats,
+        );
         metered.flush(metrics);
         return empty;
     }
-    id_answer_is_empty_core(query, dictionary, target, metrics)
+    id_answer_is_empty_core(
+        query,
+        dictionary,
+        target,
+        metrics,
+        ExecHooks::default(),
+        &mut stats,
+    )
 }
 
-fn id_answer_is_empty_core<T: IdTarget>(
+pub(crate) fn id_answer_is_empty_core<T: IdTarget>(
     query: &Query,
     dictionary: &Dictionary,
     target: &T,
     metrics: &Metrics,
+    hooks: ExecHooks<'_>,
+    stats: &mut ExecStats,
 ) -> bool {
-    let Some(compiled) = compile_body(query.body(), dictionary) else {
-        return true;
+    let owned;
+    let compiled = match hooks.compiled {
+        Some(compiled) => compiled,
+        None => match compile_body(query.body(), dictionary) {
+            Some(compiled) => {
+                metrics.count(
+                    Counter::QueryPatternsCompiled,
+                    compiled.patterns.len() as u64,
+                );
+                owned = compiled;
+                &owned
+            }
+            // An unknown body constant matches nothing: genuinely empty.
+            None => return true,
+        },
     };
-    metrics.count(
-        Counter::QueryPatternsCompiled,
-        compiled.patterns.len() as u64,
-    );
-    let solver = IdSolver::new(&compiled, target);
+    let solver = solver_with(compiled, target, hooks);
     let mut found = false;
     let mut enumerated = 0usize;
     solver.for_each_solution(&mut |slots| {
@@ -591,12 +749,18 @@ fn id_answer_is_empty_core<T: IdTarget>(
         }
         enumerated += 1;
         if enumerated >= DEFAULT_SOLUTION_LIMIT {
+            // Giving up after this many *rejected* matchings means the
+            // verdict below is unreliable — surface it instead of silently
+            // reporting "empty" (the non_minimal discipline, query-side).
+            stats.truncated = true;
+            metrics.count(Counter::QueryTruncations, 1);
             ControlFlow::Break(())
         } else {
             ControlFlow::<()>::Continue(())
         }
     });
     metrics.count(Counter::QueryBindings, enumerated as u64);
+    stats.bindings += enumerated as u64;
     !found
 }
 
@@ -637,9 +801,47 @@ pub struct Explain {
     /// carry redundant blank triples. Set by the facade from the engine's
     /// degradation state; always `false` for an unbudgeted engine.
     pub non_minimal: bool,
+    /// `true` when an enumeration behind this answer hit
+    /// [`DEFAULT_SOLUTION_LIMIT`] and stopped: the answer set (or an
+    /// emptiness verdict computed the same way) may be incomplete. The
+    /// query-side analogue of `non_minimal` — also surfaced as the
+    /// `query_truncations` counter and a snapshot warning.
+    pub truncated: bool,
+    /// Whether this execution reused a cached plan: `"hit"`, `"miss"`
+    /// (planned from scratch, then cached), or `"off"` (plan cache
+    /// disabled, or a mechanism — the overlay — that does not plan).
+    pub plan_cache: &'static str,
+    /// The planner's per-pattern cardinality estimates (original body
+    /// pattern order), recorded when the plan was built. Empty when no
+    /// plan was involved.
+    pub estimated_cardinalities: Vec<u64>,
+    /// The same patterns' constants-only candidate counts probed at
+    /// explain time. Divergence from `estimated_cardinalities` shows how
+    /// far the store has drifted since the plan was cached.
+    pub actual_cardinalities: Vec<u64>,
 }
 
 impl Explain {
+    /// The all-zero explain for a mechanism/semantics pair — the starting
+    /// point every explain path fills in.
+    pub fn empty(mechanism: &'static str, semantics: Semantics) -> Self {
+        Explain {
+            mechanism,
+            semantics: Explain::semantics_name(semantics),
+            members: 1,
+            patterns: 0,
+            join_order: Vec::new(),
+            probes: 0,
+            bindings: 0,
+            answers: 0,
+            non_minimal: false,
+            truncated: false,
+            plan_cache: "off",
+            estimated_cardinalities: Vec::new(),
+            actual_cardinalities: Vec::new(),
+        }
+    }
+
     /// The semantics label used in explains and snapshots.
     pub fn semantics_name(semantics: Semantics) -> &'static str {
         match semantics {
@@ -651,12 +853,20 @@ impl Explain {
     /// Renders the explain as a small deterministic JSON object (keys in
     /// fixed order, no external dependencies).
     pub fn to_json(&self) -> String {
+        let list = |xs: &[u64]| -> String {
+            xs.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
         let order: Vec<String> = self.join_order.iter().map(|i| i.to_string()).collect();
         format!(
             concat!(
                 "{{\"mechanism\": \"{}\", \"semantics\": \"{}\", \"members\": {}, ",
                 "\"patterns\": {}, \"join_order\": [{}], \"probes\": {}, ",
-                "\"bindings\": {}, \"answers\": {}, \"non_minimal\": {}}}"
+                "\"bindings\": {}, \"answers\": {}, \"non_minimal\": {}, ",
+                "\"truncated\": {}, \"plan_cache\": \"{}\", ",
+                "\"estimated_cardinalities\": [{}], \"actual_cardinalities\": [{}]}}"
             ),
             self.mechanism,
             self.semantics,
@@ -667,54 +877,94 @@ impl Explain {
             self.bindings,
             self.answers,
             self.non_minimal,
+            self.truncated,
+            self.plan_cache,
+            list(&self.estimated_cardinalities),
+            list(&self.actual_cardinalities),
         )
     }
 }
 
-/// Explains a premise-free execution against `target`: re-runs the
-/// enumeration with a [`JoinOrderLog`] recorder and a [`MeteredTarget`], so
-/// the reported join order is exactly the one the production path chooses
-/// (pattern selection is deterministic in the target's candidate counts),
-/// then materializes the answer for the `answers` count.
+/// Explains a premise-free execution against `target` in **one pass**: the
+/// production answer pipeline runs once with a [`JoinOrderLog`] recorder
+/// and a [`MeteredTarget`] attached, so `join_order`/`probes`/`bindings`
+/// and `answers` all describe the same run (an earlier version enumerated
+/// once for the counters and re-ran `id_answer` for the count — two runs
+/// that could not drift apart only by luck).
 pub fn explain_premise_free<T: IdTarget>(
     query: &Query,
     dictionary: &Dictionary,
     target: &T,
     semantics: Semantics,
 ) -> Explain {
-    let mut explain = Explain {
-        mechanism: "premise_free",
-        semantics: Explain::semantics_name(semantics),
-        members: 1,
-        patterns: 0,
-        join_order: Vec::new(),
-        probes: 0,
-        bindings: 0,
-        answers: 0,
-        non_minimal: false,
-    };
-    let Some(compiled) = compile_body(query.body(), dictionary) else {
-        // Unknown body constant: the fast negative path runs no joins.
-        return explain;
+    let explain = Explain::empty("premise_free", semantics);
+    explain_exec(
+        query,
+        dictionary,
+        target,
+        semantics,
+        ExecHooks::default(),
+        explain,
+    )
+}
+
+/// The shared explain engine: executes the real answer pipeline once under
+/// a recorder + metered target (honoring any planned static order in
+/// `hooks`) and fills the execution fields of `explain`. Plan-level fields
+/// (`plan_cache`, `estimated_cardinalities`) are the caller's to set.
+pub(crate) fn explain_exec<T: IdTarget>(
+    query: &Query,
+    dictionary: &Dictionary,
+    target: &T,
+    semantics: Semantics,
+    hooks: ExecHooks<'_>,
+    mut explain: Explain,
+) -> Explain {
+    let owned;
+    let compiled = match hooks.compiled {
+        Some(compiled) => compiled,
+        None => match compile_body(query.body(), dictionary) {
+            Some(compiled) => {
+                owned = compiled;
+                &owned
+            }
+            // Unknown body constant: the fast negative path runs no joins.
+            None => return explain,
+        },
     };
     explain.patterns = compiled.patterns.len();
     let log = JoinOrderLog::new();
     let metered = MeteredTarget::new(target);
-    let solver =
-        swdb_hom::IdSolver::with_recorder(&compiled.patterns, compiled.vars.len(), &metered, &log);
-    let mut bindings = 0usize;
-    solver.for_each_solution(&mut |_slots| {
-        bindings += 1;
-        if bindings >= DEFAULT_SOLUTION_LIMIT {
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::<()>::Continue(())
-        }
-    });
+    let run_hooks = ExecHooks {
+        order: hooks.order,
+        recorder: Some(&log),
+        compiled: Some(compiled),
+    };
+    let mut stats = ExecStats::default();
+    let answer = id_answer_core(
+        query,
+        dictionary,
+        &metered,
+        semantics,
+        Metrics::disabled(),
+        run_hooks,
+        &mut stats,
+    );
     explain.join_order = log.take();
-    explain.probes = metered.probes();
-    explain.bindings = bindings as u64;
-    explain.answers = id_answer(query, dictionary, target, semantics).len() as u64;
+    // Accumulated: a planned caller pre-fills `probes` with the plan-time
+    // probing a cache miss paid (the planned execution itself probes zero
+    // candidates per backtrack node).
+    explain.probes += metered.probes();
+    explain.bindings = stats.bindings;
+    explain.answers = answer.len() as u64;
+    explain.truncated = stats.truncated;
+    // Probed against the raw target so the counts do not inflate `probes`.
+    let no_binding = vec![None; compiled.variables().len()];
+    explain.actual_cardinalities = compiled
+        .patterns()
+        .iter()
+        .map(|p| target.candidate_count(p.to_scan(&no_binding)) as u64)
+        .collect();
     explain
 }
 
@@ -725,17 +975,34 @@ fn for_each_matching<T: IdTarget>(
     dictionary: &Dictionary,
     target: &T,
     metrics: &Metrics,
+    accept: impl FnMut(Binding),
+) {
+    let mut stats = ExecStats::default();
+    for_each_matching_hooked(
+        query,
+        dictionary,
+        target,
+        metrics,
+        ExecHooks::default(),
+        &mut stats,
+        accept,
+    );
+}
+
+/// [`for_each_matching`] with execution hooks and stats reporting.
+fn for_each_matching_hooked<T: IdTarget>(
+    query: &Query,
+    dictionary: &Dictionary,
+    target: &T,
+    metrics: &Metrics,
+    hooks: ExecHooks<'_>,
+    stats: &mut ExecStats,
     mut accept: impl FnMut(Binding),
 ) {
-    let Some(compiled) = compile_body(query.body(), dictionary) else {
-        // A body constant that was never interned matches nothing.
-        return;
-    };
-    metrics.count(
-        Counter::QueryPatternsCompiled,
-        compiled.patterns.len() as u64,
-    );
-    let solver = IdSolver::new(&compiled, target);
+    let owned;
+    // A body constant that was never interned matches nothing.
+    let compiled = resolve_body!(query, dictionary, metrics, hooks, owned);
+    let solver = solver_with(compiled, target, hooks);
     let mut seen = 0usize;
     solver.for_each_solution(&mut |slots| {
         let binding = compiled.decode(slots, dictionary);
@@ -744,12 +1011,15 @@ fn for_each_matching<T: IdTarget>(
         }
         seen += 1;
         if seen >= DEFAULT_SOLUTION_LIMIT {
+            stats.truncated = true;
+            metrics.count(Counter::QueryTruncations, 1);
             ControlFlow::Break(())
         } else {
             ControlFlow::<()>::Continue(())
         }
     });
     metrics.count(Counter::QueryBindings, seen as u64);
+    stats.bindings += seen as u64;
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 
 pub mod answer;
 pub mod exec;
+pub mod plan;
 pub mod premise;
 pub mod query;
 pub mod redundancy;
@@ -37,6 +38,11 @@ pub use exec::{
     id_answer_is_empty_metered, id_answer_metered, id_matchings, id_pre_answers,
     id_pre_answers_metered, CompiledBody, Explain, IdPatternTerm, IdSolver, IdTriplePattern,
     MeteredTarget,
+};
+pub use plan::{
+    expansion_members, planned_answer, planned_answer_is_empty, planned_answer_union,
+    planned_explain, planned_explain_union, planned_pre_answers, planned_pre_answers_union,
+    planned_union_is_empty, PlanCache, QueryShape, PLAN_CACHE_CAPACITY,
 };
 pub use premise::{
     answer_union_of_queries, id_answer_union_of_queries, id_pre_answers_of_queries,

@@ -13,10 +13,8 @@
 
 use std::collections::BTreeSet;
 
-use swdb_hom::{
-    Binding, GraphIndex, IdTarget, PatternGraph, PatternTerm, Solver, TriplePattern, Variable,
-};
-use swdb_model::{Graph, Term};
+use swdb_hom::{Binding, IdTarget, PatternGraph, PatternTerm, TriplePattern, Variable};
+use swdb_model::{Graph, Term, Triple};
 use swdb_store::Dictionary;
 
 use crate::answer::{combine, pre_answers, Semantics};
@@ -29,85 +27,180 @@ use crate::query::Query;
 /// still computed for non-simple queries, but Proposition 5.9 only guarantees
 /// answer preservation in the simple case (the paper notes the result fails
 /// once RDFS vocabulary is interpreted).
+///
+/// The enumeration is **output-sensitive**: it recurses over the body
+/// patterns, branching each into "stays in `B − R`" or "μ maps it onto a
+/// unifiable premise triple", so the work is bounded by the number of
+/// consistent partial `(R, μ)` prefixes — not by `2^|B|`. Bodies of any
+/// length are handled completely (an earlier bitmask enumeration silently
+/// capped subsets at 63 patterns, dropping members of `Ω_q`); the
+/// *worst-case* size of `Ω_q` is still exponential (Theorem 5.12), which is
+/// why the facade budgets `(|P|+1)^|B|` before choosing this mechanism and
+/// routes oversized queries to the overlay instead.
 pub fn premise_free_expansion(query: &Query) -> Vec<Query> {
     if query.is_premise_free() {
         return vec![query.clone()];
     }
-    let premise = query.premise().clone();
-    let premise_index = GraphIndex::new(&premise);
+    let premise: Vec<Triple> = query.premise().iter().cloned().collect();
     let body: Vec<TriplePattern> = query.body().patterns().to_vec();
-    let n = body.len();
-    let mut expansion: Vec<Query> = Vec::new();
+    let mut builder = ExpansionBuilder {
+        query,
+        body: &body,
+        premise: &premise,
+        mu: Binding::new(),
+        rest: Vec::new(),
+        seen: BTreeSet::new(),
+        members: Vec::new(),
+    };
+    builder.recurse(0);
+    builder.members
+}
 
-    // Enumerate subsets R ⊆ B by bitmask. The empty subset yields the
-    // original query with the premise dropped (μ is the empty map).
-    for mask in 0u64..(1u64 << n.min(63)) {
-        let (r_patterns, rest_patterns): (Vec<_>, Vec<_>) = body
-            .iter()
-            .enumerate()
-            .partition(|(i, _)| mask & (1 << i) != 0);
-        let r_graph: PatternGraph = r_patterns.iter().map(|(_, p)| (*p).clone()).collect();
-        let rest: Vec<TriplePattern> = rest_patterns.into_iter().map(|(_, p)| p.clone()).collect();
+/// The structural identity of an expansion member — head, body, and
+/// constraints (the premise is always empty). Different `(R, μ)` pairs
+/// frequently produce the same member; this key backs the set-based dedup
+/// (the previous `Vec::contains` scan was quadratic in `|Ω_q|`, itself
+/// worst-case exponential).
+type MemberKey = (Vec<TriplePattern>, Vec<TriplePattern>, BTreeSet<Variable>);
 
-        // All maps μ : R → P.
-        let solver = Solver::new(&r_graph, &premise_index);
-        for mu in solver.all_solutions() {
-            // μ(B − R) must have no blanks: no variable of B − R may be sent
-            // to a blank node of P.
-            let rest_vars: BTreeSet<Variable> = rest
-                .iter()
-                .flat_map(|p| p.variables().cloned().collect::<Vec<_>>())
-                .collect();
-            let maps_rest_var_to_blank = rest_vars
-                .iter()
-                .any(|v| matches!(mu.get(v), Some(Term::Blank(_))));
-            if maps_rest_var_to_blank {
-                continue;
+struct ExpansionBuilder<'q> {
+    query: &'q Query,
+    body: &'q [TriplePattern],
+    premise: &'q [Triple],
+    /// The partial map μ, grown and shrunk along the recursion.
+    mu: Binding,
+    /// Indices of body patterns assigned to `B − R` so far.
+    rest: Vec<usize>,
+    seen: BTreeSet<MemberKey>,
+    members: Vec<Query>,
+}
+
+impl ExpansionBuilder<'_> {
+    fn recurse(&mut self, i: usize) {
+        if i == self.body.len() {
+            self.emit();
+            return;
+        }
+        // Branch 1: pattern i stays in B − R (taken first, so the member
+        // with R = ∅ — the original query with its premise dropped — is
+        // always the first one emitted).
+        self.rest.push(i);
+        self.recurse(i + 1);
+        self.rest.pop();
+        // Branch 2: μ maps pattern i onto each premise triple it unifies
+        // with under the bindings accumulated so far.
+        for t in 0..self.premise.len() {
+            let mut newly_bound = Vec::new();
+            if unify(
+                &self.body[i],
+                &self.premise[t],
+                &mut self.mu,
+                &mut newly_bound,
+            ) {
+                self.recurse(i + 1);
             }
-            // Constraints on variables μ substitutes away are decided now:
-            // a constrained variable sent to a blank of P makes the member
-            // unsatisfiable (skip it), one sent to a ground term satisfies
-            // its constraint (drop it); only constraints on variables that
-            // survive into the member are carried over.
-            let mut constraints: BTreeSet<Variable> = BTreeSet::new();
-            let mut constraint_violated = false;
-            for v in query.constraints() {
-                match mu.get(v) {
-                    Some(Term::Blank(_)) => {
-                        constraint_violated = true;
-                        break;
-                    }
-                    Some(_) => {}
-                    None => {
-                        constraints.insert(v.clone());
-                    }
-                }
-            }
-            if constraint_violated {
-                continue;
-            }
-            // Head variables sent to blanks of P would also reintroduce
-            // blanks, but into the head, which stays legal (heads may contain
-            // blanks); we keep those.
-            let new_head = apply_binding_to_pattern(query.head(), &mu);
-            let new_body: PatternGraph = rest
-                .iter()
-                .map(|p| apply_binding_to_triple_pattern(p, &mu))
-                .collect();
-            let candidate = Query::with_all(new_head, new_body, Graph::new(), constraints);
-            let Ok(candidate) = candidate else {
-                // Unreachable in practice: μ binds every variable of R, so a
-                // head (or surviving constrained) variable either keeps a
-                // body occurrence in B − R or was substituted above. Kept as
-                // a guard so a malformed member can never enter Ω_q.
-                continue;
-            };
-            if !expansion.contains(&candidate) {
-                expansion.push(candidate);
+            for v in &newly_bound {
+                self.mu.unbind(v);
             }
         }
     }
-    expansion
+
+    /// One complete `(R, μ)` pair: run the blank-leak and constraint checks
+    /// and materialize the member `q_μ = (μ(H), μ(B − R), ∅)`.
+    fn emit(&mut self) {
+        let mu = &self.mu;
+        // μ(B − R) must have no blanks: no variable of B − R may be sent
+        // to a blank node of P. (Each rest variable is checked once per
+        // emitted pair — the per-μ set rebuild of the old enumeration is
+        // gone with the enumeration itself.)
+        let maps_rest_var_to_blank = self.rest.iter().any(|&i| {
+            self.body[i]
+                .variables()
+                .any(|v| matches!(mu.get(v), Some(Term::Blank(_))))
+        });
+        if maps_rest_var_to_blank {
+            return;
+        }
+        // Constraints on variables μ substitutes away are decided now:
+        // a constrained variable sent to a blank of P makes the member
+        // unsatisfiable (skip it), one sent to a ground term satisfies
+        // its constraint (drop it); only constraints on variables that
+        // survive into the member are carried over.
+        let mut constraints: BTreeSet<Variable> = BTreeSet::new();
+        for v in self.query.constraints() {
+            match mu.get(v) {
+                Some(Term::Blank(_)) => return,
+                Some(_) => {}
+                None => {
+                    constraints.insert(v.clone());
+                }
+            }
+        }
+        // Head variables sent to blanks of P would also reintroduce
+        // blanks, but into the head, which stays legal (heads may contain
+        // blanks); we keep those.
+        let new_head = apply_binding_to_pattern(self.query.head(), mu);
+        let new_body: PatternGraph = self
+            .rest
+            .iter()
+            .map(|&i| apply_binding_to_triple_pattern(&self.body[i], mu))
+            .collect();
+        let candidate = Query::with_all(new_head, new_body, Graph::new(), constraints);
+        let Ok(candidate) = candidate else {
+            // Unreachable in practice: μ binds every variable of R, so a
+            // head (or surviving constrained) variable either keeps a
+            // body occurrence in B − R or was substituted above. Kept as
+            // a guard so a malformed member can never enter Ω_q.
+            return;
+        };
+        let key: MemberKey = (
+            candidate.head().patterns().to_vec(),
+            candidate.body().patterns().to_vec(),
+            candidate.constraints().clone(),
+        );
+        if self.seen.insert(key) {
+            self.members.push(candidate);
+        }
+    }
+}
+
+/// Unifies one body pattern with one premise triple under the partial map
+/// `mu`, binding previously-free variables (recorded into `newly_bound` so
+/// the caller can backtrack). Returns `false` on any mismatch; partially
+/// added bindings are left for the caller to undo via `newly_bound`.
+fn unify(
+    pattern: &TriplePattern,
+    triple: &Triple,
+    mu: &mut Binding,
+    newly_bound: &mut Vec<Variable>,
+) -> bool {
+    let predicate = Term::Iri(triple.predicate().clone());
+    let positions = [
+        (&pattern.subject, triple.subject()),
+        (&pattern.predicate, &predicate),
+        (&pattern.object, triple.object()),
+    ];
+    for (position, actual) in positions {
+        match position {
+            PatternTerm::Const(c) => {
+                if c != actual {
+                    return false;
+                }
+            }
+            PatternTerm::Var(v) => match mu.get(v) {
+                Some(bound) => {
+                    if bound != actual {
+                        return false;
+                    }
+                }
+                None => {
+                    mu.bind(v.clone(), actual.clone());
+                    newly_bound.push(v.clone());
+                }
+            },
+        }
+    }
+    true
 }
 
 fn apply_binding_to_pattern(pattern: &PatternGraph, binding: &Binding) -> PatternGraph {
@@ -138,10 +231,13 @@ fn apply_binding_to_triple_pattern(pattern: &TriplePattern, binding: &Binding) -
 /// Evaluates a union of queries: the union (or merge) of the individual
 /// answers (Proposition 5.11 treats such unions as first-class queries).
 pub fn answer_union_of_queries(queries: &[Query], database: &Graph, semantics: Semantics) -> Graph {
+    // Set-backed dedup: with an exponential-sized expansion the former
+    // `Vec::contains` scan made this loop quadratic in |Ω_q| · |answers|.
+    let mut seen: BTreeSet<Graph> = BTreeSet::new();
     let mut singles: Vec<Graph> = Vec::new();
     for q in queries {
         for single in pre_answers(q, database) {
-            if !singles.contains(&single) {
+            if seen.insert(single.clone()) {
                 singles.push(single);
             }
         }
@@ -383,6 +479,68 @@ mod tests {
             answer_union_of_queries(&expansion, &d, Semantics::Union),
         );
         assert!(answer_union_of_queries(&expansion, &d, Semantics::Union).is_empty());
+    }
+
+    #[test]
+    fn bodies_past_63_patterns_expand_completely() {
+        // Regression: the former bitmask enumeration capped subsets at
+        // `1u64 << n.min(63)`, so pattern 64+ could never enter R and the
+        // members substituting it were silently dropped. The body below has
+        // 64 filler patterns over a predicate the premise cannot match plus
+        // one trailing pattern that *does* match the premise — exactly the
+        // member the cap used to lose.
+        let mut body_patterns: Vec<(String, String, String)> = (0..64)
+            .map(|i| (format!("?F{i}"), format!("ex:filler{i}"), format!("?G{i}")))
+            .collect();
+        body_patterns.push(("?Z".into(), "ex:t".into(), "ex:s".into()));
+        let body: PatternGraph = body_patterns
+            .iter()
+            .map(|(s, p, o)| {
+                TriplePattern::new(
+                    PatternTerm::Var(Variable::new(s)),
+                    PatternTerm::iri(p),
+                    PatternTerm::Const(Term::iri(o.as_str())),
+                )
+            })
+            .collect();
+        let q = Query::with_premise(
+            pattern_graph([("?Z", "ex:p", "ex:s")]),
+            body,
+            graph([("ex:a", "ex:t", "ex:s")]),
+        )
+        .unwrap();
+        let expansion = premise_free_expansion(&q);
+        // R = ∅ (premise dropped) and R = {(?Z, ex:t, ex:s) ↦ (a, t, s)}.
+        assert_eq!(expansion.len(), 2, "the matched member must not be lost");
+        let matched = expansion
+            .iter()
+            .find(|m| m.body().patterns().len() == 64)
+            .expect("the member that substituted ?Z away");
+        assert!(matched
+            .head()
+            .patterns()
+            .iter()
+            .any(|p| p.subject == PatternTerm::Const(Term::iri("ex:a"))));
+        // And the recursion is output-sensitive: this ran in microseconds,
+        // where 2^64 bitmask iterations would never have terminated.
+    }
+
+    #[test]
+    fn expansion_deduplicates_members_produced_by_different_subsets() {
+        // Two identical body patterns: R = {0} and R = {1} produce the same
+        // member; the set-backed dedup must keep one.
+        let q = Query::with_premise(
+            pattern_graph([("?X", "ex:p", "?X")]),
+            pattern_graph([("?X", "ex:t", "ex:s"), ("?X", "ex:t", "ex:s")]),
+            graph([("ex:a", "ex:t", "ex:s")]),
+        )
+        .unwrap();
+        let expansion = premise_free_expansion(&q);
+        let mut rendered: Vec<String> = expansion.iter().map(|m| m.to_string()).collect();
+        let total = rendered.len();
+        rendered.sort();
+        rendered.dedup();
+        assert_eq!(rendered.len(), total, "Ω_q must be duplicate-free");
     }
 
     #[test]

@@ -135,6 +135,36 @@
 //! query/core counters are pinned equal across `SWDB_THREADS` by
 //! `tests/metrics_observability.rs`.
 //!
+//! ### Planning & plan cache
+//!
+//! Query execution is planned once per query *shape*, not per call
+//! ([`query::plan`]). A cost-based planner derives a static join order up
+//! front — per-pattern cardinality estimates from O(1) `IdIndex` prefix
+//! counts ([`hom::IdTarget::candidate_count`]), damped by an
+//! adornment-style bound/free analysis as earlier patterns bind join
+//! variables — and the solver executes that order with **zero** selectivity
+//! probes per backtrack node ([`hom::IdSolver::with_order`]). Compiled
+//! plans live in a small LRU ([`query::PlanCache`]) keyed by the query's
+//! head/body/constraint structure *modulo constant identity*, so
+//! structurally equal queries over different constants share one plan;
+//! constants re-resolve against the live dictionary on every call, so a
+//! hit can never carry a stale [`store::TermId`]. The worst-case
+//! exponential Prop. 5.9 expansion `Ω_q` is cached in the same LRU per
+//! premise query. A generation counter — bumped on every mutation, regime
+//! switch, and dictionary growth — invalidates lazily; clones start with a
+//! fresh cache, and each published [`core::PublishedSnapshot`] carries its
+//! own cache that (being immutable) never invalidates. `explain()` reports
+//! the `plan_cache` outcome (`hit`/`miss`/`off`) plus the planner's
+//! estimated vs the store's actual per-pattern cardinalities, and the
+//! counter sheet carries `plan_cache_hits`/`misses`/`evictions` and a
+//! `query_truncations` warning when an enumeration hits the solution
+//! limit. Disable with `SWDB_PLAN_CACHE=0` (or
+//! [`core::SemanticWebDatabase::set_plan_cache_enabled`]) to route every
+//! query through the classic per-call compile-and-probe path — the
+//! randomized equivalence suite (`tests/plan_cache.rs`) pins both paths to
+//! identical answers across regimes and semantics, and CI runs the whole
+//! workspace once with the cache off.
+//!
 //! ### Serving & snapshots
 //!
 //! Concurrent reads are served through a publication layer on the facade

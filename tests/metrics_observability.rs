@@ -217,8 +217,21 @@ fn explain_reports_the_mechanism_and_the_executed_join_order() {
     );
     assert!(plan.probes > 0);
     assert_eq!(plan.answers as usize, db.answer(&q, Semantics::Union).len());
-    // The explanation is itself deterministic.
-    assert_eq!(db.explain(&q, Semantics::Union), plan);
+    // Re-explaining hits the plan cache: the outcome is identical except
+    // for `plan_cache` itself and the probes the warm run no longer pays.
+    let warm = db.explain(&q, Semantics::Union);
+    if db.plan_cache_enabled() {
+        assert_eq!(plan.plan_cache, "miss");
+        assert_eq!(warm.plan_cache, "hit");
+        assert!(warm.probes <= plan.probes);
+    } else {
+        assert_eq!(warm, plan, "without the cache, explaining is deterministic");
+    }
+    assert_eq!(warm.mechanism, plan.mechanism);
+    assert_eq!(warm.join_order, plan.join_order);
+    assert_eq!(warm.answers, plan.answers);
+    assert_eq!(warm.estimated_cardinalities, plan.estimated_cardinalities);
+    assert_eq!(warm.actual_cardinalities, plan.actual_cardinalities);
     // And its JSON form carries the order verbatim.
     assert!(plan.to_json().contains("\"join_order\": [1, 0]"));
 

@@ -1,0 +1,375 @@
+//! End-to-end tests of the cost-based planner and the compiled plan cache
+//! through the facade: the invalidation matrix (mutation, regime switch,
+//! dictionary growth, clone isolation, snapshot independence), the counter
+//! sheet, and randomized planner-on ≡ planner-off equivalence across both
+//! regimes and both semantics.
+
+use semweb_foundations::core::{EntailmentRegime, MetricsLevel, SemanticWebDatabase, Semantics};
+use semweb_foundations::model::{graph, triple, Graph};
+use semweb_foundations::query::{query, Query};
+
+fn counting_db() -> SemanticWebDatabase {
+    let mut db = SemanticWebDatabase::new();
+    db.set_metrics_level(MetricsLevel::Counters);
+    db.insert_graph(&graph([
+        ("ex:dept", "ex:offers", "ex:DB"),
+        ("ex:dept", "ex:offers", "ex:AI"),
+        ("ex:alice", "ex:takes", "ex:DB"),
+        ("ex:bob", "ex:takes", "ex:AI"),
+        ("ex:carol", "ex:takes", "ex:DB"),
+    ]));
+    db
+}
+
+fn takes_query() -> Query {
+    query(
+        [("?S", "ex:studies", "?C")],
+        [("?S", "ex:takes", "?C"), ("ex:dept", "ex:offers", "?C")],
+    )
+}
+
+fn cache_counters(db: &SemanticWebDatabase) -> (u64, u64) {
+    let snap = db.metrics().snapshot();
+    (
+        snap.counter("plan_cache_hits"),
+        snap.counter("plan_cache_misses"),
+    )
+}
+
+#[test]
+fn repeated_shapes_hit_the_plan_cache() {
+    let mut db = counting_db();
+    if !db.plan_cache_enabled() {
+        return; // SWDB_PLAN_CACHE=0 run: nothing to observe here.
+    }
+    let q = takes_query();
+    let first = db.answer(&q, Semantics::Union);
+    let (hits0, misses0) = cache_counters(&db);
+    assert_eq!(misses0, 1, "cold shape is a miss");
+    assert_eq!(hits0, 0);
+    for _ in 0..3 {
+        assert_eq!(db.answer(&q, Semantics::Union), first);
+    }
+    let (hits, misses) = cache_counters(&db);
+    assert_eq!(misses, 1, "no further misses on a warm shape");
+    assert_eq!(hits, 3);
+
+    // Same shape, different constant: shares the cached plan.
+    let sibling = query(
+        [("?S", "ex:studies", "?C")],
+        [("?S", "ex:takes", "?C"), ("ex:alice", "ex:offers", "?C")],
+    );
+    db.answer(&sibling, Semantics::Union);
+    let (hits, misses) = cache_counters(&db);
+    assert_eq!(
+        (hits, misses),
+        (4, 1),
+        "constants do not split the shape key"
+    );
+}
+
+#[test]
+fn mutation_invalidates_cached_plans() {
+    let mut db = counting_db();
+    if !db.plan_cache_enabled() {
+        return;
+    }
+    let q = takes_query();
+    db.answer(&q, Semantics::Union);
+    db.answer(&q, Semantics::Union);
+    let (_, misses_before) = cache_counters(&db);
+    db.insert_graph(&graph([("ex:dave", "ex:takes", "ex:AI")]));
+    let answer = db.answer(&q, Semantics::Union);
+    let (_, misses_after) = cache_counters(&db);
+    assert_eq!(
+        misses_after,
+        misses_before + 1,
+        "a mutation dooms the cached plan"
+    );
+    // And the replanned answer sees the new triple.
+    assert!(
+        answer.iter().any(|t| t.to_string().contains("ex:dave")),
+        "{answer:?}"
+    );
+
+    // Removal invalidates too.
+    db.answer(&q, Semantics::Union);
+    let (_, misses_warm) = cache_counters(&db);
+    db.remove(&triple("ex:dave", "ex:takes", "ex:AI"));
+    db.answer(&q, Semantics::Union);
+    let (_, misses_final) = cache_counters(&db);
+    assert_eq!(misses_final, misses_warm + 1);
+}
+
+#[test]
+fn regime_switch_invalidates_cached_plans() {
+    let mut db = counting_db();
+    if !db.plan_cache_enabled() {
+        return;
+    }
+    let q = takes_query();
+    db.answer(&q, Semantics::Union);
+    db.answer(&q, Semantics::Union);
+    let (_, misses_before) = cache_counters(&db);
+    db.set_regime(EntailmentRegime::Simple);
+    db.answer(&q, Semantics::Union);
+    let (_, misses_after) = cache_counters(&db);
+    assert_eq!(
+        misses_after,
+        misses_before + 1,
+        "a regime switch dooms the cached plan"
+    );
+    // Switching to the regime already in force invalidates nothing.
+    db.answer(&q, Semantics::Union);
+    let (hits_warm, misses_warm) = cache_counters(&db);
+    db.set_regime(EntailmentRegime::Simple);
+    db.answer(&q, Semantics::Union);
+    let (hits_final, misses_final) = cache_counters(&db);
+    assert_eq!(misses_final, misses_warm);
+    assert_eq!(hits_final, hits_warm + 1);
+}
+
+#[test]
+fn dictionary_growth_invalidates_cached_plans() {
+    let mut db = counting_db();
+    if !db.plan_cache_enabled() {
+        return;
+    }
+    let q = takes_query();
+    db.answer(&q, Semantics::Union);
+    db.answer(&q, Semantics::Union);
+    // An overlay premise query whose premise mentions terms the dictionary
+    // has never seen: answering it interns them (append-only growth)
+    // without mutating the published graph.
+    let premise_query = Query::with_premise(
+        semweb_foundations::hom::pattern_graph([("?X", "ex:takes", "?C")]),
+        semweb_foundations::hom::pattern_graph([("?X", "ex:takes", "?C")]),
+        graph([("ex:totally-fresh", "ex:takes", "ex:never-interned")]),
+    )
+    .expect("well formed");
+    db.answer(&premise_query, Semantics::Union);
+    let (_, misses_grown) = cache_counters(&db);
+    db.answer(&q, Semantics::Union);
+    let (_, misses_after) = cache_counters(&db);
+    assert_eq!(
+        misses_after,
+        misses_grown + 1,
+        "dictionary growth dooms the cached premise-free plan"
+    );
+    // A premise of already-interned terms grows nothing and dooms nothing.
+    db.answer(&q, Semantics::Union); // warm the shape again
+    let (_, misses_warm) = cache_counters(&db);
+    let benign = Query::with_premise(
+        semweb_foundations::hom::pattern_graph([("?X", "ex:takes", "?C")]),
+        semweb_foundations::hom::pattern_graph([("?X", "ex:takes", "?C")]),
+        graph([("ex:alice", "ex:takes", "ex:AI")]),
+    )
+    .expect("well formed");
+    db.answer(&benign, Semantics::Union);
+    db.answer(&q, Semantics::Union);
+    let (_, misses_final) = cache_counters(&db);
+    assert_eq!(
+        misses_final, misses_warm,
+        "an already-interned premise leaves cached plans valid"
+    );
+}
+
+#[test]
+fn clones_get_a_fresh_plan_cache() {
+    let mut db = counting_db();
+    if !db.plan_cache_enabled() {
+        return;
+    }
+    let q = takes_query();
+    db.answer(&q, Semantics::Union);
+    db.answer(&q, Semantics::Union);
+    let (_, misses_before) = cache_counters(&db);
+    let mut clone = db.clone();
+    assert_eq!(clone.plan_cache_enabled(), db.plan_cache_enabled());
+    // The clone shares the metrics sheet but not the plan cache: its first
+    // execution of the warm shape is a fresh miss.
+    let answer = clone.answer(&q, Semantics::Union);
+    let (_, misses_after) = cache_counters(&db);
+    assert_eq!(
+        misses_after,
+        misses_before + 1,
+        "clone re-plans from scratch"
+    );
+    assert_eq!(answer, db.answer(&q, Semantics::Union));
+}
+
+#[test]
+fn published_snapshots_plan_independently_of_the_writer() {
+    let mut db = counting_db();
+    if !db.plan_cache_enabled() {
+        return;
+    }
+    let q = takes_query();
+    let snapshot = db.publish();
+    let first = snapshot.answer(&q, Semantics::Union).expect("premise free");
+    let (_, misses_cold) = cache_counters(&db);
+    let second = snapshot.answer(&q, Semantics::Union).expect("premise free");
+    let (hits_warm, misses_warm) = cache_counters(&db);
+    assert_eq!(first, second);
+    assert_eq!(
+        misses_warm, misses_cold,
+        "snapshot re-serves its cached plan"
+    );
+    assert!(hits_warm > 0);
+    // Mutating the writer never touches the pinned snapshot's plans: the
+    // snapshot is immutable, so its cache needs no invalidation.
+    db.insert_graph(&graph([("ex:eve", "ex:takes", "ex:DB")]));
+    let pinned = snapshot.answer(&q, Semantics::Union).expect("premise free");
+    assert_eq!(pinned, first, "pinned snapshot stays bit-identical");
+    let explain = snapshot
+        .explain(&q, Semantics::Union)
+        .expect("premise free");
+    assert_eq!(explain.plan_cache, "hit");
+}
+
+#[test]
+fn disabling_the_cache_reroutes_to_the_classic_path() {
+    let mut db = counting_db();
+    db.set_plan_cache_enabled(false);
+    assert!(!db.plan_cache_enabled());
+    let q = takes_query();
+    let (hits_before, misses_before) = cache_counters(&db);
+    let off = db.answer(&q, Semantics::Union);
+    assert_eq!(db.explain(&q, Semantics::Union).plan_cache, "off");
+    let (hits_after, misses_after) = cache_counters(&db);
+    assert_eq!(hits_after, hits_before, "disabled cache records no hits");
+    assert_eq!(
+        misses_after, misses_before,
+        "disabled cache records no misses"
+    );
+    db.set_plan_cache_enabled(true);
+    let on = db.answer(&q, Semantics::Union);
+    assert_eq!(off, on);
+    assert_eq!(db.explain(&q, Semantics::Union).plan_cache, "hit");
+}
+
+// ----- randomized planner-on ≡ planner-off equivalence -----
+
+/// Deterministic xorshift generator — no external crates, reproducible
+/// failures (the seed is in the panic message via the round index).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_graph(rng: &mut XorShift, triples: usize) -> Graph {
+    let mut g = Graph::new();
+    for _ in 0..triples {
+        let s = match rng.below(8) {
+            0 | 1 => format!("_:b{}", rng.below(3)),
+            k => format!("ex:n{k}"),
+        };
+        let p = format!("ex:p{}", rng.below(3));
+        let o = match rng.below(8) {
+            0 => format!("_:b{}", rng.below(3)),
+            k => format!("ex:n{k}"),
+        };
+        g.insert(triple(&s, &p, &o));
+    }
+    g
+}
+
+fn probe_queries() -> Vec<Query> {
+    vec![
+        query([("?X", "ex:p0", "?Y")], [("?X", "ex:p0", "?Y")]),
+        query(
+            [("?X", "ex:p0", "?Z")],
+            [("?X", "ex:p0", "?Y"), ("?Y", "ex:p1", "?Z")],
+        ),
+        query(
+            [("?X", "ex:p2", "?Z")],
+            [
+                ("?X", "ex:p0", "?Y"),
+                ("?Y", "ex:p1", "?Z"),
+                ("?X", "ex:p2", "?Z"),
+            ],
+        ),
+        query([("?X", "?P", "?X")], [("?X", "?P", "?X")]),
+        query([("ex:n3", "ex:p1", "?Y")], [("ex:n3", "ex:p1", "?Y")]),
+        // A ground premise query: expansion mechanism under simple
+        // entailment, overlay under RDFS — both must be plan-invariant.
+        Query::with_premise(
+            semweb_foundations::hom::pattern_graph([("?X", "ex:p0", "?Y")]),
+            semweb_foundations::hom::pattern_graph([
+                ("?X", "ex:p0", "?Y"),
+                ("?Y", "ex:p1", "ex:n4"),
+            ]),
+            graph([("ex:n2", "ex:p1", "ex:n4")]),
+        )
+        .expect("well formed"),
+    ]
+}
+
+fn sorted(mut singles: Vec<Graph>) -> Vec<Graph> {
+    singles.sort();
+    singles
+}
+
+#[test]
+fn planned_answers_equal_unplanned_answers_over_random_databases() {
+    let mut rng = XorShift(0x5eed_cafe_f00d_0001);
+    for round in 0..12 {
+        let data = random_graph(&mut rng, 4 + (round % 5) * 4);
+        for regime in [EntailmentRegime::Rdfs, EntailmentRegime::Simple] {
+            let mut on = SemanticWebDatabase::new();
+            on.set_plan_cache_enabled(true);
+            let mut off = SemanticWebDatabase::new();
+            off.set_plan_cache_enabled(false);
+            for db in [&mut on, &mut off] {
+                db.set_regime(regime);
+                db.insert_graph(&data);
+            }
+            for (qi, q) in probe_queries().iter().enumerate() {
+                for semantics in [Semantics::Union, Semantics::Merge] {
+                    // Twice per query: once cold (plans + caches), once warm
+                    // (cache hits), both against the unplanned baseline.
+                    for pass in 0..2 {
+                        assert_eq!(
+                            on.answer(q, semantics),
+                            off.answer(q, semantics),
+                            "round {round} query {qi} {regime:?} {semantics:?} pass {pass}"
+                        );
+                    }
+                }
+                assert_eq!(
+                    on.answer_is_empty(q),
+                    off.answer_is_empty(q),
+                    "round {round} query {qi} {regime:?} emptiness"
+                );
+                assert_eq!(
+                    sorted(on.pre_answers(q)),
+                    sorted(off.pre_answers(q)),
+                    "round {round} query {qi} {regime:?} pre-answers"
+                );
+            }
+            // Mutate mid-stream and re-check one query: the planned side
+            // must replan, not re-use a stale plan.
+            let extra = graph([("ex:n2", "ex:p0", "ex:n6")]);
+            on.insert_graph(&extra);
+            off.insert_graph(&extra);
+            let q = &probe_queries()[1];
+            assert_eq!(
+                on.answer(q, Semantics::Union),
+                off.answer(q, Semantics::Union),
+                "round {round} {regime:?} post-mutation"
+            );
+        }
+    }
+}
